@@ -1,0 +1,169 @@
+// Ablation (Section IV-B3): why rendezvous uses RDMA, not Send/Receive.
+//
+// The paper: "In the zero-copy design for large messages, it's impossible
+// to improve the performance of a sender first case using the Send/Receive
+// mode. This is because, even if the sender sends first, it has to wait for
+// the receiver to post a receive request with the prepared user receive
+// buffer... Therefore, use of the RDMA communication mode was considered."
+//
+// This harness reproduces that argument at the verbs level. A sender is
+// ready at t=0; the receiver only posts its buffer after `recv_delay`.
+//  * Send/Receive mode: the Send waits at the responder (RNR) until the
+//    receive appears, then pays the retry penalty — the transfer finishes
+//    at recv_delay + RNR + payload.
+//  * RDMA mode (the paper's sender-first protocol): the RTS is in the
+//    receiver's ring before it even posts; the receiver RDMA-reads
+//    immediately — the handshake cost is hidden inside the receiver's lag.
+
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "ib/fabric.hpp"
+
+using namespace dcfa;
+
+namespace {
+
+struct Harness {
+  sim::Engine engine;
+  sim::Platform platform;
+  ib::Fabric fabric{engine, platform};
+  mem::NodeMemory mem0{0}, mem1{1};
+  pcie::PciePort pcie0{engine, mem0, platform};
+  pcie::PciePort pcie1{engine, mem1, platform};
+  ib::Hca& hca0 = fabric.add_hca(mem0, pcie0);
+  ib::Hca& hca1 = fabric.add_hca(mem1, pcie1);
+
+  ib::ProtectionDomain *pd0, *pd1;
+  ib::CompletionQueue *cq0, *cq1;
+  ib::QueuePair *qp0, *qp1;
+
+  Harness() {
+    pd0 = hca0.alloc_pd();
+    pd1 = hca1.alloc_pd();
+    cq0 = hca0.create_cq(64);
+    cq1 = hca1.create_cq(64);
+    qp0 = hca0.create_qp(pd0, cq0, cq0);
+    qp1 = hca1.create_qp(pd1, cq1, cq1);
+    hca0.connect(qp0, hca1.lid(), qp1->qpn());
+    hca1.connect(qp1, hca0.lid(), qp0->qpn());
+  }
+};
+
+/// Send/Receive mode, sender first: post the Send at t=0, the Recv at
+/// `recv_delay`; return when the receiver has the data.
+sim::Time send_recv_case(std::size_t bytes, sim::Time recv_delay) {
+  Harness h;
+  mem::Buffer src = h.mem0.alloc(mem::Domain::HostDram, bytes);
+  mem::Buffer dst = h.mem1.alloc(mem::Domain::HostDram, bytes);
+  auto* smr = h.hca0.reg_mr(h.pd0, mem::Domain::HostDram, src.addr(), bytes,
+                            0);
+  auto* dmr = h.hca1.reg_mr(h.pd1, mem::Domain::HostDram, dst.addr(), bytes,
+                            ib::kLocalWrite);
+  sim::Time done = 0;
+  h.engine.spawn("sender", [&](sim::Process& proc) {
+    proc.wait(h.platform.host_post_overhead);
+    ib::SendWr wr;
+    wr.opcode = ib::Opcode::Send;
+    wr.sg_list = {{src.addr(), static_cast<std::uint32_t>(bytes),
+                   smr->lkey()}};
+    h.hca0.post_send(h.qp0, wr);
+  });
+  h.engine.spawn("receiver", [&](sim::Process& proc) {
+    proc.wait(recv_delay);  // buffer not ready until now
+    ib::RecvWr rwr;
+    rwr.sg_list = {{dst.addr(), static_cast<std::uint32_t>(bytes),
+                    dmr->lkey()}};
+    h.hca1.post_recv(h.qp1, rwr);
+    ib::Wc wc;
+    while (h.cq1->poll(1, &wc) == 0) proc.wait_on(h.cq1->arrival());
+    done = proc.now();
+  });
+  h.engine.run();
+  return done;
+}
+
+/// RDMA mode, the paper's Sender-First protocol: RTS (tiny write) lands in
+/// the receiver's ring at ~t=0; at `recv_delay` the receiver RDMA-reads the
+/// payload directly; return when the read completes.
+sim::Time rdma_read_case(std::size_t bytes, sim::Time recv_delay) {
+  Harness h;
+  mem::Buffer src = h.mem0.alloc(mem::Domain::HostDram, bytes);
+  mem::Buffer dst = h.mem1.alloc(mem::Domain::HostDram, bytes);
+  mem::Buffer ring = h.mem1.alloc(mem::Domain::HostDram, 256);
+  auto* smr = h.hca0.reg_mr(h.pd0, mem::Domain::HostDram, src.addr(), bytes,
+                            ib::kRemoteRead);
+  auto* dmr = h.hca1.reg_mr(h.pd1, mem::Domain::HostDram, dst.addr(), bytes,
+                            ib::kLocalWrite);
+  auto* rmr = h.hca1.reg_mr(h.pd1, mem::Domain::HostDram, ring.addr(), 256,
+                            ib::kLocalWrite | ib::kRemoteWrite);
+  sim::Time done = 0;
+  h.engine.spawn("sender", [&](sim::Process& proc) {
+    // RTS: advertise (addr, rkey) into the receiver's ring.
+    proc.wait(h.platform.host_post_overhead);
+    mem::Buffer rts = h.mem0.alloc(mem::Domain::HostDram, 64);
+    auto* rts_mr =
+        h.hca0.reg_mr(h.pd0, mem::Domain::HostDram, rts.addr(), 64, 0);
+    rts.data()[0] = std::byte{1};
+    ib::SendWr wr;
+    wr.opcode = ib::Opcode::RdmaWrite;
+    wr.sg_list = {{rts.addr(), 64, rts_mr->lkey()}};
+    wr.remote_addr = ring.addr();
+    wr.rkey = rmr->rkey();
+    h.hca0.post_send(h.qp0, wr);
+  });
+  h.engine.spawn("receiver", [&](sim::Process& proc) {
+    proc.wait(recv_delay);  // buffer ready now; the RTS is already here
+    ib::SendWr wr;
+    wr.opcode = ib::Opcode::RdmaRead;
+    wr.sg_list = {{dst.addr(), static_cast<std::uint32_t>(bytes),
+                   dmr->lkey()}};
+    wr.remote_addr = src.addr();
+    wr.rkey = smr->rkey();
+    proc.wait(h.platform.host_post_overhead);
+    h.hca1.post_send(h.qp1, wr);
+    ib::Wc wc;
+    while (h.cq1->poll(1, &wc) == 0) proc.wait_on(h.cq1->arrival());
+    done = proc.now();
+  });
+  h.engine.run();
+  return done;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::banner("Ablation IV-B3",
+                "rendezvous over RDMA vs over Send/Receive (sender first)");
+  bench::claim("with Send/Receive the transfer cannot finish until "
+               "recv-post + RNR retry + full payload; with RDMA the "
+               "handshake hides inside the receiver's lag");
+
+  const std::size_t bytes = 1 << 20;
+  bench::Table table({"recv delay(us)", "send/recv done(us)",
+                      "rdma-read done(us)", "rdma wins by"});
+  const std::vector<double> delays =
+      quick ? std::vector<double>{0, 200}
+            : std::vector<double>{0, 50, 100, 200, 500, 1000};
+  for (double d : delays) {
+    const sim::Time delay = sim::microseconds(d);
+    const sim::Time sr = send_recv_case(bytes, delay);
+    const sim::Time rd = rdma_read_case(bytes, delay);
+    char win[32];
+    std::snprintf(win, sizeof win, "%.0fus", sim::to_us(sr - rd));
+    table.add_row({bench::fmt_us(delay), bench::fmt_us(sr),
+                   bench::fmt_us(rd), win});
+  }
+  table.print();
+  std::printf(
+      "\n(1 MiB payload, host buffers. With a late receive the Send is "
+      "RNR-NAKed and the whole payload is retransmitted after the retry "
+      "timer — wire traffic doubles and completion lands at recv-post + "
+      "retry + full transfer. The RDMA sender-first protocol parks a tiny "
+      "RTS instead and reads once. The model also scatters Send payloads "
+      "message-at-a-time at the responder (store-and-forward), which is "
+      "what untargeted two-sided delivery costs without a pre-matched "
+      "buffer.)\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Ablation (extension): one-sided vs two-sided halo exchange.
+//
+// The rendezvous protocols of Section IV-B3 spend packets on handshakes
+// (RTS/RTR/DONE) because two-sided matching needs them. A fence-epoch RMA
+// exchange over the same RDMA substrate needs none: neighbours put their
+// rows directly into pre-advertised windows and one barrier closes the
+// epoch. On latency-dominated halo sizes the handshake savings show; on
+// bandwidth-dominated sizes both ride the same offloaded RDMA path.
+
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "mpi/runtime.hpp"
+#include "mpi/window.hpp"
+
+using namespace dcfa;
+using namespace dcfa::mpi;
+
+namespace {
+
+constexpr int kProcs = 8;
+
+/// Two-sided halo exchange per iteration (isend/irecv to both neighbours).
+sim::Time two_sided(std::size_t row, int iters) {
+  RunConfig cfg;
+  cfg.mode = MpiMode::DcfaPhi;
+  cfg.nprocs = kProcs;
+  sim::Time elapsed = 0;
+  run_mpi(cfg, [&](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer plane = comm.alloc(4 * row, 4096);
+    const int up = ctx.rank > 0 ? ctx.rank - 1 : -1;
+    const int down = ctx.rank < kProcs - 1 ? ctx.rank + 1 : -1;
+    comm.barrier();
+    const sim::Time t0 = ctx.proc.now();
+    for (int it = 0; it < iters; ++it) {
+      std::vector<Request> reqs;
+      if (up >= 0) {
+        reqs.push_back(comm.irecv(plane, 0, row, type_byte(), up, 1));
+        reqs.push_back(comm.isend(plane, row, row, type_byte(), up, 2));
+      }
+      if (down >= 0) {
+        reqs.push_back(
+            comm.irecv(plane, 3 * row, row, type_byte(), down, 2));
+        reqs.push_back(comm.isend(plane, 2 * row, row, type_byte(), down,
+                                  1));
+      }
+      comm.waitall(reqs);
+    }
+    comm.barrier();
+    if (ctx.rank == 0) elapsed = (ctx.proc.now() - t0) / iters;
+    comm.free(plane);
+  });
+  return elapsed;
+}
+
+/// One-sided: puts into the neighbours' ghost rows, fence per iteration.
+sim::Time one_sided(std::size_t row, int iters) {
+  RunConfig cfg;
+  cfg.mode = MpiMode::DcfaPhi;
+  cfg.nprocs = kProcs;
+  sim::Time elapsed = 0;
+  run_mpi(cfg, [&](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer plane = comm.alloc(4 * row, 4096);
+    Window win(comm, plane, 0, 4 * row);
+    const int up = ctx.rank > 0 ? ctx.rank - 1 : -1;
+    const int down = ctx.rank < kProcs - 1 ? ctx.rank + 1 : -1;
+    win.fence();
+    const sim::Time t0 = ctx.proc.now();
+    for (int it = 0; it < iters; ++it) {
+      if (up >= 0) win.put(plane, row, row, up, 3 * row);
+      if (down >= 0) win.put(plane, 2 * row, row, down, 0);
+      win.fence();
+    }
+    if (ctx.rank == 0) elapsed = (ctx.proc.now() - t0) / iters;
+    win.free();
+    comm.free(plane);
+  });
+  return elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::banner("Ablation RMA", "one-sided vs two-sided halo exchange");
+  bench::claim("fence-epoch puts skip the per-message rendezvous handshake "
+               "but pay a barrier per epoch: two-sided eager wins tiny "
+               "halos, RMA wins from the paper's 10KB halo upward");
+
+  const int iters = quick ? 5 : 20;
+  bench::Table table({"halo row", "two-sided(us/iter)", "one-sided(us/iter)",
+                      "saving"});
+  for (std::size_t row : {1024ul, 10256ul /* the paper's stencil halo */,
+                          65536ul, 262144ul}) {
+    const sim::Time ts = two_sided(row, iters);
+    const sim::Time os = one_sided(row, iters);
+    char save[32];
+    std::snprintf(save, sizeof save, "%.0f%%",
+                  100.0 * (1.0 - static_cast<double>(os) / ts));
+    table.add_row({bench::fmt_size(row), bench::fmt_us(ts),
+                   bench::fmt_us(os), save});
+  }
+  table.print();
+  std::printf("\n(8 processes, both neighbours per iteration; the RMA "
+              "epoch closes with one dissemination barrier — which is why "
+              "eager two-sided wins at 1KB, while the handshake savings "
+              "win everywhere rendezvous would run.)\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction harnesses: aligned table
+// printing, human-readable sizes, and the standard message-size sweep.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dcfa::bench {
+
+inline std::string fmt_size(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0) {
+    std::snprintf(buf, sizeof buf, "%lluM",
+                  static_cast<unsigned long long>(bytes / (1024 * 1024)));
+  } else if (bytes >= 1024 && bytes % 1024 == 0) {
+    std::snprintf(buf, sizeof buf, "%lluK",
+                  static_cast<unsigned long long>(bytes / 1024));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+/// Message sizes of the paper's sweeps: 4 B to 4 MiB, powers of two.
+inline std::vector<std::size_t> size_sweep(std::size_t from = 4,
+                                           std::size_t to = 4 << 20) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = from; s <= to; s *= 2) sizes.push_back(s);
+  return sizes;
+}
+
+/// Column-aligned table writer for bench output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(width[c]), cells[c].c_str());
+      }
+      std::printf("\n");
+    };
+    line(headers_);
+    std::vector<std::string> dashes;
+    for (std::size_t w : width) dashes.push_back(std::string(w, '-'));
+    line(dashes);
+    for (const auto& row : rows_) line(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt_us(sim::Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", sim::to_us(t));
+  return buf;
+}
+
+inline std::string fmt_gbps(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+inline std::string fmt_ratio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1fx", v);
+  return buf;
+}
+
+/// True when the bench runner asked for a quick pass (smaller sweeps).
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+inline void banner(const char* fig, const char* what) {
+  std::printf("\n=== %s — %s ===\n", fig, what);
+}
+
+inline void claim(const char* text) { std::printf("paper claim: %s\n", text); }
+
+}  // namespace dcfa::bench

@@ -1,0 +1,62 @@
+// Figure 5: raw InfiniBand RDMA-write bandwidth with the four buffer
+// placements — (i) host -> remote Phi, (ii) Phi -> remote host,
+// (iii) Phi -> remote Phi, (iv) host -> remote host. Ping-pong fashion, no
+// MPI. This is the experiment that exposed the pre-production Xeon Phi's
+// slow HCA-initiated DMA *read* path and motivated the offloading send
+// buffer design (Section IV-B4).
+//
+// Paper claims: host->phi tracks host->host; any Phi-sourced transfer is
+// >4x slower regardless of destination.
+
+#include "apps/pingpong.hpp"
+#include "bench_util.hpp"
+
+using namespace dcfa;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::banner("Figure 5",
+                "InfiniBand RDMA write bandwidth by transfer direction");
+  bench::claim(
+      "host->phi == host->host; phi->host == phi->phi, both >4x slower "
+      "(HCA DMA read from Phi memory is the bottleneck)");
+
+  struct Direction {
+    const char* name;
+    mem::Domain src, dst;
+  };
+  const Direction dirs[] = {
+      {"host->phi", mem::Domain::HostDram, mem::Domain::PhiGddr},
+      {"phi->host", mem::Domain::PhiGddr, mem::Domain::HostDram},
+      {"phi->phi", mem::Domain::PhiGddr, mem::Domain::PhiGddr},
+      {"host->host", mem::Domain::HostDram, mem::Domain::HostDram},
+  };
+
+  bench::Table table({"size", "host->phi", "phi->host", "phi->phi",
+                      "host->host", "(GB/s)"});
+  const int iters = quick ? 5 : 20;
+  double peak_host = 0, peak_phi_src = 0;
+  for (std::size_t bytes :
+       bench::size_sweep(4, quick ? (1 << 20) : (4 << 20))) {
+    std::vector<std::string> row{bench::fmt_size(bytes)};
+    double bw[4];
+    for (int d = 0; d < 4; ++d) {
+      apps::RawRdmaConfig cfg;
+      cfg.src_domain = dirs[d].src;
+      cfg.dst_domain = dirs[d].dst;
+      auto r = apps::raw_rdma_pingpong(cfg, bytes, iters);
+      bw[d] = r.bandwidth_gbps;
+      row.push_back(bench::fmt_gbps(r.bandwidth_gbps));
+    }
+    row.push_back("");
+    table.add_row(std::move(row));
+    peak_host = std::max(peak_host, bw[3]);
+    peak_phi_src = std::max(peak_phi_src, bw[2]);
+  }
+  table.print();
+  std::printf(
+      "\nhost-to-host peak %.2f GB/s, phi-sourced peak %.2f GB/s -> "
+      "%.1fx slower (paper: >4x)\n",
+      peak_host, peak_phi_src, peak_host / peak_phi_src);
+  return 0;
+}

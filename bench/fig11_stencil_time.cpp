@@ -1,0 +1,54 @@
+// Figure 11 + Table III: five-point stencil processing time (100
+// iterations, 1282x1282 doubles) versus the number of MPI processes, for
+// DCFA-MPI, 'Intel MPI on Xeon + offload' and 'Intel MPI on Xeon Phi'.
+// OpenMP team fixed at 56 threads per process (the paper's maximum).
+//
+// Paper claims: DCFA-MPI and 'Intel MPI on Xeon Phi' track each other; the
+// offload mode is always slower and the gap grows with process count
+// because its per-iteration offload costs do not shrink.
+
+#include "apps/stencil.hpp"
+#include "bench_util.hpp"
+
+using namespace dcfa;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::banner("Figure 11 / Table III",
+                "five-point stencil processing time vs MPI processes");
+  bench::claim("offload mode always slowest; gap grows with processes "
+               "(fixed offload cost vs shrinking compute)");
+
+  apps::StencilConfig cfg;
+  cfg.n = 1282;
+  cfg.iterations = quick ? 20 : 100;
+  cfg.threads = 56;
+  cfg.real_compute = false;  // timing is model-driven; tests verify the math
+
+  const std::size_t grid_bytes =
+      static_cast<std::size_t>(cfg.n) * cfg.n * sizeof(double);
+  const std::size_t halo =
+      static_cast<std::size_t>(cfg.n) * sizeof(double);
+  std::printf("\nTable III: problem %dx%d points, computing data %.1f MB, "
+              "halo per neighbour %zu bytes (~10KB) in and out, offloading "
+              "data 2x halo per iteration\n\n",
+              cfg.n, cfg.n, grid_bytes / 1e6, halo);
+
+  bench::Table table({"procs", "dcfa(ms)", "intel-on-xeon+offload(ms)",
+                      "intel-on-phi(ms)", "offload/dcfa"});
+  for (int procs : {1, 2, 4, 8}) {
+    cfg.nprocs = procs;
+    auto d = apps::run_stencil(apps::StencilSystem::DcfaPhi, cfg);
+    auto o = apps::run_stencil(apps::StencilSystem::HostOffload, cfg);
+    auto i = apps::run_stencil(apps::StencilSystem::IntelPhi, cfg);
+    char dm[32], om[32], im[32];
+    std::snprintf(dm, sizeof dm, "%.1f", sim::to_ms(d.total));
+    std::snprintf(om, sizeof om, "%.1f", sim::to_ms(o.total));
+    std::snprintf(im, sizeof im, "%.1f", sim::to_ms(i.total));
+    table.add_row({std::to_string(procs), dm, om, im,
+                   bench::fmt_ratio(static_cast<double>(o.total) /
+                                    static_cast<double>(d.total))});
+  }
+  table.print();
+  return 0;
+}

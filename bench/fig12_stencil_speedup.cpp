@@ -1,0 +1,55 @@
+// Figure 12: five-point stencil speed-up over the serial program for
+// varying OpenMP thread counts and MPI process counts, for the three
+// systems.
+//
+// Paper claims: with 8 MPI processes x 56 OpenMP threads, DCFA-MPI reaches
+// 117x, 'Intel MPI on Xeon Phi' 113x, and 'Intel MPI on Xeon + offload'
+// only 74x; the offload mode falls behind once >1 process or >4 threads.
+
+#include "apps/stencil.hpp"
+#include "bench_util.hpp"
+
+using namespace dcfa;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::banner("Figure 12", "stencil speed-up over serial");
+  bench::claim("8 procs x 56 thr: 117x (DCFA-MPI) / 113x (Intel on Phi) / "
+               "74x (Intel on Xeon + offload)");
+
+  apps::StencilConfig cfg;
+  cfg.n = 1282;
+  cfg.iterations = quick ? 20 : 100;
+  cfg.real_compute = false;
+
+  auto serial = apps::run_stencil_serial(cfg);
+  std::printf("serial reference (1 proc, 1 thread, on the co-processor): "
+              "%.2f s\n\n", sim::to_s(serial.total));
+
+  bench::Table table({"procs", "threads", "dcfa", "intel-on-xeon+offload",
+                      "intel-on-phi"});
+  const std::vector<int> procs_sweep = quick ? std::vector<int>{1, 8}
+                                             : std::vector<int>{1, 2, 4, 8};
+  const std::vector<int> thread_sweep =
+      quick ? std::vector<int>{1, 56} : std::vector<int>{1, 4, 14, 28, 56};
+  for (int procs : procs_sweep) {
+    for (int threads : thread_sweep) {
+      cfg.nprocs = procs;
+      cfg.threads = threads;
+      auto d = apps::run_stencil(apps::StencilSystem::DcfaPhi, cfg);
+      auto o = apps::run_stencil(apps::StencilSystem::HostOffload, cfg);
+      auto i = apps::run_stencil(apps::StencilSystem::IntelPhi, cfg);
+      auto spd = [&](const apps::StencilResult& r) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.1fx",
+                      static_cast<double>(serial.total) /
+                          static_cast<double>(r.total));
+        return std::string(buf);
+      };
+      table.add_row({std::to_string(procs), std::to_string(threads), spd(d),
+                     spd(o), spd(i)});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table I analogue: the simulated platform's calibrated parameters, printed
+// the way the paper prints its server architecture. Every row names the
+// hardware the model stands in for and the paper observation that pins it.
+
+#include "bench_util.hpp"
+#include "sim/platform.hpp"
+
+using namespace dcfa;
+
+int main() {
+  const sim::Platform p;
+  bench::banner("Table I", "simulated server architecture / model parameters");
+
+  bench::Table hw({"component", "modelled as", "paper reference"});
+  hw.add_row({"CPU", "Intel Xeon E5-2670 (16 cores, analytic overheads)",
+              "Table I"});
+  hw.add_row({"InfiniBand HCA", "Mellanox ConnectX-3 (simulated verbs)",
+              "Table I"});
+  hw.add_row({"Card", "pre-production Intel Xeon Phi x 1 (56 cores)",
+              "Table I"});
+  hw.add_row({"Nodes", std::to_string(p.nodes), "Section V: 8 node cluster"});
+  hw.print();
+
+  std::printf("\n");
+  bench::Table t({"parameter", "value", "pins"});
+  auto gb = [](double v) { return bench::fmt_gbps(v) + " GB/s"; };
+  auto us = [](sim::Time v) { return bench::fmt_us(v) + " us"; };
+  t.add_row({"IB wire bandwidth", gb(p.ib_wire_gbps), "Fig 5 host-host"});
+  t.add_row({"IB wire latency (one way)",
+             us(p.ib_hop_latency * p.ib_hops), "small-message RTTs"});
+  t.add_row({"HCA read from host DRAM", gb(p.hca_read_host_gbps), "Fig 5"});
+  t.add_row({"HCA read from Phi GDDR", gb(p.hca_read_phi_gbps),
+             "Fig 5: >4x slower phi-sourced"});
+  t.add_row({"HCA write to Phi GDDR", gb(p.hca_write_phi_gbps),
+             "Fig 5: host->phi == host->host"});
+  t.add_row({"Phi DMA engine", gb(p.phi_dma_gbps),
+             "Fig 8: 2.8 GB/s with offload buffer"});
+  t.add_row({"host post / poll", us(p.host_post_overhead) + " / " +
+                                     us(p.host_poll_overhead),
+             "host MPI RTT"});
+  t.add_row({"phi post / poll", us(p.phi_post_overhead) + " / " +
+                                    us(p.phi_poll_overhead),
+             "Fig 9: 15us DCFA-MPI RTT"});
+  t.add_row({"IB-proxy extra hop", us(p.proxy_hop_latency),
+             "Fig 9: 28us 'Intel MPI on Phi' RTT"});
+  t.add_row({"IB-proxy bandwidth cap", gb(p.proxy_bw_gbps),
+             "Fig 9: <1 GB/s proxy path"});
+  t.add_row({"offload transfer fixed cost", us(p.offload_transfer_fixed),
+             "Fig 10: 12x at tiny sizes"});
+  t.add_row({"offload region launch",
+             us(p.offload_launch_base) + " + " +
+                 us(p.offload_launch_per_thread) + "/thread",
+             "Fig 11/12: 74x vs 117x"});
+  t.add_row({"phi stencil point time", us(p.phi_point_time),
+             "Fig 12 serial baseline"});
+  t.add_row({"OpenMP efficiency alpha (phi)",
+             std::to_string(p.phi_thread_alpha), "Fig 12: 117x at 8x56"});
+  t.add_row({"eager threshold",
+             bench::fmt_size(p.eager_threshold), "IV-B3 one-copy/zero-copy"});
+  t.add_row({"offload send threshold",
+             bench::fmt_size(p.offload_send_threshold),
+             "IV-B4: 'starting from 8Kbytes'"});
+  t.add_row({"eager ring slots", std::to_string(p.eager_slots), "IV-B3"});
+  t.add_row({"MR cache entries", std::to_string(p.mr_cache_entries),
+             "IV-B3 buffer cache pool"});
+  t.print();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Bandwidth/latency probing tool (an osu_bw/osu_latency analogue for the
+// simulated cluster). Sweeps message sizes on any of the four MPI stacks
+// and prints RTT + bandwidth, plus the protocol each size used.
+//
+//   $ ./examples/bandwidth_tool [mode] [max_size]
+//     mode: dcfa | dcfa-nooff | intelphi | host   (default dcfa)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/pingpong.hpp"
+
+using namespace dcfa;
+
+int main(int argc, char** argv) {
+  mpi::MpiMode mode = mpi::MpiMode::DcfaPhi;
+  if (argc > 1) {
+    const std::string m = argv[1];
+    if (m == "dcfa-nooff") mode = mpi::MpiMode::DcfaPhiNoOffload;
+    else if (m == "intelphi") mode = mpi::MpiMode::IntelPhi;
+    else if (m == "host") mode = mpi::MpiMode::HostMpi;
+    else if (m != "dcfa") {
+      std::fprintf(stderr, "unknown mode '%s'\n", m.c_str());
+      return 1;
+    }
+  }
+  const std::size_t max_size =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : (4u << 20);
+
+  sim::Platform platform;
+  std::printf("# mode: %s, eager threshold %zu, offload threshold %zu\n",
+              mpi::mode_name(mode),
+              static_cast<std::size_t>(platform.eager_threshold),
+              static_cast<std::size_t>(platform.offload_send_threshold));
+  std::printf("%-10s %14s %14s  %s\n", "bytes", "RTT(us)", "BW(GB/s)",
+              "protocol");
+  for (std::size_t bytes = 4; bytes <= max_size; bytes *= 2) {
+    mpi::RunConfig cfg;
+    cfg.mode = mode;
+    auto r = apps::pingpong_blocking(cfg, bytes, 10, 2);
+    const char* protocol =
+        bytes < platform.eager_threshold
+            ? "eager (one-copy)"
+            : (mode == mpi::MpiMode::DcfaPhi &&
+                       bytes >= platform.offload_send_threshold
+                   ? "rendezvous + offload send buffer"
+                   : "rendezvous (zero-copy)");
+    std::printf("%-10zu %14.2f %14.3f  %s\n", bytes, sim::to_us(r.round_trip),
+                r.bandwidth_gbps, protocol);
+  }
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Conjugate-gradient solver: a second domain application on DCFA-MPI.
+//
+// The paper's motivation is the stand-alone execution model — computation
+// *and* communication both living on the co-processor. A Krylov solver is
+// the classic such workload: every iteration needs halo exchanges (sparse
+// mat-vec) and two global allreduces (dot products), so communication
+// latency sits squarely on the critical path and the co-processor's direct
+// InfiniBand access pays off every iteration.
+//
+// Solves the 1-D Poisson problem (tridiagonal [-1, 2, -1]) distributed
+// block-wise over the ranks, with real arithmetic, and reports convergence
+// plus the time spent under each MPI stack.
+//
+//   $ ./examples/cg_solver [n] [procs]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "compute/compute.hpp"
+#include "mpi/runtime.hpp"
+
+using namespace dcfa;
+using namespace dcfa::mpi;
+
+namespace {
+
+struct CgResult {
+  int iterations = 0;
+  double residual = 0.0;
+  sim::Time elapsed = 0;
+};
+
+CgResult run_cg(MpiMode mode, int n, int nprocs) {
+  RunConfig cfg;
+  cfg.mode = mode;
+  cfg.nprocs = nprocs;
+  CgResult result;
+
+  run_mpi(cfg, [&](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    const int P = comm.size(), rank = comm.rank();
+    const int base = n / P, extra = n % P;
+    const int local = base + (rank < extra ? 1 : 0);
+
+    // Vectors with one ghost element on each side for the halo.
+    auto vec = [&] { return comm.alloc((local + 2) * sizeof(double)); };
+    mem::Buffer x = vec(), r = vec(), p = vec(), ap = vec();
+    mem::Buffer dot_in = comm.alloc(2 * sizeof(double));
+    mem::Buffer dot_out = comm.alloc(2 * sizeof(double));
+    auto D = [](mem::Buffer& b) {
+      return reinterpret_cast<double*>(b.data());
+    };
+
+    // b = 1 everywhere; x0 = 0; r = b; p = r.
+    for (int i = 1; i <= local; ++i) {
+      D(x)[i] = 0.0;
+      D(r)[i] = 1.0;
+      D(p)[i] = 1.0;
+    }
+
+    const int up = rank > 0 ? rank - 1 : -1;
+    const int down = rank < P - 1 ? rank + 1 : -1;
+    auto exchange_halo = [&](mem::Buffer& v) {
+      std::vector<Request> reqs;
+      if (up >= 0) {
+        reqs.push_back(comm.irecv(v, 0, 1, type_double(), up, 7));
+        reqs.push_back(
+            comm.isend(v, sizeof(double), 1, type_double(), up, 8));
+      } else {
+        D(v)[0] = 0.0;  // Dirichlet boundary
+      }
+      if (down >= 0) {
+        reqs.push_back(
+            comm.irecv(v, (local + 1) * sizeof(double), 1, type_double(),
+                       down, 8));
+        reqs.push_back(
+            comm.isend(v, local * sizeof(double), 1, type_double(), down, 7));
+      } else {
+        D(v)[local + 1] = 0.0;
+      }
+      comm.waitall(reqs);
+    };
+    auto allreduce2 = [&](double a, double b, double* oa, double* ob) {
+      D(dot_in)[0] = a;
+      D(dot_in)[1] = b;
+      comm.allreduce(dot_in, 0, dot_out, 0, 2, type_double(), Op::Sum);
+      *oa = D(dot_out)[0];
+      *ob = D(dot_out)[1];
+    };
+
+    double rr = 0;
+    for (int i = 1; i <= local; ++i) rr += D(r)[i] * D(r)[i];
+    double dummy, rr_g;
+    allreduce2(rr, 0, &rr_g, &dummy);
+    const double rr0 = rr_g;
+
+    comm.barrier();
+    const sim::Time t0 = ctx.proc.now();
+    int it = 0;
+    const int max_it = n;  // unpreconditioned CG needs O(n) sweeps here
+    while (it < max_it && rr_g > 1e-12 * rr0) {
+      // ap = A p (tridiagonal stencil; needs p's halo).
+      exchange_halo(p);
+      double pap = 0;
+      for (int i = 1; i <= local; ++i) {
+        D(ap)[i] = 2.0 * D(p)[i] - D(p)[i - 1] - D(p)[i + 1];
+        pap += D(p)[i] * D(ap)[i];
+      }
+      // Model the flops on the co-processor clock (56-thread team).
+      compute::parallel_for(ctx.proc, ctx.platform, compute::Cpu::Phi,
+                            static_cast<std::uint64_t>(local), 56);
+      double pap_g;
+      allreduce2(pap, 0, &pap_g, &dummy);
+
+      const double alpha = rr_g / pap_g;
+      double rr_new = 0;
+      for (int i = 1; i <= local; ++i) {
+        D(x)[i] += alpha * D(p)[i];
+        D(r)[i] -= alpha * D(ap)[i];
+        rr_new += D(r)[i] * D(r)[i];
+      }
+      compute::parallel_for(ctx.proc, ctx.platform, compute::Cpu::Phi,
+                            static_cast<std::uint64_t>(local), 56);
+      double rr_new_g;
+      allreduce2(rr_new, 0, &rr_new_g, &dummy);
+
+      const double beta = rr_new_g / rr_g;
+      for (int i = 1; i <= local; ++i) {
+        D(p)[i] = D(r)[i] + beta * D(p)[i];
+      }
+      rr_g = rr_new_g;
+      ++it;
+    }
+    comm.barrier();
+    if (rank == 0) {
+      result.iterations = it;
+      result.residual = std::sqrt(rr_g / rr0);
+      result.elapsed = ctx.proc.now() - t0;
+    }
+    for (auto* b : {&x, &r, &p, &ap, &dot_in, &dot_out}) comm.free(*b);
+  });
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 1024;
+  const int procs = argc > 2 ? std::atoi(argv[2]) : 4;
+  std::printf("conjugate gradient, 1-D Poisson, n=%d, %d ranks, "
+              "2 allreduces + 1 halo exchange per iteration\n\n",
+              n, procs);
+  for (MpiMode mode : {MpiMode::DcfaPhi, MpiMode::IntelPhi}) {
+    const CgResult res = run_cg(mode, n, procs);
+    std::printf("%-24s converged in %3d iterations (rel. residual %.2e) "
+                "in %8.2f ms\n",
+                mode_name(mode), res.iterations, res.residual,
+                sim::to_ms(res.elapsed));
+  }
+  std::printf("\nLatency-bound Krylov iterations are where the direct "
+              "co-processor InfiniBand path (15us vs 28us round trips) "
+              "shows up at application level.\n");
+  return 0;
+}

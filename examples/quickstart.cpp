@@ -1,0 +1,95 @@
+// Quickstart: the smallest complete DCFA-MPI program.
+//
+// Builds a 4-node simulated Xeon Phi cluster, runs one MPI rank per
+// co-processor, and walks through the basic API: point-to-point send/recv,
+// a non-blocking exchange, and an allreduce — all communicating directly
+// between co-processors over the simulated InfiniBand fabric.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+#include <cstring>
+
+#include "mpi/runtime.hpp"
+
+using namespace dcfa;
+using namespace dcfa::mpi;
+
+int main() {
+  RunConfig config;
+  config.mode = MpiMode::DcfaPhi;  // ranks live on the co-processors
+  config.nprocs = 4;
+
+  Runtime runtime(config);
+  runtime.run([](RankCtx& ctx) {
+    Communicator& comm = ctx.world;
+    const int rank = comm.rank();
+    const int size = comm.size();
+
+    // --- 1. Ring: pass a counter around, each rank increments it. --------
+    mem::Buffer token = comm.alloc(sizeof(int));
+    if (rank == 0) {
+      int value = 1;
+      std::memcpy(token.data(), &value, sizeof value);
+      comm.send(token, 0, 1, type_int(), 1, /*tag=*/0);
+      comm.recv(token, 0, 1, type_int(), size - 1, 0);
+      std::memcpy(&value, token.data(), sizeof value);
+      std::printf("[rank 0] token came home with value %d (expected %d)\n",
+                  value, size);
+    } else {
+      Status st = comm.recv(token, 0, 1, type_int(), rank - 1, 0);
+      int value = 0;
+      std::memcpy(&value, token.data(), sizeof value);
+      ++value;
+      std::memcpy(token.data(), &value, sizeof value);
+      comm.send(token, 0, 1, type_int(), (rank + 1) % size, 0);
+      std::printf("[rank %d] forwarded token=%d (from rank %d, %zu bytes)\n",
+                  rank, value, st.source, st.bytes);
+    }
+
+    // --- 2. Non-blocking neighbour exchange (large: rendezvous path). ----
+    const std::size_t kBytes = 64 * 1024;  // crosses the offload threshold
+    mem::Buffer sbuf = comm.alloc(kBytes);
+    mem::Buffer rbuf = comm.alloc(kBytes);
+    std::memset(sbuf.data(), rank, kBytes);
+    const int right = (rank + 1) % size;
+    const int left = (rank - 1 + size) % size;
+    Request reqs[2];
+    reqs[0] = comm.irecv(rbuf, 0, kBytes, type_byte(), left, 1);
+    reqs[1] = comm.isend(sbuf, 0, kBytes, type_byte(), right, 1);
+    comm.waitall(reqs);
+    std::printf("[rank %d] got %d KiB from rank %d via zero-copy rendezvous\n",
+                rank, static_cast<int>(kBytes / 1024),
+                static_cast<int>(rbuf.data()[0]));
+
+    // --- 3. Collective: sum of squares across the cluster. ----------------
+    mem::Buffer in = comm.alloc(sizeof(double));
+    mem::Buffer out = comm.alloc(sizeof(double));
+    const double mine = static_cast<double>(rank * rank);
+    std::memcpy(in.data(), &mine, sizeof mine);
+    comm.allreduce(in, 0, out, 0, 1, type_double(), Op::Sum);
+    double total = 0;
+    std::memcpy(&total, out.data(), sizeof total);
+    if (rank == 0) {
+      std::printf("[rank 0] allreduce(sum of rank^2) = %.0f at t=%.1f us\n",
+                  total, comm.wtime() * 1e6);
+    }
+
+    comm.free(token);
+    comm.free(sbuf);
+    comm.free(rbuf);
+    comm.free(in);
+    comm.free(out);
+  });
+
+  std::printf("simulated run finished at %s; rank-0 protocol stats: "
+              "%llu eager, %llu rendezvous, %llu offload syncs\n",
+              sim::format_time(runtime.elapsed()).c_str(),
+              static_cast<unsigned long long>(
+                  runtime.rank_stats()[0].eager_sends),
+              static_cast<unsigned long long>(
+                  runtime.rank_stats()[0].rndv_sends),
+              static_cast<unsigned long long>(
+                  runtime.rank_stats()[0].offload_syncs));
+  return 0;
+}

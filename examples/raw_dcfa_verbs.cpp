@@ -1,0 +1,114 @@
+// Raw DCFA example: programming the co-processor's InfiniBand verbs
+// directly, without the MPI layer — the level of abstraction the DCFA
+// library itself provides (Section IV-A). Shows the full flow the paper
+// describes: delegated resource creation through the CMD channel, direct
+// doorbell data path, and the offloading send buffer triple
+// (reg_offload_mr / sync_offload_mr / dereg_offload_mr).
+//
+//   $ ./examples/raw_dcfa_verbs
+
+#include <cstdio>
+#include <cstring>
+
+#include "dcfa/phi_verbs.hpp"
+
+using namespace dcfa;
+
+int main() {
+  sim::Engine engine;
+  sim::Platform platform;
+  ib::Fabric fabric(engine, platform);
+
+  // Two nodes, each: memory, PCIe port, HCA, SCIF channel, host delegate.
+  mem::NodeMemory mem0(0), mem1(1);
+  pcie::PciePort pcie0(engine, mem0, platform), pcie1(engine, mem1, platform);
+  ib::Hca& hca0 = fabric.add_hca(mem0, pcie0);
+  ib::Hca& hca1 = fabric.add_hca(mem1, pcie1);
+  scif::Channel chan0(engine, pcie0, platform), chan1(engine, pcie1, platform);
+  core::HostDelegate delegate0(chan0, hca0, mem0);
+  core::HostDelegate delegate1(chan1, hca1, mem1);
+
+  struct Exchange {
+    verbs::QpAddress qp{};
+    mem::SimAddr buf = 0;
+    ib::MKey rkey = 0;
+    bool ready = false;
+  } xchg;
+  sim::Condition published(engine, "published");
+  const std::size_t kBytes = 1 << 20;
+
+  // Receiver co-processor: expose a GDDR buffer for RDMA.
+  engine.spawn("phi-receiver", [&](sim::Process& proc) {
+    core::PhiVerbs verbs(proc, fabric, mem1, chan1);
+    auto* pd = verbs.alloc_pd();                 // CMD round trip
+    auto* cq = verbs.create_cq(16);              // CMD round trip
+    auto* qp = verbs.create_qp(pd, cq, cq);      // CMD round trip
+    mem::Buffer dst = verbs.alloc_buffer(kBytes, 4096);
+    auto* mr = verbs.reg_mr(pd, dst, ib::kLocalWrite | ib::kRemoteWrite);
+    xchg.qp = verbs.address(qp);
+    xchg.buf = dst.addr();
+    xchg.rkey = mr->rkey();
+    xchg.ready = true;
+    published.notify_all();
+    while (dst.data()[kBytes - 1] != std::byte{0x77}) {
+      proc.wait(sim::microseconds(10));  // tail-poll for the payload
+    }
+    std::printf("[phi-receiver] %zu KiB landed in GDDR at t=%s\n",
+                kBytes / 1024, sim::format_time(proc.now()).c_str());
+  });
+
+  // Sender co-processor: compare the direct path with the offloading
+  // send buffer path.
+  engine.spawn("phi-sender", [&](sim::Process& proc) {
+    core::PhiVerbs verbs(proc, fabric, mem0, chan0);
+    auto* pd = verbs.alloc_pd();
+    auto* cq = verbs.create_cq(16);
+    auto* qp = verbs.create_qp(pd, cq, cq);
+    while (!xchg.ready) proc.wait_on(published);
+    verbs.connect(qp, xchg.qp);
+
+    mem::Buffer src = verbs.alloc_buffer(kBytes, 4096);
+    std::memset(src.data(), 0x66, kBytes);
+    auto* mr = verbs.reg_mr(pd, src, 0);
+
+    auto timed_write = [&](mem::SimAddr addr, ib::MKey lkey,
+                           const char* label) {
+      const sim::Time t0 = proc.now();
+      ib::SendWr wr;
+      wr.opcode = ib::Opcode::RdmaWrite;
+      wr.sg_list = {{addr, kBytes, lkey}};
+      wr.remote_addr = xchg.buf;
+      wr.rkey = xchg.rkey;
+      verbs.post_send(qp, wr);
+      ib::Wc wc;
+      while (verbs.poll_cq(cq, 1, &wc) == 0) verbs.wait_cq(cq);
+      const sim::Time dt = proc.now() - t0;
+      std::printf("[phi-sender] %-34s %8.1f us  (%.2f GB/s)\n", label,
+                  sim::to_us(dt), static_cast<double>(kBytes) / dt);
+      return dt;
+    };
+
+    // 1. Straight from GDDR: the HCA's slow read path (Figure 5).
+    timed_write(src.addr(), mr->lkey(), "RDMA write from Phi GDDR:");
+
+    // 2. Through the offloading send buffer (Figure 6): DMA-sync the data
+    //    into a host shadow, post from host memory.
+    core::OffloadRegion shadow = verbs.reg_offload_mr(pd, kBytes);
+    const sim::Time t0 = proc.now();
+    verbs.sync_offload_mr(shadow, src, 0, kBytes);
+    std::printf("[phi-sender] %-34s %8.1f us\n",
+                "sync_offload_mr (Phi DMA engine):",
+                sim::to_us(proc.now() - t0));
+    std::memset(src.data() + kBytes - 1, 0x77, 1);  // final byte marker
+    verbs.sync_offload_mr(shadow, src, kBytes - 4096, 4096);
+    timed_write(shadow.host_addr, shadow.lkey,
+                "RDMA write from host shadow:");
+    verbs.dereg_offload_mr(shadow);
+  });
+
+  engine.run();
+  std::printf("done; host delegate served %llu + %llu offloaded requests\n",
+              static_cast<unsigned long long>(delegate0.requests_served()),
+              static_cast<unsigned long long>(delegate1.requests_served()));
+  return 0;
+}

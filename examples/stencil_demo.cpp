@@ -1,0 +1,58 @@
+// Stencil demo: the paper's third experiment as a runnable application.
+//
+// Runs the five-point Jacobi stencil (1282x1282 doubles, 10 KB halos) on
+// all three systems the paper compares — DCFA-MPI, 'Intel MPI on Xeon Phi'
+// and 'Intel MPI on Xeon + offload' — verifies they produce the same
+// numerical answer, and prints per-system timing and speed-ups.
+//
+//   $ ./examples/stencil_demo [procs] [threads]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/stencil.hpp"
+
+using namespace dcfa;
+using namespace dcfa::apps;
+
+int main(int argc, char** argv) {
+  const int procs = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 14;
+
+  StencilConfig cfg;
+  cfg.n = 322;          // demo-sized grid so real arithmetic stays snappy
+  cfg.iterations = 50;
+  cfg.nprocs = procs;
+  cfg.threads = threads;
+  cfg.real_compute = true;  // actually run the arithmetic and checksum it
+
+  std::printf("five-point stencil: %dx%d doubles, %d iterations, "
+              "%d MPI processes x %d OpenMP threads\n",
+              cfg.n, cfg.n, cfg.iterations, procs, threads);
+  std::printf("halo per neighbour: %zu bytes per iteration\n\n",
+              static_cast<std::size_t>(cfg.n) * sizeof(double));
+
+  const StencilResult serial = run_stencil_serial(cfg);
+  std::printf("%-32s %10.2f ms   checksum %.10e\n", "serial (1 proc, 1 thr)",
+              sim::to_ms(serial.total), serial.checksum);
+
+  struct Row {
+    StencilSystem sys;
+  };
+  for (StencilSystem sys : {StencilSystem::DcfaPhi, StencilSystem::IntelPhi,
+                            StencilSystem::HostOffload}) {
+    const StencilResult r = run_stencil(sys, cfg);
+    const double speedup =
+        static_cast<double>(serial.total) / static_cast<double>(r.total);
+    const double drift = std::abs(r.checksum - serial.checksum) /
+                         std::abs(serial.checksum);
+    std::printf("%-32s %10.2f ms   speed-up %6.1fx   checksum drift %.1e%s\n",
+                stencil_system_name(sys), sim::to_ms(r.total), speedup,
+                drift, drift < 1e-9 ? " (ok)" : " (MISMATCH!)");
+  }
+
+  std::printf("\nAll three systems run the same kernel on the co-processor; "
+              "they differ only in where MPI ranks live and how halos reach "
+              "the network — which is exactly the paper's point.\n");
+  return 0;
+}

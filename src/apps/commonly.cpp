@@ -1,0 +1,119 @@
+#include "apps/commonly.hpp"
+
+#include <cstring>
+
+namespace dcfa::apps {
+
+using mpi::RankCtx;
+
+namespace {
+std::size_t page_round_up(std::size_t v) {
+  const std::size_t page = mem::AddressSpace::kPage;
+  return (v + page - 1) / page * page;
+}
+}  // namespace
+
+CommOnlyResult comm_only_direct(mpi::RunConfig config, std::size_t bytes,
+                                int iters, int warmup) {
+  config.nprocs = 2;
+  CommOnlyResult result;
+  mpi::run_mpi(std::move(config), [&, bytes, iters, warmup](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    const std::size_t cap = std::max<std::size_t>(bytes, 1);
+    mem::Buffer sbuf = comm.alloc(cap, 4096);
+    mem::Buffer rbuf = comm.alloc(cap, 4096);
+    const int peer = 1 - ctx.rank;
+    comm.barrier();
+    sim::Time start = 0;
+    for (int i = 0; i < warmup + iters; ++i) {
+      if (i == warmup) {
+        comm.barrier();
+        if (ctx.rank == 0) start = ctx.proc.now();
+      }
+      // The computing data stays in co-processor memory; refresh one byte to
+      // model "only transfer necessary data" producing new content.
+      sbuf.data()[0] = static_cast<std::byte>(i);
+      mpi::Request reqs[2];
+      reqs[0] = comm.irecv(rbuf, 0, bytes, mpi::type_byte(), peer, 3);
+      reqs[1] = comm.isend(sbuf, 0, bytes, mpi::type_byte(), peer, 3);
+      comm.waitall(reqs);
+    }
+    comm.barrier();
+    if (ctx.rank == 0) {
+      result.per_iteration = (ctx.proc.now() - start) / iters;
+    }
+    comm.free(sbuf);
+    comm.free(rbuf);
+  });
+  // Per-iteration accounting.
+  result.mpi_bytes_sent = bytes;
+  result.mpi_bytes_received = bytes;
+  return result;
+}
+
+CommOnlyResult comm_only_offload(mpi::RunConfig config, std::size_t bytes,
+                                 int iters, int warmup, bool double_buffer) {
+  config.mode = mpi::MpiMode::HostMpi;
+  config.nprocs = 2;
+  CommOnlyResult result;
+  mpi::run_mpi(std::move(config), [&, bytes, iters, warmup,
+                                   double_buffer](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    offload::Engine& off = *ctx.offload;
+    // Persistent, page-aligned buffers sized to a 4 KiB multiple — the
+    // paper's optimisation list. Offload initialisation (buffer allocation)
+    // stays out of the timed loop.
+    const std::size_t cap = page_round_up(std::max<std::size_t>(bytes, 1));
+    mem::Buffer host_send = comm.alloc(cap, 4096);   // staged out of the card
+    mem::Buffer host_recv = comm.alloc(cap, 4096);   // staged onto the card
+    mem::Buffer card_send = off.alloc_card_buffer(cap);
+    mem::Buffer card_recv = off.alloc_card_buffer(cap);
+    const int peer = 1 - ctx.rank;
+    comm.barrier();
+    sim::Time start = 0;
+    for (int i = 0; i < warmup + iters; ++i) {
+      if (i == warmup) {
+        comm.barrier();
+        if (ctx.rank == 0) start = ctx.proc.now();
+      }
+      card_send.data()[0] = static_cast<std::byte>(i);  // fresh card data
+      if (double_buffer) {
+        // Copy-out overlaps the posting of the receive; copy-in overlaps
+        // the tail of the exchange ("overlap offloading data transfer and
+        // MPI communication using the double buffer method").
+        auto out_sig = off.transfer_out_async(card_send, 0, host_send, 0, cap);
+        mpi::Request rr =
+            comm.irecv(host_recv, 0, bytes, mpi::type_byte(), peer, 9);
+        off.wait(*out_sig);
+        mpi::Request sr =
+            comm.isend(host_send, 0, bytes, mpi::type_byte(), peer, 9);
+        comm.wait(rr);
+        auto in_sig = off.transfer_in_async(host_recv, 0, card_recv, 0, cap);
+        comm.wait(sr);
+        off.wait(*in_sig);
+      } else {
+        off.transfer_out(card_send, 0, host_send, 0, cap);
+        mpi::Request reqs[2];
+        reqs[0] = comm.irecv(host_recv, 0, bytes, mpi::type_byte(), peer, 9);
+        reqs[1] = comm.isend(host_send, 0, bytes, mpi::type_byte(), peer, 9);
+        comm.waitall(reqs);
+        off.transfer_in(host_recv, 0, card_recv, 0, cap);
+      }
+    }
+    comm.barrier();
+    if (ctx.rank == 0) {
+      result.per_iteration = (ctx.proc.now() - start) / iters;
+    }
+    comm.free(host_send);
+    comm.free(host_recv);
+    off.free_card_buffer(card_send);
+    off.free_card_buffer(card_recv);
+  });
+  result.offload_bytes_in = bytes;
+  result.offload_bytes_out = bytes;
+  result.mpi_bytes_sent = bytes;
+  result.mpi_bytes_received = bytes;
+  return result;
+}
+
+}  // namespace dcfa::apps

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "mpi/runtime.hpp"
+
+namespace dcfa::apps {
+
+/// The communication-only application of the paper's second experiment
+/// (Figure 10, Table II): two ranks repeatedly exchange X bytes of fresh
+/// data. Under DCFA-MPI the data lives on the co-processor and only the MPI
+/// exchange happens; under 'Intel MPI on Xeon + offload' every iteration
+/// must copy the payload onto the card and back (Table II: Copy In X +
+/// Copy Out X) around the host-side MPI exchange (Send X + Receive X).
+struct CommOnlyResult {
+  sim::Time per_iteration = 0;
+  /// Table II accounting, measured not asserted.
+  std::uint64_t offload_bytes_in = 0;
+  std::uint64_t offload_bytes_out = 0;
+  std::uint64_t mpi_bytes_sent = 0;
+  std::uint64_t mpi_bytes_received = 0;
+};
+
+/// Ranks on the co-processor (DCFA-MPI / 'Intel MPI on Xeon Phi' modes):
+/// non-blocking exchange of `bytes` per iteration, nothing else.
+CommOnlyResult comm_only_direct(mpi::RunConfig config, std::size_t bytes,
+                                int iters = 50, int warmup = 5);
+
+/// 'Intel MPI on Xeon + offload' mode, with all four of the paper's
+/// optimisations: offload init out of the loop, persistent card buffers,
+/// 4 KiB-aligned transfers, and double buffering that overlaps the
+/// offload_transfer with the host MPI exchange.
+CommOnlyResult comm_only_offload(mpi::RunConfig config, std::size_t bytes,
+                                 int iters = 50, int warmup = 5,
+                                 bool double_buffer = true);
+
+}  // namespace dcfa::apps

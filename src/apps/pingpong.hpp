@@ -1,0 +1,38 @@
+#pragma once
+
+#include "mpi/runtime.hpp"
+
+namespace dcfa::apps {
+
+/// Latency/bandwidth probe between ranks 0 and 1 (the measurement behind
+/// Figures 7, 8 and 9).
+struct PingPongResult {
+  sim::Time round_trip = 0;      ///< average RTT per iteration
+  double bandwidth_gbps = 0.0;   ///< bytes * 2 / RTT (paper's convention:
+                                 ///< "calculated using the round trip
+                                 ///< latency of MPI blocking communication")
+};
+
+/// Blocking ping-pong: rank 0 sends `bytes`, rank 1 echoes. `iters`
+/// measured iterations after `warmup` unmeasured ones.
+PingPongResult pingpong_blocking(mpi::RunConfig config, std::size_t bytes,
+                                 int iters = 20, int warmup = 3);
+
+/// Non-blocking exchange (MPI_Isend + MPI_Irecv + waitall both sides), the
+/// measurement of Figures 7/8. Reported time is per full exchange.
+PingPongResult pingpong_nonblocking(mpi::RunConfig config, std::size_t bytes,
+                                    int iters = 20, int warmup = 3);
+
+/// Raw InfiniBand RDMA-write ping-pong between two *verbs* endpoints with
+/// buffers placed in the given domains (Figure 5: host->host, host->phi,
+/// phi->host, phi->phi). No MPI involved.
+struct RawRdmaConfig {
+  mem::Domain src_domain = mem::Domain::HostDram;
+  mem::Domain dst_domain = mem::Domain::HostDram;
+  sim::Platform platform{};
+};
+PingPongResult raw_rdma_pingpong(const RawRdmaConfig& config,
+                                 std::size_t bytes, int iters = 20,
+                                 int warmup = 3);
+
+}  // namespace dcfa::apps

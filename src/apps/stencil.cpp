@@ -1,0 +1,239 @@
+#include "apps/stencil.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "compute/compute.hpp"
+
+namespace dcfa::apps {
+
+using mpi::RankCtx;
+
+const char* stencil_system_name(StencilSystem sys) {
+  switch (sys) {
+    case StencilSystem::DcfaPhi: return "DCFA-MPI";
+    case StencilSystem::IntelPhi: return "Intel MPI on Xeon Phi";
+    case StencilSystem::HostOffload: return "Intel MPI on Xeon + offload";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr int kTagUp = 11;    ///< halo travelling towards lower ranks
+constexpr int kTagDown = 12;  ///< halo travelling towards higher ranks
+
+double initial_value(int gi, int gj) {
+  return static_cast<double>((gi * 31 + gj * 17) % 97) / 97.0;
+}
+
+struct Partition {
+  int first_row;  ///< first owned interior row (global index)
+  int rows;       ///< owned interior rows
+};
+
+Partition partition(int n, int nprocs, int rank) {
+  const int interior = n - 2;
+  const int base = interior / nprocs;
+  const int extra = interior % nprocs;
+  Partition p;
+  p.rows = base + (rank < extra ? 1 : 0);
+  p.first_row = 1 + rank * base + std::min(rank, extra);
+  return p;
+}
+
+/// Initialise a local block of `rows`+2 ghost rows by `n` columns.
+void init_block(double* a, int n, const Partition& p) {
+  for (int li = 0; li < p.rows + 2; ++li) {
+    const int gi = p.first_row - 1 + li;
+    for (int j = 0; j < n; ++j) {
+      a[li * n + j] = initial_value(gi, j);
+    }
+  }
+}
+
+/// One Jacobi sweep over the owned rows: b = relax(a). Ghost rows of `a`
+/// must be current. Fixed global side columns are copied through.
+void sweep(const double* a, double* b, int n, int rows) {
+  for (int li = 1; li <= rows; ++li) {
+    b[li * n + 0] = a[li * n + 0];
+    b[li * n + (n - 1)] = a[li * n + (n - 1)];
+    for (int j = 1; j < n - 1; ++j) {
+      b[li * n + j] = 0.2 * (a[li * n + j] + a[(li - 1) * n + j] +
+                             a[(li + 1) * n + j] + a[li * n + j - 1] +
+                             a[li * n + j + 1]);
+    }
+  }
+}
+
+double block_sum(const double* a, int n, int rows) {
+  double s = 0;
+  for (int li = 1; li <= rows; ++li) {
+    for (int j = 0; j < n; ++j) s += a[li * n + j];
+  }
+  return s;
+}
+
+}  // namespace
+
+StencilResult run_stencil(StencilSystem sys, const StencilConfig& config) {
+  mpi::RunConfig rc;
+  rc.platform = config.platform;
+  rc.nprocs = config.nprocs;
+  switch (sys) {
+    case StencilSystem::DcfaPhi: rc.mode = mpi::MpiMode::DcfaPhi; break;
+    case StencilSystem::IntelPhi: rc.mode = mpi::MpiMode::IntelPhi; break;
+    case StencilSystem::HostOffload: rc.mode = mpi::MpiMode::HostMpi; break;
+  }
+
+  const int n = config.n;
+  const std::size_t row_bytes = static_cast<std::size_t>(n) * sizeof(double);
+  StencilResult result;
+  result.mpi_bytes = config.nprocs > 1 ? row_bytes : 0;
+  result.offload_bytes =
+      (sys == StencilSystem::HostOffload && config.nprocs > 1) ? 2 * row_bytes
+                                                               : 0;
+
+  mpi::run_mpi(rc, [&, n](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    const Partition p = partition(n, ctx.nprocs, ctx.rank);
+    const int rows = p.rows;
+    const std::size_t block_bytes =
+        static_cast<std::size_t>(rows + 2) * row_bytes;
+    const std::uint64_t points =
+        static_cast<std::uint64_t>(rows) * (n - 2);
+    const int up = ctx.rank > 0 ? ctx.rank - 1 : -1;
+    const int down = ctx.rank < ctx.nprocs - 1 ? ctx.rank + 1 : -1;
+
+    // Two card-resident planes (A: current, B: next).
+    const bool offload_mode = sys == StencilSystem::HostOffload;
+    mem::Buffer plane_a, plane_b;
+    offload::Engine* off = ctx.offload;
+    if (offload_mode) {
+      plane_a = off->alloc_card_buffer(block_bytes);
+      plane_b = off->alloc_card_buffer(block_bytes);
+    } else {
+      plane_a = comm.alloc(block_bytes, 4096);
+      plane_b = comm.alloc(block_bytes, 4096);
+    }
+    auto* a = reinterpret_cast<double*>(plane_a.data());
+    auto* b = reinterpret_cast<double*>(plane_b.data());
+    init_block(a, n, p);
+    init_block(b, n, p);
+
+    // Host staging for halos in offload mode ("only transfer necessary
+    // data" — everything else persists on the card).
+    mem::Buffer stage_up_out, stage_down_out, stage_up_in, stage_down_in;
+    if (offload_mode) {
+      stage_up_out = comm.alloc(row_bytes, 4096);
+      stage_down_out = comm.alloc(row_bytes, 4096);
+      stage_up_in = comm.alloc(row_bytes, 4096);
+      stage_down_in = comm.alloc(row_bytes, 4096);
+    }
+
+    // Which plane is current on the card (kernel swaps each iteration).
+    bool a_is_current = true;
+    auto cur = [&]() { return a_is_current ? plane_a : plane_b; };
+    auto curp = [&]() { return a_is_current ? a : b; };
+    auto nxtp = [&]() { return a_is_current ? b : a; };
+
+    const sim::Time compute_time = compute::parallel_time(
+        ctx.platform, compute::Cpu::Phi, points, config.threads);
+
+    comm.barrier();
+    const sim::Time start = ctx.proc.now();
+    for (int it = 0; it < config.iterations; ++it) {
+      // --- Halo exchange --------------------------------------------------
+      if (offload_mode) {
+        // Copy the boundary rows off the card, exchange on the host, push
+        // the fresh ghosts back down (Table II/III offloading data).
+        if (up >= 0) off->transfer_out(cur(), row_bytes, stage_up_out, 0,
+                                       row_bytes);
+        if (down >= 0) off->transfer_out(cur(), rows * row_bytes,
+                                         stage_down_out, 0, row_bytes);
+        std::vector<mpi::Request> reqs;
+        if (up >= 0) {
+          reqs.push_back(comm.irecv(stage_up_in, 0, row_bytes,
+                                    mpi::type_byte(), up, kTagDown));
+          reqs.push_back(comm.isend(stage_up_out, 0, row_bytes,
+                                    mpi::type_byte(), up, kTagUp));
+        }
+        if (down >= 0) {
+          reqs.push_back(comm.irecv(stage_down_in, 0, row_bytes,
+                                    mpi::type_byte(), down, kTagUp));
+          reqs.push_back(comm.isend(stage_down_out, 0, row_bytes,
+                                    mpi::type_byte(), down, kTagDown));
+        }
+        comm.waitall(reqs);
+        if (up >= 0) off->transfer_in(stage_up_in, 0, cur(), 0, row_bytes);
+        if (down >= 0) off->transfer_in(stage_down_in, 0, cur(),
+                                        (rows + 1) * row_bytes, row_bytes);
+      } else {
+        std::vector<mpi::Request> reqs;
+        if (up >= 0) {
+          reqs.push_back(comm.irecv(cur(), 0, row_bytes, mpi::type_byte(),
+                                    up, kTagDown));
+          reqs.push_back(comm.isend(cur(), row_bytes, row_bytes,
+                                    mpi::type_byte(), up, kTagUp));
+        }
+        if (down >= 0) {
+          reqs.push_back(comm.irecv(cur(), (rows + 1) * row_bytes, row_bytes,
+                                    mpi::type_byte(), down, kTagUp));
+          reqs.push_back(comm.isend(cur(), rows * row_bytes, row_bytes,
+                                    mpi::type_byte(), down, kTagDown));
+        }
+        comm.waitall(reqs);
+      }
+
+      // --- Compute ----------------------------------------------------------
+      if (offload_mode) {
+        off->run_region(config.threads, compute_time, [&] {
+          if (config.real_compute) sweep(curp(), nxtp(), n, rows);
+          a_is_current = !a_is_current;
+        });
+      } else {
+        ctx.proc.wait(compute_time);
+        if (config.real_compute) sweep(curp(), nxtp(), n, rows);
+        a_is_current = !a_is_current;
+      }
+    }
+    comm.barrier();
+    if (ctx.rank == 0) result.total = ctx.proc.now() - start;
+
+    // --- Checksum (untimed) ---------------------------------------------------
+    if (config.real_compute) {
+      double local = block_sum(curp(), n, rows);
+      mem::Buffer in = comm.alloc(sizeof(double));
+      mem::Buffer out = comm.alloc(sizeof(double));
+      std::memcpy(in.data(), &local, sizeof local);
+      comm.allreduce(in, 0, out, 0, 1, mpi::type_double(), mpi::Op::Sum);
+      if (ctx.rank == 0) {
+        std::memcpy(&result.checksum, out.data(), sizeof(double));
+      }
+      comm.free(in);
+      comm.free(out);
+    }
+
+    if (offload_mode) {
+      off->free_card_buffer(plane_a);
+      off->free_card_buffer(plane_b);
+      comm.free(stage_up_out);
+      comm.free(stage_down_out);
+      comm.free(stage_up_in);
+      comm.free(stage_down_in);
+    } else {
+      comm.free(plane_a);
+      comm.free(plane_b);
+    }
+  });
+  return result;
+}
+
+StencilResult run_stencil_serial(const StencilConfig& config) {
+  StencilConfig serial = config;
+  serial.nprocs = 1;
+  serial.threads = 1;
+  return run_stencil(StencilSystem::DcfaPhi, serial);
+}
+
+}  // namespace dcfa::apps

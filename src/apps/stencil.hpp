@@ -1,0 +1,47 @@
+#pragma once
+
+#include "mpi/runtime.hpp"
+
+namespace dcfa::apps {
+
+/// The five-point stencil of the paper's third experiment (Figures 11/12,
+/// Table III): a Jacobi sweep over an n x n grid of doubles, row-block
+/// decomposed across MPI processes, OpenMP-parallel within each process.
+/// The paper's instance: n = 1282 (12 MB of doubles), 100 iterations,
+/// 10 KB halo rows exchanged per iteration.
+enum class StencilSystem {
+  DcfaPhi,      ///< DCFA-MPI: compute and MPI both on the co-processor
+  IntelPhi,     ///< 'Intel MPI on Xeon Phi' mode: same placement, proxy comms
+  HostOffload,  ///< 'Intel MPI on Xeon + offload': host ranks, card compute,
+                ///< per-iteration halo copy-in/copy-out over PCIe
+};
+
+const char* stencil_system_name(StencilSystem sys);
+
+struct StencilConfig {
+  int n = 1282;          ///< grid edge (boundary included)
+  int iterations = 100;
+  int nprocs = 1;
+  int threads = 1;       ///< OpenMP team per process
+  /// Run the arithmetic for real (tests/examples) or only charge the
+  /// modelled time (benches — the timing does not depend on the values).
+  bool real_compute = true;
+  sim::Platform platform{};
+};
+
+struct StencilResult {
+  sim::Time total = 0;            ///< wall time of the iteration loop
+  double checksum = 0.0;          ///< sum over the final grid (real_compute)
+  std::uint64_t mpi_bytes = 0;    ///< Table III: MPI bytes sent per process
+                                  ///< per iteration (interior processes)
+  std::uint64_t offload_bytes = 0;///< Table III: bytes copied in+out per
+                                  ///< iteration (HostOffload only)
+};
+
+StencilResult run_stencil(StencilSystem sys, const StencilConfig& config);
+
+/// Serial (1 process, 1 thread, no MPI) reference on the co-processor —
+/// the denominator of Figure 12's speed-ups.
+StencilResult run_stencil_serial(const StencilConfig& config);
+
+}  // namespace dcfa::apps

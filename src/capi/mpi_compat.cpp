@@ -1,0 +1,661 @@
+#include "capi/mpi_compat.hpp"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace dcfa::capi {
+
+namespace {
+
+/// Per-rank ambient state. Each rank runs on its own simulated-process OS
+/// thread, so thread_local gives every rank its own "process globals".
+struct RankEnv {
+  mpi::RankCtx* ctx = nullptr;
+  bool initialized = false;
+  bool finalized = false;
+
+  /// Slot 0 = MPI_COMM_WORLD (borrowed from the ctx), slot 1 =
+  /// MPI_COMM_SELF (built lazily), others from dup/split.
+  std::vector<mpi::Communicator*> comms;
+  std::vector<std::unique_ptr<mpi::Communicator>> owned_comms;
+
+  /// Device allocations addressable through raw pointers.
+  std::map<const std::byte*, mem::Buffer> allocs;
+
+  /// Outstanding non-blocking operations.
+  std::vector<mpi::Request> requests;
+  std::vector<int> free_slots;
+};
+
+thread_local RankEnv* tls_env = nullptr;
+
+RankEnv& env() {
+  if (!tls_env || !tls_env->ctx) {
+    throw mpi::MpiError("MPI call outside dcfa::capi::run()");
+  }
+  return *tls_env;
+}
+
+mpi::Communicator* comm_of(MPI_Comm comm) {
+  RankEnv& e = env();
+  if (!e.initialized || e.finalized) return nullptr;
+  if (comm == MPI_COMM_SELF && e.comms[1] == nullptr) {
+    // Build the self communicator on first use.
+    auto self = std::make_unique<mpi::Communicator>(
+        e.ctx->world.engine(), /*id=*/0x5E1Fu,
+        std::vector<int>{e.ctx->world.engine().rank()}, 0);
+    e.comms[1] = self.get();
+    e.owned_comms.push_back(std::move(self));
+  }
+  if (comm < 0 || comm >= static_cast<MPI_Comm>(e.comms.size())) {
+    return nullptr;
+  }
+  return e.comms[comm];
+}
+
+std::size_t type_size(MPI_Datatype t) {
+  switch (t) {
+    case MPI_BYTE:
+    case MPI_CHAR: return 1;
+    case MPI_INT: return sizeof(int);
+    case MPI_FLOAT: return sizeof(float);
+    case MPI_DOUBLE: return sizeof(double);
+    case MPI_LONG_LONG: return sizeof(long long);
+  }
+  return 0;
+}
+
+const mpi::Datatype* type_of(MPI_Datatype t) {
+  switch (t) {
+    case MPI_BYTE:
+    case MPI_CHAR: return &mpi::type_byte();
+    case MPI_INT: return &mpi::type_int();
+    case MPI_FLOAT: return &mpi::type_float();
+    case MPI_DOUBLE: return &mpi::type_double();
+    case MPI_LONG_LONG: return &mpi::type_int64();
+  }
+  return nullptr;
+}
+
+bool op_of(MPI_Op op, mpi::Op* out) {
+  switch (op) {
+    case MPI_SUM: *out = mpi::Op::Sum; return true;
+    case MPI_PROD: *out = mpi::Op::Prod; return true;
+    case MPI_MAX: *out = mpi::Op::Max; return true;
+    case MPI_MIN: *out = mpi::Op::Min; return true;
+  }
+  return false;
+}
+
+/// Map a raw pointer into (device buffer, offset). The pointer must lie in
+/// a block from MPI_Alloc_mem.
+bool resolve(const void* ptr, std::size_t bytes, mem::Buffer* buf,
+             std::size_t* offset) {
+  RankEnv& e = env();
+  const auto* p = static_cast<const std::byte*>(ptr);
+  auto it = e.allocs.upper_bound(p);
+  if (it == e.allocs.begin()) return false;
+  --it;
+  const mem::Buffer& b = it->second;
+  if (p < b.data() || p + bytes > b.data() + b.size()) return false;
+  *buf = b;
+  *offset = static_cast<std::size_t>(p - b.data());
+  return true;
+}
+
+void fill_status(MPI_Status* status, const mpi::Status& st) {
+  if (!status) return;
+  status->MPI_SOURCE = st.source;
+  status->MPI_TAG = st.tag;
+  status->MPI_ERROR = MPI_SUCCESS;
+  status->count_bytes_ = st.bytes;
+}
+
+MPI_Request stash_request(mpi::Request req) {
+  RankEnv& e = env();
+  if (!e.free_slots.empty()) {
+    const int slot = e.free_slots.back();
+    e.free_slots.pop_back();
+    e.requests[slot] = std::move(req);
+    return slot;
+  }
+  e.requests.push_back(std::move(req));
+  return static_cast<MPI_Request>(e.requests.size()) - 1;
+}
+
+int classify(const mpi::MpiError& err) {
+  return std::string(err.what()).find("truncation") != std::string::npos
+             ? MPI_ERR_TRUNCATE
+             : MPI_ERR_OTHER;
+}
+
+/// Wrap a shim body: translate argument failures and engine errors into
+/// MPI error codes.
+template <typename Fn>
+int guarded(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const mpi::MpiError& e) {
+    return classify(e);
+  }
+}
+
+}  // namespace
+
+// --- Environment --------------------------------------------------------------
+
+int MPI_Init(int*, char***) {
+  RankEnv& e = env();
+  if (e.initialized) return MPI_ERR_OTHER;
+  e.initialized = true;
+  e.comms.assign(2, nullptr);
+  e.comms[0] = &e.ctx->world;
+  return MPI_SUCCESS;
+}
+
+int MPI_Finalize() {
+  RankEnv& e = env();
+  if (!e.initialized || e.finalized) return MPI_ERR_OTHER;
+  e.finalized = true;
+  // Release any remaining allocations (MRs and device memory).
+  for (auto& [ptr, buf] : e.allocs) {
+    e.ctx->world.free(buf);
+  }
+  e.allocs.clear();
+  e.owned_comms.clear();
+  return MPI_SUCCESS;
+}
+
+int MPI_Initialized(int* flag) {
+  *flag = tls_env && tls_env->initialized ? 1 : 0;
+  return MPI_SUCCESS;
+}
+
+int MPI_Abort(MPI_Comm, int errorcode) {
+  throw mpi::MpiError("MPI_Abort called with code " +
+                      std::to_string(errorcode));
+}
+
+double MPI_Wtime() { return env().ctx->world.wtime(); }
+
+int MPI_Alloc_mem(std::size_t size, void*, void* baseptr) {
+  return guarded([&]() -> int {
+    RankEnv& e = env();
+    mem::Buffer buf = e.ctx->world.alloc(std::max<std::size_t>(size, 1), 64);
+    e.allocs.emplace(buf.data(), buf);
+    *static_cast<void**>(baseptr) = buf.data();
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Free_mem(void* base) {
+  return guarded([&]() -> int {
+    RankEnv& e = env();
+    auto it = e.allocs.find(static_cast<const std::byte*>(base));
+    if (it == e.allocs.end()) return MPI_ERR_BUFFER;
+    e.ctx->world.free(it->second);
+    e.allocs.erase(it);
+    return MPI_SUCCESS;
+  });
+}
+
+// --- Communicators ---------------------------------------------------------------
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank) {
+  mpi::Communicator* c = comm_of(comm);
+  if (!c) return MPI_ERR_COMM;
+  *rank = c->rank();
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_size(MPI_Comm comm, int* size) {
+  mpi::Communicator* c = comm_of(comm);
+  if (!c) return MPI_ERR_COMM;
+  *size = c->size();
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    RankEnv& e = env();
+    auto dup = std::make_unique<mpi::Communicator>(c->dup());
+    e.comms.push_back(dup.get());
+    e.owned_comms.push_back(std::move(dup));
+    *newcomm = static_cast<MPI_Comm>(e.comms.size()) - 1;
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    RankEnv& e = env();
+    auto split = std::make_unique<mpi::Communicator>(c->split(color, key));
+    e.comms.push_back(split.get());
+    e.owned_comms.push_back(std::move(split));
+    *newcomm = static_cast<MPI_Comm>(e.comms.size()) - 1;
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Comm_free(MPI_Comm* comm) {
+  mpi::Communicator* c = comm_of(*comm);
+  if (!c || *comm <= MPI_COMM_SELF) return MPI_ERR_COMM;
+  env().comms[*comm] = nullptr;  // handle dangles; storage freed at finalize
+  *comm = MPI_COMM_NULL;
+  return MPI_SUCCESS;
+}
+
+// --- Point-to-point -----------------------------------------------------------------
+
+namespace {
+int do_send(const void* buf, int count, MPI_Datatype type, int dest, int tag,
+            MPI_Comm comm, bool sync) {
+  return guarded([&]() -> int {
+    if (dest == MPI_PROC_NULL) return MPI_SUCCESS;
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    const mpi::Datatype* t = type_of(type);
+    if (!t || count < 0) return MPI_ERR_TYPE;
+    mem::Buffer b;
+    std::size_t off = 0;
+    if (!resolve(buf, count * t->size(), &b, &off)) return MPI_ERR_BUFFER;
+    if (sync) {
+      c->ssend(b, off, count, *t, dest, tag);
+    } else {
+      c->send(b, off, count, *t, dest, tag);
+    }
+    return MPI_SUCCESS;
+  });
+}
+}  // namespace
+
+int MPI_Send(const void* buf, int count, MPI_Datatype type, int dest,
+             int tag, MPI_Comm comm) {
+  return do_send(buf, count, type, dest, tag, comm, false);
+}
+
+int MPI_Ssend(const void* buf, int count, MPI_Datatype type, int dest,
+              int tag, MPI_Comm comm) {
+  return do_send(buf, count, type, dest, tag, comm, true);
+}
+
+int MPI_Recv(void* buf, int count, MPI_Datatype type, int source, int tag,
+             MPI_Comm comm, MPI_Status* status) {
+  return guarded([&]() -> int {
+    if (source == MPI_PROC_NULL) {
+      if (status) {
+        status->MPI_SOURCE = MPI_PROC_NULL;
+        status->MPI_TAG = MPI_ANY_TAG;
+        status->count_bytes_ = 0;
+      }
+      return MPI_SUCCESS;
+    }
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    const mpi::Datatype* t = type_of(type);
+    if (!t || count < 0) return MPI_ERR_TYPE;
+    mem::Buffer b;
+    std::size_t off = 0;
+    if (!resolve(buf, count * t->size(), &b, &off)) return MPI_ERR_BUFFER;
+    fill_status(status, c->recv(b, off, count, *t, source, tag));
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Isend(const void* buf, int count, MPI_Datatype type, int dest,
+              int tag, MPI_Comm comm, MPI_Request* request) {
+  return guarded([&]() -> int {
+    if (dest == MPI_PROC_NULL) {
+      *request = MPI_REQUEST_NULL;
+      return MPI_SUCCESS;
+    }
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    const mpi::Datatype* t = type_of(type);
+    if (!t || count < 0) return MPI_ERR_TYPE;
+    mem::Buffer b;
+    std::size_t off = 0;
+    if (!resolve(buf, count * t->size(), &b, &off)) return MPI_ERR_BUFFER;
+    *request = stash_request(c->isend(b, off, count, *t, dest, tag));
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Irecv(void* buf, int count, MPI_Datatype type, int source, int tag,
+              MPI_Comm comm, MPI_Request* request) {
+  return guarded([&]() -> int {
+    if (source == MPI_PROC_NULL) {
+      *request = MPI_REQUEST_NULL;
+      return MPI_SUCCESS;
+    }
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    const mpi::Datatype* t = type_of(type);
+    if (!t || count < 0) return MPI_ERR_TYPE;
+    mem::Buffer b;
+    std::size_t off = 0;
+    if (!resolve(buf, count * t->size(), &b, &off)) return MPI_ERR_BUFFER;
+    *request = stash_request(c->irecv(b, off, count, *t, source, tag));
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Wait(MPI_Request* request, MPI_Status* status) {
+  return guarded([&]() -> int {
+    if (*request == MPI_REQUEST_NULL) return MPI_SUCCESS;
+    RankEnv& e = env();
+    if (*request < 0 ||
+        *request >= static_cast<MPI_Request>(e.requests.size())) {
+      return MPI_ERR_REQUEST;
+    }
+    mpi::Request& r = e.requests[*request];
+    fill_status(status, e.ctx->world.engine().wait(r));
+    e.free_slots.push_back(*request);
+    r = mpi::Request{};
+    *request = MPI_REQUEST_NULL;
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses) {
+  for (int i = 0; i < count; ++i) {
+    const int rc =
+        MPI_Wait(&requests[i], statuses ? &statuses[i] : MPI_STATUS_IGNORE);
+    if (rc != MPI_SUCCESS) return rc;
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status) {
+  return guarded([&]() -> int {
+    if (*request == MPI_REQUEST_NULL) {
+      *flag = 1;
+      return MPI_SUCCESS;
+    }
+    RankEnv& e = env();
+    if (*request < 0 ||
+        *request >= static_cast<MPI_Request>(e.requests.size())) {
+      return MPI_ERR_REQUEST;
+    }
+    mpi::Request& r = e.requests[*request];
+    if (!e.ctx->world.test(r)) {
+      *flag = 0;
+      return MPI_SUCCESS;
+    }
+    *flag = 1;
+    fill_status(status, r.status());
+    e.free_slots.push_back(*request);
+    r = mpi::Request{};
+    *request = MPI_REQUEST_NULL;
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    fill_status(status, c->probe(source, tag));
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag,
+               MPI_Status* status) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    auto st = c->iprobe(source, tag);
+    *flag = st.has_value() ? 1 : 0;
+    if (st) fill_status(status, *st);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                 int dest, int sendtag, void* recvbuf, int recvcount,
+                 MPI_Datatype recvtype, int source, int recvtag,
+                 MPI_Comm comm, MPI_Status* status) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    const mpi::Datatype* st = type_of(sendtype);
+    const mpi::Datatype* rt = type_of(recvtype);
+    if (!st || !rt) return MPI_ERR_TYPE;
+    mem::Buffer sb, rb;
+    std::size_t soff = 0, roff = 0;
+    if (!resolve(sendbuf, sendcount * st->size(), &sb, &soff) ||
+        !resolve(recvbuf, recvcount * rt->size(), &rb, &roff)) {
+      return MPI_ERR_BUFFER;
+    }
+    fill_status(status,
+                c->sendrecv(sb, soff, sendcount, *st, dest, sendtag, rb,
+                            roff, recvcount, *rt, source, recvtag));
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype type, int* count) {
+  const std::size_t es = type_size(type);
+  if (es == 0) return MPI_ERR_TYPE;
+  if (status->count_bytes_ % es != 0) return MPI_ERR_TYPE;
+  *count = static_cast<int>(status->count_bytes_ / es);
+  return MPI_SUCCESS;
+}
+
+// --- Collectives -----------------------------------------------------------------
+
+namespace {
+/// Resolve a (buf, count, type) triple or bail with MPI_ERR_*.
+int resolve3(const void* buf, int count, MPI_Datatype type, mem::Buffer* b,
+             std::size_t* off, const mpi::Datatype** t) {
+  *t = type_of(type);
+  if (!*t || count < 0) return MPI_ERR_TYPE;
+  if (!resolve(buf, count * (*t)->size(), b, off)) return MPI_ERR_BUFFER;
+  return MPI_SUCCESS;
+}
+}  // namespace
+
+int MPI_Barrier(MPI_Comm comm) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    c->barrier();
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Bcast(void* buffer, int count, MPI_Datatype type, int root,
+              MPI_Comm comm) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    mem::Buffer b;
+    std::size_t off;
+    const mpi::Datatype* t;
+    if (const int rc = resolve3(buffer, count, type, &b, &off, &t)) return rc;
+    c->bcast(b, off, count, *t, root);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Reduce(const void* sendbuf, void* recvbuf, int count,
+               MPI_Datatype type, MPI_Op op, int root, MPI_Comm comm) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    mpi::Op o;
+    if (!op_of(op, &o)) return MPI_ERR_OP;
+    mem::Buffer sb, rb;
+    std::size_t soff, roff;
+    const mpi::Datatype* t;
+    if (const int rc = resolve3(sendbuf, count, type, &sb, &soff, &t)) return rc;
+    if (c->rank() == root) {
+      if (const int rc = resolve3(recvbuf, count, type, &rb, &roff, &t)) return rc;
+    } else {
+      rb = sb;
+      roff = soff;  // unused at non-roots
+    }
+    c->reduce(sb, soff, rb, roff, count, *t, o, root);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count,
+                  MPI_Datatype type, MPI_Op op, MPI_Comm comm) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    mpi::Op o;
+    if (!op_of(op, &o)) return MPI_ERR_OP;
+    mem::Buffer sb, rb;
+    std::size_t soff, roff;
+    const mpi::Datatype* t;
+    if (const int rc = resolve3(sendbuf, count, type, &sb, &soff, &t)) return rc;
+    if (const int rc = resolve3(recvbuf, count, type, &rb, &roff, &t)) return rc;
+    c->allreduce(sb, soff, rb, roff, count, *t, o);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+               void* recvbuf, int recvcount, MPI_Datatype recvtype, int root,
+               MPI_Comm comm) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    mem::Buffer sb, rb;
+    std::size_t soff, roff = 0;
+    const mpi::Datatype* st;
+    const mpi::Datatype* rt = type_of(recvtype);
+    if (const int rc = resolve3(sendbuf, sendcount, sendtype, &sb, &soff, &st)) {
+      return rc;
+    }
+    if (c->rank() == root) {
+      if (!rt || !resolve(recvbuf, c->size() * recvcount * rt->size(), &rb,
+                          &roff)) {
+        return MPI_ERR_BUFFER;
+      }
+    } else {
+      rb = sb;
+    }
+    c->gather(sb, soff, sendcount, *st, rb, roff, root);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                int root, MPI_Comm comm) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    mem::Buffer sb, rb;
+    std::size_t soff = 0, roff;
+    const mpi::Datatype* rt;
+    const mpi::Datatype* st = type_of(sendtype);
+    if (const int rc = resolve3(recvbuf, recvcount, recvtype, &rb, &roff, &rt)) {
+      return rc;
+    }
+    if (c->rank() == root) {
+      if (!st || !resolve(sendbuf, c->size() * sendcount * st->size(), &sb,
+                          &soff)) {
+        return MPI_ERR_BUFFER;
+      }
+    } else {
+      sb = rb;
+    }
+    c->scatter(sb, soff, sendcount, *rt, rb, roff, root);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                  void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                  MPI_Comm comm) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    (void)recvcount;
+    mem::Buffer sb, rb;
+    std::size_t soff, roff = 0;
+    const mpi::Datatype* st;
+    const mpi::Datatype* rt = type_of(recvtype);
+    if (const int rc = resolve3(sendbuf, sendcount, sendtype, &sb, &soff, &st)) {
+      return rc;
+    }
+    if (!rt ||
+        !resolve(recvbuf, c->size() * sendcount * rt->size(), &rb, &roff)) {
+      return MPI_ERR_BUFFER;
+    }
+    c->allgather(sb, soff, sendcount, *st, rb, roff);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                 void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                 MPI_Comm comm) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    (void)recvcount;
+    (void)recvtype;
+    mem::Buffer sb, rb;
+    std::size_t soff = 0, roff = 0;
+    const mpi::Datatype* st = type_of(sendtype);
+    if (!st) return MPI_ERR_TYPE;
+    if (!resolve(sendbuf, c->size() * sendcount * st->size(), &sb, &soff) ||
+        !resolve(recvbuf, c->size() * sendcount * st->size(), &rb, &roff)) {
+      return MPI_ERR_BUFFER;
+    }
+    c->alltoall(sb, soff, sendcount, *st, rb, roff);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Scan(const void* sendbuf, void* recvbuf, int count,
+             MPI_Datatype type, MPI_Op op, MPI_Comm comm) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    mpi::Op o;
+    if (!op_of(op, &o)) return MPI_ERR_OP;
+    mem::Buffer sb, rb;
+    std::size_t soff, roff;
+    const mpi::Datatype* t;
+    if (const int rc = resolve3(sendbuf, count, type, &sb, &soff, &t)) return rc;
+    if (const int rc = resolve3(recvbuf, count, type, &rb, &roff, &t)) return rc;
+    c->scan(sb, soff, rb, roff, count, *t, o);
+    return MPI_SUCCESS;
+  });
+}
+
+// --- Launcher -----------------------------------------------------------------------
+
+sim::Time run(mpi::RunConfig config, int (*rank_main)(int, char**), int argc,
+              char** argv) {
+  return mpi::run_mpi(std::move(config), [&](mpi::RankCtx& ctx) {
+    RankEnv local;
+    local.ctx = &ctx;
+    tls_env = &local;
+    const int rc = rank_main(argc, argv);
+    if (rc != 0) {
+      tls_env = nullptr;
+      throw mpi::MpiError("rank main returned " + std::to_string(rc));
+    }
+    if (local.initialized && !local.finalized) {
+      tls_env = nullptr;
+      throw mpi::MpiError("rank main returned without MPI_Finalize");
+    }
+    tls_env = nullptr;
+  });
+}
+
+}  // namespace dcfa::capi

@@ -1,0 +1,158 @@
+#pragma once
+
+// Classic MPI C API over DCFA-MPI.
+//
+// The paper's portability argument — "the MPI applications running on the
+// host could be easily moved to co-processors" — presumes programs written
+// against the familiar MPI C interface. This shim provides that surface:
+// MPI_Init/MPI_Send/MPI_Allreduce/... with MPI_COMM_WORLD, wildcards,
+// MPI_Status and error codes, so paper-era C-style programs port with two
+// mechanical changes:
+//
+//  1. memory that MPI touches comes from MPI_Alloc_mem (the simulator needs
+//     to know which device memory a pointer lives in), and
+//  2. the program's `main` is handed to dcfa::capi::run(), which plays the
+//     mpirun/mcexec role and executes it once per rank.
+//
+// Every rank runs on its own simulated process (OS thread), so the ambient
+// "current rank" state is thread_local — the same trick real MPI plays with
+// per-process globals.
+//
+// Unsupported corners fail loudly with MPI_ERR_* codes or exceptions; see
+// tests/test_capi.cpp for the covered surface.
+
+#include <cstddef>
+
+#include "mpi/runtime.hpp"
+
+namespace dcfa::capi {
+
+// --- Handles and constants ---------------------------------------------------
+
+using MPI_Comm = int;
+constexpr MPI_Comm MPI_COMM_NULL = -1;
+constexpr MPI_Comm MPI_COMM_WORLD = 0;
+constexpr MPI_Comm MPI_COMM_SELF = 1;
+
+using MPI_Datatype = int;
+constexpr MPI_Datatype MPI_BYTE = 0;
+constexpr MPI_Datatype MPI_CHAR = 1;
+constexpr MPI_Datatype MPI_INT = 2;
+constexpr MPI_Datatype MPI_FLOAT = 3;
+constexpr MPI_Datatype MPI_DOUBLE = 4;
+constexpr MPI_Datatype MPI_LONG_LONG = 5;
+
+using MPI_Op = int;
+constexpr MPI_Op MPI_SUM = 0;
+constexpr MPI_Op MPI_PROD = 1;
+constexpr MPI_Op MPI_MAX = 2;
+constexpr MPI_Op MPI_MIN = 3;
+
+constexpr int MPI_ANY_SOURCE = mpi::kAnySource;
+constexpr int MPI_ANY_TAG = mpi::kAnyTag;
+constexpr int MPI_PROC_NULL = -3;
+
+struct MPI_Status {
+  int MPI_SOURCE = MPI_ANY_SOURCE;
+  int MPI_TAG = MPI_ANY_TAG;
+  int MPI_ERROR = 0;
+  std::size_t count_bytes_ = 0;  // internal, read via MPI_Get_count
+};
+inline MPI_Status* const MPI_STATUS_IGNORE = nullptr;
+inline MPI_Status* const MPI_STATUSES_IGNORE = nullptr;
+
+using MPI_Request = int;
+constexpr MPI_Request MPI_REQUEST_NULL = -1;
+
+enum : int {
+  MPI_SUCCESS = 0,
+  MPI_ERR_COMM = 1,
+  MPI_ERR_TYPE = 2,
+  MPI_ERR_OP = 3,
+  MPI_ERR_RANK = 4,
+  MPI_ERR_TAG = 5,
+  MPI_ERR_BUFFER = 6,
+  MPI_ERR_REQUEST = 7,
+  MPI_ERR_TRUNCATE = 8,
+  MPI_ERR_OTHER = 9,
+};
+
+// --- Environment --------------------------------------------------------------
+
+int MPI_Init(int* argc, char*** argv);
+int MPI_Finalize();
+int MPI_Initialized(int* flag);
+int MPI_Abort(MPI_Comm comm, int errorcode);
+double MPI_Wtime();
+
+/// Allocate device memory MPI calls may reference. All buffers passed to
+/// communication calls must come from here (or lie inside such a block).
+int MPI_Alloc_mem(std::size_t size, void* info_ignored, void* baseptr);
+int MPI_Free_mem(void* base);
+
+// --- Communicators -------------------------------------------------------------
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank);
+int MPI_Comm_size(MPI_Comm comm, int* size);
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm);
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm);
+int MPI_Comm_free(MPI_Comm* comm);
+
+// --- Point-to-point --------------------------------------------------------------
+
+int MPI_Send(const void* buf, int count, MPI_Datatype type, int dest,
+             int tag, MPI_Comm comm);
+int MPI_Ssend(const void* buf, int count, MPI_Datatype type, int dest,
+              int tag, MPI_Comm comm);
+int MPI_Recv(void* buf, int count, MPI_Datatype type, int source, int tag,
+             MPI_Comm comm, MPI_Status* status);
+int MPI_Isend(const void* buf, int count, MPI_Datatype type, int dest,
+              int tag, MPI_Comm comm, MPI_Request* request);
+int MPI_Irecv(void* buf, int count, MPI_Datatype type, int source, int tag,
+              MPI_Comm comm, MPI_Request* request);
+int MPI_Wait(MPI_Request* request, MPI_Status* status);
+int MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses);
+int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status);
+int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status);
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag,
+               MPI_Status* status);
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                 int dest, int sendtag, void* recvbuf, int recvcount,
+                 MPI_Datatype recvtype, int source, int recvtag,
+                 MPI_Comm comm, MPI_Status* status);
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype type, int* count);
+
+// --- Collectives ------------------------------------------------------------------
+
+int MPI_Barrier(MPI_Comm comm);
+int MPI_Bcast(void* buffer, int count, MPI_Datatype type, int root,
+              MPI_Comm comm);
+int MPI_Reduce(const void* sendbuf, void* recvbuf, int count,
+               MPI_Datatype type, MPI_Op op, int root, MPI_Comm comm);
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count,
+                  MPI_Datatype type, MPI_Op op, MPI_Comm comm);
+int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+               void* recvbuf, int recvcount, MPI_Datatype recvtype, int root,
+               MPI_Comm comm);
+int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                int root, MPI_Comm comm);
+int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                  void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                  MPI_Comm comm);
+int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                 void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                 MPI_Comm comm);
+int MPI_Scan(const void* sendbuf, void* recvbuf, int count,
+             MPI_Datatype type, MPI_Op op, MPI_Comm comm);
+
+// --- Launcher ----------------------------------------------------------------------
+
+/// The mpirun/mcexec role: build the simulated cluster, run `rank_main`
+/// once per rank (each on its own simulated Phi/host process), return the
+/// virtual time the job took. `rank_main` must call MPI_Init and
+/// MPI_Finalize like any MPI program.
+sim::Time run(mpi::RunConfig config, int (*rank_main)(int, char**),
+              int argc = 0, char** argv = nullptr);
+
+}  // namespace dcfa::capi

@@ -1,0 +1,41 @@
+#include "compute/compute.hpp"
+
+#include <stdexcept>
+
+namespace dcfa::compute {
+
+namespace {
+double efficiency(double alpha, int threads) {
+  return 1.0 / (1.0 + alpha * (threads - 1));
+}
+}  // namespace
+
+sim::Time serial_time(const sim::Platform& p, Cpu cpu, std::uint64_t points) {
+  const sim::Time per_point =
+      cpu == Cpu::Phi ? p.phi_point_time : p.host_point_time;
+  return per_point * static_cast<sim::Time>(points);
+}
+
+sim::Time parallel_time(const sim::Platform& p, Cpu cpu, std::uint64_t points,
+                        int threads) {
+  if (threads <= 0) throw std::invalid_argument("parallel_time: threads <= 0");
+  if (threads == 1) return serial_time(p, cpu, points);
+  const double alpha =
+      cpu == Cpu::Phi ? p.phi_thread_alpha : p.host_thread_alpha;
+  const double speedup = threads * efficiency(alpha, threads);
+  const sim::Time fork =
+      p.omp_fork_base + p.omp_fork_per_thread * static_cast<sim::Time>(threads);
+  const auto work = static_cast<sim::Time>(
+      static_cast<double>(serial_time(p, cpu, points)) / speedup);
+  return fork + work;
+}
+
+void parallel_for(sim::Process& proc, const sim::Platform& p, Cpu cpu,
+                  std::uint64_t n, int threads,
+                  const std::function<void(std::uint64_t, std::uint64_t)>&
+                      body) {
+  proc.wait(parallel_time(p, cpu, n, threads));
+  if (body) body(0, n);
+}
+
+}  // namespace dcfa::compute

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/platform.hpp"
+#include "sim/process.hpp"
+
+namespace dcfa::compute {
+
+/// Where a kernel executes — picks the per-point cost and thread-scaling
+/// curve from the Platform.
+enum class Cpu { Host, Phi };
+
+/// Modelled wall time for `points` units of stencil-like work on an OpenMP
+/// team of `threads`:
+///   t = fork(T) + points * t_point / (T * e(T)),   e(T) = 1/(1+alpha(T-1)).
+/// The efficiency roll-off stands in for shared memory bandwidth on the
+/// card; alpha is calibrated so the paper's 8 procs x 56 threads stencil
+/// reaches its reported 117x overall speed-up.
+sim::Time parallel_time(const sim::Platform& p, Cpu cpu, std::uint64_t points,
+                        int threads);
+
+/// Serial time (no fork cost): `points * t_point`.
+sim::Time serial_time(const sim::Platform& p, Cpu cpu, std::uint64_t points);
+
+/// OpenMP-team facade: charges the modelled parallel time on `proc`, then
+/// executes `body(begin, end)` over [0, n) for real (serially — the sim is
+/// cooperative; virtual time already accounts for the parallelism). Pass an
+/// empty body to model compute without touching data (fast bench mode).
+void parallel_for(sim::Process& proc, const sim::Platform& p, Cpu cpu,
+                  std::uint64_t n, int threads,
+                  const std::function<void(std::uint64_t, std::uint64_t)>&
+                      body = {});
+
+}  // namespace dcfa::compute

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <variant>
+
+#include "dcfa/host_compute.hpp"
+#include "ib/hca.hpp"
+#include "scif/scif.hpp"
+
+namespace dcfa::core {
+
+/// DCFA command opcodes — the requests a Xeon Phi user-space program must
+/// offload to the host because a PCIe device cannot configure the HCA
+/// itself (Section IV-B1, "DCFA CMD server / client").
+enum class CmdOp : std::uint32_t {
+  AllocPd,
+  RegMr,          ///< params: pd handle, phys addr, length, access
+  DeregMr,        ///< params: mr handle
+  CreateCq,       ///< params: capacity
+  CreateQp,       ///< params: pd, send cq, recv cq handles
+  ConnectQp,      ///< params: qp handle, remote lid, remote qpn
+  RegOffloadMr,   ///< params: size -> host shadow buffer + MR
+  DeregOffloadMr, ///< params: offload handle
+  // --- DCFA-MPI CMD ops (the paper's future work, Section VI): heavy MPI
+  // functions executed by the host CPU on shadow buffers. ---
+  ReduceShadow,   ///< params: addr_a, addr_b (host), count, kind, fn
+  PackShadow,     ///< params: src addr, count, extent, blocks[] -> packed
+                  ///< host buffer + MR (an offload region holding the
+                  ///< densely packed data)
+};
+
+enum class CmdStatus : std::uint32_t { Ok, BadHandle, BadArgument, Failed };
+
+struct CmdHeader {
+  CmdOp op;
+  std::uint64_t req_id;
+};
+
+struct RespHeader {
+  std::uint64_t req_id;
+  CmdStatus status;
+};
+
+/// A handle published by the host delegation process ("a hash key for later
+/// reuse" in the paper's words).
+using Handle = std::uint64_t;
+
+/// Reply payload of RegOffloadMr: where the host shadow buffer lives and the
+/// keys to send from it.
+struct OffloadMrInfo {
+  Handle handle = 0;
+  mem::SimAddr host_addr = 0;
+  std::size_t size = 0;
+  ib::MKey lkey = 0;
+  ib::MKey rkey = 0;
+};
+
+/// The DCFA CMD server: an extension of the host delegation process (mcexec)
+/// that receives offloaded InfiniBand requests from one Phi client, executes
+/// the corresponding host verbs, stores every created object in a hash
+/// table, and replies with its handle.
+///
+/// Event-driven: it subscribes to the SCIF channel rather than burning a
+/// simulated core, and serialises request handling through a Resource so
+/// back-to-back commands queue like they would on the real single delegation
+/// thread.
+class HostDelegate {
+ public:
+  HostDelegate(scif::Channel& channel, ib::Hca& hca, mem::NodeMemory& memory);
+  ~HostDelegate();
+
+  HostDelegate(const HostDelegate&) = delete;
+  HostDelegate& operator=(const HostDelegate&) = delete;
+
+  /// Objects created on behalf of the client (for tests/stats).
+  std::size_t table_size() const { return objects_.size(); }
+  std::uint64_t requests_served() const { return served_; }
+
+  /// Host-side lookup used by the Phi client after a reply: the simulated
+  /// equivalent of the mmap'ed structures the host shares back.
+  ib::ProtectionDomain* pd(Handle h);
+  ib::MemoryRegion* mr(Handle h);
+  ib::CompletionQueue* cq(Handle h);
+  ib::QueuePair* qp(Handle h);
+
+ private:
+  struct OffloadEntry {
+    mem::Buffer shadow;
+    ib::MemoryRegion* mr;
+  };
+  using Object = std::variant<ib::ProtectionDomain*, ib::MemoryRegion*,
+                              ib::CompletionQueue*, ib::QueuePair*,
+                              OffloadEntry>;
+
+  void service();
+  void handle(std::vector<std::byte> msg);
+  void reply(std::uint64_t req_id, CmdStatus status, scif::Writer payload,
+             sim::Time service_time);
+
+  scif::Channel& channel_;
+  ib::Hca& hca_;
+  mem::NodeMemory& memory_;
+  const sim::Platform& platform_;
+  sim::Resource busy_;
+  ib::ProtectionDomain* delegate_pd_ = nullptr;  // PD for offload shadows
+
+  Handle next_handle_ = 1;
+  std::map<Handle, Object> objects_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace dcfa::core

@@ -1,0 +1,92 @@
+#pragma once
+
+// Element-wise kernels shared between the host delegation process and the
+// MPI layer. The paper's future-work section plans to offload "some heavy
+// functions, such as collective communication and communication using user
+// defined data types" to the host CPU (Section VI, and the DCFA-MPI CMD
+// server/client components of Figure 3); these are the kernels that
+// delegation executes. Kept free of MPI types so dcfa::core stays below
+// dcfa::mpi in the layering.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+
+namespace dcfa::core {
+
+/// Arithmetic element kinds understood by the delegated kernels.
+enum class ElemKind : std::uint32_t { Int32, Int64, Float, Double };
+
+inline std::size_t elem_size(ElemKind kind) {
+  switch (kind) {
+    case ElemKind::Int32: return sizeof(std::int32_t);
+    case ElemKind::Int64: return sizeof(std::int64_t);
+    case ElemKind::Float: return sizeof(float);
+    case ElemKind::Double: return sizeof(double);
+  }
+  throw std::invalid_argument("elem_size: unknown kind");
+}
+
+/// Reduction functions (match mpi::Op semantics).
+enum class ReduceFn : std::uint32_t { Sum, Prod, Max, Min };
+
+namespace detail {
+template <typename T>
+void reduce_typed(ReduceFn fn, std::byte* a_raw, const std::byte* b_raw,
+                  std::size_t count) {
+  auto* a = reinterpret_cast<T*>(a_raw);
+  auto* b = reinterpret_cast<const T*>(b_raw);
+  for (std::size_t i = 0; i < count; ++i) {
+    switch (fn) {
+      case ReduceFn::Sum: a[i] = a[i] + b[i]; break;
+      case ReduceFn::Prod: a[i] = a[i] * b[i]; break;
+      case ReduceFn::Max: a[i] = b[i] > a[i] ? b[i] : a[i]; break;
+      case ReduceFn::Min: a[i] = b[i] < a[i] ? b[i] : a[i]; break;
+    }
+  }
+}
+}  // namespace detail
+
+/// a[i] = a[i] FN b[i] for `count` elements of `kind`.
+inline void apply_reduce(ElemKind kind, ReduceFn fn, std::byte* a,
+                         const std::byte* b, std::size_t count) {
+  switch (kind) {
+    case ElemKind::Int32:
+      detail::reduce_typed<std::int32_t>(fn, a, b, count);
+      return;
+    case ElemKind::Int64:
+      detail::reduce_typed<std::int64_t>(fn, a, b, count);
+      return;
+    case ElemKind::Float:
+      detail::reduce_typed<float>(fn, a, b, count);
+      return;
+    case ElemKind::Double:
+      detail::reduce_typed<double>(fn, a, b, count);
+      return;
+  }
+  throw std::invalid_argument("apply_reduce: unknown kind");
+}
+
+/// One contiguous run within a strided element layout (wire format of the
+/// delegated pack kernel; mirrors mpi::Datatype's internal blocks).
+struct PackBlock {
+  std::uint64_t offset;  ///< byte offset within one element extent
+  std::uint64_t length;  ///< contiguous bytes
+};
+
+/// Pack `count` elements laid out as `blocks` within `extent`-byte strides
+/// from `src` into the dense buffer `dst`.
+inline void pack_strided(const std::byte* src, std::byte* dst,
+                         std::size_t count, std::size_t extent,
+                         const PackBlock* blocks, std::size_t nblocks) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::byte* base = src + i * extent;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      std::memcpy(dst, base + blocks[b].offset, blocks[b].length);
+      dst += blocks[b].length;
+    }
+  }
+}
+
+}  // namespace dcfa::core

@@ -1,0 +1,244 @@
+#include "dcfa/phi_verbs.hpp"
+
+#include <stdexcept>
+
+#include "sim/log.hpp"
+
+namespace dcfa::core {
+
+PhiVerbs::PhiVerbs(sim::Process& proc, ib::Fabric& fabric,
+                   mem::NodeMemory& memory, scif::Channel& channel)
+    : proc_(proc),
+      fabric_(fabric),
+      memory_(memory),
+      channel_(channel),
+      hca_(fabric.hca_for_node(memory.node())),
+      platform_(fabric.platform()) {}
+
+scif::Reader PhiVerbs::cmd_call(
+    CmdOp op, const std::function<void(scif::Writer&)>& params) {
+  const std::uint64_t req_id = next_req_id_++;
+  scif::Writer w;
+  w.put(CmdHeader{op, req_id});
+  if (params) params(w);
+
+  // Syscall into the micro-kernel (parameter marshalling, address
+  // translation), then the CMD client ships the request host-wards.
+  proc_.wait(platform_.dcfa_cmd_client_overhead);
+  channel_.send(proc_, scif::Channel::Side::Phi, w.bytes());
+
+  last_reply_ = channel_.recv(proc_, scif::Channel::Side::Phi);
+  scif::Reader r(last_reply_);
+  const auto resp = r.get<RespHeader>();
+  if (resp.req_id != req_id) {
+    throw std::logic_error("DCFA CMD: out-of-order reply");
+  }
+  if (resp.status != CmdStatus::Ok) {
+    throw std::runtime_error("DCFA CMD: host delegation failed (op " +
+                             std::to_string(static_cast<int>(op)) + ")");
+  }
+  return r;
+}
+
+ib::ProtectionDomain* PhiVerbs::alloc_pd() {
+  auto r = cmd_call(CmdOp::AllocPd);
+  const auto handle = r.get<Handle>();
+  auto* pd = reinterpret_cast<ib::ProtectionDomain*>(r.get<std::uintptr_t>());
+  handles_[pd] = handle;
+  return pd;
+}
+
+ib::MemoryRegion* PhiVerbs::reg_mr(ib::ProtectionDomain* pd,
+                                   const mem::Buffer& buf, unsigned access) {
+  auto it = handles_.find(pd);
+  if (it == handles_.end()) throw std::invalid_argument("reg_mr: foreign PD");
+  const Handle pd_h = it->second;
+  // The CMD client translates the user buffer's virtual address to physical
+  // pages before shipping the request (Section IV-B1); that walk is the
+  // per-page client cost.
+  const std::size_t pages =
+      (buf.size() + mem::AddressSpace::kPage - 1) / mem::AddressSpace::kPage;
+  proc_.wait(platform_.phi_reg_mr_per_page * static_cast<sim::Time>(pages));
+
+  auto r = cmd_call(CmdOp::RegMr, [&](scif::Writer& w) {
+    w.put(pd_h)
+        .put(buf.addr())
+        .put(static_cast<std::uint64_t>(buf.size()))
+        .put(static_cast<std::uint32_t>(access));
+  });
+  const auto handle = r.get<Handle>();
+  (void)r.get<ib::MKey>();  // lkey (embedded in the returned object)
+  (void)r.get<ib::MKey>();  // rkey
+  auto* mr = reinterpret_cast<ib::MemoryRegion*>(r.get<std::uintptr_t>());
+  handles_[mr] = handle;
+  return mr;
+}
+
+void PhiVerbs::dereg_mr(ib::MemoryRegion* mr) {
+  auto it = handles_.find(mr);
+  if (it == handles_.end()) throw std::invalid_argument("dereg_mr: foreign MR");
+  const Handle h = it->second;
+  cmd_call(CmdOp::DeregMr, [&](scif::Writer& w) { w.put(h); });
+  handles_.erase(it);
+}
+
+ib::CompletionQueue* PhiVerbs::create_cq(int capacity) {
+  auto r = cmd_call(CmdOp::CreateCq, [&](scif::Writer& w) {
+    w.put(static_cast<std::int32_t>(capacity));
+  });
+  const auto handle = r.get<Handle>();
+  auto* cq = reinterpret_cast<ib::CompletionQueue*>(r.get<std::uintptr_t>());
+  handles_[cq] = handle;
+  return cq;
+}
+
+ib::QueuePair* PhiVerbs::create_qp(ib::ProtectionDomain* pd,
+                                   ib::CompletionQueue* send_cq,
+                                   ib::CompletionQueue* recv_cq) {
+  auto pd_it = handles_.find(pd);
+  auto s_it = handles_.find(send_cq);
+  auto r_it = handles_.find(recv_cq);
+  if (pd_it == handles_.end() || s_it == handles_.end() ||
+      r_it == handles_.end()) {
+    throw std::invalid_argument("create_qp: foreign object");
+  }
+  auto r = cmd_call(CmdOp::CreateQp, [&](scif::Writer& w) {
+    w.put(pd_it->second).put(s_it->second).put(r_it->second);
+  });
+  const auto handle = r.get<Handle>();
+  (void)r.get<ib::Qpn>();
+  (void)r.get<ib::Lid>();
+  auto* qp = reinterpret_cast<ib::QueuePair*>(r.get<std::uintptr_t>());
+  handles_[qp] = handle;
+  return qp;
+}
+
+void PhiVerbs::connect(ib::QueuePair* qp, verbs::QpAddress remote) {
+  auto it = handles_.find(qp);
+  if (it == handles_.end()) throw std::invalid_argument("connect: foreign QP");
+  const Handle h = it->second;
+  cmd_call(CmdOp::ConnectQp, [&](scif::Writer& w) {
+    w.put(h).put(remote.lid).put(remote.qpn);
+  });
+}
+
+verbs::QpAddress PhiVerbs::address(ib::QueuePair* qp) {
+  return verbs::QpAddress{hca_.lid(), qp->qpn()};
+}
+
+void PhiVerbs::post_send(ib::QueuePair* qp, ib::SendWr wr) {
+  // Direct doorbell from the card — no host involvement. A 1 GHz in-order
+  // core builds the WQE noticeably slower than a Xeon.
+  proc_.wait(platform_.phi_post_overhead);
+  hca_.post_send(qp, std::move(wr));
+}
+
+void PhiVerbs::post_recv(ib::QueuePair* qp, ib::RecvWr wr) {
+  proc_.wait(platform_.phi_post_overhead);
+  hca_.post_recv(qp, std::move(wr));
+}
+
+int PhiVerbs::poll_cq(ib::CompletionQueue* cq, int max, ib::Wc* out) {
+  int n = cq->poll(max, out);
+  if (n > 0) proc_.wait(platform_.phi_poll_overhead);
+  return n;
+}
+
+void PhiVerbs::wait_cq(ib::CompletionQueue* cq) {
+  if (cq->depth() > 0) return;
+  proc_.wait_on(cq->arrival());
+}
+
+mem::Buffer PhiVerbs::alloc_buffer(std::size_t size, std::size_t align) {
+  return memory_.alloc(mem::Domain::PhiGddr, size, align);
+}
+
+void PhiVerbs::free_buffer(const mem::Buffer& buf) {
+  memory_.space(buf.domain()).free(buf);
+}
+
+void PhiVerbs::charge_memcpy(std::size_t bytes) {
+  proc_.wait(sim::transfer_time(bytes, platform_.phi_memcpy_gbps));
+}
+
+OffloadRegion PhiVerbs::reg_offload_mr(ib::ProtectionDomain* pd,
+                                       std::size_t size) {
+  Handle pd_h = 0;
+  if (pd) {
+    auto it = handles_.find(pd);
+    if (it == handles_.end()) {
+      throw std::invalid_argument("reg_offload_mr: foreign PD");
+    }
+    pd_h = it->second;
+  }
+  auto r = cmd_call(CmdOp::RegOffloadMr, [&](scif::Writer& w) {
+    w.put(pd_h).put(static_cast<std::uint64_t>(size));
+  });
+  const auto info = r.get<OffloadMrInfo>();
+  return OffloadRegion{info.handle, info.host_addr, info.size, info.lkey,
+                       info.rkey};
+}
+
+void PhiVerbs::sync_offload_mr(const OffloadRegion& region,
+                               const mem::Buffer& src, std::size_t offset,
+                               std::size_t len) {
+  if (offset + len > region.size) {
+    throw std::out_of_range("sync_offload_mr: window escapes shadow");
+  }
+  channel_.pcie().dma(proc_, src.domain(), src.addr() + offset,
+                      mem::Domain::HostDram, region.host_addr + offset, len);
+}
+
+sim::Time PhiVerbs::sync_offload_mr_async(const OffloadRegion& region,
+                                          mem::SimAddr src_addr,
+                                          std::size_t offset, std::size_t len,
+                                          std::function<void()> on_done) {
+  if (offset + len > region.size) {
+    throw std::out_of_range("sync_offload_mr_async: window escapes shadow");
+  }
+  return channel_.pcie().dma_async(mem::Domain::PhiGddr, src_addr,
+                                   mem::Domain::HostDram,
+                                   region.host_addr + offset, len,
+                                   std::move(on_done));
+}
+
+void PhiVerbs::reduce_shadow(mem::SimAddr a, mem::SimAddr b,
+                             std::size_t count, ElemKind kind, ReduceFn fn) {
+  cmd_call(CmdOp::ReduceShadow, [&](scif::Writer& w) {
+    w.put(a).put(b).put(static_cast<std::uint64_t>(count)).put(kind).put(fn);
+  });
+}
+
+OffloadRegion PhiVerbs::pack_shadow(ib::ProtectionDomain* pd,
+                                    mem::SimAddr src_addr, std::size_t count,
+                                    std::size_t extent,
+                                    std::size_t packed_bytes,
+                                    const std::vector<PackBlock>& blocks) {
+  Handle pd_h = 0;
+  if (pd) {
+    auto it = handles_.find(pd);
+    if (it == handles_.end()) {
+      throw std::invalid_argument("pack_shadow: foreign PD");
+    }
+    pd_h = it->second;
+  }
+  auto r = cmd_call(CmdOp::PackShadow, [&](scif::Writer& w) {
+    w.put(pd_h)
+        .put(src_addr)
+        .put(static_cast<std::uint64_t>(count))
+        .put(static_cast<std::uint64_t>(extent))
+        .put(static_cast<std::uint64_t>(packed_bytes))
+        .put(static_cast<std::uint64_t>(blocks.size()));
+    for (const PackBlock& b : blocks) w.put(b);
+  });
+  const auto info = r.get<OffloadMrInfo>();
+  return OffloadRegion{info.handle, info.host_addr, info.size, info.lkey,
+                       info.rkey};
+}
+
+void PhiVerbs::dereg_offload_mr(const OffloadRegion& region) {
+  cmd_call(CmdOp::DeregOffloadMr,
+           [&](scif::Writer& w) { w.put(region.handle); });
+}
+
+}  // namespace dcfa::core

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <functional>
+
+#include "dcfa/cmd.hpp"
+#include "verbs/verbs.hpp"
+
+namespace dcfa::core {
+
+/// An offloading send-buffer region (Section IV-B4, Figure 6): a host-side
+/// shadow buffer registered as an IB MR by the delegation process. The Phi
+/// synchronises data into it with its DMA engine, then posts sends *from
+/// host memory*, dodging the slow HCA-read-from-Phi path.
+struct OffloadRegion {
+  Handle handle = 0;
+  mem::SimAddr host_addr = 0;
+  std::size_t size = 0;
+  ib::MKey lkey = 0;
+  ib::MKey rkey = 0;
+
+  bool valid() const { return handle != 0; }
+};
+
+/// DCFA IB IF — the user-space verbs library on the Xeon Phi co-processor.
+///
+/// Resource-creation verbs are offloaded to the host delegation process via
+/// the DCFA CMD client (each one costs a SCIF round trip plus host work);
+/// data-path verbs ring the HCA doorbells directly from the card, which is
+/// the whole point of DCFA. The interface is uniform with HostVerbs so MPI
+/// code moves between host and co-processor unchanged.
+class PhiVerbs : public verbs::Ib {
+ public:
+  /// `delegate` must be the HostDelegate serving `channel`'s host side.
+  PhiVerbs(sim::Process& proc, ib::Fabric& fabric, mem::NodeMemory& memory,
+           scif::Channel& channel);
+
+  // --- verbs::Ib ------------------------------------------------------------
+  ib::ProtectionDomain* alloc_pd() override;
+  ib::MemoryRegion* reg_mr(ib::ProtectionDomain* pd, const mem::Buffer& buf,
+                           unsigned access) override;
+  void dereg_mr(ib::MemoryRegion* mr) override;
+  ib::CompletionQueue* create_cq(int capacity) override;
+  ib::QueuePair* create_qp(ib::ProtectionDomain* pd,
+                           ib::CompletionQueue* send_cq,
+                           ib::CompletionQueue* recv_cq) override;
+  void connect(ib::QueuePair* qp, verbs::QpAddress remote) override;
+  verbs::QpAddress address(ib::QueuePair* qp) override;
+
+  void post_send(ib::QueuePair* qp, ib::SendWr wr) override;
+  void post_recv(ib::QueuePair* qp, ib::RecvWr wr) override;
+  int poll_cq(ib::CompletionQueue* cq, int max, ib::Wc* out) override;
+  void wait_cq(ib::CompletionQueue* cq) override;
+
+  mem::Buffer alloc_buffer(std::size_t size, std::size_t align) override;
+  void free_buffer(const mem::Buffer& buf) override;
+  mem::Domain data_domain() const override { return mem::Domain::PhiGddr; }
+  void charge_memcpy(std::size_t bytes) override;
+
+  sim::Process& process() override { return proc_; }
+  mem::NodeId node() const override { return memory_.node(); }
+  ib::Hca& hca_ref() override { return hca_; }
+
+  // --- Offloading send buffer (the paper's three added functions) ----------
+  /// Allocate + register a host shadow buffer of `size` bytes under `pd`
+  /// (the client's protection domain; pass nullptr to let the delegation
+  /// process use its own — fine for raw DCFA programs that only expose the
+  /// shadow via its rkey).
+  OffloadRegion reg_offload_mr(ib::ProtectionDomain* pd, std::size_t size);
+  /// Blocking Phi->host DMA of [src.addr()+offset, +len) into the shadow at
+  /// the same offset. Must precede the post_send that reads the shadow.
+  void sync_offload_mr(const OffloadRegion& region, const mem::Buffer& src,
+                       std::size_t offset, std::size_t len);
+  /// Asynchronous variant for overlap; `on_done` fires at DMA completion.
+  sim::Time sync_offload_mr_async(const OffloadRegion& region,
+                                  mem::SimAddr src_addr, std::size_t offset,
+                                  std::size_t len,
+                                  std::function<void()> on_done = {});
+  /// Tear down the shadow: deregister on the host, free the buffer.
+  void dereg_offload_mr(const OffloadRegion& region);
+
+  // --- DCFA-MPI CMD client (Section VI future work) -------------------------
+  /// Delegate an element-wise reduction a[i] = a[i] FN b[i] over two host
+  /// shadow windows; the host CPU executes it for real.
+  void reduce_shadow(mem::SimAddr a, mem::SimAddr b, std::size_t count,
+                     ElemKind kind, ReduceFn fn);
+  /// Delegate a strided datatype pack: `src_addr` (host DRAM) holds
+  /// `count` elements of `extent` bytes; the host packs the given blocks
+  /// densely into a freshly allocated + registered host buffer and returns
+  /// it as an offload region (it doubles as the offloading send buffer).
+  OffloadRegion pack_shadow(ib::ProtectionDomain* pd, mem::SimAddr src_addr,
+                            std::size_t count, std::size_t extent,
+                            std::size_t packed_bytes,
+                            const std::vector<PackBlock>& blocks);
+
+  /// The node's PCIe port (for staging DMA by layered components).
+  pcie::PciePort& pcie() { return channel_.pcie(); }
+  mem::NodeMemory& node_memory() { return memory_; }
+
+  /// Stats for tests: command round-trips issued so far.
+  std::uint64_t commands_issued() const { return next_req_id_ - 1; }
+
+ protected:
+  /// Model the cost of building a WQE on a Phi core (for transports layered
+  /// on this one, e.g. the proxy baseline).
+  void charge_post_overhead() { proc_.wait(platform_.phi_post_overhead); }
+
+ private:
+  /// One CMD round trip: encode, pay the client syscall cost, SCIF there and
+  /// back, host service time. Returns a reader over the reply payload
+  /// (header already consumed and checked).
+  scif::Reader cmd_call(CmdOp op, const std::function<void(scif::Writer&)>&
+                            params = {});
+
+  sim::Process& proc_;
+  ib::Fabric& fabric_;
+  mem::NodeMemory& memory_;
+  scif::Channel& channel_;
+  ib::Hca& hca_;
+  const sim::Platform& platform_;
+
+  std::uint64_t next_req_id_ = 1;
+  std::vector<std::byte> last_reply_;
+  /// Client-side handle map: object pointer -> host hash key.
+  std::map<const void*, Handle> handles_;
+};
+
+}  // namespace dcfa::core

@@ -1,0 +1,34 @@
+#include "ib/fabric.hpp"
+
+#include <stdexcept>
+
+namespace dcfa::ib {
+
+Hca& Fabric::add_hca(mem::NodeMemory& memory, pcie::PciePort& pcie) {
+  Lid lid = next_lid_++;
+  auto hca = std::make_unique<Hca>(engine_, *this, memory, pcie, platform_,
+                                   lid);
+  Hca& ref = *hca;
+  hcas_.emplace(lid, std::move(hca));
+  by_node_.emplace(memory.node(), &ref);
+  return ref;
+}
+
+Hca& Fabric::hca_by_lid(Lid lid) {
+  auto it = hcas_.find(lid);
+  if (it == hcas_.end()) {
+    throw std::invalid_argument("Fabric: unknown LID " + std::to_string(lid));
+  }
+  return *it->second;
+}
+
+Hca& Fabric::hca_for_node(mem::NodeId node) {
+  auto it = by_node_.find(node);
+  if (it == by_node_.end()) {
+    throw std::invalid_argument("Fabric: no HCA on node " +
+                                std::to_string(node));
+  }
+  return *it->second;
+}
+
+}  // namespace dcfa::ib

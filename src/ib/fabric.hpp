@@ -1,0 +1,44 @@
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "ib/hca.hpp"
+#include "sim/platform.hpp"
+
+namespace dcfa::ib {
+
+/// The InfiniBand subnet: one switch, one HCA per node. Owns the HCAs and
+/// routes by LID. The switch itself is non-blocking; serialisation happens
+/// at each HCA's egress/ingress ports.
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, const sim::Platform& platform)
+      : engine_(engine), platform_(platform) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Attach a new HCA for `node`. LIDs are assigned sequentially from 1.
+  Hca& add_hca(mem::NodeMemory& memory, pcie::PciePort& pcie);
+
+  Hca& hca_by_lid(Lid lid);
+  Hca& hca_for_node(mem::NodeId node);
+
+  /// End-to-end one-way wire propagation latency (all hops).
+  sim::Time wire_latency() const {
+    return platform_.ib_hop_latency * platform_.ib_hops;
+  }
+
+  sim::Engine& engine() { return engine_; }
+  const sim::Platform& platform() const { return platform_; }
+
+ private:
+  sim::Engine& engine_;
+  const sim::Platform& platform_;
+  Lid next_lid_ = 1;
+  std::map<Lid, std::unique_ptr<Hca>> hcas_;
+  std::map<mem::NodeId, Hca*> by_node_;
+};
+
+}  // namespace dcfa::ib

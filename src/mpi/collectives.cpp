@@ -1,0 +1,280 @@
+#include <cstring>
+
+#include "mpi/communicator.hpp"
+
+namespace dcfa::mpi {
+
+namespace {
+
+/// Internal tags, disjoint per collective so overlapping phases of different
+/// collectives on the same communicator cannot cross-match. (Collectives are
+/// themselves ordered per communicator, as MPI requires.)
+enum : int {
+  kTagBarrier = kInternalTagBase + 1,
+  kTagBcast = kInternalTagBase + 2,
+  kTagReduce = kInternalTagBase + 3,
+  kTagGather = kInternalTagBase + 4,
+  kTagScatter = kInternalTagBase + 5,
+  kTagAllgather = kInternalTagBase + 6,
+  kTagAlltoall = kInternalTagBase + 7,
+  kTagScan = kInternalTagBase + 8,
+  kTagGatherv = kInternalTagBase + 9,
+  kTagScatterv = kInternalTagBase + 10,
+};
+
+}  // namespace
+
+void Communicator::barrier() {
+  if (size() == 1) return;
+  // Dissemination barrier: works for any communicator size in ceil(log2 n)
+  // rounds of 0-byte messages.
+  mem::Buffer dummy = alloc(1);
+  for (int k = 1; k < size(); k <<= 1) {
+    const int to = (rank() + k) % size();
+    const int from = (rank() - k + size()) % size();
+    sendrecv(dummy, 0, 0, type_byte(), to, kTagBarrier, dummy, 0, 0,
+             type_byte(), from, kTagBarrier);
+  }
+  free(dummy);
+}
+
+void Communicator::bcast(const mem::Buffer& buf, std::size_t offset,
+                         std::size_t count, const Datatype& type, int root) {
+  if (size() == 1) return;
+  // Binomial tree rooted at `root`, computed in root-relative rank space.
+  const int vrank = (rank() - root + size()) % size();
+  int mask = 1;
+  while (mask < size()) {
+    if (vrank & mask) {
+      const int src = ((vrank - mask) + root) % size();
+      recv(buf, offset, count, type, src, kTagBcast);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < size()) {
+      const int dst = ((vrank + mask) + root) % size();
+      send(buf, offset, count, type, dst, kTagBcast);
+    }
+    mask >>= 1;
+  }
+}
+
+void Communicator::reduce(const mem::Buffer& sendbuf, std::size_t soff,
+                          const mem::Buffer& recvbuf, std::size_t roff,
+                          std::size_t count, const Datatype& type, Op op,
+                          int root) {
+  if (!type.is_contiguous()) {
+    throw MpiError("reduce: derived datatypes not supported");
+  }
+  const std::size_t bytes = count * type.size();
+  // Accumulator starts as my contribution.
+  mem::Buffer acc = alloc(std::max<std::size_t>(bytes, 1));
+  std::memcpy(acc.data(), sendbuf.data() + soff, bytes);
+
+  // Binomial reduction in root-relative space.
+  const int vrank = (rank() - root + size()) % size();
+  mem::Buffer tmp = alloc(std::max<std::size_t>(bytes, 1));
+  for (int mask = 1; mask < size(); mask <<= 1) {
+    if (vrank & mask) {
+      const int dst = ((vrank - mask) + root) % size();
+      send(acc, 0, count, type, dst, kTagReduce);
+      break;
+    }
+    if (vrank + mask < size()) {
+      const int src = ((vrank + mask) + root) % size();
+      recv(tmp, 0, count, type, src, kTagReduce);
+      engine_.combine(op, type, acc, 0, tmp, 0, count);
+    }
+  }
+  if (rank() == root) {
+    std::memcpy(recvbuf.data() + roff, acc.data(), bytes);
+  }
+  free(tmp);
+  free(acc);
+}
+
+void Communicator::allreduce(const mem::Buffer& sendbuf, std::size_t soff,
+                             const mem::Buffer& recvbuf, std::size_t roff,
+                             std::size_t count, const Datatype& type, Op op) {
+  reduce(sendbuf, soff, recvbuf, roff, count, type, op, 0);
+  bcast(recvbuf, roff, count, type, 0);
+}
+
+void Communicator::gather(const mem::Buffer& sendbuf, std::size_t soff,
+                          std::size_t count, const Datatype& type,
+                          const mem::Buffer& recvbuf, std::size_t roff,
+                          int root) {
+  if (!type.is_contiguous()) {
+    throw MpiError("gather: derived datatypes not supported");
+  }
+  const std::size_t bytes = count * type.size();
+  if (rank() == root) {
+    std::vector<Request> reqs;
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank()) {
+        std::memcpy(recvbuf.data() + roff + r * bytes, sendbuf.data() + soff,
+                    bytes);
+        continue;
+      }
+      reqs.push_back(irecv(recvbuf, roff + r * bytes, bytes, type_byte(), r,
+                           kTagGather));
+    }
+    waitall(reqs);
+  } else {
+    send(sendbuf, soff, count, type, root, kTagGather);
+  }
+}
+
+void Communicator::scatter(const mem::Buffer& sendbuf, std::size_t soff,
+                           std::size_t count, const Datatype& type,
+                           const mem::Buffer& recvbuf, std::size_t roff,
+                           int root) {
+  if (!type.is_contiguous()) {
+    throw MpiError("scatter: derived datatypes not supported");
+  }
+  const std::size_t bytes = count * type.size();
+  if (rank() == root) {
+    std::vector<Request> reqs;
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank()) {
+        std::memcpy(recvbuf.data() + roff,
+                    sendbuf.data() + soff + r * bytes, bytes);
+        continue;
+      }
+      reqs.push_back(isend(sendbuf, soff + r * bytes, bytes, type_byte(), r,
+                           kTagScatter));
+    }
+    waitall(reqs);
+  } else {
+    recv(recvbuf, roff, count, type, root, kTagScatter);
+  }
+}
+
+void Communicator::allgather(const mem::Buffer& sendbuf, std::size_t soff,
+                             std::size_t count, const Datatype& type,
+                             const mem::Buffer& recvbuf, std::size_t roff) {
+  if (!type.is_contiguous()) {
+    throw MpiError("allgather: derived datatypes not supported");
+  }
+  const std::size_t bytes = count * type.size();
+  // Ring allgather: n-1 steps, each forwarding the newest block.
+  std::memcpy(recvbuf.data() + roff + rank() * bytes, sendbuf.data() + soff,
+              bytes);
+  if (size() == 1) return;
+  const int to = (rank() + 1) % size();
+  const int from = (rank() - 1 + size()) % size();
+  for (int step = 0; step < size() - 1; ++step) {
+    const int send_block = (rank() - step + size()) % size();
+    const int recv_block = (rank() - step - 1 + size()) % size();
+    sendrecv(recvbuf, roff + send_block * bytes, bytes, type_byte(), to,
+             kTagAllgather, recvbuf, roff + recv_block * bytes, bytes,
+             type_byte(), from, kTagAllgather);
+  }
+}
+
+void Communicator::scan(const mem::Buffer& sendbuf, std::size_t soff,
+                        const mem::Buffer& recvbuf, std::size_t roff,
+                        std::size_t count, const Datatype& type, Op op) {
+  if (!type.is_contiguous()) {
+    throw MpiError("scan: derived datatypes not supported");
+  }
+  const std::size_t bytes = count * type.size();
+  // Linear pipeline: receive the prefix from rank-1, fold my contribution,
+  // pass it on. O(P) latency but exact left-to-right operator order.
+  std::memcpy(recvbuf.data() + roff, sendbuf.data() + soff, bytes);
+  if (rank() > 0) {
+    mem::Buffer prefix = alloc(std::max<std::size_t>(bytes, 1));
+    recv(prefix, 0, count, type, rank() - 1, kTagScan);
+    // recv = prefix OP mine, keeping operand order (prefix first).
+    engine_.combine(op, type, prefix, 0, recvbuf, roff, count);
+    std::memcpy(recvbuf.data() + roff, prefix.data(), bytes);
+    free(prefix);
+  }
+  if (rank() + 1 < size()) {
+    send(recvbuf, roff, count, type, rank() + 1, kTagScan);
+  }
+}
+
+void Communicator::gatherv(const mem::Buffer& sendbuf, std::size_t soff,
+                           std::size_t count, const Datatype& type,
+                           const mem::Buffer& recvbuf, std::size_t roff,
+                           std::span<const std::size_t> counts,
+                           std::span<const std::size_t> displs, int root) {
+  if (!type.is_contiguous()) {
+    throw MpiError("gatherv: derived datatypes not supported");
+  }
+  if (rank() == root) {
+    if (static_cast<int>(counts.size()) != size() ||
+        static_cast<int>(displs.size()) != size()) {
+      throw MpiError("gatherv: counts/displs must have one entry per rank");
+    }
+    std::vector<Request> reqs;
+    for (int r = 0; r < size(); ++r) {
+      const std::size_t off = roff + displs[r] * type.size();
+      if (r == rank()) {
+        std::memcpy(recvbuf.data() + off, sendbuf.data() + soff,
+                    counts[r] * type.size());
+        continue;
+      }
+      reqs.push_back(irecv(recvbuf, off, counts[r] * type.size(),
+                           type_byte(), r, kTagGatherv));
+    }
+    waitall(reqs);
+  } else {
+    send(sendbuf, soff, count, type, root, kTagGatherv);
+  }
+}
+
+void Communicator::scatterv(const mem::Buffer& sendbuf, std::size_t soff,
+                            std::span<const std::size_t> counts,
+                            std::span<const std::size_t> displs,
+                            const Datatype& type, const mem::Buffer& recvbuf,
+                            std::size_t roff, std::size_t count, int root) {
+  if (!type.is_contiguous()) {
+    throw MpiError("scatterv: derived datatypes not supported");
+  }
+  if (rank() == root) {
+    if (static_cast<int>(counts.size()) != size() ||
+        static_cast<int>(displs.size()) != size()) {
+      throw MpiError("scatterv: counts/displs must have one entry per rank");
+    }
+    std::vector<Request> reqs;
+    for (int r = 0; r < size(); ++r) {
+      const std::size_t off = soff + displs[r] * type.size();
+      if (r == rank()) {
+        std::memcpy(recvbuf.data() + roff, sendbuf.data() + off,
+                    counts[r] * type.size());
+        continue;
+      }
+      reqs.push_back(isend(sendbuf, off, counts[r] * type.size(),
+                           type_byte(), r, kTagScatterv));
+    }
+    waitall(reqs);
+  } else {
+    recv(recvbuf, roff, count, type, root, kTagScatterv);
+  }
+}
+
+void Communicator::alltoall(const mem::Buffer& sendbuf, std::size_t soff,
+                            std::size_t count, const Datatype& type,
+                            const mem::Buffer& recvbuf, std::size_t roff) {
+  if (!type.is_contiguous()) {
+    throw MpiError("alltoall: derived datatypes not supported");
+  }
+  const std::size_t bytes = count * type.size();
+  // Pairwise exchange with rotating partners; self block is a local copy.
+  std::memcpy(recvbuf.data() + roff + rank() * bytes,
+              sendbuf.data() + soff + rank() * bytes, bytes);
+  for (int step = 1; step < size(); ++step) {
+    const int to = (rank() + step) % size();
+    const int from = (rank() - step + size()) % size();
+    sendrecv(sendbuf, soff + to * bytes, bytes, type_byte(), to, kTagAlltoall,
+             recvbuf, roff + from * bytes, bytes, type_byte(), from,
+             kTagAlltoall);
+  }
+}
+
+}  // namespace dcfa::mpi

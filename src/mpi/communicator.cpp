@@ -1,0 +1,228 @@
+#include "mpi/communicator.hpp"
+
+#include <algorithm>
+
+namespace dcfa::mpi {
+
+Communicator::Communicator(Engine& engine, std::uint32_t id,
+                           std::vector<int> group, int my_index)
+    : engine_(engine), id_(id), group_(std::move(group)), my_index_(my_index) {
+  if (my_index_ < 0 || my_index_ >= static_cast<int>(group_.size())) {
+    throw MpiError("Communicator: rank outside group");
+  }
+  if (group_[my_index_] != engine_.rank()) {
+    throw MpiError("Communicator: group entry does not name this rank");
+  }
+}
+
+int Communicator::to_world(int comm_rank) const {
+  if (comm_rank == kAnySource) return kAnySource;
+  if (comm_rank < 0 || comm_rank >= size()) {
+    throw MpiError("rank " + std::to_string(comm_rank) +
+                   " outside communicator of size " + std::to_string(size()));
+  }
+  return group_[comm_rank];
+}
+
+int Communicator::from_world(int world_rank) const {
+  for (int i = 0; i < size(); ++i) {
+    if (group_[i] == world_rank) return i;
+  }
+  return kAnySource;
+}
+
+Status Communicator::translate(Status s) const {
+  s.source = from_world(s.source);
+  return s;
+}
+
+Request Communicator::isend(const mem::Buffer& buf, std::size_t offset,
+                            std::size_t count, const Datatype& type, int dst,
+                            int tag) {
+  return engine_.isend(buf, offset, count, type, to_world(dst), tag, id_);
+}
+
+Request Communicator::irecv(const mem::Buffer& buf, std::size_t offset,
+                            std::size_t count, const Datatype& type, int src,
+                            int tag) {
+  return engine_.irecv(buf, offset, count, type, to_world(src), tag, id_);
+}
+
+void Communicator::send(const mem::Buffer& buf, std::size_t offset,
+                        std::size_t count, const Datatype& type, int dst,
+                        int tag) {
+  Request r = isend(buf, offset, count, type, dst, tag);
+  engine_.wait(r);
+}
+
+Request Communicator::issend(const mem::Buffer& buf, std::size_t offset,
+                             std::size_t count, const Datatype& type, int dst,
+                             int tag) {
+  return engine_.isend(buf, offset, count, type, to_world(dst), tag, id_,
+                       /*sync=*/true);
+}
+
+void Communicator::ssend(const mem::Buffer& buf, std::size_t offset,
+                         std::size_t count, const Datatype& type, int dst,
+                         int tag) {
+  Request r = issend(buf, offset, count, type, dst, tag);
+  engine_.wait(r);
+}
+
+std::optional<Status> Communicator::iprobe(int src, int tag) {
+  auto st = engine_.iprobe(to_world(src), tag, id_);
+  if (st) *st = translate(*st);
+  return st;
+}
+
+Status Communicator::probe(int src, int tag) {
+  return translate(engine_.probe(to_world(src), tag, id_));
+}
+
+Status Communicator::recv(const mem::Buffer& buf, std::size_t offset,
+                          std::size_t count, const Datatype& type, int src,
+                          int tag) {
+  Request r = irecv(buf, offset, count, type, src, tag);
+  return translate(engine_.wait(r));
+}
+
+Status Communicator::wait(Request& req) { return translate(engine_.wait(req)); }
+
+bool Communicator::test(Request& req) { return engine_.test(req); }
+
+void Communicator::waitall(std::span<Request> reqs) {
+  for (Request& r : reqs) {
+    if (r.valid()) engine_.wait(r);
+  }
+}
+
+Status Communicator::sendrecv(const mem::Buffer& sbuf, std::size_t soff,
+                              std::size_t scount, const Datatype& stype,
+                              int dst, int stag, const mem::Buffer& rbuf,
+                              std::size_t roff, std::size_t rcount,
+                              const Datatype& rtype, int src, int rtag) {
+  Request rr = irecv(rbuf, roff, rcount, rtype, src, rtag);
+  Request sr = isend(sbuf, soff, scount, stype, dst, stag);
+  engine_.wait(sr);
+  return translate(engine_.wait(rr));
+}
+
+Request& Communicator::Persistent::start() {
+  if (!comm_) throw MpiError("Persistent::start: uninitialised request");
+  if (active_.valid() && !active_.done()) {
+    throw MpiError("Persistent::start: previous operation still active");
+  }
+  if (is_send_) {
+    active_ = comm_->engine_.isend(buf_, offset_, count_, *type_,
+                                   comm_->to_world(peer_), tag_, comm_->id_,
+                                   sync_);
+  } else {
+    active_ = comm_->engine_.irecv(buf_, offset_, count_, *type_,
+                                   comm_->to_world(peer_), tag_, comm_->id_);
+  }
+  return active_;
+}
+
+Communicator::Persistent Communicator::send_init(const mem::Buffer& buf,
+                                                 std::size_t offset,
+                                                 std::size_t count,
+                                                 const Datatype& type,
+                                                 int dst, int tag) {
+  Persistent p;
+  p.comm_ = this;
+  p.is_send_ = true;
+  p.buf_ = buf;
+  p.offset_ = offset;
+  p.count_ = count;
+  p.type_ = &type;
+  p.peer_ = dst;
+  p.tag_ = tag;
+  return p;
+}
+
+Communicator::Persistent Communicator::ssend_init(const mem::Buffer& buf,
+                                                  std::size_t offset,
+                                                  std::size_t count,
+                                                  const Datatype& type,
+                                                  int dst, int tag) {
+  Persistent p = send_init(buf, offset, count, type, dst, tag);
+  p.sync_ = true;
+  return p;
+}
+
+Communicator::Persistent Communicator::recv_init(const mem::Buffer& buf,
+                                                 std::size_t offset,
+                                                 std::size_t count,
+                                                 const Datatype& type,
+                                                 int src, int tag) {
+  Persistent p;
+  p.comm_ = this;
+  p.is_send_ = false;
+  p.buf_ = buf;
+  p.offset_ = offset;
+  p.count_ = count;
+  p.type_ = &type;
+  p.peer_ = src;
+  p.tag_ = tag;
+  return p;
+}
+
+double Communicator::wtime() const {
+  return sim::to_s(engine_.ib().process().now());
+}
+
+Communicator Communicator::dup() {
+  // Collective; every member derives the same id with the same counter.
+  const std::uint32_t child = derive_id(/*color=*/0);
+  barrier();
+  return Communicator(engine_, child, group_, my_index_);
+}
+
+std::uint32_t Communicator::derive_id(int color) {
+  ++derive_counter_;
+  std::uint64_t h = id_;
+  h = h * 1000003ull + derive_counter_;
+  h = h * 1000003ull + static_cast<std::uint32_t>(color + 1);
+  h ^= h >> 31;
+  std::uint32_t out = static_cast<std::uint32_t>(h * 0x9e3779b97f4a7c15ull >> 32);
+  return out == 0 ? 1 : out;  // 0 is reserved for the world communicator
+}
+
+Communicator Communicator::split(int color, int key) {
+  // Allgather (color, key) over the parent, then carve out my group.
+  struct Entry {
+    int color;
+    int key;
+    int world;
+  };
+  mem::Buffer mine = alloc(sizeof(Entry));
+  mem::Buffer all = alloc(sizeof(Entry) * size());
+  Entry e{color, key, engine_.rank()};
+  std::memcpy(mine.data(), &e, sizeof e);
+  allgather(mine, 0, sizeof(Entry), type_byte(), all, 0);
+
+  std::vector<Entry> entries(size());
+  std::memcpy(entries.data(), all.data(), sizeof(Entry) * size());
+  free(mine);
+  free(all);
+
+  std::vector<Entry> members;
+  for (const Entry& en : entries) {
+    if (en.color == color) members.push_back(en);
+  }
+  std::stable_sort(members.begin(), members.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.key != b.key) return a.key < b.key;
+                     return a.world < b.world;
+                   });
+  std::vector<int> group;
+  int my_index = -1;
+  for (const Entry& en : members) {
+    if (en.world == engine_.rank()) my_index = static_cast<int>(group.size());
+    group.push_back(en.world);
+  }
+  const std::uint32_t child = derive_id(color);
+  return Communicator(engine_, child, std::move(group), my_index);
+}
+
+}  // namespace dcfa::mpi

@@ -1,0 +1,179 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mpi/engine.hpp"
+
+namespace dcfa::mpi {
+
+/// MPI communicator: a group of ranks plus an isolated matching context.
+/// Rank numbers in every call are communicator-relative; the engine works on
+/// world ranks underneath. Construction of the world communicator is done by
+/// the Runtime; derived ones come from dup()/split().
+///
+/// All buffers are simulated-device memory (`mem::Buffer`), allocated with
+/// alloc() in this endpoint's natural domain (Phi GDDR for DCFA-MPI ranks,
+/// host DRAM for host MPI ranks).
+class Communicator {
+ public:
+  Communicator(Engine& engine, std::uint32_t id, std::vector<int> group,
+               int my_index);
+
+  int rank() const { return my_index_; }
+  int size() const { return static_cast<int>(group_.size()); }
+  /// World rank of a communicator-relative rank (for engine-level callers).
+  int world_rank(int comm_rank) const { return to_world(comm_rank); }
+  std::uint32_t id() const { return id_; }
+  Engine& engine() { return engine_; }
+
+  // --- Point-to-point --------------------------------------------------------
+  Request isend(const mem::Buffer& buf, std::size_t offset, std::size_t count,
+                const Datatype& type, int dst, int tag);
+  Request irecv(const mem::Buffer& buf, std::size_t offset, std::size_t count,
+                const Datatype& type, int src, int tag);
+  void send(const mem::Buffer& buf, std::size_t offset, std::size_t count,
+            const Datatype& type, int dst, int tag);
+  /// Synchronous-mode send: completes only once the receive has matched
+  /// (always takes the rendezvous handshake; MPI_Ssend).
+  void ssend(const mem::Buffer& buf, std::size_t offset, std::size_t count,
+             const Datatype& type, int dst, int tag);
+  Request issend(const mem::Buffer& buf, std::size_t offset,
+                 std::size_t count, const Datatype& type, int dst, int tag);
+  /// Probe for an unmatched incoming message without receiving it.
+  std::optional<Status> iprobe(int src, int tag);
+  Status probe(int src, int tag);
+
+  /// Persistent communication request (MPI_Send_init / MPI_Recv_init):
+  /// captures the call's arguments once; each start() posts a fresh
+  /// operation with them. Reusing one buffer across many iterations is the
+  /// pattern the paper's MR cache pool exists for.
+  class Persistent {
+   public:
+    Persistent() = default;
+    /// Post the operation (MPI_Start). The previous incarnation must have
+    /// completed.
+    Request& start();
+    Request& request() { return active_; }
+    bool valid() const { return comm_ != nullptr; }
+
+   private:
+    friend class Communicator;
+    Communicator* comm_ = nullptr;
+    bool is_send_ = false;
+    bool sync_ = false;
+    mem::Buffer buf_;
+    std::size_t offset_ = 0;
+    std::size_t count_ = 0;
+    const Datatype* type_ = nullptr;
+    int peer_ = 0;
+    int tag_ = 0;
+    Request active_;
+  };
+  Persistent send_init(const mem::Buffer& buf, std::size_t offset,
+                       std::size_t count, const Datatype& type, int dst,
+                       int tag);
+  Persistent ssend_init(const mem::Buffer& buf, std::size_t offset,
+                        std::size_t count, const Datatype& type, int dst,
+                        int tag);
+  Persistent recv_init(const mem::Buffer& buf, std::size_t offset,
+                       std::size_t count, const Datatype& type, int src,
+                       int tag);
+  Status recv(const mem::Buffer& buf, std::size_t offset, std::size_t count,
+              const Datatype& type, int src, int tag);
+  Status wait(Request& req);
+  bool test(Request& req);
+  void waitall(std::span<Request> reqs);
+  /// Concurrent send+receive (MPI_Sendrecv); deadlock-free by construction.
+  Status sendrecv(const mem::Buffer& sbuf, std::size_t soff,
+                  std::size_t scount, const Datatype& stype, int dst,
+                  int stag, const mem::Buffer& rbuf, std::size_t roff,
+                  std::size_t rcount, const Datatype& rtype, int src,
+                  int rtag);
+
+  // --- Convenience byte-level wrappers ---------------------------------------
+  void send_bytes(const mem::Buffer& buf, std::size_t offset,
+                  std::size_t bytes, int dst, int tag) {
+    send(buf, offset, bytes, type_byte(), dst, tag);
+  }
+  Status recv_bytes(const mem::Buffer& buf, std::size_t offset,
+                    std::size_t bytes, int src, int tag) {
+    return recv(buf, offset, bytes, type_byte(), src, tag);
+  }
+
+  // --- Collectives -------------------------------------------------------------
+  void barrier();
+  void bcast(const mem::Buffer& buf, std::size_t offset, std::size_t count,
+             const Datatype& type, int root);
+  void reduce(const mem::Buffer& sendbuf, std::size_t soff,
+              const mem::Buffer& recvbuf, std::size_t roff, std::size_t count,
+              const Datatype& type, Op op, int root);
+  void allreduce(const mem::Buffer& sendbuf, std::size_t soff,
+                 const mem::Buffer& recvbuf, std::size_t roff,
+                 std::size_t count, const Datatype& type, Op op);
+  /// Root gathers `count` elements from every rank into recvbuf, rank order.
+  void gather(const mem::Buffer& sendbuf, std::size_t soff, std::size_t count,
+              const Datatype& type, const mem::Buffer& recvbuf,
+              std::size_t roff, int root);
+  void scatter(const mem::Buffer& sendbuf, std::size_t soff,
+               std::size_t count, const Datatype& type,
+               const mem::Buffer& recvbuf, std::size_t roff, int root);
+  void allgather(const mem::Buffer& sendbuf, std::size_t soff,
+                 std::size_t count, const Datatype& type,
+                 const mem::Buffer& recvbuf, std::size_t roff);
+  void alltoall(const mem::Buffer& sendbuf, std::size_t soff,
+                std::size_t count, const Datatype& type,
+                const mem::Buffer& recvbuf, std::size_t roff);
+  /// Inclusive prefix reduction: rank r receives OP over ranks 0..r.
+  void scan(const mem::Buffer& sendbuf, std::size_t soff,
+            const mem::Buffer& recvbuf, std::size_t roff, std::size_t count,
+            const Datatype& type, Op op);
+  /// Variable-count gather: rank r contributes counts[r] elements, landing
+  /// at displs[r] (in elements) of recvbuf on the root.
+  void gatherv(const mem::Buffer& sendbuf, std::size_t soff,
+               std::size_t count, const Datatype& type,
+               const mem::Buffer& recvbuf, std::size_t roff,
+               std::span<const std::size_t> counts,
+               std::span<const std::size_t> displs, int root);
+  /// Variable-count scatter (inverse of gatherv).
+  void scatterv(const mem::Buffer& sendbuf, std::size_t soff,
+                std::span<const std::size_t> counts,
+                std::span<const std::size_t> displs, const Datatype& type,
+                const mem::Buffer& recvbuf, std::size_t roff,
+                std::size_t count, int root);
+
+  // --- Communicator management ------------------------------------------------
+  Communicator dup();
+  /// Group by `color` (same color => same new communicator), ordered by
+  /// (key, old rank). Collective over this communicator.
+  Communicator split(int color, int key);
+
+  // --- Utilities ----------------------------------------------------------------
+  /// Virtual wall-clock in seconds (MPI_Wtime).
+  double wtime() const;
+  mem::Buffer alloc(std::size_t bytes, std::size_t align = 64) {
+    return engine_.ib().alloc_buffer(bytes, align);
+  }
+  void free(const mem::Buffer& buf) {
+    engine_.forget_buffer(buf);
+    engine_.ib().free_buffer(buf);
+  }
+
+ private:
+  int to_world(int comm_rank) const;
+  int from_world(int world_rank) const;
+  Status translate(Status s) const;
+
+  /// Derived-communicator id: deterministic across members because split is
+  /// collective and every member mixes the same ingredients.
+  std::uint32_t derive_id(int color);
+
+  Engine& engine_;
+  std::uint32_t id_;
+  std::vector<int> group_;  ///< comm rank -> world rank
+  int my_index_;
+  std::uint32_t derive_counter_ = 0;
+};
+
+}  // namespace dcfa::mpi

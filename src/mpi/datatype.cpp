@@ -1,0 +1,131 @@
+#include "mpi/datatype.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dcfa::mpi {
+
+Datatype::Datatype(std::size_t size, std::size_t extent,
+                   std::vector<Block> blocks)
+    : size_(size), extent_(extent) {
+  // Coalesce adjacent runs so layouts that happen to be dense (e.g. a
+  // vector whose stride equals its block length) are recognised as
+  // contiguous and take the zero-copy paths.
+  for (const Block& b : blocks) {
+    if (!blocks_.empty() &&
+        blocks_.back().offset + blocks_.back().length == b.offset) {
+      blocks_.back().length += b.length;
+    } else {
+      blocks_.push_back(b);
+    }
+  }
+  contiguous_ = blocks_.size() == 1 && blocks_[0].offset == 0 &&
+                blocks_[0].length == extent_ && size_ == extent_;
+}
+
+Datatype Datatype::basic(std::size_t size, Kind kind) {
+  if (size == 0) throw std::invalid_argument("Datatype::basic: zero size");
+  Datatype t(size, size, {{0, size}});
+  t.kind_ = kind;
+  return t;
+}
+
+Datatype Datatype::contiguous(std::size_t count, const Datatype& base) {
+  if (count == 0) {
+    throw std::invalid_argument("Datatype::contiguous: zero count");
+  }
+  if (base.is_contiguous()) {
+    return Datatype(count * base.size(), count * base.extent(),
+                    {{0, count * base.extent()}});
+  }
+  // Replicate the base blocks count times, extent apart.
+  std::vector<Block> blocks;
+  blocks.reserve(count * base.blocks_.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    for (const Block& b : base.blocks_) {
+      blocks.push_back({i * base.extent() + b.offset, b.length});
+    }
+  }
+  return Datatype(count * base.size(), count * base.extent(),
+                  std::move(blocks));
+}
+
+Datatype Datatype::vector(std::size_t count, std::size_t blocklen,
+                          std::size_t stride, const Datatype& base) {
+  if (count == 0 || blocklen == 0) {
+    throw std::invalid_argument("Datatype::vector: zero count/blocklen");
+  }
+  if (stride < blocklen) {
+    throw std::invalid_argument("Datatype::vector: stride < blocklen");
+  }
+  if (!base.is_contiguous()) {
+    throw std::invalid_argument(
+        "Datatype::vector: non-contiguous base not supported");
+  }
+  std::vector<Block> blocks;
+  blocks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    blocks.push_back({i * stride * base.extent(), blocklen * base.extent()});
+  }
+  // Extent spans to the end of the last block (MPI's default extent).
+  const std::size_t extent =
+      (count - 1) * stride * base.extent() + blocklen * base.extent();
+  return Datatype(count * blocklen * base.size(), extent, std::move(blocks));
+}
+
+void Datatype::pack(const std::byte* src, std::byte* dst,
+                    std::size_t count) const {
+  if (contiguous_) {
+    std::memcpy(dst, src, count * size_);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::byte* base = src + i * extent_;
+    for (const Block& b : blocks_) {
+      std::memcpy(dst, base + b.offset, b.length);
+      dst += b.length;
+    }
+  }
+}
+
+void Datatype::unpack(const std::byte* src, std::byte* dst,
+                      std::size_t count) const {
+  if (contiguous_) {
+    std::memcpy(dst, src, count * size_);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    std::byte* base = dst + i * extent_;
+    for (const Block& b : blocks_) {
+      std::memcpy(base + b.offset, src, b.length);
+      src += b.length;
+    }
+  }
+}
+
+const Datatype& type_byte() {
+  static const Datatype t = Datatype::basic(1);
+  return t;
+}
+const Datatype& type_int() {
+  static const Datatype t =
+      Datatype::basic(sizeof(int), Datatype::Kind::Int);
+  return t;
+}
+const Datatype& type_double() {
+  static const Datatype t =
+      Datatype::basic(sizeof(double), Datatype::Kind::Double);
+  return t;
+}
+const Datatype& type_float() {
+  static const Datatype t =
+      Datatype::basic(sizeof(float), Datatype::Kind::Float);
+  return t;
+}
+const Datatype& type_int64() {
+  static const Datatype t =
+      Datatype::basic(sizeof(std::int64_t), Datatype::Kind::Int64);
+  return t;
+}
+
+}  // namespace dcfa::mpi

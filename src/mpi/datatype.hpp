@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dcfa::mpi {
+
+/// MPI datatype describing the memory layout of one element. Supports the
+/// basic fixed-size types plus the two derived constructors the paper's
+/// future-work section talks about offloading (contiguous and vector).
+///
+/// `size()`    — bytes of actual data per element (what travels);
+/// `extent()`  — bytes of memory span per element (stride in arrays);
+/// contiguous types can be sent zero-copy, strided ones are packed first.
+class Datatype {
+ public:
+  /// Arithmetic kind — what reductions dispatch on. Derived and raw-byte
+  /// types are Opaque (reduce on them throws).
+  enum class Kind { Opaque, Int, Int64, Float, Double };
+
+  /// Basic type of `size` bytes (predefined instances below).
+  static Datatype basic(std::size_t size, Kind kind = Kind::Opaque);
+  /// `count` consecutive copies of `base` (MPI_Type_contiguous).
+  static Datatype contiguous(std::size_t count, const Datatype& base);
+  /// `count` blocks of `blocklen` `base` elements, block i starting at
+  /// element offset i*stride (MPI_Type_vector; stride in elements).
+  static Datatype vector(std::size_t count, std::size_t blocklen,
+                         std::size_t stride, const Datatype& base);
+
+  std::size_t size() const { return size_; }
+  std::size_t extent() const { return extent_; }
+  bool is_contiguous() const { return contiguous_; }
+  Kind kind() const { return kind_; }
+
+  /// Pack `count` elements from `src` (layout: extent() apart) into the
+  /// contiguous buffer `dst` (size() apart). `dst` must hold
+  /// count*size() bytes.
+  void pack(const std::byte* src, std::byte* dst, std::size_t count) const;
+  /// Inverse of pack().
+  void unpack(const std::byte* src, std::byte* dst, std::size_t count) const;
+
+  struct Block {
+    std::size_t offset;  ///< byte offset within one element's extent
+    std::size_t length;  ///< contiguous bytes
+  };
+  /// The contiguous runs within one element extent (for delegated packing).
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+ private:
+  Datatype(std::size_t size, std::size_t extent, std::vector<Block> blocks);
+
+  std::size_t size_;
+  std::size_t extent_;
+  bool contiguous_;
+  Kind kind_ = Kind::Opaque;
+  std::vector<Block> blocks_;  ///< contiguous runs within one extent
+};
+
+/// Predefined basic datatypes.
+const Datatype& type_byte();
+const Datatype& type_int();
+const Datatype& type_double();
+const Datatype& type_float();
+const Datatype& type_int64();
+
+}  // namespace dcfa::mpi

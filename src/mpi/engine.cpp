@@ -1,0 +1,410 @@
+#include "mpi/engine.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "sim/log.hpp"
+#include "sim/trace.hpp"
+
+namespace dcfa::mpi {
+
+// ---------------------------------------------------------------------------
+// Bootstrap
+// ---------------------------------------------------------------------------
+
+void Bootstrap::put(int from, int to, PeerInfo info) {
+  table_[{from, to}] = info;
+  cond_.notify_all();
+}
+
+Bootstrap::PeerInfo Bootstrap::get(sim::Process& proc, int from, int to) {
+  for (;;) {
+    auto it = table_.find({from, to});
+    if (it != table_.end()) return it->second;
+    proc.wait_on(cond_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine lifecycle
+// ---------------------------------------------------------------------------
+
+Engine::Engine(int rank, int nranks, std::unique_ptr<verbs::Ib> ib,
+               Bootstrap& bootstrap, Options options)
+    : rank_(rank),
+      nranks_(nranks),
+      ib_(std::move(ib)),
+      phi_(dynamic_cast<core::PhiVerbs*>(ib_.get())),
+      bootstrap_(bootstrap),
+      options_(options),
+      platform_(ib_->hca_ref().platform()),
+      eager_threshold_(
+          options.eager_threshold.value_or(platform_.eager_threshold)),
+      offload_threshold_(options.offload_send_threshold.value_or(
+          platform_.offload_send_threshold)),
+      layout_{std::max<std::uint64_t>(platform_.eager_max_payload,
+                                      eager_threshold_)},
+      wake_(ib_->process().engine(), "mpi.wake[" + std::to_string(rank) + "]") {
+  if (rank < 0 || nranks <= 0 || rank >= nranks) {
+    throw MpiError("Engine: bad rank/size");
+  }
+  mpi_offload_threshold_ = options.mpi_offload_threshold.value_or(
+      platform_.mpi_offload_threshold);
+  if (!phi_) {
+    // The delegations only exist on co-processor endpoints.
+    options_.offload_reductions = false;
+    options_.offload_datatypes = false;
+  }
+}
+
+Engine::~Engine() {
+  // The HCA and CQ outlive this engine (they belong to the cluster): tear
+  // the wake-up callbacks out so a packet landing after an early death
+  // (e.g. a rank body that threw) cannot call into freed memory.
+  if (cq_) cq_->set_on_push({});
+  if (write_observer_id_ != SIZE_MAX) {
+    ib_->hca_ref().remove_remote_write_observer(write_observer_id_);
+  }
+}
+
+void Engine::setup() {
+  if (setup_done_) throw MpiError("Engine::setup called twice");
+  pd_ = ib_->alloc_pd();
+  cq_ = ib_->create_cq(4096);
+  cq_->set_on_push([this] {
+    wake_pending_ = true;
+    wake_.notify_all();
+  });
+  write_observer_id_ = ib_->hca_ref().add_remote_write_observer([this] {
+    wake_pending_ = true;
+    wake_.notify_all();
+  });
+
+  mr_cache_ = std::make_unique<MrCache>(*ib_, *pd_, platform_.mr_cache_entries,
+                                        platform_.mr_cache_bytes);
+  if (phi_ && options_.offload_send_buffer) {
+    shadow_cache_ = std::make_unique<OffloadShadowCache>(
+        *phi_, *pd_, platform_.mr_cache_entries);
+  }
+
+  const std::size_t ring_bytes = layout_.stride() * slots();
+  for (int p = 0; p < nranks_; ++p) {
+    if (p == rank_) continue;
+    Endpoint& ep = endpoints_[p];
+    ep.peer = p;
+    ep.ring = ib_->alloc_buffer(ring_bytes, mem::AddressSpace::kPage);
+    ep.ring_mr = ib_->reg_mr(pd_, ep.ring, ib::kLocalWrite | ib::kRemoteWrite);
+    ep.staging = ib_->alloc_buffer(ring_bytes, mem::AddressSpace::kPage);
+    ep.staging_mr = ib_->reg_mr(pd_, ep.staging, ib::kLocalWrite);
+    ep.credit_cell = ib_->alloc_buffer(sizeof(std::uint64_t), 64);
+    ep.credit_mr =
+        ib_->reg_mr(pd_, ep.credit_cell, ib::kLocalWrite | ib::kRemoteWrite);
+    ep.credit_src = ib_->alloc_buffer(sizeof(std::uint64_t), 64);
+    ep.credit_src_mr = ib_->reg_mr(pd_, ep.credit_src, ib::kLocalWrite);
+    ep.qp = ib_->create_qp(pd_, cq_, cq_);
+
+    bootstrap_.put(rank_, p,
+                   Bootstrap::PeerInfo{ib_->address(ep.qp), ep.ring.addr(),
+                                       ep.ring_mr->rkey(),
+                                       ep.credit_cell.addr(),
+                                       ep.credit_mr->rkey()});
+  }
+  for (auto& [p, ep] : endpoints_) {
+    const auto info = bootstrap_.get(ib_->process(), p, rank_);
+    ib_->connect(ep.qp, info.qp);
+    ep.remote_ring = info.ring_addr;
+    ep.remote_ring_rkey = info.ring_rkey;
+    ep.remote_credit = info.credit_addr;
+    ep.remote_credit_rkey = info.credit_rkey;
+  }
+  setup_done_ = true;
+}
+
+void Engine::finalize() {
+  if (finalized_) return;
+  // Quiesce before tearing anything down: drain deferred emissions and
+  // outstanding completions, then give straggling unsignaled writes (credit
+  // updates) time to land so no WR is in flight against a dead MR.
+  for (;;) {
+    progress();
+    bool idle = outstanding_.empty();
+    for (auto& [p, ep] : endpoints_) {
+      if (!ep.pending_tx.empty()) idle = false;
+    }
+    if (idle) break;
+    ib_->process().wait_on(wake_);
+  }
+  ib_->process().wait(sim::microseconds(100));
+
+  if (mr_cache_) mr_cache_->clear();
+  if (shadow_cache_) shadow_cache_->clear();
+  for (auto& [p, ep] : endpoints_) {
+    ib_->dereg_mr(ep.ring_mr);
+    ib_->dereg_mr(ep.staging_mr);
+    ib_->dereg_mr(ep.credit_mr);
+    ib_->dereg_mr(ep.credit_src_mr);
+    ib_->free_buffer(ep.ring);
+    ib_->free_buffer(ep.staging);
+    ib_->free_buffer(ep.credit_cell);
+    ib_->free_buffer(ep.credit_src);
+  }
+  finalized_ = true;
+}
+
+Engine::Endpoint& Engine::endpoint(int peer) {
+  auto it = endpoints_.find(peer);
+  if (it == endpoints_.end()) {
+    throw MpiError("no endpoint for rank " + std::to_string(peer));
+  }
+  return it->second;
+}
+
+void Engine::forget_buffer(const mem::Buffer& buf) {
+  if (mr_cache_) mr_cache_->invalidate(buf);
+  if (shadow_cache_) shadow_cache_->invalidate(buf);
+}
+
+// ---------------------------------------------------------------------------
+// TX plumbing
+// ---------------------------------------------------------------------------
+
+void Engine::tx(Endpoint& ep, std::function<void()> emit) {
+  if (ep.pending_tx.empty() && slots_free(ep) > 0) {
+    emit();
+    return;
+  }
+  ++stats_.tx_stalls;
+  ep.pending_tx.push_back(std::move(emit));
+}
+
+void Engine::drain_tx(Endpoint& ep) {
+  while (!ep.pending_tx.empty() && slots_free(ep) > 0) {
+    auto emit = std::move(ep.pending_tx.front());
+    ep.pending_tx.pop_front();
+    emit();
+  }
+}
+
+void Engine::emit_packet(Endpoint& ep, PacketHeader hdr,
+                         const std::byte* payload, std::size_t len,
+                         std::function<void(const ib::Wc&)> on_complete) {
+  assert(slots_free(ep) > 0);
+  const int slot = static_cast<int>(ep.sent_packets % slots());
+
+  // Stage header, payload (the eager one-copy) and tail into the slot.
+  std::byte* base = ep.staging.data() + layout_.header_off(slot);
+  std::memcpy(base, &hdr, sizeof hdr);
+  if (len > 0) {
+    std::memcpy(ep.staging.data() + layout_.payload_off(slot), payload, len);
+    ib_->charge_memcpy(len);
+  }
+  const PacketTail tail = kPacketMagic;
+  std::memcpy(ep.staging.data() + layout_.tail_off(slot, len), &tail,
+              sizeof tail);
+
+  // Header SGE + data SGE + tail SGE, exactly as the paper describes; the
+  // responder lays them down contiguously so the tail lands last-after-data.
+  ib::SendWr wr;
+  wr.opcode = ib::Opcode::RdmaWrite;
+  const ib::MKey lkey = ep.staging_mr->lkey();
+  wr.sg_list = {
+      {ep.staging.addr() + layout_.header_off(slot),
+       static_cast<std::uint32_t>(sizeof hdr), lkey},
+      {ep.staging.addr() + layout_.payload_off(slot),
+       static_cast<std::uint32_t>(len), lkey},
+      {ep.staging.addr() + layout_.tail_off(slot, len),
+       static_cast<std::uint32_t>(sizeof tail), lkey},
+  };
+  wr.remote_addr = ep.remote_ring + layout_.header_off(slot);
+  wr.rkey = ep.remote_ring_rkey;
+  if (on_complete) {
+    wr.signaled = true;
+    wr.wr_id = next_wr_id_++;
+    outstanding_[wr.wr_id] = std::move(on_complete);
+  } else {
+    wr.signaled = false;
+  }
+  ib_->post_send(ep.qp, std::move(wr));
+  ++ep.sent_packets;
+}
+
+void Engine::emit_control(Endpoint& ep, PacketType type,
+                          const std::shared_ptr<RequestState>& req,
+                          mem::SimAddr buf_addr, ib::MKey rkey,
+                          std::uint64_t buf_bytes, std::uint32_t dir) {
+  PacketHeader hdr;
+  hdr.dir = dir;
+  hdr.type = type;
+  hdr.src_rank = rank_;
+  hdr.tag = req->tag;
+  hdr.comm_id = req->comm_id;
+  hdr.seq = req->seq;
+  hdr.msg_bytes = req->bytes;
+  hdr.buf_addr = buf_addr;
+  hdr.rkey = rkey;
+  hdr.buf_bytes = buf_bytes;
+  emit_packet(ep, hdr, nullptr, 0);
+}
+
+void Engine::send_credit(Endpoint& ep) {
+  // RDMA-write the consumption counter into the peer's credit cell. No ring
+  // slot needed — this is what keeps the flow control deadlock-free.
+  std::memcpy(ep.credit_src.data(), &ep.my_consumed, sizeof ep.my_consumed);
+  ib::SendWr wr;
+  wr.opcode = ib::Opcode::RdmaWrite;
+  wr.signaled = false;
+  wr.sg_list = {{ep.credit_src.addr(),
+                 static_cast<std::uint32_t>(sizeof ep.my_consumed),
+                 ep.credit_src_mr->lkey()}};
+  wr.remote_addr = ep.remote_credit;
+  wr.rkey = ep.remote_credit_rkey;
+  ib_->post_send(ep.qp, std::move(wr));
+  ep.my_consumed_reported = ep.my_consumed;
+  ++stats_.credits_sent;
+}
+
+// ---------------------------------------------------------------------------
+// Progress
+// ---------------------------------------------------------------------------
+
+void Engine::poll_cq() {
+  ib::Wc wc[16];
+  for (;;) {
+    const int n = ib_->poll_cq(cq_, 16, wc);
+    if (n == 0) break;
+    for (int i = 0; i < n; ++i) {
+      auto it = outstanding_.find(wc[i].wr_id);
+      if (it == outstanding_.end()) continue;
+      auto cb = std::move(it->second);
+      outstanding_.erase(it);
+      cb(wc[i]);
+    }
+  }
+}
+
+void Engine::read_credit_cell(Endpoint& ep) {
+  std::uint64_t value = 0;
+  std::memcpy(&value, ep.credit_cell.data(), sizeof value);
+  if (value > ep.consumed_by_peer) {
+    ep.consumed_by_peer = value;
+  }
+}
+
+void Engine::scan_ring(Endpoint& ep) {
+  const bool on_phi = ib_->data_domain() == mem::Domain::PhiGddr;
+  for (;;) {
+    const int slot = static_cast<int>(ep.my_consumed % slots());
+    std::byte* base = ep.ring.data() + layout_.header_off(slot);
+    PacketHeader hdr;
+    std::memcpy(&hdr, base, sizeof hdr);
+    if (hdr.magic != kPacketMagic) break;
+    const std::uint64_t plen =
+        hdr.type == PacketType::Eager ? hdr.msg_bytes : 0;
+    PacketTail tail = 0;
+    std::memcpy(&tail, ep.ring.data() + layout_.tail_off(slot, plen),
+                sizeof tail);
+    if (tail != kPacketMagic) break;  // data still in flight
+
+    // The poll that found the packet costs a core its cycles.
+    ib_->process().wait(on_phi ? platform_.phi_poll_overhead
+                               : platform_.host_poll_overhead);
+
+    const std::byte* payload = ep.ring.data() + layout_.payload_off(slot);
+    handle_packet(ep, hdr, payload);
+
+    // Release the slot, then occasionally tell the sender.
+    std::memset(base, 0, sizeof hdr);
+    std::memset(ep.ring.data() + layout_.tail_off(slot, plen), 0, sizeof tail);
+    ++ep.my_consumed;
+    ++stats_.packets_rx;
+    if (ep.my_consumed - ep.my_consumed_reported >=
+        static_cast<std::uint64_t>(std::max(1, slots() / 4))) {
+      send_credit(ep);
+    }
+  }
+}
+
+void Engine::progress() {
+  if (in_progress_) return;
+  in_progress_ = true;
+  struct Guard {
+    bool& flag;
+    ~Guard() { flag = false; }
+  } guard{in_progress_};
+
+  poll_cq();
+  for (auto& [p, ep] : endpoints_) {
+    read_credit_cell(ep);
+    drain_tx(ep);
+    scan_ring(ep);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Completion / wait
+// ---------------------------------------------------------------------------
+
+void Engine::complete(const std::shared_ptr<RequestState>& req, int source,
+                      int tag, std::size_t bytes) {
+  req->status = Status{source, tag, bytes};
+  req->phase = RequestState::Phase::Complete;
+  if (sim::Tracer::current()) {
+    const char* what = req->kind == RequestState::Kind::Send
+                           ? (req->used_offload_shadow ? "send(offload)"
+                                                       : "send")
+                           : "recv";
+    sim::trace_span("rank" + std::to_string(rank_),
+                    std::string(what) + " " + std::to_string(bytes) +
+                        "B tag=" + std::to_string(req->tag),
+                    req->posted_at, ib_->process().now());
+  }
+  if (auto it = packed_.find(req.get()); it != packed_.end()) {
+    phi_->dereg_offload_mr(it->second);
+    packed_.erase(it);
+  }
+  if (req->has_pack) {
+    forget_buffer(req->pack_buf);
+    ib_->free_buffer(req->pack_buf);
+    req->has_pack = false;
+  }
+  wake_.notify_all();
+}
+
+void Engine::fail(const std::shared_ptr<RequestState>& req, std::string why) {
+  sim::Log::error(ib_->process().now(), "mpi",
+                  "rank %d request error: %s", rank_, why.c_str());
+  req->error = std::move(why);
+  req->phase = RequestState::Phase::Error;
+  wake_.notify_all();
+}
+
+Status Engine::wait(Request& req) {
+  if (!req.valid()) throw MpiError("wait: null request");
+  auto& st = *req.state_;
+  while (!st.done()) {
+    wake_pending_ = false;
+    progress();
+    if (st.done()) break;
+    // Anything that landed while progress() was charging time re-runs the
+    // scan instead of blocking (level-triggered wake).
+    if (!wake_pending_) ib_->process().wait_on(wake_);
+  }
+  if (st.phase == RequestState::Phase::Error) throw MpiError(st.error);
+  return st.status;
+}
+
+bool Engine::test(Request& req) {
+  if (!req.valid()) throw MpiError("test: null request");
+  // Like iprobe: a test costs a poll even when idle, so test() spin loops
+  // advance the virtual clock instead of livelocking the simulation.
+  const bool on_phi = ib_->data_domain() == mem::Domain::PhiGddr;
+  ib_->process().wait(on_phi ? platform_.phi_poll_overhead
+                             : platform_.host_poll_overhead);
+  progress();
+  if (req.state_->phase == RequestState::Phase::Error) {
+    throw MpiError(req.state_->error);
+  }
+  return req.state_->done();
+}
+
+}  // namespace dcfa::mpi

@@ -1,0 +1,389 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "dcfa/phi_verbs.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/mr_cache.hpp"
+#include "mpi/offload_cache.hpp"
+#include "mpi/packet.hpp"
+#include "mpi/request.hpp"
+#include "mpi/types.hpp"
+#include "verbs/verbs.hpp"
+
+namespace dcfa::mpi {
+
+/// Out-of-band wiring table (the PMI / mpirun role): each rank publishes,
+/// for every peer, its QP address plus where that peer should RDMA-write
+/// packets (ring) and credit updates (credit cell). Ranks block until their
+/// peers have published.
+class Bootstrap {
+ public:
+  struct PeerInfo {
+    verbs::QpAddress qp;
+    mem::SimAddr ring_addr = 0;
+    ib::MKey ring_rkey = 0;
+    mem::SimAddr credit_addr = 0;
+    ib::MKey credit_rkey = 0;
+  };
+
+  explicit Bootstrap(sim::Engine& engine) : cond_(engine, "bootstrap") {}
+
+  /// Publish rank `from`'s info for peer `to`.
+  void put(int from, int to, PeerInfo info);
+  /// Block until `from` published for `to`, then return it.
+  PeerInfo get(sim::Process& proc, int from, int to);
+
+ private:
+  std::map<std::pair<int, int>, PeerInfo> table_;
+  sim::Condition cond_;
+};
+
+/// DCFA-MPI per-rank protocol engine: the P2P communication layer of
+/// Section IV-B over the uniform verbs interface.
+///
+/// Implements, faithfully to the paper:
+///  * the one-copy Eager protocol (preregistered ring buffers, packets of
+///    header+payload+tail SGEs, tail-detection, credit-based slot reuse);
+///  * all three zero-copy rendezvous protocols — Sender-First (RTS ->
+///    receiver RDMA-read -> DONE), Receiver-First (RTR -> sender RDMA-write
+///    -> DONE) and Simultaneous (sender drops the RTR, receiver reads);
+///  * per-(pair, communicator) sequence ids with the ANY_SOURCE
+///    sequence-locking rule;
+///  * Eager/rendezvous mis-prediction recovery (sender-eager/receiver-rndv:
+///    copy + drop stale RTR; sender-rndv/receiver-eager truncation => MPI
+///    error);
+///  * the MR buffer-cache pool;
+///  * the offloading send buffer (host shadow staging) for sends crossing
+///    the threshold when running on a Xeon Phi endpoint.
+class Engine {
+ public:
+  struct Options {
+    /// Use the offloading send buffer design (only effective on PhiVerbs).
+    bool offload_send_buffer = true;
+    /// Override Platform::eager_threshold when set (ablation benches).
+    std::optional<std::uint64_t> eager_threshold;
+    /// Override Platform::offload_send_threshold when set.
+    std::optional<std::uint64_t> offload_send_threshold;
+    /// Disable the MR cache (ablation: register/deregister per message).
+    bool mr_cache = true;
+    /// Section VI future work, implemented: delegate large collective
+    /// reductions to the host CPU (DCFA-MPI CMD ReduceShadow).
+    bool offload_reductions = false;
+    /// Section VI future work, implemented: delegate large derived-datatype
+    /// packing to the host CPU (DCFA-MPI CMD PackShadow); the packed host
+    /// buffer doubles as the offloading send buffer.
+    bool offload_datatypes = false;
+    /// Vector-size floor for the two delegations (defaults to
+    /// Platform::mpi_offload_threshold).
+    std::optional<std::uint64_t> mpi_offload_threshold;
+  };
+
+  struct Stats {
+    std::uint64_t eager_sends = 0;
+    std::uint64_t rndv_sends = 0;
+    std::uint64_t sender_first = 0;    ///< completed via RTS/read/DONE
+    std::uint64_t receiver_first = 0;  ///< completed via RTR/write/DONE
+    std::uint64_t rtrs_dropped = 0;    ///< simultaneous / mis-predicted
+    std::uint64_t eager_mispredicts = 0;  ///< eager data met an RTR-state recv
+    std::uint64_t offload_syncs = 0;   ///< sync_offload_mr invocations
+    std::uint64_t offload_sync_bytes = 0;
+    std::uint64_t packets_rx = 0;
+    std::uint64_t credits_sent = 0;
+    std::uint64_t tx_stalls = 0;       ///< emissions deferred for credit
+    std::uint64_t reductions_offloaded = 0;  ///< host-delegated combines
+    std::uint64_t packs_offloaded = 0;       ///< host-delegated packs
+  };
+
+  Engine(int rank, int nranks, std::unique_ptr<verbs::Ib> ib,
+         Bootstrap& bootstrap, Options options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Build QPs/rings/MRs for every peer, exchange addresses, connect.
+  /// Collective: every rank's engine must call it.
+  void setup();
+  /// Release protocol resources (drains caches). Call after the last
+  /// communication; collective in spirit.
+  void finalize();
+
+  int rank() const { return rank_; }
+  int size() const { return nranks_; }
+  verbs::Ib& ib() { return *ib_; }
+  const Stats& stats() const { return stats_; }
+  MrCache* mr_cache() { return mr_cache_.get(); }
+  OffloadShadowCache* shadow_cache() { return shadow_cache_.get(); }
+
+  /// Non-blocking send of `count` elements of `type` starting at
+  /// buf[offset] to world rank `dst`. `sync` forces the rendezvous
+  /// handshake regardless of size (MPI_Issend semantics: completion implies
+  /// the receive matched).
+  Request isend(const mem::Buffer& buf, std::size_t offset, std::size_t count,
+                const Datatype& type, int dst, int tag, std::uint32_t comm_id,
+                bool sync = false);
+  /// Non-blocking receive into buf[offset..]; `src` may be kAnySource and
+  /// `tag` kAnyTag.
+  Request irecv(const mem::Buffer& buf, std::size_t offset, std::size_t count,
+                const Datatype& type, int src, int tag, std::uint32_t comm_id);
+
+  /// Non-blocking probe: is there an unmatched incoming message that a
+  /// receive with (src, tag) would match right now? Returns its envelope
+  /// without consuming it (MPI_Iprobe). Wildcards allowed.
+  std::optional<Status> iprobe(int src, int tag, std::uint32_t comm_id);
+  /// Blocking probe (MPI_Probe).
+  Status probe(int src, int tag, std::uint32_t comm_id);
+
+  /// Block until `req` completes; throws MpiError on protocol errors.
+  Status wait(Request& req);
+  /// Advance, then report completion without blocking.
+  bool test(Request& req);
+  /// Drive the progress engine once (poll CQ, scan rings, drain queues).
+  void progress();
+
+  /// Invalidate cached registrations before freeing a user buffer.
+  void forget_buffer(const mem::Buffer& buf);
+
+  // --- One-sided RMA primitives (Window support) -----------------------------
+  /// Register `buf` for remote one-sided access and return the MR (owned by
+  /// the caller; release with release_window_mr).
+  ib::MemoryRegion* expose_window_mr(const mem::Buffer& buf);
+  void release_window_mr(ib::MemoryRegion* mr);
+  /// RDMA-write `bytes` of local[loff..] into (remote_addr, rkey) at `peer`.
+  /// Local staging follows the same rules as rendezvous payloads (offload
+  /// send buffer when eligible). `on_done` fires at local completion, which
+  /// in this model implies remote delivery.
+  void rma_write(int peer, const mem::Buffer& local, std::size_t loff,
+                 std::size_t bytes, mem::SimAddr remote_addr, ib::MKey rkey,
+                 std::function<void()> on_done);
+  /// RDMA-read `bytes` from (remote_addr, rkey) at `peer` into local[loff..].
+  void rma_read(int peer, const mem::Buffer& local, std::size_t loff,
+                std::size_t bytes, mem::SimAddr remote_addr, ib::MKey rkey,
+                std::function<void()> on_done);
+  /// Drive progress until `pred()` holds (blocks the owning process).
+  void wait_until(const std::function<bool()>& pred);
+
+  /// acc[i] = acc[i] OP in[i] over `count` elements, charging the owning
+  /// core's element throughput — or, when offload_reductions is on and the
+  /// vector is large enough, staging both operands to the host, delegating
+  /// the combine to the host CPU, and pulling the result back. Used by the
+  /// collectives.
+  void combine(Op op, const Datatype& type, const mem::Buffer& acc,
+               std::size_t acc_off, const mem::Buffer& in, std::size_t in_off,
+               std::size_t count);
+
+ private:
+  struct ArrivedPacket {
+    PacketHeader hdr;
+    std::vector<std::byte> payload;  ///< eager payload copy (slot is reused)
+  };
+
+  /// Receiver + sender channel state for one (peer, comm) pair.
+  struct Channel {
+    std::uint64_t next_send_seq = 0;
+    std::uint64_t next_assign_seq = 0;
+    std::map<std::uint64_t, ArrivedPacket> arrived;
+    std::map<std::uint64_t, std::shared_ptr<RequestState>> posted;
+    std::map<std::uint64_t, std::shared_ptr<RequestState>> sends;
+    std::map<std::uint64_t, PacketHeader> arrived_rtr;
+  };
+
+  /// Per-peer connection: QP, rings, staging, credits, deferred emissions.
+  struct Endpoint {
+    int peer = -1;
+    ib::QueuePair* qp = nullptr;
+
+    mem::Buffer ring;  ///< my receive ring for this peer's packets
+    ib::MemoryRegion* ring_mr = nullptr;
+    mem::SimAddr remote_ring = 0;  ///< peer's ring (where I write)
+    ib::MKey remote_ring_rkey = 0;
+
+    mem::Buffer staging;  ///< eager headers+payload+tail source slots
+    ib::MemoryRegion* staging_mr = nullptr;
+
+    mem::Buffer credit_cell;  ///< peer reports its consumption here
+    ib::MemoryRegion* credit_mr = nullptr;
+    mem::Buffer credit_src;  ///< my consumption counter (RDMA source)
+    ib::MemoryRegion* credit_src_mr = nullptr;
+    mem::SimAddr remote_credit = 0;
+    ib::MKey remote_credit_rkey = 0;
+
+    std::uint64_t sent_packets = 0;
+    std::uint64_t consumed_by_peer = 0;
+    std::uint64_t my_consumed = 0;
+    std::uint64_t my_consumed_reported = 0;
+
+    std::deque<std::function<void()>> pending_tx;
+
+    /// Sequencing is per (communicator, tag): MPI's non-overtaking rule
+    /// applies within a (source, comm, tag) triple, and keying the paper's
+    /// sequence ids by tag lets unrelated tags (e.g. collective traffic vs
+    /// user messages) interleave freely.
+    std::map<std::pair<std::uint32_t, int>, Channel> channels;
+  };
+
+  /// Self-messaging (rank sending to itself) short-circuits the network but
+  /// keeps the same sequence/matching semantics.
+  struct SelfMsg {
+    int tag = 0;
+    std::size_t bytes = 0;
+    std::vector<std::byte> data;
+  };
+  struct SelfChannel {
+    std::uint64_t next_send_seq = 0;
+    std::uint64_t next_assign_seq = 0;
+    std::map<std::uint64_t, SelfMsg> arrived;
+    std::map<std::uint64_t, std::shared_ptr<RequestState>> posted;
+  };
+
+  /// Per-communicator receive ordering state (ANY_SOURCE lock).
+  struct CommRecv {
+    /// Recvs that cannot take a sequence id yet. Non-empty implies the head
+    /// is an ANY_SOURCE request that has not met a matching packet — the
+    /// paper's "all the sequences for receive requests will be locked".
+    std::deque<std::shared_ptr<RequestState>> deferred;
+  };
+
+  // --- TX path ---------------------------------------------------------------
+  int slots() const { return platform_.eager_slots; }
+  std::uint64_t slots_free(const Endpoint& ep) const {
+    return slots() - (ep.sent_packets - ep.consumed_by_peer);
+  }
+  /// Run `emit` now if a slot is free and nothing is queued ahead; otherwise
+  /// defer it (drained by progress when credits return).
+  void tx(Endpoint& ep, std::function<void()> emit);
+  void drain_tx(Endpoint& ep);
+  /// Write a packet into the peer's next ring slot (requires a free slot).
+  void emit_packet(Endpoint& ep, PacketHeader hdr,
+                   const std::byte* payload, std::size_t len,
+                   std::function<void(const ib::Wc&)> on_complete = {});
+  void emit_control(Endpoint& ep, PacketType type,
+                    const std::shared_ptr<RequestState>& req,
+                    mem::SimAddr buf_addr, ib::MKey rkey,
+                    std::uint64_t buf_bytes,
+                    std::uint32_t dir = PacketHeader::kToSender);
+  void send_credit(Endpoint& ep);
+
+  // --- Protocol steps --------------------------------------------------------
+  void start_send(const std::shared_ptr<RequestState>& req);
+  void send_eager(Endpoint& ep, const std::shared_ptr<RequestState>& req);
+  void send_rts(Endpoint& ep, const std::shared_ptr<RequestState>& req);
+  void rdma_write_to(Endpoint& ep, const std::shared_ptr<RequestState>& req,
+                     const PacketHeader& rtr);
+  void start_rdma_read(Endpoint& ep,
+                       const std::shared_ptr<RequestState>& req,
+                       const PacketHeader& rts);
+  /// Model one core's strided pack/unpack over `bytes` of payload.
+  void charge_pack(std::size_t bytes);
+  /// Delegate the packing of a non-contiguous send to the host CPU; the
+  /// packed host buffer is recorded in packed_ and released at completion.
+  /// Returns true when delegation happened.
+  bool try_offload_pack(const std::shared_ptr<RequestState>& req);
+  /// Expose the request's payload for RDMA: through the offloading send
+  /// buffer (shadow sync) when eligible, else via the MR cache. Returns
+  /// (addr, lkey-for-local-use, rkey-for-remote-use).
+  struct Exposure {
+    mem::SimAddr addr;
+    ib::MKey lkey;
+    ib::MKey rkey;
+  };
+  Exposure expose_send_payload(const std::shared_ptr<RequestState>& req);
+  ib::MemoryRegion* register_window(const mem::Buffer& buf);
+  void release_window(const mem::Buffer& buf, ib::MemoryRegion* mr);
+
+  // --- RX path ---------------------------------------------------------------
+  void scan_ring(Endpoint& ep);
+  void read_credit_cell(Endpoint& ep);
+  void handle_packet(Endpoint& ep, const PacketHeader& hdr,
+                     const std::byte* payload);
+  void handle_eager(Endpoint& ep, Channel& ch, const PacketHeader& hdr,
+                    const std::byte* payload);
+  void handle_rts(Endpoint& ep, Channel& ch, const PacketHeader& hdr);
+  void handle_rtr(Endpoint& ep, Channel& ch, const PacketHeader& hdr);
+  void handle_done(Endpoint& ep, Channel& ch, const PacketHeader& hdr);
+  void handle_err(Endpoint& ep, Channel& ch, const PacketHeader& hdr);
+
+  /// Deliver eager payload into a posted receive and complete it.
+  void deliver_eager(Endpoint& ep, const std::shared_ptr<RequestState>& req,
+                     const PacketHeader& hdr, const std::byte* payload);
+  /// A receive request just got its sequence id: look for an already-arrived
+  /// packet, start the right protocol, or send an RTR / wait.
+  void activate_recv(Endpoint& ep, Channel& ch,
+                     const std::shared_ptr<RequestState>& req);
+  /// Try to resolve deferred receives (wildcard locking drain).
+  void drain_deferred(std::uint32_t comm_id);
+  /// Find a (source, tag) channel whose next-expected packet has arrived
+  /// and is compatible with the wildcard receive `req` (the paper's
+  /// ANY_SOURCE "first matching packet" rule, generalised to ANY_TAG).
+  /// Lowest (source, tag) wins, self at its natural rank position.
+  struct WildMatch {
+    int src;
+    int tag;
+  };
+  std::optional<WildMatch> find_wildcard_match(
+      const std::shared_ptr<RequestState>& req);
+
+  // --- Self messaging ---------------------------------------------------------
+  void self_send(const std::shared_ptr<RequestState>& req);
+  void self_activate_recv(const std::shared_ptr<RequestState>& req, int tag);
+  void self_deliver(const std::shared_ptr<RequestState>& req, SelfMsg msg);
+
+  void complete(const std::shared_ptr<RequestState>& req, int source,
+                int tag, std::size_t bytes);
+  void fail(const std::shared_ptr<RequestState>& req, std::string why);
+  bool tag_compatible(const RequestState& req, const PacketHeader& hdr) const {
+    return req.tag == kAnyTag || req.tag == hdr.tag;
+  }
+
+  void poll_cq();
+  Endpoint& endpoint(int peer);
+  Channel& channel(Endpoint& ep, std::uint32_t comm_id, int tag) {
+    return ep.channels[{comm_id, tag}];
+  }
+
+  std::uint64_t eager_threshold() const { return eager_threshold_; }
+
+  // --- Members ---------------------------------------------------------------
+  int rank_;
+  int nranks_;
+  std::unique_ptr<verbs::Ib> ib_;
+  core::PhiVerbs* phi_;  ///< non-null when running on DCFA Phi verbs
+  Bootstrap& bootstrap_;
+  Options options_;
+  const sim::Platform& platform_;
+  std::uint64_t eager_threshold_;
+  std::uint64_t offload_threshold_;
+  SlotLayout layout_;
+
+  ib::ProtectionDomain* pd_ = nullptr;
+  ib::CompletionQueue* cq_ = nullptr;
+  std::size_t write_observer_id_ = SIZE_MAX;
+  std::unique_ptr<MrCache> mr_cache_;
+  std::unique_ptr<OffloadShadowCache> shadow_cache_;
+
+  std::map<int, Endpoint> endpoints_;
+  std::map<std::pair<std::uint32_t, int>, SelfChannel> self_channels_;
+  std::map<std::uint32_t, CommRecv> comm_recv_;
+  std::map<std::uint64_t, std::function<void(const ib::Wc&)>> outstanding_;
+  /// Host-packed send payloads awaiting completion (offload_datatypes).
+  std::map<const RequestState*, core::OffloadRegion> packed_;
+  std::uint64_t next_wr_id_ = 1;
+  std::uint64_t mpi_offload_threshold_ = 0;
+
+  sim::Condition wake_;
+  /// Level-triggered wake flag: events that fire while progress() is already
+  /// running (virtual time passes inside it) must not be lost when the
+  /// process then blocks on wake_.
+  bool wake_pending_ = false;
+  bool in_progress_ = false;  ///< re-entrancy guard
+  Stats stats_;
+  bool setup_done_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace dcfa::mpi

@@ -1,0 +1,66 @@
+#include "mpi/mr_cache.hpp"
+
+namespace dcfa::mpi {
+
+MrCache::~MrCache() {
+  // No dereg here: on the Phi that would take CMD round trips, which need a
+  // live process context. Engine::finalize() calls clear() at the right
+  // time; a destructor after the simulation ended just drops the entries.
+}
+
+ib::MemoryRegion* MrCache::get(const mem::Buffer& buf) {
+  auto it = map_.find(buf.addr());
+  if (it != map_.end() && it->second.bytes >= buf.size()) {
+    ++hits_;
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(buf.addr());
+    it->second.lru_it = lru_.begin();
+    return it->second.mr;
+  }
+  if (it != map_.end()) {
+    // Same base address re-allocated with a larger size: stale entry.
+    invalidate(buf);
+  }
+  ++misses_;
+  while (static_cast<int>(map_.size()) >= max_entries_ ||
+         (pinned_bytes_ + buf.size() > max_bytes_ && !map_.empty())) {
+    evict_one();
+  }
+  ib::MemoryRegion* mr =
+      ib_.reg_mr(&pd_, buf,
+                 ib::kLocalWrite | ib::kRemoteRead | ib::kRemoteWrite);
+  lru_.push_front(buf.addr());
+  map_[buf.addr()] = Entry{mr, buf.size(), lru_.begin()};
+  pinned_bytes_ += buf.size();
+  return mr;
+}
+
+void MrCache::invalidate(const mem::Buffer& buf) {
+  auto it = map_.find(buf.addr());
+  if (it == map_.end()) return;
+  ib_.dereg_mr(it->second.mr);
+  pinned_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+}
+
+void MrCache::clear() {
+  for (auto& [addr, entry] : map_) {
+    ib_.dereg_mr(entry.mr);
+  }
+  map_.clear();
+  lru_.clear();
+  pinned_bytes_ = 0;
+}
+
+void MrCache::evict_one() {
+  const mem::SimAddr victim = lru_.back();
+  auto it = map_.find(victim);
+  ib_.dereg_mr(it->second.mr);
+  pinned_bytes_ -= it->second.bytes;
+  lru_.pop_back();
+  map_.erase(it);
+  ++evictions_;
+}
+
+}  // namespace dcfa::mpi

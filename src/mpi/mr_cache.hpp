@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+
+#include "verbs/verbs.hpp"
+
+namespace dcfa::mpi {
+
+/// The buffer cache pool of Section IV-B3: "a buffer cache pool was designed
+/// for caching the most recently used memory regions", because registering a
+/// memory region from the Xeon Phi costs a full CMD offload round trip.
+///
+/// Keyed by the allocation (its simulated base address); a lookup for any
+/// window inside a cached allocation hits. LRU eviction on either entry
+/// count or total pinned bytes. Invalidate before freeing a buffer.
+class MrCache {
+ public:
+  MrCache(verbs::Ib& ib, ib::ProtectionDomain& pd, int max_entries,
+          std::uint64_t max_bytes)
+      : ib_(ib), pd_(pd), max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+  ~MrCache();
+
+  MrCache(const MrCache&) = delete;
+  MrCache& operator=(const MrCache&) = delete;
+
+  /// Return an MR covering `buf` (all access rights), registering on miss.
+  ib::MemoryRegion* get(const mem::Buffer& buf);
+
+  /// Drop (and deregister) the entry for `buf` if cached. Must be called
+  /// before the buffer is freed.
+  void invalidate(const mem::Buffer& buf);
+
+  /// Deregister everything. Must run inside the owning process (Phi dereg
+  /// takes CMD round trips); Engine::finalize() calls it.
+  void clear();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::size_t entries() const { return map_.size(); }
+  std::uint64_t pinned_bytes() const { return pinned_bytes_; }
+
+ private:
+  struct Entry {
+    ib::MemoryRegion* mr;
+    std::uint64_t bytes;
+    std::list<mem::SimAddr>::iterator lru_it;
+  };
+
+  void evict_one();
+
+  verbs::Ib& ib_;
+  ib::ProtectionDomain& pd_;
+  int max_entries_;
+  std::uint64_t max_bytes_;
+
+  std::map<mem::SimAddr, Entry> map_;
+  std::list<mem::SimAddr> lru_;  ///< front = most recent
+  std::uint64_t pinned_bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace dcfa::mpi

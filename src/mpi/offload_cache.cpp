@@ -1,0 +1,46 @@
+#include "mpi/offload_cache.hpp"
+
+namespace dcfa::mpi {
+
+const core::OffloadRegion& OffloadShadowCache::get(const mem::Buffer& buf) {
+  auto it = map_.find(buf.addr());
+  if (it != map_.end() && it->second.region.size >= buf.size()) {
+    ++hits_;
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(buf.addr());
+    it->second.lru_it = lru_.begin();
+    return it->second.region;
+  }
+  if (it != map_.end()) invalidate(buf);
+  ++misses_;
+  while (static_cast<int>(map_.size()) >= max_entries_ && !map_.empty()) {
+    const mem::SimAddr victim = lru_.back();
+    auto vit = map_.find(victim);
+    verbs_.dereg_offload_mr(vit->second.region);
+    lru_.pop_back();
+    map_.erase(vit);
+  }
+  core::OffloadRegion region = verbs_.reg_offload_mr(&pd_, buf.size());
+  lru_.push_front(buf.addr());
+  auto [nit, ok] = map_.emplace(buf.addr(), Entry{region, lru_.begin()});
+  (void)ok;
+  return nit->second.region;
+}
+
+void OffloadShadowCache::invalidate(const mem::Buffer& buf) {
+  auto it = map_.find(buf.addr());
+  if (it == map_.end()) return;
+  verbs_.dereg_offload_mr(it->second.region);
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+}
+
+void OffloadShadowCache::clear() {
+  for (auto& [addr, entry] : map_) {
+    verbs_.dereg_offload_mr(entry.region);
+  }
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace dcfa::mpi

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ib/types.hpp"
+#include "mem/memory.hpp"
+
+namespace dcfa::mpi {
+
+/// Wire packet types of the DCFA-MPI P2P protocol (Section IV-B3).
+enum class PacketType : std::uint32_t {
+  Eager = 1,  ///< header + payload + tail, one-copy small-message path
+  Rts = 2,    ///< sender-first rendezvous: here is my (shadow) buffer
+  Rtr = 3,    ///< receiver-first rendezvous: here is my receive buffer
+  Done = 4,   ///< rendezvous data movement finished
+  Err = 5,    ///< peer aborted the message (truncation); extension to the
+              ///< paper's set so the opposite side errors instead of hanging
+};
+
+constexpr std::uint32_t kPacketMagic = 0xDCFA2013;
+
+/// Fixed-size packet header, RDMA-written into the receiver's ring slot.
+/// The payload (eager only) follows, then a 4-byte tail copy of the magic;
+/// the receiver detects arrival by polling header+tail (IBA guarantees the
+/// destination bytes land in SGE order, which the paper's design uses).
+struct PacketHeader {
+  std::uint32_t magic = kPacketMagic;
+  PacketType type = PacketType::Eager;
+  std::int32_t src_rank = -1;    ///< global rank of the sender
+  std::int32_t tag = 0;
+  std::uint32_t comm_id = 0;
+  std::uint64_t seq = 0;         ///< per (pair, comm, tag) channel sequence id
+  std::uint64_t msg_bytes = 0;   ///< full message size (all types)
+  /// Done/Err disambiguation: send-side and receive-side sequence counters
+  /// are independent, so a completion packet must say which map it targets.
+  enum Dir : std::uint32_t { kToSender = 0, kToReceiver = 1 };
+  std::uint32_t dir = kToSender;
+  /// RTS: the sender's exposed buffer (user MR or offload shadow).
+  /// RTR: the receiver's user buffer. Unused for Eager/Done.
+  mem::SimAddr buf_addr = 0;
+  ib::MKey rkey = 0;
+  std::uint64_t buf_bytes = 0;   ///< exposed window size (RTR: capacity)
+};
+
+using PacketTail = std::uint32_t;
+
+/// Ring-slot geometry: [PacketHeader][payload (<= max_payload)][tail].
+struct SlotLayout {
+  std::uint64_t max_payload;
+
+  std::uint64_t stride() const {
+    return sizeof(PacketHeader) + max_payload + sizeof(PacketTail);
+  }
+  std::uint64_t header_off(int slot) const { return slot * stride(); }
+  std::uint64_t payload_off(int slot) const {
+    return header_off(slot) + sizeof(PacketHeader);
+  }
+  /// Tail lands immediately after the payload (position depends on length).
+  std::uint64_t tail_off(int slot, std::uint64_t payload_len) const {
+    return payload_off(slot) + payload_len;
+  }
+};
+
+}  // namespace dcfa::mpi

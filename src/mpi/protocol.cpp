@@ -1,0 +1,815 @@
+#include <cassert>
+#include <cstring>
+
+#include "mpi/engine.hpp"
+#include "sim/log.hpp"
+
+namespace dcfa::mpi {
+
+namespace {
+/// Real-bytes pointer to the request's user window.
+std::byte* user_ptr(const std::shared_ptr<RequestState>& req) {
+  return req->buffer.data() + req->offset;
+}
+}  // namespace
+
+void Engine::charge_pack(std::size_t bytes) {
+  const bool on_phi = ib_->data_domain() == mem::Domain::PhiGddr;
+  ib_->process().wait(sim::transfer_time(
+      bytes, on_phi ? platform_.phi_pack_gbps : platform_.host_pack_gbps));
+}
+
+// ---------------------------------------------------------------------------
+// Posting
+// ---------------------------------------------------------------------------
+
+Request Engine::isend(const mem::Buffer& buf, std::size_t offset,
+                      std::size_t count, const Datatype& type, int dst,
+                      int tag, std::uint32_t comm_id, bool sync) {
+  if (dst < 0 || dst >= nranks_) throw MpiError("isend: bad destination");
+  if (tag < 0) throw MpiError("isend: negative tag");
+  const std::size_t bytes = count * type.size();
+  if (offset + count * type.extent() > buf.size() && count > 0) {
+    throw MpiError("isend: window escapes buffer");
+  }
+
+  // Drain incoming traffic first: an RTR (or the whole message) may already
+  // be waiting in the ring, which decides the protocol below.
+  progress();
+
+  auto st = std::make_shared<RequestState>();
+  st->posted_at = ib_->process().now();
+  st->kind = RequestState::Kind::Send;
+  st->peer = dst;
+  st->tag = tag;
+  st->comm_id = comm_id;
+  st->bytes = bytes;
+  st->buffer = buf;
+  st->offset = offset;
+  st->type = &type;
+  st->count = count;
+
+  // Non-contiguous layouts are packed up front — by the host CPU when the
+  // DCFA-MPI CMD delegation is enabled (the paper's Section VI future
+  // work), otherwise locally on this core.
+  if (!type.is_contiguous() && count > 0) {
+    if (dst == rank_ || !try_offload_pack(st)) {
+      st->pack_buf = ib_->alloc_buffer(std::max<std::size_t>(bytes, 1), 64);
+      st->has_pack = true;
+      type.pack(user_ptr(st), st->pack_buf.data(), count);
+      charge_pack(bytes);
+    }
+  }
+
+  st->sync_mode = sync;
+  if (dst == rank_) {
+    self_send(st);
+  } else {
+    Endpoint& ep = endpoint(dst);
+    Channel& ch = channel(ep, comm_id, tag);
+    st->seq = ch.next_send_seq++;
+    st->seq_assigned = true;
+    ch.sends[st->seq] = st;
+    start_send(st);
+  }
+  return Request(st);
+}
+
+std::optional<Status> Engine::iprobe(int src, int tag,
+                                     std::uint32_t comm_id) {
+  // A probe costs real cycles even when it finds nothing — and charging
+  // them is what lets an application-level iprobe spin loop make progress
+  // at all in the cooperative simulation.
+  const bool on_phi = ib_->data_domain() == mem::Domain::PhiGddr;
+  ib_->process().wait(on_phi ? platform_.phi_poll_overhead
+                             : platform_.host_poll_overhead);
+  progress();
+  // Deferred wildcard receives are ahead of any probe in matching order;
+  // while the lock holds, a probe must not report their packets.
+  auto crit = comm_recv_.find(comm_id);
+  if (crit != comm_recv_.end() && !crit->second.deferred.empty()) {
+    return std::nullopt;
+  }
+  for (int s = 0; s < nranks_; ++s) {
+    if (src != kAnySource && src != s) continue;
+    if (s == rank_) {
+      for (auto& [key, sc] : self_channels_) {
+        if (key.first != comm_id) continue;
+        if (tag == kAnyTag && key.second >= kInternalTagBase) continue;
+        if (tag != kAnyTag && tag != key.second) continue;
+        auto it = sc.arrived.find(sc.next_assign_seq);
+        if (it != sc.arrived.end()) {
+          return Status{s, key.second, it->second.bytes};
+        }
+      }
+      continue;
+    }
+    auto eit = endpoints_.find(s);
+    if (eit == endpoints_.end()) continue;
+    for (auto& [key, ch] : eit->second.channels) {
+      if (key.first != comm_id) continue;
+      if (tag == kAnyTag && key.second >= kInternalTagBase) continue;
+      if (tag != kAnyTag && tag != key.second) continue;
+      auto it = ch.arrived.find(ch.next_assign_seq);
+      if (it != ch.arrived.end()) {
+        return Status{s, key.second,
+                      static_cast<std::size_t>(it->second.hdr.msg_bytes)};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Status Engine::probe(int src, int tag, std::uint32_t comm_id) {
+  for (;;) {
+    wake_pending_ = false;
+    if (auto st = iprobe(src, tag, comm_id)) return *st;
+    if (!wake_pending_) ib_->process().wait_on(wake_);
+  }
+}
+
+Request Engine::irecv(const mem::Buffer& buf, std::size_t offset,
+                      std::size_t count, const Datatype& type, int src,
+                      int tag, std::uint32_t comm_id) {
+  if (src != kAnySource && (src < 0 || src >= nranks_)) {
+    throw MpiError("irecv: bad source");
+  }
+  if (tag != kAnyTag && tag < 0) throw MpiError("irecv: negative tag");
+  const std::size_t bytes = count * type.size();
+  if (offset + count * type.extent() > buf.size() && count > 0) {
+    throw MpiError("irecv: window escapes buffer");
+  }
+
+  progress();
+
+  auto st = std::make_shared<RequestState>();
+  st->posted_at = ib_->process().now();
+  st->kind = RequestState::Kind::Recv;
+  st->phase = RequestState::Phase::WaitingPacket;
+  st->peer = src;
+  st->tag = tag;
+  st->comm_id = comm_id;
+  st->bytes = bytes;
+  st->buffer = buf;
+  st->offset = offset;
+  st->type = &type;
+  st->count = count;
+  if (!type.is_contiguous() && count > 0) {
+    st->pack_buf = ib_->alloc_buffer(std::max<std::size_t>(bytes, 1), 64);
+    st->has_pack = true;
+  }
+
+  CommRecv& cr = comm_recv_[comm_id];
+  const bool wildcard = src == kAnySource || tag == kAnyTag;
+  if (!cr.deferred.empty()) {
+    // A wildcard request ahead of us holds the sequence lock — the paper's
+    // "all the sequences for receive requests will be locked".
+    cr.deferred.push_back(st);
+    return Request(st);
+  }
+  if (wildcard) {
+    const auto match = find_wildcard_match(st);
+    if (!match) {
+      cr.deferred.push_back(st);  // lock engages
+    } else if (match->src == rank_) {
+      self_activate_recv(st, match->tag);
+    } else {
+      Endpoint& ep = endpoint(match->src);
+      Channel& ch = channel(ep, comm_id, match->tag);
+      st->seq = ch.next_assign_seq++;
+      st->seq_assigned = true;
+      activate_recv(ep, ch, st);
+    }
+  } else if (src == rank_) {
+    self_activate_recv(st, tag);
+  } else {
+    Endpoint& ep = endpoint(src);
+    Channel& ch = channel(ep, comm_id, tag);
+    st->seq = ch.next_assign_seq++;
+    st->seq_assigned = true;
+    activate_recv(ep, ch, st);
+  }
+  return Request(st);
+}
+
+// ---------------------------------------------------------------------------
+// Send side
+// ---------------------------------------------------------------------------
+
+void Engine::start_send(const std::shared_ptr<RequestState>& req) {
+  Endpoint& ep = endpoint(req->peer);
+  Channel& ch = channel(ep, req->comm_id, req->tag);
+
+  if (req->bytes < eager_threshold() && !req->sync_mode) {
+    // A stale RTR may already be waiting (receiver predicted rendezvous);
+    // the eager data will satisfy the receive, the RTR is dropped.
+    if (ch.arrived_rtr.erase(req->seq) > 0) {
+      req->dropped_rtr = true;
+      ++stats_.rtrs_dropped;
+    }
+    send_eager(ep, req);
+    return;
+  }
+
+  ++stats_.rndv_sends;
+  auto rtr_it = ch.arrived_rtr.find(req->seq);
+  if (rtr_it != ch.arrived_rtr.end()) {
+    // Receiver-first rendezvous: the RTR beat the send.
+    PacketHeader rtr = rtr_it->second;
+    ch.arrived_rtr.erase(rtr_it);
+    rdma_write_to(ep, req, rtr);
+    return;
+  }
+  send_rts(ep, req);
+}
+
+void Engine::send_eager(Endpoint& ep, const std::shared_ptr<RequestState>& req) {
+  ++stats_.eager_sends;
+  tx(ep, [this, &ep, req] {
+    PacketHeader hdr;
+    hdr.type = PacketType::Eager;
+    hdr.src_rank = rank_;
+    hdr.tag = req->tag;
+    hdr.comm_id = req->comm_id;
+    hdr.seq = req->seq;
+    hdr.msg_bytes = req->bytes;
+    const std::byte* payload =
+        req->has_pack ? req->pack_buf.data() : user_ptr(req);
+    emit_packet(ep, hdr, payload, req->bytes);
+    // One-copy semantics: once staged, the user buffer is free — the send
+    // is complete for MPI purposes.
+    req->phase = RequestState::Phase::EagerSent;
+    Channel& ch = channel(ep, req->comm_id, req->tag);
+    ch.sends.erase(req->seq);
+    complete(req, rank_, req->tag, req->bytes);
+  });
+}
+
+Engine::Exposure Engine::expose_send_payload(
+    const std::shared_ptr<RequestState>& req) {
+  if (auto it = packed_.find(req.get()); it != packed_.end()) {
+    // Host-packed payload: already dense, already in host DRAM, already
+    // registered — nothing left to stage.
+    req->used_offload_shadow = true;
+    const core::OffloadRegion& r = it->second;
+    return Exposure{r.host_addr, r.lkey, r.rkey};
+  }
+  const mem::Buffer& pbuf = req->has_pack ? req->pack_buf : req->buffer;
+  const std::size_t poff = req->has_pack ? 0 : req->offset;
+
+  if (shadow_cache_ && req->bytes >= offload_threshold_ &&
+      pbuf.domain() == mem::Domain::PhiGddr) {
+    // Offloading send buffer (IV-B4): sync the latest data into the host
+    // shadow with the Phi DMA engine, then let the HCA read host memory.
+    const core::OffloadRegion& region = shadow_cache_->get(pbuf);
+    phi_->sync_offload_mr(region, pbuf, poff, req->bytes);
+    ++stats_.offload_syncs;
+    stats_.offload_sync_bytes += req->bytes;
+    req->used_offload_shadow = true;
+    return Exposure{region.host_addr + poff, region.lkey, region.rkey};
+  }
+  ib::MemoryRegion* mr = register_window(pbuf);
+  if (!options_.mr_cache) req->window_mr = mr;
+  return Exposure{pbuf.addr() + poff, mr->lkey(), mr->rkey()};
+}
+
+ib::MemoryRegion* Engine::register_window(const mem::Buffer& buf) {
+  if (options_.mr_cache) return mr_cache_->get(buf);
+  return ib_->reg_mr(pd_, buf,
+                     ib::kLocalWrite | ib::kRemoteRead | ib::kRemoteWrite);
+}
+
+void Engine::release_window(const mem::Buffer& buf, ib::MemoryRegion* mr) {
+  (void)buf;
+  if (!options_.mr_cache && mr) ib_->dereg_mr(mr);
+}
+
+bool Engine::try_offload_pack(const std::shared_ptr<RequestState>& req) {
+  if (!options_.offload_datatypes || !phi_) return false;
+  if (req->bytes < mpi_offload_threshold_) return false;
+  const Datatype& type = *req->type;
+  const std::size_t extent_bytes = req->count * type.extent();
+
+  // Stage the whole strided extent into a host scratch buffer with the Phi
+  // DMA engine, then let the host CPU pack it densely into a registered
+  // host buffer that doubles as the offloading send buffer.
+  mem::NodeMemory& node = phi_->node_memory();
+  mem::Buffer scratch = node.alloc(mem::Domain::HostDram, extent_bytes, 4096);
+  phi_->pcie().dma(ib_->process(), req->buffer.domain(),
+                   req->buffer.addr() + req->offset, mem::Domain::HostDram,
+                   scratch.addr(), extent_bytes);
+
+  std::vector<core::PackBlock> blocks;
+  blocks.reserve(type.blocks().size());
+  for (const Datatype::Block& b : type.blocks()) {
+    blocks.push_back({b.offset, b.length});
+  }
+  core::OffloadRegion region = phi_->pack_shadow(
+      pd_, scratch.addr(), req->count, type.extent(), req->bytes, blocks);
+  node.space(mem::Domain::HostDram).free(scratch);
+  packed_[req.get()] = region;
+  ++stats_.packs_offloaded;
+  return true;
+}
+
+void Engine::combine(Op op, const Datatype& type, const mem::Buffer& acc,
+                     std::size_t acc_off, const mem::Buffer& in,
+                     std::size_t in_off, std::size_t count) {
+  core::ElemKind kind;
+  switch (type.kind()) {
+    case Datatype::Kind::Int: kind = core::ElemKind::Int32; break;
+    case Datatype::Kind::Int64: kind = core::ElemKind::Int64; break;
+    case Datatype::Kind::Float: kind = core::ElemKind::Float; break;
+    case Datatype::Kind::Double: kind = core::ElemKind::Double; break;
+    default:
+      throw MpiError("reduce: datatype has no arithmetic kind");
+  }
+  core::ReduceFn fn;
+  switch (op) {
+    case Op::Sum: fn = core::ReduceFn::Sum; break;
+    case Op::Prod: fn = core::ReduceFn::Prod; break;
+    case Op::Max: fn = core::ReduceFn::Max; break;
+    case Op::Min: fn = core::ReduceFn::Min; break;
+    default: throw MpiError("reduce: unknown op");
+  }
+  const std::size_t bytes = count * type.size();
+
+  if (options_.offload_reductions && phi_ && bytes >= mpi_offload_threshold_) {
+    // DCFA-MPI CMD ReduceShadow: stage both operands host-side, let the
+    // Xeon crunch them, pull the result back (Section VI future work).
+    mem::NodeMemory& node = phi_->node_memory();
+    mem::Buffer ha = node.alloc(mem::Domain::HostDram, bytes, 4096);
+    mem::Buffer hb = node.alloc(mem::Domain::HostDram, bytes, 4096);
+    auto& proc = ib_->process();
+    phi_->pcie().dma(proc, acc.domain(), acc.addr() + acc_off,
+                     mem::Domain::HostDram, ha.addr(), bytes);
+    phi_->pcie().dma(proc, in.domain(), in.addr() + in_off,
+                     mem::Domain::HostDram, hb.addr(), bytes);
+    phi_->reduce_shadow(ha.addr(), hb.addr(), count, kind, fn);
+    phi_->pcie().dma(proc, mem::Domain::HostDram, ha.addr(), acc.domain(),
+                     acc.addr() + acc_off, bytes);
+    node.space(mem::Domain::HostDram).free(ha);
+    node.space(mem::Domain::HostDram).free(hb);
+    ++stats_.reductions_offloaded;
+    return;
+  }
+
+  // Local combine on the owning core.
+  const bool on_phi = ib_->data_domain() == mem::Domain::PhiGddr;
+  ib_->process().wait(sim::transfer_time(
+      2 * bytes,
+      on_phi ? platform_.phi_reduce_gbps : platform_.host_reduce_gbps));
+  core::apply_reduce(kind, fn, acc.data() + acc_off, in.data() + in_off,
+                     count);
+}
+
+void Engine::send_rts(Endpoint& ep, const std::shared_ptr<RequestState>& req) {
+  const Exposure e = expose_send_payload(req);
+  req->phase = RequestState::Phase::RtsSent;
+  ++stats_.sender_first;
+  tx(ep, [this, &ep, req, e] {
+    emit_control(ep, PacketType::Rts, req, e.addr, e.rkey, req->bytes);
+  });
+}
+
+void Engine::rdma_write_to(Endpoint& ep,
+                           const std::shared_ptr<RequestState>& req,
+                           const PacketHeader& rtr) {
+  Channel& ch = channel(ep, req->comm_id, req->tag);
+  if (req->bytes > rtr.buf_bytes) {
+    // Sending more than the receiver posted: MPI error on both ends.
+    tx(ep, [this, &ep, req] {
+      emit_control(ep, PacketType::Err, req, 0, 0, 0,
+                   PacketHeader::kToReceiver);
+    });
+    ch.sends.erase(req->seq);
+    fail(req, "truncation: send of " + std::to_string(req->bytes) +
+                  " bytes exceeds receive of " + std::to_string(rtr.buf_bytes));
+    return;
+  }
+  ++stats_.receiver_first;
+  const Exposure e = expose_send_payload(req);
+  req->phase = RequestState::Phase::WritingData;
+
+  ib::SendWr wr;
+  wr.opcode = ib::Opcode::RdmaWrite;
+  wr.signaled = true;
+  wr.wr_id = next_wr_id_++;
+  wr.sg_list = {{e.addr, static_cast<std::uint32_t>(req->bytes), e.lkey}};
+  wr.remote_addr = rtr.buf_addr;
+  wr.rkey = rtr.rkey;
+  outstanding_[wr.wr_id] = [this, &ep, req](const ib::Wc& wc) {
+    Channel& c = channel(ep, req->comm_id, req->tag);
+    c.sends.erase(req->seq);
+    if (wc.status != ib::WcStatus::Success) {
+      fail(req, std::string("RDMA write failed: ") +
+                    ib::wc_status_name(wc.status));
+      return;
+    }
+    release_window(req->has_pack ? req->pack_buf : req->buffer,
+                   req->window_mr);
+    tx(ep, [this, &ep, req] {
+      emit_control(ep, PacketType::Done, req, 0, 0, 0,
+                   PacketHeader::kToReceiver);
+    });
+    complete(req, rank_, req->tag, req->bytes);
+  };
+  ib_->post_send(ep.qp, std::move(wr));
+}
+
+// ---------------------------------------------------------------------------
+// Receive side
+// ---------------------------------------------------------------------------
+
+void Engine::activate_recv(Endpoint& ep, Channel& ch,
+                           const std::shared_ptr<RequestState>& req) {
+  ch.posted[req->seq] = req;
+
+  auto it = ch.arrived.find(req->seq);
+  if (it != ch.arrived.end()) {
+    ArrivedPacket pkt = std::move(it->second);
+    ch.arrived.erase(it);
+    if (pkt.hdr.type == PacketType::Eager) {
+      deliver_eager(ep, req, pkt.hdr, pkt.payload.data());
+    } else {
+      assert(pkt.hdr.type == PacketType::Rts);
+      start_rdma_read(ep, req, pkt.hdr);
+    }
+    return;
+  }
+
+  if (req->bytes >= eager_threshold()) {
+    // Predicted rendezvous: Receiver-First protocol — expose the receive
+    // buffer and invite the sender to RDMA-write into it.
+    const mem::Buffer& target = req->has_pack ? req->pack_buf : req->buffer;
+    const std::size_t toff = req->has_pack ? 0 : req->offset;
+    ib::MemoryRegion* mr = register_window(target);
+    if (!options_.mr_cache) req->window_mr = mr;
+    req->phase = RequestState::Phase::RtrSent;
+    const mem::SimAddr addr = target.addr() + toff;
+    const ib::MKey rkey = mr->rkey();
+    const std::uint64_t capacity = req->bytes;
+    tx(ep, [this, &ep, req, addr, rkey, capacity] {
+      emit_control(ep, PacketType::Rtr, req, addr, rkey, capacity);
+    });
+  } else {
+    req->phase = RequestState::Phase::WaitingPacket;
+  }
+}
+
+void Engine::deliver_eager(Endpoint& ep,
+                           const std::shared_ptr<RequestState>& req,
+                           const PacketHeader& hdr, const std::byte* payload) {
+  Channel& ch = channel(ep, hdr.comm_id, hdr.tag);
+  ch.posted.erase(req->seq);
+  if (hdr.msg_bytes > req->bytes) {
+    fail(req, "truncation: eager message of " +
+                  std::to_string(hdr.msg_bytes) + " bytes exceeds receive of " +
+                  std::to_string(req->bytes));
+    return;
+  }
+  if (req->phase == RequestState::Phase::RtrSent) {
+    // Sender-Eager / Receiver-Rendezvous mis-prediction: receiver copies the
+    // data and completes; the stale RTR is dropped on the sender side.
+    ++stats_.eager_mispredicts;
+    release_window(req->has_pack ? req->pack_buf : req->buffer,
+                   req->window_mr);
+  }
+  if (hdr.msg_bytes > 0) {
+    if (req->type->is_contiguous()) {
+      std::memcpy(user_ptr(req), payload, hdr.msg_bytes);
+      ib_->charge_memcpy(hdr.msg_bytes);
+    } else {
+      if (hdr.msg_bytes % req->type->size() != 0) {
+        fail(req, "eager payload not a whole number of datatype elements");
+        return;
+      }
+      req->type->unpack(payload, user_ptr(req),
+                        hdr.msg_bytes / req->type->size());
+      charge_pack(hdr.msg_bytes);
+    }
+  }
+  complete(req, hdr.src_rank, hdr.tag, hdr.msg_bytes);
+}
+
+void Engine::start_rdma_read(Endpoint& ep,
+                             const std::shared_ptr<RequestState>& req,
+                             const PacketHeader& rts) {
+  Channel& ch = channel(ep, rts.comm_id, rts.tag);
+  if (rts.msg_bytes > req->bytes) {
+    // Sender-Rendezvous / Receiver-Eager mis-prediction with oversized data:
+    // "the receiver will issue an MPI error" (IV-B3).
+    ch.posted.erase(req->seq);
+    tx(ep, [this, &ep, req] {
+      emit_control(ep, PacketType::Err, req, 0, 0, 0);
+    });
+    fail(req, "truncation: rendezvous message of " +
+                  std::to_string(rts.msg_bytes) + " bytes exceeds receive of " +
+                  std::to_string(req->bytes));
+    return;
+  }
+  const mem::Buffer& target = req->has_pack ? req->pack_buf : req->buffer;
+  const std::size_t toff = req->has_pack ? 0 : req->offset;
+  ib::MemoryRegion* mr = register_window(target);
+  if (!options_.mr_cache) req->window_mr = mr;
+  req->phase = RequestState::Phase::ReadingData;
+
+  ib::SendWr wr;
+  wr.opcode = ib::Opcode::RdmaRead;
+  wr.signaled = true;
+  wr.wr_id = next_wr_id_++;
+  wr.sg_list = {{target.addr() + toff,
+                 static_cast<std::uint32_t>(rts.msg_bytes), mr->lkey()}};
+  wr.remote_addr = rts.buf_addr;
+  wr.rkey = rts.rkey;
+  const PacketHeader rts_copy = rts;
+  outstanding_[wr.wr_id] = [this, &ep, req, rts_copy](const ib::Wc& wc) {
+    Channel& c = channel(ep, rts_copy.comm_id, rts_copy.tag);
+    c.posted.erase(req->seq);
+    if (wc.status != ib::WcStatus::Success) {
+      fail(req, std::string("RDMA read failed: ") +
+                    ib::wc_status_name(wc.status));
+      return;
+    }
+    if (req->has_pack && rts_copy.msg_bytes > 0) {
+      req->type->unpack(req->pack_buf.data(), user_ptr(req),
+                        rts_copy.msg_bytes / req->type->size());
+      charge_pack(rts_copy.msg_bytes);
+    }
+    release_window(req->has_pack ? req->pack_buf : req->buffer,
+                   req->window_mr);
+    ++stats_.sender_first;
+    tx(ep, [this, &ep, req] {
+      emit_control(ep, PacketType::Done, req, 0, 0, 0);
+    });
+    complete(req, rts_copy.src_rank, rts_copy.tag, rts_copy.msg_bytes);
+  };
+  ib_->post_send(ep.qp, std::move(wr));
+}
+
+// ---------------------------------------------------------------------------
+// Packet dispatch
+// ---------------------------------------------------------------------------
+
+void Engine::handle_packet(Endpoint& ep, const PacketHeader& hdr,
+                           const std::byte* payload) {
+  Channel& ch = channel(ep, hdr.comm_id, hdr.tag);
+  switch (hdr.type) {
+    case PacketType::Eager:
+      handle_eager(ep, ch, hdr, payload);
+      break;
+    case PacketType::Rts:
+      handle_rts(ep, ch, hdr);
+      break;
+    case PacketType::Rtr:
+      handle_rtr(ep, ch, hdr);
+      break;
+    case PacketType::Done:
+      handle_done(ep, ch, hdr);
+      break;
+    case PacketType::Err:
+      handle_err(ep, ch, hdr);
+      break;
+  }
+}
+
+void Engine::handle_eager(Endpoint& ep, Channel& ch, const PacketHeader& hdr,
+                          const std::byte* payload) {
+  auto it = ch.posted.find(hdr.seq);
+  if (it != ch.posted.end()) {
+    auto req = it->second;
+    deliver_eager(ep, req, hdr, payload);
+    return;
+  }
+  // Unexpected: stash a copy (the ring slot is about to be recycled).
+  ArrivedPacket pkt;
+  pkt.hdr = hdr;
+  pkt.payload.assign(payload, payload + hdr.msg_bytes);
+  if (hdr.msg_bytes > 0) ib_->charge_memcpy(hdr.msg_bytes);
+  ch.arrived.emplace(hdr.seq, std::move(pkt));
+  drain_deferred(hdr.comm_id);
+}
+
+void Engine::handle_rts(Endpoint& ep, Channel& ch, const PacketHeader& hdr) {
+  auto it = ch.posted.find(hdr.seq);
+  if (it != ch.posted.end()) {
+    auto req = it->second;
+    // WaitingPacket: plain Sender-First. RtrSent: Simultaneous Send/Receive
+    // — "the receiver will RDMA read by using the buffer data included in
+    // the RTS packet following the process of the Sender First protocol".
+    start_rdma_read(ep, req, hdr);
+    return;
+  }
+  ArrivedPacket pkt;
+  pkt.hdr = hdr;
+  ch.arrived.emplace(hdr.seq, std::move(pkt));
+  drain_deferred(hdr.comm_id);
+}
+
+void Engine::handle_rtr(Endpoint& ep, Channel& ch, const PacketHeader& hdr) {
+  (void)ep;
+  auto it = ch.sends.find(hdr.seq);
+  if (it == ch.sends.end()) {
+    if (hdr.seq >= ch.next_send_seq) {
+      // The matching send has not been posted yet: pure Receiver-First.
+      ch.arrived_rtr[hdr.seq] = hdr;
+    } else {
+      // Stale RTR for an already-completed (eager) send. "The sender drops
+      // the RTR packet ... thanks to the sequence id, it's sure that this
+      // packet is only for the current send request but not for later ones."
+      ++stats_.rtrs_dropped;
+    }
+    return;
+  }
+  // A rendezvous send is in flight (RTS sent or queued): the sender
+  // "disregards the RTR and still waits for the receiver's RDMA read".
+  it->second->dropped_rtr = true;
+  ++stats_.rtrs_dropped;
+}
+
+void Engine::handle_done(Endpoint& ep, Channel& ch, const PacketHeader& hdr) {
+  (void)ep;
+  if (hdr.dir == PacketHeader::kToSender) {
+    // Sender-First completion: receiver finished its RDMA read.
+    auto it = ch.sends.find(hdr.seq);
+    if (it == ch.sends.end()) {
+      sim::Log::error(ib_->process().now(), "mpi",
+                      "rank %d: DONE(to-sender) for unknown seq %llu", rank_,
+                      static_cast<unsigned long long>(hdr.seq));
+      return;
+    }
+    auto req = it->second;
+    ch.sends.erase(it);
+    release_window(req->has_pack ? req->pack_buf : req->buffer,
+                   req->window_mr);
+    complete(req, rank_, req->tag, req->bytes);
+    return;
+  }
+  if (auto it = ch.posted.find(hdr.seq); it != ch.posted.end()) {
+    // Receiver-First completion: sender's RDMA write has landed.
+    auto req = it->second;
+    ch.posted.erase(it);
+    ++stats_.receiver_first;
+    if (req->has_pack && hdr.msg_bytes > 0) {
+      req->type->unpack(req->pack_buf.data(), user_ptr(req),
+                        hdr.msg_bytes / req->type->size());
+      charge_pack(hdr.msg_bytes);
+    }
+    release_window(req->has_pack ? req->pack_buf : req->buffer,
+                   req->window_mr);
+    complete(req, hdr.src_rank, hdr.tag, hdr.msg_bytes);
+    return;
+  }
+  sim::Log::error(ib_->process().now(), "mpi",
+                  "rank %d: DONE for unknown seq %llu", rank_,
+                  static_cast<unsigned long long>(hdr.seq));
+}
+
+void Engine::handle_err(Endpoint& ep, Channel& ch, const PacketHeader& hdr) {
+  (void)ep;
+  if (hdr.dir == PacketHeader::kToSender) {
+    if (auto it = ch.sends.find(hdr.seq); it != ch.sends.end()) {
+      auto req = it->second;
+      ch.sends.erase(it);
+      fail(req, "peer aborted message (truncation)");
+    }
+    return;
+  }
+  if (auto it = ch.posted.find(hdr.seq); it != ch.posted.end()) {
+    auto req = it->second;
+    ch.posted.erase(it);
+    fail(req, "peer aborted message (truncation)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wildcard sequencing (ANY_SOURCE / ANY_TAG locking)
+// ---------------------------------------------------------------------------
+
+std::optional<Engine::WildMatch> Engine::find_wildcard_match(
+    const std::shared_ptr<RequestState>& req) {
+  // Deterministic scan in (world rank, tag) order, self at its own rank.
+  for (int src = 0; src < nranks_; ++src) {
+    if (req->peer != kAnySource && req->peer != src) continue;
+    if (src == rank_) {
+      for (auto& [key, sc] : self_channels_) {
+        if (key.first != req->comm_id) continue;
+        if (req->tag == kAnyTag && key.second >= kInternalTagBase) continue;
+        if (req->tag != kAnyTag && req->tag != key.second) continue;
+        auto ait = sc.arrived.find(sc.next_assign_seq);
+        if (ait != sc.arrived.end()) return WildMatch{src, key.second};
+      }
+      continue;
+    }
+    auto eit = endpoints_.find(src);
+    if (eit == endpoints_.end()) continue;
+    for (auto& [key, ch] : eit->second.channels) {
+      if (key.first != req->comm_id) continue;
+      // ANY_TAG never matches internal (collective) traffic — the standard
+      // hidden-context separation.
+      if (req->tag == kAnyTag && key.second >= kInternalTagBase) continue;
+      if (req->tag != kAnyTag && req->tag != key.second) continue;
+      auto ait = ch.arrived.find(ch.next_assign_seq);
+      if (ait != ch.arrived.end()) return WildMatch{src, key.second};
+    }
+  }
+  return std::nullopt;
+}
+
+void Engine::drain_deferred(std::uint32_t comm_id) {
+  auto crit = comm_recv_.find(comm_id);
+  if (crit == comm_recv_.end()) return;
+  CommRecv& cr = crit->second;
+  while (!cr.deferred.empty()) {
+    auto req = cr.deferred.front();
+    const bool wildcard = req->peer == kAnySource || req->tag == kAnyTag;
+    if (wildcard) {
+      const auto match = find_wildcard_match(req);
+      if (!match) return;  // lock holds
+      cr.deferred.pop_front();
+      if (match->src == rank_) {
+        self_activate_recv(req, match->tag);
+      } else {
+        Endpoint& ep = endpoint(match->src);
+        Channel& ch = channel(ep, comm_id, match->tag);
+        req->seq = ch.next_assign_seq++;
+        req->seq_assigned = true;
+        activate_recv(ep, ch, req);
+      }
+    } else {
+      cr.deferred.pop_front();
+      if (req->peer == rank_) {
+        self_activate_recv(req, req->tag);
+      } else {
+        Endpoint& ep = endpoint(req->peer);
+        Channel& ch = channel(ep, comm_id, req->tag);
+        req->seq = ch.next_assign_seq++;
+        req->seq_assigned = true;
+        activate_recv(ep, ch, req);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Self messaging
+// ---------------------------------------------------------------------------
+
+void Engine::self_send(const std::shared_ptr<RequestState>& req) {
+  SelfChannel& sc = self_channels_[{req->comm_id, req->tag}];
+  req->seq = sc.next_send_seq++;
+  req->seq_assigned = true;
+
+  SelfMsg msg;
+  msg.tag = req->tag;
+  msg.bytes = req->bytes;
+  const std::byte* src = req->has_pack ? req->pack_buf.data() : user_ptr(req);
+  msg.data.assign(src, src + req->bytes);
+  if (req->bytes > 0) ib_->charge_memcpy(req->bytes);
+
+  auto it = sc.posted.find(req->seq);
+  if (it != sc.posted.end()) {
+    auto recv = it->second;
+    sc.posted.erase(it);
+    self_deliver(recv, std::move(msg));
+  } else {
+    sc.arrived.emplace(req->seq, std::move(msg));
+  }
+  complete(req, rank_, req->tag, req->bytes);
+  drain_deferred(req->comm_id);
+}
+
+void Engine::self_activate_recv(const std::shared_ptr<RequestState>& req,
+                                int tag) {
+  SelfChannel& sc = self_channels_[{req->comm_id, tag}];
+  req->seq = sc.next_assign_seq++;
+  req->seq_assigned = true;
+  auto it = sc.arrived.find(req->seq);
+  if (it != sc.arrived.end()) {
+    SelfMsg msg = std::move(it->second);
+    sc.arrived.erase(it);
+    self_deliver(req, std::move(msg));
+  } else {
+    sc.posted[req->seq] = req;
+  }
+}
+
+void Engine::self_deliver(const std::shared_ptr<RequestState>& req,
+                          SelfMsg msg) {
+  if (msg.bytes > req->bytes) {
+    fail(req, "truncation on self channel");
+    return;
+  }
+  if (msg.bytes > 0) {
+    if (req->type->is_contiguous()) {
+      std::memcpy(user_ptr(req), msg.data.data(), msg.bytes);
+    } else {
+      req->type->unpack(msg.data.data(), user_ptr(req),
+                        msg.bytes / req->type->size());
+    }
+    ib_->charge_memcpy(msg.bytes);
+  }
+  complete(req, rank_, msg.tag, msg.bytes);
+}
+
+}  // namespace dcfa::mpi

@@ -1,0 +1,113 @@
+// One-sided RMA primitives: thin, direct mappings onto the verbs RDMA ops
+// the rendezvous protocols already use. No packets, no sequence ids — the
+// target is never involved, which is exactly what the DCFA substrate (user
+// space RDMA from the co-processor) buys.
+
+#include <cstring>
+
+#include "mpi/engine.hpp"
+
+namespace dcfa::mpi {
+
+ib::MemoryRegion* Engine::expose_window_mr(const mem::Buffer& buf) {
+  return ib_->reg_mr(pd_, buf,
+                     ib::kLocalWrite | ib::kRemoteRead | ib::kRemoteWrite);
+}
+
+void Engine::release_window_mr(ib::MemoryRegion* mr) {
+  ib_->dereg_mr(mr);
+}
+
+void Engine::rma_write(int peer, const mem::Buffer& local, std::size_t loff,
+                       std::size_t bytes, mem::SimAddr remote_addr,
+                       ib::MKey rkey, std::function<void()> on_done) {
+  if (peer == rank_) {
+    // Local window: plain copy at memcpy cost.
+    std::byte* dst = ib_->hca_ref().memory().space(local.domain())
+                         .resolve(remote_addr, bytes);
+    std::memcpy(dst, local.data() + loff, bytes);
+    ib_->charge_memcpy(bytes);
+    if (on_done) on_done();
+    return;
+  }
+  Endpoint& ep = endpoint(peer);
+
+  // Stage through the offloading send buffer when it pays, like any other
+  // large payload leaving a co-processor.
+  mem::SimAddr src_addr;
+  ib::MKey lkey;
+  if (shadow_cache_ && bytes >= offload_threshold_ &&
+      local.domain() == mem::Domain::PhiGddr) {
+    const core::OffloadRegion& region = shadow_cache_->get(local);
+    phi_->sync_offload_mr(region, local, loff, bytes);
+    ++stats_.offload_syncs;
+    stats_.offload_sync_bytes += bytes;
+    src_addr = region.host_addr + loff;
+    lkey = region.lkey;
+  } else {
+    ib::MemoryRegion* mr = register_window(local);
+    src_addr = local.addr() + loff;
+    lkey = mr->lkey();
+  }
+
+  ib::SendWr wr;
+  wr.opcode = ib::Opcode::RdmaWrite;
+  wr.signaled = true;
+  wr.wr_id = next_wr_id_++;
+  wr.sg_list = {{src_addr, static_cast<std::uint32_t>(bytes), lkey}};
+  wr.remote_addr = remote_addr;
+  wr.rkey = rkey;
+  outstanding_[wr.wr_id] = [this, on_done = std::move(on_done)](
+                               const ib::Wc& wc) {
+    if (wc.status != ib::WcStatus::Success) {
+      throw MpiError(std::string("RMA write failed: ") +
+                     ib::wc_status_name(wc.status));
+    }
+    if (on_done) on_done();
+  };
+  ib_->post_send(ep.qp, std::move(wr));
+}
+
+void Engine::rma_read(int peer, const mem::Buffer& local, std::size_t loff,
+                      std::size_t bytes, mem::SimAddr remote_addr,
+                      ib::MKey rkey, std::function<void()> on_done) {
+  if (peer == rank_) {
+    const std::byte* src = ib_->hca_ref().memory().space(local.domain())
+                               .resolve(remote_addr, bytes);
+    std::memcpy(local.data() + loff, src, bytes);
+    ib_->charge_memcpy(bytes);
+    if (on_done) on_done();
+    return;
+  }
+  Endpoint& ep = endpoint(peer);
+  ib::MemoryRegion* mr = register_window(local);
+
+  ib::SendWr wr;
+  wr.opcode = ib::Opcode::RdmaRead;
+  wr.signaled = true;
+  wr.wr_id = next_wr_id_++;
+  wr.sg_list = {{local.addr() + loff, static_cast<std::uint32_t>(bytes),
+                 mr->lkey()}};
+  wr.remote_addr = remote_addr;
+  wr.rkey = rkey;
+  outstanding_[wr.wr_id] = [this, on_done = std::move(on_done)](
+                               const ib::Wc& wc) {
+    if (wc.status != ib::WcStatus::Success) {
+      throw MpiError(std::string("RMA read failed: ") +
+                     ib::wc_status_name(wc.status));
+    }
+    if (on_done) on_done();
+  };
+  ib_->post_send(ep.qp, std::move(wr));
+}
+
+void Engine::wait_until(const std::function<bool()>& pred) {
+  while (!pred()) {
+    wake_pending_ = false;
+    progress();
+    if (pred()) return;
+    if (!wake_pending_) ib_->process().wait_on(wake_);
+  }
+}
+
+}  // namespace dcfa::mpi

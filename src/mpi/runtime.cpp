@@ -1,0 +1,139 @@
+#include "mpi/runtime.hpp"
+
+#include "baselines/proxy_verbs.hpp"
+#include "sim/trace.hpp"
+
+namespace dcfa::mpi {
+
+const char* mode_name(MpiMode mode) {
+  switch (mode) {
+    case MpiMode::DcfaPhi: return "DCFA-MPI";
+    case MpiMode::DcfaPhiNoOffload: return "DCFA-MPI (no offload buffer)";
+    case MpiMode::IntelPhi: return "Intel MPI on Xeon Phi";
+    case MpiMode::HostMpi: return "host MPI";
+  }
+  return "?";
+}
+
+Runtime::Node::Node(sim::Engine& engine, int id,
+                    const sim::Platform& platform)
+    : memory(id, platform.host_dram_bytes, platform.phi_gddr_bytes),
+      pcie(engine, memory, platform) {
+  (void)engine;
+}
+
+Runtime::RankSlot::RankSlot(sim::Engine& engine, Node& node,
+                            const sim::Platform& platform)
+    : node(node), channel(engine, node.pcie, platform) {}
+
+Runtime::Runtime(RunConfig config)
+    : config_(std::move(config)),
+      platform_(config_.mode == MpiMode::IntelPhi
+                    ? baseline::proxy_mode_platform(config_.platform)
+                    : config_.platform) {
+  if (config_.nprocs <= 0) throw MpiError("Runtime: nprocs <= 0");
+  if (config_.mode == MpiMode::IntelPhi ||
+      config_.mode == MpiMode::DcfaPhiNoOffload) {
+    config_.engine_options.offload_send_buffer = false;
+  }
+  sim_ = std::make_unique<sim::Engine>();
+  fabric_ = std::make_unique<ib::Fabric>(*sim_, platform_);
+  bootstrap_ = std::make_unique<Bootstrap>(*sim_);
+  const bool on_phi = config_.mode != MpiMode::HostMpi;
+  // One node per rank up to the cluster size; beyond that, ranks share
+  // nodes round-robin (co-located ranks talk over the loopback path, as in
+  // the intra-MIC related work of Section III-C).
+  const int node_count = std::min(config_.nprocs, platform_.nodes);
+  for (int n = 0; n < node_count; ++n) {
+    auto node = std::make_unique<Node>(*sim_, n, platform_);
+    fabric_->add_hca(node->memory, node->pcie);
+    nodes_.push_back(std::move(node));
+  }
+  for (int r = 0; r < config_.nprocs; ++r) {
+    Node& node = *nodes_[r % nodes_.size()];
+    auto slot = std::make_unique<RankSlot>(*sim_, node, platform_);
+    if (on_phi) {
+      // The delegation process (mcexec + DCFA CMD server) comes up with
+      // each executable loaded onto the card: one per rank.
+      slot->delegate.emplace(slot->channel,
+                             fabric_->hca_for_node(node.memory.node()),
+                             node.memory);
+    }
+    slots_.push_back(std::move(slot));
+  }
+  stats_.resize(config_.nprocs);
+}
+
+Runtime::~Runtime() = default;
+
+std::unique_ptr<verbs::Ib> Runtime::make_endpoint(sim::Process& proc,
+                                                  RankSlot& slot) {
+  switch (config_.mode) {
+    case MpiMode::DcfaPhi:
+    case MpiMode::DcfaPhiNoOffload:
+      return std::make_unique<core::PhiVerbs>(proc, *fabric_,
+                                              slot.node.memory, slot.channel);
+    case MpiMode::IntelPhi:
+      return std::make_unique<baseline::ProxyPhiVerbs>(
+          proc, *fabric_, slot.node.memory, slot.channel);
+    case MpiMode::HostMpi:
+      return std::make_unique<verbs::HostVerbs>(proc, *fabric_,
+                                                slot.node.memory);
+  }
+  throw MpiError("Runtime: unknown mode");
+}
+
+void Runtime::run(const std::function<void(RankCtx&)>& body) {
+  if (ran_) throw MpiError("Runtime::run called twice");
+  ran_ = true;
+
+  std::unique_ptr<sim::Tracer> tracer;
+  if (!config_.trace_path.empty()) {
+    tracer = std::make_unique<sim::Tracer>();
+    sim::Tracer::install(tracer.get());
+  }
+
+  for (int r = 0; r < config_.nprocs; ++r) {
+    RankSlot& slot = *slots_[r];
+    sim_->spawn("rank" + std::to_string(r), [this, r, &slot,
+                                             &body](sim::Process& proc) {
+      Engine engine(r, config_.nprocs, make_endpoint(proc, slot), *bootstrap_,
+                    config_.engine_options);
+      engine.setup();
+
+      std::vector<int> world(config_.nprocs);
+      for (int i = 0; i < config_.nprocs; ++i) world[i] = i;
+      Communicator comm(engine, /*id=*/0, std::move(world), r);
+
+      std::optional<offload::Engine> off;
+      if (config_.mode == MpiMode::HostMpi) {
+        off.emplace(proc, slot.node.memory, slot.node.pcie, platform_);
+      }
+
+      RankCtx ctx{comm,      proc,
+                  slot.node.memory, slot.node.pcie,
+                  off ? &*off : nullptr, platform_,
+                  r,         config_.nprocs};
+      body(ctx);
+
+      engine.finalize();
+      stats_[r] = engine.stats();
+    });
+  }
+  sim_->run();
+
+  if (tracer) {
+    sim::Tracer::install(nullptr);
+    tracer->write(config_.trace_path);
+  }
+}
+
+sim::Time Runtime::elapsed() const { return sim_->now(); }
+
+sim::Time run_mpi(RunConfig config, const std::function<void(RankCtx&)>& body) {
+  Runtime rt(std::move(config));
+  rt.run(body);
+  return rt.elapsed();
+}
+
+}  // namespace dcfa::mpi

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dcfa/cmd.hpp"
+#include "mpi/communicator.hpp"
+#include "offload/offload.hpp"
+
+namespace dcfa::mpi {
+
+/// Which MPI stack a run models — the three systems of the paper's
+/// evaluation plus the ablation variant without the offloading send buffer.
+enum class MpiMode {
+  DcfaPhi,           ///< DCFA-MPI: ranks on the Phi, direct IB via DCFA
+  DcfaPhiNoOffload,  ///< DCFA-MPI without the offloading send buffer
+  IntelPhi,          ///< 'Intel MPI on Xeon Phi' mode (SCIF/IB-proxy path)
+  HostMpi,           ///< host MPI (the YAMPII role; also the substrate of
+                     ///< 'Intel MPI on Xeon + offload' harnesses)
+};
+
+const char* mode_name(MpiMode mode);
+
+struct RunConfig {
+  MpiMode mode = MpiMode::DcfaPhi;
+  int nprocs = 2;
+  sim::Platform platform{};
+  Engine::Options engine_options{};
+  /// When non-empty, record a Chrome trace (chrome://tracing / Perfetto)
+  /// of the whole run and write it here.
+  std::string trace_path;
+};
+
+/// Everything a rank body can touch. `world` is the world communicator;
+/// `offload` is non-null only for host ranks (the 'Intel MPI on Xeon +
+/// offload' baseline drives its card through it).
+struct RankCtx {
+  Communicator& world;
+  sim::Process& proc;
+  mem::NodeMemory& memory;
+  pcie::PciePort& pcie;
+  offload::Engine* offload;
+  const sim::Platform& platform;
+  int rank;
+  int nprocs;
+
+  double wtime() const { return world.wtime(); }
+};
+
+/// One simulated cluster run: builds nprocs nodes (host + Phi + HCA +
+/// delegation process each), spawns one MPI rank per node in the placement
+/// the mode dictates, runs the SPMD body to completion, and reports virtual
+/// time. The mpirun/mcexec role of Section IV-B2.
+class Runtime {
+ public:
+  explicit Runtime(RunConfig config);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Run `body` on every rank; returns when the simulation drains.
+  /// Exceptions thrown by any rank propagate out. Callable once.
+  void run(const std::function<void(RankCtx&)>& body);
+
+  /// Virtual time consumed by the whole run.
+  sim::Time elapsed() const;
+
+  /// Aggregated engine statistics per rank (valid after run()).
+  const std::vector<Engine::Stats>& rank_stats() const { return stats_; }
+
+  sim::Engine& sim() { return *sim_; }
+  const sim::Platform& platform() const { return platform_; }
+
+ private:
+  struct Node {
+    Node(sim::Engine& engine, int id, const sim::Platform& platform);
+    mem::NodeMemory memory;
+    pcie::PciePort pcie;
+  };
+  /// Per-rank host-delegation attachment (the mcexec/DCFA CMD server pair
+  /// comes up once per executable, so co-located ranks each get their own
+  /// channel + delegate).
+  struct RankSlot {
+    RankSlot(sim::Engine& engine, Node& node, const sim::Platform& platform);
+    Node& node;
+    scif::Channel channel;
+    std::optional<core::HostDelegate> delegate;
+  };
+
+  std::unique_ptr<verbs::Ib> make_endpoint(sim::Process& proc,
+                                           RankSlot& slot);
+
+  RunConfig config_;
+  sim::Platform platform_;  ///< possibly adjusted for the mode
+  std::unique_ptr<sim::Engine> sim_;
+  std::unique_ptr<ib::Fabric> fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<RankSlot>> slots_;
+  std::unique_ptr<Bootstrap> bootstrap_;
+  std::vector<Engine::Stats> stats_;
+  bool ran_ = false;
+};
+
+/// Convenience wrapper: build a Runtime, run `body`, return elapsed virtual
+/// time. The workhorse of the benchmark harnesses.
+sim::Time run_mpi(RunConfig config, const std::function<void(RankCtx&)>& body);
+
+}  // namespace dcfa::mpi

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dcfa::mpi {
+
+/// Wildcards (MPI_ANY_SOURCE / MPI_ANY_TAG).
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -2;
+
+/// Tags >= kInternalTagBase are reserved for collectives and internal
+/// protocol traffic; user code must stay below.
+constexpr int kInternalTagBase = 1 << 20;
+
+/// Completion information (MPI_Status).
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+/// Reduction operators for reduce/allreduce/scan.
+enum class Op { Sum, Max, Min, Prod };
+
+/// MPI-level error (truncation, protocol misuse, invalid arguments). The
+/// paper's sender-rendezvous/receiver-eager mis-prediction "will issue an
+/// MPI error" — that surfaces as this exception.
+class MpiError : public std::runtime_error {
+ public:
+  explicit MpiError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class TruncationError : public MpiError {
+ public:
+  explicit TruncationError(const std::string& what) : MpiError(what) {}
+};
+
+}  // namespace dcfa::mpi

@@ -1,0 +1,93 @@
+#include "mpi/window.hpp"
+
+#include <cstring>
+
+namespace dcfa::mpi {
+
+Window::Window(Communicator& comm, const mem::Buffer& buf,
+               std::size_t offset, std::size_t size)
+    : comm_(comm), buf_(buf), offset_(offset), size_(size) {
+  if (offset + size > buf.size()) {
+    throw MpiError("Window: window escapes buffer");
+  }
+  mr_ = comm_.engine().expose_window_mr(buf_);
+
+  // Collective exchange of (addr, rkey, size) — the out-of-band step
+  // MPI_Win_create performs.
+  struct Adv {
+    mem::SimAddr addr;
+    ib::MKey rkey;
+    std::uint64_t size;
+  };
+  mem::Buffer mine = comm_.alloc(sizeof(Adv));
+  mem::Buffer all = comm_.alloc(sizeof(Adv) * comm_.size());
+  Adv adv{buf_.addr() + offset_, mr_->rkey(), size_};
+  std::memcpy(mine.data(), &adv, sizeof adv);
+  comm_.allgather(mine, 0, sizeof(Adv), type_byte(), all, 0);
+  remotes_.resize(comm_.size());
+  for (int r = 0; r < comm_.size(); ++r) {
+    Adv a;
+    std::memcpy(&a, all.data() + r * sizeof(Adv), sizeof a);
+    remotes_[r] = RemoteWindow{a.addr, a.rkey,
+                               static_cast<std::size_t>(a.size)};
+  }
+  comm_.free(mine);
+  comm_.free(all);
+}
+
+Window::~Window() {
+  // free() is collective and must have been called; a destructor cannot
+  // communicate. Tolerate (but do not hide) the leak outside a live run.
+}
+
+void Window::free() {
+  if (freed_) return;
+  fence();
+  comm_.engine().release_window_mr(mr_);
+  mr_ = nullptr;
+  freed_ = true;
+}
+
+void Window::check_target(int target, std::size_t bytes,
+                          std::size_t disp) const {
+  if (freed_) throw MpiError("Window: used after free");
+  if (target < 0 || target >= comm_.size()) {
+    throw MpiError("Window: bad target rank");
+  }
+  if (disp + bytes > remotes_[target].size) {
+    throw MpiError("Window: access of " + std::to_string(bytes) +
+                   " bytes at displacement " + std::to_string(disp) +
+                   " escapes the target window of " +
+                   std::to_string(remotes_[target].size) + " bytes");
+  }
+}
+
+void Window::put(const mem::Buffer& src, std::size_t soff, std::size_t bytes,
+                 int target, std::size_t disp) {
+  check_target(target, bytes, disp);
+  if (bytes == 0) return;
+  ++outstanding_;
+  comm_.engine().rma_write(comm_.world_rank(target), src, soff, bytes,
+                           remotes_[target].addr + disp,
+                           remotes_[target].rkey,
+                           [this] { --outstanding_; });
+}
+
+void Window::get(const mem::Buffer& dst, std::size_t doff, std::size_t bytes,
+                 int target, std::size_t disp) {
+  check_target(target, bytes, disp);
+  if (bytes == 0) return;
+  ++outstanding_;
+  comm_.engine().rma_read(comm_.world_rank(target), dst, doff, bytes,
+                          remotes_[target].addr + disp,
+                          remotes_[target].rkey,
+                          [this] { --outstanding_; });
+}
+
+void Window::fence() {
+  if (freed_) throw MpiError("Window: fence after free");
+  comm_.engine().wait_until([this] { return outstanding_ == 0; });
+  comm_.barrier();
+}
+
+}  // namespace dcfa::mpi

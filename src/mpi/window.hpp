@@ -1,0 +1,72 @@
+#pragma once
+
+#include <vector>
+
+#include "mpi/communicator.hpp"
+
+namespace dcfa::mpi {
+
+/// One-sided communication window (MPI_Win_create / Put / Get / Fence).
+///
+/// An RMA extension that the DCFA substrate makes almost free: the paper's
+/// whole design is user-space RDMA from the co-processor, so a window is
+/// just a registered memory region whose rkey every rank learns at creation
+/// — puts and gets map 1:1 onto the RDMA writes/reads the P2P rendezvous
+/// already uses, with no target-side involvement at all (true passive
+/// progress, which two-sided DCFA-MPI cannot offer).
+///
+/// Synchronisation model: fence epochs (the BSP style). Operations issued
+/// between two fence() calls are guaranteed complete — locally and at the
+/// target — after the closing fence.
+class Window {
+ public:
+  /// Collective over `comm`: expose `size` bytes of `buf` starting at
+  /// `offset`. Every rank must participate (sizes may differ).
+  Window(Communicator& comm, const mem::Buffer& buf, std::size_t offset,
+         std::size_t size);
+
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+  ~Window();
+
+  /// Collective teardown (quiesces first). Must be called; the destructor
+  /// only checks.
+  void free();
+
+  /// RDMA-write `bytes` from src[soff..] into the target rank's window at
+  /// byte displacement `disp`. Completes at the closing fence.
+  void put(const mem::Buffer& src, std::size_t soff, std::size_t bytes,
+           int target, std::size_t disp);
+  /// RDMA-read `bytes` from the target window into dst[doff..].
+  void get(const mem::Buffer& dst, std::size_t doff, std::size_t bytes,
+           int target, std::size_t disp);
+
+  /// Close the current epoch: wait for local completion of every issued
+  /// operation, then synchronise all ranks. After fence() returns, every
+  /// rank sees every put of the epoch.
+  void fence();
+
+  std::size_t size() const { return size_; }
+  std::size_t target_size(int target) const { return remotes_[target].size; }
+  Communicator& comm() { return comm_; }
+
+ private:
+  struct RemoteWindow {
+    mem::SimAddr addr = 0;
+    ib::MKey rkey = 0;
+    std::size_t size = 0;
+  };
+
+  void check_target(int target, std::size_t bytes, std::size_t disp) const;
+
+  Communicator& comm_;
+  mem::Buffer buf_;
+  std::size_t offset_;
+  std::size_t size_;
+  ib::MemoryRegion* mr_ = nullptr;
+  std::vector<RemoteWindow> remotes_;  ///< indexed by comm rank
+  int outstanding_ = 0;
+  bool freed_ = false;
+};
+
+}  // namespace dcfa::mpi

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "mem/memory.hpp"
+#include "pcie/pcie.hpp"
+#include "sim/platform.hpp"
+#include "sim/process.hpp"
+
+namespace dcfa::offload {
+
+/// Completion flag for asynchronous offload transfers (the `signal` clause
+/// of `#pragma offload_transfer`). Wait with Engine::wait().
+class Signal {
+ public:
+  explicit Signal(sim::Engine& engine) : cond_(engine, "offload.signal") {}
+  bool done() const { return done_; }
+
+ private:
+  friend class Engine;
+  bool done_ = false;
+  sim::Condition cond_;
+};
+
+/// Model of the Intel compiler's offload runtime (COI) between one host
+/// process and its node's Xeon Phi card. This is the substrate of the
+/// 'Intel MPI on Xeon where it offloads computation to Xeon Phi
+/// co-processors' baseline.
+///
+/// Captures the costs the paper's Figure 10/11 optimisation list fights:
+///  * fixed per-transfer overhead (descriptor exchange, doorbell, host-side
+///    pinned-staging management) — paid even for 4-byte payloads;
+///  * a bandwidth penalty for buffers that are not 4 KiB aligned / sized;
+///  * per-offload-region launch cost that grows with the OpenMP team size
+///    (the card must wake that many threads);
+///  * persistent card buffers so repeated regions skip re-allocation.
+class Engine {
+ public:
+  Engine(sim::Process& host_proc, mem::NodeMemory& memory,
+         pcie::PciePort& pcie, const sim::Platform& platform)
+      : proc_(host_proc), memory_(memory), pcie_(pcie), platform_(platform) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Allocate a persistent buffer in card (Phi GDDR) memory. Mirrors
+  /// `alloc_if(1) free_if(0)` buffers kept across offload regions.
+  mem::Buffer alloc_card_buffer(std::size_t size,
+                                std::size_t align = mem::AddressSpace::kPage);
+  void free_card_buffer(const mem::Buffer& buf);
+
+  /// Synchronous host->card copy ("copy in"). Blocks the host process for
+  /// the fixed overhead plus the PCIe time.
+  void transfer_in(const mem::Buffer& host_src, std::size_t src_off,
+                   const mem::Buffer& card_dst, std::size_t dst_off,
+                   std::size_t len);
+  /// Synchronous card->host copy ("copy out").
+  void transfer_out(const mem::Buffer& card_src, std::size_t src_off,
+                    const mem::Buffer& host_dst, std::size_t dst_off,
+                    std::size_t len);
+
+  /// Asynchronous variants (offload_transfer with a signal): the host pays
+  /// only the submit cost and may overlap MPI communication — the paper's
+  /// double-buffer optimisation.
+  std::unique_ptr<Signal> transfer_in_async(const mem::Buffer& host_src,
+                                            std::size_t src_off,
+                                            const mem::Buffer& card_dst,
+                                            std::size_t dst_off,
+                                            std::size_t len);
+  std::unique_ptr<Signal> transfer_out_async(const mem::Buffer& card_src,
+                                             std::size_t src_off,
+                                             const mem::Buffer& host_dst,
+                                             std::size_t dst_off,
+                                             std::size_t len);
+  /// Block the host process until `sig` completes.
+  void wait(Signal& sig);
+
+  /// Run one offload region on the card with an OpenMP team of `threads`.
+  /// The host blocks for launch + `compute_time` (synchronous `#pragma
+  /// offload`), after which `kernel` has really executed (so tests can
+  /// verify the card-side data). Pass the modelled compute duration, e.g.
+  /// from compute::parallel_time().
+  void run_region(int threads, sim::Time compute_time,
+                  const std::function<void()>& kernel);
+
+  /// Fixed cost of one transfer given its alignment/size, exposed so
+  /// benches can report the model's parameters.
+  sim::Time transfer_overhead(std::size_t off_a, std::size_t off_b,
+                              std::size_t len) const;
+
+  std::uint64_t regions_launched() const { return regions_; }
+  std::uint64_t transfers() const { return transfers_; }
+
+ private:
+  sim::Time do_transfer(mem::Domain src_d, mem::SimAddr src,
+                        mem::Domain dst_d, mem::SimAddr dst, std::size_t len,
+                        std::size_t src_off, std::size_t dst_off,
+                        std::function<void()> on_done);
+
+  sim::Process& proc_;
+  mem::NodeMemory& memory_;
+  pcie::PciePort& pcie_;
+  const sim::Platform& platform_;
+  std::uint64_t regions_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace dcfa::offload

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <functional>
+
+#include "mem/memory.hpp"
+#include "sim/engine.hpp"
+#include "sim/platform.hpp"
+#include "sim/process.hpp"
+#include "sim/resource.hpp"
+
+namespace dcfa::pcie {
+
+/// One node's PCI Express attachment of the Xeon Phi card.
+///
+/// Two independent DMA initiators share the slot in the model:
+///  * the Phi's own DMA engine (phi_dma) — full PCIe rate both directions;
+///    used by SCIF, the offload runtime and sync_offload_mr;
+///  * the HCA's DMA engine (modelled inside ib::Hca) — fast against host
+///    DRAM, crippled when *reading* Phi GDDR (the Figure 5 asymmetry).
+///
+/// Keeping the initiators as separate sim::Resources lets an offload
+/// transfer overlap host-side InfiniBand traffic, which the paper's
+/// double-buffering optimisation depends on.
+class PciePort {
+ public:
+  PciePort(sim::Engine& engine, mem::NodeMemory& memory,
+           const sim::Platform& platform)
+      : engine_(engine),
+        memory_(memory),
+        platform_(platform),
+        phi_dma_("pcie.phi_dma[" + std::to_string(memory.node()) + "]") {}
+
+  PciePort(const PciePort&) = delete;
+  PciePort& operator=(const PciePort&) = delete;
+
+  /// Move `len` bytes between this node's host DRAM and Phi GDDR using the
+  /// Phi DMA engine. `on_done` fires (in virtual time) after the copy has
+  /// really happened; returns the completion time. Source and destination
+  /// must be on this node; crossing the same domain is allowed (GDDR-to-GDDR
+  /// blits run at the same engine rate).
+  /// `bw_factor` scales the engine bandwidth (<1 models unaligned bursts).
+  sim::Time dma_async(mem::Domain src_domain, mem::SimAddr src,
+                      mem::Domain dst_domain, mem::SimAddr dst,
+                      std::size_t len, std::function<void()> on_done = {},
+                      double bw_factor = 1.0);
+
+  /// Blocking variant for code running inside a sim::Process.
+  void dma(sim::Process& proc, mem::Domain src_domain, mem::SimAddr src,
+           mem::Domain dst_domain, mem::SimAddr dst, std::size_t len);
+
+  /// The Phi DMA engine resource (exposed for utilisation stats/tests).
+  sim::Resource& phi_dma() { return phi_dma_; }
+
+  mem::NodeMemory& memory() { return memory_; }
+  const sim::Platform& platform() const { return platform_; }
+
+ private:
+  sim::Engine& engine_;
+  mem::NodeMemory& memory_;
+  const sim::Platform& platform_;
+  sim::Resource phi_dma_;
+};
+
+}  // namespace dcfa::pcie

@@ -1,0 +1,92 @@
+#include "sim/engine.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/process.hpp"
+
+namespace dcfa::sim {
+
+Engine::Engine() = default;
+
+Engine::~Engine() {
+  // Unblock and join any process threads that are still parked. Their
+  // bodies can no longer run (the engine is gone), so we detach them by
+  // letting Process's destructor force-join.
+  processes_.clear();
+}
+
+void Engine::schedule_at(Time t, Callback cb) {
+  if (t < now_) {
+    throw std::logic_error("Engine::schedule_at: time in the past");
+  }
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Engine::schedule_after(Time delay, Callback cb) {
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+Process& Engine::spawn(std::string name, std::function<void(Process&)> body) {
+  auto proc = std::unique_ptr<Process>(
+      new Process(*this, std::move(name), std::move(body)));
+  Process& ref = *proc;
+  processes_.push_back(std::move(proc));
+  ref.start();
+  schedule_at(now_, [&ref] { ref.resume(); });
+  return ref;
+}
+
+void Engine::step(const Event& ev) {
+  now_ = ev.time;
+  ++events_executed_;
+  ev.cb();
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    step(ev);
+  }
+  // A process that died on an exception usually strands its peers; surface
+  // the root cause rather than a misleading deadlock report.
+  for (const auto& p : processes_) {
+    if (p->error()) std::rethrow_exception(p->error());
+  }
+  check_deadlock();
+}
+
+void Engine::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    step(ev);
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+std::size_t Engine::live_processes() const {
+  std::size_t n = 0;
+  for (const auto& p : processes_) {
+    if (!p->finished()) ++n;
+  }
+  return n;
+}
+
+void Engine::check_deadlock() const {
+  std::ostringstream stuck;
+  std::size_t n = 0;
+  for (const auto& p : processes_) {
+    if (!p->finished()) {
+      if (n++) stuck << ", ";
+      stuck << p->name();
+    }
+  }
+  if (n > 0) {
+    throw DeadlockError("simulation deadlock: " + std::to_string(n) +
+                        " process(es) blocked forever: " + stuck.str());
+  }
+}
+
+}  // namespace dcfa::sim

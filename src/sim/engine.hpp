@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dcfa::sim {
+
+class Process;
+
+/// Deterministic discrete-event engine.
+///
+/// The engine owns a priority queue of (time, sequence) ordered events and a
+/// set of cooperative processes. Exactly one thread — either the engine's
+/// caller inside an event callback, or a single resumed Process — runs at any
+/// moment, so simulation state needs no locking and every run with the same
+/// inputs produces the same event order.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine();
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute virtual time `t` (must be >= now()).
+  void schedule_at(Time t, Callback cb);
+
+  /// Schedule `cb` to run `delay` nanoseconds from now.
+  void schedule_after(Time delay, Callback cb);
+
+  /// Create a process whose body starts executing at the current time once
+  /// run() reaches it. The engine owns the process. Body runs on its own OS
+  /// thread but only while the engine has handed it control.
+  Process& spawn(std::string name, std::function<void(Process&)> body);
+
+  /// Run until the event queue is empty. Returns normally when every spawned
+  /// process has finished; throws DeadlockError if processes remain blocked
+  /// with no pending events (naming the stuck processes).
+  void run();
+
+  /// Run until the event queue is empty or virtual time would exceed
+  /// `deadline`; remaining events stay queued. Does not throw on blocked
+  /// processes (useful for driving partial scenarios in tests).
+  void run_until(Time deadline);
+
+  /// Number of processes that have been spawned and not yet finished.
+  std::size_t live_processes() const;
+
+  /// Total events executed so far (for determinism tests and stats).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  friend class Process;
+
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void step(const Event& ev);
+  void check_deadlock() const;
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+};
+
+/// Thrown by Engine::run() when all events have drained but processes are
+/// still blocked on conditions that can never fire.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace dcfa::sim

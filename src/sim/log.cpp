@@ -1,0 +1,20 @@
+#include "sim/log.hpp"
+
+#include <cstdlib>
+
+namespace dcfa::sim {
+
+namespace {
+LogLevel g_level = [] {
+  if (const char* env = std::getenv("DCFA_SIM_LOG")) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 3) return static_cast<LogLevel>(v);
+  }
+  return LogLevel::Off;
+}();
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel lv) { g_level = lv; }
+
+}  // namespace dcfa::sim

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace dcfa::sim {
+
+enum class LogLevel { Off = 0, Error = 1, Info = 2, Trace = 3 };
+
+/// Global trace facility for the simulator. Off by default so tests and
+/// benches stay quiet; flip with Log::set_level(LogLevel::Trace) or the
+/// DCFA_SIM_LOG environment variable (0..3) to watch protocol exchanges.
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lv);
+
+  /// printf-style trace line, prefixed with virtual time and component tag.
+  template <typename... Args>
+  static void trace(Time now, const char* component, const char* fmt,
+                    Args... args) {
+    write(LogLevel::Trace, now, component, fmt, args...);
+  }
+
+  template <typename... Args>
+  static void info(Time now, const char* component, const char* fmt,
+                   Args... args) {
+    write(LogLevel::Info, now, component, fmt, args...);
+  }
+
+  template <typename... Args>
+  static void error(Time now, const char* component, const char* fmt,
+                    Args... args) {
+    write(LogLevel::Error, now, component, fmt, args...);
+  }
+
+ private:
+  template <typename... Args>
+  static void write(LogLevel lv, Time now, const char* component,
+                    const char* fmt, Args... args) {
+    if (static_cast<int>(lv) > static_cast<int>(level())) return;
+    std::string line = "[" + format_time(now) + "] [" + component + "] ";
+    std::fputs(line.c_str(), stderr);
+    if constexpr (sizeof...(Args) == 0) {
+      std::fputs(fmt, stderr);
+    } else {
+      std::fprintf(stderr, fmt, args...);
+    }
+    std::fputc('\n', stderr);
+  }
+};
+
+}  // namespace dcfa::sim

@@ -1,0 +1,103 @@
+#include "sim/process.hpp"
+
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace dcfa::sim {
+
+Process::Process(Engine& engine, std::string name,
+                 std::function<void(Process&)> body)
+    : engine_(engine), name_(std::move(name)), body_(std::move(body)) {}
+
+Process::~Process() {
+  {
+    std::unique_lock lk(mu_);
+    if (state_ != State::Done && thread_.joinable()) {
+      // The engine is being torn down with this process still parked. Hand it
+      // a poisoned token so the thread can unwind via an exception.
+      state_ = State::Done;  // signals abandon to the thread loop
+      token_with_process_ = true;
+      cv_.notify_all();
+    }
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+Time Process::now() const { return engine_.now(); }
+
+void Process::start() {
+  state_ = State::Runnable;
+  thread_ = std::thread([this] {
+    {
+      // Wait for the first resume.
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return token_with_process_; });
+      if (state_ == State::Done) {  // abandoned before first run
+        token_with_process_ = false;
+        cv_.notify_all();
+        return;
+      }
+      state_ = State::Running;
+    }
+    try {
+      body_(*this);
+    } catch (const AbandonedProcess&) {
+      // Engine torn down while we were parked; just unwind.
+    } catch (...) {
+      // Remember the failure; Engine::run() rethrows it to the caller.
+      error_ = std::current_exception();
+    }
+    std::unique_lock lk(mu_);
+    state_ = State::Done;
+    token_with_process_ = false;
+    cv_.notify_all();
+  });
+}
+
+void Process::resume() {
+  std::unique_lock lk(mu_);
+  if (state_ == State::Done) return;  // finished before a stale wake-up fired
+  token_with_process_ = true;
+  state_ = State::Running;
+  cv_.notify_all();
+  // Wait for the process to park again or finish.
+  cv_.wait(lk, [this] { return !token_with_process_; });
+}
+
+void Process::park() {
+  std::unique_lock lk(mu_);
+  state_ = State::Blocked;
+  token_with_process_ = false;
+  cv_.notify_all();
+  cv_.wait(lk, [this] { return token_with_process_; });
+  if (state_ == State::Done) {
+    throw AbandonedProcess{};
+  }
+  state_ = State::Running;
+}
+
+void Process::wait(Time d) {
+  if (d < 0) throw std::logic_error("Process::wait: negative duration");
+  engine_.schedule_after(d, [this] { resume(); });
+  park();
+}
+
+void Process::wait_on(Condition& cond) {
+  cond.waiters_.push_back(this);
+  park();
+}
+
+Condition::Condition(Engine& engine, std::string name)
+    : engine_(engine), name_(std::move(name)) {}
+
+void Condition::notify_all() {
+  if (waiters_.empty()) return;
+  auto woken = std::move(waiters_);
+  waiters_.clear();
+  for (Process* p : woken) {
+    engine_.schedule_after(0, [p] { p->resume(); });
+  }
+}
+
+}  // namespace dcfa::sim

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dcfa::sim {
+
+class Engine;
+class Condition;
+
+/// Internal exception used to unwind a parked process thread when its engine
+/// is destroyed before the process body finished. Never escapes the library.
+struct AbandonedProcess {};
+
+/// A cooperative simulated process backed by an OS thread.
+///
+/// The engine resumes a process by handing it the "run token"; the process
+/// gives it back whenever it blocks in wait() / wait_on(). Only one process
+/// (or the engine itself) ever holds the token, which makes the simulation
+/// single-threaded in effect and fully deterministic.
+class Process {
+ public:
+  ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  const std::string& name() const { return name_; }
+  Engine& engine() { return engine_; }
+  Time now() const;
+
+  /// Advance virtual time by `d` (models computation or fixed overheads).
+  void wait(Time d);
+
+  /// Block until `cond` is notified. Callers typically loop:
+  ///   while (!predicate()) wait_on(cond);
+  void wait_on(Condition& cond);
+
+  /// True once the body has returned.
+  bool finished() const { return state_ == State::Done; }
+
+  /// Exception that escaped the body, if any (rethrown by Engine::run()).
+  std::exception_ptr error() const { return error_; }
+
+ private:
+  friend class Engine;
+  friend class Condition;
+
+  enum class State { Created, Runnable, Running, Blocked, Done };
+
+  Process(Engine& engine, std::string name,
+          std::function<void(Process&)> body);
+
+  void start();
+  /// Engine-side: hand the token to this process and wait for it back.
+  void resume();
+  /// Process-side: give the token back to the engine.
+  void park();
+
+  Engine& engine_;
+  std::string name_;
+  std::function<void(Process&)> body_;
+  std::thread thread_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  State state_ = State::Created;
+  bool token_with_process_ = false;
+  std::exception_ptr error_;
+};
+
+/// A waitable condition in virtual time. notify_all() schedules a wake-up of
+/// every current waiter at the current virtual time; waiters re-check their
+/// predicates on resume (spurious wake-ups are allowed and expected).
+class Condition {
+ public:
+  explicit Condition(Engine& engine, std::string name = {});
+
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  /// Wake every process currently blocked in wait_on(*this).
+  void notify_all();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Process;
+
+  Engine& engine_;
+  std::string name_;
+  std::vector<Process*> waiters_;
+};
+
+}  // namespace dcfa::sim

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace dcfa::sim {
+
+/// A serially-reusable hardware resource (a DMA engine, a wire, a PCIe
+/// direction) modelled by a "busy until" horizon. acquire() books the next
+/// slot of `duration` starting no earlier than `earliest` and returns the
+/// completion time. Later bookings queue FIFO behind earlier ones, which is
+/// how link contention and per-queue-pair ordering arise in the model.
+class Resource {
+ public:
+  explicit Resource(std::string name = {}) : name_(std::move(name)) {}
+
+  /// Book the resource for `duration` starting at max(earliest, free_at).
+  /// Returns the time the booking completes.
+  Time acquire(Time earliest, Time duration) {
+    Time start = earliest > free_at_ ? earliest : free_at_;
+    free_at_ = start + duration;
+    busy_total_ += duration;
+    return free_at_;
+  }
+
+  /// Next time the resource is idle.
+  Time free_at() const { return free_at_; }
+
+  /// Total booked busy time (for utilisation stats).
+  Time busy_total() const { return busy_total_; }
+
+  const std::string& name() const { return name_; }
+
+  void reset() { free_at_ = 0; }
+
+ private:
+  std::string name_;
+  Time free_at_ = 0;
+  Time busy_total_ = 0;
+};
+
+}  // namespace dcfa::sim

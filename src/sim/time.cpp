@@ -1,0 +1,21 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace dcfa::sim {
+
+std::string format_time(Time t) {
+  char buf[64];
+  if (t < 1'000) {
+    std::snprintf(buf, sizeof buf, "%ldns", static_cast<long>(t));
+  } else if (t < 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.2fus", to_us(t));
+  } else if (t < 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.2fms", to_ms(t));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_s(t));
+  }
+  return buf;
+}
+
+}  // namespace dcfa::sim

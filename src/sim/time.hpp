@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dcfa::sim {
+
+/// Virtual simulation time in nanoseconds. All latency/bandwidth math in the
+/// simulator is done on this scale: 1 GB/s == 1 byte/ns, so a bandwidth of
+/// 6.0 GB/s moves a byte in 1/6.0 ns.
+using Time = std::int64_t;
+
+constexpr Time kNever = INT64_MAX;
+
+constexpr Time nanoseconds(double n) { return static_cast<Time>(n); }
+constexpr Time microseconds(double us) { return static_cast<Time>(us * 1e3); }
+constexpr Time milliseconds(double ms) { return static_cast<Time>(ms * 1e6); }
+constexpr Time seconds(double s) { return static_cast<Time>(s * 1e9); }
+
+constexpr double to_us(Time t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_s(Time t) { return static_cast<double>(t) / 1e9; }
+
+/// Time for `bytes` to cross a link of `gbps` GB/s (== bytes/ns). Rounds up
+/// so a transfer never takes zero virtual time.
+constexpr Time transfer_time(std::uint64_t bytes, double gbps) {
+  if (bytes == 0) return 0;
+  double ns = static_cast<double>(bytes) / gbps;
+  auto t = static_cast<Time>(ns);
+  return t > 0 ? t : 1;
+}
+
+/// Human-readable time for logs and bench output, e.g. "13.20us".
+std::string format_time(Time t);
+
+}  // namespace dcfa::sim

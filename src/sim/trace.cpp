@@ -1,0 +1,127 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dcfa::sim {
+
+Tracer* Tracer::current_ = nullptr;
+
+int Tracer::track_id(const std::string& track) {
+  auto it = std::find(tracks_.begin(), tracks_.end(), track);
+  if (it != tracks_.end()) return static_cast<int>(it - tracks_.begin());
+  tracks_.push_back(track);
+  return static_cast<int>(tracks_.size()) - 1;
+}
+
+void Tracer::span(const std::string& track, const std::string& name,
+                  Time start, Time end) {
+  events_.push_back(
+      Event{'X', track, name, start, end > start ? end - start : 0, 0});
+}
+
+void Tracer::instant(const std::string& track, const std::string& name,
+                     Time at) {
+  events_.push_back(Event{'i', track, name, at, 0, 0});
+}
+
+void Tracer::counter(const std::string& track, const std::string& series,
+                     Time at, double value) {
+  events_.push_back(Event{'C', track, series, at, 0, value});
+}
+
+namespace {
+/// Escape a string for JSON output.
+std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string Tracer::to_json() const {
+  // Timestamps in Chrome traces are microseconds (floating point allowed);
+  // the virtual clock is nanoseconds.
+  std::string out = "{\"traceEvents\":[\n";
+  // Track name metadata.
+  Tracer* self = const_cast<Tracer*>(this);
+  bool first = true;
+  std::vector<std::string> tracks;
+  for (const Event& e : events_) {
+    if (std::find(tracks.begin(), tracks.end(), e.track) == tracks.end()) {
+      tracks.push_back(e.track);
+    }
+  }
+  char buf[256];
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"pid\":1,\"tid\":%zu,\"name\":"
+                  "\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                  i, esc(tracks[i]).c_str());
+    if (!first) out += ",\n";
+    out += buf;
+    first = false;
+  }
+  auto tid_of = [&](const std::string& track) {
+    return std::find(tracks.begin(), tracks.end(), track) - tracks.begin();
+  };
+  for (const Event& e : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    const double ts = static_cast<double>(e.start) / 1e3;
+    switch (e.phase) {
+      case 'X':
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"X\",\"pid\":1,\"tid\":%zd,\"ts\":%.3f,"
+                      "\"dur\":%.3f,\"name\":\"%s\"}",
+                      tid_of(e.track), ts,
+                      static_cast<double>(e.duration) / 1e3,
+                      esc(e.name).c_str());
+        break;
+      case 'i':
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"i\",\"pid\":1,\"tid\":%zd,\"ts\":%.3f,"
+                      "\"s\":\"t\",\"name\":\"%s\"}",
+                      tid_of(e.track), ts, esc(e.name).c_str());
+        break;
+      case 'C':
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"C\",\"pid\":1,\"tid\":%zd,\"ts\":%.3f,"
+                      "\"name\":\"%s\",\"args\":{\"value\":%g}}",
+                      tid_of(e.track), ts, esc(e.name).c_str(), e.value);
+        break;
+      default:
+        continue;
+    }
+    out += buf;
+  }
+  (void)self;
+  out += "\n]}\n";
+  return out;
+}
+
+void Tracer::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("Tracer::write: cannot open " + path);
+  const std::string json = to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace dcfa::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dcfa::sim {
+
+/// Timeline recorder producing Chrome trace-event JSON ("catapult" format,
+/// loadable in chrome://tracing or https://ui.perfetto.dev). Components emit
+/// spans and instant markers against the virtual clock; each track (CPU
+/// core, DMA engine, wire, delegation process) appears as its own row.
+///
+/// Tracing is off unless a Tracer is installed (Tracer::install), so the
+/// hot paths pay one branch when disabled. The MPI Runtime wires itself up
+/// when RunConfig::trace_path is set.
+class Tracer {
+ public:
+  Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// A span of [start, end) on `track` (e.g. "rank0", "node1.dma").
+  void span(const std::string& track, const std::string& name, Time start,
+            Time end);
+  /// A zero-duration marker.
+  void instant(const std::string& track, const std::string& name, Time at);
+  /// A numeric counter sample (rendered as a graph row).
+  void counter(const std::string& track, const std::string& series, Time at,
+               double value);
+
+  /// Serialise everything recorded so far as Chrome trace JSON.
+  std::string to_json() const;
+  /// Write to_json() to `path`.
+  void write(const std::string& path) const;
+
+  std::size_t events() const { return events_.size(); }
+
+  /// Process-wide current tracer (nullptr = tracing off). Not owned.
+  static Tracer* current() { return current_; }
+  static void install(Tracer* tracer) { current_ = tracer; }
+
+ private:
+  struct Event {
+    char phase;  // 'X' complete span, 'i' instant, 'C' counter
+    std::string track;
+    std::string name;
+    Time start;
+    Time duration;
+    double value;
+  };
+
+  /// Stable small integer per track name (Chrome "tid").
+  int track_id(const std::string& track);
+
+  std::vector<Event> events_;
+  std::vector<std::string> tracks_;
+  static Tracer* current_;
+};
+
+/// Convenience: record a span on the current tracer if one is installed.
+inline void trace_span(const std::string& track, const std::string& name,
+                       Time start, Time end) {
+  if (Tracer* t = Tracer::current()) t->span(track, name, start, end);
+}
+
+inline void trace_instant(const std::string& track, const std::string& name,
+                          Time at) {
+  if (Tracer* t = Tracer::current()) t->instant(track, name, at);
+}
+
+}  // namespace dcfa::sim

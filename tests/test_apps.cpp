@@ -1,0 +1,159 @@
+// Application-level tests: stencil numerical correctness across systems and
+// decompositions, comm-only accounting (Table II), ping-pong sanity.
+
+#include <gtest/gtest.h>
+
+#include "apps/commonly.hpp"
+#include "apps/pingpong.hpp"
+#include "apps/stencil.hpp"
+
+using namespace dcfa;
+using namespace dcfa::apps;
+
+namespace {
+
+StencilConfig small_stencil(int nprocs, int threads) {
+  StencilConfig cfg;
+  cfg.n = 66;  // small grid: real arithmetic is cheap
+  cfg.iterations = 10;
+  cfg.nprocs = nprocs;
+  cfg.threads = threads;
+  cfg.real_compute = true;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Stencil, SerialMatchesItself) {
+  auto a = run_stencil_serial(small_stencil(1, 1));
+  auto b = run_stencil_serial(small_stencil(1, 1));
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_GT(a.checksum, 0.0);
+}
+
+class StencilDecomposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(StencilDecomposition, ChecksumMatchesSerialOnDcfa) {
+  const int nprocs = GetParam();
+  const auto serial = run_stencil_serial(small_stencil(1, 1));
+  const auto par = run_stencil(StencilSystem::DcfaPhi,
+                               small_stencil(nprocs, 4));
+  // Same global iteration: identical up to summation order.
+  EXPECT_NEAR(par.checksum, serial.checksum, 1e-9 * std::abs(serial.checksum));
+}
+
+TEST_P(StencilDecomposition, AllThreeSystemsAgreeNumerically) {
+  const int nprocs = GetParam();
+  const auto cfg = small_stencil(nprocs, 2);
+  const auto d = run_stencil(StencilSystem::DcfaPhi, cfg);
+  const auto i = run_stencil(StencilSystem::IntelPhi, cfg);
+  const auto o = run_stencil(StencilSystem::HostOffload, cfg);
+  EXPECT_NEAR(d.checksum, i.checksum, 1e-9 * std::abs(d.checksum));
+  EXPECT_NEAR(d.checksum, o.checksum, 1e-9 * std::abs(d.checksum));
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, StencilDecomposition,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Stencil, UnevenRowDistributionStillCorrect) {
+  // 64 interior rows over 5 and 7 processes: remainder handling.
+  const auto serial = run_stencil_serial(small_stencil(1, 1));
+  for (int nprocs : {5, 7}) {
+    const auto par =
+        run_stencil(StencilSystem::DcfaPhi, small_stencil(nprocs, 1));
+    EXPECT_NEAR(par.checksum, serial.checksum,
+                1e-9 * std::abs(serial.checksum))
+        << nprocs << " processes";
+  }
+}
+
+TEST(Stencil, MoreThreadsFasterOnModel) {
+  auto cfg = small_stencil(2, 1);
+  cfg.n = 514;  // enough work for the model to dominate
+  const auto t1 = run_stencil(StencilSystem::DcfaPhi, cfg);
+  cfg.threads = 16;
+  const auto t16 = run_stencil(StencilSystem::DcfaPhi, cfg);
+  EXPECT_LT(t16.total, t1.total);
+}
+
+TEST(Stencil, OffloadModeSlowerThanDirect) {
+  auto cfg = small_stencil(4, 8);
+  cfg.real_compute = false;
+  cfg.n = 514;
+  const auto d = run_stencil(StencilSystem::DcfaPhi, cfg);
+  const auto o = run_stencil(StencilSystem::HostOffload, cfg);
+  EXPECT_GT(o.total, d.total);
+}
+
+TEST(Stencil, HaloBytesMatchTableIII) {
+  // n = 1282 doubles per row: the paper's "10Kbytes" halo.
+  StencilConfig cfg = small_stencil(2, 1);
+  cfg.n = 1282;
+  cfg.iterations = 1;
+  cfg.real_compute = false;
+  const auto r = run_stencil(StencilSystem::DcfaPhi, cfg);
+  EXPECT_EQ(r.mpi_bytes, 1282u * sizeof(double));
+  EXPECT_GE(r.mpi_bytes, 10u * 1024);
+  EXPECT_LE(r.mpi_bytes, 11u * 1024);
+}
+
+TEST(Stencil, FakeComputeMatchesRealComputeTiming) {
+  // The bench fast path must charge exactly the same virtual time.
+  auto cfg = small_stencil(2, 4);
+  const auto real = run_stencil(StencilSystem::DcfaPhi, cfg);
+  cfg.real_compute = false;
+  const auto fake = run_stencil(StencilSystem::DcfaPhi, cfg);
+  EXPECT_EQ(real.total, fake.total);
+}
+
+TEST(CommOnly, DirectBeatsOffloadEverywhere) {
+  for (std::size_t bytes : {64ul, 4096ul, 262144ul}) {
+    mpi::RunConfig cfg;
+    cfg.mode = mpi::MpiMode::DcfaPhi;
+    auto d = comm_only_direct(cfg, bytes, 10, 2);
+    mpi::RunConfig off;
+    auto o = comm_only_offload(off, bytes, 10, 2);
+    EXPECT_LT(d.per_iteration, o.per_iteration) << bytes << " bytes";
+    // Table II accounting.
+    EXPECT_EQ(o.offload_bytes_in, bytes);
+    EXPECT_EQ(o.offload_bytes_out, bytes);
+    EXPECT_EQ(d.mpi_bytes_sent, bytes);
+    EXPECT_EQ(d.offload_bytes_in, 0u);
+  }
+}
+
+TEST(CommOnly, DoubleBufferingHelpsLargeMessages) {
+  mpi::RunConfig cfg;
+  auto with = comm_only_offload(cfg, 1 << 20, 8, 2, /*double_buffer=*/true);
+  mpi::RunConfig cfg2;
+  auto without =
+      comm_only_offload(cfg2, 1 << 20, 8, 2, /*double_buffer=*/false);
+  EXPECT_LT(with.per_iteration, without.per_iteration);
+}
+
+TEST(PingPong, BandwidthGrowsWithSize) {
+  mpi::RunConfig cfg;
+  cfg.mode = mpi::MpiMode::DcfaPhi;
+  auto small = pingpong_blocking(cfg, 1024, 5);
+  mpi::RunConfig cfg2;
+  cfg2.mode = mpi::MpiMode::DcfaPhi;
+  auto large = pingpong_blocking(cfg2, 1 << 20, 5);
+  EXPECT_GT(large.bandwidth_gbps, small.bandwidth_gbps);
+  EXPECT_GT(large.round_trip, small.round_trip);
+}
+
+TEST(PingPong, RawRdmaDirectionsMoveData) {
+  // All four Figure 5 directions actually transfer (timing asserted in the
+  // calibration suite).
+  for (auto src : {mem::Domain::HostDram, mem::Domain::PhiGddr}) {
+    for (auto dst : {mem::Domain::HostDram, mem::Domain::PhiGddr}) {
+      RawRdmaConfig cfg;
+      cfg.src_domain = src;
+      cfg.dst_domain = dst;
+      auto r = raw_rdma_pingpong(cfg, 4096, 4, 1);
+      EXPECT_GT(r.bandwidth_gbps, 0.0);
+      EXPECT_GT(r.round_trip, 0);
+    }
+  }
+}

@@ -1,0 +1,156 @@
+// Tests for the MR buffer cache pool and the offloading-shadow cache
+// (Section IV-B3/IV-B4 support structures).
+
+#include <gtest/gtest.h>
+
+#include "dcfa/phi_verbs.hpp"
+#include "mpi/mr_cache.hpp"
+#include "mpi/offload_cache.hpp"
+#include "verbs/verbs.hpp"
+
+using namespace dcfa;
+using namespace dcfa::mpi;
+
+namespace {
+struct Fixture {
+  sim::Engine engine;
+  sim::Platform platform;
+  ib::Fabric fabric{engine, platform};
+  mem::NodeMemory mem0{0};
+  pcie::PciePort pcie0{engine, mem0, platform};
+  ib::Hca& hca0 = fabric.add_hca(mem0, pcie0);
+  scif::Channel chan0{engine, pcie0, platform};
+  core::HostDelegate delegate0{chan0, hca0, mem0};
+
+  template <typename Fn>
+  void run(Fn&& fn) {
+    engine.spawn("p", std::forward<Fn>(fn));
+    engine.run();
+  }
+};
+}  // namespace
+
+TEST(MrCache, HitsReuseRegistrations) {
+  Fixture f;
+  f.run([&](sim::Process& proc) {
+    verbs::HostVerbs ib(proc, f.fabric, f.mem0);
+    auto* pd = ib.alloc_pd();
+    MrCache cache(ib, *pd, 8, 1 << 30);
+    mem::Buffer a = ib.alloc_buffer(4096, 64);
+    ib::MemoryRegion* m1 = cache.get(a);
+    ib::MemoryRegion* m2 = cache.get(a);
+    EXPECT_EQ(m1, m2);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(f.hca0.mrs_registered_total(), 1u);
+    cache.clear();
+  });
+}
+
+TEST(MrCache, HitIsMuchCheaperThanMiss) {
+  Fixture f;
+  f.run([&](sim::Process& proc) {
+    core::PhiVerbs ib(proc, f.fabric, f.mem0, f.chan0);
+    auto* pd = ib.alloc_pd();
+    MrCache cache(ib, *pd, 8, 1 << 30);
+    mem::Buffer a = ib.alloc_buffer(1 << 20, 4096);
+    sim::Time t0 = proc.now();
+    cache.get(a);
+    const sim::Time miss_cost = proc.now() - t0;
+    t0 = proc.now();
+    cache.get(a);
+    const sim::Time hit_cost = proc.now() - t0;
+    EXPECT_EQ(hit_cost, 0);
+    EXPECT_GT(miss_cost, sim::microseconds(10));
+    cache.clear();
+  });
+}
+
+TEST(MrCache, LruEvictionAtEntryCap) {
+  Fixture f;
+  f.run([&](sim::Process& proc) {
+    verbs::HostVerbs ib(proc, f.fabric, f.mem0);
+    auto* pd = ib.alloc_pd();
+    MrCache cache(ib, *pd, 2, 1 << 30);
+    mem::Buffer a = ib.alloc_buffer(64, 64);
+    mem::Buffer b = ib.alloc_buffer(64, 64);
+    mem::Buffer c = ib.alloc_buffer(64, 64);
+    cache.get(a);
+    cache.get(b);
+    cache.get(a);   // refresh a; b is now LRU
+    cache.get(c);   // evicts b
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.entries(), 2u);
+    cache.get(b);   // miss again
+    EXPECT_EQ(cache.misses(), 4u);
+    cache.clear();
+  });
+}
+
+TEST(MrCache, ByteCapEnforced) {
+  Fixture f;
+  f.run([&](sim::Process& proc) {
+    verbs::HostVerbs ib(proc, f.fabric, f.mem0);
+    auto* pd = ib.alloc_pd();
+    MrCache cache(ib, *pd, 100, 10000);
+    mem::Buffer a = ib.alloc_buffer(6000, 64);
+    mem::Buffer b = ib.alloc_buffer(6000, 64);
+    cache.get(a);
+    cache.get(b);  // 12000 > 10000: a evicted
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_LE(cache.pinned_bytes(), 10000u);
+    cache.clear();
+  });
+}
+
+TEST(MrCache, InvalidateDeregisters) {
+  Fixture f;
+  f.run([&](sim::Process& proc) {
+    verbs::HostVerbs ib(proc, f.fabric, f.mem0);
+    auto* pd = ib.alloc_pd();
+    MrCache cache(ib, *pd, 8, 1 << 30);
+    mem::Buffer a = ib.alloc_buffer(64, 64);
+    ib::MemoryRegion* mr = cache.get(a);
+    const ib::MKey lkey = mr->lkey();
+    cache.invalidate(a);
+    EXPECT_EQ(f.hca0.mr_by_lkey(lkey), nullptr);
+    EXPECT_EQ(cache.entries(), 0u);
+    cache.invalidate(a);  // idempotent
+  });
+}
+
+TEST(ShadowCache, ReusesRegionsPerBuffer) {
+  Fixture f;
+  f.run([&](sim::Process& proc) {
+    core::PhiVerbs ib(proc, f.fabric, f.mem0, f.chan0);
+    auto* pd = ib.alloc_pd();
+    OffloadShadowCache cache(ib, *pd, 4);
+    mem::Buffer a = ib.alloc_buffer(16 * 1024, 4096);
+    const core::OffloadRegion& r1 = cache.get(a);
+    const auto handle = r1.handle;
+    const core::OffloadRegion& r2 = cache.get(a);
+    EXPECT_EQ(r2.handle, handle);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    cache.clear();
+  });
+}
+
+TEST(ShadowCache, EvictsLruAndTearsDown) {
+  Fixture f;
+  f.run([&](sim::Process& proc) {
+    core::PhiVerbs ib(proc, f.fabric, f.mem0, f.chan0);
+    auto* pd = ib.alloc_pd();
+    OffloadShadowCache cache(ib, *pd, 2);
+    mem::Buffer a = ib.alloc_buffer(8192, 4096);
+    mem::Buffer b = ib.alloc_buffer(8192, 4096);
+    mem::Buffer c = ib.alloc_buffer(8192, 4096);
+    const ib::MKey rkey_a = cache.get(a).rkey;
+    cache.get(b);
+    cache.get(c);  // evicts a's shadow
+    EXPECT_EQ(f.hca0.mr_by_rkey(rkey_a), nullptr);
+    EXPECT_EQ(cache.entries(), 2u);
+    cache.clear();
+    EXPECT_EQ(cache.entries(), 0u);
+  });
+}

@@ -1,0 +1,247 @@
+// Tests for the classic MPI C API shim: environment lifecycle, memory
+// registry, point-to-point, wildcards, collectives, error codes.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "capi/mpi_compat.hpp"
+
+using namespace dcfa;
+using namespace dcfa::capi;
+
+namespace {
+
+mpi::RunConfig cfg(int nprocs) {
+  mpi::RunConfig c;
+  c.mode = mpi::MpiMode::DcfaPhi;
+  c.nprocs = nprocs;
+  return c;
+}
+
+// gtest EXPECTs inside rank_main functions surface through the usual
+// mechanism; a failed expectation also flips this flag-by-return-code.
+#define C_EXPECT(cond)                                              \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      std::fprintf(stderr, "C_EXPECT failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                      \
+      ADD_FAILURE() << "C_EXPECT failed: " << #cond;                \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+int basic_main(int, char**) {
+  C_EXPECT(MPI_Init(nullptr, nullptr) == MPI_SUCCESS);
+  int flag = 0;
+  MPI_Initialized(&flag);
+  C_EXPECT(flag == 1);
+  int rank = -1, size = -1;
+  C_EXPECT(MPI_Comm_rank(MPI_COMM_WORLD, &rank) == MPI_SUCCESS);
+  C_EXPECT(MPI_Comm_size(MPI_COMM_WORLD, &size) == MPI_SUCCESS);
+  C_EXPECT(size == 2);
+
+  int* data;
+  C_EXPECT(MPI_Alloc_mem(64 * sizeof(int), nullptr, &data) == MPI_SUCCESS);
+  if (rank == 0) {
+    for (int i = 0; i < 64; ++i) data[i] = i * 3;
+    C_EXPECT(MPI_Send(data, 64, MPI_INT, 1, 7, MPI_COMM_WORLD) ==
+             MPI_SUCCESS);
+  } else {
+    MPI_Status st;
+    C_EXPECT(MPI_Recv(data, 64, MPI_INT, 0, 7, MPI_COMM_WORLD, &st) ==
+             MPI_SUCCESS);
+    C_EXPECT(st.MPI_SOURCE == 0);
+    C_EXPECT(st.MPI_TAG == 7);
+    int count = 0;
+    C_EXPECT(MPI_Get_count(&st, MPI_INT, &count) == MPI_SUCCESS);
+    C_EXPECT(count == 64);
+    C_EXPECT(data[63] == 189);
+  }
+  C_EXPECT(MPI_Free_mem(data) == MPI_SUCCESS);
+  C_EXPECT(MPI_Finalize() == MPI_SUCCESS);
+  return 0;
+}
+
+int nonblocking_main(int, char**) {
+  MPI_Init(nullptr, nullptr);
+  int rank;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  double *sbuf, *rbuf;
+  MPI_Alloc_mem(1024 * sizeof(double), nullptr, &sbuf);
+  MPI_Alloc_mem(1024 * sizeof(double), nullptr, &rbuf);
+  for (int i = 0; i < 1024; ++i) sbuf[i] = rank * 1000.0 + i;
+  MPI_Request reqs[2];
+  MPI_Irecv(rbuf, 1024, MPI_DOUBLE, 1 - rank, 3, MPI_COMM_WORLD, &reqs[0]);
+  MPI_Isend(sbuf, 1024, MPI_DOUBLE, 1 - rank, 3, MPI_COMM_WORLD, &reqs[1]);
+  MPI_Status stats[2];
+  C_EXPECT(MPI_Waitall(2, reqs, stats) == MPI_SUCCESS);
+  C_EXPECT(reqs[0] == MPI_REQUEST_NULL);
+  C_EXPECT(rbuf[500] == (1 - rank) * 1000.0 + 500);
+  MPI_Free_mem(sbuf);
+  MPI_Free_mem(rbuf);
+  MPI_Finalize();
+  return 0;
+}
+
+int collective_main(int, char**) {
+  MPI_Init(nullptr, nullptr);
+  int rank, size;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int *in, *out;
+  MPI_Alloc_mem(4 * sizeof(int), nullptr, &in);
+  MPI_Alloc_mem(4 * sizeof(int), nullptr, &out);
+  for (int i = 0; i < 4; ++i) in[i] = rank + i;
+  C_EXPECT(MPI_Allreduce(in, out, 4, MPI_INT, MPI_SUM, MPI_COMM_WORLD) ==
+           MPI_SUCCESS);
+  const int ranksum = size * (size - 1) / 2;
+  for (int i = 0; i < 4; ++i) C_EXPECT(out[i] == ranksum + size * i);
+
+  // Bcast + Scan.
+  if (rank == 1) in[0] = 777;
+  C_EXPECT(MPI_Bcast(in, 1, MPI_INT, 1, MPI_COMM_WORLD) == MPI_SUCCESS);
+  C_EXPECT(in[0] == 777);
+  in[0] = 1;
+  C_EXPECT(MPI_Scan(in, out, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD) ==
+           MPI_SUCCESS);
+  C_EXPECT(out[0] == rank + 1);
+
+  MPI_Free_mem(in);
+  MPI_Free_mem(out);
+  MPI_Finalize();
+  return 0;
+}
+
+int wildcard_main(int, char**) {
+  MPI_Init(nullptr, nullptr);
+  int rank, size;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int* v;
+  MPI_Alloc_mem(sizeof(int), nullptr, &v);
+  if (rank == 0) {
+    for (int i = 1; i < size; ++i) {
+      MPI_Status st;
+      // Probe first, then receive what was probed.
+      C_EXPECT(MPI_Probe(MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_COMM_WORLD, &st) ==
+               MPI_SUCCESS);
+      C_EXPECT(MPI_Recv(v, 1, MPI_INT, st.MPI_SOURCE, st.MPI_TAG,
+                        MPI_COMM_WORLD, MPI_STATUS_IGNORE) == MPI_SUCCESS);
+      C_EXPECT(*v == st.MPI_SOURCE * 11);
+    }
+  } else {
+    *v = rank * 11;
+    MPI_Send(v, 1, MPI_INT, 0, 100 + rank, MPI_COMM_WORLD);
+  }
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Free_mem(v);
+  MPI_Finalize();
+  return 0;
+}
+
+int errors_main(int, char**) {
+  MPI_Init(nullptr, nullptr);
+  int rank;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  int stack_var = 0;
+  // Buffers not from MPI_Alloc_mem are rejected, not crashed on.
+  C_EXPECT(MPI_Send(&stack_var, 1, MPI_INT, 1 - rank, 0, MPI_COMM_WORLD) ==
+           MPI_ERR_BUFFER);
+  int* v;
+  MPI_Alloc_mem(sizeof(int), nullptr, &v);
+  C_EXPECT(MPI_Send(v, 1, 99, 1 - rank, 0, MPI_COMM_WORLD) == MPI_ERR_TYPE);
+  C_EXPECT(MPI_Send(v, 1, MPI_INT, 1 - rank, 0, MPI_COMM_NULL) ==
+           MPI_ERR_COMM);
+  int r;
+  C_EXPECT(MPI_Comm_rank(42, &r) == MPI_ERR_COMM);
+  // MPI_PROC_NULL operations are silent successes.
+  C_EXPECT(MPI_Send(v, 1, MPI_INT, MPI_PROC_NULL, 0, MPI_COMM_WORLD) ==
+           MPI_SUCCESS);
+  MPI_Status st;
+  C_EXPECT(MPI_Recv(v, 1, MPI_INT, MPI_PROC_NULL, 0, MPI_COMM_WORLD, &st) ==
+           MPI_SUCCESS);
+  C_EXPECT(st.MPI_SOURCE == MPI_PROC_NULL);
+  MPI_Free_mem(v);
+  MPI_Finalize();
+  return 0;
+}
+
+int split_main(int, char**) {
+  MPI_Init(nullptr, nullptr);
+  int rank;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm half;
+  C_EXPECT(MPI_Comm_split(MPI_COMM_WORLD, rank % 2, rank, &half) ==
+           MPI_SUCCESS);
+  int hrank, hsize;
+  MPI_Comm_rank(half, &hrank);
+  MPI_Comm_size(half, &hsize);
+  C_EXPECT(hsize == 2);
+  C_EXPECT(hrank == rank / 2);
+  int* v;
+  MPI_Alloc_mem(sizeof(int), nullptr, &v);
+  *v = rank;
+  int* sum;
+  MPI_Alloc_mem(sizeof(int), nullptr, &sum);
+  MPI_Allreduce(v, sum, 1, MPI_INT, MPI_SUM, half);
+  C_EXPECT(*sum == (rank % 2 == 0 ? 0 + 2 : 1 + 3));
+  C_EXPECT(MPI_Comm_free(&half) == MPI_SUCCESS);
+  C_EXPECT(half == MPI_COMM_NULL);
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Free_mem(v);
+  MPI_Free_mem(sum);
+  MPI_Finalize();
+  return 0;
+}
+
+int self_comm_main(int, char**) {
+  MPI_Init(nullptr, nullptr);
+  int srank, ssize;
+  C_EXPECT(MPI_Comm_rank(MPI_COMM_SELF, &srank) == MPI_SUCCESS);
+  C_EXPECT(MPI_Comm_size(MPI_COMM_SELF, &ssize) == MPI_SUCCESS);
+  C_EXPECT(srank == 0);
+  C_EXPECT(ssize == 1);
+  int* v;
+  MPI_Alloc_mem(sizeof(int), nullptr, &v);
+  *v = 5;
+  int* out;
+  MPI_Alloc_mem(sizeof(int), nullptr, &out);
+  C_EXPECT(MPI_Allreduce(v, out, 1, MPI_INT, MPI_SUM, MPI_COMM_SELF) ==
+           MPI_SUCCESS);
+  C_EXPECT(*out == 5);
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Free_mem(v);
+  MPI_Free_mem(out);
+  MPI_Finalize();
+  return 0;
+}
+
+}  // namespace
+
+TEST(CApi, BasicSendRecv) { run(cfg(2), basic_main); }
+TEST(CApi, NonblockingWaitall) { run(cfg(2), nonblocking_main); }
+TEST(CApi, Collectives) { run(cfg(4), collective_main); }
+TEST(CApi, WildcardProbeRecv) { run(cfg(4), wildcard_main); }
+TEST(CApi, ErrorCodes) { run(cfg(2), errors_main); }
+TEST(CApi, CommSplitFree) { run(cfg(4), split_main); }
+TEST(CApi, SelfCommunicator) { run(cfg(2), self_comm_main); }
+
+TEST(CApi, CallOutsideRunThrows) {
+  int rank;
+  EXPECT_THROW(MPI_Comm_rank(MPI_COMM_WORLD, &rank), mpi::MpiError);
+}
+
+TEST(CApi, MissingFinalizeIsAnError) {
+  EXPECT_THROW(run(cfg(2),
+                   [](int, char**) {
+                     MPI_Init(nullptr, nullptr);
+                     return 0;  // forgot MPI_Finalize
+                   }),
+               mpi::MpiError);
+}
+
+TEST(CApi, NonzeroReturnIsAnError) {
+  EXPECT_THROW(run(cfg(2), [](int, char**) { return 3; }), mpi::MpiError);
+}

@@ -1,0 +1,163 @@
+// Second C API batch: rooted collectives, alltoall, sendrecv, dup, ssend,
+// iprobe, wtime monotonicity — the remaining MPI_* surface.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "capi/mpi_compat.hpp"
+
+using namespace dcfa;
+using namespace dcfa::capi;
+
+namespace {
+
+mpi::RunConfig cfg(int nprocs) {
+  mpi::RunConfig c;
+  c.mode = mpi::MpiMode::DcfaPhi;
+  c.nprocs = nprocs;
+  return c;
+}
+
+#define C_EXPECT(cond)                                              \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      std::fprintf(stderr, "C_EXPECT failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                      \
+      ADD_FAILURE() << "C_EXPECT failed: " << #cond;                \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+int gather_scatter_main(int, char**) {
+  MPI_Init(nullptr, nullptr);
+  int rank, size;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  double *mine, *all, *back;
+  MPI_Alloc_mem(8 * sizeof(double), nullptr, &mine);
+  MPI_Alloc_mem(size * 8 * sizeof(double), nullptr, &all);
+  MPI_Alloc_mem(8 * sizeof(double), nullptr, &back);
+  for (int i = 0; i < 8; ++i) mine[i] = rank * 10.0 + i;
+  C_EXPECT(MPI_Gather(mine, 8, MPI_DOUBLE, all, 8, MPI_DOUBLE, 1,
+                      MPI_COMM_WORLD) == MPI_SUCCESS);
+  if (rank == 1) {
+    for (int r = 0; r < size; ++r) {
+      C_EXPECT(all[r * 8 + 3] == r * 10.0 + 3);
+    }
+  }
+  C_EXPECT(MPI_Scatter(all, 8, MPI_DOUBLE, back, 8, MPI_DOUBLE, 1,
+                       MPI_COMM_WORLD) == MPI_SUCCESS);
+  C_EXPECT(back[5] == rank * 10.0 + 5);
+  MPI_Free_mem(mine);
+  MPI_Free_mem(all);
+  MPI_Free_mem(back);
+  MPI_Finalize();
+  return 0;
+}
+
+int allgather_alltoall_main(int, char**) {
+  MPI_Init(nullptr, nullptr);
+  int rank, size;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  long long *mine, *all;
+  MPI_Alloc_mem(4 * sizeof(long long), nullptr, &mine);
+  MPI_Alloc_mem(size * 4 * sizeof(long long), nullptr, &all);
+  for (int i = 0; i < 4; ++i) mine[i] = rank * 100 + i;
+  C_EXPECT(MPI_Allgather(mine, 4, MPI_LONG_LONG, all, 4, MPI_LONG_LONG,
+                         MPI_COMM_WORLD) == MPI_SUCCESS);
+  for (int r = 0; r < size; ++r) {
+    C_EXPECT(all[r * 4 + 2] == r * 100 + 2);
+  }
+  // Alltoall: block b holds rank*1000 + b.
+  long long *sendv, *recvv;
+  MPI_Alloc_mem(size * 2 * sizeof(long long), nullptr, &sendv);
+  MPI_Alloc_mem(size * 2 * sizeof(long long), nullptr, &recvv);
+  for (int b = 0; b < size; ++b) {
+    sendv[b * 2] = rank * 1000 + b;
+    sendv[b * 2 + 1] = -1;
+  }
+  C_EXPECT(MPI_Alltoall(sendv, 2, MPI_LONG_LONG, recvv, 2, MPI_LONG_LONG,
+                        MPI_COMM_WORLD) == MPI_SUCCESS);
+  for (int s = 0; s < size; ++s) {
+    C_EXPECT(recvv[s * 2] == s * 1000 + rank);
+  }
+  MPI_Free_mem(mine);
+  MPI_Free_mem(all);
+  MPI_Free_mem(sendv);
+  MPI_Free_mem(recvv);
+  MPI_Finalize();
+  return 0;
+}
+
+int sendrecv_dup_main(int, char**) {
+  MPI_Init(nullptr, nullptr);
+  int rank, size;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  MPI_Comm dup;
+  C_EXPECT(MPI_Comm_dup(MPI_COMM_WORLD, &dup) == MPI_SUCCESS);
+  int drank;
+  MPI_Comm_rank(dup, &drank);
+  C_EXPECT(drank == rank);
+  float *s, *r;
+  MPI_Alloc_mem(16 * sizeof(float), nullptr, &s);
+  MPI_Alloc_mem(16 * sizeof(float), nullptr, &r);
+  for (int i = 0; i < 16; ++i) s[i] = rank + i * 0.5f;
+  MPI_Status st;
+  C_EXPECT(MPI_Sendrecv(s, 16, MPI_FLOAT, (rank + 1) % size, 5, r, 16,
+                        MPI_FLOAT, (rank + size - 1) % size, 5, dup,
+                        &st) == MPI_SUCCESS);
+  C_EXPECT(st.MPI_SOURCE == (rank + size - 1) % size);
+  C_EXPECT(r[4] == (rank + size - 1) % size + 2.0f);
+  MPI_Free_mem(s);
+  MPI_Free_mem(r);
+  MPI_Finalize();
+  return 0;
+}
+
+int ssend_iprobe_main(int, char**) {
+  MPI_Init(nullptr, nullptr);
+  int rank;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  int* v;
+  MPI_Alloc_mem(sizeof(int), nullptr, &v);
+  if (rank == 0) {
+    const double t0 = MPI_Wtime();
+    *v = 99;
+    C_EXPECT(MPI_Ssend(v, 1, MPI_INT, 1, 6, MPI_COMM_WORLD) == MPI_SUCCESS);
+    // Ssend cannot complete before the (delayed) receive matched.
+    C_EXPECT(MPI_Wtime() - t0 > 400e-6);
+  } else {
+    int flag = 1;
+    C_EXPECT(MPI_Iprobe(0, 6, MPI_COMM_WORLD, &flag, MPI_STATUS_IGNORE) ==
+             MPI_SUCCESS);
+    // Probe polls until the RTS shows up.
+    MPI_Status env;
+    while (!flag) {
+      MPI_Iprobe(0, 6, MPI_COMM_WORLD, &flag, &env);
+    }
+    C_EXPECT(env.MPI_TAG == 6);
+    // Model a buffer not yet ready for 500us, then receive.
+    const double t0 = MPI_Wtime();
+    while (MPI_Wtime() - t0 < 500e-6) {
+      int dummy;
+      MPI_Iprobe(0, 999, MPI_COMM_WORLD, &dummy, MPI_STATUS_IGNORE);
+    }
+    C_EXPECT(MPI_Recv(v, 1, MPI_INT, 0, 6, MPI_COMM_WORLD,
+                      MPI_STATUS_IGNORE) == MPI_SUCCESS);
+    C_EXPECT(*v == 99);
+  }
+  MPI_Free_mem(v);
+  MPI_Finalize();
+  return 0;
+}
+
+}  // namespace
+
+TEST(CApiMore, GatherScatter) { run(cfg(4), gather_scatter_main); }
+TEST(CApiMore, AllgatherAlltoall) { run(cfg(4), allgather_alltoall_main); }
+TEST(CApiMore, SendrecvOnDup) { run(cfg(3), sendrecv_dup_main); }
+TEST(CApiMore, SsendAndIprobe) { run(cfg(2), ssend_iprobe_main); }

@@ -1,0 +1,134 @@
+// Randomized collective sequences (TEST_P over seeds): arbitrary chains of
+// collectives — on the world communicator and on random splits — must all
+// produce reference-correct data and drain without deadlock in every mode.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+#include "sim/rng.hpp"
+
+using namespace dcfa;
+using namespace dcfa::mpi;
+
+namespace {
+
+struct StormParam {
+  MpiMode mode;
+  std::uint64_t seed;
+};
+
+class CollectiveStorm : public ::testing::TestWithParam<StormParam> {};
+
+TEST_P(CollectiveStorm, RandomSequenceCorrect) {
+  const auto param = GetParam();
+  RunConfig cfg;
+  cfg.mode = param.mode;
+  cfg.nprocs = 6;
+  run_mpi(cfg, [&](RankCtx& ctx) {
+    auto& world = ctx.world;
+    const int P = world.size(), rank = world.rank();
+    // All ranks derive the same op sequence from the seed.
+    sim::Rng script(param.seed);
+    // A split communicator to interleave with world collectives.
+    Communicator sub = world.split(rank % 2, rank);
+
+    const std::size_t n = 257;  // odd on purpose
+    mem::Buffer in = world.alloc(n * sizeof(double));
+    mem::Buffer out = world.alloc(n * sizeof(double));
+    mem::Buffer big = world.alloc(P * n * sizeof(double));
+    auto* din = reinterpret_cast<double*>(in.data());
+    auto* dout = reinterpret_cast<double*>(out.data());
+    auto* dbig = reinterpret_cast<double*>(big.data());
+
+    const int kOps = 12;
+    for (int opi = 0; opi < kOps; ++opi) {
+      const int op = static_cast<int>(script.below(6));
+      const bool on_sub = script.chance(0.4);
+      Communicator& comm = on_sub ? sub : world;
+      const int me = comm.rank(), sz = comm.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        din[i] = me * 100.0 + i + opi;
+      }
+      switch (op) {
+        case 0: {  // allreduce sum
+          comm.allreduce(in, 0, out, 0, n, type_double(), Op::Sum);
+          double expect0 = 0;
+          for (int r = 0; r < sz; ++r) expect0 += r * 100.0 + 0 + opi;
+          ASSERT_DOUBLE_EQ(dout[0], expect0) << "op " << opi;
+          break;
+        }
+        case 1: {  // bcast from a scripted root
+          const int root = static_cast<int>(script.below(sz));
+          comm.bcast(in, 0, n, type_double(), root);
+          ASSERT_DOUBLE_EQ(din[n - 1],
+                           root * 100.0 + (n - 1) + opi) << "op " << opi;
+          break;
+        }
+        case 2: {  // reduce max to a scripted root
+          const int root = static_cast<int>(script.below(sz));
+          comm.reduce(in, 0, out, 0, n, type_double(), Op::Max, root);
+          if (me == root) {
+            ASSERT_DOUBLE_EQ(dout[5], (sz - 1) * 100.0 + 5 + opi);
+          }
+          break;
+        }
+        case 3: {  // allgather
+          if (&comm == &world) {
+            comm.allgather(in, 0, n, type_double(), big, 0);
+            for (int r = 0; r < sz; ++r) {
+              ASSERT_DOUBLE_EQ(dbig[r * n + 3], r * 100.0 + 3 + opi);
+            }
+          } else {
+            comm.barrier();
+          }
+          break;
+        }
+        case 4: {  // scan
+          comm.scan(in, 0, out, 0, n, type_double(), Op::Sum);
+          double expect = 0;
+          for (int r = 0; r <= me; ++r) expect += r * 100.0 + 7 + opi;
+          ASSERT_DOUBLE_EQ(dout[7], expect);
+          break;
+        }
+        default:
+          comm.barrier();
+          break;
+      }
+    }
+    world.barrier();
+    world.free(in);
+    world.free(out);
+    world.free(big);
+  });
+}
+
+std::vector<StormParam> storm_params() {
+  std::vector<StormParam> out;
+  for (std::uint64_t seed : {11ull, 222ull, 3333ull}) {
+    out.push_back({MpiMode::DcfaPhi, seed});
+  }
+  out.push_back({MpiMode::IntelPhi, 99ull});
+  out.push_back({MpiMode::HostMpi, 99ull});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollectiveStorm,
+                         ::testing::ValuesIn(storm_params()),
+                         [](const auto& info) {
+                           const char* m = "";
+                           switch (info.param.mode) {
+                             case MpiMode::DcfaPhi: m = "DcfaPhi"; break;
+                             case MpiMode::DcfaPhiNoOffload: m = "NoOff";
+                               break;
+                             case MpiMode::IntelPhi: m = "IntelPhi"; break;
+                             case MpiMode::HostMpi: m = "HostMpi"; break;
+                           }
+                           return std::string(m) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+}  // namespace

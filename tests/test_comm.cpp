@@ -1,0 +1,180 @@
+// Communicator management: rank translation, dup, split (colors/keys),
+// isolation between communicators, wtime, status translation.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mpi/runtime.hpp"
+
+using namespace dcfa;
+using namespace dcfa::mpi;
+
+namespace {
+RunConfig dcfa_cfg(int nprocs) {
+  RunConfig cfg;
+  cfg.mode = MpiMode::DcfaPhi;
+  cfg.nprocs = nprocs;
+  return cfg;
+}
+}  // namespace
+
+TEST(Comm, WorldShape) {
+  run_mpi(dcfa_cfg(4), [](RankCtx& ctx) {
+    EXPECT_EQ(ctx.world.size(), 4);
+    EXPECT_EQ(ctx.world.rank(), ctx.rank);
+    EXPECT_EQ(ctx.world.id(), 0u);
+  });
+}
+
+TEST(Comm, DupIsIndependentContext) {
+  run_mpi(dcfa_cfg(2), [](RankCtx& ctx) {
+    auto& world = ctx.world;
+    Communicator dup = world.dup();
+    EXPECT_NE(dup.id(), world.id());
+    EXPECT_EQ(dup.rank(), world.rank());
+    EXPECT_EQ(dup.size(), world.size());
+    // Same tag on both comms: each message goes to its own context.
+    mem::Buffer w = world.alloc(16), d = world.alloc(16);
+    if (ctx.rank == 0) {
+      w.data()[0] = std::byte{1};
+      d.data()[0] = std::byte{2};
+      // Send on dup first, then world — receiver posts in opposite order.
+      dup.send(d, 0, 16, type_byte(), 1, 5);
+      world.send(w, 0, 16, type_byte(), 1, 5);
+    } else {
+      world.recv(w, 0, 16, type_byte(), 0, 5);
+      dup.recv(d, 0, 16, type_byte(), 0, 5);
+      EXPECT_EQ(w.data()[0], std::byte{1});
+      EXPECT_EQ(d.data()[0], std::byte{2});
+    }
+    world.barrier();
+    world.free(w);
+    world.free(d);
+  });
+}
+
+TEST(Comm, SplitEvenOdd) {
+  run_mpi(dcfa_cfg(6), [](RankCtx& ctx) {
+    auto& world = ctx.world;
+    Communicator half = world.split(ctx.rank % 2, ctx.rank);
+    EXPECT_EQ(half.size(), 3);
+    EXPECT_EQ(half.rank(), ctx.rank / 2);
+    // Sum of world ranks within each half.
+    mem::Buffer in = half.alloc(sizeof(int));
+    mem::Buffer out = half.alloc(sizeof(int));
+    std::memcpy(in.data(), &ctx.rank, sizeof ctx.rank);
+    half.allreduce(in, 0, out, 0, 1, type_int(), Op::Sum);
+    int sum = 0;
+    std::memcpy(&sum, out.data(), sizeof sum);
+    EXPECT_EQ(sum, ctx.rank % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5);
+    world.barrier();
+    half.free(in);
+    half.free(out);
+  });
+}
+
+TEST(Comm, SplitKeyReordersRanks) {
+  run_mpi(dcfa_cfg(4), [](RankCtx& ctx) {
+    auto& world = ctx.world;
+    // Reverse rank order via descending keys.
+    Communicator rev = world.split(0, world.size() - ctx.rank);
+    EXPECT_EQ(rev.size(), 4);
+    EXPECT_EQ(rev.rank(), world.size() - 1 - ctx.rank);
+    // Rank translation: rev rank 0 is world rank 3.
+    mem::Buffer buf = rev.alloc(sizeof(int));
+    if (rev.rank() == 0) {
+      std::memcpy(buf.data(), &ctx.rank, sizeof ctx.rank);
+    }
+    rev.bcast(buf, 0, 1, type_int(), 0);
+    int root_world_rank = -1;
+    std::memcpy(&root_world_rank, buf.data(), sizeof root_world_rank);
+    EXPECT_EQ(root_world_rank, 3);
+    world.barrier();
+    rev.free(buf);
+  });
+}
+
+TEST(Comm, StatusSourceIsCommRelative) {
+  run_mpi(dcfa_cfg(4), [](RankCtx& ctx) {
+    auto& world = ctx.world;
+    // Group {3, 1} via split: world 3 -> comm 0, world 1 -> comm 1 (keys).
+    const int color = (ctx.rank == 1 || ctx.rank == 3) ? 1 : 2;
+    const int key = ctx.rank == 3 ? 0 : 1;
+    Communicator sub = world.split(color, key);
+    if (color == 1) {
+      mem::Buffer buf = sub.alloc(8);
+      if (sub.rank() == 0) {  // world rank 3
+        sub.send(buf, 0, 8, type_byte(), 1, 2);
+      } else {  // world rank 1
+        Status st = sub.recv(buf, 0, 8, type_byte(), kAnySource, 2);
+        EXPECT_EQ(st.source, 0);  // comm-relative, not world rank 3
+      }
+      sub.free(buf);
+    }
+    world.barrier();
+  });
+}
+
+TEST(Comm, NestedSplits) {
+  run_mpi(dcfa_cfg(8), [](RankCtx& ctx) {
+    auto& world = ctx.world;
+    Communicator half = world.split(ctx.rank / 4, ctx.rank);
+    Communicator quarter = half.split(half.rank() / 2, half.rank());
+    EXPECT_EQ(quarter.size(), 2);
+    mem::Buffer in = quarter.alloc(sizeof(int));
+    mem::Buffer out = quarter.alloc(sizeof(int));
+    int one = 1;
+    std::memcpy(in.data(), &one, sizeof one);
+    quarter.allreduce(in, 0, out, 0, 1, type_int(), Op::Sum);
+    int sum = 0;
+    std::memcpy(&sum, out.data(), sizeof sum);
+    EXPECT_EQ(sum, 2);
+    world.barrier();
+    quarter.free(in);
+    quarter.free(out);
+  });
+}
+
+TEST(Comm, RankOutOfGroupThrows) {
+  run_mpi(dcfa_cfg(2), [](RankCtx& ctx) {
+    auto& world = ctx.world;
+    mem::Buffer buf = world.alloc(8);
+    EXPECT_THROW(world.send(buf, 0, 8, type_byte(), 2, 1), MpiError);
+    world.barrier();
+    world.free(buf);
+  });
+}
+
+TEST(Comm, WtimeAdvancesMonotonically) {
+  run_mpi(dcfa_cfg(2), [](RankCtx& ctx) {
+    auto& world = ctx.world;
+    const double t0 = world.wtime();
+    ctx.proc.wait(sim::milliseconds(5));
+    const double t1 = world.wtime();
+    EXPECT_NEAR(t1 - t0, 0.005, 1e-9);
+    world.barrier();
+    const double t2 = world.wtime();
+    EXPECT_GE(t2, t1);
+  });
+}
+
+TEST(Comm, SplitIdsAgreeAcrossMembers) {
+  run_mpi(dcfa_cfg(4), [](RankCtx& ctx) {
+    auto& world = ctx.world;
+    Communicator sub = world.split(ctx.rank % 2, 0);
+    // If the derived ids disagreed between members, this allreduce would
+    // never match and the run would deadlock (caught by the detector).
+    mem::Buffer in = sub.alloc(sizeof(int));
+    mem::Buffer out = sub.alloc(sizeof(int));
+    const int v = 1;
+    std::memcpy(in.data(), &v, sizeof v);
+    sub.allreduce(in, 0, out, 0, 1, type_int(), Op::Sum);
+    int sum = 0;
+    std::memcpy(&sum, out.data(), sizeof sum);
+    EXPECT_EQ(sum, 2);
+    world.barrier();
+    sub.free(in);
+    sub.free(out);
+  });
+}

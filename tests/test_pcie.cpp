@@ -1,0 +1,134 @@
+// Unit tests for the PCIe port / Phi DMA engine model: data correctness,
+// timing, FIFO contention, the bandwidth-factor penalty.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pcie/pcie.hpp"
+
+using namespace dcfa;
+using namespace dcfa::sim;
+
+namespace {
+struct Fixture {
+  Engine engine;
+  Platform platform;
+  mem::NodeMemory memory{0};
+  pcie::PciePort port{engine, memory, platform};
+};
+}  // namespace
+
+TEST(Pcie, DmaMovesRealBytesPhiToHost) {
+  Fixture f;
+  mem::Buffer src = f.memory.alloc(mem::Domain::PhiGddr, 4096);
+  mem::Buffer dst = f.memory.alloc(mem::Domain::HostDram, 4096);
+  for (int i = 0; i < 4096; ++i) src.data()[i] = static_cast<std::byte>(i);
+  bool done = false;
+  f.port.dma_async(mem::Domain::PhiGddr, src.addr(), mem::Domain::HostDram,
+                   dst.addr(), 4096, [&] { done = true; });
+  // Nothing moves until the virtual completion time.
+  EXPECT_EQ(dst.data()[100], std::byte{0});
+  f.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(std::memcmp(src.data(), dst.data(), 4096), 0);
+}
+
+TEST(Pcie, CompletionTimeMatchesModel) {
+  Fixture f;
+  mem::Buffer src = f.memory.alloc(mem::Domain::PhiGddr, 1 << 20);
+  mem::Buffer dst = f.memory.alloc(mem::Domain::HostDram, 1 << 20);
+  const Time done_at =
+      f.port.dma_async(mem::Domain::PhiGddr, src.addr(),
+                       mem::Domain::HostDram, dst.addr(), 1 << 20);
+  const Time expected = f.platform.phi_dma_setup +
+                        transfer_time(1 << 20, f.platform.phi_dma_gbps);
+  EXPECT_EQ(done_at, expected);
+}
+
+TEST(Pcie, EngineIsFifoUnderContention) {
+  Fixture f;
+  mem::Buffer a = f.memory.alloc(mem::Domain::PhiGddr, 4096);
+  mem::Buffer b = f.memory.alloc(mem::Domain::HostDram, 4096);
+  const Time t1 = f.port.dma_async(mem::Domain::PhiGddr, a.addr(),
+                                   mem::Domain::HostDram, b.addr(), 4096);
+  const Time t2 = f.port.dma_async(mem::Domain::PhiGddr, a.addr(),
+                                   mem::Domain::HostDram, b.addr(), 4096);
+  // Second transfer queues behind the first on the single DMA engine.
+  EXPECT_EQ(t2 - t1, t1);
+  f.engine.run();
+}
+
+TEST(Pcie, BandwidthFactorSlowsTransfers) {
+  Fixture f;
+  mem::Buffer src = f.memory.alloc(mem::Domain::HostDram, 1 << 20);
+  mem::Buffer dst = f.memory.alloc(mem::Domain::PhiGddr, 1 << 20);
+  const Time fast = f.port.dma_async(mem::Domain::HostDram, src.addr(),
+                                     mem::Domain::PhiGddr, dst.addr(),
+                                     1 << 20, {}, 1.0);
+  Fixture g;
+  mem::Buffer src2 = g.memory.alloc(mem::Domain::HostDram, 1 << 20);
+  mem::Buffer dst2 = g.memory.alloc(mem::Domain::PhiGddr, 1 << 20);
+  const Time slow = g.port.dma_async(mem::Domain::HostDram, src2.addr(),
+                                     mem::Domain::PhiGddr, dst2.addr(),
+                                     1 << 20, {}, 0.5);
+  EXPECT_GT(slow, fast);
+  // Payload portion doubles; setup latency does not.
+  EXPECT_NEAR(static_cast<double>(slow - g.platform.phi_dma_setup),
+              2.0 * static_cast<double>(fast - f.platform.phi_dma_setup),
+              1.0);
+  f.engine.run();
+  g.engine.run();
+}
+
+TEST(Pcie, BadDescriptorFaultsAtSubmit) {
+  Fixture f;
+  mem::Buffer src = f.memory.alloc(mem::Domain::PhiGddr, 64);
+  mem::Buffer dst = f.memory.alloc(mem::Domain::HostDram, 64);
+  EXPECT_THROW(f.port.dma_async(mem::Domain::PhiGddr, src.addr(),
+                                mem::Domain::HostDram, dst.addr(), 128),
+               mem::BadAddress);
+  // Wrong domain for the address: also a fault.
+  EXPECT_THROW(f.port.dma_async(mem::Domain::HostDram, src.addr(),
+                                mem::Domain::HostDram, dst.addr(), 64),
+               mem::BadAddress);
+}
+
+TEST(Pcie, BlockingDmaFromProcess) {
+  Fixture f;
+  mem::Buffer src = f.memory.alloc(mem::Domain::PhiGddr, 8192);
+  mem::Buffer dst = f.memory.alloc(mem::Domain::HostDram, 8192);
+  std::memset(src.data(), 0x5A, 8192);
+  Time finished = 0;
+  f.engine.spawn("mover", [&](Process& p) {
+    f.port.dma(p, mem::Domain::PhiGddr, src.addr(), mem::Domain::HostDram,
+               dst.addr(), 8192);
+    finished = p.now();
+    EXPECT_EQ(dst.data()[4097], std::byte{0x5A});
+  });
+  f.engine.run();
+  EXPECT_EQ(finished, f.platform.phi_dma_setup +
+                          transfer_time(8192, f.platform.phi_dma_gbps));
+}
+
+TEST(Pcie, GddrToGddrBlitAllowed) {
+  Fixture f;
+  mem::Buffer a = f.memory.alloc(mem::Domain::PhiGddr, 1024);
+  mem::Buffer b = f.memory.alloc(mem::Domain::PhiGddr, 1024);
+  std::memset(a.data(), 0x11, 1024);
+  f.port.dma_async(mem::Domain::PhiGddr, a.addr(), mem::Domain::PhiGddr,
+                   b.addr(), 1024);
+  f.engine.run();
+  EXPECT_EQ(b.data()[1023], std::byte{0x11});
+}
+
+TEST(Pcie, OverlappingWindowsUseMemmoveSemantics) {
+  Fixture f;
+  mem::Buffer a = f.memory.alloc(mem::Domain::PhiGddr, 1024);
+  for (int i = 0; i < 1024; ++i) a.data()[i] = static_cast<std::byte>(i);
+  f.port.dma_async(mem::Domain::PhiGddr, a.addr(), mem::Domain::PhiGddr,
+                   a.addr() + 100, 512);
+  f.engine.run();
+  EXPECT_EQ(a.data()[100], std::byte{0});
+  EXPECT_EQ(a.data()[611], static_cast<std::byte>(511));
+}

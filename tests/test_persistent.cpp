@@ -1,0 +1,121 @@
+// Tests for persistent communication requests (MPI_Send_init/Recv_init/
+// Start semantics) and their interaction with the MR cache pool.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mpi/runtime.hpp"
+
+using namespace dcfa;
+using namespace dcfa::mpi;
+
+namespace {
+RunConfig dcfa_cfg(int nprocs = 2) {
+  RunConfig cfg;
+  cfg.mode = MpiMode::DcfaPhi;
+  cfg.nprocs = nprocs;
+  return cfg;
+}
+}  // namespace
+
+TEST(Persistent, RepeatedStartDeliversFreshData) {
+  run_mpi(dcfa_cfg(), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    const std::size_t kBytes = 32 * 1024;  // rendezvous + offload shadow
+    mem::Buffer buf = comm.alloc(kBytes);
+    const int kRounds = 8;
+    if (ctx.rank == 0) {
+      auto ps = comm.send_init(buf, 0, kBytes, type_byte(), 1, 4);
+      for (int round = 0; round < kRounds; ++round) {
+        std::memset(buf.data(), 0x30 + round, kBytes);
+        comm.wait(ps.start());
+      }
+    } else {
+      auto pr = comm.recv_init(buf, 0, kBytes, type_byte(), 0, 4);
+      for (int round = 0; round < kRounds; ++round) {
+        Status st = comm.wait(pr.start());
+        EXPECT_EQ(st.bytes, kBytes);
+        EXPECT_EQ(buf.data()[kBytes / 2],
+                  static_cast<std::byte>(0x30 + round));
+      }
+    }
+    comm.free(buf);
+  });
+}
+
+TEST(Persistent, ReuseHitsTheMrCache) {
+  // The use case the paper names for the buffer cache pool: "applications
+  // which always reuse a few buffers".
+  RunConfig cfg = dcfa_cfg();
+  cfg.engine_options.offload_send_buffer = false;  // keep MRs on the path
+  Runtime rt(cfg);
+  rt.run([](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    const std::size_t kBytes = 64 * 1024;
+    mem::Buffer buf = comm.alloc(kBytes);
+    if (ctx.rank == 0) {
+      auto ps = comm.send_init(buf, 0, kBytes, type_byte(), 1, 4);
+      for (int i = 0; i < 10; ++i) comm.wait(ps.start());
+      auto* cache = comm.engine().mr_cache();
+      EXPECT_GE(cache->hits(), 9u);
+    } else {
+      auto pr = comm.recv_init(buf, 0, kBytes, type_byte(), 0, 4);
+      for (int i = 0; i < 10; ++i) comm.wait(pr.start());
+    }
+    comm.free(buf);
+  });
+}
+
+TEST(Persistent, StartWhileActiveThrows) {
+  run_mpi(dcfa_cfg(), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(64);
+    if (ctx.rank == 0) {
+      ctx.proc.wait(sim::microseconds(100));
+      comm.send(buf, 0, 64, type_byte(), 1, 4);
+    } else {
+      auto pr = comm.recv_init(buf, 0, 64, type_byte(), 0, 4);
+      Request& r = pr.start();
+      EXPECT_FALSE(r.done());
+      EXPECT_THROW(pr.start(), MpiError);  // still in flight
+      comm.wait(r);
+      EXPECT_NO_THROW(pr.start());  // completed: restartable
+      // Satisfy the second start.
+    }
+    if (ctx.rank == 0) {
+      ctx.proc.wait(sim::microseconds(100));
+      comm.send(buf, 0, 64, type_byte(), 1, 4);
+    }
+    comm.barrier();
+    comm.free(buf);
+  });
+}
+
+TEST(Persistent, UninitialisedStartThrows) {
+  run_mpi(dcfa_cfg(), [](RankCtx& ctx) {
+    Communicator::Persistent p;
+    EXPECT_FALSE(p.valid());
+    EXPECT_THROW(p.start(), MpiError);
+    ctx.world.barrier();
+  });
+}
+
+TEST(Persistent, SyncVariantForcesRendezvous) {
+  RunConfig cfg = dcfa_cfg();
+  Runtime rt(cfg);
+  rt.run([](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(64);
+    if (ctx.rank == 0) {
+      auto ps = comm.ssend_init(buf, 0, 64, type_byte(), 1, 4);
+      for (int i = 0; i < 3; ++i) comm.wait(ps.start());
+    } else {
+      auto pr = comm.recv_init(buf, 0, 64, type_byte(), 0, 4);
+      for (int i = 0; i < 3; ++i) comm.wait(pr.start());
+    }
+    comm.free(buf);
+  });
+  EXPECT_EQ(rt.rank_stats()[0].eager_sends, 0u);
+  EXPECT_EQ(rt.rank_stats()[0].rndv_sends, 3u);
+}

@@ -1,0 +1,160 @@
+// Tests for MPI_Probe/Iprobe and synchronous-mode sends (MPI_Ssend).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mpi/runtime.hpp"
+
+using namespace dcfa;
+using namespace dcfa::mpi;
+
+namespace {
+RunConfig dcfa_cfg(int nprocs = 2) {
+  RunConfig cfg;
+  cfg.mode = MpiMode::DcfaPhi;
+  cfg.nprocs = nprocs;
+  return cfg;
+}
+}  // namespace
+
+TEST(Probe, SeesEnvelopeBeforeReceiving) {
+  run_mpi(dcfa_cfg(), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(4096);
+    if (ctx.rank == 1) {
+      buf.data()[0] = std::byte{0x5A};
+      comm.send(buf, 0, 777, type_byte(), 0, 42);
+    } else {
+      Status env = comm.probe(1, 42);
+      EXPECT_EQ(env.source, 1);
+      EXPECT_EQ(env.tag, 42);
+      EXPECT_EQ(env.bytes, 777u);
+      // Size the receive from the probed envelope (the classic pattern).
+      Status st = comm.recv(buf, 0, env.bytes, type_byte(), env.source,
+                            env.tag);
+      EXPECT_EQ(st.bytes, 777u);
+      EXPECT_EQ(buf.data()[0], std::byte{0x5A});
+    }
+    comm.barrier();
+    comm.free(buf);
+  });
+}
+
+TEST(Probe, SeesRendezvousEnvelope) {
+  run_mpi(dcfa_cfg(), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(64 * 1024);
+    if (ctx.rank == 1) {
+      comm.send(buf, 0, 64 * 1024, type_byte(), 0, 9);
+    } else {
+      Status env = comm.probe(kAnySource, kAnyTag);
+      EXPECT_EQ(env.source, 1);
+      EXPECT_EQ(env.tag, 9);
+      EXPECT_EQ(env.bytes, 64u * 1024);
+      comm.recv(buf, 0, env.bytes, type_byte(), env.source, env.tag);
+    }
+    comm.barrier();
+    comm.free(buf);
+  });
+}
+
+TEST(Probe, IprobeDoesNotConsume) {
+  run_mpi(dcfa_cfg(), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(64);
+    if (ctx.rank == 1) {
+      comm.send(buf, 0, 64, type_byte(), 0, 3);
+      comm.barrier();
+    } else {
+      EXPECT_FALSE(comm.iprobe(1, 4).has_value());  // wrong tag
+      // Wait for the packet.
+      while (!comm.iprobe(1, 3)) ctx.proc.wait(sim::microseconds(2));
+      // Probing twice still reports it (non-destructive).
+      EXPECT_TRUE(comm.iprobe(1, 3).has_value());
+      EXPECT_TRUE(comm.iprobe(kAnySource, 3).has_value());
+      comm.barrier();
+      comm.recv(buf, 0, 64, type_byte(), 1, 3);
+    }
+    comm.free(buf);
+  });
+}
+
+TEST(Probe, IgnoresInternalCollectiveTraffic) {
+  run_mpi(dcfa_cfg(3), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    comm.barrier();
+    // Whatever barrier packets are buffered, a wildcard probe must not see
+    // them.
+    EXPECT_FALSE(comm.iprobe(kAnySource, kAnyTag).has_value());
+  });
+}
+
+TEST(Ssend, SmallSyncSendTakesRendezvous) {
+  RunConfig cfg = dcfa_cfg();
+  Runtime rt(cfg);
+  rt.run([](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(64);
+    if (ctx.rank == 0) {
+      comm.ssend(buf, 0, 64, type_byte(), 1, 1);  // tiny, but rendezvous
+    } else {
+      ctx.proc.wait(sim::microseconds(200));
+      comm.recv(buf, 0, 64, type_byte(), 0, 1);
+    }
+    comm.free(buf);
+  });
+  EXPECT_EQ(rt.rank_stats()[0].eager_sends, 0u);
+  EXPECT_EQ(rt.rank_stats()[0].rndv_sends, 1u);
+}
+
+TEST(Ssend, CompletionImpliesReceiveMatched) {
+  // The defining MPI_Ssend property: the send cannot complete before the
+  // matching receive is posted.
+  run_mpi(dcfa_cfg(), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(64);
+    const sim::Time recv_post_time = sim::milliseconds(3);
+    if (ctx.rank == 0) {
+      comm.ssend(buf, 0, 64, type_byte(), 1, 1);
+      EXPECT_GE(ctx.proc.now(), recv_post_time);
+    } else {
+      ctx.proc.wait(recv_post_time);
+      comm.recv(buf, 0, 64, type_byte(), 0, 1);
+    }
+    comm.free(buf);
+  });
+}
+
+TEST(Ssend, PlainEagerSendCompletesBeforeReceive) {
+  // Contrast with Ssend: a small standard-mode send is buffered and
+  // completes locally long before the late receive.
+  run_mpi(dcfa_cfg(), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(64);
+    if (ctx.rank == 0) {
+      comm.send(buf, 0, 64, type_byte(), 1, 1);
+      EXPECT_LT(ctx.proc.now(), sim::milliseconds(1));
+    } else {
+      ctx.proc.wait(sim::milliseconds(3));
+      comm.recv(buf, 0, 64, type_byte(), 0, 1);
+    }
+    comm.free(buf);
+  });
+}
+
+TEST(Ssend, LargeSyncSendDeliversData) {
+  run_mpi(dcfa_cfg(), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(128 * 1024);
+    if (ctx.rank == 0) {
+      std::memset(buf.data(), 0x77, buf.size());
+      comm.ssend(buf, 0, buf.size(), type_byte(), 1, 1);
+    } else {
+      Status st = comm.recv(buf, 0, buf.size(), type_byte(), 0, 1);
+      EXPECT_EQ(st.bytes, 128u * 1024);
+      EXPECT_EQ(buf.data()[100000], std::byte{0x77});
+    }
+    comm.free(buf);
+  });
+}

@@ -1,0 +1,194 @@
+// Tests for the Runtime harness and the verbs-layer cost model: run
+// configuration validation, stats plumbing, mode metadata, HostVerbs
+// overheads, engine option validation.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mpi/runtime.hpp"
+
+using namespace dcfa;
+using namespace dcfa::mpi;
+
+TEST(Runtime, RejectsBadConfig) {
+  RunConfig cfg;
+  cfg.nprocs = 0;
+  EXPECT_THROW(Runtime bad(cfg), MpiError);
+  cfg.nprocs = -3;
+  EXPECT_THROW(Runtime bad(cfg), MpiError);
+}
+
+TEST(Runtime, RunIsSingleShot) {
+  RunConfig cfg;
+  cfg.nprocs = 2;
+  Runtime rt(cfg);
+  rt.run([](RankCtx& ctx) { ctx.world.barrier(); });
+  EXPECT_THROW(rt.run([](RankCtx&) {}), MpiError);
+}
+
+TEST(Runtime, ModeNamesAreStable) {
+  EXPECT_STREQ(mode_name(MpiMode::DcfaPhi), "DCFA-MPI");
+  EXPECT_STREQ(mode_name(MpiMode::IntelPhi), "Intel MPI on Xeon Phi");
+  EXPECT_STREQ(mode_name(MpiMode::HostMpi), "host MPI");
+}
+
+TEST(Runtime, OffloadEngineOnlyForHostRanks) {
+  RunConfig cfg;
+  cfg.mode = MpiMode::DcfaPhi;
+  cfg.nprocs = 2;
+  run_mpi(cfg, [](RankCtx& ctx) {
+    EXPECT_EQ(ctx.offload, nullptr);
+    ctx.world.barrier();
+  });
+  cfg = RunConfig{};
+  cfg.mode = MpiMode::HostMpi;
+  cfg.nprocs = 2;
+  run_mpi(cfg, [](RankCtx& ctx) {
+    EXPECT_NE(ctx.offload, nullptr);
+    ctx.world.barrier();
+  });
+}
+
+TEST(Runtime, StatsCollectedPerRank) {
+  RunConfig cfg;
+  cfg.nprocs = 3;
+  Runtime rt(cfg);
+  rt.run([](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(16);
+    if (ctx.rank == 0) {
+      comm.send(buf, 0, 16, type_byte(), 1, 1);
+      comm.send(buf, 0, 16, type_byte(), 2, 1);
+    } else {
+      comm.recv(buf, 0, 16, type_byte(), 0, 1);
+    }
+    comm.free(buf);
+  });
+  EXPECT_EQ(rt.rank_stats().size(), 3u);
+  EXPECT_EQ(rt.rank_stats()[0].eager_sends, 2u);
+  EXPECT_GE(rt.rank_stats()[1].packets_rx, 1u);
+}
+
+TEST(Runtime, ElapsedMatchesInBodyClock) {
+  RunConfig cfg;
+  cfg.nprocs = 2;
+  Runtime rt(cfg);
+  sim::Time inside = 0;
+  rt.run([&](RankCtx& ctx) {
+    ctx.proc.wait(sim::milliseconds(7));
+    ctx.world.barrier();
+    if (ctx.rank == 0) inside = ctx.proc.now();
+  });
+  EXPECT_GE(rt.elapsed(), inside);
+  EXPECT_GE(rt.elapsed(), sim::milliseconds(7));
+}
+
+TEST(Runtime, RankBodyExceptionSurfaces) {
+  RunConfig cfg;
+  cfg.nprocs = 2;
+  Runtime rt(cfg);
+  EXPECT_THROW(rt.run([](RankCtx& ctx) {
+                 if (ctx.rank == 1) throw std::runtime_error("app bug");
+                 ctx.world.barrier();  // strands rank 0
+               }),
+               std::runtime_error);
+}
+
+TEST(Runtime, EngineSetupCannotRepeat) {
+  // Engine misuse guards (the Runtime calls setup exactly once).
+  RunConfig cfg;
+  cfg.nprocs = 2;
+  run_mpi(cfg, [](RankCtx& ctx) {
+    EXPECT_THROW(ctx.world.engine().setup(), MpiError);
+    ctx.world.barrier();
+  });
+}
+
+// --- Verbs cost model ---------------------------------------------------------
+
+namespace {
+struct VerbsFixture {
+  sim::Engine engine;
+  sim::Platform platform;
+  ib::Fabric fabric{engine, platform};
+  mem::NodeMemory mem0{0};
+  pcie::PciePort pcie0{engine, mem0, platform};
+  ib::Hca& hca0 = fabric.add_hca(mem0, pcie0);
+};
+}  // namespace
+
+TEST(HostVerbs, RegMrCostScalesWithPages) {
+  VerbsFixture f;
+  sim::Time small_cost = 0, big_cost = 0;
+  f.engine.spawn("host", [&](sim::Process& proc) {
+    verbs::HostVerbs ib(proc, f.fabric, f.mem0);
+    auto* pd = ib.alloc_pd();
+    mem::Buffer small = ib.alloc_buffer(4096, 4096);
+    mem::Buffer big = ib.alloc_buffer(4 << 20, 4096);
+    sim::Time t0 = proc.now();
+    ib.reg_mr(pd, small, 0);
+    small_cost = proc.now() - t0;
+    t0 = proc.now();
+    ib.reg_mr(pd, big, 0);
+    big_cost = proc.now() - t0;
+  });
+  f.engine.run();
+  EXPECT_GT(big_cost, small_cost);
+  // Base + per-page: 1024 pages vs 1 page.
+  EXPECT_NEAR(static_cast<double>(big_cost - small_cost),
+              1023.0 * f.platform.host_reg_mr_per_page, 2000.0);
+}
+
+TEST(HostVerbs, PollChargesOnlyOnCompletions) {
+  VerbsFixture f;
+  f.engine.spawn("host", [&](sim::Process& proc) {
+    verbs::HostVerbs ib(proc, f.fabric, f.mem0);
+    auto* cq = ib.create_cq(8);
+    const sim::Time t0 = proc.now();
+    ib::Wc wc;
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(ib.poll_cq(cq, 1, &wc), 0);
+    }
+    // Empty polls are free in the model (the real cost is a cache-hot read).
+    EXPECT_EQ(proc.now(), t0);
+  });
+  f.engine.run();
+}
+
+TEST(HostVerbs, MemcpyChargeMatchesBandwidth) {
+  VerbsFixture f;
+  f.engine.spawn("host", [&](sim::Process& proc) {
+    verbs::HostVerbs ib(proc, f.fabric, f.mem0);
+    const sim::Time t0 = proc.now();
+    ib.charge_memcpy(12 << 20);  // 12 MiB at 12 GB/s
+    EXPECT_EQ(proc.now() - t0, sim::transfer_time(12 << 20, 12.0));
+  });
+  f.engine.run();
+}
+
+TEST(HostVerbs, WaitCqReturnsImmediatelyWhenNonEmpty) {
+  VerbsFixture f;
+  f.engine.spawn("host", [&](sim::Process& proc) {
+    verbs::HostVerbs ib(proc, f.fabric, f.mem0);
+    auto* pd = ib.alloc_pd();
+    auto* cq = ib.create_cq(8);
+    auto* qp = ib.create_qp(pd, cq, cq);
+    ib.connect(qp, ib.address(qp));  // loopback
+    mem::Buffer buf = ib.alloc_buffer(64, 64);
+    auto* mr = ib.reg_mr(pd, buf, ib::kLocalWrite | ib::kRemoteWrite);
+    ib::SendWr wr;
+    wr.opcode = ib::Opcode::RdmaWrite;
+    wr.sg_list = {{buf.addr(), 64, mr->lkey()}};
+    wr.remote_addr = buf.addr();
+    wr.rkey = mr->rkey();
+    ib.post_send(qp, wr);
+    proc.wait(sim::milliseconds(1));  // let it complete
+    const sim::Time t0 = proc.now();
+    ib.wait_cq(cq);  // already non-empty: no block
+    EXPECT_EQ(proc.now(), t0);
+    ib::Wc wc;
+    EXPECT_EQ(ib.poll_cq(cq, 1, &wc), 1);
+  });
+  f.engine.run();
+}

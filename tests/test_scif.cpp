@@ -1,0 +1,150 @@
+// Tests for the SCIF-like host<->Phi channel: ordered message delivery,
+// blocking/non-blocking receive, delivery callbacks, serialisation helpers.
+
+#include <gtest/gtest.h>
+
+#include "scif/scif.hpp"
+
+using namespace dcfa;
+using namespace dcfa::scif;
+using Side = Channel::Side;
+
+namespace {
+struct Fixture {
+  sim::Engine engine;
+  sim::Platform platform;
+  mem::NodeMemory memory{0};
+  pcie::PciePort port{engine, memory, platform};
+  Channel channel{engine, port, platform};
+
+  std::vector<std::byte> msg(std::initializer_list<int> vals) {
+    std::vector<std::byte> m;
+    for (int v : vals) m.push_back(static_cast<std::byte>(v));
+    return m;
+  }
+};
+}  // namespace
+
+TEST(Scif, MessagesArriveInOrderAfterLatency) {
+  Fixture f;
+  std::vector<int> got;
+  sim::Time arrival = 0;
+  f.engine.spawn("phi", [&](sim::Process& p) {
+    for (int i = 0; i < 3; ++i) {
+      auto m = f.channel.recv(p, Side::Phi);
+      got.push_back(static_cast<int>(m[0]));
+    }
+    arrival = p.now();
+  });
+  f.engine.spawn("host", [&](sim::Process& p) {
+    for (int i = 1; i <= 3; ++i) {
+      auto m = f.msg({i});
+      f.channel.send(p, Side::Host, m);
+    }
+  });
+  f.engine.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+  EXPECT_GE(arrival, f.platform.scif_msg_latency);
+}
+
+TEST(Scif, BothDirectionsIndependent) {
+  Fixture f;
+  bool phi_got = false, host_got = false;
+  f.engine.spawn("phi", [&](sim::Process& p) {
+    auto m = f.msg({42});
+    f.channel.send(p, Side::Phi, m);
+    auto r = f.channel.recv(p, Side::Phi);
+    phi_got = r[0] == std::byte{24};
+  });
+  f.engine.spawn("host", [&](sim::Process& p) {
+    auto r = f.channel.recv(p, Side::Host);
+    host_got = r[0] == std::byte{42};
+    auto m = f.msg({24});
+    f.channel.send(p, Side::Host, m);
+  });
+  f.engine.run();
+  EXPECT_TRUE(phi_got);
+  EXPECT_TRUE(host_got);
+}
+
+TEST(Scif, TryRecvNonBlocking) {
+  Fixture f;
+  f.engine.spawn("host", [&](sim::Process& p) {
+    std::vector<std::byte> out;
+    EXPECT_FALSE(f.channel.try_recv(Side::Host, out));
+    auto m = f.msg({7});
+    f.channel.send(p, Side::Phi, m);
+    EXPECT_FALSE(f.channel.try_recv(Side::Host, out));  // still in flight
+    p.wait(f.platform.scif_msg_latency + sim::microseconds(1));
+    EXPECT_TRUE(f.channel.try_recv(Side::Host, out));
+    EXPECT_EQ(out[0], std::byte{7});
+  });
+  f.engine.run();
+}
+
+TEST(Scif, DeliveryCallbackFiresPerMessage) {
+  Fixture f;
+  int fired = 0;
+  f.channel.set_on_deliver(Side::Host, [&] { ++fired; });
+  f.engine.spawn("phi", [&](sim::Process& p) {
+    for (int i = 0; i < 5; ++i) {
+      auto m = f.msg({i});
+      f.channel.send(p, Side::Phi, m);
+    }
+  });
+  f.engine.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(f.channel.pending(Side::Host), 5u);
+}
+
+TEST(Scif, DeliverRawIsImmediate) {
+  Fixture f;
+  f.channel.deliver_raw(Side::Phi, {std::byte{9}});
+  std::vector<std::byte> out;
+  EXPECT_TRUE(f.channel.try_recv(Side::Phi, out));
+  EXPECT_EQ(out[0], std::byte{9});
+}
+
+TEST(Scif, WriterReaderRoundTrip) {
+  struct Pod {
+    std::uint32_t a;
+    std::uint64_t b;
+  };
+  Writer w;
+  w.put<std::uint32_t>(7).put(Pod{1, 2}).put<std::uint8_t>(3);
+  auto bytes = w.take();
+  Reader r(bytes);
+  EXPECT_EQ(r.get<std::uint32_t>(), 7u);
+  Pod p = r.get<Pod>();
+  EXPECT_EQ(p.a, 1u);
+  EXPECT_EQ(p.b, 2u);
+  EXPECT_EQ(r.get<std::uint8_t>(), 3u);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW(r.get<std::uint8_t>(), std::runtime_error);
+}
+
+TEST(Scif, LargerMessagesTakeLonger) {
+  Fixture f;
+  sim::Time t_small = 0, t_big = 0;
+  {
+    Fixture g;
+    g.engine.spawn("p", [&](sim::Process& p) {
+      std::vector<std::byte> m(8);
+      g.channel.send(p, Side::Host, m);
+      g.channel.recv(p, Side::Phi);
+      t_small = p.now();
+    });
+    g.engine.run();
+  }
+  {
+    Fixture g;
+    g.engine.spawn("p", [&](sim::Process& p) {
+      std::vector<std::byte> m(64 * 1024);
+      g.channel.send(p, Side::Host, m);
+      g.channel.recv(p, Side::Phi);
+      t_big = p.now();
+    });
+    g.engine.run();
+  }
+  EXPECT_GT(t_big, t_small);
+}

@@ -1,0 +1,94 @@
+// Tests for the Chrome-trace timeline recorder and its integration with the
+// MPI runtime.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "mpi/runtime.hpp"
+#include "sim/trace.hpp"
+
+using namespace dcfa;
+using namespace dcfa::sim;
+
+TEST(Tracer, RecordsSpansInstantsCounters) {
+  Tracer t;
+  t.span("cpu0", "compute", 1000, 5000);
+  t.instant("cpu0", "marker", 2000);
+  t.counter("stats", "queue_depth", 3000, 7.0);
+  EXPECT_EQ(t.events(), 3u);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"name\":\"compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  // Durations are microseconds: 4000ns -> 4.000us.
+  EXPECT_NE(json.find("\"dur\":4.000"), std::string::npos);
+}
+
+TEST(Tracer, EscapesJsonSpecials) {
+  Tracer t;
+  t.span("trk", "with \"quotes\" and \\slash", 0, 1);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("with \\\"quotes\\\" and \\\\slash"),
+            std::string::npos);
+}
+
+TEST(Tracer, DisabledByDefaultAndCheap) {
+  EXPECT_EQ(Tracer::current(), nullptr);
+  // trace_span with no tracer installed is a no-op, not a crash.
+  trace_span("t", "n", 0, 1);
+  trace_instant("t", "n", 0);
+}
+
+TEST(Tracer, InstallUninstall) {
+  Tracer t;
+  Tracer::install(&t);
+  trace_span("trk", "op", 10, 20);
+  Tracer::install(nullptr);
+  trace_span("trk", "ignored", 30, 40);
+  EXPECT_EQ(t.events(), 1u);
+}
+
+TEST(Tracer, RuntimeWritesTraceFile) {
+  const std::string path = "/tmp/dcfa_trace_test.json";
+  std::remove(path.c_str());
+  mpi::RunConfig cfg;
+  cfg.mode = mpi::MpiMode::DcfaPhi;
+  cfg.nprocs = 2;
+  cfg.trace_path = path;
+  mpi::run_mpi(cfg, [](mpi::RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(64 * 1024);
+    if (ctx.rank == 0) {
+      comm.send(buf, 0, 64 * 1024, mpi::type_byte(), 1, 1);
+    } else {
+      comm.recv(buf, 0, 64 * 1024, mpi::type_byte(), 0, 1);
+    }
+    comm.free(buf);
+  });
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  // Tracks from every layer: MPI requests, HCA ops, Phi DMA (offload sync).
+  EXPECT_NE(json.find("rank0"), std::string::npos);
+  EXPECT_NE(json.find("send(offload)"), std::string::npos);
+  EXPECT_NE(json.find(".hca"), std::string::npos);
+  EXPECT_NE(json.find("phi-dma"), std::string::npos);
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  // The global tracer is uninstalled after the run.
+  EXPECT_EQ(Tracer::current(), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Tracer, NoFileWhenPathEmpty) {
+  mpi::RunConfig cfg;
+  cfg.mode = mpi::MpiMode::HostMpi;
+  cfg.nprocs = 2;
+  mpi::run_mpi(cfg, [](mpi::RankCtx& ctx) { ctx.world.barrier(); });
+  EXPECT_EQ(Tracer::current(), nullptr);
+}

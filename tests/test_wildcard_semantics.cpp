@@ -1,0 +1,189 @@
+// Fine-grained wildcard-matching semantics: the deterministic scan order,
+// ANY_TAG with a specific source, probe interaction with the sequence lock,
+// and deferred-queue draining chains — the corners docs/protocol.md
+// documents.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mpi/runtime.hpp"
+
+using namespace dcfa;
+using namespace dcfa::mpi;
+
+namespace {
+RunConfig dcfa_cfg(int nprocs) {
+  RunConfig cfg;
+  cfg.mode = MpiMode::DcfaPhi;
+  cfg.nprocs = nprocs;
+  return cfg;
+}
+}  // namespace
+
+TEST(Wildcard, LowestSourceWinsWhenSeveralWait) {
+  // Both peers' messages are already buffered when the ANY_SOURCE receive
+  // is posted: the scan is deterministic, lowest world rank first.
+  run_mpi(dcfa_cfg(3), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(64);
+    if (ctx.rank == 0) {
+      comm.barrier();                     // both sends happen after this
+      ctx.proc.wait(sim::milliseconds(1));  // let both land
+      Status st1 = comm.recv(buf, 0, 64, type_byte(), kAnySource, 9);
+      EXPECT_EQ(st1.source, 1);           // deterministic: rank 1 first
+      Status st2 = comm.recv(buf, 0, 64, type_byte(), kAnySource, 9);
+      EXPECT_EQ(st2.source, 2);
+    } else {
+      comm.send(buf, 0, 64, type_byte(), 0, 9);
+      comm.barrier();
+    }
+    comm.free(buf);
+  });
+}
+
+TEST(Wildcard, AnyTagSpecificSource) {
+  // src fixed, tag wildcard: must take that source's packets in arrival
+  // order regardless of their tags, and ignore other sources entirely.
+  run_mpi(dcfa_cfg(3), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(64);
+    if (ctx.rank == 0) {
+      comm.barrier();
+      ctx.proc.wait(sim::milliseconds(1));
+      // Rank 2's message is also waiting, but we only listen to rank 1.
+      Status st = comm.recv(buf, 0, 64, type_byte(), 1, kAnyTag);
+      EXPECT_EQ(st.source, 1);
+      EXPECT_EQ(st.tag, 41);
+      st = comm.recv(buf, 0, 64, type_byte(), 1, kAnyTag);
+      EXPECT_EQ(st.tag, 43);
+      // Now drain rank 2.
+      st = comm.recv(buf, 0, 64, type_byte(), 2, 50);
+      EXPECT_EQ(st.source, 2);
+    } else if (ctx.rank == 1) {
+      comm.send(buf, 0, 64, type_byte(), 0, 41);
+      comm.send(buf, 0, 64, type_byte(), 0, 43);
+      comm.barrier();
+    } else {
+      comm.send(buf, 0, 64, type_byte(), 0, 50);
+      comm.barrier();
+    }
+    comm.free(buf);
+  });
+}
+
+TEST(Wildcard, ProbeRespectsTheSequenceLock) {
+  // While an unmatched wildcard holds the lock, a probe must not leak the
+  // packets queued behind it. (No collectives on this communicator while
+  // the lock is pending: their receives would queue behind it too — the
+  // documented conservative semantics.)
+  run_mpi(dcfa_cfg(2), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(64);
+    if (ctx.rank == 0) {
+      // Post an ANY receive on a tag the peer will only send later -> lock.
+      Request any = comm.irecv(buf, 0, 64, type_byte(), kAnySource, 77);
+      // Peer's tag-5 packet arrives in the meantime, but the lock holds and
+      // tag 77 has not arrived: probe must see nothing.
+      ctx.proc.wait(sim::milliseconds(1));
+      EXPECT_FALSE(comm.iprobe(kAnySource, 5).has_value());
+      EXPECT_FALSE(comm.test(any));
+      // At t=2ms the peer sends tag 77: the wildcard matches, the lock
+      // lifts, and the tag-5 packet becomes probe-visible.
+      Status st = comm.wait(any);
+      EXPECT_EQ(st.tag, 77);
+      EXPECT_TRUE(comm.iprobe(1, 5).has_value());
+      comm.recv(buf, 0, 64, type_byte(), 1, 5);
+    } else {
+      comm.send(buf, 0, 64, type_byte(), 0, 5);
+      ctx.proc.wait(sim::milliseconds(2));
+      comm.send(buf, 0, 64, type_byte(), 0, 77);
+    }
+    comm.barrier();
+    comm.free(buf);
+  });
+}
+
+TEST(Wildcard, DeferredChainDrainsInOrder) {
+  // ANY(lock) -> specific -> ANY -> specific, then packets arrive: the
+  // whole chain must resolve in posting order.
+  run_mpi(dcfa_cfg(2), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer a = comm.alloc(64), b = comm.alloc(64), c = comm.alloc(64),
+                d = comm.alloc(64);
+    if (ctx.rank == 0) {
+      Request r1 = comm.irecv(a, 0, 64, type_byte(), kAnySource, 10);
+      Request r2 = comm.irecv(b, 0, 64, type_byte(), 1, 11);
+      Request r3 = comm.irecv(c, 0, 64, type_byte(), kAnySource, 12);
+      Request r4 = comm.irecv(d, 0, 64, type_byte(), 1, 13);
+      comm.barrier();
+      comm.wait(r1);
+      comm.wait(r2);
+      comm.wait(r3);
+      comm.wait(r4);
+      EXPECT_EQ(a.data()[0], std::byte{10});
+      EXPECT_EQ(b.data()[0], std::byte{11});
+      EXPECT_EQ(c.data()[0], std::byte{12});
+      EXPECT_EQ(d.data()[0], std::byte{13});
+    } else {
+      comm.barrier();
+      for (int tag : {10, 11, 12, 13}) {
+        a.data()[0] = static_cast<std::byte>(tag);
+        comm.send(a, 0, 64, type_byte(), 0, tag);
+      }
+    }
+    comm.barrier();
+    comm.free(a);
+    comm.free(b);
+    comm.free(c);
+    comm.free(d);
+  });
+}
+
+TEST(Wildcard, AnySourceRendezvousReceiverNeverSendsRtr) {
+  // A wildcard receive cannot know its sender, so it can never run the
+  // Receiver-First protocol — it always resolves reactively (sender-first).
+  RunConfig cfg = dcfa_cfg(2);
+  Runtime rt(cfg);
+  rt.run([](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(64 * 1024);
+    if (ctx.rank == 0) {
+      Status st = comm.recv(buf, 0, 64 * 1024, type_byte(), kAnySource, 3);
+      EXPECT_EQ(st.bytes, 64u * 1024);
+    } else {
+      ctx.proc.wait(sim::microseconds(300));
+      comm.send(buf, 0, 64 * 1024, type_byte(), 0, 3);
+    }
+    comm.free(buf);
+  });
+  EXPECT_EQ(rt.rank_stats()[1].rtrs_dropped, 0u);     // no RTR existed
+  EXPECT_GE(rt.rank_stats()[0].sender_first, 1u);     // read path used
+  EXPECT_EQ(rt.rank_stats()[0].receiver_first, 0u);
+}
+
+TEST(Wildcard, MixedWildcardsAcrossCommunicators) {
+  // A lock on one communicator must not stall another.
+  run_mpi(dcfa_cfg(2), [](RankCtx& ctx) {
+    auto& world = ctx.world;
+    Communicator dup = world.dup();
+    mem::Buffer buf = world.alloc(64);
+    if (ctx.rank == 0) {
+      // Lock on `dup` (nothing will arrive for a while)...
+      Request locked = dup.irecv(buf, 0, 64, type_byte(), kAnySource, 1);
+      // ...while world traffic flows freely.
+      mem::Buffer w = world.alloc(64);
+      Status st = world.recv(w, 0, 64, type_byte(), 1, 2);
+      EXPECT_EQ(st.tag, 2);
+      world.send(w, 0, 64, type_byte(), 1, 4);
+      dup.wait(locked);
+      world.free(w);
+    } else {
+      world.send(buf, 0, 64, type_byte(), 0, 2);
+      world.recv(buf, 0, 64, type_byte(), 0, 4);
+      dup.send(buf, 0, 64, type_byte(), 0, 1);
+    }
+    world.barrier();
+    world.free(buf);
+  });
+}

@@ -1,0 +1,225 @@
+// Tests for one-sided communication (Window / put / get / fence): data
+// integrity, passive-target progress, epoch semantics, bounds checking,
+// interaction with the offloading send buffer, and an RMA halo exchange.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mpi/runtime.hpp"
+#include "mpi/window.hpp"
+
+using namespace dcfa;
+using namespace dcfa::mpi;
+
+namespace {
+RunConfig dcfa_cfg(int nprocs) {
+  RunConfig cfg;
+  cfg.mode = MpiMode::DcfaPhi;
+  cfg.nprocs = nprocs;
+  return cfg;
+}
+}  // namespace
+
+TEST(Window, PutDeliversAfterFence) {
+  run_mpi(dcfa_cfg(2), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer wbuf = comm.alloc(4096);
+    mem::Buffer src = comm.alloc(4096);
+    Window win(comm, wbuf, 0, 4096);
+    win.fence();  // open the epoch
+    if (ctx.rank == 0) {
+      std::memset(src.data(), 0x42, 4096);
+      win.put(src, 0, 4096, /*target=*/1, /*disp=*/0);
+    }
+    win.fence();  // close: rank 1 must now see the data
+    if (ctx.rank == 1) {
+      EXPECT_EQ(wbuf.data()[0], std::byte{0x42});
+      EXPECT_EQ(wbuf.data()[4095], std::byte{0x42});
+    }
+    win.free();
+    comm.free(wbuf);
+    comm.free(src);
+  });
+}
+
+TEST(Window, GetReadsRemoteWithoutTargetInvolvement) {
+  run_mpi(dcfa_cfg(2), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer wbuf = comm.alloc(8192);
+    mem::Buffer dst = comm.alloc(8192);
+    for (std::size_t i = 0; i < 8192; ++i) {
+      wbuf.data()[i] = static_cast<std::byte>((ctx.rank * 91 + i) & 0xff);
+    }
+    Window win(comm, wbuf, 0, 8192);
+    win.fence();
+    if (ctx.rank == 0) {
+      win.get(dst, 0, 8192, 1, 0);
+    } else {
+      // Passive target: rank 1 computes, never calls into the window.
+      ctx.proc.wait(sim::milliseconds(1));
+    }
+    win.fence();
+    if (ctx.rank == 0) {
+      for (std::size_t i = 0; i < 8192; i += 1000) {
+        EXPECT_EQ(dst.data()[i], static_cast<std::byte>((91 + i) & 0xff));
+      }
+    }
+    win.free();
+    comm.free(wbuf);
+    comm.free(dst);
+  });
+}
+
+TEST(Window, DisplacementsAndPartialWindows) {
+  run_mpi(dcfa_cfg(2), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer wbuf = comm.alloc(4096);
+    mem::Buffer src = comm.alloc(64);
+    // Expose only the middle 1 KiB of the buffer.
+    Window win(comm, wbuf, 1024, 1024);
+    win.fence();
+    if (ctx.rank == 0) {
+      std::memset(src.data(), 0x7C, 64);
+      win.put(src, 0, 64, 1, /*disp=*/512);
+    }
+    win.fence();
+    if (ctx.rank == 1) {
+      EXPECT_EQ(wbuf.data()[1024 + 512], std::byte{0x7C});
+      EXPECT_EQ(wbuf.data()[1024 + 511], std::byte{0});   // untouched
+      EXPECT_EQ(wbuf.data()[1024 + 512 + 64], std::byte{0});
+    }
+    win.free();
+    comm.free(wbuf);
+    comm.free(src);
+  });
+}
+
+TEST(Window, OutOfBoundsAccessThrows) {
+  run_mpi(dcfa_cfg(2), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer wbuf = comm.alloc(1024);
+    mem::Buffer src = comm.alloc(1024);
+    Window win(comm, wbuf, 0, 512);  // expose half
+    win.fence();
+    EXPECT_THROW(win.put(src, 0, 513, 1 - ctx.rank, 0), MpiError);
+    EXPECT_THROW(win.put(src, 0, 64, 1 - ctx.rank, 500), MpiError);
+    EXPECT_THROW(win.get(src, 0, 64, 5, 0), MpiError);
+    win.fence();
+    win.free();
+    comm.free(wbuf);
+    comm.free(src);
+  });
+}
+
+TEST(Window, HeterogeneousWindowSizes) {
+  run_mpi(dcfa_cfg(3), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    const std::size_t mine = 256 * (ctx.rank + 1);
+    mem::Buffer wbuf = comm.alloc(mine);
+    Window win(comm, wbuf, 0, mine);
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_EQ(win.target_size(r), 256u * (r + 1));
+    }
+    win.fence();
+    win.fence();
+    win.free();
+    comm.free(wbuf);
+  });
+}
+
+TEST(Window, LargePutUsesOffloadShadow) {
+  RunConfig cfg = dcfa_cfg(2);
+  Runtime rt(cfg);
+  rt.run([](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    const std::size_t kBytes = 256 * 1024;
+    mem::Buffer wbuf = comm.alloc(kBytes);
+    mem::Buffer src = comm.alloc(kBytes);
+    Window win(comm, wbuf, 0, kBytes);
+    win.fence();
+    if (ctx.rank == 0) {
+      std::memset(src.data(), 0x3D, kBytes);
+      win.put(src, 0, kBytes, 1, 0);
+    }
+    win.fence();
+    if (ctx.rank == 1) {
+      EXPECT_EQ(wbuf.data()[kBytes - 1], std::byte{0x3D});
+    }
+    win.free();
+    comm.free(wbuf);
+    comm.free(src);
+  });
+  EXPECT_GE(rt.rank_stats()[0].offload_syncs, 1u);
+}
+
+TEST(Window, ManyOutstandingOpsOneFence) {
+  run_mpi(dcfa_cfg(4), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    const std::size_t kSlot = 512;
+    mem::Buffer wbuf = comm.alloc(4 * kSlot);  // one slot per origin
+    mem::Buffer src = comm.alloc(kSlot);
+    std::memset(src.data(), 0x20 + ctx.rank, kSlot);
+    Window win(comm, wbuf, 0, 4 * kSlot);
+    win.fence();
+    // Everyone puts into everyone (including itself).
+    for (int t = 0; t < 4; ++t) {
+      win.put(src, 0, kSlot, t, ctx.rank * kSlot);
+    }
+    win.fence();
+    for (int origin = 0; origin < 4; ++origin) {
+      EXPECT_EQ(wbuf.data()[origin * kSlot],
+                static_cast<std::byte>(0x20 + origin));
+    }
+    win.free();
+    comm.free(wbuf);
+    comm.free(src);
+  });
+}
+
+TEST(Window, RmaHaloExchangeMatchesTwoSided) {
+  // A stencil-style halo exchange done with puts produces the same data as
+  // the send/recv version.
+  run_mpi(dcfa_cfg(4), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    const std::size_t kRow = 1024;
+    // Layout: [ghost_top][interior0][interior1][ghost_bottom].
+    mem::Buffer plane = comm.alloc(4 * kRow);
+    for (std::size_t i = 0; i < kRow; ++i) {
+      plane.data()[kRow + i] = static_cast<std::byte>(ctx.rank * 2);
+      plane.data()[2 * kRow + i] = static_cast<std::byte>(ctx.rank * 2 + 1);
+    }
+    Window win(comm, plane, 0, 4 * kRow);
+    win.fence();
+    const int up = ctx.rank > 0 ? ctx.rank - 1 : -1;
+    const int down = ctx.rank < 3 ? ctx.rank + 1 : -1;
+    // Push my first interior row into my upper neighbour's bottom ghost,
+    // my last interior row into my lower neighbour's top ghost.
+    if (up >= 0) win.put(plane, kRow, kRow, up, 3 * kRow);
+    if (down >= 0) win.put(plane, 2 * kRow, kRow, down, 0);
+    win.fence();
+    if (up >= 0) {
+      EXPECT_EQ(plane.data()[0], static_cast<std::byte>(up * 2 + 1));
+    }
+    if (down >= 0) {
+      EXPECT_EQ(plane.data()[3 * kRow],
+                static_cast<std::byte>(down * 2));
+    }
+    win.free();
+    comm.free(plane);
+  });
+}
+
+TEST(Window, UseAfterFreeThrows) {
+  run_mpi(dcfa_cfg(2), [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer wbuf = comm.alloc(64);
+    Window win(comm, wbuf, 0, 64);
+    win.fence();
+    win.free();
+    EXPECT_THROW(win.put(wbuf, 0, 8, 1 - ctx.rank, 0), MpiError);
+    EXPECT_THROW(win.fence(), MpiError);
+    comm.barrier();
+    comm.free(wbuf);
+  });
+}
