@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_eager_threshold.dir/abl_eager_threshold.cpp.o"
+  "CMakeFiles/abl_eager_threshold.dir/abl_eager_threshold.cpp.o.d"
+  "abl_eager_threshold"
+  "abl_eager_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_eager_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

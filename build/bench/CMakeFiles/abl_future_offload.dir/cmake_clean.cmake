@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_future_offload.dir/abl_future_offload.cpp.o"
+  "CMakeFiles/abl_future_offload.dir/abl_future_offload.cpp.o.d"
+  "abl_future_offload"
+  "abl_future_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_future_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_intranode.dir/abl_intranode.cpp.o"
+  "CMakeFiles/abl_intranode.dir/abl_intranode.cpp.o.d"
+  "abl_intranode"
+  "abl_intranode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_intranode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

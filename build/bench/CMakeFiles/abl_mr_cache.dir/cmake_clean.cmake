@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mr_cache.dir/abl_mr_cache.cpp.o"
+  "CMakeFiles/abl_mr_cache.dir/abl_mr_cache.cpp.o.d"
+  "abl_mr_cache"
+  "abl_mr_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mr_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_offload_threshold.dir/abl_offload_threshold.cpp.o"
+  "CMakeFiles/abl_offload_threshold.dir/abl_offload_threshold.cpp.o.d"
+  "abl_offload_threshold"
+  "abl_offload_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_offload_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rdma_vs_sendrecv.dir/abl_rdma_vs_sendrecv.cpp.o"
+  "CMakeFiles/abl_rdma_vs_sendrecv.dir/abl_rdma_vs_sendrecv.cpp.o.d"
+  "abl_rdma_vs_sendrecv"
+  "abl_rdma_vs_sendrecv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rdma_vs_sendrecv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_rdma_vs_sendrecv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rma_halo.dir/abl_rma_halo.cpp.o"
+  "CMakeFiles/abl_rma_halo.dir/abl_rma_halo.cpp.o.d"
+  "abl_rma_halo"
+  "abl_rma_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rma_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

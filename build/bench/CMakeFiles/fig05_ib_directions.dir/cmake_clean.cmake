@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ib_directions.dir/fig05_ib_directions.cpp.o"
+  "CMakeFiles/fig05_ib_directions.dir/fig05_ib_directions.cpp.o.d"
+  "fig05_ib_directions"
+  "fig05_ib_directions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ib_directions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

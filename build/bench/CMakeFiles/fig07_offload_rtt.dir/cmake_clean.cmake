@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_offload_rtt.dir/fig07_offload_rtt.cpp.o"
+  "CMakeFiles/fig07_offload_rtt.dir/fig07_offload_rtt.cpp.o.d"
+  "fig07_offload_rtt"
+  "fig07_offload_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_offload_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

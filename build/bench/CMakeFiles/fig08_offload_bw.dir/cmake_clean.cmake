@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_offload_bw.dir/fig08_offload_bw.cpp.o"
+  "CMakeFiles/fig08_offload_bw.dir/fig08_offload_bw.cpp.o.d"
+  "fig08_offload_bw"
+  "fig08_offload_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_offload_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

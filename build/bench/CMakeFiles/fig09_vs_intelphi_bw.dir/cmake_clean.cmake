@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_vs_intelphi_bw.dir/fig09_vs_intelphi_bw.cpp.o"
+  "CMakeFiles/fig09_vs_intelphi_bw.dir/fig09_vs_intelphi_bw.cpp.o.d"
+  "fig09_vs_intelphi_bw"
+  "fig09_vs_intelphi_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vs_intelphi_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_commonly.dir/fig10_commonly.cpp.o"
+  "CMakeFiles/fig10_commonly.dir/fig10_commonly.cpp.o.d"
+  "fig10_commonly"
+  "fig10_commonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_commonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_platform.dir/fig_platform.cpp.o"
+  "CMakeFiles/fig_platform.dir/fig_platform.cpp.o.d"
+  "fig_platform"
+  "fig_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

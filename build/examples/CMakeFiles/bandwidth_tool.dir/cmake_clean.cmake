@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_tool.dir/bandwidth_tool.cpp.o"
+  "CMakeFiles/bandwidth_tool.dir/bandwidth_tool.cpp.o.d"
+  "bandwidth_tool"
+  "bandwidth_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

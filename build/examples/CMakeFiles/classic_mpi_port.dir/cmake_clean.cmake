@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_mpi_port.dir/classic_mpi_port.cpp.o"
+  "CMakeFiles/classic_mpi_port.dir/classic_mpi_port.cpp.o.d"
+  "classic_mpi_port"
+  "classic_mpi_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_mpi_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

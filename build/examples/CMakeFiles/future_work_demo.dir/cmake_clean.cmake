@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_work_demo.dir/future_work_demo.cpp.o"
+  "CMakeFiles/future_work_demo.dir/future_work_demo.cpp.o.d"
+  "future_work_demo"
+  "future_work_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_work_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

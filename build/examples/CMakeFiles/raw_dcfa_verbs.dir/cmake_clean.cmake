@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_dcfa_verbs.dir/raw_dcfa_verbs.cpp.o"
+  "CMakeFiles/raw_dcfa_verbs.dir/raw_dcfa_verbs.cpp.o.d"
+  "raw_dcfa_verbs"
+  "raw_dcfa_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_dcfa_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("mem")
+subdirs("pcie")
+subdirs("ib")
+subdirs("verbs")
+subdirs("scif")
+subdirs("dcfa")
+subdirs("offload")
+subdirs("compute")
+subdirs("mpi")
+subdirs("baselines")
+subdirs("apps")
+subdirs("capi")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcfa_apps.dir/commonly.cpp.o"
+  "CMakeFiles/dcfa_apps.dir/commonly.cpp.o.d"
+  "CMakeFiles/dcfa_apps.dir/pingpong.cpp.o"
+  "CMakeFiles/dcfa_apps.dir/pingpong.cpp.o.d"
+  "CMakeFiles/dcfa_apps.dir/stencil.cpp.o"
+  "CMakeFiles/dcfa_apps.dir/stencil.cpp.o.d"
+  "libdcfa_apps.a"
+  "libdcfa_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcfa_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcfa_capi.dir/mpi_compat.cpp.o"
+  "CMakeFiles/dcfa_capi.dir/mpi_compat.cpp.o.d"
+  "libdcfa_capi.a"
+  "libdcfa_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcfa_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcfa_compute.dir/compute.cpp.o"
+  "CMakeFiles/dcfa_compute.dir/compute.cpp.o.d"
+  "libdcfa_compute.a"
+  "libdcfa_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcfa_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcfa_core.dir/cmd.cpp.o"
+  "CMakeFiles/dcfa_core.dir/cmd.cpp.o.d"
+  "CMakeFiles/dcfa_core.dir/phi_verbs.cpp.o"
+  "CMakeFiles/dcfa_core.dir/phi_verbs.cpp.o.d"
+  "libdcfa_core.a"
+  "libdcfa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcfa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

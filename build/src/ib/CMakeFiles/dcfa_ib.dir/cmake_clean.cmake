@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcfa_ib.dir/fabric.cpp.o"
+  "CMakeFiles/dcfa_ib.dir/fabric.cpp.o.d"
+  "CMakeFiles/dcfa_ib.dir/hca.cpp.o"
+  "CMakeFiles/dcfa_ib.dir/hca.cpp.o.d"
+  "libdcfa_ib.a"
+  "libdcfa_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcfa_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

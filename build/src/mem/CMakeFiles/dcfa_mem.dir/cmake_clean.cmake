@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcfa_mem.dir/memory.cpp.o"
+  "CMakeFiles/dcfa_mem.dir/memory.cpp.o.d"
+  "libdcfa_mem.a"
+  "libdcfa_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcfa_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

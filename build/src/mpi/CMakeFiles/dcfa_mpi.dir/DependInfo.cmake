@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/collectives.cpp" "src/mpi/CMakeFiles/dcfa_mpi.dir/collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/dcfa_mpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpi/communicator.cpp" "src/mpi/CMakeFiles/dcfa_mpi.dir/communicator.cpp.o" "gcc" "src/mpi/CMakeFiles/dcfa_mpi.dir/communicator.cpp.o.d"
+  "/root/repo/src/mpi/datatype.cpp" "src/mpi/CMakeFiles/dcfa_mpi.dir/datatype.cpp.o" "gcc" "src/mpi/CMakeFiles/dcfa_mpi.dir/datatype.cpp.o.d"
+  "/root/repo/src/mpi/engine.cpp" "src/mpi/CMakeFiles/dcfa_mpi.dir/engine.cpp.o" "gcc" "src/mpi/CMakeFiles/dcfa_mpi.dir/engine.cpp.o.d"
+  "/root/repo/src/mpi/mr_cache.cpp" "src/mpi/CMakeFiles/dcfa_mpi.dir/mr_cache.cpp.o" "gcc" "src/mpi/CMakeFiles/dcfa_mpi.dir/mr_cache.cpp.o.d"
+  "/root/repo/src/mpi/offload_cache.cpp" "src/mpi/CMakeFiles/dcfa_mpi.dir/offload_cache.cpp.o" "gcc" "src/mpi/CMakeFiles/dcfa_mpi.dir/offload_cache.cpp.o.d"
+  "/root/repo/src/mpi/protocol.cpp" "src/mpi/CMakeFiles/dcfa_mpi.dir/protocol.cpp.o" "gcc" "src/mpi/CMakeFiles/dcfa_mpi.dir/protocol.cpp.o.d"
+  "/root/repo/src/mpi/rma.cpp" "src/mpi/CMakeFiles/dcfa_mpi.dir/rma.cpp.o" "gcc" "src/mpi/CMakeFiles/dcfa_mpi.dir/rma.cpp.o.d"
+  "/root/repo/src/mpi/runtime.cpp" "src/mpi/CMakeFiles/dcfa_mpi.dir/runtime.cpp.o" "gcc" "src/mpi/CMakeFiles/dcfa_mpi.dir/runtime.cpp.o.d"
+  "/root/repo/src/mpi/window.cpp" "src/mpi/CMakeFiles/dcfa_mpi.dir/window.cpp.o" "gcc" "src/mpi/CMakeFiles/dcfa_mpi.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dcfa/CMakeFiles/dcfa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/dcfa_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/dcfa_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/dcfa_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/scif/CMakeFiles/dcfa_scif.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/dcfa_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dcfa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcfa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

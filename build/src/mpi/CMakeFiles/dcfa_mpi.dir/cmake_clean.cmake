@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcfa_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/dcfa_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/dcfa_mpi.dir/communicator.cpp.o"
+  "CMakeFiles/dcfa_mpi.dir/communicator.cpp.o.d"
+  "CMakeFiles/dcfa_mpi.dir/datatype.cpp.o"
+  "CMakeFiles/dcfa_mpi.dir/datatype.cpp.o.d"
+  "CMakeFiles/dcfa_mpi.dir/engine.cpp.o"
+  "CMakeFiles/dcfa_mpi.dir/engine.cpp.o.d"
+  "CMakeFiles/dcfa_mpi.dir/mr_cache.cpp.o"
+  "CMakeFiles/dcfa_mpi.dir/mr_cache.cpp.o.d"
+  "CMakeFiles/dcfa_mpi.dir/offload_cache.cpp.o"
+  "CMakeFiles/dcfa_mpi.dir/offload_cache.cpp.o.d"
+  "CMakeFiles/dcfa_mpi.dir/protocol.cpp.o"
+  "CMakeFiles/dcfa_mpi.dir/protocol.cpp.o.d"
+  "CMakeFiles/dcfa_mpi.dir/rma.cpp.o"
+  "CMakeFiles/dcfa_mpi.dir/rma.cpp.o.d"
+  "CMakeFiles/dcfa_mpi.dir/runtime.cpp.o"
+  "CMakeFiles/dcfa_mpi.dir/runtime.cpp.o.d"
+  "CMakeFiles/dcfa_mpi.dir/window.cpp.o"
+  "CMakeFiles/dcfa_mpi.dir/window.cpp.o.d"
+  "libdcfa_mpi.a"
+  "libdcfa_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcfa_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcfa_offload.dir/offload.cpp.o"
+  "CMakeFiles/dcfa_offload.dir/offload.cpp.o.d"
+  "libdcfa_offload.a"
+  "libdcfa_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcfa_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcfa_pcie.dir/pcie.cpp.o"
+  "CMakeFiles/dcfa_pcie.dir/pcie.cpp.o.d"
+  "libdcfa_pcie.a"
+  "libdcfa_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcfa_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

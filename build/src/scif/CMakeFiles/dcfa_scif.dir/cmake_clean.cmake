@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcfa_scif.dir/scif.cpp.o"
+  "CMakeFiles/dcfa_scif.dir/scif.cpp.o.d"
+  "libdcfa_scif.a"
+  "libdcfa_scif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcfa_scif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

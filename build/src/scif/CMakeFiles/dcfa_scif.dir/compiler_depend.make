@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dcfa_scif.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcfa_sim.dir/engine.cpp.o"
+  "CMakeFiles/dcfa_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/dcfa_sim.dir/log.cpp.o"
+  "CMakeFiles/dcfa_sim.dir/log.cpp.o.d"
+  "CMakeFiles/dcfa_sim.dir/process.cpp.o"
+  "CMakeFiles/dcfa_sim.dir/process.cpp.o.d"
+  "CMakeFiles/dcfa_sim.dir/time.cpp.o"
+  "CMakeFiles/dcfa_sim.dir/time.cpp.o.d"
+  "CMakeFiles/dcfa_sim.dir/trace.cpp.o"
+  "CMakeFiles/dcfa_sim.dir/trace.cpp.o.d"
+  "libdcfa_sim.a"
+  "libdcfa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcfa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

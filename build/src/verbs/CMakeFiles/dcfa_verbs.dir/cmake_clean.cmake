@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcfa_verbs.dir/verbs.cpp.o"
+  "CMakeFiles/dcfa_verbs.dir/verbs.cpp.o.d"
+  "libdcfa_verbs.a"
+  "libdcfa_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcfa_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

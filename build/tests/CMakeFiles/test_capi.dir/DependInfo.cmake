@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_capi.cpp" "tests/CMakeFiles/test_capi.dir/test_capi.cpp.o" "gcc" "tests/CMakeFiles/test_capi.dir/test_capi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/dcfa_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/capi/CMakeFiles/dcfa_capi.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/dcfa_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/dcfa_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/dcfa_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcfa/CMakeFiles/dcfa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/dcfa_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/dcfa_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/scif/CMakeFiles/dcfa_scif.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/dcfa_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dcfa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcfa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

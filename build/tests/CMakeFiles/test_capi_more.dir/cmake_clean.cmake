@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capi_more.dir/test_capi_more.cpp.o"
+  "CMakeFiles/test_capi_more.dir/test_capi_more.cpp.o.d"
+  "test_capi_more"
+  "test_capi_more.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capi_more.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collective_storm.dir/test_collective_storm.cpp.o"
+  "CMakeFiles/test_collective_storm.dir/test_collective_storm.cpp.o.d"
+  "test_collective_storm"
+  "test_collective_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collective_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

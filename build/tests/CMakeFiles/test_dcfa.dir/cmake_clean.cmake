@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcfa.dir/test_dcfa.cpp.o"
+  "CMakeFiles/test_dcfa.dir/test_dcfa.cpp.o.d"
+  "test_dcfa"
+  "test_dcfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

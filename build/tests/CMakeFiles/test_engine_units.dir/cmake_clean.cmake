@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_units.dir/test_engine_units.cpp.o"
+  "CMakeFiles/test_engine_units.dir/test_engine_units.cpp.o.d"
+  "test_engine_units"
+  "test_engine_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intranode.dir/test_intranode.cpp.o"
+  "CMakeFiles/test_intranode.dir/test_intranode.cpp.o.d"
+  "test_intranode"
+  "test_intranode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intranode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probe_ssend.dir/test_probe_ssend.cpp.o"
+  "CMakeFiles/test_probe_ssend.dir/test_probe_ssend.cpp.o.d"
+  "test_probe_ssend"
+  "test_probe_ssend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probe_ssend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scif.dir/test_scif.cpp.o"
+  "CMakeFiles/test_scif.dir/test_scif.cpp.o.d"
+  "test_scif"
+  "test_scif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

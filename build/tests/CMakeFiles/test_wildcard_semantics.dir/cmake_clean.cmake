@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wildcard_semantics.dir/test_wildcard_semantics.cpp.o"
+  "CMakeFiles/test_wildcard_semantics.dir/test_wildcard_semantics.cpp.o.d"
+  "test_wildcard_semantics"
+  "test_wildcard_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wildcard_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
