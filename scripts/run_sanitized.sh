@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build and run the whole test suite under AddressSanitizer + UBSan.
+#
+#   scripts/run_sanitized.sh [sanitizers] [build-dir]
+#
+# Defaults: sanitizers=address,undefined, build-dir=build-asan. The normal
+# `build/` tree is left untouched so a sanitized run never forces a full
+# rebuild of the day-to-day configuration.
+set -euo pipefail
+
+SANITIZERS="${1:-address,undefined}"
+BUILD_DIR="${2:-build-asan}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$ROOT/$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDCFA_SANITIZE="$SANITIZERS"
+cmake --build "$ROOT/$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error so a sanitizer report fails the suite instead of scrolling by.
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+  ctest --test-dir "$ROOT/$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,6 +1,7 @@
 #include "dcfa/cmd.hpp"
 
 #include "sim/log.hpp"
+#include "sim/trace.hpp"
 
 namespace dcfa::core {
 
@@ -74,6 +75,30 @@ void HostDelegate::handle(std::vector<std::byte> msg) {
 
   const sim::Time base = platform_.host_reg_mr_base;  // syscall-order cost
   scif::Writer payload;
+
+  // Fault injection happens *before* execution, so a retried request never
+  // double-creates an object: Drop swallows the message (the client's reply
+  // timeout fires), Fail answers CmdStatus::Failed without doing the work.
+  if (faults_) {
+    const auto fate = faults_->cmd_fate(cmd_op_class(hdr.op));
+    if (fate == sim::FaultInjector::CmdFate::Drop) {
+      sim::trace_instant("node" + std::to_string(memory_.node()) + ".delegate",
+                         "fault:cmd-drop", channel_.engine().now());
+      sim::Log::trace(channel_.engine().now(), "dcfa.delegate",
+                      "fault: swallowing req %llu",
+                      static_cast<unsigned long long>(hdr.req_id));
+      return;
+    }
+    if (fate == sim::FaultInjector::CmdFate::Fail) {
+      sim::trace_instant("node" + std::to_string(memory_.node()) + ".delegate",
+                         "fault:cmd-fail", channel_.engine().now());
+      sim::Log::trace(channel_.engine().now(), "dcfa.delegate",
+                      "fault: failing req %llu",
+                      static_cast<unsigned long long>(hdr.req_id));
+      reply(hdr.req_id, CmdStatus::Failed, {}, base);
+      return;
+    }
+  }
 
   try {
     switch (hdr.op) {

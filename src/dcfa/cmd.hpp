@@ -2,11 +2,13 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <variant>
 
 #include "dcfa/host_compute.hpp"
 #include "ib/hca.hpp"
 #include "scif/scif.hpp"
+#include "sim/fault.hpp"
 
 namespace dcfa::core {
 
@@ -31,6 +33,42 @@ enum class CmdOp : std::uint32_t {
 };
 
 enum class CmdStatus : std::uint32_t { Ok, BadHandle, BadArgument, Failed };
+
+/// Thrown by the Phi-side CMD client when a delegated verb definitively
+/// failed: a non-Ok reply, or no reply within the timeout after the retry
+/// budget ran out. Callers with a fallback (the offload shadow path) catch
+/// it; callers without one surface it as an MPI error.
+class CmdError : public std::runtime_error {
+ public:
+  CmdError(CmdOp op, CmdStatus status, const std::string& what)
+      : std::runtime_error(what), op_(op), status_(status) {}
+  CmdOp op() const { return op_; }
+  CmdStatus status() const { return status_; }
+
+ private:
+  CmdOp op_;
+  CmdStatus status_;
+};
+
+/// Coarse class of a CMD op for the fault injector's cmd_op= filter.
+inline sim::FaultInjector::CmdOpClass cmd_op_class(CmdOp op) {
+  switch (op) {
+    case CmdOp::RegMr:
+    case CmdOp::DeregMr:
+      return sim::FaultInjector::CmdOpClass::RegMr;
+    case CmdOp::RegOffloadMr:
+    case CmdOp::DeregOffloadMr:
+    case CmdOp::ReduceShadow:
+    case CmdOp::PackShadow:
+      return sim::FaultInjector::CmdOpClass::Offload;
+    case CmdOp::AllocPd:
+    case CmdOp::CreateCq:
+    case CmdOp::CreateQp:
+    case CmdOp::ConnectQp:
+      return sim::FaultInjector::CmdOpClass::Create;
+  }
+  return sim::FaultInjector::CmdOpClass::Other;
+}
 
 struct CmdHeader {
   CmdOp op;
@@ -77,6 +115,11 @@ class HostDelegate {
   std::size_t table_size() const { return objects_.size(); }
   std::uint64_t requests_served() const { return served_; }
 
+  /// Arm fault injection: requests may be swallowed (client times out) or
+  /// answered with CmdStatus::Failed, always *before* execution so a client
+  /// retry never double-creates an object. nullptr disarms.
+  void set_faults(sim::FaultInjector* faults) { faults_ = faults; }
+
   /// Host-side lookup used by the Phi client after a reply: the simulated
   /// equivalent of the mmap'ed structures the host shares back.
   ib::ProtectionDomain* pd(Handle h);
@@ -102,6 +145,7 @@ class HostDelegate {
   ib::Hca& hca_;
   mem::NodeMemory& memory_;
   const sim::Platform& platform_;
+  sim::FaultInjector* faults_ = nullptr;
   sim::Resource busy_;
   ib::ProtectionDomain* delegate_pd_ = nullptr;  // PD for offload shadows
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "sim/log.hpp"
+#include "sim/trace.hpp"
 
 namespace dcfa::core {
 
@@ -15,29 +16,86 @@ PhiVerbs::PhiVerbs(sim::Process& proc, ib::Fabric& fabric,
       hca_(fabric.hca_for_node(memory.node())),
       platform_(fabric.platform()) {}
 
+bool PhiVerbs::recv_reply(std::uint64_t req_id) {
+  sim::Engine& eng = channel_.engine();
+  const sim::Time deadline = eng.now() + platform_.dcfa_cmd_timeout;
+  auto& cond = channel_.arrival(scif::Channel::Side::Phi);
+  // The process API has no timed wait; one engine event at the deadline
+  // wakes the wait_on loop so it can observe the timeout.
+  eng.schedule_at(deadline, [&cond] { cond.notify_all(); });
+  std::vector<std::byte> msg;
+  for (;;) {
+    while (channel_.try_recv(scif::Channel::Side::Phi, msg)) {
+      scif::Reader r(msg);
+      const auto resp = r.get<RespHeader>();
+      if (resp.req_id == req_id) {
+        last_reply_ = std::move(msg);
+        return true;
+      }
+      if (resp.req_id > req_id) {
+        throw std::logic_error("DCFA CMD: reply for an unsent request");
+      }
+      // Reply of an earlier attempt that we already gave up on.
+      sim::Log::trace(eng.now(), "dcfa.cmd", "discarding stale reply %llu",
+                      static_cast<unsigned long long>(resp.req_id));
+    }
+    if (eng.now() >= deadline) return false;
+    proc_.wait_on(cond);
+  }
+}
+
 scif::Reader PhiVerbs::cmd_call(
     CmdOp op, const std::function<void(scif::Writer&)>& params) {
-  const std::uint64_t req_id = next_req_id_++;
-  scif::Writer w;
-  w.put(CmdHeader{op, req_id});
-  if (params) params(w);
+  sim::FaultInjector* fi = faults();
+  const bool armed = fi && fi->armed();
+  const int attempts_allowed = 1 + (armed ? platform_.dcfa_cmd_max_retries : 0);
 
-  // Syscall into the micro-kernel (parameter marshalling, address
-  // translation), then the CMD client ships the request host-wards.
-  proc_.wait(platform_.dcfa_cmd_client_overhead);
-  channel_.send(proc_, scif::Channel::Side::Phi, w.bytes());
+  for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
+    if (attempt > 0) {
+      ++cmd_retries_;
+      sim::trace_instant("node" + std::to_string(memory_.node()) + ".cmd",
+                         "cmd-retry", channel_.engine().now());
+      proc_.wait(platform_.dcfa_cmd_retry_backoff << (attempt - 1));
+    }
+    const std::uint64_t req_id = next_req_id_++;
+    scif::Writer w;
+    w.put(CmdHeader{op, req_id});
+    if (params) params(w);
 
-  last_reply_ = channel_.recv(proc_, scif::Channel::Side::Phi);
-  scif::Reader r(last_reply_);
-  const auto resp = r.get<RespHeader>();
-  if (resp.req_id != req_id) {
-    throw std::logic_error("DCFA CMD: out-of-order reply");
+    // Syscall into the micro-kernel (parameter marshalling, address
+    // translation), then the CMD client ships the request host-wards.
+    proc_.wait(platform_.dcfa_cmd_client_overhead);
+    channel_.send(proc_, scif::Channel::Side::Phi, w.bytes());
+
+    if (armed) {
+      if (!recv_reply(req_id)) {
+        ++cmd_timeouts_;
+        sim::Log::trace(channel_.engine().now(), "dcfa.cmd",
+                        "reply timeout on req %llu (attempt %d)",
+                        static_cast<unsigned long long>(req_id), attempt + 1);
+        continue;  // resend under a fresh request id
+      }
+    } else {
+      last_reply_ = channel_.recv(proc_, scif::Channel::Side::Phi);
+    }
+    scif::Reader r(last_reply_);
+    const auto resp = r.get<RespHeader>();
+    if (resp.req_id != req_id) {
+      throw std::logic_error("DCFA CMD: out-of-order reply");
+    }
+    if (resp.status == CmdStatus::Ok) return r;
+    if (armed && resp.status == CmdStatus::Failed) {
+      // Transient host-side failure (the fault injector's cmd_fail, or a
+      // delegate-side exception): back off and resend.
+      continue;
+    }
+    throw CmdError(op, resp.status,
+                   "DCFA CMD: host delegation failed (op " +
+                       std::to_string(static_cast<int>(op)) + ")");
   }
-  if (resp.status != CmdStatus::Ok) {
-    throw std::runtime_error("DCFA CMD: host delegation failed (op " +
-                             std::to_string(static_cast<int>(op)) + ")");
-  }
-  return r;
+  throw CmdError(op, CmdStatus::Failed,
+                 "DCFA CMD: retry budget exhausted (op " +
+                     std::to_string(static_cast<int>(op)) + ")");
 }
 
 ib::ProtectionDomain* PhiVerbs::alloc_pd() {

@@ -98,6 +98,10 @@ class PhiVerbs : public verbs::Ib {
 
   /// Stats for tests: command round-trips issued so far.
   std::uint64_t commands_issued() const { return next_req_id_ - 1; }
+  /// Fault recovery: CMD requests resent (after a timeout or a Failed
+  /// reply) and reply timeouts observed. Zero unless faults were armed.
+  std::uint64_t cmd_retries() const { return cmd_retries_; }
+  std::uint64_t cmd_timeouts() const { return cmd_timeouts_; }
 
  protected:
   /// Model the cost of building a WQE on a Phi core (for transports layered
@@ -107,9 +111,15 @@ class PhiVerbs : public verbs::Ib {
  private:
   /// One CMD round trip: encode, pay the client syscall cost, SCIF there and
   /// back, host service time. Returns a reader over the reply payload
-  /// (header already consumed and checked).
+  /// (header already consumed and checked). When faults are armed, adds a
+  /// reply timeout with bounded-backoff resend; exhaustion throws CmdError.
   scif::Reader cmd_call(CmdOp op, const std::function<void(scif::Writer&)>&
                             params = {});
+
+  /// Fault-armed reply wait: blocks until the reply for `req_id` arrives or
+  /// the CMD timeout elapses (returns false). Stale replies of earlier
+  /// timed-out attempts are discarded.
+  bool recv_reply(std::uint64_t req_id);
 
   sim::Process& proc_;
   ib::Fabric& fabric_;
@@ -119,6 +129,8 @@ class PhiVerbs : public verbs::Ib {
   const sim::Platform& platform_;
 
   std::uint64_t next_req_id_ = 1;
+  std::uint64_t cmd_retries_ = 0;
+  std::uint64_t cmd_timeouts_ = 0;
   std::vector<std::byte> last_reply_;
   /// Client-side handle map: object pointer -> host hash key.
   std::map<const void*, Handle> handles_;

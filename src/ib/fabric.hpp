@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "ib/hca.hpp"
+#include "sim/fault.hpp"
 #include "sim/platform.hpp"
 
 namespace dcfa::ib {
@@ -33,9 +34,15 @@ class Fabric {
   sim::Engine& engine() { return engine_; }
   const sim::Platform& platform() const { return platform_; }
 
+  /// Arm/disarm fault injection for every HCA on the subnet. The injector
+  /// outlives the fabric (the Runtime owns both); nullptr disarms.
+  void set_faults(sim::FaultInjector* faults) { faults_ = faults; }
+  sim::FaultInjector* faults() { return faults_; }
+
  private:
   sim::Engine& engine_;
   const sim::Platform& platform_;
+  sim::FaultInjector* faults_ = nullptr;
   Lid next_lid_ = 1;
   std::map<Lid, std::unique_ptr<Hca>> hcas_;
   std::map<mem::NodeId, Hca*> by_node_;

@@ -16,6 +16,7 @@ const char* wc_status_name(WcStatus s) {
     case WcStatus::RemoteAccessError: return "remote-access-error";
     case WcStatus::RemoteInvalidRequest: return "remote-invalid-request";
     case WcStatus::WrFlushError: return "wr-flush-error";
+    case WcStatus::RetryExceeded: return "retry-exceeded";
   }
   return "?";
 }
@@ -222,7 +223,7 @@ void Hca::post_recv(QueuePair* qp, RecvWr wr) {
 }
 
 void Hca::execute_send(QueuePair* qp, SendWr wr) {
-  const sim::Time start = engine_.now() + platform_.hca_wqe_overhead;
+  sim::Time start = engine_.now() + platform_.hca_wqe_overhead;
   const std::size_t bytes = total_length(wr.sg_list);
 
   // Local SGE validation. RDMA-read WRs *write* locally.
@@ -248,6 +249,43 @@ void Hca::execute_send(QueuePair* qp, SendWr wr) {
   // Section III-C) lives in.
   const bool loopback = &remote == this;
   const sim::Time wire_lat = loopback ? 0 : fabric_.wire_latency();
+
+  // Fault injection: decide this WR's fate once, before any data motion.
+  // Only WRs the poster marked faultable participate, so the default path
+  // pays a single branch here.
+  auto fate = sim::FaultInjector::WcFate::Deliver;
+  if (sim::FaultInjector* fi = fabric_.faults(); fi && wr.faultable) {
+    if (const sim::Time d = fi->dma_delay(); d > 0) {
+      start += d;
+      sim::trace_instant("node" + std::to_string(node()) + ".hca",
+                         "fault:dma-delay", engine_.now());
+    }
+    fate = fi->wc_fate();
+    if (fate == sim::FaultInjector::WcFate::Error) {
+      // The transport gave up on this WR after its internal retries. Soft
+      // failure: no data moved, the QP stays ReadyToSend, the poster sees
+      // an error CQE one round trip later and owns recovery.
+      sim::trace_instant("node" + std::to_string(node()) + ".hca",
+                         "fault:wc-error", engine_.now());
+      sim::Log::trace(engine_.now(), "hca", "fault: erring WR %llu",
+                      static_cast<unsigned long long>(wr.wr_id));
+      const WcOpcode op = wr.opcode == Opcode::Send ? WcOpcode::Send
+                          : wr.opcode == Opcode::RdmaWrite
+                              ? WcOpcode::RdmaWrite
+                              : WcOpcode::RdmaRead;
+      complete(qp, qp->send_cq(), wr, op, WcStatus::RetryExceeded, 0,
+               start + 2 * wire_lat);
+      return;
+    }
+    if (fate == sim::FaultInjector::WcFate::Drop) {
+      // Data will move normally; only the completion is lost. (Applies to
+      // the RDMA opcodes — the MPI data path; Send WRs complete remotely.)
+      sim::trace_instant("node" + std::to_string(node()) + ".hca",
+                         "fault:wc-drop", engine_.now());
+      sim::Log::trace(engine_.now(), "hca", "fault: dropping CQE of WR %llu",
+                      static_cast<unsigned long long>(wr.wr_id));
+    }
+  }
 
   if (wr.opcode != Opcode::RdmaRead) {
     egress_bytes_ += bytes;
@@ -394,7 +432,7 @@ void Hca::execute_send(QueuePair* qp, SendWr wr) {
       }
       remote.notify_remote_write();
     });
-    if (wr.signaled) {
+    if (wr.signaled && fate != sim::FaultInjector::WcFate::Drop) {
       complete(qp, qp->send_cq(), wr, WcOpcode::RdmaWrite, WcStatus::Success,
                bytes, last_write + wire_lat);
     } else {
@@ -469,7 +507,7 @@ void Hca::execute_send(QueuePair* qp, SendWr wr) {
                       "in-flight rdma-read dropped at teardown: %s", e.what());
     }
   });
-  if (wr.signaled) {
+  if (wr.signaled && fate != sim::FaultInjector::WcFate::Drop) {
     complete(qp, qp->send_cq(), wr, WcOpcode::RdmaRead, WcStatus::Success,
              bytes, last_write);
   } else {

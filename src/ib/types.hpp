@@ -47,6 +47,10 @@ struct SendWr {
   MKey rkey = 0;
   /// 32-bit immediate-style tag delivered with Send (used by tests).
   std::uint32_t imm_data = 0;
+  /// Marks a WR the poster is prepared to retry: the fault injector only
+  /// ever drops/errors faultable WRs. Protocol-critical unretryable writes
+  /// (credit returns, one-sided window ops) leave this false.
+  bool faultable = false;
 };
 
 /// Receive-side work request (ibv_recv_wr).
@@ -61,6 +65,8 @@ enum class WcStatus {
   RemoteAccessError,      ///< rkey/window rejected by the responder.
   RemoteInvalidRequest,   ///< e.g. send longer than the posted receive.
   WrFlushError,           ///< QP went to error state; WR flushed.
+  RetryExceeded,          ///< transport retries exhausted (injected fault);
+                          ///< soft error: the QP stays usable.
 };
 
 const char* wc_status_name(WcStatus s);

@@ -50,6 +50,13 @@ Engine::Engine(int rank, int nranks, std::unique_ptr<verbs::Ib> ib,
   }
   mpi_offload_threshold_ = options.mpi_offload_threshold.value_or(
       platform_.mpi_offload_threshold);
+  faults_ = ib_->faults();
+  faults_armed_ = faults_ != nullptr && faults_->armed();
+  usable_slots_ = faults_armed_
+                      ? static_cast<std::uint64_t>(faults_->credit_cap(slots()))
+                      : static_cast<std::uint64_t>(slots());
+  retry_timeout_ = options.retry_timeout.value_or(platform_.mpi_retry_timeout);
+  max_retries_ = options.max_retries.value_or(platform_.mpi_max_retries);
   if (!phi_) {
     // The delegations only exist on co-processor endpoints.
     options_.offload_reductions = false;
@@ -60,7 +67,9 @@ Engine::Engine(int rank, int nranks, std::unique_ptr<verbs::Ib> ib,
 Engine::~Engine() {
   // The HCA and CQ outlive this engine (they belong to the cluster): tear
   // the wake-up callbacks out so a packet landing after an early death
-  // (e.g. a rank body that threw) cannot call into freed memory.
+  // (e.g. a rank body that threw) cannot call into freed memory. Retry
+  // timers still queued in the simulator are defused the same way.
+  *alive_ = false;
   if (cq_) cq_->set_on_push({});
   if (write_observer_id_ != SIZE_MAX) {
     ib_->hca_ref().remove_remote_write_observer(write_observer_id_);
@@ -125,16 +134,45 @@ void Engine::finalize() {
   // Quiesce before tearing anything down: drain deferred emissions and
   // outstanding completions, then give straggling unsignaled writes (credit
   // updates) time to land so no WR is in flight against a dead MR.
+  if (faults_armed_) {
+    // Flush unreported credits first: a peer whose packet's CQE was dropped
+    // is waiting on exactly this counter as its implicit ack, and no more
+    // consumption will happen to push it past the reporting threshold.
+    for (auto& [p, ep] : endpoints_) {
+      if (ep.my_consumed > ep.my_consumed_reported) send_credit(ep);
+    }
+  }
   for (;;) {
     progress();
-    bool idle = outstanding_.empty();
+    bool idle = outstanding_.empty() && data_ops_.empty() &&
+                pending_recovery_.empty();
     for (auto& [p, ep] : endpoints_) {
-      if (!ep.pending_tx.empty()) idle = false;
+      if (!ep.pending_tx.empty() || !ep.unacked.empty()) idle = false;
     }
     if (idle) break;
     ib_->process().wait_on(wake_);
   }
   ib_->process().wait(sim::microseconds(100));
+
+  if (phi_) {
+    stats_.cmd_retries = phi_->cmd_retries();
+    stats_.cmd_timeouts = phi_->cmd_timeouts();
+  }
+  if (faults_armed_ && sim::Tracer::current()) {
+    sim::Tracer* t = sim::Tracer::current();
+    const std::string track = "rank" + std::to_string(rank_) + ".faults";
+    const sim::Time at = ib_->process().now();
+    t->counter(track, "retransmits", at, double(stats_.retransmits));
+    t->counter(track, "wc_errors", at, double(stats_.wc_errors));
+    t->counter(track, "wc_timeouts", at, double(stats_.wc_timeouts));
+    t->counter(track, "credit_acked", at, double(stats_.credit_acked));
+    t->counter(track, "dup_dropped", at, double(stats_.dup_packets_dropped));
+    t->counter(track, "data_op_retries", at, double(stats_.data_op_retries));
+    t->counter(track, "retry_exhausted", at, double(stats_.retry_exhausted));
+    t->counter(track, "offload_fallbacks", at,
+               double(stats_.offload_fallbacks));
+    t->counter(track, "cmd_retries", at, double(stats_.cmd_retries));
+  }
 
   if (mr_cache_) mr_cache_->clear();
   if (shadow_cache_) shadow_cache_->clear();
@@ -187,8 +225,46 @@ void Engine::drain_tx(Endpoint& ep) {
 
 void Engine::emit_packet(Endpoint& ep, PacketHeader hdr,
                          const std::byte* payload, std::size_t len,
-                         std::function<void(const ib::Wc&)> on_complete) {
+                         std::function<void(const ib::Wc&)> on_complete,
+                         std::shared_ptr<RequestState> owner) {
   assert(slots_free(ep) > 0);
+  if (faults_armed_) {
+    // Reliable path: stamp the absolute ring index and track the packet
+    // until a CQE or a returning credit confirms delivery. Reusing a slot
+    // is only possible once the peer's credit covered its old occupant, so
+    // any record still parked there is implicitly acknowledged now.
+    const std::uint64_t idx = ep.sent_packets;
+    hdr.ring_idx = idx;
+    if (idx >= static_cast<std::uint64_t>(slots())) {
+      const std::uint64_t old = idx - slots();
+      if (ep.unacked.count(old) > 0) {
+        ++stats_.credit_acked;
+        ib::Wc ack{};
+        ack.status = ib::WcStatus::Success;
+        finish_tx_record(ep, old, ack);
+      }
+    }
+    const int slot = static_cast<int>(idx % slots());
+    std::memcpy(ep.staging.data() + layout_.header_off(slot), &hdr,
+                sizeof hdr);
+    if (len > 0) {
+      std::memcpy(ep.staging.data() + layout_.payload_off(slot), payload,
+                  len);
+      ib_->charge_memcpy(len);
+    }
+    const PacketTail tail = kPacketMagic;
+    std::memcpy(ep.staging.data() + layout_.tail_off(slot, len), &tail,
+                sizeof tail);
+    TxRecord rec;
+    rec.hdr = hdr;
+    rec.payload_len = len;
+    rec.on_delivered = std::move(on_complete);
+    rec.owner = std::move(owner);
+    ep.unacked.emplace(idx, std::move(rec));
+    ++ep.sent_packets;
+    post_tx_record(ep, idx);
+    return;
+  }
   const int slot = static_cast<int>(ep.sent_packets % slots());
 
   // Stage header, payload (the eager one-copy) and tail into the slot.
@@ -243,7 +319,247 @@ void Engine::emit_control(Endpoint& ep, PacketType type,
   hdr.buf_addr = buf_addr;
   hdr.rkey = rkey;
   hdr.buf_bytes = buf_bytes;
-  emit_packet(ep, hdr, nullptr, 0);
+  // The request rides along as the record owner: if the transport retry
+  // budget runs out on a control packet, the request is failed cleanly.
+  emit_packet(ep, hdr, nullptr, 0, {}, req);
+}
+
+// ---------------------------------------------------------------------------
+// Fault recovery: tracked ring packets and rendezvous data operations
+// ---------------------------------------------------------------------------
+
+void Engine::schedule_recovery(sim::Time delay, std::function<void()> fn) {
+  // Timers fire in engine context, where post_send (which charges process
+  // time) is illegal — park the work for the next progress() pass instead.
+  auto alive = alive_;
+  ib_->process().engine().schedule_after(
+      delay, [this, alive, fn = std::move(fn)]() mutable {
+        if (!*alive) return;
+        pending_recovery_.push_back(std::move(fn));
+        wake_pending_ = true;
+        wake_.notify_all();
+      });
+}
+
+void Engine::post_tx_record(Endpoint& ep, std::uint64_t idx) {
+  TxRecord& rec = ep.unacked.at(idx);
+  const int slot = static_cast<int>(idx % slots());
+  const std::size_t len = rec.payload_len;
+  const int attempts = rec.attempts;
+  ++rec.epoch;
+  const std::uint64_t epoch = rec.epoch;
+  const int peer = ep.peer;
+
+  // The staging slot still holds header+payload+tail (it cannot be reused
+  // before the peer's credit proves consumption), so a retransmit re-posts
+  // the very same SGEs.
+  ib::SendWr wr;
+  wr.opcode = ib::Opcode::RdmaWrite;
+  wr.faultable = true;
+  wr.signaled = true;
+  wr.wr_id = next_wr_id_++;
+  const ib::MKey lkey = ep.staging_mr->lkey();
+  wr.sg_list = {
+      {ep.staging.addr() + layout_.header_off(slot),
+       static_cast<std::uint32_t>(sizeof(PacketHeader)), lkey},
+      {ep.staging.addr() + layout_.payload_off(slot),
+       static_cast<std::uint32_t>(len), lkey},
+      {ep.staging.addr() + layout_.tail_off(slot, len),
+       static_cast<std::uint32_t>(sizeof(PacketTail)), lkey},
+  };
+  wr.remote_addr = ep.remote_ring + layout_.header_off(slot);
+  wr.rkey = ep.remote_ring_rkey;
+  rec.wr_ids.push_back(wr.wr_id);
+  outstanding_[wr.wr_id] = [this, peer, idx](const ib::Wc& wc) {
+    on_tx_wc(peer, idx, wc);
+  };
+  ib_->post_send(ep.qp, std::move(wr));
+
+  // Bounded exponential backoff: the per-attempt timeout doubles.
+  schedule_recovery(retry_timeout_ << (attempts - 1),
+                    [this, peer, idx, epoch] {
+                      tx_check(peer, idx, epoch, /*after_error=*/false);
+                    });
+}
+
+void Engine::on_tx_wc(int peer, std::uint64_t idx, const ib::Wc& wc) {
+  auto eit = endpoints_.find(peer);
+  if (eit == endpoints_.end()) return;
+  Endpoint& ep = eit->second;
+  auto it = ep.unacked.find(idx);
+  if (it == ep.unacked.end()) return;  // already credit-acknowledged
+  if (wc.status == ib::WcStatus::Success) {
+    finish_tx_record(ep, idx, wc);
+    return;
+  }
+  // Injected transport error: the write never happened. Retry after the
+  // current backoff, or give up when the budget is spent.
+  ++stats_.wc_errors;
+  TxRecord& rec = it->second;
+  ++rec.epoch;  // defuse the pending timeout timer
+  if (rec.attempts >= 1 + max_retries_) {
+    finish_tx_record(ep, idx, wc);
+    return;
+  }
+  const std::uint64_t epoch = rec.epoch;
+  schedule_recovery(retry_timeout_ << (rec.attempts - 1),
+                    [this, peer, idx, epoch] {
+                      tx_check(peer, idx, epoch, /*after_error=*/true);
+                    });
+}
+
+void Engine::tx_check(int peer, std::uint64_t idx, std::uint64_t epoch,
+                      bool after_error) {
+  auto eit = endpoints_.find(peer);
+  if (eit == endpoints_.end()) return;
+  Endpoint& ep = eit->second;
+  auto it = ep.unacked.find(idx);
+  if (it == ep.unacked.end() || it->second.epoch != epoch) return;
+  if (!after_error) {
+    // The CQE may have been lost while the data landed: the peer's credit
+    // counter is the implicit acknowledgement.
+    read_credit_cell(ep);
+    if (ep.consumed_by_peer > idx) {
+      ++stats_.credit_acked;
+      ib::Wc ack{};
+      ack.status = ib::WcStatus::Success;
+      finish_tx_record(ep, idx, ack);
+      return;
+    }
+    ++stats_.wc_timeouts;
+    if (it->second.attempts >= 1 + max_retries_) {
+      ib::Wc err{};
+      err.status = ib::WcStatus::RetryExceeded;
+      finish_tx_record(ep, idx, err);
+      return;
+    }
+  }
+  ++it->second.attempts;
+  ++stats_.retransmits;
+  sim::trace_instant("rank" + std::to_string(rank_) + ".faults",
+                     "retransmit idx=" + std::to_string(idx),
+                     ib_->process().now());
+  post_tx_record(ep, idx);
+}
+
+void Engine::finish_tx_record(Endpoint& ep, std::uint64_t idx,
+                              const ib::Wc& wc) {
+  auto it = ep.unacked.find(idx);
+  auto cb = std::move(it->second.on_delivered);
+  auto owner = std::move(it->second.owner);
+  forget_wr_ids(it->second.wr_ids);
+  ep.unacked.erase(it);
+  if (wc.status != ib::WcStatus::Success) {
+    ++stats_.retry_exhausted;
+    sim::trace_instant("rank" + std::to_string(rank_) + ".faults",
+                       "retry-exhausted idx=" + std::to_string(idx),
+                       ib_->process().now());
+  }
+  if (cb) {
+    cb(wc);
+  } else if (wc.status != ib::WcStatus::Success && owner && !owner->done()) {
+    fail(owner, std::string("transport retry budget exhausted (") +
+                    ib::wc_status_name(wc.status) + ")");
+  }
+  wake_.notify_all();
+}
+
+void Engine::post_data_wr(Endpoint& ep, ib::SendWr wr,
+                          std::function<void(const ib::Wc&)> on_result) {
+  if (!faults_armed_) {
+    wr.signaled = true;
+    wr.wr_id = next_wr_id_++;
+    outstanding_[wr.wr_id] = std::move(on_result);
+    ib_->post_send(ep.qp, std::move(wr));
+    return;
+  }
+  const std::uint64_t op = next_data_op_++;
+  DataOp& d = data_ops_[op];
+  d.peer = ep.peer;
+  d.wr = std::move(wr);
+  d.on_result = std::move(on_result);
+  post_data_op(op);
+}
+
+void Engine::post_data_op(std::uint64_t op) {
+  DataOp& d = data_ops_.at(op);
+  ++d.epoch;
+  const std::uint64_t epoch = d.epoch;
+  const int attempts = d.attempts;
+  ib::QueuePair* qp = endpoint(d.peer).qp;
+  ib::SendWr wr = d.wr;
+  wr.signaled = true;
+  wr.faultable = true;
+  wr.wr_id = next_wr_id_++;
+  d.wr_ids.push_back(wr.wr_id);
+  outstanding_[wr.wr_id] = [this, op](const ib::Wc& wc) {
+    on_data_wc(op, wc);
+  };
+  ib_->post_send(qp, std::move(wr));
+  schedule_recovery(retry_timeout_ << (attempts - 1),
+                    [this, op, epoch] {
+                      data_check(op, epoch, /*after_error=*/false);
+                    });
+}
+
+void Engine::on_data_wc(std::uint64_t op, const ib::Wc& wc) {
+  auto it = data_ops_.find(op);
+  if (it == data_ops_.end()) return;
+  DataOp& d = it->second;
+  if (wc.status == ib::WcStatus::Success) {
+    auto cb = std::move(d.on_result);
+    forget_wr_ids(d.wr_ids);
+    data_ops_.erase(it);
+    cb(wc);
+    wake_.notify_all();
+    return;
+  }
+  ++stats_.wc_errors;
+  ++d.epoch;
+  if (d.attempts >= 1 + max_retries_) {
+    ++stats_.retry_exhausted;
+    auto cb = std::move(d.on_result);
+    forget_wr_ids(d.wr_ids);
+    data_ops_.erase(it);
+    cb(wc);  // the protocol callbacks turn a bad status into fail(req)
+    wake_.notify_all();
+    return;
+  }
+  const std::uint64_t epoch = d.epoch;
+  schedule_recovery(retry_timeout_ << (d.attempts - 1),
+                    [this, op, epoch] {
+                      data_check(op, epoch, /*after_error=*/true);
+                    });
+}
+
+void Engine::data_check(std::uint64_t op, std::uint64_t epoch,
+                        bool after_error) {
+  auto it = data_ops_.find(op);
+  if (it == data_ops_.end() || it->second.epoch != epoch) return;
+  DataOp& d = it->second;
+  if (!after_error) {
+    ++stats_.wc_timeouts;
+    if (d.attempts >= 1 + max_retries_) {
+      ++stats_.retry_exhausted;
+      auto cb = std::move(d.on_result);
+      ib::Wc err{};
+      err.status = ib::WcStatus::RetryExceeded;
+      forget_wr_ids(d.wr_ids);
+      data_ops_.erase(it);
+      cb(err);
+      wake_.notify_all();
+      return;
+    }
+  }
+  ++d.attempts;
+  ++stats_.data_op_retries;
+  sim::trace_instant("rank" + std::to_string(rank_) + ".faults",
+                     "data-op-retry", ib_->process().now());
+  post_data_op(op);
+}
+
+void Engine::forget_wr_ids(const std::vector<std::uint64_t>& ids) {
+  for (std::uint64_t id : ids) outstanding_.erase(id);
 }
 
 void Engine::send_credit(Endpoint& ep) {
@@ -304,6 +620,16 @@ void Engine::scan_ring(Endpoint& ep) {
     std::memcpy(&tail, ep.ring.data() + layout_.tail_off(slot, plen),
                 sizeof tail);
     if (tail != kPacketMagic) break;  // data still in flight
+    if (faults_armed_ && hdr.ring_idx != ep.my_consumed) {
+      // A retransmit of an already-consumed packet (its CQE or credit got
+      // lost on the sender side): scrub the slot so it reads empty again,
+      // and do NOT advance — the slot's real next packet comes later.
+      std::memset(base, 0, sizeof hdr);
+      std::memset(ep.ring.data() + layout_.tail_off(slot, plen), 0,
+                  sizeof tail);
+      ++stats_.dup_packets_dropped;
+      break;
+    }
 
     // The poll that found the packet costs a core its cycles.
     ib_->process().wait(on_phi ? platform_.phi_poll_overhead
@@ -317,8 +643,14 @@ void Engine::scan_ring(Endpoint& ep) {
     std::memset(ep.ring.data() + layout_.tail_off(slot, plen), 0, sizeof tail);
     ++ep.my_consumed;
     ++stats_.packets_rx;
-    if (ep.my_consumed - ep.my_consumed_reported >=
-        static_cast<std::uint64_t>(std::max(1, slots() / 4))) {
+    // usable_slots_ == slots() unless a fault spec capped the credits; the
+    // tighter cap also tightens the reporting period or the ring deadlocks.
+    // Under fault injection every consumption is reported immediately: the
+    // credit cell doubles as the retransmit ack, and a batched credit looks
+    // like a lost packet to a sender whose completion was dropped.
+    const std::uint64_t credit_period =
+        faults_armed_ ? 1 : std::max<std::uint64_t>(1, usable_slots_ / 4);
+    if (ep.my_consumed - ep.my_consumed_reported >= credit_period) {
       send_credit(ep);
     }
   }
@@ -333,6 +665,11 @@ void Engine::progress() {
   } guard{in_progress_};
 
   poll_cq();
+  while (!pending_recovery_.empty()) {
+    auto fn = std::move(pending_recovery_.front());
+    pending_recovery_.pop_front();
+    fn();
+  }
   for (auto& [p, ep] : endpoints_) {
     read_credit_cell(ep);
     drain_tx(ep);
@@ -359,7 +696,12 @@ void Engine::complete(const std::shared_ptr<RequestState>& req, int source,
                     req->posted_at, ib_->process().now());
   }
   if (auto it = packed_.find(req.get()); it != packed_.end()) {
-    phi_->dereg_offload_mr(it->second);
+    try {
+      phi_->dereg_offload_mr(it->second);
+    } catch (const core::CmdError&) {
+      // Best-effort teardown: a failing CMD channel must not turn a
+      // completed request into a rank-fatal error.
+    }
     packed_.erase(it);
   }
   if (req->has_pack) {

@@ -81,6 +81,10 @@ class Engine {
     /// Vector-size floor for the two delegations (defaults to
     /// Platform::mpi_offload_threshold).
     std::optional<std::uint64_t> mpi_offload_threshold;
+    /// Override Platform::mpi_retry_timeout (fault recovery base timeout).
+    std::optional<sim::Time> retry_timeout;
+    /// Override Platform::mpi_max_retries (fault recovery budget).
+    std::optional<int> max_retries;
   };
 
   struct Stats {
@@ -97,6 +101,17 @@ class Engine {
     std::uint64_t tx_stalls = 0;       ///< emissions deferred for credit
     std::uint64_t reductions_offloaded = 0;  ///< host-delegated combines
     std::uint64_t packs_offloaded = 0;       ///< host-delegated packs
+    // --- Fault recovery (all zero unless a fault spec armed the injector) ---
+    std::uint64_t retransmits = 0;       ///< ring packets re-posted
+    std::uint64_t wc_errors = 0;         ///< error CQEs on faultable WRs
+    std::uint64_t wc_timeouts = 0;       ///< retry timers that found no CQE
+    std::uint64_t credit_acked = 0;      ///< packets confirmed by credit only
+    std::uint64_t dup_packets_dropped = 0;  ///< stale retransmits discarded
+    std::uint64_t data_op_retries = 0;   ///< rendezvous RDMA ops re-posted
+    std::uint64_t retry_exhausted = 0;   ///< operations failed after budget
+    std::uint64_t offload_fallbacks = 0; ///< CMD failures absorbed locally
+    std::uint64_t cmd_retries = 0;       ///< DCFA CMD requests resent
+    std::uint64_t cmd_timeouts = 0;      ///< DCFA CMD reply timeouts
   };
 
   Engine(int rank, int nranks, std::unique_ptr<verbs::Ib> ib,
@@ -193,6 +208,40 @@ class Engine {
     std::map<std::uint64_t, PacketHeader> arrived_rtr;
   };
 
+  /// Book-keeping for one in-flight ring packet under fault injection. The
+  /// staging slot itself keeps the bytes (it cannot be reused before the
+  /// peer's credit proves consumption), so a retransmit is a bare re-post.
+  struct TxRecord {
+    PacketHeader hdr;
+    std::size_t payload_len = 0;
+    /// Fires once with the final verdict (Success, or RetryExceeded after
+    /// the budget). Empty for control packets — their owner is failed
+    /// directly on exhaustion.
+    std::function<void(const ib::Wc&)> on_delivered;
+    std::shared_ptr<RequestState> owner;
+    /// Every wr_id posted for this record. A dropped CQE never fires its
+    /// completion callback, so the ids are garbage-collected when the
+    /// record finishes — otherwise outstanding_ never drains.
+    std::vector<std::uint64_t> wr_ids;
+    int attempts = 1;
+    /// Bumped on every (re)post; a pending retry timer whose epoch no
+    /// longer matches is stale and must not fire (events can't be
+    /// cancelled in the simulator).
+    std::uint64_t epoch = 0;
+  };
+
+  /// A rendezvous RDMA data operation (write after RTR / read after RTS)
+  /// under fault injection. Both are idempotent — same bytes, same
+  /// addresses — so recovery is a plain re-post with backoff.
+  struct DataOp {
+    int peer = -1;
+    ib::SendWr wr;  ///< template; wr_id/signaled/faultable set per post
+    std::function<void(const ib::Wc&)> on_result;
+    std::vector<std::uint64_t> wr_ids;  ///< GC'd at finish, like TxRecord's
+    int attempts = 1;
+    std::uint64_t epoch = 0;
+  };
+
   /// Per-peer connection: QP, rings, staging, credits, deferred emissions.
   struct Endpoint {
     int peer = -1;
@@ -219,6 +268,10 @@ class Engine {
     std::uint64_t my_consumed_reported = 0;
 
     std::deque<std::function<void()>> pending_tx;
+
+    /// Fault mode only: packets posted but not yet confirmed delivered
+    /// (keyed by absolute ring index = the sent_packets value at emission).
+    std::map<std::uint64_t, TxRecord> unacked;
 
     /// Sequencing is per (communicator, tag): MPI's non-overtaking rule
     /// applies within a (source, comm, tag) triple, and keying the paper's
@@ -252,22 +305,52 @@ class Engine {
   // --- TX path ---------------------------------------------------------------
   int slots() const { return platform_.eager_slots; }
   std::uint64_t slots_free(const Endpoint& ep) const {
-    return slots() - (ep.sent_packets - ep.consumed_by_peer);
+    return usable_slots_ - (ep.sent_packets - ep.consumed_by_peer);
   }
   /// Run `emit` now if a slot is free and nothing is queued ahead; otherwise
   /// defer it (drained by progress when credits return).
   void tx(Endpoint& ep, std::function<void()> emit);
   void drain_tx(Endpoint& ep);
   /// Write a packet into the peer's next ring slot (requires a free slot).
+  /// Under fault injection the write is tracked for retransmission;
+  /// `on_complete`/`owner` then receive the final delivery verdict.
   void emit_packet(Endpoint& ep, PacketHeader hdr,
                    const std::byte* payload, std::size_t len,
-                   std::function<void(const ib::Wc&)> on_complete = {});
+                   std::function<void(const ib::Wc&)> on_complete = {},
+                   std::shared_ptr<RequestState> owner = nullptr);
   void emit_control(Endpoint& ep, PacketType type,
                     const std::shared_ptr<RequestState>& req,
                     mem::SimAddr buf_addr, ib::MKey rkey,
                     std::uint64_t buf_bytes,
                     std::uint32_t dir = PacketHeader::kToSender);
   void send_credit(Endpoint& ep);
+
+  // --- Fault recovery (see docs/faults.md) -----------------------------------
+  /// (Re)post the staged packet for `idx` as a signaled faultable WR and arm
+  /// its retry timer with the current backoff.
+  void post_tx_record(Endpoint& ep, std::uint64_t idx);
+  /// CQE for a tracked ring packet: success finishes it, an injected error
+  /// schedules a backoff retransmit.
+  void on_tx_wc(int peer, std::uint64_t idx, const ib::Wc& wc);
+  /// Retry timer body: credit-ack if the peer consumed the slot meanwhile,
+  /// otherwise retransmit (after_error skips the credit check — an error
+  /// CQE means nothing was delivered).
+  void tx_check(int peer, std::uint64_t idx, std::uint64_t epoch,
+                bool after_error);
+  /// Deliver the final verdict to the record's callback/owner and drop it.
+  void finish_tx_record(Endpoint& ep, std::uint64_t idx, const ib::Wc& wc);
+  /// Post a rendezvous RDMA data WR; with faults armed it is tracked in
+  /// data_ops_ and re-posted on error/timeout until the budget runs out.
+  void post_data_wr(Endpoint& ep, ib::SendWr wr,
+                    std::function<void(const ib::Wc&)> on_result);
+  void post_data_op(std::uint64_t op);
+  void on_data_wc(std::uint64_t op, const ib::Wc& wc);
+  void data_check(std::uint64_t op, std::uint64_t epoch, bool after_error);
+  /// Enqueue `fn` to run in the rank's process context after `delay`
+  /// (timers fire in engine context where post_send is illegal).
+  void schedule_recovery(sim::Time delay, std::function<void()> fn);
+  /// Drop completion callbacks of attempts whose CQE will never arrive.
+  void forget_wr_ids(const std::vector<std::uint64_t>& ids);
 
   // --- Protocol steps --------------------------------------------------------
   void start_send(const std::shared_ptr<RequestState>& req);
@@ -374,6 +457,22 @@ class Engine {
   std::map<const RequestState*, core::OffloadRegion> packed_;
   std::uint64_t next_wr_id_ = 1;
   std::uint64_t mpi_offload_threshold_ = 0;
+
+  /// Fault-injection state. faults_armed_ is the single gate every hazard
+  /// point branches on; with the default RunConfig it is false and the
+  /// engine behaves exactly as before.
+  sim::FaultInjector* faults_ = nullptr;
+  bool faults_armed_ = false;
+  std::uint64_t usable_slots_ = 0;  ///< slots(), possibly credit-capped
+  sim::Time retry_timeout_ = 0;
+  int max_retries_ = 0;
+  std::map<std::uint64_t, DataOp> data_ops_;
+  std::uint64_t next_data_op_ = 1;
+  /// Recovery work handed from timer events to the rank process (drained
+  /// at the top of progress()).
+  std::deque<std::function<void()>> pending_recovery_;
+  /// Cleared by the destructor so late-firing timer events become no-ops.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   sim::Condition wake_;
   /// Level-triggered wake flag: events that fire while progress() is already

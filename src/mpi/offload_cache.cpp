@@ -2,6 +2,20 @@
 
 namespace dcfa::mpi {
 
+namespace {
+
+/// Deregistration is best-effort teardown: if the CMD channel is failing
+/// (fault injection, dying delegate), dropping the host-side bookkeeping
+/// must not take the whole rank down with it.
+void dereg_quietly(core::PhiVerbs& verbs, const core::OffloadRegion& region) {
+  try {
+    verbs.dereg_offload_mr(region);
+  } catch (const core::CmdError&) {
+  }
+}
+
+}  // namespace
+
 const core::OffloadRegion& OffloadShadowCache::get(const mem::Buffer& buf) {
   auto it = map_.find(buf.addr());
   if (it != map_.end() && it->second.region.size >= buf.size()) {
@@ -16,7 +30,7 @@ const core::OffloadRegion& OffloadShadowCache::get(const mem::Buffer& buf) {
   while (static_cast<int>(map_.size()) >= max_entries_ && !map_.empty()) {
     const mem::SimAddr victim = lru_.back();
     auto vit = map_.find(victim);
-    verbs_.dereg_offload_mr(vit->second.region);
+    dereg_quietly(verbs_, vit->second.region);
     lru_.pop_back();
     map_.erase(vit);
   }
@@ -30,14 +44,14 @@ const core::OffloadRegion& OffloadShadowCache::get(const mem::Buffer& buf) {
 void OffloadShadowCache::invalidate(const mem::Buffer& buf) {
   auto it = map_.find(buf.addr());
   if (it == map_.end()) return;
-  verbs_.dereg_offload_mr(it->second.region);
+  dereg_quietly(verbs_, it->second.region);
   lru_.erase(it->second.lru_it);
   map_.erase(it);
 }
 
 void OffloadShadowCache::clear() {
   for (auto& [addr, entry] : map_) {
-    verbs_.dereg_offload_mr(entry.region);
+    dereg_quietly(verbs_, entry.region);
   }
   map_.clear();
   lru_.clear();

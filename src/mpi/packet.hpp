@@ -31,6 +31,11 @@ struct PacketHeader {
   std::uint32_t comm_id = 0;
   std::uint64_t seq = 0;         ///< per (pair, comm, tag) channel sequence id
   std::uint64_t msg_bytes = 0;   ///< full message size (all types)
+  /// Absolute ring position (sender's packet counter). Under fault
+  /// injection a timed-out packet is retransmitted into the *same* slot;
+  /// the receiver accepts a slot only when ring_idx matches its own
+  /// consumption counter, which makes stale duplicates self-identifying.
+  std::uint64_t ring_idx = 0;
   /// Done/Err disambiguation: send-side and receive-side sequence counters
   /// are independent, so a completion packet must say which map it targets.
   enum Dir : std::uint32_t { kToSender = 0, kToReceiver = 1 };

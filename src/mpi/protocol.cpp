@@ -235,6 +235,26 @@ void Engine::send_eager(Endpoint& ep, const std::shared_ptr<RequestState>& req) 
     hdr.msg_bytes = req->bytes;
     const std::byte* payload =
         req->has_pack ? req->pack_buf.data() : user_ptr(req);
+    if (faults_armed_) {
+      // Reliable mode: the packet write may be dropped or errored, so MPI
+      // completion is deferred to the transport's delivery verdict (CQE
+      // success, credit acknowledgement, or budget exhaustion).
+      req->phase = RequestState::Phase::EagerSent;
+      emit_packet(
+          ep, hdr, payload, req->bytes,
+          [this, &ep, req](const ib::Wc& wc) {
+            Channel& ch = channel(ep, req->comm_id, req->tag);
+            ch.sends.erase(req->seq);
+            if (wc.status != ib::WcStatus::Success) {
+              fail(req, std::string("eager delivery failed after retries: ") +
+                            ib::wc_status_name(wc.status));
+              return;
+            }
+            complete(req, rank_, req->tag, req->bytes);
+          },
+          req);
+      return;
+    }
     emit_packet(ep, hdr, payload, req->bytes);
     // One-copy semantics: once staged, the user buffer is free — the send
     // is complete for MPI purposes.
@@ -261,12 +281,19 @@ Engine::Exposure Engine::expose_send_payload(
       pbuf.domain() == mem::Domain::PhiGddr) {
     // Offloading send buffer (IV-B4): sync the latest data into the host
     // shadow with the Phi DMA engine, then let the HCA read host memory.
-    const core::OffloadRegion& region = shadow_cache_->get(pbuf);
-    phi_->sync_offload_mr(region, pbuf, poff, req->bytes);
-    ++stats_.offload_syncs;
-    stats_.offload_sync_bytes += req->bytes;
-    req->used_offload_shadow = true;
-    return Exposure{region.host_addr + poff, region.lkey, region.rkey};
+    // If the host delegation definitively failed the shadow registration
+    // (after the CMD client's own retries), fall back to exposing the
+    // buffer through a plain MR — slower, but the message still flows.
+    try {
+      const core::OffloadRegion& region = shadow_cache_->get(pbuf);
+      phi_->sync_offload_mr(region, pbuf, poff, req->bytes);
+      ++stats_.offload_syncs;
+      stats_.offload_sync_bytes += req->bytes;
+      req->used_offload_shadow = true;
+      return Exposure{region.host_addr + poff, region.lkey, region.rkey};
+    } catch (const core::CmdError&) {
+      ++stats_.offload_fallbacks;
+    }
   }
   ib::MemoryRegion* mr = register_window(pbuf);
   if (!options_.mr_cache) req->window_mr = mr;
@@ -274,9 +301,15 @@ Engine::Exposure Engine::expose_send_payload(
 }
 
 ib::MemoryRegion* Engine::register_window(const mem::Buffer& buf) {
-  if (options_.mr_cache) return mr_cache_->get(buf);
-  return ib_->reg_mr(pd_, buf,
-                     ib::kLocalWrite | ib::kRemoteRead | ib::kRemoteWrite);
+  // A definitive CMD failure on a plain registration has no fallback —
+  // surface it as a clean MPI error rather than a transport exception.
+  try {
+    if (options_.mr_cache) return mr_cache_->get(buf);
+    return ib_->reg_mr(pd_, buf,
+                       ib::kLocalWrite | ib::kRemoteRead | ib::kRemoteWrite);
+  } catch (const core::CmdError& e) {
+    throw MpiError(std::string("memory registration failed: ") + e.what());
+  }
 }
 
 void Engine::release_window(const mem::Buffer& buf, ib::MemoryRegion* mr) {
@@ -304,8 +337,17 @@ bool Engine::try_offload_pack(const std::shared_ptr<RequestState>& req) {
   for (const Datatype::Block& b : type.blocks()) {
     blocks.push_back({b.offset, b.length});
   }
-  core::OffloadRegion region = phi_->pack_shadow(
-      pd_, scratch.addr(), req->count, type.extent(), req->bytes, blocks);
+  core::OffloadRegion region;
+  try {
+    region = phi_->pack_shadow(pd_, scratch.addr(), req->count, type.extent(),
+                               req->bytes, blocks);
+  } catch (const core::CmdError&) {
+    // Host-side pack delegation definitively failed: fall back to packing
+    // locally on this core (the caller's non-offloaded path).
+    node.space(mem::Domain::HostDram).free(scratch);
+    ++stats_.offload_fallbacks;
+    return false;
+  }
   node.space(mem::Domain::HostDram).free(scratch);
   packed_[req.get()] = region;
   ++stats_.packs_offloaded;
@@ -345,13 +387,24 @@ void Engine::combine(Op op, const Datatype& type, const mem::Buffer& acc,
                      mem::Domain::HostDram, ha.addr(), bytes);
     phi_->pcie().dma(proc, in.domain(), in.addr() + in_off,
                      mem::Domain::HostDram, hb.addr(), bytes);
-    phi_->reduce_shadow(ha.addr(), hb.addr(), count, kind, fn);
-    phi_->pcie().dma(proc, mem::Domain::HostDram, ha.addr(), acc.domain(),
-                     acc.addr() + acc_off, bytes);
+    bool delegated = true;
+    try {
+      phi_->reduce_shadow(ha.addr(), hb.addr(), count, kind, fn);
+    } catch (const core::CmdError&) {
+      // Delegation definitively failed: fall through to the local combine.
+      ++stats_.offload_fallbacks;
+      delegated = false;
+    }
+    if (delegated) {
+      phi_->pcie().dma(proc, mem::Domain::HostDram, ha.addr(), acc.domain(),
+                       acc.addr() + acc_off, bytes);
+    }
     node.space(mem::Domain::HostDram).free(ha);
     node.space(mem::Domain::HostDram).free(hb);
-    ++stats_.reductions_offloaded;
-    return;
+    if (delegated) {
+      ++stats_.reductions_offloaded;
+      return;
+    }
   }
 
   // Local combine on the owning core.
@@ -393,12 +446,10 @@ void Engine::rdma_write_to(Endpoint& ep,
 
   ib::SendWr wr;
   wr.opcode = ib::Opcode::RdmaWrite;
-  wr.signaled = true;
-  wr.wr_id = next_wr_id_++;
   wr.sg_list = {{e.addr, static_cast<std::uint32_t>(req->bytes), e.lkey}};
   wr.remote_addr = rtr.buf_addr;
   wr.rkey = rtr.rkey;
-  outstanding_[wr.wr_id] = [this, &ep, req](const ib::Wc& wc) {
+  post_data_wr(ep, std::move(wr), [this, &ep, req](const ib::Wc& wc) {
     Channel& c = channel(ep, req->comm_id, req->tag);
     c.sends.erase(req->seq);
     if (wc.status != ib::WcStatus::Success) {
@@ -413,8 +464,7 @@ void Engine::rdma_write_to(Endpoint& ep,
                    PacketHeader::kToReceiver);
     });
     complete(req, rank_, req->tag, req->bytes);
-  };
-  ib_->post_send(ep.qp, std::move(wr));
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -516,14 +566,12 @@ void Engine::start_rdma_read(Endpoint& ep,
 
   ib::SendWr wr;
   wr.opcode = ib::Opcode::RdmaRead;
-  wr.signaled = true;
-  wr.wr_id = next_wr_id_++;
   wr.sg_list = {{target.addr() + toff,
                  static_cast<std::uint32_t>(rts.msg_bytes), mr->lkey()}};
   wr.remote_addr = rts.buf_addr;
   wr.rkey = rts.rkey;
   const PacketHeader rts_copy = rts;
-  outstanding_[wr.wr_id] = [this, &ep, req, rts_copy](const ib::Wc& wc) {
+  post_data_wr(ep, std::move(wr), [this, &ep, req, rts_copy](const ib::Wc& wc) {
     Channel& c = channel(ep, rts_copy.comm_id, rts_copy.tag);
     c.posted.erase(req->seq);
     if (wc.status != ib::WcStatus::Success) {
@@ -543,8 +591,7 @@ void Engine::start_rdma_read(Endpoint& ep,
       emit_control(ep, PacketType::Done, req, 0, 0, 0);
     });
     complete(req, rts_copy.src_rank, rts_copy.tag, rts_copy.msg_bytes);
-  };
-  ib_->post_send(ep.qp, std::move(wr));
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -581,6 +628,14 @@ void Engine::handle_eager(Endpoint& ep, Channel& ch, const PacketHeader& hdr,
     deliver_eager(ep, req, hdr, payload);
     return;
   }
+  if (faults_armed_ &&
+      (ch.arrived.count(hdr.seq) > 0 || hdr.seq < ch.next_assign_seq)) {
+    // Sequence-level duplicate: this seq was already stashed or already
+    // delivered to a completed receive. Belt-and-braces on top of the
+    // ring_idx staleness check — drop, never deliver twice.
+    ++stats_.dup_packets_dropped;
+    return;
+  }
   // Unexpected: stash a copy (the ring slot is about to be recycled).
   ArrivedPacket pkt;
   pkt.hdr = hdr;
@@ -598,6 +653,11 @@ void Engine::handle_rts(Endpoint& ep, Channel& ch, const PacketHeader& hdr) {
     // — "the receiver will RDMA read by using the buffer data included in
     // the RTS packet following the process of the Sender First protocol".
     start_rdma_read(ep, req, hdr);
+    return;
+  }
+  if (faults_armed_ &&
+      (ch.arrived.count(hdr.seq) > 0 || hdr.seq < ch.next_assign_seq)) {
+    ++stats_.dup_packets_dropped;
     return;
   }
   ArrivedPacket pkt;

@@ -38,6 +38,14 @@ Runtime::Runtime(RunConfig config)
   }
   sim_ = std::make_unique<sim::Engine>();
   fabric_ = std::make_unique<ib::Fabric>(*sim_, platform_);
+  if (!config_.fault_spec.empty()) {
+    // One injector for the whole cluster: every HCA, delegation process and
+    // MPI engine draws from the same deterministic fault stream.
+    faults_ = std::make_unique<sim::FaultInjector>(
+        sim::FaultInjector::Spec::parse(config_.fault_spec),
+        config_.fault_seed);
+    fabric_->set_faults(faults_.get());
+  }
   bootstrap_ = std::make_unique<Bootstrap>(*sim_);
   const bool on_phi = config_.mode != MpiMode::HostMpi;
   // One node per rank up to the cluster size; beyond that, ranks share
@@ -58,29 +66,44 @@ Runtime::Runtime(RunConfig config)
       slot->delegate.emplace(slot->channel,
                              fabric_->hca_for_node(node.memory.node()),
                              node.memory);
+      if (faults_) slot->delegate->set_faults(faults_.get());
     }
     slots_.push_back(std::move(slot));
   }
   stats_.resize(config_.nprocs);
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  // Rank threads stranded by a peer's exception are still parked inside
+  // their bodies; they unwind (running mpi::Engine's destructor, which
+  // detaches its CQ wake callback) only when joined. That must happen
+  // before the fabric and nodes those destructors touch are freed —
+  // members destroy in reverse declaration order, which would tear down
+  // fabric_ first.
+  if (sim_) sim_->join_all();
+}
 
 std::unique_ptr<verbs::Ib> Runtime::make_endpoint(sim::Process& proc,
                                                   RankSlot& slot) {
+  std::unique_ptr<verbs::Ib> ep;
   switch (config_.mode) {
     case MpiMode::DcfaPhi:
     case MpiMode::DcfaPhiNoOffload:
-      return std::make_unique<core::PhiVerbs>(proc, *fabric_,
-                                              slot.node.memory, slot.channel);
+      ep = std::make_unique<core::PhiVerbs>(proc, *fabric_, slot.node.memory,
+                                            slot.channel);
+      break;
     case MpiMode::IntelPhi:
-      return std::make_unique<baseline::ProxyPhiVerbs>(
+      ep = std::make_unique<baseline::ProxyPhiVerbs>(
           proc, *fabric_, slot.node.memory, slot.channel);
+      break;
     case MpiMode::HostMpi:
-      return std::make_unique<verbs::HostVerbs>(proc, *fabric_,
-                                                slot.node.memory);
+      ep = std::make_unique<verbs::HostVerbs>(proc, *fabric_,
+                                              slot.node.memory);
+      break;
   }
-  throw MpiError("Runtime: unknown mode");
+  if (!ep) throw MpiError("Runtime: unknown mode");
+  if (faults_) ep->set_faults(faults_.get());
+  return ep;
 }
 
 void Runtime::run(const std::function<void(RankCtx&)>& body) {
@@ -120,7 +143,13 @@ void Runtime::run(const std::function<void(RankCtx&)>& body) {
       stats_[r] = engine.stats();
     });
   }
-  sim_->run();
+  try {
+    sim_->run();
+  } catch (...) {
+    // The global tracer pointer must not outlive `tracer`.
+    if (tracer) sim::Tracer::install(nullptr);
+    throw;
+  }
 
   if (tracer) {
     sim::Tracer::install(nullptr);

@@ -31,6 +31,13 @@ struct RunConfig {
   /// When non-empty, record a Chrome trace (chrome://tracing / Perfetto)
   /// of the whole run and write it here.
   std::string trace_path;
+  /// Fault-injection spec (see docs/faults.md), e.g.
+  /// "drop_wc=0.1,err_wc=0.05,cmd_fail=1,cmd_op=offload". Empty = no
+  /// faults; the whole stack then runs its zero-overhead default paths.
+  std::string fault_spec;
+  /// Seed of the injector's private RNG: same spec + same seed + same
+  /// program => bit-identical fault sequence, counters and traces.
+  std::uint64_t fault_seed = 42;
 };
 
 /// Everything a rank body can touch. `world` is the world communicator;
@@ -73,6 +80,9 @@ class Runtime {
 
   sim::Engine& sim() { return *sim_; }
   const sim::Platform& platform() const { return platform_; }
+  /// The run's fault injector (nullptr when RunConfig::fault_spec is
+  /// empty); its counters tell tests what was actually injected.
+  const sim::FaultInjector* faults() const { return faults_.get(); }
 
  private:
   struct Node {
@@ -96,6 +106,7 @@ class Runtime {
   RunConfig config_;
   sim::Platform platform_;  ///< possibly adjusted for the mode
   std::unique_ptr<sim::Engine> sim_;
+  std::unique_ptr<sim::FaultInjector> faults_;
   std::unique_ptr<ib::Fabric> fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<RankSlot>> slots_;

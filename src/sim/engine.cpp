@@ -9,10 +9,12 @@ namespace dcfa::sim {
 
 Engine::Engine() = default;
 
-Engine::~Engine() {
+Engine::~Engine() { join_all(); }
+
+void Engine::join_all() {
   // Unblock and join any process threads that are still parked. Their
-  // bodies can no longer run (the engine is gone), so we detach them by
-  // letting Process's destructor force-join.
+  // bodies can no longer run, so Process's destructor hands each one a
+  // poisoned token and force-joins while it unwinds.
   processes_.clear();
 }
 

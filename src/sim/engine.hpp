@@ -57,6 +57,13 @@ class Engine {
   /// Number of processes that have been spawned and not yet finished.
   std::size_t live_processes() const;
 
+  /// Abandon any still-parked processes and join every process thread.
+  /// Owners whose members are referenced from process bodies (fabrics,
+  /// memories) call this at the top of their destructors so no thread is
+  /// still unwinding when those members die. Idempotent; the destructor
+  /// calls it too.
+  void join_all();
+
   /// Total events executed so far (for determinism tests and stats).
   std::uint64_t events_executed() const { return events_executed_; }
 

@@ -1,0 +1,167 @@
+#include "sim/fault.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dcfa::sim {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw std::invalid_argument("fault spec: " + what);
+}
+
+double parse_prob(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double p = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+    bad_spec(key + " wants a probability in [0,1], got '" + value + "'");
+  }
+  return p;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    bad_spec(key + " wants a non-negative integer, got '" + value + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+FaultInjector::Spec FaultInjector::Spec::parse(const std::string& text) {
+  Spec spec;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t sep = text.find_first_of(",;", pos);
+    if (sep == std::string::npos) sep = text.size();
+    const std::string item = trim(text.substr(pos, sep - pos));
+    pos = sep + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) bad_spec("expected key=value, got '" + item + "'");
+    const std::string key = trim(item.substr(0, eq));
+    const std::string value = trim(item.substr(eq + 1));
+    if (key == "drop_wc") {
+      spec.drop_wc = parse_prob(key, value);
+    } else if (key == "err_wc") {
+      spec.err_wc = parse_prob(key, value);
+    } else if (key == "delay_dma") {
+      spec.delay_dma = parse_prob(key, value);
+    } else if (key == "cmd_fail") {
+      spec.cmd_fail = parse_prob(key, value);
+    } else if (key == "cmd_drop") {
+      spec.cmd_drop = parse_prob(key, value);
+    } else if (key == "delay_dma_ns") {
+      spec.delay_dma_ns = static_cast<Time>(parse_u64(key, value));
+    } else if (key == "credit_slots") {
+      spec.credit_slots = static_cast<int>(parse_u64(key, value));
+    } else if (key == "drop_wc_max") {
+      spec.drop_wc_max = parse_u64(key, value);
+    } else if (key == "drop_wc_skip") {
+      spec.drop_wc_skip = parse_u64(key, value);
+    } else if (key == "err_wc_max") {
+      spec.err_wc_max = parse_u64(key, value);
+    } else if (key == "err_wc_skip") {
+      spec.err_wc_skip = parse_u64(key, value);
+    } else if (key == "delay_dma_max") {
+      spec.delay_dma_max = parse_u64(key, value);
+    } else if (key == "delay_dma_skip") {
+      spec.delay_dma_skip = parse_u64(key, value);
+    } else if (key == "cmd_fail_max") {
+      spec.cmd_fail_max = parse_u64(key, value);
+    } else if (key == "cmd_fail_skip") {
+      spec.cmd_fail_skip = parse_u64(key, value);
+    } else if (key == "cmd_drop_max") {
+      spec.cmd_drop_max = parse_u64(key, value);
+    } else if (key == "cmd_drop_skip") {
+      spec.cmd_drop_skip = parse_u64(key, value);
+    } else if (key == "cmd_op") {
+      if (value == "any") {
+        spec.cmd_filter_any = true;
+      } else if (value == "reg_mr") {
+        spec.cmd_filter_any = false;
+        spec.cmd_filter = CmdOpClass::RegMr;
+      } else if (value == "offload") {
+        spec.cmd_filter_any = false;
+        spec.cmd_filter = CmdOpClass::Offload;
+      } else if (value == "create") {
+        spec.cmd_filter_any = false;
+        spec.cmd_filter = CmdOpClass::Create;
+      } else {
+        bad_spec("cmd_op wants any|reg_mr|offload|create, got '" + value + "'");
+      }
+    } else {
+      bad_spec("unknown key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+FaultInjector::WcFate FaultInjector::wc_fate() {
+  // Error is checked first: an erred WR moves no data, a dropped one moves
+  // data but loses the CQE; when both roll true, Error wins.
+  if (spec_.err_wc > 0.0) {
+    const std::uint64_t idx = err_seen_++;
+    if (idx >= spec_.err_wc_skip && counters_.wc_errored < spec_.err_wc_max &&
+        rng_.chance(spec_.err_wc)) {
+      ++counters_.wc_errored;
+      return WcFate::Error;
+    }
+  }
+  if (spec_.drop_wc > 0.0) {
+    const std::uint64_t idx = drop_seen_++;
+    if (idx >= spec_.drop_wc_skip && counters_.wc_dropped < spec_.drop_wc_max &&
+        rng_.chance(spec_.drop_wc)) {
+      ++counters_.wc_dropped;
+      return WcFate::Drop;
+    }
+  }
+  return WcFate::Deliver;
+}
+
+Time FaultInjector::dma_delay() {
+  if (spec_.delay_dma <= 0.0) return 0;
+  const std::uint64_t idx = delay_seen_++;
+  if (idx >= spec_.delay_dma_skip &&
+      counters_.dma_delayed < spec_.delay_dma_max &&
+      rng_.chance(spec_.delay_dma)) {
+    ++counters_.dma_delayed;
+    return spec_.delay_dma_ns;
+  }
+  return 0;
+}
+
+FaultInjector::CmdFate FaultInjector::cmd_fate(CmdOpClass cls) {
+  if (!spec_.cmd_filter_any && cls != spec_.cmd_filter) return CmdFate::Ok;
+  if (spec_.cmd_drop > 0.0) {
+    const std::uint64_t idx = cmd_drop_seen_++;
+    if (idx >= spec_.cmd_drop_skip &&
+        counters_.cmd_dropped < spec_.cmd_drop_max &&
+        rng_.chance(spec_.cmd_drop)) {
+      ++counters_.cmd_dropped;
+      return CmdFate::Drop;
+    }
+  }
+  if (spec_.cmd_fail > 0.0) {
+    const std::uint64_t idx = cmd_fail_seen_++;
+    if (idx >= spec_.cmd_fail_skip &&
+        counters_.cmd_failed < spec_.cmd_fail_max &&
+        rng_.chance(spec_.cmd_fail)) {
+      ++counters_.cmd_failed;
+      return CmdFate::Fail;
+    }
+  }
+  return CmdFate::Ok;
+}
+
+}  // namespace dcfa::sim

@@ -158,6 +158,19 @@ struct Platform {
   int mr_cache_entries = 64;
   std::uint64_t mr_cache_bytes = 256ull * 1024 * 1024;
 
+  // --- Fault recovery (active only when a fault spec arms the injector) ----
+  /// Base retransmit timeout for eager packets and rendezvous control
+  /// messages; doubles on every retry (bounded exponential backoff). Sized
+  /// well above the worst-case wire round trip so the happy path never
+  /// triggers it spuriously.
+  Time mpi_retry_timeout = microseconds(60);
+  /// Retransmit budget per operation; exceeding it raises MpiError.
+  int mpi_max_retries = 6;
+  /// CMD-channel delegation: reply timeout, retry backoff step, and budget.
+  Time dcfa_cmd_timeout = microseconds(100);
+  Time dcfa_cmd_retry_backoff = microseconds(10);
+  int dcfa_cmd_max_retries = 4;
+
   /// Default platform as used by the paper's evaluation.
   static Platform defaults() { return Platform{}; }
 };

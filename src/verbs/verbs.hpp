@@ -69,6 +69,15 @@ class Ib {
   /// The node's HCA (for wake-up observers and tests). On a Phi endpoint
   /// this is the host-owned HCA whose doorbells are mapped into user space.
   virtual ib::Hca& hca_ref() = 0;
+
+  /// Fault injector this endpoint consults (nullptr = faults off). The
+  /// Runtime arms every endpoint of a run with the same injector so all
+  /// layers observe one deterministic fault sequence.
+  void set_faults(sim::FaultInjector* faults) { faults_ = faults; }
+  sim::FaultInjector* faults() { return faults_; }
+
+ private:
+  sim::FaultInjector* faults_ = nullptr;
 };
 
 /// Plain host-side verbs: what the original YAMPII host MPI uses, and what

@@ -64,9 +64,10 @@ TEST(DcfaCmd, RegMrRegistersPhiMemoryOnHostHca) {
     ASSERT_NE(mr, nullptr);
     EXPECT_EQ(mr->domain(), mem::Domain::PhiGddr);
     // Registered with the node's (host-owned) HCA.
-    EXPECT_EQ(c.hca0.mr_by_lkey(mr->lkey()), mr);
-    verbs.dereg_mr(mr);
-    EXPECT_EQ(c.hca0.mr_by_lkey(mr->lkey()), nullptr);
+    const std::uint32_t lkey = mr->lkey();
+    EXPECT_EQ(c.hca0.mr_by_lkey(lkey), mr);
+    verbs.dereg_mr(mr);  // frees the MR: only the cached key is safe now
+    EXPECT_EQ(c.hca0.mr_by_lkey(lkey), nullptr);
   });
   c.engine.run();
 }

@@ -1,0 +1,395 @@
+// Fault-injection tests: the deterministic FaultInjector (sim/fault.hpp)
+// driving the recovery machinery of the MPI engine and the DCFA CMD
+// channel. Every scenario pins an exact fault via the spec's probability +
+// skip/max targeting, then asserts both that the run still produces correct
+// data (exactly-once delivery) and that the recovery counters show the
+// repair actually happened the expected way.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+#include "sim/fault.hpp"
+
+using namespace dcfa;
+using namespace dcfa::mpi;
+
+namespace {
+
+constexpr std::size_t kLarge = 64 * 1024;  // rendezvous territory
+constexpr std::size_t kSmall = 512;        // eager territory
+
+RunConfig fault_cfg(const std::string& spec, std::uint64_t seed = 42) {
+  RunConfig cfg;
+  cfg.mode = MpiMode::DcfaPhi;
+  cfg.nprocs = 2;
+  cfg.fault_spec = spec;
+  cfg.fault_seed = seed;
+  return cfg;
+}
+
+struct StatsOut {
+  Engine::Stats sender, receiver;
+};
+
+/// One `bytes`-sized message 0 -> 1 with a pattern fill + verify, under the
+/// given fault config; returns both ranks' stats.
+StatsOut one_faulty_message(std::size_t bytes, sim::Time send_delay,
+                            sim::Time recv_delay, RunConfig cfg,
+                            sim::FaultInjector::Counters* injected = nullptr) {
+  StatsOut out;
+  Runtime rt(cfg);
+  rt.run([&](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(bytes);
+    if (ctx.rank == 0) {
+      std::memset(buf.data(), 0x5A, bytes);
+      ctx.proc.wait(send_delay);
+      comm.send(buf, 0, bytes, type_byte(), 1, 1);
+    } else {
+      ctx.proc.wait(recv_delay);
+      Status st = comm.recv(buf, 0, bytes, type_byte(), 0, 1);
+      EXPECT_EQ(st.bytes, bytes);
+      EXPECT_EQ(buf.data()[0], std::byte{0x5A});
+      EXPECT_EQ(buf.data()[bytes - 1], std::byte{0x5A});
+    }
+    comm.free(buf);
+  });
+  out.sender = rt.rank_stats()[0];
+  out.receiver = rt.rank_stats()[1];
+  if (injected) *injected = rt.faults()->counters();
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Spec grammar
+// ---------------------------------------------------------------------------
+
+TEST(FaultSpec, ParsesKeysProbabilitiesAndTargeting) {
+  auto s = sim::FaultInjector::Spec::parse(
+      "drop_wc=0.25,err_wc=1;err_wc_skip=2,err_wc_max=3,"
+      "delay_dma=0.5,delay_dma_ns=7000,credit_slots=2,"
+      "cmd_fail=1,cmd_op=offload,cmd_drop=0.1,cmd_drop_max=4");
+  EXPECT_DOUBLE_EQ(s.drop_wc, 0.25);
+  EXPECT_DOUBLE_EQ(s.err_wc, 1.0);
+  EXPECT_EQ(s.err_wc_skip, 2u);
+  EXPECT_EQ(s.err_wc_max, 3u);
+  EXPECT_DOUBLE_EQ(s.delay_dma, 0.5);
+  EXPECT_EQ(s.delay_dma_ns, sim::Time{7000});
+  EXPECT_EQ(s.credit_slots, 2);
+  EXPECT_FALSE(s.cmd_filter_any);
+  EXPECT_EQ(s.cmd_filter, sim::FaultInjector::CmdOpClass::Offload);
+  EXPECT_EQ(s.cmd_drop_max, 4u);
+  EXPECT_TRUE(s.armed());
+
+  EXPECT_FALSE(sim::FaultInjector::Spec::parse("").armed());
+  EXPECT_FALSE(sim::FaultInjector::Spec::parse("drop_wc=0").armed());
+}
+
+TEST(FaultSpec, RejectsMalformedInput) {
+  using Spec = sim::FaultInjector::Spec;
+  EXPECT_THROW(Spec::parse("bogus_key=1"), std::invalid_argument);
+  EXPECT_THROW(Spec::parse("drop_wc=notanumber"), std::invalid_argument);
+  EXPECT_THROW(Spec::parse("drop_wc=1.5"), std::invalid_argument);
+  EXPECT_THROW(Spec::parse("no_equals_sign"), std::invalid_argument);
+  EXPECT_THROW(Spec::parse("cmd_op=floppy"), std::invalid_argument);
+}
+
+TEST(FaultSpec, CreditCapClampsToRingDepth) {
+  sim::FaultInjector fi(sim::FaultInjector::Spec::parse("credit_slots=2"),
+                        /*seed=*/1);
+  EXPECT_EQ(fi.credit_cap(16), 2);
+  sim::FaultInjector wide(sim::FaultInjector::Spec::parse("credit_slots=99"),
+                          /*seed=*/1);
+  EXPECT_EQ(wide.credit_cap(16), 16);
+  sim::FaultInjector off(sim::FaultInjector::Spec{}, /*seed=*/1);
+  EXPECT_EQ(off.credit_cap(16), 16);
+}
+
+// ---------------------------------------------------------------------------
+// Eager path: lost completions, retransmission, exactly-once
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, DroppedEagerCompletionRetransmitsExactlyOnce) {
+  // The eager packet's CQE is silently dropped while the receiver is still
+  // asleep (no credit can acknowledge it either): the retry timer must fire
+  // and retransmit into the same slot, and the receiver must see the
+  // message exactly once.
+  auto cfg = fault_cfg("drop_wc=1,drop_wc_max=1");
+  cfg.engine_options.retry_timeout = sim::microseconds(10);
+  sim::FaultInjector::Counters injected;
+  auto s = one_faulty_message(kSmall, 0, sim::microseconds(100), cfg,
+                              &injected);
+  EXPECT_EQ(injected.wc_dropped, 1u);
+  EXPECT_EQ(s.sender.eager_sends, 1u);
+  EXPECT_GE(s.sender.wc_timeouts, 1u);
+  EXPECT_GE(s.sender.retransmits, 1u);
+  EXPECT_EQ(s.sender.retry_exhausted, 0u);
+  EXPECT_EQ(s.receiver.packets_rx, 1u);  // exactly once
+}
+
+TEST(FaultInjection, CreditActsAsImplicitAckWhenCqeIsLost) {
+  // Same dropped CQE, but the receiver consumes immediately and its credit
+  // write reaches the sender before the (long) retry timer: the packet is
+  // confirmed by credit alone, with no retransmission at all.
+  auto cfg = fault_cfg("drop_wc=1,drop_wc_max=1");
+  cfg.engine_options.retry_timeout = sim::milliseconds(1);
+  auto s = one_faulty_message(kSmall, 0, 0, cfg);
+  EXPECT_GE(s.sender.credit_acked, 1u);
+  EXPECT_EQ(s.sender.retransmits, 0u);
+  EXPECT_EQ(s.receiver.packets_rx, 1u);
+}
+
+TEST(FaultInjection, StaleRetransmitIsDiscardedByRingIndex) {
+  // An aggressively short retry timer beats both the CQE and the credit, so
+  // packets get retransmitted even though the originals land: every dup
+  // rewrites an already-consumed slot and must be recognised as stale by
+  // its absolute ring index when the ring wraps around to scan it.
+  auto cfg = fault_cfg("drop_wc=1,drop_wc_max=1");
+  cfg.engine_options.retry_timeout = sim::microseconds(1);
+  const int kMsgs = 17;  // one more than the ring depth: forces a wrap
+  Runtime rt(cfg);
+  rt.run([&](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(kSmall);
+    for (int i = 0; i < kMsgs; ++i) {
+      if (ctx.rank == 0) {
+        std::memset(buf.data(), 0x40 + i, kSmall);
+        comm.send(buf, 0, kSmall, type_byte(), 1, 1);
+      } else {
+        comm.recv(buf, 0, kSmall, type_byte(), 0, 1);
+        EXPECT_EQ(buf.data()[0], static_cast<std::byte>(0x40 + i));
+        EXPECT_EQ(buf.data()[kSmall - 1], static_cast<std::byte>(0x40 + i));
+      }
+    }
+    comm.free(buf);
+  });
+  const auto& s0 = rt.rank_stats()[0];
+  const auto& s1 = rt.rank_stats()[1];
+  EXPECT_GE(s0.retransmits, 1u);
+  EXPECT_GE(s1.dup_packets_dropped, 1u);
+  EXPECT_EQ(s1.packets_rx, static_cast<std::uint64_t>(kMsgs));
+  EXPECT_EQ(s0.retry_exhausted, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous control traffic: errored RTS / RTR / DONE / data ops
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, SenderFirstSurvivesErroredRts) {
+  // First faultable WR of the run is the sender's RTS: the fabric errors
+  // it (no data moves), the sender sees the error CQE and retransmits.
+  auto s = one_faulty_message(kLarge, 0, sim::milliseconds(1),
+                              fault_cfg("err_wc=1,err_wc_max=1"));
+  EXPECT_EQ(s.sender.wc_errors, 1u);
+  EXPECT_GE(s.sender.retransmits, 1u);
+  EXPECT_EQ(s.sender.rndv_sends, 1u);
+  EXPECT_GE(s.receiver.sender_first, 1u);
+}
+
+TEST(FaultInjection, ReceiverFirstSurvivesErroredRtr) {
+  // Receive posted first: the RTR is the first faultable WR and gets
+  // errored; after the receiver's retransmit the sender RDMA-writes.
+  auto s = one_faulty_message(kLarge, sim::milliseconds(1), 0,
+                              fault_cfg("err_wc=1,err_wc_max=1"));
+  EXPECT_EQ(s.receiver.wc_errors, 1u);
+  EXPECT_GE(s.receiver.retransmits, 1u);
+  EXPECT_GE(s.sender.receiver_first, 1u);
+}
+
+TEST(FaultInjection, SenderFirstSurvivesErroredRdmaRead) {
+  // Candidate #0 is the RTS (delivered), #1 the receiver's RDMA read of
+  // the payload: erroring it exercises the rendezvous data-op retry path.
+  auto s = one_faulty_message(kLarge, 0, sim::milliseconds(1),
+                              fault_cfg("err_wc=1,err_wc_skip=1,err_wc_max=1"));
+  EXPECT_GE(s.receiver.data_op_retries, 1u);
+  EXPECT_GE(s.receiver.sender_first, 1u);
+  EXPECT_EQ(s.sender.retry_exhausted, 0u);
+  EXPECT_EQ(s.receiver.retry_exhausted, 0u);
+}
+
+TEST(FaultInjection, SenderFirstSurvivesErroredDone) {
+  // Candidates: #0 RTS, #1 RDMA read, #2 the receiver's DONE control
+  // packet. Losing the DONE leaves the sender waiting; the receiver's
+  // retransmit must complete the handshake.
+  auto s = one_faulty_message(kLarge, 0, sim::milliseconds(1),
+                              fault_cfg("err_wc=1,err_wc_skip=2,err_wc_max=1"));
+  EXPECT_EQ(s.receiver.wc_errors, 1u);
+  EXPECT_GE(s.receiver.retransmits, 1u);
+  EXPECT_EQ(s.sender.rndv_sends, 1u);
+  EXPECT_GE(s.receiver.sender_first, 1u);
+}
+
+TEST(FaultInjection, SimultaneousRendezvousSurvivesLosingBothControls) {
+  // Send and receive post together; RTS and RTR are the first two
+  // faultable WRs and both get errored. Both sides retransmit and the
+  // crossing still resolves to exactly one transfer.
+  auto s = one_faulty_message(kLarge, 0, 0,
+                              fault_cfg("err_wc=1,err_wc_max=2"));
+  EXPECT_EQ(s.sender.wc_errors + s.receiver.wc_errors, 2u);
+  EXPECT_GE(s.sender.retransmits + s.receiver.retransmits, 2u);
+  EXPECT_EQ(s.sender.rndv_sends, 1u);
+  EXPECT_GE(s.receiver.sender_first + s.sender.receiver_first, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// DCFA CMD channel: failures fall back, drops time out and retry
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, OffloadCmdFailureFallsBackToDirectPath) {
+  // Every offload-MR CMD verb fails: registering the send-side shadow is
+  // impossible, so the engine must retry, give up, and fall back to the
+  // non-offloaded direct-MR path — the message still goes through.
+  sim::FaultInjector::Counters injected;
+  auto s = one_faulty_message(kLarge, 0, 0,
+                              fault_cfg("cmd_fail=1,cmd_op=offload"),
+                              &injected);
+  EXPECT_GE(injected.cmd_failed, 1u);
+  EXPECT_GE(s.sender.offload_fallbacks, 1u);
+  EXPECT_EQ(s.sender.offload_syncs, 0u);
+  EXPECT_GE(s.sender.cmd_retries, 1u);
+  EXPECT_EQ(s.sender.rndv_sends, 1u);
+}
+
+TEST(FaultInjection, SwallowedCmdTimesOutAndRetries) {
+  // The very first CMD request of the run is swallowed (no reply): the
+  // client must hit its reply timeout, resend with a fresh request id, and
+  // carry on as if nothing happened.
+  sim::FaultInjector::Counters injected;
+  auto s = one_faulty_message(kSmall, 0, 0,
+                              fault_cfg("cmd_drop=1,cmd_drop_max=1"),
+                              &injected);
+  EXPECT_EQ(injected.cmd_dropped, 1u);
+  EXPECT_GE(s.sender.cmd_timeouts + s.receiver.cmd_timeouts, 1u);
+  EXPECT_GE(s.sender.cmd_retries + s.receiver.cmd_retries, 1u);
+  EXPECT_EQ(s.receiver.packets_rx, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Budget exhaustion, credit squeeze, pure delays
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, RetryBudgetExhaustionRaisesMpiError) {
+  // Every faultable WR errors, forever: the sender burns its whole retry
+  // budget and the operation must surface as a clean MpiError, not a hang.
+  auto cfg = fault_cfg("err_wc=1");
+  cfg.engine_options.retry_timeout = sim::microseconds(1);
+  EXPECT_THROW(run_mpi(cfg,
+                       [&](RankCtx& ctx) {
+                         auto& comm = ctx.world;
+                         mem::Buffer buf = comm.alloc(kSmall);
+                         if (ctx.rank == 0) {
+                           comm.send(buf, 0, kSmall, type_byte(), 1, 1);
+                         } else {
+                           comm.recv(buf, 0, kSmall, type_byte(), 0, 1);
+                         }
+                         comm.free(buf);
+                       }),
+               MpiError);
+}
+
+TEST(FaultInjection, CreditSqueezeStallsBurstButCompletes) {
+  // The fault spec caps the eager ring at 2 usable credits: a 32-message
+  // burst must repeatedly stall for credit and still deliver everything in
+  // order.
+  auto cfg = fault_cfg("credit_slots=2");
+  const int kMsgs = 32;
+  Runtime rt(cfg);
+  rt.run([&](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    if (ctx.rank == 0) {
+      std::vector<mem::Buffer> bufs(kMsgs);
+      std::vector<Request> reqs;
+      for (int i = 0; i < kMsgs; ++i) {
+        bufs[i] = comm.alloc(kSmall);
+        std::memset(bufs[i].data(), 0x10 + i, kSmall);
+        reqs.push_back(comm.isend(bufs[i], 0, kSmall, type_byte(), 1, 1));
+      }
+      comm.waitall(reqs);
+      for (auto& b : bufs) comm.free(b);
+    } else {
+      mem::Buffer buf = comm.alloc(kSmall);
+      for (int i = 0; i < kMsgs; ++i) {
+        comm.recv(buf, 0, kSmall, type_byte(), 0, 1);
+        EXPECT_EQ(buf.data()[kSmall - 1], static_cast<std::byte>(0x10 + i));
+      }
+      comm.free(buf);
+    }
+  });
+  EXPECT_GE(rt.rank_stats()[0].tx_stalls, 1u);
+  EXPECT_EQ(rt.rank_stats()[1].packets_rx,
+            static_cast<std::uint64_t>(kMsgs));
+  EXPECT_EQ(rt.rank_stats()[0].retry_exhausted, 0u);
+}
+
+TEST(FaultInjection, DmaDelaysCostTimeButNeedNoRecovery) {
+  // Pure latency faults: every faultable transfer starts 5us late. The
+  // run gets slower but no CQE is lost, so the recovery machinery must
+  // stay completely quiet.
+  auto clean = fault_cfg("");
+  clean.fault_spec.clear();
+  sim::Time t_clean = 0, t_faulty = 0;
+  auto body = [&](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(kSmall);
+    for (int i = 0; i < 4; ++i) {
+      if (ctx.rank == 0) {
+        comm.send(buf, 0, kSmall, type_byte(), 1, 1);
+        comm.recv(buf, 0, kSmall, type_byte(), 1, 1);
+      } else {
+        comm.recv(buf, 0, kSmall, type_byte(), 0, 1);
+        comm.send(buf, 0, kSmall, type_byte(), 0, 1);
+      }
+    }
+    comm.free(buf);
+  };
+  t_clean = run_mpi(clean, body);
+  Runtime rt(fault_cfg("delay_dma=1,delay_dma_ns=5000"));
+  rt.run(body);
+  t_faulty = rt.elapsed();
+  EXPECT_GT(t_faulty, t_clean);
+  EXPECT_GT(rt.faults()->counters().dma_delayed, 0u);
+  EXPECT_EQ(rt.rank_stats()[0].retransmits, 0u);
+  EXPECT_EQ(rt.rank_stats()[0].wc_errors, 0u);
+  EXPECT_EQ(rt.rank_stats()[0].retry_exhausted, 0u);
+}
+
+TEST(FaultInjection, UnarmedSpecLeavesRunByteIdenticalToNoSpec) {
+  // "drop_wc=0" parses but arms nothing: the engine must take exactly the
+  // default code paths, making the run indistinguishable from one with no
+  // injector at all.
+  auto body = [](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(kSmall);
+    for (int i = 0; i < 4; ++i) {
+      if (ctx.rank == 0) {
+        comm.send(buf, 0, kSmall, type_byte(), 1, 1);
+        comm.recv(buf, 0, kSmall, type_byte(), 1, 1);
+      } else {
+        comm.recv(buf, 0, kSmall, type_byte(), 0, 1);
+        comm.send(buf, 0, kSmall, type_byte(), 0, 1);
+      }
+    }
+    comm.free(buf);
+  };
+  RunConfig plain;
+  plain.mode = MpiMode::DcfaPhi;
+  plain.nprocs = 2;
+  Runtime rt_plain(plain);
+  rt_plain.run(body);
+  Runtime rt_unarmed(fault_cfg("drop_wc=0"));
+  rt_unarmed.run(body);
+  EXPECT_EQ(rt_plain.elapsed(), rt_unarmed.elapsed());
+  const auto& a = rt_plain.rank_stats()[0];
+  const auto& b = rt_unarmed.rank_stats()[0];
+  EXPECT_EQ(a.eager_sends, b.eager_sends);
+  EXPECT_EQ(a.packets_rx, b.packets_rx);
+  EXPECT_EQ(a.credits_sent, b.credits_sent);
+  EXPECT_EQ(b.retransmits, 0u);
+  EXPECT_EQ(b.credit_acked, 0u);
+}

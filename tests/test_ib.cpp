@@ -73,10 +73,11 @@ TEST(Hca, RegMrValidatesBacking) {
                mem::BadAddress);
   EXPECT_THROW(c.hca0.reg_mr(c.e0.pd, mem::Domain::HostDram, b.addr(), 0, 0),
                std::invalid_argument);
-  EXPECT_EQ(c.hca0.mr_by_lkey(mr->lkey()), mr);
+  const std::uint32_t lkey = mr->lkey();
+  EXPECT_EQ(c.hca0.mr_by_lkey(lkey), mr);
   EXPECT_EQ(c.hca0.mr_by_rkey(mr->rkey()), mr);
-  c.hca0.dereg_mr(mr);
-  EXPECT_EQ(c.hca0.mr_by_lkey(mr->lkey()), nullptr);
+  c.hca0.dereg_mr(mr);  // frees the MR: only the cached key is safe now
+  EXPECT_EQ(c.hca0.mr_by_lkey(lkey), nullptr);
 }
 
 TEST(Hca, RdmaWriteMovesData) {

@@ -349,3 +349,52 @@ TEST(Protocols, UnmatchedTagDeadlocksAndIsReported) {
                        }),
                sim::DeadlockError);
 }
+
+TEST(Protocols, MispredictionRecoveryHoldsWhenFaultsDelayTheRtr) {
+  // Same mis-prediction as above, but the receiver's RTR is errored by the
+  // fault injector and only arrives via retransmission: the stale-RTR drop
+  // at the sender must be driven by sequence state, not by timing luck.
+  RunConfig cfg = dcfa_cfg();
+  cfg.fault_spec = "err_wc=1,err_wc_max=1";  // candidate #0 is the RTR
+  StatsOut out;
+  Runtime rt(cfg);
+  rt.run([&](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    mem::Buffer buf = comm.alloc(kLarge);
+    if (ctx.rank == 0) {
+      ctx.proc.wait(sim::milliseconds(1));  // let the retransmitted RTR land
+      comm.send(buf, 0, kSmall, type_byte(), 1, 1);
+    } else {
+      Status st = comm.recv(buf, 0, kLarge, type_byte(), 0, 1);
+      EXPECT_EQ(st.bytes, kSmall);
+    }
+    comm.free(buf);
+  });
+  out.sender = rt.rank_stats()[0];
+  out.receiver = rt.rank_stats()[1];
+  EXPECT_EQ(out.receiver.wc_errors, 1u);
+  EXPECT_GE(out.receiver.retransmits, 1u);
+  EXPECT_EQ(out.sender.eager_sends, 1u);
+  EXPECT_GE(out.sender.rtrs_dropped, 1u);
+  EXPECT_GE(out.receiver.eager_mispredicts, 1u);
+}
+
+TEST(Protocols, TruncationIsStillDetectedUnderFaults) {
+  // A rendezvous send bigger than the posted receive must raise a clean
+  // truncation error even when the RTS needed a retransmission to arrive.
+  RunConfig cfg = dcfa_cfg();
+  cfg.fault_spec = "err_wc=1,err_wc_max=1";  // candidate #0 is the RTS
+  cfg.engine_options.retry_timeout = sim::microseconds(10);
+  EXPECT_THROW(run_mpi(cfg,
+                       [](RankCtx& ctx) {
+                         auto& comm = ctx.world;
+                         mem::Buffer big = comm.alloc(kLarge);
+                         mem::Buffer small = comm.alloc(kSmall);
+                         if (ctx.rank == 0) {
+                           comm.send(big, 0, kLarge, type_byte(), 1, 1);
+                         } else {
+                           comm.recv(small, 0, kSmall, type_byte(), 0, 1);
+                         }
+                       }),
+               MpiError);
+}
