@@ -69,9 +69,22 @@ void HostDelegate::reply(std::uint64_t req_id, CmdStatus status,
 }
 
 void HostDelegate::handle(std::vector<std::byte> msg) {
-  ++served_;
   scif::Reader r(msg);
   const auto hdr = r.get<CmdHeader>();
+
+  // A crashed delegation process answers nothing: every request — including
+  // retries — is swallowed until the scheduled restart (if any) brings it
+  // back. The objects it created survive (they live in the host kernel /
+  // HCA), which is what makes failing over to the proxy path possible.
+  if (crashed_) {
+    sim::trace_instant("node" + std::to_string(memory_.node()) + ".delegate",
+                       "cmd-while-crashed", channel_.engine().now());
+    sim::Log::trace(channel_.engine().now(), "dcfa.delegate",
+                    "dead: swallowing req %llu",
+                    static_cast<unsigned long long>(hdr.req_id));
+    return;
+  }
+  ++served_;
 
   const sim::Time base = platform_.host_reg_mr_base;  // syscall-order cost
   scif::Writer payload;
@@ -81,6 +94,29 @@ void HostDelegate::handle(std::vector<std::byte> msg) {
   // timeout fires), Fail answers CmdStatus::Failed without doing the work.
   if (faults_) {
     const auto fate = faults_->cmd_fate(cmd_op_class(hdr.op));
+    if (fate == sim::FaultInjector::CmdFate::Crash) {
+      // The whole delegation process dies taking this request with it. If
+      // the spec schedules a restart, the process comes back empty-handed
+      // but with its object table intact (kernel-owned state).
+      crashed_ = true;
+      sim::trace_instant("node" + std::to_string(memory_.node()) + ".delegate",
+                         "fault:delegate-crash", channel_.engine().now());
+      sim::Log::trace(channel_.engine().now(), "dcfa.delegate",
+                      "fault: crashing on req %llu",
+                      static_cast<unsigned long long>(hdr.req_id));
+      if (const sim::Time restart = faults_->spec().delegate_restart_ns;
+          restart > 0) {
+        channel_.engine().schedule_after(restart, [this] {
+          crashed_ = false;
+          sim::trace_instant(
+              "node" + std::to_string(memory_.node()) + ".delegate",
+              "delegate-restart", channel_.engine().now());
+          sim::Log::trace(channel_.engine().now(), "dcfa.delegate",
+                          "restarted");
+        });
+      }
+      return;
+    }
     if (fate == sim::FaultInjector::CmdFate::Drop) {
       sim::trace_instant("node" + std::to_string(memory_.node()) + ".delegate",
                          "fault:cmd-drop", channel_.engine().now());
@@ -193,6 +229,18 @@ void HostDelegate::handle(std::vector<std::byte> msg) {
         }
         hca_.connect(qp_p, lid, qpn);
         reply(hdr.req_id, CmdStatus::Ok, {}, base);
+        return;
+      }
+      case CmdOp::DestroyQp: {
+        const auto qp_h = r.get<Handle>();
+        auto* qp_p = qp(qp_h);
+        if (!qp_p) {
+          reply(hdr.req_id, CmdStatus::BadHandle, {}, base);
+          return;
+        }
+        hca_.destroy_qp(qp_p);
+        objects_.erase(qp_h);
+        reply(hdr.req_id, CmdStatus::Ok, {}, base / 2);
         return;
       }
       case CmdOp::RegOffloadMr: {

@@ -22,6 +22,8 @@ enum class CmdOp : std::uint32_t {
   CreateCq,       ///< params: capacity
   CreateQp,       ///< params: pd, send cq, recv cq handles
   ConnectQp,      ///< params: qp handle, remote lid, remote qpn
+  DestroyQp,      ///< params: qp handle; used by connection recovery to tear
+                  ///< down a QP wedged in the error state
   RegOffloadMr,   ///< params: size -> host shadow buffer + MR
   DeregOffloadMr, ///< params: offload handle
   // --- DCFA-MPI CMD ops (the paper's future work, Section VI): heavy MPI
@@ -65,6 +67,7 @@ inline sim::FaultInjector::CmdOpClass cmd_op_class(CmdOp op) {
     case CmdOp::CreateCq:
     case CmdOp::CreateQp:
     case CmdOp::ConnectQp:
+    case CmdOp::DestroyQp:
       return sim::FaultInjector::CmdOpClass::Create;
   }
   return sim::FaultInjector::CmdOpClass::Other;
@@ -115,6 +118,10 @@ class HostDelegate {
   std::size_t table_size() const { return objects_.size(); }
   std::uint64_t requests_served() const { return served_; }
 
+  /// True while the delegation process is dead (delegate_crash fault).
+  /// Every request is swallowed until the scheduled restart, if any.
+  bool crashed() const { return crashed_; }
+
   /// Arm fault injection: requests may be swallowed (client times out) or
   /// answered with CmdStatus::Failed, always *before* execution so a client
   /// retry never double-creates an object. nullptr disarms.
@@ -152,6 +159,7 @@ class HostDelegate {
   Handle next_handle_ = 1;
   std::map<Handle, Object> objects_;
   std::uint64_t served_ = 0;
+  bool crashed_ = false;
 };
 
 }  // namespace dcfa::core

@@ -16,6 +16,33 @@ PhiVerbs::PhiVerbs(sim::Process& proc, ib::Fabric& fabric,
       hca_(fabric.hca_for_node(memory.node())),
       platform_(fabric.platform()) {}
 
+void PhiVerbs::enter_proxy_fallback() {
+  if (proxy_fallback_) return;
+  proxy_fallback_ = true;
+  sim::trace_instant("node" + std::to_string(memory_.node()) + ".cmd",
+                     "proxy-fallback", channel_.engine().now());
+  sim::Log::info(channel_.engine().now(), "dcfa.cmd",
+                 "delegate dead: degrading to the host-proxy path");
+}
+
+bool PhiVerbs::note_delegate_death() {
+  if (proxy_fallback_) return true;
+  sim::FaultInjector* fi = faults();
+  if (!fi || !fi->spec().fatal_armed()) return false;
+  ++delegate_strikes_;
+  if (delegate_strikes_ > platform_.dcfa_delegate_death_budget) {
+    enter_proxy_fallback();
+  }
+  return true;
+}
+
+void PhiVerbs::charge_proxy_verb(sim::Time host_cost) {
+  // One proxied resource verb: SCIF round trip to the host IB Proxy Daemon
+  // plus the host-side verb cost. The delegate's hash table died with it,
+  // but the kernel-owned IB objects survive, so the daemon can serve them.
+  proc_.wait(2 * platform_.scif_msg_latency + host_cost);
+}
+
 bool PhiVerbs::recv_reply(std::uint64_t req_id) {
   sim::Engine& eng = channel_.engine();
   const sim::Time deadline = eng.now() + platform_.dcfa_cmd_timeout;
@@ -46,6 +73,14 @@ bool PhiVerbs::recv_reply(std::uint64_t req_id) {
 
 scif::Reader PhiVerbs::cmd_call(
     CmdOp op, const std::function<void(scif::Writer&)>& params) {
+  if (proxy_fallback_) {
+    // The delegate is gone for good; don't burn the reply-timeout budget
+    // against it. Offload verbs have no proxy equivalent — callers fall
+    // back to their direct-MR / local-compute paths.
+    throw CmdError(op, CmdStatus::Failed,
+                   "DCFA CMD: delegate dead, endpoint degraded to proxy (op " +
+                       std::to_string(static_cast<int>(op)) + ")");
+  }
   sim::FaultInjector* fi = faults();
   const bool armed = fi && fi->armed();
   const int attempts_allowed = 1 + (armed ? platform_.dcfa_cmd_max_retries : 0);
@@ -99,11 +134,23 @@ scif::Reader PhiVerbs::cmd_call(
 }
 
 ib::ProtectionDomain* PhiVerbs::alloc_pd() {
-  auto r = cmd_call(CmdOp::AllocPd);
-  const auto handle = r.get<Handle>();
-  auto* pd = reinterpret_cast<ib::ProtectionDomain*>(r.get<std::uintptr_t>());
-  handles_[pd] = handle;
-  return pd;
+  if (proxy_fallback_) {
+    charge_proxy_verb(platform_.host_reg_mr_base);
+    auto* pd = hca_.alloc_pd();
+    handles_[pd] = 0;
+    return pd;
+  }
+  try {
+    auto r = cmd_call(CmdOp::AllocPd);
+    const auto handle = r.get<Handle>();
+    auto* pd =
+        reinterpret_cast<ib::ProtectionDomain*>(r.get<std::uintptr_t>());
+    handles_[pd] = handle;
+    return pd;
+  } catch (const CmdError&) {
+    if (!note_delegate_death()) throw;
+    return alloc_pd();
+  }
 }
 
 ib::MemoryRegion* PhiVerbs::reg_mr(ib::ProtectionDomain* pd,
@@ -118,36 +165,71 @@ ib::MemoryRegion* PhiVerbs::reg_mr(ib::ProtectionDomain* pd,
       (buf.size() + mem::AddressSpace::kPage - 1) / mem::AddressSpace::kPage;
   proc_.wait(platform_.phi_reg_mr_per_page * static_cast<sim::Time>(pages));
 
-  auto r = cmd_call(CmdOp::RegMr, [&](scif::Writer& w) {
-    w.put(pd_h)
-        .put(buf.addr())
-        .put(static_cast<std::uint64_t>(buf.size()))
-        .put(static_cast<std::uint32_t>(access));
-  });
-  const auto handle = r.get<Handle>();
-  (void)r.get<ib::MKey>();  // lkey (embedded in the returned object)
-  (void)r.get<ib::MKey>();  // rkey
-  auto* mr = reinterpret_cast<ib::MemoryRegion*>(r.get<std::uintptr_t>());
-  handles_[mr] = handle;
-  return mr;
+  if (proxy_fallback_) {
+    charge_proxy_verb(platform_.host_reg_mr_base +
+                      platform_.host_reg_mr_per_page *
+                          static_cast<sim::Time>(pages));
+    auto* mr = hca_.reg_mr(pd, buf.domain(), buf.addr(), buf.size(), access);
+    handles_[mr] = 0;
+    return mr;
+  }
+  try {
+    auto r = cmd_call(CmdOp::RegMr, [&](scif::Writer& w) {
+      w.put(pd_h)
+          .put(buf.addr())
+          .put(static_cast<std::uint64_t>(buf.size()))
+          .put(static_cast<std::uint32_t>(access));
+    });
+    const auto handle = r.get<Handle>();
+    (void)r.get<ib::MKey>();  // lkey (embedded in the returned object)
+    (void)r.get<ib::MKey>();  // rkey
+    auto* mr = reinterpret_cast<ib::MemoryRegion*>(r.get<std::uintptr_t>());
+    handles_[mr] = handle;
+    return mr;
+  } catch (const CmdError&) {
+    if (!note_delegate_death()) throw;
+    return reg_mr(pd, buf, access);  // once more via CMD, or the proxy path
+  }
 }
 
 void PhiVerbs::dereg_mr(ib::MemoryRegion* mr) {
   auto it = handles_.find(mr);
   if (it == handles_.end()) throw std::invalid_argument("dereg_mr: foreign MR");
   const Handle h = it->second;
-  cmd_call(CmdOp::DeregMr, [&](scif::Writer& w) { w.put(h); });
-  handles_.erase(it);
+  if (proxy_fallback_) {
+    charge_proxy_verb(platform_.host_reg_mr_base / 2);
+    hca_.dereg_mr(mr);
+  } else {
+    try {
+      cmd_call(CmdOp::DeregMr, [&](scif::Writer& w) { w.put(h); });
+    } catch (const CmdError&) {
+      if (!note_delegate_death()) throw;
+      dereg_mr(mr);  // the retry erases the handle
+      return;
+    }
+  }
+  handles_.erase(mr);
 }
 
 ib::CompletionQueue* PhiVerbs::create_cq(int capacity) {
-  auto r = cmd_call(CmdOp::CreateCq, [&](scif::Writer& w) {
-    w.put(static_cast<std::int32_t>(capacity));
-  });
-  const auto handle = r.get<Handle>();
-  auto* cq = reinterpret_cast<ib::CompletionQueue*>(r.get<std::uintptr_t>());
-  handles_[cq] = handle;
-  return cq;
+  if (proxy_fallback_) {
+    charge_proxy_verb(platform_.host_reg_mr_base);
+    auto* cq = hca_.create_cq(capacity);
+    handles_[cq] = 0;
+    return cq;
+  }
+  try {
+    auto r = cmd_call(CmdOp::CreateCq, [&](scif::Writer& w) {
+      w.put(static_cast<std::int32_t>(capacity));
+    });
+    const auto handle = r.get<Handle>();
+    auto* cq = reinterpret_cast<ib::CompletionQueue*>(r.get<std::uintptr_t>());
+    handles_[cq] = handle;
+    return cq;
+  } catch (const CmdError&) {
+    if (!note_delegate_death()) throw;
+    return create_cq(capacity);
+  }
 }
 
 ib::QueuePair* PhiVerbs::create_qp(ib::ProtectionDomain* pd,
@@ -160,24 +242,66 @@ ib::QueuePair* PhiVerbs::create_qp(ib::ProtectionDomain* pd,
       r_it == handles_.end()) {
     throw std::invalid_argument("create_qp: foreign object");
   }
-  auto r = cmd_call(CmdOp::CreateQp, [&](scif::Writer& w) {
-    w.put(pd_it->second).put(s_it->second).put(r_it->second);
-  });
-  const auto handle = r.get<Handle>();
-  (void)r.get<ib::Qpn>();
-  (void)r.get<ib::Lid>();
-  auto* qp = reinterpret_cast<ib::QueuePair*>(r.get<std::uintptr_t>());
-  handles_[qp] = handle;
-  return qp;
+  if (proxy_fallback_) {
+    charge_proxy_verb(platform_.host_reg_mr_base);
+    auto* qp = hca_.create_qp(pd, send_cq, recv_cq);
+    handles_[qp] = 0;
+    return qp;
+  }
+  try {
+    auto r = cmd_call(CmdOp::CreateQp, [&](scif::Writer& w) {
+      w.put(pd_it->second).put(s_it->second).put(r_it->second);
+    });
+    const auto handle = r.get<Handle>();
+    (void)r.get<ib::Qpn>();
+    (void)r.get<ib::Lid>();
+    auto* qp = reinterpret_cast<ib::QueuePair*>(r.get<std::uintptr_t>());
+    handles_[qp] = handle;
+    return qp;
+  } catch (const CmdError&) {
+    if (!note_delegate_death()) throw;
+    return create_qp(pd, send_cq, recv_cq);
+  }
 }
 
 void PhiVerbs::connect(ib::QueuePair* qp, verbs::QpAddress remote) {
   auto it = handles_.find(qp);
   if (it == handles_.end()) throw std::invalid_argument("connect: foreign QP");
   const Handle h = it->second;
-  cmd_call(CmdOp::ConnectQp, [&](scif::Writer& w) {
-    w.put(h).put(remote.lid).put(remote.qpn);
-  });
+  if (proxy_fallback_) {
+    charge_proxy_verb(platform_.host_reg_mr_base);
+    hca_.connect(qp, remote.lid, remote.qpn);
+    return;
+  }
+  try {
+    cmd_call(CmdOp::ConnectQp, [&](scif::Writer& w) {
+      w.put(h).put(remote.lid).put(remote.qpn);
+    });
+  } catch (const CmdError&) {
+    if (!note_delegate_death()) throw;
+    connect(qp, remote);
+  }
+}
+
+void PhiVerbs::destroy_qp(ib::QueuePair* qp) {
+  auto it = handles_.find(qp);
+  if (it == handles_.end()) {
+    throw std::invalid_argument("destroy_qp: foreign QP");
+  }
+  const Handle h = it->second;
+  if (proxy_fallback_) {
+    charge_proxy_verb(platform_.host_reg_mr_base / 2);
+    hca_.destroy_qp(qp);
+  } else {
+    try {
+      cmd_call(CmdOp::DestroyQp, [&](scif::Writer& w) { w.put(h); });
+    } catch (const CmdError&) {
+      if (!note_delegate_death()) throw;
+      destroy_qp(qp);  // the retry erases the handle
+      return;
+    }
+  }
+  handles_.erase(qp);
 }
 
 verbs::QpAddress PhiVerbs::address(ib::QueuePair* qp) {
@@ -185,6 +309,17 @@ verbs::QpAddress PhiVerbs::address(ib::QueuePair* qp) {
 }
 
 void PhiVerbs::post_send(ib::QueuePair* qp, ib::SendWr wr) {
+  if (proxy_fallback_) {
+    // Degraded endpoint: the work request rides the MPSS proxy path — relay
+    // enqueue on the host plus the daemon hop's latency, exactly like the
+    // Intel-MPI baseline transport (baselines/proxy_verbs.hpp).
+    proc_.wait(platform_.host_post_overhead + platform_.phi_post_overhead);
+    channel_.engine().schedule_after(
+        platform_.proxy_hop_latency, [this, qp, wr = std::move(wr)]() mutable {
+          hca_.post_send(qp, std::move(wr));
+        });
+    return;
+  }
   // Direct doorbell from the card — no host involvement. A 1 GHz in-order
   // core builds the WQE noticeably slower than a Xeon.
   proc_.wait(platform_.phi_post_overhead);

@@ -44,6 +44,7 @@ class PhiVerbs : public verbs::Ib {
                            ib::CompletionQueue* send_cq,
                            ib::CompletionQueue* recv_cq) override;
   void connect(ib::QueuePair* qp, verbs::QpAddress remote) override;
+  void destroy_qp(ib::QueuePair* qp) override;
   verbs::QpAddress address(ib::QueuePair* qp) override;
 
   void post_send(ib::QueuePair* qp, ib::SendWr wr) override;
@@ -103,6 +104,16 @@ class PhiVerbs : public verbs::Ib {
   std::uint64_t cmd_retries() const { return cmd_retries_; }
   std::uint64_t cmd_timeouts() const { return cmd_timeouts_; }
 
+  // --- Graceful degradation (delegate death) --------------------------------
+  /// Switch this endpoint to the host-proxy fallback: the delegation
+  /// process is gone for good, so resource verbs are served by the host IB
+  /// Proxy Daemon (modelled as direct HCA calls plus the SCIF round trip)
+  /// and every posted work request pays the proxied relay latency, exactly
+  /// like the Intel-MPI baseline transport. Irreversible by design: a
+  /// delegate that comes back later does not un-degrade the endpoint.
+  void enter_proxy_fallback();
+  bool in_proxy_fallback() const { return proxy_fallback_; }
+
  protected:
   /// Model the cost of building a WQE on a Phi core (for transports layered
   /// on this one, e.g. the proxy baseline).
@@ -121,6 +132,19 @@ class PhiVerbs : public verbs::Ib {
   /// timed-out attempts are discarded.
   bool recv_reply(std::uint64_t req_id);
 
+  /// Cost of one resource verb served by the host proxy daemon (fallback
+  /// mode): SCIF round trip + the host-side verb cost.
+  void charge_proxy_verb(sim::Time host_cost);
+
+  /// Record one CmdError budget exhaustion on a resource verb. Returns true
+  /// when the caller should retry the verb: either the delegate gets one
+  /// more full CMD retry cycle (a delegate_restart_ns restart may answer
+  /// it), or the strike budget is spent and the endpoint has just been
+  /// degraded to the proxy fallback. Returns false when fatal faults are
+  /// not armed — the error stays the caller's problem, as before this
+  /// subsystem existed.
+  bool note_delegate_death();
+
   sim::Process& proc_;
   ib::Fabric& fabric_;
   mem::NodeMemory& memory_;
@@ -131,6 +155,8 @@ class PhiVerbs : public verbs::Ib {
   std::uint64_t next_req_id_ = 1;
   std::uint64_t cmd_retries_ = 0;
   std::uint64_t cmd_timeouts_ = 0;
+  bool proxy_fallback_ = false;
+  int delegate_strikes_ = 0;
   std::vector<std::byte> last_reply_;
   /// Client-side handle map: object pointer -> host hash key.
   std::map<const void*, Handle> handles_;

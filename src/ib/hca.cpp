@@ -261,6 +261,24 @@ void Hca::execute_send(QueuePair* qp, SendWr wr) {
                          "fault:dma-delay", engine_.now());
     }
     fate = fi->wc_fate();
+    if (fate == sim::FaultInjector::WcFate::Fatal) {
+      // The QP wedges in the error state for good: this WR gets an error
+      // CQE after the round trip, and every later post flushes immediately
+      // (WrFlushError). Only connection re-establishment — destroy, create,
+      // re-connect — revives the endpoint; that is mpi::Engine's job.
+      qp->state_ = QpState::Error;
+      sim::trace_instant("node" + std::to_string(node()) + ".hca",
+                         "fault:qp-fatal", engine_.now());
+      sim::Log::trace(engine_.now(), "hca", "fault: wedging QP %u on WR %llu",
+                      qp->qpn(), static_cast<unsigned long long>(wr.wr_id));
+      const WcOpcode op = wr.opcode == Opcode::Send ? WcOpcode::Send
+                          : wr.opcode == Opcode::RdmaWrite
+                              ? WcOpcode::RdmaWrite
+                              : WcOpcode::RdmaRead;
+      complete(qp, qp->send_cq(), wr, op, WcStatus::RetryExceeded, 0,
+               start + 2 * wire_lat);
+      return;
+    }
     if (fate == sim::FaultInjector::WcFate::Error) {
       // The transport gave up on this WR after its internal retries. Soft
       // failure: no data moved, the QP stays ReadyToSend, the poster sees
@@ -406,11 +424,15 @@ void Hca::execute_send(QueuePair* qp, SendWr wr) {
 
     // Move the bytes when the last chunk lands; ACK returns to the sender
     // one wire latency later.
-    engine_.schedule_at(last_write, [this, wr, bytes, &remote, rmr] {
+    engine_.schedule_at(last_write, [this, wr, bytes, &remote] {
       // Deregistering an MR or freeing a buffer with a WR in flight aborts
       // the transfer (undefined behaviour on real hardware; we drop it
-      // loudly). Happens legitimately only during endpoint teardown.
+      // loudly). Happens during endpoint teardown and connection recovery,
+      // so the remote MR is re-resolved by rkey here rather than captured —
+      // a recovery that deregistered it must not be a use-after-free.
       try {
+        MemoryRegion* rmr = remote.mr_by_rkey(wr.rkey);
+        if (!rmr) throw std::runtime_error("remote MR gone");
         std::size_t off = 0;
         for (const Sge& s : wr.sg_list) {
           if (s.length == 0) continue;
@@ -486,8 +508,10 @@ void Hca::execute_send(QueuePair* qp, SendWr wr) {
                     last_write);
   }
 
-  engine_.schedule_at(last_write, [this, wr, bytes, &remote, rmr] {
+  engine_.schedule_at(last_write, [this, wr, bytes, &remote] {
     try {
+      MemoryRegion* rmr = remote.mr_by_rkey(wr.rkey);
+      if (!rmr) throw std::runtime_error("remote MR gone");
       std::size_t off = 0;
       for (const Sge& s : wr.sg_list) {
         if (s.length == 0) continue;

@@ -25,6 +25,48 @@ Bootstrap::PeerInfo Bootstrap::get(sim::Process& proc, int from, int to) {
   }
 }
 
+void Bootstrap::notify() {
+  cond_.notify_all();
+  // Wake every registered rank: one blocked in its own engine's wait loop
+  // has no reason to look at the bootstrap unless told to.
+  for (auto& [r, fn] : watches_) {
+    if (fn) fn();
+  }
+}
+
+void Bootstrap::put_epoch(int from, int to, std::uint32_t epoch,
+                          PeerInfo info) {
+  epoch_table_[{from, to, epoch}] = info;
+  notify();
+}
+
+const Bootstrap::PeerInfo* Bootstrap::try_get_epoch(
+    int from, int to, std::uint32_t epoch) const {
+  auto it = epoch_table_.find({from, to, epoch});
+  return it == epoch_table_.end() ? nullptr : &it->second;
+}
+
+void Bootstrap::request_reconnect(int from, int to, std::uint32_t epoch) {
+  std::uint32_t& cur = reconnect_board_[{from, to}];
+  if (epoch > cur) {
+    cur = epoch;
+    notify();
+  }
+}
+
+std::uint32_t Bootstrap::reconnect_requested(int from, int to) const {
+  auto it = reconnect_board_.find({from, to});
+  return it == reconnect_board_.end() ? 0 : it->second;
+}
+
+void Bootstrap::set_watch(int rank, std::function<void()> fn) {
+  if (fn) {
+    watches_[rank] = std::move(fn);
+  } else {
+    watches_.erase(rank);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Engine lifecycle
 // ---------------------------------------------------------------------------
@@ -52,6 +94,7 @@ Engine::Engine(int rank, int nranks, std::unique_ptr<verbs::Ib> ib,
       platform_.mpi_offload_threshold);
   faults_ = ib_->faults();
   faults_armed_ = faults_ != nullptr && faults_->armed();
+  fatal_armed_ = faults_ != nullptr && faults_->spec().fatal_armed();
   usable_slots_ = faults_armed_
                       ? static_cast<std::uint64_t>(faults_->credit_cap(slots()))
                       : static_cast<std::uint64_t>(slots());
@@ -70,6 +113,8 @@ Engine::~Engine() {
   // (e.g. a rank body that threw) cannot call into freed memory. Retry
   // timers still queued in the simulator are defused the same way.
   *alive_ = false;
+  hb_stop_ = true;
+  if (fatal_armed_) bootstrap_.set_watch(rank_, {});
   if (cq_) cq_->set_on_push({});
   if (write_observer_id_ != SIZE_MAX) {
     ib_->hca_ref().remove_remote_write_observer(write_observer_id_);
@@ -110,13 +155,26 @@ void Engine::setup() {
         ib_->reg_mr(pd_, ep.credit_cell, ib::kLocalWrite | ib::kRemoteWrite);
     ep.credit_src = ib_->alloc_buffer(sizeof(std::uint64_t), 64);
     ep.credit_src_mr = ib_->reg_mr(pd_, ep.credit_src, ib::kLocalWrite);
+    if (fatal_armed_) {
+      // Peer-liveness heartbeat cells; beacons are non-faultable, like
+      // credit updates. Only fatal specs pay for these so non-fatal runs
+      // keep their exact event schedule.
+      ep.hb_cell = ib_->alloc_buffer(sizeof(std::uint64_t), 64);
+      ep.hb_cell_mr =
+          ib_->reg_mr(pd_, ep.hb_cell, ib::kLocalWrite | ib::kRemoteWrite);
+      ep.hb_src = ib_->alloc_buffer(sizeof(std::uint64_t), 64);
+      ep.hb_src_mr = ib_->reg_mr(pd_, ep.hb_src, ib::kLocalWrite);
+    }
     ep.qp = ib_->create_qp(pd_, cq_, cq_);
 
-    bootstrap_.put(rank_, p,
-                   Bootstrap::PeerInfo{ib_->address(ep.qp), ep.ring.addr(),
-                                       ep.ring_mr->rkey(),
-                                       ep.credit_cell.addr(),
-                                       ep.credit_mr->rkey()});
+    Bootstrap::PeerInfo info{ib_->address(ep.qp), ep.ring.addr(),
+                             ep.ring_mr->rkey(), ep.credit_cell.addr(),
+                             ep.credit_mr->rkey()};
+    if (fatal_armed_) {
+      info.hb_addr = ep.hb_cell.addr();
+      info.hb_rkey = ep.hb_cell_mr->rkey();
+    }
+    bootstrap_.put(rank_, p, info);
   }
   for (auto& [p, ep] : endpoints_) {
     const auto info = bootstrap_.get(ib_->process(), p, rank_);
@@ -125,12 +183,26 @@ void Engine::setup() {
     ep.remote_ring_rkey = info.ring_rkey;
     ep.remote_credit = info.credit_addr;
     ep.remote_credit_rkey = info.credit_rkey;
+    ep.remote_hb = info.hb_addr;
+    ep.remote_hb_rkey = info.hb_rkey;
+  }
+  if (fatal_armed_) {
+    const sim::Time now = ib_->process().now();
+    for (auto& [p, ep] : endpoints_) ep.last_heard = now;
+    bootstrap_.set_watch(rank_, [this] {
+      wake_pending_ = true;
+      wake_.notify_all();
+    });
+    schedule_heartbeat();
   }
   setup_done_ = true;
 }
 
 void Engine::finalize() {
   if (finalized_) return;
+  // End the heartbeat chain first: an eternal self-rescheduling timer would
+  // keep the simulation alive forever.
+  hb_stop_ = true;
   // Quiesce before tearing anything down: drain deferred emissions and
   // outstanding completions, then give straggling unsignaled writes (credit
   // updates) time to land so no WR is in flight against a dead MR.
@@ -153,10 +225,12 @@ void Engine::finalize() {
     ib_->process().wait_on(wake_);
   }
   ib_->process().wait(sim::microseconds(100));
+  if (fatal_armed_) bootstrap_.set_watch(rank_, {});
 
   if (phi_) {
     stats_.cmd_retries = phi_->cmd_retries();
     stats_.cmd_timeouts = phi_->cmd_timeouts();
+    if (phi_->in_proxy_fallback()) stats_.proxy_failovers = 1;
   }
   if (faults_armed_ && sim::Tracer::current()) {
     sim::Tracer* t = sim::Tracer::current();
@@ -172,6 +246,10 @@ void Engine::finalize() {
     t->counter(track, "offload_fallbacks", at,
                double(stats_.offload_fallbacks));
     t->counter(track, "cmd_retries", at, double(stats_.cmd_retries));
+    t->counter(track, "cmd_timeouts", at, double(stats_.cmd_timeouts));
+    t->counter(track, "reconnects", at, double(stats_.reconnects));
+    t->counter(track, "proxy_failovers", at, double(stats_.proxy_failovers));
+    t->counter(track, "epoch_fenced", at, double(stats_.epoch_fenced));
   }
 
   if (mr_cache_) mr_cache_->clear();
@@ -185,6 +263,12 @@ void Engine::finalize() {
     ib_->free_buffer(ep.staging);
     ib_->free_buffer(ep.credit_cell);
     ib_->free_buffer(ep.credit_src);
+    if (ep.hb_cell_mr) {
+      ib_->dereg_mr(ep.hb_cell_mr);
+      ib_->dereg_mr(ep.hb_src_mr);
+      ib_->free_buffer(ep.hb_cell);
+      ib_->free_buffer(ep.hb_src);
+    }
   }
   finalized_ = true;
 }
@@ -235,6 +319,7 @@ void Engine::emit_packet(Endpoint& ep, PacketHeader hdr,
     // any record still parked there is implicitly acknowledged now.
     const std::uint64_t idx = ep.sent_packets;
     hdr.ring_idx = idx;
+    hdr.conn_epoch = ep.epoch;
     if (idx >= static_cast<std::uint64_t>(slots())) {
       const std::uint64_t old = idx - slots();
       if (ep.unacked.count(old) > 0) {
@@ -397,7 +482,12 @@ void Engine::on_tx_wc(int peer, std::uint64_t idx, const ib::Wc& wc) {
   ++stats_.wc_errors;
   TxRecord& rec = it->second;
   ++rec.epoch;  // defuse the pending timeout timer
+  if (ep.qp->state() == ib::QpState::Error &&
+      maybe_start_reconnect(ep, "qp error state")) {
+    return;  // record stays parked in unacked; the reconnect replays it
+  }
   if (rec.attempts >= 1 + max_retries_) {
+    if (maybe_start_reconnect(ep, "retry budget exhausted")) return;
     finish_tx_record(ep, idx, wc);
     return;
   }
@@ -428,6 +518,7 @@ void Engine::tx_check(int peer, std::uint64_t idx, std::uint64_t epoch,
     }
     ++stats_.wc_timeouts;
     if (it->second.attempts >= 1 + max_retries_) {
+      if (maybe_start_reconnect(ep, "retry budget exhausted")) return;
       ib::Wc err{};
       err.status = ib::WcStatus::RetryExceeded;
       finish_tx_record(ep, idx, err);
@@ -516,7 +607,13 @@ void Engine::on_data_wc(std::uint64_t op, const ib::Wc& wc) {
   }
   ++stats_.wc_errors;
   ++d.epoch;
+  Endpoint& dep = endpoint(d.peer);
+  if (dep.qp->state() == ib::QpState::Error &&
+      maybe_start_reconnect(dep, "qp error state")) {
+    return;  // the op stays in data_ops_; the reconnect re-posts it
+  }
   if (d.attempts >= 1 + max_retries_) {
+    if (maybe_start_reconnect(dep, "data-op budget exhausted")) return;
     ++stats_.retry_exhausted;
     auto cb = std::move(d.on_result);
     forget_wr_ids(d.wr_ids);
@@ -540,6 +637,9 @@ void Engine::data_check(std::uint64_t op, std::uint64_t epoch,
   if (!after_error) {
     ++stats_.wc_timeouts;
     if (d.attempts >= 1 + max_retries_) {
+      if (maybe_start_reconnect(endpoint(d.peer), "data-op budget exhausted")) {
+        return;
+      }
       ++stats_.retry_exhausted;
       auto cb = std::move(d.on_result);
       ib::Wc err{};
@@ -560,6 +660,269 @@ void Engine::data_check(std::uint64_t op, std::uint64_t epoch,
 
 void Engine::forget_wr_ids(const std::vector<std::uint64_t>& ids) {
   for (std::uint64_t id : ids) outstanding_.erase(id);
+}
+
+// ---------------------------------------------------------------------------
+// Fatal-fault recovery: connection re-establishment and graceful degradation
+// ---------------------------------------------------------------------------
+
+bool Engine::maybe_start_reconnect(Endpoint& ep, const char* why) {
+  if (!fatal_armed_ || finalized_) return false;
+  if (ep.conn_state == ConnState::Suspect ||
+      ep.conn_state == ConnState::Reconnecting) {
+    return true;  // recovery already underway; this signal rides along
+  }
+  if (ep.conn_state == ConnState::Failed) return false;
+  if (ep.reconnects >= platform_.mpi_max_reconnects) {
+    // Unbounded error storms must still terminate: past the cumulative
+    // budget the endpoint fails for good and operations raise MpiError.
+    ep.conn_state = ConnState::Failed;
+    sim::Log::error(ib_->process().now(), "mpi",
+                    "rank %d endpoint %d: reconnect budget exhausted (%s)",
+                    rank_, ep.peer, why);
+    return false;
+  }
+  ep.conn_state = ConnState::Suspect;
+  sim::trace_instant("rank" + std::to_string(rank_) + ".faults",
+                     "endpoint-suspect peer=" + std::to_string(ep.peer) +
+                         " (" + why + ")",
+                     ib_->process().now());
+  const std::uint32_t target = ep.epoch + 1;
+  const int peer = ep.peer;
+  bootstrap_.request_reconnect(rank_, peer, target);
+  // Death signals arrive in CQE callbacks and timer bodies; the actual
+  // re-establishment runs from progress() in a clean context.
+  schedule_recovery(0, [this, peer, target] {
+    auto it = endpoints_.find(peer);
+    if (it != endpoints_.end()) perform_reconnect(it->second, target);
+  });
+  return true;
+}
+
+void Engine::service_reconnect_requests(int except_peer) {
+  for (auto& [p, ep] : endpoints_) {
+    if (p == except_peer) continue;
+    const std::uint32_t e = bootstrap_.reconnect_requested(p, rank_);
+    if (e > ep.epoch && ep.conn_state != ConnState::Reconnecting) {
+      perform_reconnect(ep, e);
+    }
+  }
+}
+
+void Engine::perform_reconnect(Endpoint& ep, std::uint32_t target_epoch) {
+  if (ep.epoch >= target_epoch || ep.conn_state == ConnState::Reconnecting) {
+    return;  // a concurrent signal already got here
+  }
+  ep.conn_state = ConnState::Reconnecting;
+  ++ep.reconnects;
+  ++stats_.reconnects;
+  sim::trace_instant("rank" + std::to_string(rank_) + ".faults",
+                     "reconnect-start peer=" + std::to_string(ep.peer) +
+                         " epoch=" + std::to_string(target_epoch),
+                     ib_->process().now());
+  sim::Log::info(ib_->process().now(), "mpi",
+                 "rank %d re-establishing endpoint %d at epoch %u", rank_,
+                 ep.peer, target_epoch);
+
+  // --- Quiesce: defuse every pending timer and CQE callback, and snapshot
+  // the packets that still need delivery through the new connection. The
+  // staged payload is copied out now because the staging slots are about to
+  // be scrubbed and reassigned.
+  struct Replay {
+    PacketHeader hdr;
+    std::vector<std::byte> payload;
+    std::function<void(const ib::Wc&)> cb;
+    std::shared_ptr<RequestState> owner;
+  };
+  std::vector<Replay> replay;
+  for (auto& [idx, rec] : ep.unacked) {
+    ++rec.epoch;  // defuse the pending tx_check timer
+    forget_wr_ids(rec.wr_ids);
+    Replay r;
+    r.hdr = rec.hdr;
+    if (rec.payload_len > 0) {
+      const int slot = static_cast<int>(idx % slots());
+      const std::byte* src = ep.staging.data() + layout_.payload_off(slot);
+      r.payload.assign(src, src + rec.payload_len);
+    }
+    r.cb = std::move(rec.on_delivered);
+    r.owner = std::move(rec.owner);
+    replay.push_back(std::move(r));
+  }
+  ep.unacked.clear();
+  std::vector<std::uint64_t> ops;
+  for (auto& [id, d] : data_ops_) {
+    if (d.peer != ep.peer) continue;
+    ++d.epoch;  // defuse the pending data_check timer
+    forget_wr_ids(d.wr_ids);
+    d.wr_ids.clear();
+    d.attempts = 1;
+    ops.push_back(id);
+  }
+
+  // --- Tear down and rebuild: destroy the (possibly error-wedged) QP and
+  // re-register every connection MR, so in-flight writes against the old
+  // generation lose their rkeys and are dropped at landing. On a Phi
+  // endpoint each verb is a DCFA CMD round trip; when the delegate is dead
+  // the verbs layer retries through CMD up to its strike budget and then
+  // degrades to the host-proxy path (PhiVerbs::note_delegate_death), after
+  // which this same rebuild completes through the proxy.
+  try {
+    ib_->destroy_qp(ep.qp);
+    ib_->dereg_mr(ep.ring_mr);
+    ib_->dereg_mr(ep.staging_mr);
+    ib_->dereg_mr(ep.credit_mr);
+    ib_->dereg_mr(ep.credit_src_mr);
+    ib_->dereg_mr(ep.hb_cell_mr);
+    ib_->dereg_mr(ep.hb_src_mr);
+    std::memset(ep.ring.data(), 0, ep.ring.size());
+    std::memset(ep.credit_cell.data(), 0, ep.credit_cell.size());
+    std::memset(ep.hb_cell.data(), 0, ep.hb_cell.size());
+    ep.ring_mr = ib_->reg_mr(pd_, ep.ring, ib::kLocalWrite | ib::kRemoteWrite);
+    ep.staging_mr = ib_->reg_mr(pd_, ep.staging, ib::kLocalWrite);
+    ep.credit_mr =
+        ib_->reg_mr(pd_, ep.credit_cell, ib::kLocalWrite | ib::kRemoteWrite);
+    ep.credit_src_mr = ib_->reg_mr(pd_, ep.credit_src, ib::kLocalWrite);
+    ep.hb_cell_mr =
+        ib_->reg_mr(pd_, ep.hb_cell, ib::kLocalWrite | ib::kRemoteWrite);
+    ep.hb_src_mr = ib_->reg_mr(pd_, ep.hb_src, ib::kLocalWrite);
+    ep.qp = ib_->create_qp(pd_, cq_, cq_);
+  } catch (const core::CmdError&) {
+    // Only reachable when proxy failover was not eligible; the endpoint is
+    // unrecoverable — fail every parked operation cleanly.
+    ep.conn_state = ConnState::Failed;
+    for (auto& r : replay) {
+      ib::Wc err{};
+      err.status = ib::WcStatus::RetryExceeded;
+      if (r.cb) {
+        r.cb(err);
+      } else if (r.owner && !r.owner->done()) {
+        fail(r.owner, "connection re-establishment failed (delegate dead)");
+      }
+    }
+    for (std::uint64_t id : ops) {
+      auto oit = data_ops_.find(id);
+      if (oit == data_ops_.end()) continue;
+      auto cb = std::move(oit->second.on_result);
+      data_ops_.erase(oit);
+      ib::Wc err{};
+      err.status = ib::WcStatus::RetryExceeded;
+      cb(err);
+    }
+    wake_.notify_all();
+    return;
+  }
+
+  // Ring and credit positions restart from zero on both sides; the packet
+  // headers' conn_epoch keeps the generations apart.
+  ep.sent_packets = 0;
+  ep.consumed_by_peer = 0;
+  ep.my_consumed = 0;
+  ep.my_consumed_reported = 0;
+  ep.hb_seq = 0;
+  ep.hb_seen = 0;
+
+  Bootstrap::PeerInfo mine{ib_->address(ep.qp), ep.ring.addr(),
+                           ep.ring_mr->rkey(), ep.credit_cell.addr(),
+                           ep.credit_mr->rkey(), ep.hb_cell.addr(),
+                           ep.hb_cell_mr->rkey()};
+  bootstrap_.put_epoch(rank_, ep.peer, target_epoch, mine);
+  bootstrap_.request_reconnect(rank_, ep.peer, target_epoch);
+
+  // Wait for the peer to publish the same generation. Serving *other*
+  // peers' reconnect requests while blocked breaks multi-endpoint cycles
+  // (A waits on B while C waits on A).
+  const Bootstrap::PeerInfo* pi = nullptr;
+  for (;;) {
+    pi = bootstrap_.try_get_epoch(ep.peer, rank_, target_epoch);
+    if (pi) break;
+    service_reconnect_requests(/*except_peer=*/ep.peer);
+    pi = bootstrap_.try_get_epoch(ep.peer, rank_, target_epoch);
+    if (pi) break;
+    ib_->process().wait_on(bootstrap_.changed());
+  }
+  ib_->connect(ep.qp, pi->qp);
+  ep.remote_ring = pi->ring_addr;
+  ep.remote_ring_rkey = pi->ring_rkey;
+  ep.remote_credit = pi->credit_addr;
+  ep.remote_credit_rkey = pi->credit_rkey;
+  ep.remote_hb = pi->hb_addr;
+  ep.remote_hb_rkey = pi->hb_rkey;
+  ep.epoch = target_epoch;
+  ep.conn_state = (phi_ && phi_->in_proxy_fallback()) ? ConnState::Degraded
+                                                      : ConnState::Healthy;
+  ep.last_heard = ib_->process().now();
+  sim::trace_instant("rank" + std::to_string(rank_) + ".faults",
+                     "reconnect-done peer=" + std::to_string(ep.peer) +
+                         " epoch=" + std::to_string(target_epoch),
+                     ib_->process().now());
+
+  // --- Replay, in emission order. Sequence numbers are preserved, so if an
+  // original write did land before the fault, the receiver's seq-level
+  // duplicate suppression keeps MPI-level delivery exactly-once.
+  for (auto& r : replay) {
+    emit_packet(ep, r.hdr, r.payload.data(), r.payload.size(),
+                std::move(r.cb), std::move(r.owner));
+  }
+  // Rendezvous RDMA ops are idempotent (same bytes, same addresses, and the
+  // user-buffer MRs survived the reconnect): a plain re-post suffices.
+  for (std::uint64_t id : ops) {
+    if (data_ops_.count(id) > 0) post_data_op(id);
+  }
+  drain_tx(ep);
+  wake_pending_ = true;
+  wake_.notify_all();
+}
+
+void Engine::schedule_heartbeat() {
+  auto alive = alive_;
+  ib_->process().engine().schedule_after(
+      platform_.mpi_heartbeat_period, [this, alive] {
+        if (!*alive || hb_stop_) return;  // finalize ends the chain
+        pending_recovery_.push_back([this] { heartbeat_tick(); });
+        wake_pending_ = true;
+        wake_.notify_all();
+        schedule_heartbeat();
+      });
+}
+
+void Engine::heartbeat_tick() {
+  if (hb_stop_ || finalized_) return;
+  const sim::Time now = ib_->process().now();
+  for (auto& [p, ep] : endpoints_) {
+    if (ep.conn_state == ConnState::Reconnecting ||
+        ep.conn_state == ConnState::Failed) {
+      continue;
+    }
+    // Adopt the peer's beacon.
+    std::uint64_t v = 0;
+    std::memcpy(&v, ep.hb_cell.data(), sizeof v);
+    if (v != ep.hb_seen) {
+      ep.hb_seen = v;
+      ep.last_heard = now;
+    }
+    // Write mine: non-faultable and unsignaled, like a credit update.
+    ++ep.hb_seq;
+    std::memcpy(ep.hb_src.data(), &ep.hb_seq, sizeof ep.hb_seq);
+    ib::SendWr wr;
+    wr.opcode = ib::Opcode::RdmaWrite;
+    wr.signaled = false;
+    wr.sg_list = {{ep.hb_src.addr(),
+                   static_cast<std::uint32_t>(sizeof ep.hb_seq),
+                   ep.hb_src_mr->lkey()}};
+    wr.remote_addr = ep.remote_hb;
+    wr.rkey = ep.remote_hb_rkey;
+    ib_->post_send(ep.qp, std::move(wr));
+    // Liveness: only a peer we owe traffic to can be declared dead — an
+    // idle endpoint has nothing to recover, and a spurious reconnect at
+    // the tail of a run would wait on a peer that already finalized.
+    const bool pending = !ep.unacked.empty() || !ep.pending_tx.empty();
+    if (pending && now - ep.last_heard > platform_.mpi_liveness_timeout) {
+      sim::trace_instant("rank" + std::to_string(rank_) + ".faults",
+                         "liveness-timeout peer=" + std::to_string(p), now);
+      maybe_start_reconnect(ep, "liveness timeout");
+    }
+  }
 }
 
 void Engine::send_credit(Endpoint& ep) {
@@ -603,6 +966,7 @@ void Engine::read_credit_cell(Endpoint& ep) {
   std::memcpy(&value, ep.credit_cell.data(), sizeof value);
   if (value > ep.consumed_by_peer) {
     ep.consumed_by_peer = value;
+    if (fatal_armed_) ep.last_heard = ib_->process().now();
   }
 }
 
@@ -620,6 +984,19 @@ void Engine::scan_ring(Endpoint& ep) {
     std::memcpy(&tail, ep.ring.data() + layout_.tail_off(slot, plen),
                 sizeof tail);
     if (tail != kPacketMagic) break;  // data still in flight
+    if (fatal_armed_ && hdr.conn_epoch != ep.epoch) {
+      // Cross-epoch traffic: a pre-recovery packet landing in the rebuilt
+      // ring (or one that raced the teardown). Fence it out — its sequence
+      // number is replayed under the current epoch if it still matters.
+      std::memset(base, 0, sizeof hdr);
+      std::memset(ep.ring.data() + layout_.tail_off(slot, plen), 0,
+                  sizeof tail);
+      ++stats_.epoch_fenced;
+      sim::trace_instant("rank" + std::to_string(rank_) + ".faults",
+                         "epoch-fenced idx=" + std::to_string(hdr.ring_idx),
+                         ib_->process().now());
+      break;
+    }
     if (faults_armed_ && hdr.ring_idx != ep.my_consumed) {
       // A retransmit of an already-consumed packet (its CQE or credit got
       // lost on the sender side): scrub the slot so it reads empty again,
@@ -634,6 +1011,7 @@ void Engine::scan_ring(Endpoint& ep) {
     // The poll that found the packet costs a core its cycles.
     ib_->process().wait(on_phi ? platform_.phi_poll_overhead
                                : platform_.host_poll_overhead);
+    if (fatal_armed_) ep.last_heard = ib_->process().now();
 
     const std::byte* payload = ep.ring.data() + layout_.payload_off(slot);
     handle_packet(ep, hdr, payload);
@@ -670,6 +1048,7 @@ void Engine::progress() {
     pending_recovery_.pop_front();
     fn();
   }
+  if (fatal_armed_) service_reconnect_requests();
   for (auto& [p, ep] : endpoints_) {
     read_credit_cell(ep);
     drain_tx(ep);

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <tuple>
 
 #include "dcfa/phi_verbs.hpp"
 #include "mpi/datatype.hpp"
@@ -29,6 +30,9 @@ class Bootstrap {
     ib::MKey ring_rkey = 0;
     mem::SimAddr credit_addr = 0;
     ib::MKey credit_rkey = 0;
+    /// Peer-liveness heartbeat cell (zero unless fatal faults are armed).
+    mem::SimAddr hb_addr = 0;
+    ib::MKey hb_rkey = 0;
   };
 
   explicit Bootstrap(sim::Engine& engine) : cond_(engine, "bootstrap") {}
@@ -38,8 +42,32 @@ class Bootstrap {
   /// Block until `from` published for `to`, then return it.
   PeerInfo get(sim::Process& proc, int from, int to);
 
+  // --- Connection recovery (fatal faults; see docs/faults.md) ---------------
+  /// Re-publish `from`'s info for `to` at connection generation `epoch`
+  /// (initial setup is epoch 0 and uses the plain table above).
+  void put_epoch(int from, int to, std::uint32_t epoch, PeerInfo info);
+  /// Non-blocking epoch lookup; nullptr until the peer published.
+  const PeerInfo* try_get_epoch(int from, int to, std::uint32_t epoch) const;
+  /// Reconnect-request board: `from` asks `to` to re-establish their pair at
+  /// `epoch`. Epochs on the board are monotonic per direction.
+  void request_reconnect(int from, int to, std::uint32_t epoch);
+  /// Highest epoch `from` has requested of `to` (0 = none).
+  std::uint32_t reconnect_requested(int from, int to) const;
+  /// Per-rank change notification: `fn` runs on every publish/request so a
+  /// rank blocked in its own wait loop learns it has recovery work. Pass an
+  /// empty function to clear.
+  void set_watch(int rank, std::function<void()> fn);
+  /// Condition notified on every board/table change (for the reconnect
+  /// wait loop).
+  sim::Condition& changed() { return cond_; }
+
  private:
+  void notify();
+
   std::map<std::pair<int, int>, PeerInfo> table_;
+  std::map<std::tuple<int, int, std::uint32_t>, PeerInfo> epoch_table_;
+  std::map<std::pair<int, int>, std::uint32_t> reconnect_board_;
+  std::map<int, std::function<void()>> watches_;
   sim::Condition cond_;
 };
 
@@ -112,6 +140,10 @@ class Engine {
     std::uint64_t offload_fallbacks = 0; ///< CMD failures absorbed locally
     std::uint64_t cmd_retries = 0;       ///< DCFA CMD requests resent
     std::uint64_t cmd_timeouts = 0;      ///< DCFA CMD reply timeouts
+    // --- Fatal-fault recovery (zero unless qp_fatal/delegate_crash armed) ---
+    std::uint64_t reconnects = 0;        ///< endpoint epoch bumps completed
+    std::uint64_t proxy_failovers = 0;   ///< endpoints degraded to proxy path
+    std::uint64_t epoch_fenced = 0;      ///< stale cross-epoch packets dropped
   };
 
   Engine(int rank, int nranks, std::unique_ptr<verbs::Ib> ib,
@@ -242,6 +274,13 @@ class Engine {
     std::uint64_t epoch = 0;
   };
 
+  /// Endpoint health (fatal-fault recovery state machine; docs/faults.md):
+  /// Healthy -> Suspect (death signal observed) -> Reconnecting (epoch bump
+  /// in progress) -> back to Healthy, or Degraded (delegate dead, endpoint
+  /// failed over to the host-proxy path — still fully functional), or
+  /// Failed (reconnect budget exhausted; operations raise MpiError).
+  enum class ConnState { Healthy, Suspect, Reconnecting, Degraded, Failed };
+
   /// Per-peer connection: QP, rings, staging, credits, deferred emissions.
   struct Endpoint {
     int peer = -1;
@@ -266,6 +305,25 @@ class Engine {
     std::uint64_t consumed_by_peer = 0;
     std::uint64_t my_consumed = 0;
     std::uint64_t my_consumed_reported = 0;
+
+    // --- Fatal-fault recovery ------------------------------------------------
+    ConnState conn_state = ConnState::Healthy;
+    /// Connection generation, stamped into every packet header and checked
+    /// on receive; bumped by each successful reconnect.
+    std::uint32_t epoch = 0;
+    int reconnects = 0;  ///< cumulative epoch bumps (budget: mpi_max_reconnects)
+    sim::Time last_heard = 0;  ///< last beacon/credit/packet from this peer
+    /// Heartbeat cells (allocated only when fatal faults are armed): the
+    /// peer writes an incrementing beacon into hb_cell; hb_src is my beacon
+    /// RDMA source. Beacons are non-faultable, like credit updates.
+    mem::Buffer hb_cell;
+    ib::MemoryRegion* hb_cell_mr = nullptr;
+    mem::Buffer hb_src;
+    ib::MemoryRegion* hb_src_mr = nullptr;
+    mem::SimAddr remote_hb = 0;
+    ib::MKey remote_hb_rkey = 0;
+    std::uint64_t hb_seq = 0;   ///< my beacon counter towards this peer
+    std::uint64_t hb_seen = 0;  ///< last beacon value read from the peer
 
     std::deque<std::function<void()>> pending_tx;
 
@@ -351,6 +409,30 @@ class Engine {
   void schedule_recovery(sim::Time delay, std::function<void()> fn);
   /// Drop completion callbacks of attempts whose CQE will never arrive.
   void forget_wr_ids(const std::vector<std::uint64_t>& ids);
+
+  // --- Fatal-fault recovery (connection re-establishment) --------------------
+  /// React to a death signal on `ep` (QP wedged in the error state, retry
+  /// budget exhausted, liveness timeout): mark it Suspect, post a reconnect
+  /// request to the bootstrap board, and queue perform_reconnect. Returns
+  /// false when recovery is not available — fatal faults unarmed, or the
+  /// cumulative reconnect budget is spent (the endpoint turns Failed and
+  /// the caller falls through to its normal failure path).
+  bool maybe_start_reconnect(Endpoint& ep, const char* why);
+  /// Re-establish `ep` at `target_epoch`: quiesce in-flight state, tear down
+  /// and re-create the QP and ring/staging/credit/heartbeat MRs through the
+  /// transport (DCFA CMD on a Phi endpoint), re-exchange connection info via
+  /// the bootstrap, then replay every still-pending packet and re-post every
+  /// pending rendezvous data operation. Both sides run this symmetrically.
+  void perform_reconnect(Endpoint& ep, std::uint32_t target_epoch);
+  /// Serve peers' reconnect requests from the bootstrap board. `except_peer`
+  /// skips one peer (used from inside perform_reconnect's wait loop, where
+  /// serving *other* peers breaks multi-endpoint reconnect cycles).
+  void service_reconnect_requests(int except_peer = -1);
+  /// Heartbeat body (runs in process context): read peer beacons, write
+  /// ours, declare silent peers Suspect when traffic is pending on them.
+  void heartbeat_tick();
+  /// Arm the self-rescheduling heartbeat timer (fatal faults only).
+  void schedule_heartbeat();
 
   // --- Protocol steps --------------------------------------------------------
   void start_send(const std::shared_ptr<RequestState>& req);
@@ -463,6 +545,12 @@ class Engine {
   /// engine behaves exactly as before.
   sim::FaultInjector* faults_ = nullptr;
   bool faults_armed_ = false;
+  /// True only when the spec injects *fatal* faults (qp_fatal or
+  /// delegate_crash). Gates the whole connection-recovery subsystem — the
+  /// heartbeat, the bootstrap watch, reconnects — so non-fatal fault specs
+  /// keep the exact PR-1 event schedule (and its tests byte-identical).
+  bool fatal_armed_ = false;
+  bool hb_stop_ = false;  ///< set at finalize; ends the heartbeat chain
   std::uint64_t usable_slots_ = 0;  ///< slots(), possibly credit-capped
   sim::Time retry_timeout_ = 0;
   int max_retries_ = 0;

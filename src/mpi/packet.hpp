@@ -36,6 +36,11 @@ struct PacketHeader {
   /// the receiver accepts a slot only when ring_idx matches its own
   /// consumption counter, which makes stale duplicates self-identifying.
   std::uint64_t ring_idx = 0;
+  /// Connection generation of the sending endpoint. Bumped on every
+  /// reconnect; the receiver fences out packets stamped with a different
+  /// epoch than its current one, so traffic from before a recovery can
+  /// never be mistaken for replayed post-recovery traffic.
+  std::uint32_t conn_epoch = 0;
   /// Done/Err disambiguation: send-side and receive-side sequence counters
   /// are independent, so a completion packet must say which map it targets.
   enum Dir : std::uint32_t { kToSender = 0, kToReceiver = 1 };

@@ -693,6 +693,12 @@ void Engine::handle_done(Endpoint& ep, Channel& ch, const PacketHeader& hdr) {
     // Sender-First completion: receiver finished its RDMA read.
     auto it = ch.sends.find(hdr.seq);
     if (it == ch.sends.end()) {
+      if (faults_armed_) {
+        // A replayed DONE whose original landed before the fault window
+        // closed (connection recovery re-emits every unconfirmed packet).
+        ++stats_.dup_packets_dropped;
+        return;
+      }
       sim::Log::error(ib_->process().now(), "mpi",
                       "rank %d: DONE(to-sender) for unknown seq %llu", rank_,
                       static_cast<unsigned long long>(hdr.seq));
@@ -718,6 +724,10 @@ void Engine::handle_done(Endpoint& ep, Channel& ch, const PacketHeader& hdr) {
     release_window(req->has_pack ? req->pack_buf : req->buffer,
                    req->window_mr);
     complete(req, hdr.src_rank, hdr.tag, hdr.msg_bytes);
+    return;
+  }
+  if (faults_armed_) {
+    ++stats_.dup_packets_dropped;
     return;
   }
   sim::Log::error(ib_->process().now(), "mpi",

@@ -11,20 +11,26 @@ namespace {
   throw std::invalid_argument("fault spec: " + what);
 }
 
-double parse_prob(const std::string& key, const std::string& value) {
+// Every parse error names the exact `key=value` token that offended, so a
+// long spec string with one typo is debuggable from the exception alone.
+[[noreturn]] void bad_token(const std::string& item, const std::string& why) {
+  bad_spec("bad token '" + item + "': " + why);
+}
+
+double parse_prob(const std::string& item, const std::string& value) {
   char* end = nullptr;
   const double p = std::strtod(value.c_str(), &end);
   if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
-    bad_spec(key + " wants a probability in [0,1], got '" + value + "'");
+    bad_token(item, "wants a probability in [0,1]");
   }
   return p;
 }
 
-std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+std::uint64_t parse_u64(const std::string& item, const std::string& value) {
   char* end = nullptr;
   const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
   if (end == value.c_str() || *end != '\0') {
-    bad_spec(key + " wants a non-negative integer, got '" + value + "'");
+    bad_token(item, "wants a non-negative integer");
   }
   return static_cast<std::uint64_t>(v);
 }
@@ -48,43 +54,59 @@ FaultInjector::Spec FaultInjector::Spec::parse(const std::string& text) {
     pos = sep + 1;
     if (item.empty()) continue;
     const std::size_t eq = item.find('=');
-    if (eq == std::string::npos) bad_spec("expected key=value, got '" + item + "'");
+    if (eq == std::string::npos) {
+      bad_token(item, "expected key=value");
+    }
     const std::string key = trim(item.substr(0, eq));
     const std::string value = trim(item.substr(eq + 1));
     if (key == "drop_wc") {
-      spec.drop_wc = parse_prob(key, value);
+      spec.drop_wc = parse_prob(item, value);
     } else if (key == "err_wc") {
-      spec.err_wc = parse_prob(key, value);
+      spec.err_wc = parse_prob(item, value);
     } else if (key == "delay_dma") {
-      spec.delay_dma = parse_prob(key, value);
+      spec.delay_dma = parse_prob(item, value);
     } else if (key == "cmd_fail") {
-      spec.cmd_fail = parse_prob(key, value);
+      spec.cmd_fail = parse_prob(item, value);
     } else if (key == "cmd_drop") {
-      spec.cmd_drop = parse_prob(key, value);
+      spec.cmd_drop = parse_prob(item, value);
+    } else if (key == "qp_fatal") {
+      spec.qp_fatal = parse_prob(item, value);
+    } else if (key == "delegate_crash") {
+      spec.delegate_crash = parse_prob(item, value);
+    } else if (key == "delegate_restart_ns") {
+      spec.delegate_restart_ns = static_cast<Time>(parse_u64(item, value));
     } else if (key == "delay_dma_ns") {
-      spec.delay_dma_ns = static_cast<Time>(parse_u64(key, value));
+      spec.delay_dma_ns = static_cast<Time>(parse_u64(item, value));
     } else if (key == "credit_slots") {
-      spec.credit_slots = static_cast<int>(parse_u64(key, value));
+      spec.credit_slots = static_cast<int>(parse_u64(item, value));
     } else if (key == "drop_wc_max") {
-      spec.drop_wc_max = parse_u64(key, value);
+      spec.drop_wc_max = parse_u64(item, value);
     } else if (key == "drop_wc_skip") {
-      spec.drop_wc_skip = parse_u64(key, value);
+      spec.drop_wc_skip = parse_u64(item, value);
     } else if (key == "err_wc_max") {
-      spec.err_wc_max = parse_u64(key, value);
+      spec.err_wc_max = parse_u64(item, value);
     } else if (key == "err_wc_skip") {
-      spec.err_wc_skip = parse_u64(key, value);
+      spec.err_wc_skip = parse_u64(item, value);
     } else if (key == "delay_dma_max") {
-      spec.delay_dma_max = parse_u64(key, value);
+      spec.delay_dma_max = parse_u64(item, value);
     } else if (key == "delay_dma_skip") {
-      spec.delay_dma_skip = parse_u64(key, value);
+      spec.delay_dma_skip = parse_u64(item, value);
     } else if (key == "cmd_fail_max") {
-      spec.cmd_fail_max = parse_u64(key, value);
+      spec.cmd_fail_max = parse_u64(item, value);
     } else if (key == "cmd_fail_skip") {
-      spec.cmd_fail_skip = parse_u64(key, value);
+      spec.cmd_fail_skip = parse_u64(item, value);
     } else if (key == "cmd_drop_max") {
-      spec.cmd_drop_max = parse_u64(key, value);
+      spec.cmd_drop_max = parse_u64(item, value);
     } else if (key == "cmd_drop_skip") {
-      spec.cmd_drop_skip = parse_u64(key, value);
+      spec.cmd_drop_skip = parse_u64(item, value);
+    } else if (key == "qp_fatal_max") {
+      spec.qp_fatal_max = parse_u64(item, value);
+    } else if (key == "qp_fatal_skip") {
+      spec.qp_fatal_skip = parse_u64(item, value);
+    } else if (key == "delegate_crash_max") {
+      spec.delegate_crash_max = parse_u64(item, value);
+    } else if (key == "delegate_crash_skip") {
+      spec.delegate_crash_skip = parse_u64(item, value);
     } else if (key == "cmd_op") {
       if (value == "any") {
         spec.cmd_filter_any = true;
@@ -98,18 +120,28 @@ FaultInjector::Spec FaultInjector::Spec::parse(const std::string& text) {
         spec.cmd_filter_any = false;
         spec.cmd_filter = CmdOpClass::Create;
       } else {
-        bad_spec("cmd_op wants any|reg_mr|offload|create, got '" + value + "'");
+        bad_token(item, "wants any|reg_mr|offload|create");
       }
     } else {
-      bad_spec("unknown key '" + key + "'");
+      bad_token(item, "unknown key '" + key + "'");
     }
   }
   return spec;
 }
 
 FaultInjector::WcFate FaultInjector::wc_fate() {
-  // Error is checked first: an erred WR moves no data, a dropped one moves
-  // data but loses the CQE; when both roll true, Error wins.
+  // Severity order: Fatal beats Error beats Drop. A fatal WR wedges the
+  // whole QP, an erred WR moves no data, a dropped one moves data but loses
+  // the CQE; when several roll true the most severe wins.
+  if (spec_.qp_fatal > 0.0) {
+    const std::uint64_t idx = qp_fatal_seen_++;
+    if (idx >= spec_.qp_fatal_skip &&
+        counters_.qp_fatal < spec_.qp_fatal_max &&
+        rng_.chance(spec_.qp_fatal)) {
+      ++counters_.qp_fatal;
+      return WcFate::Fatal;
+    }
+  }
   if (spec_.err_wc > 0.0) {
     const std::uint64_t idx = err_seen_++;
     if (idx >= spec_.err_wc_skip && counters_.wc_errored < spec_.err_wc_max &&
@@ -143,6 +175,18 @@ Time FaultInjector::dma_delay() {
 
 FaultInjector::CmdFate FaultInjector::cmd_fate(CmdOpClass cls) {
   if (!spec_.cmd_filter_any && cls != spec_.cmd_filter) return CmdFate::Ok;
+  // A crash is the most severe CMD fate and is checked first; the delegate
+  // itself keeps swallowing requests while down, so one Crash verdict
+  // covers the whole outage.
+  if (spec_.delegate_crash > 0.0) {
+    const std::uint64_t idx = delegate_crash_seen_++;
+    if (idx >= spec_.delegate_crash_skip &&
+        counters_.delegate_crashes < spec_.delegate_crash_max &&
+        rng_.chance(spec_.delegate_crash)) {
+      ++counters_.delegate_crashes;
+      return CmdFate::Crash;
+    }
+  }
   if (spec_.cmd_drop > 0.0) {
     const std::uint64_t idx = cmd_drop_seen_++;
     if (idx >= spec_.cmd_drop_skip &&

@@ -32,13 +32,16 @@ class FaultInjector {
     Deliver,  ///< normal: data moves, CQE delivered
     Drop,     ///< data moves, but the completion is lost (silent CQE loss)
     Error,    ///< nothing moves; an error CQE is delivered after the wire RTT
+    Fatal,    ///< like Error, but the QP wedges in QpState::Error for good
   };
 
   /// What happens to one CMD-channel request at the host delegate.
   enum class CmdFate {
-    Ok,    ///< executed normally
-    Fail,  ///< not executed; a CmdStatus::Failed reply is sent
-    Drop,  ///< not executed; no reply ever sent (client must time out)
+    Ok,     ///< executed normally
+    Fail,   ///< not executed; a CmdStatus::Failed reply is sent
+    Drop,   ///< not executed; no reply ever sent (client must time out)
+    Crash,  ///< the whole delegate dies: this and every later request is
+            ///< swallowed until (optionally) it restarts
   };
 
   /// Coarse classification of CMD ops for the `cmd_op=` filter. The caller
@@ -52,6 +55,17 @@ class FaultInjector {
     double delay_dma = 0.0;  ///< P(delay a DMA/wire transfer start)
     double cmd_fail = 0.0;   ///< P(CMD verb replies Failed)
     double cmd_drop = 0.0;   ///< P(CMD request swallowed, no reply)
+
+    // Fatal faults: these kill a resource instead of one operation. The
+    // recovery subsystem (engine reconnect / proxy failover) is what makes
+    // them survivable; arming either one also arms the peer-liveness
+    // heartbeat in mpi::Engine.
+    double qp_fatal = 0.0;        ///< P(faultable WR wedges its QP in Error)
+    double delegate_crash = 0.0;  ///< P(a CMD request kills the delegate)
+
+    /// If > 0, a crashed delegate restarts this many ns after the crash;
+    /// 0 means it stays dead (forcing the proxy failover path).
+    Time delegate_restart_ns = 0;
 
     /// Added latency for each delayed DMA start.
     Time delay_dma_ns = nanoseconds(2000);
@@ -74,6 +88,10 @@ class FaultInjector {
     std::uint64_t cmd_fail_skip = 0;
     std::uint64_t cmd_drop_max = UINT64_MAX;
     std::uint64_t cmd_drop_skip = 0;
+    std::uint64_t qp_fatal_max = UINT64_MAX;
+    std::uint64_t qp_fatal_skip = 0;
+    std::uint64_t delegate_crash_max = UINT64_MAX;
+    std::uint64_t delegate_crash_skip = 0;
 
     /// Restrict CMD faults to one op class: any | reg_mr | offload | create.
     CmdOpClass cmd_filter = CmdOpClass::Other;
@@ -82,7 +100,15 @@ class FaultInjector {
     /// True when any hazard can actually fire.
     bool armed() const {
       return drop_wc > 0.0 || err_wc > 0.0 || delay_dma > 0.0 ||
-             cmd_fail > 0.0 || cmd_drop > 0.0 || credit_slots > 0;
+             cmd_fail > 0.0 || cmd_drop > 0.0 || credit_slots > 0 ||
+             fatal_armed();
+    }
+
+    /// True when a *fatal* hazard (QP wedge / delegate crash) can fire.
+    /// The engine arms its peer-liveness heartbeat only in this case, so
+    /// transient-fault specs keep their exact PR 1 event schedule.
+    bool fatal_armed() const {
+      return qp_fatal > 0.0 || delegate_crash > 0.0;
     }
 
     /// Parse the spec grammar; throws std::invalid_argument on unknown keys
@@ -96,6 +122,8 @@ class FaultInjector {
     std::uint64_t dma_delayed = 0;
     std::uint64_t cmd_failed = 0;
     std::uint64_t cmd_dropped = 0;
+    std::uint64_t qp_fatal = 0;
+    std::uint64_t delegate_crashes = 0;
   };
 
   FaultInjector(const Spec& spec, std::uint64_t seed)
@@ -135,6 +163,8 @@ class FaultInjector {
   std::uint64_t delay_seen_ = 0;
   std::uint64_t cmd_fail_seen_ = 0;
   std::uint64_t cmd_drop_seen_ = 0;
+  std::uint64_t qp_fatal_seen_ = 0;
+  std::uint64_t delegate_crash_seen_ = 0;
 };
 
 }  // namespace dcfa::sim

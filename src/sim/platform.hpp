@@ -171,6 +171,23 @@ struct Platform {
   Time dcfa_cmd_retry_backoff = microseconds(10);
   int dcfa_cmd_max_retries = 4;
 
+  // --- Connection recovery (active only when *fatal* faults are armed) -----
+  /// Peer-liveness heartbeat: each endpoint writes a non-faultable beacon to
+  /// every peer at this period and declares a peer Suspect when nothing —
+  /// beacon, credit, packet, or CQE — was heard for the timeout. Sized so a
+  /// healthy-but-idle peer (worst case: one service hop) never trips it.
+  Time mpi_heartbeat_period = microseconds(50);
+  Time mpi_liveness_timeout = microseconds(400);
+  /// Cumulative reconnect budget per endpoint: after this many epoch bumps
+  /// the endpoint stops re-establishing and the operation fails cleanly
+  /// (MpiError), so an unbounded error storm still terminates.
+  int mpi_max_reconnects = 3;
+  /// Delegate-death budget: how many times one reconnect may retry its
+  /// resource re-creation through a dead CMD channel (each attempt already
+  /// pays the full CMD retry budget) before the endpoint degrades to the
+  /// host-proxy path instead of aborting.
+  int dcfa_delegate_death_budget = 1;
+
   /// Default platform as used by the paper's evaluation.
   static Platform defaults() { return Platform{}; }
 };

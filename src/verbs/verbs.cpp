@@ -48,6 +48,11 @@ void HostVerbs::connect(ib::QueuePair* qp, QpAddress remote) {
   hca_.connect(qp, remote.lid, remote.qpn);
 }
 
+void HostVerbs::destroy_qp(ib::QueuePair* qp) {
+  proc_.wait(platform_.host_reg_mr_base / 2);
+  hca_.destroy_qp(qp);
+}
+
 QpAddress HostVerbs::address(ib::QueuePair* qp) {
   return QpAddress{hca_.lid(), qp->qpn()};
 }

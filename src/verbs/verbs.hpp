@@ -40,6 +40,9 @@ class Ib {
                                    ib::CompletionQueue* send_cq,
                                    ib::CompletionQueue* recv_cq) = 0;
   virtual void connect(ib::QueuePair* qp, QpAddress remote) = 0;
+  /// Destroy a QP (connection recovery tears down error-state QPs before
+  /// re-creating them). Delegated on the Phi, a direct verb on the host.
+  virtual void destroy_qp(ib::QueuePair* qp) = 0;
   virtual QpAddress address(ib::QueuePair* qp) = 0;
 
   // --- Data path ------------------------------------------------------------
@@ -95,6 +98,7 @@ class HostVerbs final : public Ib {
                            ib::CompletionQueue* send_cq,
                            ib::CompletionQueue* recv_cq) override;
   void connect(ib::QueuePair* qp, QpAddress remote) override;
+  void destroy_qp(ib::QueuePair* qp) override;
   QpAddress address(ib::QueuePair* qp) override;
 
   void post_send(ib::QueuePair* qp, ib::SendWr wr) override;

@@ -1,0 +1,317 @@
+// Fatal-fault recovery: a wedged QP (qp_fatal) must be torn down and
+// re-established under a bumped connection epoch with every in-flight
+// message replayed exactly once; a crashed delegation process
+// (delegate_crash) must either be waited out (delegate_restart_ns) or, once
+// the death budget is spent, degraded to the host-proxy path. Whatever the
+// injected pattern, a run ends in delivery or a recorded failover — never a
+// hang, never a lost or duplicated message — and the whole thing stays
+// deterministic under (spec, seed).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+#include "sim/fault.hpp"
+
+using namespace dcfa;
+using namespace dcfa::mpi;
+
+namespace {
+
+constexpr std::size_t kEagerBytes = 512;
+constexpr int kIters = 48;
+
+RunConfig fatal_cfg(const std::string& spec) {
+  RunConfig cfg;
+  cfg.mode = MpiMode::DcfaPhi;
+  cfg.nprocs = 2;
+  cfg.fault_spec = spec;
+  cfg.fault_seed = 42;
+  cfg.engine_options.retry_timeout = sim::microseconds(2);
+  return cfg;
+}
+
+/// Eager pingpong with per-iteration payload checks on both ends: any lost,
+/// duplicated or stale-epoch delivery shows up as a byte mismatch or a hang.
+void pingpong_body(RankCtx& ctx) {
+  auto& comm = ctx.world;
+  mem::Buffer buf = comm.alloc(kEagerBytes);
+  for (int i = 0; i < kIters; ++i) {
+    if (ctx.rank == 0) {
+      std::memset(buf.data(), i & 0xff, kEagerBytes);
+      comm.send(buf, 0, kEagerBytes, type_byte(), 1, 1);
+      comm.recv(buf, 0, kEagerBytes, type_byte(), 1, 1);
+      EXPECT_EQ(buf.data()[kEagerBytes - 1],
+                static_cast<std::byte>((i + 1) & 0xff));
+    } else {
+      comm.recv(buf, 0, kEagerBytes, type_byte(), 0, 1);
+      EXPECT_EQ(buf.data()[0], static_cast<std::byte>(i & 0xff));
+      std::memset(buf.data(), (i + 1) & 0xff, kEagerBytes);
+      comm.send(buf, 0, kEagerBytes, type_byte(), 0, 1);
+    }
+  }
+  comm.free(buf);
+}
+
+void expect_invalid_spec(const std::string& spec,
+                         const std::string& expect_substr) {
+  try {
+    (void)sim::FaultInjector::Spec::parse(spec);
+    FAIL() << "spec '" << spec << "' parsed but should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(expect_substr), std::string::npos)
+        << "spec '" << spec << "' error message was: " << e.what();
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Satellite: parse errors must name the offending key=value token.
+// ---------------------------------------------------------------------------
+
+TEST(FatalFaultSpec, ParseErrorsNameTheOffendingToken) {
+  expect_invalid_spec("qp_fatal=2", "bad token 'qp_fatal=2'");
+  expect_invalid_spec("qp_fatal=2", "probability in [0,1]");
+  expect_invalid_spec("drop_wc=0.1,delegate_restart_ns=soon",
+                      "bad token 'delegate_restart_ns=soon'");
+  expect_invalid_spec("delegate_restart_ns=soon", "non-negative integer");
+  expect_invalid_spec("qp_fatal", "bad token 'qp_fatal'");
+  expect_invalid_spec("qp_fatal", "expected key=value");
+  expect_invalid_spec("qp_fattal=0.5", "unknown key 'qp_fattal'");
+  expect_invalid_spec("cmd_fail=1,cmd_op=bogus", "bad token 'cmd_op=bogus'");
+  expect_invalid_spec("cmd_op=bogus", "any|reg_mr|offload|create");
+}
+
+TEST(FatalFaultSpec, FatalKeysParseAndArm) {
+  auto spec = sim::FaultInjector::Spec::parse(
+      "qp_fatal=0.25,qp_fatal_max=2,qp_fatal_skip=1,"
+      "delegate_crash=1,delegate_crash_max=1,delegate_restart_ns=40000");
+  EXPECT_DOUBLE_EQ(spec.qp_fatal, 0.25);
+  EXPECT_EQ(spec.qp_fatal_max, 2u);
+  EXPECT_EQ(spec.qp_fatal_skip, 1u);
+  EXPECT_DOUBLE_EQ(spec.delegate_crash, 1.0);
+  EXPECT_EQ(spec.delegate_crash_max, 1u);
+  EXPECT_EQ(spec.delegate_restart_ns, sim::Time(40000));
+  EXPECT_TRUE(spec.fatal_armed());
+  EXPECT_TRUE(spec.armed());
+
+  auto quiet = sim::FaultInjector::Spec::parse("drop_wc=0.1");
+  EXPECT_TRUE(quiet.armed());
+  EXPECT_FALSE(quiet.fatal_armed());
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: QP wedged in error state -> epoch-bumped reconnect, pending
+// messages replayed, everything delivered exactly once.
+// ---------------------------------------------------------------------------
+
+TEST(FatalFaults, QpFatalReconnectsAndDeliversExactlyOnce) {
+  Runtime rt(fatal_cfg("qp_fatal=1,qp_fatal_skip=6,qp_fatal_max=1"));
+  rt.run(pingpong_body);
+
+  const auto& s0 = rt.rank_stats()[0];
+  const auto& s1 = rt.rank_stats()[1];
+  // Exactly one faultable WR wedged its QP...
+  EXPECT_EQ(rt.faults()->counters().qp_fatal, 1u);
+  // ... and at least the victim endpoint re-established its connection.
+  EXPECT_GE(s0.reconnects + s1.reconnects, 1u);
+  // The payload checks inside the body prove exactly-once delivery; the
+  // counters prove nobody gave up or degraded.
+  EXPECT_EQ(s0.retry_exhausted, 0u);
+  EXPECT_EQ(s1.retry_exhausted, 0u);
+  EXPECT_EQ(s0.proxy_failovers, 0u);
+  EXPECT_EQ(s1.proxy_failovers, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: delegate crash with a restart budget -> CMD retries ride out the
+// outage; no degradation.
+// ---------------------------------------------------------------------------
+
+TEST(FatalFaults, DelegateCrashWithRestartRecoversInPlace) {
+  // The delegate dies on its first CMD and restarts 50us later — inside the
+  // client's 100us reply timeout, so the first resend already succeeds.
+  Runtime rt(fatal_cfg(
+      "delegate_crash=1,delegate_crash_max=1,delegate_restart_ns=50000"));
+  rt.run(pingpong_body);
+
+  const auto& s0 = rt.rank_stats()[0];
+  const auto& s1 = rt.rank_stats()[1];
+  EXPECT_EQ(rt.faults()->counters().delegate_crashes, 1u);
+  // The outage shows up as CMD timeouts + resends on the crashed rank.
+  EXPECT_GE(s0.cmd_timeouts + s1.cmd_timeouts, 1u);
+  EXPECT_GE(s0.cmd_retries + s1.cmd_retries, 1u);
+  // But the delegate came back, so nobody degraded or exhausted a budget.
+  EXPECT_EQ(s0.proxy_failovers, 0u);
+  EXPECT_EQ(s1.proxy_failovers, 0u);
+  EXPECT_EQ(s0.retry_exhausted, 0u);
+  EXPECT_EQ(s1.retry_exhausted, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: delegate stays dead -> graceful degradation to the proxy path,
+// recorded in Stats, and the run still completes correctly.
+// ---------------------------------------------------------------------------
+
+TEST(FatalFaults, DeadDelegateFailsOverToProxyPath) {
+  // delegate_restart_ns defaults to 0: the delegate never comes back. The
+  // victim rank burns its death budget on full CMD retry cycles, then serves
+  // resource verbs through the host proxy daemon for the rest of the run.
+  Runtime rt(fatal_cfg("delegate_crash=1,delegate_crash_max=1"));
+  rt.run(pingpong_body);
+
+  const auto& s0 = rt.rank_stats()[0];
+  const auto& s1 = rt.rank_stats()[1];
+  EXPECT_EQ(rt.faults()->counters().delegate_crashes, 1u);
+  // Exactly one rank lost its delegate and recorded the downgrade.
+  EXPECT_EQ(s0.proxy_failovers + s1.proxy_failovers, 1u);
+  // The payload checks in the body passed, so the degraded endpoint kept
+  // delivering; nothing was abandoned.
+  EXPECT_EQ(s0.retry_exhausted, 0u);
+  EXPECT_EQ(s1.retry_exhausted, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: deterministic fatal-fault matrix. Same (spec, seed) ->
+// identical reconnect/failover counts, identical virtual time, and a
+// byte-identical trace.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct FatalRun {
+  Engine::Stats s0, s1;
+  sim::FaultInjector::Counters injected;
+  sim::Time elapsed = 0;
+  std::string trace;
+};
+
+FatalRun run_fatal(const std::string& spec, const std::string& trace_path) {
+  std::remove(trace_path.c_str());
+  FatalRun out;
+  RunConfig cfg = fatal_cfg(spec);
+  cfg.trace_path = trace_path;
+  Runtime rt(cfg);
+  rt.run(pingpong_body);
+  out.s0 = rt.rank_stats()[0];
+  out.s1 = rt.rank_stats()[1];
+  out.injected = rt.faults()->counters();
+  out.elapsed = rt.elapsed();
+  std::ifstream in(trace_path);
+  EXPECT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  out.trace = ss.str();
+  return out;
+}
+
+}  // namespace
+
+TEST(FatalFaults, SameSeedReproducesReconnectsAndTrace) {
+  const std::vector<std::string> matrix = {
+      // Probabilistic QP wedges (bounded so the reconnect budget holds).
+      "qp_fatal=0.2,qp_fatal_max=2",
+      // Delegate crash ridden out by a restart, plus background CQE loss.
+      "drop_wc=0.05,delegate_crash=1,delegate_crash_max=1,"
+      "delegate_restart_ns=40000",
+  };
+  for (const auto& spec : matrix) {
+    SCOPED_TRACE(spec);
+    auto a = run_fatal(spec, "/tmp/dcfa_fatal_det_a.json");
+    auto b = run_fatal(spec, "/tmp/dcfa_fatal_det_b.json");
+
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(a.injected.qp_fatal, b.injected.qp_fatal);
+    EXPECT_EQ(a.injected.delegate_crashes, b.injected.delegate_crashes);
+    EXPECT_EQ(a.injected.wc_dropped, b.injected.wc_dropped);
+    EXPECT_EQ(a.s0.reconnects, b.s0.reconnects);
+    EXPECT_EQ(a.s1.reconnects, b.s1.reconnects);
+    EXPECT_EQ(a.s0.proxy_failovers, b.s0.proxy_failovers);
+    EXPECT_EQ(a.s1.proxy_failovers, b.s1.proxy_failovers);
+    EXPECT_EQ(a.s0.epoch_fenced, b.s0.epoch_fenced);
+    EXPECT_EQ(a.s1.epoch_fenced, b.s1.epoch_fenced);
+    EXPECT_EQ(a.s0.retransmits, b.s0.retransmits);
+    EXPECT_EQ(a.s1.retransmits, b.s1.retransmits);
+    EXPECT_FALSE(a.trace.empty());
+    EXPECT_EQ(a.trace, b.trace);
+    // The recovery counters surface as Perfetto counter tracks.
+    EXPECT_NE(a.trace.find("reconnects"), std::string::npos);
+    EXPECT_NE(a.trace.find("proxy_failovers"), std::string::npos);
+  }
+  // The matrix actually exercised both fatal hazards.
+  auto wedge = run_fatal(matrix[0], "/tmp/dcfa_fatal_det_c.json");
+  EXPECT_GE(wedge.injected.qp_fatal, 1u);
+  EXPECT_GE(wedge.s0.reconnects + wedge.s1.reconnects, 1u);
+  EXPECT_NE(wedge.trace.find("reconnect-start"), std::string::npos);
+  EXPECT_NE(wedge.trace.find("reconnect-done"), std::string::npos);
+  EXPECT_NE(wedge.trace.find("fault:qp-fatal"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: recovery x MPI_ANY_SOURCE sequence locking x in-flight
+// rendezvous. A wildcard recv matched before the wedge completes exactly
+// once after the reconnect, wherever the fatal lands in the RTS / RTR /
+// data / DONE exchange.
+// ---------------------------------------------------------------------------
+
+TEST(FatalFaults, AnySourceRendezvousSurvivesReconnect) {
+  constexpr std::size_t kRndvBytes = 32 * 1024;  // > eager_threshold
+  std::uint64_t total_reconnects = 0;
+
+  // Sweep the single injected wedge across the protocol exchange: each skip
+  // value moves the fatal onto a different faultable WR (warmup packets,
+  // RTS, RTR, the rendezvous data op, DONE, post-recovery traffic).
+  for (std::uint64_t skip = 0; skip <= 8; skip += 2) {
+    SCOPED_TRACE("qp_fatal_skip=" + std::to_string(skip));
+    Runtime rt(fatal_cfg("qp_fatal=1,qp_fatal_max=1,qp_fatal_skip=" +
+                         std::to_string(skip)));
+    rt.run([&](RankCtx& ctx) {
+      auto& comm = ctx.world;
+      mem::Buffer small = comm.alloc(kEagerBytes);
+      mem::Buffer big = comm.alloc(kRndvBytes);
+      if (ctx.rank == 0) {
+        // Warmup eager traffic so early skips land before the rendezvous.
+        std::memset(small.data(), 0x5a, kEagerBytes);
+        comm.send(small, 0, kEagerBytes, type_byte(), 1, 7);
+        for (std::size_t i = 0; i < kRndvBytes; ++i)
+          big.data()[i] = static_cast<std::byte>(i & 0xff);
+        comm.send(big, 0, kRndvBytes, type_byte(), 1, 9);
+        // Post-recovery traffic proves the channel still works.
+        comm.recv(small, 0, kEagerBytes, type_byte(), 1, 11);
+        EXPECT_EQ(small.data()[0], static_cast<std::byte>(0xa5));
+      } else {
+        // The wildcard recv for the rendezvous is posted before the warmup
+        // completes, so it is matched (and the ANY_SOURCE sequence lock
+        // taken) before any reconnect the sweep triggers.
+        Request rndv = comm.irecv(big, 0, kRndvBytes, type_byte(),
+                                  kAnySource, 9);
+        comm.recv(small, 0, kEagerBytes, type_byte(), kAnySource, 7);
+        EXPECT_EQ(small.data()[0], static_cast<std::byte>(0x5a));
+        Status st = comm.wait(rndv);
+        EXPECT_EQ(st.source, 0);
+        for (std::size_t i = 0; i < kRndvBytes; i += 1031)
+          EXPECT_EQ(big.data()[i], static_cast<std::byte>(i & 0xff));
+        std::memset(small.data(), 0xa5, kEagerBytes);
+        comm.send(small, 0, kEagerBytes, type_byte(), 0, 11);
+      }
+      comm.free(small);
+      comm.free(big);
+    });
+    const auto& s0 = rt.rank_stats()[0];
+    const auto& s1 = rt.rank_stats()[1];
+    EXPECT_EQ(s0.retry_exhausted, 0u);
+    EXPECT_EQ(s1.retry_exhausted, 0u);
+    EXPECT_EQ(s0.proxy_failovers, 0u);
+    EXPECT_EQ(s1.proxy_failovers, 0u);
+    total_reconnects += s0.reconnects + s1.reconnects;
+  }
+  // At least one sweep point actually hit the exchange and reconnected.
+  EXPECT_GE(total_reconnects, 1u);
+}
