@@ -524,6 +524,29 @@ int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count,
   });
 }
 
+int MPI_Reduce_scatter_block(const void* sendbuf, void* recvbuf,
+                             int recvcount, MPI_Datatype type, MPI_Op op,
+                             MPI_Comm comm) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    mpi::Op o;
+    if (!op_of(op, &o)) return MPI_ERR_OP;
+    mem::Buffer sb, rb;
+    std::size_t soff, roff;
+    const mpi::Datatype* t;
+    if (const int rc =
+            resolve3(sendbuf, recvcount * c->size(), type, &sb, &soff, &t)) {
+      return rc;
+    }
+    if (const int rc = resolve3(recvbuf, recvcount, type, &rb, &roff, &t)) {
+      return rc;
+    }
+    c->reduce_scatter_block(sb, soff, rb, roff, recvcount, *t, o);
+    return MPI_SUCCESS;
+  });
+}
+
 int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
                void* recvbuf, int recvcount, MPI_Datatype recvtype, int root,
                MPI_Comm comm) {

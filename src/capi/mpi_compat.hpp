@@ -131,6 +131,11 @@ int MPI_Reduce(const void* sendbuf, void* recvbuf, int count,
                MPI_Datatype type, MPI_Op op, int root, MPI_Comm comm);
 int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count,
                   MPI_Datatype type, MPI_Op op, MPI_Comm comm);
+/// Reduce size*recvcount elements and scatter one recvcount-element block
+/// to each rank (runs the collectives engine's ring reduce-scatter).
+int MPI_Reduce_scatter_block(const void* sendbuf, void* recvbuf,
+                             int recvcount, MPI_Datatype type, MPI_Op op,
+                             MPI_Comm comm);
 int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
                void* recvbuf, int recvcount, MPI_Datatype recvtype, int root,
                MPI_Comm comm);

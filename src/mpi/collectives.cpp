@@ -1,14 +1,26 @@
+// The collectives algorithm engine (docs/collectives.md): per-algorithm
+// units — recursive-doubling / pipelined-ring / Rabenseifner allreduce,
+// binomial and scatter+ring-allgather bcast, ring and recursive-doubling
+// allgather — behind a size- and comm-size-aware selection layer
+// (mpi/coll.hpp). Large-message paths are segmented so send, receive and
+// combine of consecutive segments overlap through nonblocking requests.
+
+#include <algorithm>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "mpi/communicator.hpp"
+#include "sim/trace.hpp"
 
 namespace dcfa::mpi {
 
 namespace {
 
-/// Internal tags, disjoint per collective so overlapping phases of different
-/// collectives on the same communicator cannot cross-match. (Collectives are
-/// themselves ordered per communicator, as MPI requires.)
+/// Internal tags, disjoint per collective (and per engine phase) so
+/// overlapping phases of different collectives on the same communicator
+/// cannot cross-match. (Collectives are themselves ordered per
+/// communicator, as MPI requires.)
 enum : int {
   kTagBarrier = kInternalTagBase + 1,
   kTagBcast = kInternalTagBase + 2,
@@ -20,9 +32,156 @@ enum : int {
   kTagScan = kInternalTagBase + 8,
   kTagGatherv = kInternalTagBase + 9,
   kTagScatterv = kInternalTagBase + 10,
+  // Collectives-engine phases.
+  kTagFold = kInternalTagBase + 11,      ///< power-of-two fold / unfold
+  kTagRsRing = kInternalTagBase + 12,    ///< ring reduce-scatter segments
+  kTagAgRing = kInternalTagBase + 13,    ///< ring allgather segments
+  kTagRdRound = kInternalTagBase + 14,   ///< recursive doubling / halving
+  kTagBcastScatter = kInternalTagBase + 15,
+  kTagBcastAg = kInternalTagBase + 16,   ///< bcast's ring allgather phase
+  kTagRsBlock = kInternalTagBase + 17,   ///< reduce_scatter_block segments
 };
 
+int floor_pow2(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
 }  // namespace
+
+/// Balanced partition of a vector into consecutive per-block element
+/// ranges; the remainder is spread over the leading blocks so lengths
+/// differ by at most one (blocks may be empty when count < parts).
+struct Communicator::BlockPart {
+  std::vector<std::size_t> off;  ///< size parts+1; off[parts] == count
+
+  BlockPart(std::size_t count, int parts) : off(parts + 1) {
+    const std::size_t q = count / parts;
+    const std::size_t r = count % parts;
+    std::size_t at = 0;
+    for (int b = 0; b < parts; ++b) {
+      off[b] = at;
+      at += q + (static_cast<std::size_t>(b) < r ? 1 : 0);
+    }
+    off[parts] = at;
+  }
+  std::size_t len(int b) const { return off[b + 1] - off[b]; }
+  /// Elements in the contiguous block range [b0, b1).
+  std::size_t range(int b0, int b1) const { return off[b1] - off[b0]; }
+};
+
+// ---------------------------------------------------------------------------
+// Pipelined segment exchange
+// ---------------------------------------------------------------------------
+
+std::uint64_t Communicator::pipelined_step(
+    const mem::Buffer& buf, std::size_t base, std::size_t out_off,
+    std::size_t out_len, std::size_t in_off, std::size_t in_len,
+    const Datatype& type, const Op* op, std::size_t seg_elems, int to,
+    int from, int tag, const mem::Buffer& scratch) {
+  const std::size_t es = type.size();
+  const auto nseg = [seg_elems](std::size_t len) {
+    return len == 0 ? std::size_t{0} : (len + seg_elems - 1) / seg_elems;
+  };
+  const std::size_t nout = nseg(out_len);
+  const std::size_t nin = nseg(in_len);
+
+  // All outgoing segments go up first: they read block ranges this step
+  // never writes, and queuing them keeps the wire busy while we fold
+  // incoming segments.
+  std::vector<Request> sends;
+  sends.reserve(nout);
+  for (std::size_t j = 0; j < nout; ++j) {
+    const std::size_t lo = j * seg_elems;
+    const std::size_t n = std::min(seg_elems, out_len - lo);
+    sends.push_back(isend(buf, base + (out_off + lo) * es, n, type, to, tag));
+  }
+
+  if (op == nullptr) {
+    // Pure data movement: receive segments straight into place.
+    std::vector<Request> recvs;
+    recvs.reserve(nin);
+    for (std::size_t j = 0; j < nin; ++j) {
+      const std::size_t lo = j * seg_elems;
+      const std::size_t n = std::min(seg_elems, in_len - lo);
+      recvs.push_back(
+          irecv(buf, base + (in_off + lo) * es, n, type, from, tag));
+    }
+    waitall(recvs);
+  } else {
+    // Reduction pipeline: segment j+1 is in flight (into the other half of
+    // the double-buffered scratch) while segment j is being combined.
+    const std::size_t seg_bytes = seg_elems * es;
+    auto seg_len = [&](std::size_t j) {
+      return std::min(seg_elems, in_len - j * seg_elems);
+    };
+    Request cur;
+    if (nin > 0) cur = irecv(scratch, 0, seg_len(0), type, from, tag);
+    for (std::size_t j = 0; j < nin; ++j) {
+      Request next;
+      if (j + 1 < nin) {
+        next = irecv(scratch, ((j + 1) % 2) * seg_bytes, seg_len(j + 1), type,
+                     from, tag);
+      }
+      wait(cur);
+      engine_.combine(*op, type, buf, base + (in_off + j * seg_elems) * es,
+                      scratch, (j % 2) * seg_bytes, seg_len(j));
+      cur = next;
+    }
+  }
+  waitall(sends);
+  return nout + nin;
+}
+
+// ---------------------------------------------------------------------------
+// Ring phases
+// ---------------------------------------------------------------------------
+
+void Communicator::reduce_scatter_ring(const mem::Buffer& buf,
+                                       std::size_t base, const BlockPart& part,
+                                       const Datatype& type, Op op,
+                                       std::size_t seg_elems, int final_block,
+                                       const mem::Buffer& scratch) {
+  const int P = size();
+  const int to = (rank() + 1) % P;
+  const int from = (rank() - 1 + P) % P;
+  std::uint64_t segs = 0;
+  // Step s forwards the partial of block (final_block - 1 - s) to the
+  // successor while folding the predecessor's partial of the next block;
+  // after P-1 steps only `final_block` is globally complete here.
+  for (int s = 0; s < P - 1; ++s) {
+    const int ob = (final_block - 1 - s + 2 * P) % P;
+    const int ib = (final_block - 2 - s + 2 * P) % P;
+    segs += pipelined_step(buf, base, part.off[ob], part.len(ob),
+                           part.off[ib], part.len(ib), type, &op, seg_elems,
+                           to, from, kTagRsRing, scratch);
+  }
+  engine_.coll_stats().coll_segments += segs;
+}
+
+void Communicator::ring_allgather_blocks(const mem::Buffer& buf,
+                                         std::size_t base,
+                                         const BlockPart& part,
+                                         const Datatype& type,
+                                         std::size_t seg_elems, int my_block,
+                                         int to, int from, int tag) {
+  const int P = size();
+  std::uint64_t segs = 0;
+  mem::Buffer none;  // no combine => scratch unused
+  for (int s = 0; s < P - 1; ++s) {
+    const int ob = (my_block - s + 2 * P) % P;
+    const int ib = (my_block - 1 - s + 2 * P) % P;
+    segs += pipelined_step(buf, base, part.off[ob], part.len(ob),
+                           part.off[ib], part.len(ib), type, nullptr,
+                           seg_elems, to, from, tag, none);
+  }
+  engine_.coll_stats().coll_segments += segs;
+}
+
+// ---------------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------------
 
 void Communicator::barrier() {
   if (size() == 1) return;
@@ -38,9 +197,13 @@ void Communicator::barrier() {
   free(dummy);
 }
 
-void Communicator::bcast(const mem::Buffer& buf, std::size_t offset,
-                         std::size_t count, const Datatype& type, int root) {
-  if (size() == 1) return;
+// ---------------------------------------------------------------------------
+// Bcast
+// ---------------------------------------------------------------------------
+
+void Communicator::bcast_binomial(const mem::Buffer& buf, std::size_t offset,
+                                  std::size_t count, const Datatype& type,
+                                  int root) {
   // Binomial tree rooted at `root`, computed in root-relative rank space.
   const int vrank = (rank() - root + size()) % size();
   int mask = 1;
@@ -61,6 +224,74 @@ void Communicator::bcast(const mem::Buffer& buf, std::size_t offset,
     mask >>= 1;
   }
 }
+
+void Communicator::bcast_scatter_ag(const mem::Buffer& buf,
+                                    std::size_t offset, std::size_t count,
+                                    const Datatype& type, int root) {
+  // van de Geijn: binomial scatter of per-rank blocks, then a pipelined
+  // ring allgather — the full message crosses each rank's links ~twice
+  // instead of log2(P) times. Everything runs in root-relative vrank
+  // space; block v belongs to vrank v.
+  const int P = size();
+  const int vrank = (rank() - root + P) % P;
+  const auto real = [&](int v) { return ((v % P) + P + root) % P; };
+  const BlockPart part(count, P);
+  const std::size_t es = type.size();
+
+  // Scatter: the first set bit of vrank is the subtree this rank roots;
+  // it receives blocks [vrank, vrank+mask) and forwards sub-halves.
+  int mask = 1;
+  while (mask < P) {
+    if (vrank & mask) {
+      const int hi = std::min(vrank + mask, P);
+      recv(buf, offset + part.off[vrank] * es, part.range(vrank, hi), type,
+           real(vrank - mask), kTagBcastScatter);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < P) {
+      const int lo = vrank + mask;
+      const int hi = std::min(vrank + 2 * mask, P);
+      send(buf, offset + part.off[lo] * es, part.range(lo, hi), type,
+           real(lo), kTagBcastScatter);
+    }
+    mask >>= 1;
+  }
+
+  const std::size_t seg_elems =
+      std::max<std::size_t>(1, engine_.coll_tuning().segment_bytes / es);
+  ring_allgather_blocks(buf, offset, part, type, seg_elems, vrank,
+                        real(vrank + 1), real(vrank - 1), kTagBcastAg);
+}
+
+void Communicator::bcast(const mem::Buffer& buf, std::size_t offset,
+                         std::size_t count, const Datatype& type, int root) {
+  if (size() == 1 || count == 0) return;
+  const std::size_t bytes = count * type.size();
+  const CollAlgo algo =
+      select_bcast(engine_.coll_tuning(), bytes, size());
+  const sim::Time t0 = engine_.ib().process().now();
+  if (algo == CollAlgo::ScatterAllgather) {
+    bcast_scatter_ag(buf, offset, count, type, root);
+    ++engine_.coll_stats().coll_bcast_scatter_ag;
+  } else {
+    bcast_binomial(buf, offset, count, type, root);
+    ++engine_.coll_stats().coll_bcast_binomial;
+  }
+  if (sim::Tracer::current()) {
+    sim::trace_span("rank" + std::to_string(engine_.rank()),
+                    std::string("bcast.") + coll_algo_name(algo) + " " +
+                        std::to_string(bytes) + "B",
+                    t0, engine_.ib().process().now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduce
+// ---------------------------------------------------------------------------
 
 void Communicator::reduce(const mem::Buffer& sendbuf, std::size_t soff,
                           const mem::Buffer& recvbuf, std::size_t roff,
@@ -96,12 +327,254 @@ void Communicator::reduce(const mem::Buffer& sendbuf, std::size_t soff,
   free(acc);
 }
 
+// ---------------------------------------------------------------------------
+// Allreduce
+// ---------------------------------------------------------------------------
+
+void Communicator::allreduce_rd(const mem::Buffer& recvbuf, std::size_t roff,
+                                std::size_t count, const Datatype& type,
+                                Op op) {
+  const int P = size();
+  const std::size_t bytes = count * type.size();
+  mem::Buffer tmp = alloc(std::max<std::size_t>(bytes, 1));
+
+  // Fold to a power of two: the first 2*rem ranks pair up, evens ship
+  // their vector to the odd partner and sit out the doubling rounds.
+  const int pof2 = floor_pow2(P);
+  const int rem = P - pof2;
+  int newrank;
+  if (rank() < 2 * rem) {
+    if (rank() % 2 == 0) {
+      send(recvbuf, roff, count, type, rank() + 1, kTagFold);
+      newrank = -1;
+    } else {
+      recv(tmp, 0, count, type, rank() - 1, kTagFold);
+      engine_.combine(op, type, recvbuf, roff, tmp, 0, count);
+      newrank = rank() / 2;
+    }
+  } else {
+    newrank = rank() - rem;
+  }
+
+  if (newrank != -1) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int pn = newrank ^ mask;
+      const int peer = pn < rem ? pn * 2 + 1 : pn + rem;
+      sendrecv(recvbuf, roff, count, type, peer, kTagRdRound, tmp, 0, count,
+               type, peer, kTagRdRound);
+      engine_.combine(op, type, recvbuf, roff, tmp, 0, count);
+    }
+  }
+
+  // Unfold: odd partners return the finished vector to the evens.
+  if (rank() < 2 * rem) {
+    if (rank() % 2 == 0) {
+      recv(recvbuf, roff, count, type, rank() + 1, kTagFold);
+    } else {
+      send(recvbuf, roff, count, type, rank() - 1, kTagFold);
+    }
+  }
+  free(tmp);
+}
+
+void Communicator::allreduce_ring(const mem::Buffer& recvbuf,
+                                  std::size_t roff, std::size_t count,
+                                  const Datatype& type, Op op) {
+  const int P = size();
+  const std::size_t es = type.size();
+  const BlockPart part(count, P);
+  const std::size_t seg_elems =
+      std::max<std::size_t>(1, engine_.coll_tuning().segment_bytes / es);
+  mem::Buffer scratch = alloc(std::max<std::size_t>(2 * seg_elems * es, 1));
+
+  // Reduce-scatter leaves this rank with block (rank+1) complete — exactly
+  // the block the allgather ring starts forwarding.
+  const int my_block = (rank() + 1) % P;
+  reduce_scatter_ring(recvbuf, roff, part, type, op, seg_elems, my_block,
+                      scratch);
+  ring_allgather_blocks(recvbuf, roff, part, type, seg_elems, my_block,
+                        (rank() + 1) % P, (rank() - 1 + P) % P, kTagAgRing);
+  free(scratch);
+}
+
+void Communicator::allreduce_rab(const mem::Buffer& recvbuf, std::size_t roff,
+                                 std::size_t count, const Datatype& type,
+                                 Op op) {
+  const int P = size();
+  const std::size_t es = type.size();
+  const std::size_t bytes = count * es;
+
+  // Fold to a power of two (as in allreduce_rd).
+  const int pof2 = floor_pow2(P);
+  const int rem = P - pof2;
+  int newrank;
+  if (rank() < 2 * rem) {
+    if (rank() % 2 == 0) {
+      send(recvbuf, roff, count, type, rank() + 1, kTagFold);
+      newrank = -1;
+    } else {
+      mem::Buffer tmp = alloc(std::max<std::size_t>(bytes, 1));
+      recv(tmp, 0, count, type, rank() - 1, kTagFold);
+      engine_.combine(op, type, recvbuf, roff, tmp, 0, count);
+      free(tmp);
+      newrank = rank() / 2;
+    }
+  } else {
+    newrank = rank() - rem;
+  }
+
+  if (newrank != -1) {
+    const BlockPart part(count, pof2);
+    const std::size_t seg_elems =
+        std::max<std::size_t>(1, engine_.coll_tuning().segment_bytes / es);
+    mem::Buffer scratch =
+        alloc(std::max<std::size_t>(2 * seg_elems * es, 1));
+    const auto peer_of = [&](int pn) {
+      return pn < rem ? pn * 2 + 1 : pn + rem;
+    };
+
+    // Recursive-halving reduce-scatter: each round trades half of the
+    // still-owned block range with the partner and folds the kept half.
+    int lo = 0, hi = pof2;
+    for (int dist = pof2 / 2; dist >= 1; dist >>= 1) {
+      const int peer = peer_of(newrank ^ dist);
+      const int mid = lo + (hi - lo) / 2;
+      int keep_lo, keep_hi, give_lo, give_hi;
+      if ((newrank & dist) == 0) {
+        keep_lo = lo, keep_hi = mid, give_lo = mid, give_hi = hi;
+      } else {
+        keep_lo = mid, keep_hi = hi, give_lo = lo, give_hi = mid;
+      }
+      engine_.coll_stats().coll_segments += pipelined_step(
+          recvbuf, roff, part.off[give_lo], part.range(give_lo, give_hi),
+          part.off[keep_lo], part.range(keep_lo, keep_hi), type, &op,
+          seg_elems, peer, peer, kTagRdRound, scratch);
+      lo = keep_lo;
+      hi = keep_hi;
+    }
+    free(scratch);
+
+    // Recursive-doubling allgather over the finished blocks: the owned
+    // aligned range doubles every round.
+    for (int dist = 1; dist < pof2; dist <<= 1) {
+      const int peer = peer_of(newrank ^ dist);
+      const int base_blk = newrank & ~(dist - 1);
+      const int peer_blk = base_blk ^ dist;
+      sendrecv(recvbuf, roff + part.off[base_blk] * es,
+               part.range(base_blk, base_blk + dist), type, peer, kTagRdRound,
+               recvbuf, roff + part.off[peer_blk] * es,
+               part.range(peer_blk, peer_blk + dist), type, peer,
+               kTagRdRound);
+    }
+  }
+
+  // Unfold the full vector to the folded-out evens.
+  if (rank() < 2 * rem) {
+    if (rank() % 2 == 0) {
+      recv(recvbuf, roff, count, type, rank() + 1, kTagFold);
+    } else {
+      send(recvbuf, roff, count, type, rank() - 1, kTagFold);
+    }
+  }
+}
+
 void Communicator::allreduce(const mem::Buffer& sendbuf, std::size_t soff,
                              const mem::Buffer& recvbuf, std::size_t roff,
                              std::size_t count, const Datatype& type, Op op) {
-  reduce(sendbuf, soff, recvbuf, roff, count, type, op, 0);
-  bcast(recvbuf, roff, count, type, 0);
+  if (!type.is_contiguous()) {
+    throw MpiError("allreduce: derived datatypes not supported");
+  }
+  const std::size_t bytes = count * type.size();
+  if (recvbuf.data() + roff != sendbuf.data() + soff) {
+    std::memcpy(recvbuf.data() + roff, sendbuf.data() + soff, bytes);
+  }
+  if (size() == 1 || count == 0) return;
+  if (type.kind() == Datatype::Kind::Opaque) {
+    // Same failure the per-element combine would raise, but before any
+    // rank communicates, so every rank throws in lockstep.
+    throw MpiError("reduce: datatype has no arithmetic kind");
+  }
+
+  const CollAlgo algo =
+      select_allreduce(engine_.coll_tuning(), bytes, size());
+  const sim::Time t0 = engine_.ib().process().now();
+  Engine::Stats& st = engine_.coll_stats();
+  switch (algo) {
+    case CollAlgo::Ring:
+      allreduce_ring(recvbuf, roff, count, type, op);
+      ++st.coll_allreduce_ring;
+      break;
+    case CollAlgo::Rabenseifner:
+      allreduce_rab(recvbuf, roff, count, type, op);
+      ++st.coll_allreduce_rab;
+      break;
+    case CollAlgo::RecursiveDoubling:
+      allreduce_rd(recvbuf, roff, count, type, op);
+      ++st.coll_allreduce_rd;
+      break;
+    default:
+      // The pre-engine path: binomial reduce to rank 0, binomial bcast
+      // back out. Kept as the small-comm / forced fallback and as the
+      // baseline the bench sweeps against.
+      reduce(sendbuf, soff, recvbuf, roff, count, type, op, 0);
+      bcast_binomial(recvbuf, roff, count, type, 0);
+      ++st.coll_allreduce_binomial;
+      break;
+  }
+  if (sim::Tracer::current()) {
+    sim::trace_span("rank" + std::to_string(engine_.rank()),
+                    std::string("allreduce.") + coll_algo_name(algo) + " " +
+                        std::to_string(bytes) + "B",
+                    t0, engine_.ib().process().now());
+  }
 }
+
+void Communicator::reduce_scatter_block(const mem::Buffer& sendbuf,
+                                        std::size_t soff,
+                                        const mem::Buffer& recvbuf,
+                                        std::size_t roff,
+                                        std::size_t recvcount,
+                                        const Datatype& type, Op op) {
+  if (!type.is_contiguous()) {
+    throw MpiError("reduce_scatter_block: derived datatypes not supported");
+  }
+  const int P = size();
+  const std::size_t es = type.size();
+  const std::size_t block_bytes = recvcount * es;
+  if (P == 1) {
+    std::memcpy(recvbuf.data() + roff, sendbuf.data() + soff, block_bytes);
+    return;
+  }
+  if (recvcount == 0) return;
+  if (type.kind() == Datatype::Kind::Opaque) {
+    throw MpiError("reduce: datatype has no arithmetic kind");
+  }
+
+  // Ring reduce-scatter over a working copy of the full input, targeting
+  // block `rank` (reduce_scatter_block semantics), then lift it out.
+  const std::size_t count = recvcount * static_cast<std::size_t>(P);
+  const BlockPart part(count, P);
+  const std::size_t seg_elems =
+      std::max<std::size_t>(1, engine_.coll_tuning().segment_bytes / es);
+  mem::Buffer work = alloc(count * es);
+  std::memcpy(work.data(), sendbuf.data() + soff, count * es);
+  mem::Buffer scratch = alloc(std::max<std::size_t>(2 * seg_elems * es, 1));
+  const sim::Time t0 = engine_.ib().process().now();
+  reduce_scatter_ring(work, 0, part, type, op, seg_elems, rank(), scratch);
+  std::memcpy(recvbuf.data() + roff, work.data() + part.off[rank()] * es,
+              block_bytes);
+  if (sim::Tracer::current()) {
+    sim::trace_span("rank" + std::to_string(engine_.rank()),
+                    "reduce_scatter.ring " + std::to_string(count * es) + "B",
+                    t0, engine_.ib().process().now());
+  }
+  free(scratch);
+  free(work);
+}
+
+// ---------------------------------------------------------------------------
+// Gather / scatter
+// ---------------------------------------------------------------------------
 
 void Communicator::gather(const mem::Buffer& sendbuf, std::size_t soff,
                           std::size_t count, const Datatype& type,
@@ -153,6 +626,26 @@ void Communicator::scatter(const mem::Buffer& sendbuf, std::size_t soff,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Allgather
+// ---------------------------------------------------------------------------
+
+void Communicator::allgather_rd(const mem::Buffer& recvbuf, std::size_t roff,
+                                std::size_t count, const Datatype& type) {
+  // Power-of-two comms only (the selection layer guarantees it): the owned
+  // aligned run of blocks doubles every round.
+  const int P = size();
+  const std::size_t es = type.size();
+  for (int dist = 1; dist < P; dist <<= 1) {
+    const int peer = rank() ^ dist;
+    const int base_blk = rank() & ~(dist - 1);
+    const int peer_blk = base_blk ^ dist;
+    sendrecv(recvbuf, roff + base_blk * count * es, dist * count, type, peer,
+             kTagAllgather, recvbuf, roff + peer_blk * count * es,
+             dist * count, type, peer, kTagAllgather);
+  }
+}
+
 void Communicator::allgather(const mem::Buffer& sendbuf, std::size_t soff,
                              std::size_t count, const Datatype& type,
                              const mem::Buffer& recvbuf, std::size_t roff) {
@@ -160,20 +653,39 @@ void Communicator::allgather(const mem::Buffer& sendbuf, std::size_t soff,
     throw MpiError("allgather: derived datatypes not supported");
   }
   const std::size_t bytes = count * type.size();
-  // Ring allgather: n-1 steps, each forwarding the newest block.
   std::memcpy(recvbuf.data() + roff + rank() * bytes, sendbuf.data() + soff,
               bytes);
-  if (size() == 1) return;
-  const int to = (rank() + 1) % size();
-  const int from = (rank() - 1 + size()) % size();
-  for (int step = 0; step < size() - 1; ++step) {
-    const int send_block = (rank() - step + size()) % size();
-    const int recv_block = (rank() - step - 1 + size()) % size();
-    sendrecv(recvbuf, roff + send_block * bytes, bytes, type_byte(), to,
-             kTagAllgather, recvbuf, roff + recv_block * bytes, bytes,
-             type_byte(), from, kTagAllgather);
+  if (size() == 1 || count == 0) return;
+
+  const CollAlgo algo =
+      select_allgather(engine_.coll_tuning(), bytes, size());
+  const sim::Time t0 = engine_.ib().process().now();
+  if (algo == CollAlgo::RecursiveDoubling) {
+    allgather_rd(recvbuf, roff, count, type);
+    ++engine_.coll_stats().coll_allgather_rd;
+  } else {
+    // Pipelined ring over uniform per-rank blocks.
+    const std::size_t seg_elems =
+        std::max<std::size_t>(1, engine_.coll_tuning().segment_bytes /
+                                     type.size());
+    // Uniform partition: count*P splits evenly, so off[b] == b*count.
+    const BlockPart part(count * static_cast<std::size_t>(size()), size());
+    ring_allgather_blocks(recvbuf, roff, part, type, seg_elems, rank(),
+                          (rank() + 1) % size(), (rank() - 1 + size()) % size(),
+                          kTagAgRing);
+    ++engine_.coll_stats().coll_allgather_ring;
+  }
+  if (sim::Tracer::current()) {
+    sim::trace_span("rank" + std::to_string(engine_.rank()),
+                    std::string("allgather.") + coll_algo_name(algo) + " " +
+                        std::to_string(bytes) + "B/rank",
+                    t0, engine_.ib().process().now());
   }
 }
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
 
 void Communicator::scan(const mem::Buffer& sendbuf, std::size_t soff,
                         const mem::Buffer& recvbuf, std::size_t roff,
@@ -197,6 +709,10 @@ void Communicator::scan(const mem::Buffer& sendbuf, std::size_t soff,
     send(recvbuf, roff, count, type, rank() + 1, kTagScan);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Gatherv / scatterv / alltoall
+// ---------------------------------------------------------------------------
 
 void Communicator::gatherv(const mem::Buffer& sendbuf, std::size_t soff,
                            std::size_t count, const Datatype& type,

@@ -112,6 +112,15 @@ class Communicator {
   void allreduce(const mem::Buffer& sendbuf, std::size_t soff,
                  const mem::Buffer& recvbuf, std::size_t roff,
                  std::size_t count, const Datatype& type, Op op);
+  /// Reduce size()*recvcount elements from every rank's sendbuf, leaving
+  /// rank r with the r-th reduced block of recvcount elements
+  /// (MPI_Reduce_scatter_block). Runs the collectives engine's ring
+  /// reduce-scatter directly — the bandwidth-optimal building block of the
+  /// ring allreduce.
+  void reduce_scatter_block(const mem::Buffer& sendbuf, std::size_t soff,
+                            const mem::Buffer& recvbuf, std::size_t roff,
+                            std::size_t recvcount, const Datatype& type,
+                            Op op);
   /// Root gathers `count` elements from every rank into recvbuf, rank order.
   void gather(const mem::Buffer& sendbuf, std::size_t soff, std::size_t count,
               const Datatype& type, const mem::Buffer& recvbuf,
@@ -164,6 +173,51 @@ class Communicator {
   int to_world(int comm_rank) const;
   int from_world(int world_rank) const;
   Status translate(Status s) const;
+
+  // --- Collectives engine: per-algorithm units (collectives.cpp) -------------
+  // Balanced element partition of a vector into per-rank blocks; defined in
+  // collectives.cpp (off has size parts+1, off[parts] == total).
+  struct BlockPart;
+
+  /// One pipelined ring/halving step: stream `out_len` elements at
+  /// buf[base + out_off*extent] to `to` while receiving `in_len` elements
+  /// at in_off from `from`, both split into `seg_elems`-element segments.
+  /// With `op` set, incoming segments land in the double-buffered `scratch`
+  /// and are combined into the in-place block, overlapping the next
+  /// segment's transfer; without it they land directly. Returns segments
+  /// moved (Stats::coll_segments).
+  std::uint64_t pipelined_step(const mem::Buffer& buf, std::size_t base,
+                               std::size_t out_off, std::size_t out_len,
+                               std::size_t in_off, std::size_t in_len,
+                               const Datatype& type, const Op* op,
+                               std::size_t seg_elems, int to, int from,
+                               int tag, const mem::Buffer& scratch);
+  /// Ring reduce-scatter over `part`: P-1 pipelined steps leaving this rank
+  /// with the fully reduced block `final_block` in place in buf.
+  void reduce_scatter_ring(const mem::Buffer& buf, std::size_t base,
+                           const BlockPart& part, const Datatype& type,
+                           Op op, std::size_t seg_elems, int final_block,
+                           const mem::Buffer& scratch);
+  /// Ring allgather over `part`: this rank starts owning `my_block` and,
+  /// after P-1 pipelined steps through neighbours `to`/`from`, holds every
+  /// block. Block ids live in communicator rank space or, for bcast, in
+  /// root-relative vrank space (callers pass translated `to`/`from`).
+  void ring_allgather_blocks(const mem::Buffer& buf, std::size_t base,
+                             const BlockPart& part, const Datatype& type,
+                             std::size_t seg_elems, int my_block, int to,
+                             int from, int tag);
+  void allreduce_rd(const mem::Buffer& recvbuf, std::size_t roff,
+                    std::size_t count, const Datatype& type, Op op);
+  void allreduce_ring(const mem::Buffer& recvbuf, std::size_t roff,
+                      std::size_t count, const Datatype& type, Op op);
+  void allreduce_rab(const mem::Buffer& recvbuf, std::size_t roff,
+                     std::size_t count, const Datatype& type, Op op);
+  void bcast_binomial(const mem::Buffer& buf, std::size_t offset,
+                      std::size_t count, const Datatype& type, int root);
+  void bcast_scatter_ag(const mem::Buffer& buf, std::size_t offset,
+                        std::size_t count, const Datatype& type, int root);
+  void allgather_rd(const mem::Buffer& recvbuf, std::size_t roff,
+                    std::size_t count, const Datatype& type);
 
   /// Derived-communicator id: deterministic across members because split is
   /// collective and every member mixes the same ingredients.

@@ -92,6 +92,7 @@ Engine::Engine(int rank, int nranks, std::unique_ptr<verbs::Ib> ib,
   }
   mpi_offload_threshold_ = options.mpi_offload_threshold.value_or(
       platform_.mpi_offload_threshold);
+  coll_tuning_ = resolve_coll_tuning(platform_, options.coll);
   faults_ = ib_->faults();
   faults_armed_ = faults_ != nullptr && faults_->armed();
   fatal_armed_ = faults_ != nullptr && faults_->spec().fatal_armed();

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "dcfa/phi_verbs.hpp"
+#include "mpi/coll.hpp"
 #include "mpi/datatype.hpp"
 #include "mpi/mr_cache.hpp"
 #include "mpi/offload_cache.hpp"
@@ -113,6 +114,10 @@ class Engine {
     std::optional<sim::Time> retry_timeout;
     /// Override Platform::mpi_max_retries (fault recovery budget).
     std::optional<int> max_retries;
+    /// Collectives engine: forced algorithms and crossover/segment
+    /// overrides (ablation benches, tests). See mpi/coll.hpp for the
+    /// option > DCFA_COLL_* env > Platform precedence.
+    CollOverrides coll;
   };
 
   struct Stats {
@@ -144,6 +149,16 @@ class Engine {
     std::uint64_t reconnects = 0;        ///< endpoint epoch bumps completed
     std::uint64_t proxy_failovers = 0;   ///< endpoints degraded to proxy path
     std::uint64_t epoch_fenced = 0;      ///< stale cross-epoch packets dropped
+    // --- Collectives engine (per-algorithm invocation counts) ---------------
+    std::uint64_t coll_allreduce_rd = 0;        ///< recursive doubling
+    std::uint64_t coll_allreduce_ring = 0;      ///< pipelined ring
+    std::uint64_t coll_allreduce_rab = 0;       ///< Rabenseifner
+    std::uint64_t coll_allreduce_binomial = 0;  ///< reduce+bcast fallback
+    std::uint64_t coll_bcast_binomial = 0;
+    std::uint64_t coll_bcast_scatter_ag = 0;    ///< scatter + ring allgather
+    std::uint64_t coll_allgather_ring = 0;
+    std::uint64_t coll_allgather_rd = 0;
+    std::uint64_t coll_segments = 0;  ///< pipeline segments moved
   };
 
   Engine(int rank, int nranks, std::unique_ptr<verbs::Ib> ib,
@@ -164,6 +179,11 @@ class Engine {
   int size() const { return nranks_; }
   verbs::Ib& ib() { return *ib_; }
   const Stats& stats() const { return stats_; }
+  /// Resolved collective tuning (fixed at construction).
+  const CollTuning& coll_tuning() const { return coll_tuning_; }
+  /// Collectives-engine counters live in Stats but are bumped by the
+  /// Communicator collectives (collectives.cpp), which sit outside Engine.
+  Stats& coll_stats() { return stats_; }
   MrCache* mr_cache() { return mr_cache_.get(); }
   OffloadShadowCache* shadow_cache() { return shadow_cache_.get(); }
 
@@ -539,6 +559,7 @@ class Engine {
   std::map<const RequestState*, core::OffloadRegion> packed_;
   std::uint64_t next_wr_id_ = 1;
   std::uint64_t mpi_offload_threshold_ = 0;
+  CollTuning coll_tuning_;
 
   /// Fault-injection state. faults_armed_ is the single gate every hazard
   /// point branches on; with the default RunConfig it is false and the

@@ -158,6 +158,29 @@ struct Platform {
   int mr_cache_entries = 64;
   std::uint64_t mr_cache_bytes = 256ull * 1024 * 1024;
 
+  // --- Collectives engine (src/mpi/coll.hpp, docs/collectives.md) ----------
+  /// Allreduce: below this message size latency dominates and recursive
+  /// doubling's ceil(log2 P) full-vector rounds win over the
+  /// bandwidth-optimal algorithms.
+  std::uint64_t coll_allreduce_small_max = 4096;
+  /// Allreduce: between small_max and ring_min, Rabenseifner (recursive-
+  /// halving reduce-scatter + recursive-doubling allgather) moves the same
+  /// (P-1)/P*n bytes per phase as the ring but in log2(P) instead of P-1
+  /// steps, so it wins the whole mid range. At and above ring_min the
+  /// per-step latency is fully amortised and the pipelined ring's
+  /// send/recv/combine overlap takes over (abl_collectives: the two are
+  /// within ~2% at 8 MiB and the ring leads beyond).
+  std::uint64_t coll_allreduce_ring_min = 8ull << 20;
+  /// Bcast: at and above this size the scatter + ring-allgather algorithm
+  /// (van de Geijn, ~2n/P per link) replaces the binomial tree, which moves
+  /// the full message log2(P) times down the critical path.
+  std::uint64_t coll_bcast_large_min = 2ull << 20;
+  /// Segment size for pipelined collective phases: >= eager_threshold so
+  /// segments take the zero-copy rendezvous path, small enough that the
+  /// combine of segment k overlaps the transfer of segment k+1. The
+  /// abl_collectives segment sweep puts the elbow here.
+  std::uint64_t coll_segment_bytes = 256 * 1024;
+
   // --- Fault recovery (active only when a fault spec arms the injector) ----
   /// Base retransmit timeout for eager packets and rendezvous control
   /// messages; doubles on every retry (bounded exponential backoff). Sized

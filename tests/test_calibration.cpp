@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <map>
+#include <vector>
 
 #include "apps/commonly.hpp"
 #include "apps/pingpong.hpp"
@@ -161,4 +164,55 @@ TEST(Calibration, HostMpiSmallRttRealistic) {
   auto h = pingpong_blocking(mode_cfg(mpi::MpiMode::HostMpi), 4, 10);
   EXPECT_GT(sim::to_us(h.round_trip), 2.0);
   EXPECT_LT(sim::to_us(h.round_trip), 12.0);
+}
+
+namespace {
+/// Virtual time of one forced-algorithm allreduce of `bytes` on 8 Phi
+/// ranks (max over ranks — the collective's completion time).
+sim::Time allreduce_algo_time(const char* algo, std::size_t bytes) {
+  mpi::RunConfig cfg = mode_cfg(mpi::MpiMode::DcfaPhi);
+  cfg.nprocs = 8;
+  cfg.engine_options.coll.allreduce = algo;
+  const std::size_t n = std::max<std::size_t>(bytes / sizeof(double), 1);
+  std::vector<double> elapsed(cfg.nprocs, 0.0);
+  mpi::run_mpi(cfg, [&](mpi::RankCtx& ctx) {
+    mem::Buffer in = ctx.world.alloc(n * sizeof(double));
+    mem::Buffer out = ctx.world.alloc(n * sizeof(double));
+    std::memset(in.data(), 0, n * sizeof(double));
+    ctx.world.barrier();
+    const double t0 = ctx.wtime();
+    ctx.world.allreduce(in, 0, out, 0, n, mpi::type_double(), mpi::Op::Sum);
+    elapsed[ctx.rank] = ctx.wtime() - t0;
+    ctx.world.free(in);
+    ctx.world.free(out);
+  });
+  double worst = 0.0;
+  for (double e : elapsed) worst = std::max(worst, e);
+  return sim::seconds(worst);
+}
+}  // namespace
+
+TEST(Calibration, CollectivesBandwidthOptimalBeatReduceBcastAt1MB) {
+  // The collectives-engine headline (docs/collectives.md): at 1 MiB on 8
+  // ranks, the bandwidth-optimal algorithms beat the old reduce+bcast
+  // composition by well over 1.5x — the binomial root serializes log2(P)
+  // full-vector combines at Phi reduce throughput while ring/Rabenseifner
+  // spread 2(P-1)/P of the vector's combines across all ranks.
+  const double binomial =
+      static_cast<double>(allreduce_algo_time("binomial", 1 << 20));
+  const double ring =
+      static_cast<double>(allreduce_algo_time("ring", 1 << 20));
+  const double rab = static_cast<double>(allreduce_algo_time("rab", 1 << 20));
+  EXPECT_GT(binomial / ring, 1.5);
+  EXPECT_GT(binomial / rab, 1.5);
+}
+
+TEST(Calibration, CollectivesRecursiveDoublingWinsAt4B) {
+  // At 4 bytes the collective is pure latency: recursive doubling's
+  // log2(P) rounds beat reduce+bcast's two trees and the ring's 2(P-1)
+  // hops — this is why coll_allreduce_small_max exists.
+  const auto rd = allreduce_algo_time("rd", 4);
+  EXPECT_LT(rd, allreduce_algo_time("binomial", 4));
+  EXPECT_LT(rd, allreduce_algo_time("ring", 4));
+  EXPECT_LT(rd, allreduce_algo_time("rab", 4));
 }

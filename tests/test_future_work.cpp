@@ -71,6 +71,10 @@ TEST(OffloadedReduce, SameAnswerAsLocal) {
 TEST(OffloadedReduce, StatsCountDelegations) {
   RunConfig cfg = dcfa_cfg(2);
   cfg.engine_options.offload_reductions = true;
+  // Pin the binomial algorithm: the counts below rely on the reduce+bcast
+  // shape (one combine, at the root). The auto-selected ring would spread
+  // segment combines over both ranks.
+  cfg.engine_options.coll.allreduce = "binomial";
   Runtime rt(cfg);
   rt.run([&](RankCtx& ctx) {
     auto& comm = ctx.world;
