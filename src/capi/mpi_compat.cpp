@@ -24,8 +24,11 @@ struct RankEnv {
   /// Device allocations addressable through raw pointers.
   std::map<const std::byte*, mem::Buffer> allocs;
 
-  /// Outstanding non-blocking operations.
+  /// Outstanding non-blocking operations. Slots are recycled through
+  /// free_slots; gens[slot] stamps each incarnation so stale handle copies
+  /// (kept after the request completed) never alias a reused slot.
   std::vector<mpi::Request> requests;
+  std::vector<std::uint16_t> gens;
   std::vector<int> free_slots;
 };
 
@@ -113,16 +116,54 @@ void fill_status(MPI_Status* status, const mpi::Status& st) {
   status->count_bytes_ = st.bytes;
 }
 
+/// Handle layout: slot in bits 0..15, generation in bits 16..30 (bit 31
+/// stays clear so handles are positive and never collide with
+/// MPI_REQUEST_NULL).
+MPI_Request encode_request(const RankEnv& e, int slot) {
+  return static_cast<MPI_Request>((e.gens[slot] & 0x7fff) << 16 | slot);
+}
+
 MPI_Request stash_request(mpi::Request req) {
   RankEnv& e = env();
+  int slot;
   if (!e.free_slots.empty()) {
-    const int slot = e.free_slots.back();
+    slot = e.free_slots.back();
     e.free_slots.pop_back();
     e.requests[slot] = std::move(req);
-    return slot;
+  } else {
+    slot = static_cast<int>(e.requests.size());
+    e.requests.push_back(std::move(req));
+    e.gens.push_back(0);
   }
-  e.requests.push_back(std::move(req));
-  return static_cast<MPI_Request>(e.requests.size()) - 1;
+  return encode_request(e, slot);
+}
+
+enum class ReqRef {
+  Ok,       ///< live request at *slot
+  Stale,    ///< well-formed handle whose incarnation already completed
+  Invalid,  ///< never a request handle
+};
+
+ReqRef decode_request(MPI_Request h, int* slot) {
+  if (h < 0) return ReqRef::Invalid;
+  const int s = h & 0xffff;
+  const int gen = (h >> 16) & 0x7fff;
+  RankEnv& e = env();
+  if (s >= static_cast<int>(e.requests.size())) return ReqRef::Invalid;
+  if ((e.gens[s] & 0x7fff) != gen || !e.requests[s].valid()) {
+    return ReqRef::Stale;
+  }
+  *slot = s;
+  return ReqRef::Ok;
+}
+
+/// Retire a slot: bump the generation (invalidating outstanding handle
+/// copies) and recycle it.
+void release_request(int slot) {
+  RankEnv& e = env();
+  e.requests[slot] = mpi::Request{};
+  ++e.gens[slot];
+  e.free_slots.push_back(slot);
 }
 
 int classify(const mpi::MpiError& err) {
@@ -350,14 +391,20 @@ int MPI_Wait(MPI_Request* request, MPI_Status* status) {
   return guarded([&]() -> int {
     if (*request == MPI_REQUEST_NULL) return MPI_SUCCESS;
     RankEnv& e = env();
-    if (*request < 0 ||
-        *request >= static_cast<MPI_Request>(e.requests.size())) {
-      return MPI_ERR_REQUEST;
+    int slot;
+    switch (decode_request(*request, &slot)) {
+      case ReqRef::Invalid:
+        return MPI_ERR_REQUEST;
+      case ReqRef::Stale:
+        // A copy of a handle whose incarnation already completed: nothing
+        // left to wait for, and the slot must not be freed twice.
+        *request = MPI_REQUEST_NULL;
+        return MPI_SUCCESS;
+      case ReqRef::Ok:
+        break;
     }
-    mpi::Request& r = e.requests[*request];
-    fill_status(status, e.ctx->world.engine().wait(r));
-    e.free_slots.push_back(*request);
-    r = mpi::Request{};
+    fill_status(status, e.ctx->world.engine().wait(e.requests[slot]));
+    release_request(slot);
     *request = MPI_REQUEST_NULL;
     return MPI_SUCCESS;
   });
@@ -372,6 +419,43 @@ int MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses) {
   return MPI_SUCCESS;
 }
 
+int MPI_Waitany(int count, MPI_Request* requests, int* index,
+                MPI_Status* status) {
+  return guarded([&]() -> int {
+    RankEnv& e = env();
+    std::vector<mpi::Request> active;
+    std::vector<int> at;
+    for (int i = 0; i < count; ++i) {
+      if (requests[i] == MPI_REQUEST_NULL) continue;
+      int slot;
+      switch (decode_request(requests[i], &slot)) {
+        case ReqRef::Invalid:
+          return MPI_ERR_REQUEST;
+        case ReqRef::Stale:
+          requests[i] = MPI_REQUEST_NULL;
+          continue;
+        case ReqRef::Ok:
+          active.push_back(e.requests[slot]);
+          at.push_back(i);
+          break;
+      }
+    }
+    if (active.empty()) {
+      *index = MPI_UNDEFINED;
+      return MPI_SUCCESS;
+    }
+    const std::size_t w = e.ctx->world.engine().waitany(active);
+    const int i = at[w];
+    int slot;
+    decode_request(requests[i], &slot);
+    fill_status(status, e.requests[slot].status());
+    release_request(slot);
+    requests[i] = MPI_REQUEST_NULL;
+    *index = i;
+    return MPI_SUCCESS;
+  });
+}
+
 int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status) {
   return guarded([&]() -> int {
     if (*request == MPI_REQUEST_NULL) {
@@ -379,19 +463,128 @@ int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status) {
       return MPI_SUCCESS;
     }
     RankEnv& e = env();
-    if (*request < 0 ||
-        *request >= static_cast<MPI_Request>(e.requests.size())) {
-      return MPI_ERR_REQUEST;
+    int slot;
+    switch (decode_request(*request, &slot)) {
+      case ReqRef::Invalid:
+        return MPI_ERR_REQUEST;
+      case ReqRef::Stale:
+        *flag = 1;
+        *request = MPI_REQUEST_NULL;
+        return MPI_SUCCESS;
+      case ReqRef::Ok:
+        break;
     }
-    mpi::Request& r = e.requests[*request];
-    if (!e.ctx->world.test(r)) {
+    if (!e.ctx->world.test(e.requests[slot])) {
       *flag = 0;
       return MPI_SUCCESS;
     }
     *flag = 1;
-    fill_status(status, r.status());
-    e.free_slots.push_back(*request);
-    r = mpi::Request{};
+    fill_status(status, e.requests[slot].status());
+    release_request(slot);
+    *request = MPI_REQUEST_NULL;
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Testall(int count, MPI_Request* requests, int* flag,
+                MPI_Status* statuses) {
+  return guarded([&]() -> int {
+    RankEnv& e = env();
+    std::vector<mpi::Request> active;
+    for (int i = 0; i < count; ++i) {
+      if (requests[i] == MPI_REQUEST_NULL) continue;
+      int slot;
+      switch (decode_request(requests[i], &slot)) {
+        case ReqRef::Invalid:
+          return MPI_ERR_REQUEST;
+        case ReqRef::Stale:
+          requests[i] = MPI_REQUEST_NULL;
+          continue;
+        case ReqRef::Ok:
+          active.push_back(e.requests[slot]);
+          break;
+      }
+    }
+    if (!e.ctx->world.engine().testall(active)) {
+      // Statuses stay undefined until everything completes (MPI semantics).
+      *flag = 0;
+      return MPI_SUCCESS;
+    }
+    *flag = 1;
+    for (int i = 0; i < count; ++i) {
+      if (requests[i] == MPI_REQUEST_NULL) continue;
+      int slot;
+      decode_request(requests[i], &slot);
+      fill_status(statuses ? &statuses[i] : MPI_STATUS_IGNORE,
+                  e.requests[slot].status());
+      release_request(slot);
+      requests[i] = MPI_REQUEST_NULL;
+    }
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Testany(int count, MPI_Request* requests, int* index, int* flag,
+                MPI_Status* status) {
+  return guarded([&]() -> int {
+    RankEnv& e = env();
+    std::vector<mpi::Request> active;
+    std::vector<int> at;
+    for (int i = 0; i < count; ++i) {
+      if (requests[i] == MPI_REQUEST_NULL) continue;
+      int slot;
+      switch (decode_request(requests[i], &slot)) {
+        case ReqRef::Invalid:
+          return MPI_ERR_REQUEST;
+        case ReqRef::Stale:
+          requests[i] = MPI_REQUEST_NULL;
+          continue;
+        case ReqRef::Ok:
+          active.push_back(e.requests[slot]);
+          at.push_back(i);
+          break;
+      }
+    }
+    if (active.empty()) {
+      // No active request: trivially "completed" with undefined index.
+      *index = MPI_UNDEFINED;
+      *flag = 1;
+      return MPI_SUCCESS;
+    }
+    const auto w = e.ctx->world.engine().testany(active);
+    if (!w) {
+      *index = MPI_UNDEFINED;
+      *flag = 0;
+      return MPI_SUCCESS;
+    }
+    const int i = at[*w];
+    int slot;
+    decode_request(requests[i], &slot);
+    fill_status(status, e.requests[slot].status());
+    release_request(slot);
+    requests[i] = MPI_REQUEST_NULL;
+    *index = i;
+    *flag = 1;
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Request_free(MPI_Request* request) {
+  return guarded([&]() -> int {
+    if (*request == MPI_REQUEST_NULL) return MPI_ERR_REQUEST;
+    int slot;
+    switch (decode_request(*request, &slot)) {
+      case ReqRef::Invalid:
+        return MPI_ERR_REQUEST;
+      case ReqRef::Stale:
+        *request = MPI_REQUEST_NULL;
+        return MPI_SUCCESS;
+      case ReqRef::Ok:
+        break;
+    }
+    // Dropping the handle does not cancel the operation: the engine keeps
+    // its own reference to the request state until it completes.
+    release_request(slot);
     *request = MPI_REQUEST_NULL;
     return MPI_SUCCESS;
   });
@@ -656,6 +849,96 @@ int MPI_Scan(const void* sendbuf, void* recvbuf, int count,
     if (const int rc = resolve3(sendbuf, count, type, &sb, &soff, &t)) return rc;
     if (const int rc = resolve3(recvbuf, count, type, &rb, &roff, &t)) return rc;
     c->scan(sb, soff, rb, roff, count, *t, o);
+    return MPI_SUCCESS;
+  });
+}
+
+// --- Nonblocking collectives -------------------------------------------------------
+
+int MPI_Ibarrier(MPI_Comm comm, MPI_Request* request) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    *request = stash_request(c->ibarrier());
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Ibcast(void* buffer, int count, MPI_Datatype type, int root,
+               MPI_Comm comm, MPI_Request* request) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    mem::Buffer b;
+    std::size_t off;
+    const mpi::Datatype* t;
+    if (const int rc = resolve3(buffer, count, type, &b, &off, &t)) return rc;
+    *request = stash_request(c->ibcast(b, off, count, *t, root));
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Iallreduce(const void* sendbuf, void* recvbuf, int count,
+                   MPI_Datatype type, MPI_Op op, MPI_Comm comm,
+                   MPI_Request* request) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    mpi::Op o;
+    if (!op_of(op, &o)) return MPI_ERR_OP;
+    mem::Buffer sb, rb;
+    std::size_t soff, roff;
+    const mpi::Datatype* t;
+    if (const int rc = resolve3(sendbuf, count, type, &sb, &soff, &t)) return rc;
+    if (const int rc = resolve3(recvbuf, count, type, &rb, &roff, &t)) return rc;
+    *request = stash_request(c->iallreduce(sb, soff, rb, roff, count, *t, o));
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Iallgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                   void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                   MPI_Comm comm, MPI_Request* request) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    (void)recvcount;
+    mem::Buffer sb, rb;
+    std::size_t soff, roff = 0;
+    const mpi::Datatype* st;
+    const mpi::Datatype* rt = type_of(recvtype);
+    if (const int rc = resolve3(sendbuf, sendcount, sendtype, &sb, &soff, &st)) {
+      return rc;
+    }
+    if (!rt ||
+        !resolve(recvbuf, c->size() * sendcount * rt->size(), &rb, &roff)) {
+      return MPI_ERR_BUFFER;
+    }
+    *request = stash_request(c->iallgather(sb, soff, sendcount, *st, rb, roff));
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Ireduce_scatter_block(const void* sendbuf, void* recvbuf,
+                              int recvcount, MPI_Datatype type, MPI_Op op,
+                              MPI_Comm comm, MPI_Request* request) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    mpi::Op o;
+    if (!op_of(op, &o)) return MPI_ERR_OP;
+    mem::Buffer sb, rb;
+    std::size_t soff, roff;
+    const mpi::Datatype* t;
+    if (const int rc =
+            resolve3(sendbuf, recvcount * c->size(), type, &sb, &soff, &t)) {
+      return rc;
+    }
+    if (const int rc = resolve3(recvbuf, recvcount, type, &rb, &roff, &t)) {
+      return rc;
+    }
+    *request = stash_request(
+        c->ireduce_scatter_block(sb, soff, rb, roff, recvcount, *t, o));
     return MPI_SUCCESS;
   });
 }

@@ -51,6 +51,7 @@ constexpr MPI_Op MPI_MIN = 3;
 constexpr int MPI_ANY_SOURCE = mpi::kAnySource;
 constexpr int MPI_ANY_TAG = mpi::kAnyTag;
 constexpr int MPI_PROC_NULL = -3;
+constexpr int MPI_UNDEFINED = -32766;
 
 struct MPI_Status {
   int MPI_SOURCE = MPI_ANY_SOURCE;
@@ -61,6 +62,10 @@ struct MPI_Status {
 inline MPI_Status* const MPI_STATUS_IGNORE = nullptr;
 inline MPI_Status* const MPI_STATUSES_IGNORE = nullptr;
 
+/// Request handles are generation-counted: the slot index lives in the low
+/// 16 bits, a generation stamp in the next 15, so a handle copied before
+/// its request completed is detected as stale (completion calls on it
+/// succeed idempotently) instead of aliasing a recycled slot.
 using MPI_Request = int;
 constexpr MPI_Request MPI_REQUEST_NULL = -1;
 
@@ -112,7 +117,18 @@ int MPI_Irecv(void* buf, int count, MPI_Datatype type, int source, int tag,
               MPI_Comm comm, MPI_Request* request);
 int MPI_Wait(MPI_Request* request, MPI_Status* status);
 int MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses);
+/// Block until one of the (non-null) requests completes; *index gets its
+/// position, or MPI_UNDEFINED when every entry is MPI_REQUEST_NULL.
+int MPI_Waitany(int count, MPI_Request* requests, int* index,
+                MPI_Status* status);
 int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status);
+int MPI_Testall(int count, MPI_Request* requests, int* flag,
+                MPI_Status* statuses);
+int MPI_Testany(int count, MPI_Request* requests, int* index, int* flag,
+                MPI_Status* status);
+/// Release the handle without waiting; an in-flight operation still runs to
+/// completion inside the engine (its state is reference-counted).
+int MPI_Request_free(MPI_Request* request);
 int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status);
 int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag,
                MPI_Status* status);
@@ -150,6 +166,26 @@ int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
                  MPI_Comm comm);
 int MPI_Scan(const void* sendbuf, void* recvbuf, int count,
              MPI_Datatype type, MPI_Op op, MPI_Comm comm);
+
+// --- Nonblocking collectives -------------------------------------------------------
+//
+// Each returns immediately with a request that completes under
+// MPI_Wait/Test/Waitall/Waitany/Testall/Testany, freely mixed with
+// point-to-point requests. The schedule advances whenever this rank waits
+// or tests on anything; buffers must not be touched until completion.
+
+int MPI_Ibarrier(MPI_Comm comm, MPI_Request* request);
+int MPI_Ibcast(void* buffer, int count, MPI_Datatype type, int root,
+               MPI_Comm comm, MPI_Request* request);
+int MPI_Iallreduce(const void* sendbuf, void* recvbuf, int count,
+                   MPI_Datatype type, MPI_Op op, MPI_Comm comm,
+                   MPI_Request* request);
+int MPI_Iallgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                   void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                   MPI_Comm comm, MPI_Request* request);
+int MPI_Ireduce_scatter_block(const void* sendbuf, void* recvbuf,
+                              int recvcount, MPI_Datatype type, MPI_Op op,
+                              MPI_Comm comm, MPI_Request* request);
 
 // --- Launcher ----------------------------------------------------------------------
 

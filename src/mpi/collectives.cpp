@@ -1,9 +1,13 @@
-// The collectives algorithm engine (docs/collectives.md): per-algorithm
-// units — recursive-doubling / pipelined-ring / Rabenseifner allreduce,
-// binomial and scatter+ring-allgather bcast, ring and recursive-doubling
-// allgather — behind a size- and comm-size-aware selection layer
-// (mpi/coll.hpp). Large-message paths are segmented so send, receive and
-// combine of consecutive segments overlap through nonblocking requests.
+// The collectives algorithm engine (docs/collectives.md): each algorithm —
+// recursive-doubling / pipelined-ring / Rabenseifner allreduce, binomial
+// and scatter+ring-allgather bcast, ring and recursive-doubling allgather,
+// reduce_scatter_block, dissemination barrier — is a schedule emitter that
+// compiles this rank's part of the collective into a CollSchedule
+// (mpi/coll.hpp) of send/recv/copy/combine stages. The engine's progress
+// loop advances the schedule, so the nonblocking i* entry points return
+// immediately; the blocking forms post the same schedule and wait.
+// Large-message stages are pipelined (CollPipe) so send, receive and
+// combine of consecutive segments overlap.
 
 #include <algorithm>
 #include <cstring>
@@ -17,35 +21,58 @@ namespace dcfa::mpi {
 
 namespace {
 
-/// Internal tags, disjoint per collective (and per engine phase) so
-/// overlapping phases of different collectives on the same communicator
-/// cannot cross-match. (Collectives are themselves ordered per
-/// communicator, as MPI requires.)
+/// Fixed internal tags for the collectives that still run inline (rooted /
+/// irregular ones outside the schedule engine), disjoint per collective.
+/// Schedule-based collectives use rotating per-schedule tag windows instead
+/// (kCollSchedTagBase; see next_coll_tag_base).
 enum : int {
-  kTagBarrier = kInternalTagBase + 1,
-  kTagBcast = kInternalTagBase + 2,
   kTagReduce = kInternalTagBase + 3,
   kTagGather = kInternalTagBase + 4,
   kTagScatter = kInternalTagBase + 5,
-  kTagAllgather = kInternalTagBase + 6,
   kTagAlltoall = kInternalTagBase + 7,
   kTagScan = kInternalTagBase + 8,
   kTagGatherv = kInternalTagBase + 9,
   kTagScatterv = kInternalTagBase + 10,
-  // Collectives-engine phases.
-  kTagFold = kInternalTagBase + 11,      ///< power-of-two fold / unfold
-  kTagRsRing = kInternalTagBase + 12,    ///< ring reduce-scatter segments
-  kTagAgRing = kInternalTagBase + 13,    ///< ring allgather segments
-  kTagRdRound = kInternalTagBase + 14,   ///< recursive doubling / halving
-  kTagBcastScatter = kInternalTagBase + 15,
-  kTagBcastAg = kInternalTagBase + 16,   ///< bcast's ring allgather phase
-  kTagRsBlock = kInternalTagBase + 17,   ///< reduce_scatter_block segments
+};
+
+/// Phase slots inside a schedule's kCollSchedPhases-tag window. Phases that
+/// run in sequence on the same peer pair may share a slot (the channel's
+/// sequence ids keep them ordered); phases whose traffic could interleave
+/// get their own.
+enum : int {
+  kPhaseFold = 0,      ///< power-of-two fold / unfold
+  kPhaseRsRing = 1,    ///< ring reduce-scatter segments
+  kPhaseAgRing = 2,    ///< ring allgather segments
+  kPhaseRdRound = 3,   ///< recursive doubling / halving rounds
+  kPhaseScatter = 4,   ///< bcast's binomial scatter
+  kPhaseBcastTree = 5, ///< binomial bcast tree
+  kPhaseBarrier = 6,   ///< dissemination rounds
+  kPhaseReduceTree = 7 ///< binomial reduce tree
 };
 
 int floor_pow2(int n) {
   int p = 1;
   while (p * 2 <= n) p *= 2;
   return p;
+}
+
+CollStage& add_stage(CollSchedule& s) {
+  s.stages.emplace_back();
+  return s.stages.back();
+}
+
+CollXfer xfer(bool is_send, const mem::Buffer& buf, std::size_t off,
+              std::size_t count, const Datatype& type, int world_peer,
+              int tag) {
+  CollXfer x;
+  x.is_send = is_send;
+  x.buf = buf;
+  x.off = off;
+  x.count = count;
+  x.type = &type;
+  x.peer = world_peer;
+  x.tag = tag;
+  return x;
 }
 
 }  // namespace
@@ -71,146 +98,122 @@ struct Communicator::BlockPart {
   std::size_t range(int b0, int b1) const { return off[b1] - off[b0]; }
 };
 
-// ---------------------------------------------------------------------------
-// Pipelined segment exchange
-// ---------------------------------------------------------------------------
-
-std::uint64_t Communicator::pipelined_step(
-    const mem::Buffer& buf, std::size_t base, std::size_t out_off,
-    std::size_t out_len, std::size_t in_off, std::size_t in_len,
-    const Datatype& type, const Op* op, std::size_t seg_elems, int to,
-    int from, int tag, const mem::Buffer& scratch) {
-  const std::size_t es = type.size();
-  const auto nseg = [seg_elems](std::size_t len) {
-    return len == 0 ? std::size_t{0} : (len + seg_elems - 1) / seg_elems;
-  };
-  const std::size_t nout = nseg(out_len);
-  const std::size_t nin = nseg(in_len);
-
-  // All outgoing segments go up first: they read block ranges this step
-  // never writes, and queuing them keeps the wire busy while we fold
-  // incoming segments.
-  std::vector<Request> sends;
-  sends.reserve(nout);
-  for (std::size_t j = 0; j < nout; ++j) {
-    const std::size_t lo = j * seg_elems;
-    const std::size_t n = std::min(seg_elems, out_len - lo);
-    sends.push_back(isend(buf, base + (out_off + lo) * es, n, type, to, tag));
-  }
-
-  if (op == nullptr) {
-    // Pure data movement: receive segments straight into place.
-    std::vector<Request> recvs;
-    recvs.reserve(nin);
-    for (std::size_t j = 0; j < nin; ++j) {
-      const std::size_t lo = j * seg_elems;
-      const std::size_t n = std::min(seg_elems, in_len - lo);
-      recvs.push_back(
-          irecv(buf, base + (in_off + lo) * es, n, type, from, tag));
-    }
-    waitall(recvs);
-  } else {
-    // Reduction pipeline: segment j+1 is in flight (into the other half of
-    // the double-buffered scratch) while segment j is being combined.
-    const std::size_t seg_bytes = seg_elems * es;
-    auto seg_len = [&](std::size_t j) {
-      return std::min(seg_elems, in_len - j * seg_elems);
-    };
-    Request cur;
-    if (nin > 0) cur = irecv(scratch, 0, seg_len(0), type, from, tag);
-    for (std::size_t j = 0; j < nin; ++j) {
-      Request next;
-      if (j + 1 < nin) {
-        next = irecv(scratch, ((j + 1) % 2) * seg_bytes, seg_len(j + 1), type,
-                     from, tag);
-      }
-      wait(cur);
-      engine_.combine(*op, type, buf, base + (in_off + j * seg_elems) * es,
-                      scratch, (j % 2) * seg_bytes, seg_len(j));
-      cur = next;
-    }
-  }
-  waitall(sends);
-  return nout + nin;
+int Communicator::next_coll_tag_base() {
+  const int slot = static_cast<int>(coll_seq_++ % kCollSchedWindow);
+  return kCollSchedTagBase + slot * kCollSchedPhases;
 }
 
 // ---------------------------------------------------------------------------
-// Ring phases
+// Ring phases (pipelined stages)
 // ---------------------------------------------------------------------------
 
-void Communicator::reduce_scatter_ring(const mem::Buffer& buf,
-                                       std::size_t base, const BlockPart& part,
-                                       const Datatype& type, Op op,
-                                       std::size_t seg_elems, int final_block,
-                                       const mem::Buffer& scratch) {
+void Communicator::emit_rs_ring(CollSchedule& sched, const mem::Buffer& buf,
+                                std::size_t base, const BlockPart& part,
+                                const Datatype& type, Op op,
+                                std::size_t seg_elems, int final_block,
+                                const mem::Buffer& scratch, int tag) {
   const int P = size();
-  const int to = (rank() + 1) % P;
-  const int from = (rank() - 1 + P) % P;
-  std::uint64_t segs = 0;
+  const int to = to_world((rank() + 1) % P);
+  const int from = to_world((rank() - 1 + P) % P);
   // Step s forwards the partial of block (final_block - 1 - s) to the
   // successor while folding the predecessor's partial of the next block;
   // after P-1 steps only `final_block` is globally complete here.
   for (int s = 0; s < P - 1; ++s) {
     const int ob = (final_block - 1 - s + 2 * P) % P;
     const int ib = (final_block - 2 - s + 2 * P) % P;
-    segs += pipelined_step(buf, base, part.off[ob], part.len(ob),
-                           part.off[ib], part.len(ib), type, &op, seg_elems,
-                           to, from, kTagRsRing, scratch);
+    CollPipe p;
+    p.buf = buf;
+    p.base = base;
+    p.out_off = part.off[ob];
+    p.out_len = part.len(ob);
+    p.in_off = part.off[ib];
+    p.in_len = part.len(ib);
+    p.type = &type;
+    p.has_op = true;
+    p.op = op;
+    p.seg_elems = seg_elems;
+    p.to = to;
+    p.from = from;
+    p.tag = tag;
+    p.scratch = scratch;
+    add_stage(sched).pipe = std::move(p);
   }
-  engine_.coll_stats().coll_segments += segs;
 }
 
-void Communicator::ring_allgather_blocks(const mem::Buffer& buf,
-                                         std::size_t base,
-                                         const BlockPart& part,
-                                         const Datatype& type,
-                                         std::size_t seg_elems, int my_block,
-                                         int to, int from, int tag) {
+void Communicator::emit_ag_ring(CollSchedule& sched, const mem::Buffer& buf,
+                                std::size_t base, const BlockPart& part,
+                                const Datatype& type, std::size_t seg_elems,
+                                int my_block, int to, int from, int tag) {
   const int P = size();
-  std::uint64_t segs = 0;
-  mem::Buffer none;  // no combine => scratch unused
+  const int wto = to_world(to);
+  const int wfrom = to_world(from);
   for (int s = 0; s < P - 1; ++s) {
     const int ob = (my_block - s + 2 * P) % P;
     const int ib = (my_block - 1 - s + 2 * P) % P;
-    segs += pipelined_step(buf, base, part.off[ob], part.len(ob),
-                           part.off[ib], part.len(ib), type, nullptr,
-                           seg_elems, to, from, tag, none);
+    CollPipe p;
+    p.buf = buf;
+    p.base = base;
+    p.out_off = part.off[ob];
+    p.out_len = part.len(ob);
+    p.in_off = part.off[ib];
+    p.in_len = part.len(ib);
+    p.type = &type;
+    p.has_op = false;
+    p.seg_elems = seg_elems;
+    p.to = wto;
+    p.from = wfrom;
+    p.tag = tag;
+    add_stage(sched).pipe = std::move(p);
   }
-  engine_.coll_stats().coll_segments += segs;
 }
 
 // ---------------------------------------------------------------------------
 // Barrier
 // ---------------------------------------------------------------------------
 
-void Communicator::barrier() {
-  if (size() == 1) return;
+Request Communicator::ibarrier() {
+  if (size() == 1) return engine_.completed_request();
+  auto sched = std::make_shared<CollSchedule>();
+  sched->comm_id = id_;
+  const int tag = next_coll_tag_base() + kPhaseBarrier;
   // Dissemination barrier: works for any communicator size in ceil(log2 n)
   // rounds of 0-byte messages.
   mem::Buffer dummy = alloc(1);
+  sched->owned.push_back(dummy);
   for (int k = 1; k < size(); k <<= 1) {
     const int to = (rank() + k) % size();
     const int from = (rank() - k + size()) % size();
-    sendrecv(dummy, 0, 0, type_byte(), to, kTagBarrier, dummy, 0, 0,
-             type_byte(), from, kTagBarrier);
+    CollStage& st = add_stage(*sched);
+    st.xfers.push_back(
+        xfer(false, dummy, 0, 0, type_byte(), to_world(from), tag));
+    st.xfers.push_back(
+        xfer(true, dummy, 0, 0, type_byte(), to_world(to), tag));
   }
-  free(dummy);
+  return engine_.start_coll(std::move(sched));
+}
+
+void Communicator::barrier() {
+  Request r = ibarrier();
+  engine_.wait(r);
 }
 
 // ---------------------------------------------------------------------------
 // Bcast
 // ---------------------------------------------------------------------------
 
-void Communicator::bcast_binomial(const mem::Buffer& buf, std::size_t offset,
-                                  std::size_t count, const Datatype& type,
-                                  int root) {
+void Communicator::emit_bcast_binomial(CollSchedule& sched, int tag_base,
+                                       const mem::Buffer& buf,
+                                       std::size_t offset, std::size_t count,
+                                       const Datatype& type, int root) {
+  const int tag = tag_base + kPhaseBcastTree;
   // Binomial tree rooted at `root`, computed in root-relative rank space.
   const int vrank = (rank() - root + size()) % size();
   int mask = 1;
   while (mask < size()) {
     if (vrank & mask) {
       const int src = ((vrank - mask) + root) % size();
-      recv(buf, offset, count, type, src, kTagBcast);
+      add_stage(sched).xfers.push_back(
+          xfer(false, buf, offset, count, type, to_world(src), tag));
       break;
     }
     mask <<= 1;
@@ -219,15 +222,20 @@ void Communicator::bcast_binomial(const mem::Buffer& buf, std::size_t offset,
   while (mask > 0) {
     if (vrank + mask < size()) {
       const int dst = ((vrank + mask) + root) % size();
-      send(buf, offset, count, type, dst, kTagBcast);
+      // One send per stage: children are fed sequentially, like the
+      // blocking tree's send loop.
+      add_stage(sched).xfers.push_back(
+          xfer(true, buf, offset, count, type, to_world(dst), tag));
     }
     mask >>= 1;
   }
 }
 
-void Communicator::bcast_scatter_ag(const mem::Buffer& buf,
-                                    std::size_t offset, std::size_t count,
-                                    const Datatype& type, int root) {
+void Communicator::emit_bcast_scatter_ag(CollSchedule& sched, int tag_base,
+                                         const mem::Buffer& buf,
+                                         std::size_t offset,
+                                         std::size_t count,
+                                         const Datatype& type, int root) {
   // van de Geijn: binomial scatter of per-rank blocks, then a pipelined
   // ring allgather — the full message crosses each rank's links ~twice
   // instead of log2(P) times. Everything runs in root-relative vrank
@@ -237,6 +245,7 @@ void Communicator::bcast_scatter_ag(const mem::Buffer& buf,
   const auto real = [&](int v) { return ((v % P) + P + root) % P; };
   const BlockPart part(count, P);
   const std::size_t es = type.size();
+  const int stag = tag_base + kPhaseScatter;
 
   // Scatter: the first set bit of vrank is the subtree this rank roots;
   // it receives blocks [vrank, vrank+mask) and forwards sub-halves.
@@ -244,8 +253,10 @@ void Communicator::bcast_scatter_ag(const mem::Buffer& buf,
   while (mask < P) {
     if (vrank & mask) {
       const int hi = std::min(vrank + mask, P);
-      recv(buf, offset + part.off[vrank] * es, part.range(vrank, hi), type,
-           real(vrank - mask), kTagBcastScatter);
+      add_stage(sched).xfers.push_back(
+          xfer(false, buf, offset + part.off[vrank] * es,
+               part.range(vrank, hi), type, to_world(real(vrank - mask)),
+               stag));
       break;
     }
     mask <<= 1;
@@ -255,38 +266,47 @@ void Communicator::bcast_scatter_ag(const mem::Buffer& buf,
     if (vrank + mask < P) {
       const int lo = vrank + mask;
       const int hi = std::min(vrank + 2 * mask, P);
-      send(buf, offset + part.off[lo] * es, part.range(lo, hi), type,
-           real(lo), kTagBcastScatter);
+      add_stage(sched).xfers.push_back(
+          xfer(true, buf, offset + part.off[lo] * es, part.range(lo, hi),
+               type, to_world(real(lo)), stag));
     }
     mask >>= 1;
   }
 
   const std::size_t seg_elems =
       std::max<std::size_t>(1, engine_.coll_tuning().segment_bytes / es);
-  ring_allgather_blocks(buf, offset, part, type, seg_elems, vrank,
-                        real(vrank + 1), real(vrank - 1), kTagBcastAg);
+  emit_ag_ring(sched, buf, offset, part, type, seg_elems, vrank,
+               real(vrank + 1), real(vrank - 1), tag_base + kPhaseAgRing);
+}
+
+Request Communicator::ibcast(const mem::Buffer& buf, std::size_t offset,
+                             std::size_t count, const Datatype& type,
+                             int root) {
+  if (size() == 1 || count == 0) return engine_.completed_request();
+  const std::size_t bytes = count * type.size();
+  const CollAlgo algo = select_bcast(engine_.coll_tuning(), bytes, size());
+  auto sched = std::make_shared<CollSchedule>();
+  sched->comm_id = id_;
+  sched->bytes = bytes;
+  const int tag_base = next_coll_tag_base();
+  if (algo == CollAlgo::ScatterAllgather) {
+    emit_bcast_scatter_ag(*sched, tag_base, buf, offset, count, type, root);
+    sched->algo_counter = &engine_.coll_stats().coll_bcast_scatter_ag;
+  } else {
+    emit_bcast_binomial(*sched, tag_base, buf, offset, count, type, root);
+    sched->algo_counter = &engine_.coll_stats().coll_bcast_binomial;
+  }
+  if (sim::Tracer::current()) {
+    sched->label = std::string("bcast.") + coll_algo_name(algo) + " " +
+                   std::to_string(bytes) + "B";
+  }
+  return engine_.start_coll(std::move(sched));
 }
 
 void Communicator::bcast(const mem::Buffer& buf, std::size_t offset,
                          std::size_t count, const Datatype& type, int root) {
-  if (size() == 1 || count == 0) return;
-  const std::size_t bytes = count * type.size();
-  const CollAlgo algo =
-      select_bcast(engine_.coll_tuning(), bytes, size());
-  const sim::Time t0 = engine_.ib().process().now();
-  if (algo == CollAlgo::ScatterAllgather) {
-    bcast_scatter_ag(buf, offset, count, type, root);
-    ++engine_.coll_stats().coll_bcast_scatter_ag;
-  } else {
-    bcast_binomial(buf, offset, count, type, root);
-    ++engine_.coll_stats().coll_bcast_binomial;
-  }
-  if (sim::Tracer::current()) {
-    sim::trace_span("rank" + std::to_string(engine_.rank()),
-                    std::string("bcast.") + coll_algo_name(algo) + " " +
-                        std::to_string(bytes) + "B",
-                    t0, engine_.ib().process().now());
-  }
+  Request r = ibcast(buf, offset, count, type, root);
+  engine_.wait(r);
 }
 
 // ---------------------------------------------------------------------------
@@ -331,12 +351,16 @@ void Communicator::reduce(const mem::Buffer& sendbuf, std::size_t soff,
 // Allreduce
 // ---------------------------------------------------------------------------
 
-void Communicator::allreduce_rd(const mem::Buffer& recvbuf, std::size_t roff,
-                                std::size_t count, const Datatype& type,
-                                Op op) {
+void Communicator::emit_allreduce_rd(CollSchedule& sched, int tag_base,
+                                     const mem::Buffer& recvbuf,
+                                     std::size_t roff, std::size_t count,
+                                     const Datatype& type, Op op) {
   const int P = size();
   const std::size_t bytes = count * type.size();
+  const int tag_fold = tag_base + kPhaseFold;
+  const int tag_rd = tag_base + kPhaseRdRound;
   mem::Buffer tmp = alloc(std::max<std::size_t>(bytes, 1));
+  sched.owned.push_back(tmp);
 
   // Fold to a power of two: the first 2*rem ranks pair up, evens ship
   // their vector to the odd partner and sit out the doubling rounds.
@@ -345,11 +369,15 @@ void Communicator::allreduce_rd(const mem::Buffer& recvbuf, std::size_t roff,
   int newrank;
   if (rank() < 2 * rem) {
     if (rank() % 2 == 0) {
-      send(recvbuf, roff, count, type, rank() + 1, kTagFold);
+      add_stage(sched).xfers.push_back(xfer(
+          true, recvbuf, roff, count, type, to_world(rank() + 1), tag_fold));
       newrank = -1;
     } else {
-      recv(tmp, 0, count, type, rank() - 1, kTagFold);
-      engine_.combine(op, type, recvbuf, roff, tmp, 0, count);
+      CollStage& st = add_stage(sched);
+      st.xfers.push_back(
+          xfer(false, tmp, 0, count, type, to_world(rank() - 1), tag_fold));
+      st.locals.push_back(
+          {CollLocal::Kind::Combine, recvbuf, roff, tmp, 0, count, &type, op});
       newrank = rank() / 2;
     }
   } else {
@@ -360,63 +388,73 @@ void Communicator::allreduce_rd(const mem::Buffer& recvbuf, std::size_t roff,
     for (int mask = 1; mask < pof2; mask <<= 1) {
       const int pn = newrank ^ mask;
       const int peer = pn < rem ? pn * 2 + 1 : pn + rem;
-      sendrecv(recvbuf, roff, count, type, peer, kTagRdRound, tmp, 0, count,
-               type, peer, kTagRdRound);
-      engine_.combine(op, type, recvbuf, roff, tmp, 0, count);
+      CollStage& st = add_stage(sched);
+      st.xfers.push_back(
+          xfer(false, tmp, 0, count, type, to_world(peer), tag_rd));
+      st.xfers.push_back(
+          xfer(true, recvbuf, roff, count, type, to_world(peer), tag_rd));
+      st.locals.push_back(
+          {CollLocal::Kind::Combine, recvbuf, roff, tmp, 0, count, &type, op});
     }
   }
 
   // Unfold: odd partners return the finished vector to the evens.
   if (rank() < 2 * rem) {
-    if (rank() % 2 == 0) {
-      recv(recvbuf, roff, count, type, rank() + 1, kTagFold);
-    } else {
-      send(recvbuf, roff, count, type, rank() - 1, kTagFold);
-    }
+    add_stage(sched).xfers.push_back(
+        xfer(rank() % 2 != 0, recvbuf, roff, count, type,
+             to_world(rank() % 2 == 0 ? rank() + 1 : rank() - 1), tag_fold));
   }
-  free(tmp);
 }
 
-void Communicator::allreduce_ring(const mem::Buffer& recvbuf,
-                                  std::size_t roff, std::size_t count,
-                                  const Datatype& type, Op op) {
+void Communicator::emit_allreduce_ring(CollSchedule& sched, int tag_base,
+                                       const mem::Buffer& recvbuf,
+                                       std::size_t roff, std::size_t count,
+                                       const Datatype& type, Op op) {
   const int P = size();
   const std::size_t es = type.size();
   const BlockPart part(count, P);
   const std::size_t seg_elems =
       std::max<std::size_t>(1, engine_.coll_tuning().segment_bytes / es);
   mem::Buffer scratch = alloc(std::max<std::size_t>(2 * seg_elems * es, 1));
+  sched.owned.push_back(scratch);
 
   // Reduce-scatter leaves this rank with block (rank+1) complete — exactly
   // the block the allgather ring starts forwarding.
   const int my_block = (rank() + 1) % P;
-  reduce_scatter_ring(recvbuf, roff, part, type, op, seg_elems, my_block,
-                      scratch);
-  ring_allgather_blocks(recvbuf, roff, part, type, seg_elems, my_block,
-                        (rank() + 1) % P, (rank() - 1 + P) % P, kTagAgRing);
-  free(scratch);
+  emit_rs_ring(sched, recvbuf, roff, part, type, op, seg_elems, my_block,
+               scratch, tag_base + kPhaseRsRing);
+  emit_ag_ring(sched, recvbuf, roff, part, type, seg_elems, my_block,
+               (rank() + 1) % P, (rank() - 1 + P) % P,
+               tag_base + kPhaseAgRing);
 }
 
-void Communicator::allreduce_rab(const mem::Buffer& recvbuf, std::size_t roff,
-                                 std::size_t count, const Datatype& type,
-                                 Op op) {
+void Communicator::emit_allreduce_rab(CollSchedule& sched, int tag_base,
+                                      const mem::Buffer& recvbuf,
+                                      std::size_t roff, std::size_t count,
+                                      const Datatype& type, Op op) {
   const int P = size();
   const std::size_t es = type.size();
   const std::size_t bytes = count * es;
+  const int tag_fold = tag_base + kPhaseFold;
+  const int tag_rd = tag_base + kPhaseRdRound;
 
-  // Fold to a power of two (as in allreduce_rd).
+  // Fold to a power of two (as in emit_allreduce_rd).
   const int pof2 = floor_pow2(P);
   const int rem = P - pof2;
   int newrank;
   if (rank() < 2 * rem) {
     if (rank() % 2 == 0) {
-      send(recvbuf, roff, count, type, rank() + 1, kTagFold);
+      add_stage(sched).xfers.push_back(xfer(
+          true, recvbuf, roff, count, type, to_world(rank() + 1), tag_fold));
       newrank = -1;
     } else {
       mem::Buffer tmp = alloc(std::max<std::size_t>(bytes, 1));
-      recv(tmp, 0, count, type, rank() - 1, kTagFold);
-      engine_.combine(op, type, recvbuf, roff, tmp, 0, count);
-      free(tmp);
+      sched.owned.push_back(tmp);
+      CollStage& st = add_stage(sched);
+      st.xfers.push_back(
+          xfer(false, tmp, 0, count, type, to_world(rank() - 1), tag_fold));
+      st.locals.push_back(
+          {CollLocal::Kind::Combine, recvbuf, roff, tmp, 0, count, &type, op});
       newrank = rank() / 2;
     }
   } else {
@@ -429,6 +467,7 @@ void Communicator::allreduce_rab(const mem::Buffer& recvbuf, std::size_t roff,
         std::max<std::size_t>(1, engine_.coll_tuning().segment_bytes / es);
     mem::Buffer scratch =
         alloc(std::max<std::size_t>(2 * seg_elems * es, 1));
+    sched.owned.push_back(scratch);
     const auto peer_of = [&](int pn) {
       return pn < rem ? pn * 2 + 1 : pn + rem;
     };
@@ -445,14 +484,25 @@ void Communicator::allreduce_rab(const mem::Buffer& recvbuf, std::size_t roff,
       } else {
         keep_lo = mid, keep_hi = hi, give_lo = lo, give_hi = mid;
       }
-      engine_.coll_stats().coll_segments += pipelined_step(
-          recvbuf, roff, part.off[give_lo], part.range(give_lo, give_hi),
-          part.off[keep_lo], part.range(keep_lo, keep_hi), type, &op,
-          seg_elems, peer, peer, kTagRdRound, scratch);
+      CollPipe p;
+      p.buf = recvbuf;
+      p.base = roff;
+      p.out_off = part.off[give_lo];
+      p.out_len = part.range(give_lo, give_hi);
+      p.in_off = part.off[keep_lo];
+      p.in_len = part.range(keep_lo, keep_hi);
+      p.type = &type;
+      p.has_op = true;
+      p.op = op;
+      p.seg_elems = seg_elems;
+      p.to = to_world(peer);
+      p.from = to_world(peer);
+      p.tag = tag_rd;
+      p.scratch = scratch;
+      add_stage(sched).pipe = std::move(p);
       lo = keep_lo;
       hi = keep_hi;
     }
-    free(scratch);
 
     // Recursive-doubling allgather over the finished blocks: the owned
     // aligned range doubles every round.
@@ -460,27 +510,69 @@ void Communicator::allreduce_rab(const mem::Buffer& recvbuf, std::size_t roff,
       const int peer = peer_of(newrank ^ dist);
       const int base_blk = newrank & ~(dist - 1);
       const int peer_blk = base_blk ^ dist;
-      sendrecv(recvbuf, roff + part.off[base_blk] * es,
-               part.range(base_blk, base_blk + dist), type, peer, kTagRdRound,
-               recvbuf, roff + part.off[peer_blk] * es,
-               part.range(peer_blk, peer_blk + dist), type, peer,
-               kTagRdRound);
+      CollStage& st = add_stage(sched);
+      st.xfers.push_back(xfer(false, recvbuf,
+                              roff + part.off[peer_blk] * es,
+                              part.range(peer_blk, peer_blk + dist), type,
+                              to_world(peer), tag_rd));
+      st.xfers.push_back(xfer(true, recvbuf, roff + part.off[base_blk] * es,
+                              part.range(base_blk, base_blk + dist), type,
+                              to_world(peer), tag_rd));
     }
   }
 
   // Unfold the full vector to the folded-out evens.
   if (rank() < 2 * rem) {
-    if (rank() % 2 == 0) {
-      recv(recvbuf, roff, count, type, rank() + 1, kTagFold);
-    } else {
-      send(recvbuf, roff, count, type, rank() - 1, kTagFold);
-    }
+    add_stage(sched).xfers.push_back(
+        xfer(rank() % 2 != 0, recvbuf, roff, count, type,
+             to_world(rank() % 2 == 0 ? rank() + 1 : rank() - 1), tag_fold));
   }
 }
 
-void Communicator::allreduce(const mem::Buffer& sendbuf, std::size_t soff,
-                             const mem::Buffer& recvbuf, std::size_t roff,
-                             std::size_t count, const Datatype& type, Op op) {
+void Communicator::emit_allreduce_binomial(CollSchedule& sched, int tag_base,
+                                           const mem::Buffer& recvbuf,
+                                           std::size_t roff,
+                                           std::size_t count,
+                                           const Datatype& type, Op op) {
+  // The pre-engine path: binomial reduce to rank 0, binomial bcast back
+  // out. Kept as the small-comm / forced fallback and as the baseline the
+  // bench sweeps against.
+  const std::size_t bytes = count * type.size();
+  const int tag = tag_base + kPhaseReduceTree;
+  // Accumulator starts as my contribution (recvbuf already holds it).
+  mem::Buffer acc = alloc(std::max<std::size_t>(bytes, 1));
+  std::memcpy(acc.data(), recvbuf.data() + roff, bytes);
+  mem::Buffer tmp = alloc(std::max<std::size_t>(bytes, 1));
+  sched.owned.push_back(acc);
+  sched.owned.push_back(tmp);
+
+  const int vrank = rank();  // root is 0
+  for (int mask = 1; mask < size(); mask <<= 1) {
+    if (vrank & mask) {
+      add_stage(sched).xfers.push_back(
+          xfer(true, acc, 0, count, type, to_world(vrank - mask), tag));
+      break;
+    }
+    if (vrank + mask < size()) {
+      CollStage& st = add_stage(sched);
+      st.xfers.push_back(
+          xfer(false, tmp, 0, count, type, to_world(vrank + mask), tag));
+      st.locals.push_back(
+          {CollLocal::Kind::Combine, acc, 0, tmp, 0, count, &type, op});
+    }
+  }
+  if (rank() == 0) {
+    add_stage(sched).locals.push_back(
+        {CollLocal::Kind::Copy, recvbuf, roff, acc, 0, bytes, nullptr,
+         Op::Sum});
+  }
+  emit_bcast_binomial(sched, tag_base, recvbuf, roff, count, type, 0);
+}
+
+Request Communicator::iallreduce(const mem::Buffer& sendbuf, std::size_t soff,
+                                 const mem::Buffer& recvbuf, std::size_t roff,
+                                 std::size_t count, const Datatype& type,
+                                 Op op) {
   if (!type.is_contiguous()) {
     throw MpiError("allreduce: derived datatypes not supported");
   }
@@ -488,7 +580,7 @@ void Communicator::allreduce(const mem::Buffer& sendbuf, std::size_t soff,
   if (recvbuf.data() + roff != sendbuf.data() + soff) {
     std::memcpy(recvbuf.data() + roff, sendbuf.data() + soff, bytes);
   }
-  if (size() == 1 || count == 0) return;
+  if (size() == 1 || count == 0) return engine_.completed_request();
   if (type.kind() == Datatype::Kind::Opaque) {
     // Same failure the per-element combine would raise, but before any
     // rank communicates, so every rank throws in lockstep.
@@ -497,44 +589,54 @@ void Communicator::allreduce(const mem::Buffer& sendbuf, std::size_t soff,
 
   const CollAlgo algo =
       select_allreduce(engine_.coll_tuning(), bytes, size());
-  const sim::Time t0 = engine_.ib().process().now();
+  auto sched = std::make_shared<CollSchedule>();
+  sched->comm_id = id_;
+  sched->bytes = bytes;
+  const int tag_base = next_coll_tag_base();
   Engine::Stats& st = engine_.coll_stats();
   switch (algo) {
     case CollAlgo::Ring:
-      allreduce_ring(recvbuf, roff, count, type, op);
-      ++st.coll_allreduce_ring;
+      emit_allreduce_ring(*sched, tag_base, recvbuf, roff, count, type, op);
+      sched->algo_counter = &st.coll_allreduce_ring;
       break;
     case CollAlgo::Rabenseifner:
-      allreduce_rab(recvbuf, roff, count, type, op);
-      ++st.coll_allreduce_rab;
+      emit_allreduce_rab(*sched, tag_base, recvbuf, roff, count, type, op);
+      sched->algo_counter = &st.coll_allreduce_rab;
       break;
     case CollAlgo::RecursiveDoubling:
-      allreduce_rd(recvbuf, roff, count, type, op);
-      ++st.coll_allreduce_rd;
+      emit_allreduce_rd(*sched, tag_base, recvbuf, roff, count, type, op);
+      sched->algo_counter = &st.coll_allreduce_rd;
       break;
     default:
-      // The pre-engine path: binomial reduce to rank 0, binomial bcast
-      // back out. Kept as the small-comm / forced fallback and as the
-      // baseline the bench sweeps against.
-      reduce(sendbuf, soff, recvbuf, roff, count, type, op, 0);
-      bcast_binomial(recvbuf, roff, count, type, 0);
-      ++st.coll_allreduce_binomial;
+      emit_allreduce_binomial(*sched, tag_base, recvbuf, roff, count, type,
+                              op);
+      sched->algo_counter = &st.coll_allreduce_binomial;
       break;
   }
   if (sim::Tracer::current()) {
-    sim::trace_span("rank" + std::to_string(engine_.rank()),
-                    std::string("allreduce.") + coll_algo_name(algo) + " " +
-                        std::to_string(bytes) + "B",
-                    t0, engine_.ib().process().now());
+    sched->label = std::string("allreduce.") + coll_algo_name(algo) + " " +
+                   std::to_string(bytes) + "B";
   }
+  return engine_.start_coll(std::move(sched));
 }
 
-void Communicator::reduce_scatter_block(const mem::Buffer& sendbuf,
-                                        std::size_t soff,
-                                        const mem::Buffer& recvbuf,
-                                        std::size_t roff,
-                                        std::size_t recvcount,
-                                        const Datatype& type, Op op) {
+void Communicator::allreduce(const mem::Buffer& sendbuf, std::size_t soff,
+                             const mem::Buffer& recvbuf, std::size_t roff,
+                             std::size_t count, const Datatype& type, Op op) {
+  Request r = iallreduce(sendbuf, soff, recvbuf, roff, count, type, op);
+  engine_.wait(r);
+}
+
+// ---------------------------------------------------------------------------
+// Reduce-scatter-block
+// ---------------------------------------------------------------------------
+
+Request Communicator::ireduce_scatter_block(const mem::Buffer& sendbuf,
+                                            std::size_t soff,
+                                            const mem::Buffer& recvbuf,
+                                            std::size_t roff,
+                                            std::size_t recvcount,
+                                            const Datatype& type, Op op) {
   if (!type.is_contiguous()) {
     throw MpiError("reduce_scatter_block: derived datatypes not supported");
   }
@@ -543,9 +645,9 @@ void Communicator::reduce_scatter_block(const mem::Buffer& sendbuf,
   const std::size_t block_bytes = recvcount * es;
   if (P == 1) {
     std::memcpy(recvbuf.data() + roff, sendbuf.data() + soff, block_bytes);
-    return;
+    return engine_.completed_request();
   }
-  if (recvcount == 0) return;
+  if (recvcount == 0) return engine_.completed_request();
   if (type.kind() == Datatype::Kind::Opaque) {
     throw MpiError("reduce: datatype has no arithmetic kind");
   }
@@ -559,17 +661,33 @@ void Communicator::reduce_scatter_block(const mem::Buffer& sendbuf,
   mem::Buffer work = alloc(count * es);
   std::memcpy(work.data(), sendbuf.data() + soff, count * es);
   mem::Buffer scratch = alloc(std::max<std::size_t>(2 * seg_elems * es, 1));
-  const sim::Time t0 = engine_.ib().process().now();
-  reduce_scatter_ring(work, 0, part, type, op, seg_elems, rank(), scratch);
-  std::memcpy(recvbuf.data() + roff, work.data() + part.off[rank()] * es,
-              block_bytes);
+
+  auto sched = std::make_shared<CollSchedule>();
+  sched->comm_id = id_;
+  sched->bytes = block_bytes;
+  sched->owned.push_back(work);
+  sched->owned.push_back(scratch);
+  const int tag_base = next_coll_tag_base();
+  emit_rs_ring(*sched, work, 0, part, type, op, seg_elems, rank(), scratch,
+               tag_base + kPhaseRsRing);
+  add_stage(*sched).locals.push_back(
+      {CollLocal::Kind::Copy, recvbuf, roff, work, part.off[rank()] * es,
+       block_bytes, nullptr, Op::Sum});
   if (sim::Tracer::current()) {
-    sim::trace_span("rank" + std::to_string(engine_.rank()),
-                    "reduce_scatter.ring " + std::to_string(count * es) + "B",
-                    t0, engine_.ib().process().now());
+    sched->label = "reduce_scatter.ring " + std::to_string(count * es) + "B";
   }
-  free(scratch);
-  free(work);
+  return engine_.start_coll(std::move(sched));
+}
+
+void Communicator::reduce_scatter_block(const mem::Buffer& sendbuf,
+                                        std::size_t soff,
+                                        const mem::Buffer& recvbuf,
+                                        std::size_t roff,
+                                        std::size_t recvcount,
+                                        const Datatype& type, Op op) {
+  Request r =
+      ireduce_scatter_block(sendbuf, soff, recvbuf, roff, recvcount, type, op);
+  engine_.wait(r);
 }
 
 // ---------------------------------------------------------------------------
@@ -630,39 +748,48 @@ void Communicator::scatter(const mem::Buffer& sendbuf, std::size_t soff,
 // Allgather
 // ---------------------------------------------------------------------------
 
-void Communicator::allgather_rd(const mem::Buffer& recvbuf, std::size_t roff,
-                                std::size_t count, const Datatype& type) {
+void Communicator::emit_allgather_rd(CollSchedule& sched, int tag_base,
+                                     const mem::Buffer& recvbuf,
+                                     std::size_t roff, std::size_t count,
+                                     const Datatype& type) {
   // Power-of-two comms only (the selection layer guarantees it): the owned
   // aligned run of blocks doubles every round.
   const int P = size();
   const std::size_t es = type.size();
+  const int tag = tag_base + kPhaseRdRound;
   for (int dist = 1; dist < P; dist <<= 1) {
     const int peer = rank() ^ dist;
     const int base_blk = rank() & ~(dist - 1);
     const int peer_blk = base_blk ^ dist;
-    sendrecv(recvbuf, roff + base_blk * count * es, dist * count, type, peer,
-             kTagAllgather, recvbuf, roff + peer_blk * count * es,
-             dist * count, type, peer, kTagAllgather);
+    CollStage& st = add_stage(sched);
+    st.xfers.push_back(xfer(false, recvbuf, roff + peer_blk * count * es,
+                            dist * count, type, to_world(peer), tag));
+    st.xfers.push_back(xfer(true, recvbuf, roff + base_blk * count * es,
+                            dist * count, type, to_world(peer), tag));
   }
 }
 
-void Communicator::allgather(const mem::Buffer& sendbuf, std::size_t soff,
-                             std::size_t count, const Datatype& type,
-                             const mem::Buffer& recvbuf, std::size_t roff) {
+Request Communicator::iallgather(const mem::Buffer& sendbuf, std::size_t soff,
+                                 std::size_t count, const Datatype& type,
+                                 const mem::Buffer& recvbuf,
+                                 std::size_t roff) {
   if (!type.is_contiguous()) {
     throw MpiError("allgather: derived datatypes not supported");
   }
   const std::size_t bytes = count * type.size();
   std::memcpy(recvbuf.data() + roff + rank() * bytes, sendbuf.data() + soff,
               bytes);
-  if (size() == 1 || count == 0) return;
+  if (size() == 1 || count == 0) return engine_.completed_request();
 
   const CollAlgo algo =
       select_allgather(engine_.coll_tuning(), bytes, size());
-  const sim::Time t0 = engine_.ib().process().now();
+  auto sched = std::make_shared<CollSchedule>();
+  sched->comm_id = id_;
+  sched->bytes = bytes;
+  const int tag_base = next_coll_tag_base();
   if (algo == CollAlgo::RecursiveDoubling) {
-    allgather_rd(recvbuf, roff, count, type);
-    ++engine_.coll_stats().coll_allgather_rd;
+    emit_allgather_rd(*sched, tag_base, recvbuf, roff, count, type);
+    sched->algo_counter = &engine_.coll_stats().coll_allgather_rd;
   } else {
     // Pipelined ring over uniform per-rank blocks.
     const std::size_t seg_elems =
@@ -670,17 +797,23 @@ void Communicator::allgather(const mem::Buffer& sendbuf, std::size_t soff,
                                      type.size());
     // Uniform partition: count*P splits evenly, so off[b] == b*count.
     const BlockPart part(count * static_cast<std::size_t>(size()), size());
-    ring_allgather_blocks(recvbuf, roff, part, type, seg_elems, rank(),
-                          (rank() + 1) % size(), (rank() - 1 + size()) % size(),
-                          kTagAgRing);
-    ++engine_.coll_stats().coll_allgather_ring;
+    emit_ag_ring(*sched, recvbuf, roff, part, type, seg_elems, rank(),
+                 (rank() + 1) % size(), (rank() - 1 + size()) % size(),
+                 tag_base + kPhaseAgRing);
+    sched->algo_counter = &engine_.coll_stats().coll_allgather_ring;
   }
   if (sim::Tracer::current()) {
-    sim::trace_span("rank" + std::to_string(engine_.rank()),
-                    std::string("allgather.") + coll_algo_name(algo) + " " +
-                        std::to_string(bytes) + "B/rank",
-                    t0, engine_.ib().process().now());
+    sched->label = std::string("allgather.") + coll_algo_name(algo) + " " +
+                   std::to_string(bytes) + "B/rank";
   }
+  return engine_.start_coll(std::move(sched));
+}
+
+void Communicator::allgather(const mem::Buffer& sendbuf, std::size_t soff,
+                             std::size_t count, const Datatype& type,
+                             const mem::Buffer& recvbuf, std::size_t roff) {
+  Request r = iallgather(sendbuf, soff, count, type, recvbuf, roff);
+  engine_.wait(r);
 }
 
 // ---------------------------------------------------------------------------

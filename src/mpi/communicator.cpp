@@ -96,6 +96,18 @@ void Communicator::waitall(std::span<Request> reqs) {
   }
 }
 
+std::size_t Communicator::waitany(std::span<Request> reqs) {
+  return engine_.waitany(reqs);
+}
+
+bool Communicator::testall(std::span<Request> reqs) {
+  return engine_.testall(reqs);
+}
+
+std::optional<std::size_t> Communicator::testany(std::span<Request> reqs) {
+  return engine_.testany(reqs);
+}
+
 Status Communicator::sendrecv(const mem::Buffer& sbuf, std::size_t soff,
                               std::size_t scount, const Datatype& stype,
                               int dst, int stag, const mem::Buffer& rbuf,

@@ -84,7 +84,16 @@ class Communicator {
               const Datatype& type, int src, int tag);
   Status wait(Request& req);
   bool test(Request& req);
+  /// Completion calls accept mixed request sets: point-to-point, persistent
+  /// and collective-backed requests complete through the same engine loop.
   void waitall(std::span<Request> reqs);
+  /// Block until any valid request completes; its index, or SIZE_MAX when
+  /// the set holds no valid request (MPI_Waitany's MPI_UNDEFINED case).
+  std::size_t waitany(std::span<Request> reqs);
+  /// One progress pass; true when every valid request is complete.
+  bool testall(std::span<Request> reqs);
+  /// One progress pass; index of a completed valid request, or nullopt.
+  std::optional<std::size_t> testany(std::span<Request> reqs);
   /// Concurrent send+receive (MPI_Sendrecv); deadlock-free by construction.
   Status sendrecv(const mem::Buffer& sbuf, std::size_t soff,
                   std::size_t scount, const Datatype& stype, int dst,
@@ -103,6 +112,9 @@ class Communicator {
   }
 
   // --- Collectives -------------------------------------------------------------
+  // The blocking forms post the same compiled schedule as their
+  // nonblocking i* counterparts and wait on the returned request — there is
+  // one algorithm implementation (the schedule emitters below), not two.
   void barrier();
   void bcast(const mem::Buffer& buf, std::size_t offset, std::size_t count,
              const Datatype& type, int root);
@@ -112,6 +124,27 @@ class Communicator {
   void allreduce(const mem::Buffer& sendbuf, std::size_t soff,
                  const mem::Buffer& recvbuf, std::size_t roff,
                  std::size_t count, const Datatype& type, Op op);
+
+  // --- Nonblocking collectives (MPI_I*) ---------------------------------------
+  // Each returns immediately with a collective-backed Request that advances
+  // under the engine's progress loop (any wait/test on this rank drives it)
+  // and completes through the same wait/test/waitall/waitany as p2p
+  // requests. Buffers must stay untouched until completion. Collectives —
+  // blocking and nonblocking alike — must be posted in the same order on
+  // every rank of the communicator.
+  Request ibarrier();
+  Request ibcast(const mem::Buffer& buf, std::size_t offset,
+                 std::size_t count, const Datatype& type, int root);
+  Request iallreduce(const mem::Buffer& sendbuf, std::size_t soff,
+                     const mem::Buffer& recvbuf, std::size_t roff,
+                     std::size_t count, const Datatype& type, Op op);
+  Request iallgather(const mem::Buffer& sendbuf, std::size_t soff,
+                     std::size_t count, const Datatype& type,
+                     const mem::Buffer& recvbuf, std::size_t roff);
+  Request ireduce_scatter_block(const mem::Buffer& sendbuf, std::size_t soff,
+                                const mem::Buffer& recvbuf, std::size_t roff,
+                                std::size_t recvcount, const Datatype& type,
+                                Op op);
   /// Reduce size()*recvcount elements from every rank's sendbuf, leaving
   /// rank r with the r-th reduced block of recvcount elements
   /// (MPI_Reduce_scatter_block). Runs the collectives engine's ring
@@ -174,50 +207,64 @@ class Communicator {
   int from_world(int world_rank) const;
   Status translate(Status s) const;
 
-  // --- Collectives engine: per-algorithm units (collectives.cpp) -------------
+  // --- Collectives engine: schedule emitters (collectives.cpp) ---------------
+  // Each emitter appends this rank's stages for one algorithm to a
+  // CollSchedule (mpi/coll.hpp); the engine's executor advances them. One
+  // emitter per algorithm serves both the blocking and nonblocking entry
+  // points. `tag_base` is the schedule's reserved tag window (from
+  // next_coll_tag_base); emitters address its phase slots so concurrent
+  // collectives on the same communicator never cross-match.
+
   // Balanced element partition of a vector into per-rank blocks; defined in
   // collectives.cpp (off has size parts+1, off[parts] == total).
   struct BlockPart;
 
-  /// One pipelined ring/halving step: stream `out_len` elements at
-  /// buf[base + out_off*extent] to `to` while receiving `in_len` elements
-  /// at in_off from `from`, both split into `seg_elems`-element segments.
-  /// With `op` set, incoming segments land in the double-buffered `scratch`
-  /// and are combined into the in-place block, overlapping the next
-  /// segment's transfer; without it they land directly. Returns segments
-  /// moved (Stats::coll_segments).
-  std::uint64_t pipelined_step(const mem::Buffer& buf, std::size_t base,
-                               std::size_t out_off, std::size_t out_len,
-                               std::size_t in_off, std::size_t in_len,
-                               const Datatype& type, const Op* op,
-                               std::size_t seg_elems, int to, int from,
-                               int tag, const mem::Buffer& scratch);
-  /// Ring reduce-scatter over `part`: P-1 pipelined steps leaving this rank
-  /// with the fully reduced block `final_block` in place in buf.
-  void reduce_scatter_ring(const mem::Buffer& buf, std::size_t base,
-                           const BlockPart& part, const Datatype& type,
-                           Op op, std::size_t seg_elems, int final_block,
-                           const mem::Buffer& scratch);
+  /// Per-schedule tag window: each collective posted on this communicator
+  /// reserves the next kCollSchedPhases-tag slot (round-robin over
+  /// kCollSchedWindow slots). Consistent across ranks because collectives
+  /// are posted in the same order everywhere.
+  int next_coll_tag_base();
+
+  /// Ring reduce-scatter over `part`: P-1 pipelined stages leaving this
+  /// rank with the fully reduced block `final_block` in place in buf.
+  void emit_rs_ring(CollSchedule& sched, const mem::Buffer& buf,
+                    std::size_t base, const BlockPart& part,
+                    const Datatype& type, Op op, std::size_t seg_elems,
+                    int final_block, const mem::Buffer& scratch, int tag);
   /// Ring allgather over `part`: this rank starts owning `my_block` and,
-  /// after P-1 pipelined steps through neighbours `to`/`from`, holds every
-  /// block. Block ids live in communicator rank space or, for bcast, in
-  /// root-relative vrank space (callers pass translated `to`/`from`).
-  void ring_allgather_blocks(const mem::Buffer& buf, std::size_t base,
-                             const BlockPart& part, const Datatype& type,
-                             std::size_t seg_elems, int my_block, int to,
-                             int from, int tag);
-  void allreduce_rd(const mem::Buffer& recvbuf, std::size_t roff,
-                    std::size_t count, const Datatype& type, Op op);
-  void allreduce_ring(const mem::Buffer& recvbuf, std::size_t roff,
-                      std::size_t count, const Datatype& type, Op op);
-  void allreduce_rab(const mem::Buffer& recvbuf, std::size_t roff,
-                     std::size_t count, const Datatype& type, Op op);
-  void bcast_binomial(const mem::Buffer& buf, std::size_t offset,
-                      std::size_t count, const Datatype& type, int root);
-  void bcast_scatter_ag(const mem::Buffer& buf, std::size_t offset,
-                        std::size_t count, const Datatype& type, int root);
-  void allgather_rd(const mem::Buffer& recvbuf, std::size_t roff,
-                    std::size_t count, const Datatype& type);
+  /// after P-1 pipelined stages through neighbours `to`/`from` (comm
+  /// ranks), holds every block. Block ids live in communicator rank space
+  /// or, for bcast, in root-relative vrank space (callers pass translated
+  /// `to`/`from`).
+  void emit_ag_ring(CollSchedule& sched, const mem::Buffer& buf,
+                    std::size_t base, const BlockPart& part,
+                    const Datatype& type, std::size_t seg_elems, int my_block,
+                    int to, int from, int tag);
+  void emit_allreduce_rd(CollSchedule& sched, int tag_base,
+                         const mem::Buffer& recvbuf, std::size_t roff,
+                         std::size_t count, const Datatype& type, Op op);
+  void emit_allreduce_ring(CollSchedule& sched, int tag_base,
+                           const mem::Buffer& recvbuf, std::size_t roff,
+                           std::size_t count, const Datatype& type, Op op);
+  void emit_allreduce_rab(CollSchedule& sched, int tag_base,
+                          const mem::Buffer& recvbuf, std::size_t roff,
+                          std::size_t count, const Datatype& type, Op op);
+  /// Binomial reduce to rank 0 then binomial bcast (the pre-engine
+  /// baseline; allreduce's small-comm / forced fallback).
+  void emit_allreduce_binomial(CollSchedule& sched, int tag_base,
+                               const mem::Buffer& recvbuf, std::size_t roff,
+                               std::size_t count, const Datatype& type,
+                               Op op);
+  void emit_bcast_binomial(CollSchedule& sched, int tag_base,
+                           const mem::Buffer& buf, std::size_t offset,
+                           std::size_t count, const Datatype& type, int root);
+  void emit_bcast_scatter_ag(CollSchedule& sched, int tag_base,
+                             const mem::Buffer& buf, std::size_t offset,
+                             std::size_t count, const Datatype& type,
+                             int root);
+  void emit_allgather_rd(CollSchedule& sched, int tag_base,
+                         const mem::Buffer& recvbuf, std::size_t roff,
+                         std::size_t count, const Datatype& type);
 
   /// Derived-communicator id: deterministic across members because split is
   /// collective and every member mixes the same ingredients.
@@ -228,6 +275,8 @@ class Communicator {
   std::vector<int> group_;  ///< comm rank -> world rank
   int my_index_;
   std::uint32_t derive_counter_ = 0;
+  /// Collective-schedule counter feeding next_coll_tag_base.
+  std::uint64_t coll_seq_ = 0;
 };
 
 }  // namespace dcfa::mpi

@@ -1055,6 +1055,215 @@ void Engine::progress() {
     drain_tx(ep);
     scan_ring(ep);
   }
+  // Schedules advance after the endpoint scan so transfers completed this
+  // pass unlock their next stages immediately.
+  advance_schedules();
+}
+
+// ---------------------------------------------------------------------------
+// Collective-schedule executor
+// ---------------------------------------------------------------------------
+
+Request Engine::start_coll(std::shared_ptr<CollSchedule> sched) {
+  auto st = std::make_shared<RequestState>();
+  st->kind = RequestState::Kind::Coll;
+  st->comm_id = sched->comm_id;
+  st->bytes = sched->bytes;
+  st->posted_at = ib_->process().now();
+  sched->req = st;
+  schedules_.push_back(std::move(sched));
+  // Kick stage 0: the nested isend/irecv calls see in_progress_ and post
+  // without re-entering the scan.
+  progress();
+  return Request(st);
+}
+
+Request Engine::completed_request() {
+  auto st = std::make_shared<RequestState>();
+  st->kind = RequestState::Kind::Coll;
+  st->phase = RequestState::Phase::Complete;
+  st->status = Status{kAnySource, kAnyTag, 0};
+  st->posted_at = ib_->process().now();
+  return Request(st);
+}
+
+void Engine::advance_schedules() {
+  if (schedules_.empty()) return;
+  bool finished = false;
+  // Posting transfers inside advance_schedule never appends to schedules_
+  // (start_coll runs in caller context, not in progress), so plain
+  // iteration is safe.
+  for (auto& sched : schedules_) {
+    advance_schedule(*sched);
+    finished |= sched->req->done();
+  }
+  if (finished) {
+    std::erase_if(schedules_,
+                  [](const std::shared_ptr<CollSchedule>& s) {
+                    return s->req->done();
+                  });
+  }
+}
+
+void Engine::advance_schedule(CollSchedule& s) {
+  if (s.req->done()) return;
+  while (s.stage < s.stages.size()) {
+    CollStage& stage = s.stages[s.stage];
+    if (stage.pipe) {
+      const PipeState ps = pipe_advance(s, *stage.pipe);
+      if (ps != PipeState::Done) return;  // Busy, or Failed (already failed)
+    } else {
+      if (!s.stage_started) {
+        s.outstanding.clear();
+        s.outstanding.reserve(stage.xfers.size());
+        for (const CollXfer& x : stage.xfers) {
+          s.outstanding.push_back(
+              x.is_send
+                  ? isend(x.buf, x.off, x.count, *x.type, x.peer, x.tag,
+                          s.comm_id)
+                  : irecv(x.buf, x.off, x.count, *x.type, x.peer, x.tag,
+                          s.comm_id));
+        }
+        s.stage_started = true;
+      }
+      for (Request& r : s.outstanding) {
+        if (r.state_->phase == RequestState::Phase::Error) {
+          fail_schedule(s, r.state_->error);
+          return;
+        }
+        if (!r.done()) return;
+      }
+      s.outstanding.clear();
+    }
+    for (const CollLocal& l : stage.locals) run_coll_local(l);
+    s.stage_started = false;
+    ++s.stage;
+  }
+  finish_schedule(s);
+}
+
+Engine::PipeState Engine::pipe_advance(CollSchedule& s, CollPipe& p) {
+  const std::size_t es = p.type->size();
+  const auto nseg = [&p](std::size_t len) {
+    return len == 0 ? std::size_t{0} : (len + p.seg_elems - 1) / p.seg_elems;
+  };
+  const std::size_t nout = nseg(p.out_len);
+  const std::size_t nin = nseg(p.in_len);
+  const std::size_t seg_bytes = p.seg_elems * es;
+  const auto seg_len = [&p](std::size_t j) {
+    return std::min(p.seg_elems, p.in_len - j * p.seg_elems);
+  };
+
+  if (!p.started) {
+    // All outgoing segments go up first (they read ranges this step never
+    // writes), keeping the wire busy while incoming segments fold.
+    p.sends.reserve(nout);
+    for (std::size_t j = 0; j < nout; ++j) {
+      const std::size_t lo = j * p.seg_elems;
+      const std::size_t n = std::min(p.seg_elems, p.out_len - lo);
+      p.sends.push_back(isend(p.buf, p.base + (p.out_off + lo) * es, n,
+                              *p.type, p.to, p.tag, s.comm_id));
+    }
+    if (!p.has_op) {
+      // Pure data movement: all incoming segments straight into place.
+      p.recvs.reserve(nin);
+      for (std::size_t j = 0; j < nin; ++j) {
+        const std::size_t lo = j * p.seg_elems;
+        const std::size_t n = std::min(p.seg_elems, p.in_len - lo);
+        p.recvs.push_back(irecv(p.buf, p.base + (p.in_off + lo) * es, n,
+                                *p.type, p.from, p.tag, s.comm_id));
+      }
+      p.posted = nin;
+    }
+    p.started = true;
+  }
+
+  if (p.has_op) {
+    // Double-buffered reduction pipeline: segment j+1 is in flight into the
+    // other scratch half while segment j is folded, exactly two receives
+    // ahead of the fold cursor.
+    const auto post_ahead = [&] {
+      while (p.posted < nin && p.posted < p.combined + 2) {
+        p.recvs.push_back(irecv(p.scratch, (p.posted % 2) * seg_bytes,
+                                seg_len(p.posted), *p.type, p.from, p.tag,
+                                s.comm_id));
+        ++p.posted;
+      }
+    };
+    post_ahead();
+    while (p.combined < nin) {
+      Request& r = p.recvs[p.combined];
+      if (r.state_->phase == RequestState::Phase::Error) {
+        fail_schedule(s, r.state_->error);
+        return PipeState::Failed;
+      }
+      if (!r.done()) break;
+      combine(p.op, *p.type, p.buf,
+              p.base + (p.in_off + p.combined * p.seg_elems) * es, p.scratch,
+              (p.combined % 2) * seg_bytes, seg_len(p.combined));
+      ++p.combined;
+      post_ahead();
+    }
+    if (p.combined < nin) return PipeState::Busy;
+  } else {
+    while (p.combined < nin) {
+      Request& r = p.recvs[p.combined];
+      if (r.state_->phase == RequestState::Phase::Error) {
+        fail_schedule(s, r.state_->error);
+        return PipeState::Failed;
+      }
+      if (!r.done()) return PipeState::Busy;
+      ++p.combined;
+    }
+  }
+
+  for (Request& r : p.sends) {
+    if (r.state_->phase == RequestState::Phase::Error) {
+      fail_schedule(s, r.state_->error);
+      return PipeState::Failed;
+    }
+    if (!r.done()) return PipeState::Busy;
+  }
+  stats_.coll_segments += nout + nin;
+  return PipeState::Done;
+}
+
+void Engine::run_coll_local(const CollLocal& l) {
+  if (l.kind == CollLocal::Kind::Copy) {
+    std::memcpy(l.dst.data() + l.dst_off, l.src.data() + l.src_off, l.count);
+  } else {
+    combine(l.op, *l.type, l.dst, l.dst_off, l.src, l.src_off, l.count);
+  }
+}
+
+void Engine::finish_schedule(CollSchedule& s) {
+  for (const mem::Buffer& b : s.owned) {
+    forget_buffer(b);
+    ib_->free_buffer(b);
+  }
+  s.owned.clear();
+  if (s.algo_counter) ++*s.algo_counter;
+  ++stats_.coll_schedules;
+  auto& st = *s.req;
+  st.status = Status{kAnySource, kAnyTag, s.bytes};
+  st.phase = RequestState::Phase::Complete;
+  if (sim::Tracer::current() && !s.label.empty()) {
+    sim::trace_span("rank" + std::to_string(rank_), s.label, st.posted_at,
+                    ib_->process().now());
+  }
+  wake_.notify_all();
+}
+
+void Engine::fail_schedule(CollSchedule& s, std::string why) {
+  // Owned temporaries are deliberately leaked until teardown: in-flight
+  // transfers of the failed stage may still land in them.
+  sim::Log::error(ib_->process().now(), "mpi",
+                  "rank %d collective schedule error: %s", rank_,
+                  why.c_str());
+  auto& st = *s.req;
+  st.error = std::move(why);
+  st.phase = RequestState::Phase::Error;
+  wake_.notify_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -1127,6 +1336,55 @@ bool Engine::test(Request& req) {
     throw MpiError(req.state_->error);
   }
   return req.state_->done();
+}
+
+std::size_t Engine::waitany(std::span<Request> reqs) {
+  bool any_valid = false;
+  for (const Request& r : reqs) any_valid |= r.valid();
+  if (!any_valid) return SIZE_MAX;
+  for (;;) {
+    wake_pending_ = false;
+    progress();
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (!reqs[i].valid() || !reqs[i].done()) continue;
+      if (reqs[i].state_->phase == RequestState::Phase::Error) {
+        throw MpiError(reqs[i].state_->error);
+      }
+      return i;
+    }
+    if (!wake_pending_) ib_->process().wait_on(wake_);
+  }
+}
+
+bool Engine::testall(std::span<Request> reqs) {
+  const bool on_phi = ib_->data_domain() == mem::Domain::PhiGddr;
+  ib_->process().wait(on_phi ? platform_.phi_poll_overhead
+                             : platform_.host_poll_overhead);
+  progress();
+  bool all = true;
+  for (const Request& r : reqs) {
+    if (!r.valid()) continue;
+    if (r.state_->phase == RequestState::Phase::Error) {
+      throw MpiError(r.state_->error);
+    }
+    all &= r.done();
+  }
+  return all;
+}
+
+std::optional<std::size_t> Engine::testany(std::span<Request> reqs) {
+  const bool on_phi = ib_->data_domain() == mem::Domain::PhiGddr;
+  ib_->process().wait(on_phi ? platform_.phi_poll_overhead
+                             : platform_.host_poll_overhead);
+  progress();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (!reqs[i].valid() || !reqs[i].done()) continue;
+    if (reqs[i].state_->phase == RequestState::Phase::Error) {
+      throw MpiError(reqs[i].state_->error);
+    }
+    return i;
+  }
+  return std::nullopt;
 }
 
 }  // namespace dcfa::mpi

@@ -5,7 +5,9 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <tuple>
+#include <vector>
 
 #include "dcfa/phi_verbs.hpp"
 #include "mpi/coll.hpp"
@@ -159,6 +161,7 @@ class Engine {
     std::uint64_t coll_allgather_ring = 0;
     std::uint64_t coll_allgather_rd = 0;
     std::uint64_t coll_segments = 0;  ///< pipeline segments moved
+    std::uint64_t coll_schedules = 0;  ///< collective schedules completed
   };
 
   Engine(int rank, int nranks, std::unique_ptr<verbs::Ib> ib,
@@ -210,8 +213,25 @@ class Engine {
   Status wait(Request& req);
   /// Advance, then report completion without blocking.
   bool test(Request& req);
-  /// Drive the progress engine once (poll CQ, scan rings, drain queues).
+  /// Block until any valid request in the set completes; returns its index,
+  /// or SIZE_MAX when the set holds no valid request. Mixed p2p /
+  /// persistent / collective sets are fine — completion is kind-agnostic.
+  std::size_t waitany(std::span<Request> reqs);
+  /// Advance once; true when every valid request in the set is complete.
+  bool testall(std::span<Request> reqs);
+  /// Advance once; index of some completed valid request, or nullopt.
+  std::optional<std::size_t> testany(std::span<Request> reqs);
+  /// Drive the progress engine once (poll CQ, scan rings, drain queues,
+  /// advance collective schedules).
   void progress();
+
+  /// Hand a compiled collective schedule to the executor. Posts stage 0
+  /// immediately and returns the collective-backed request; the schedule
+  /// advances under progress() until every stage completes.
+  Request start_coll(std::shared_ptr<CollSchedule> sched);
+  /// An already-complete collective request (degenerate collectives: one
+  /// rank, zero elements).
+  Request completed_request();
 
   /// Invalidate cached registrations before freeing a user buffer.
   void forget_buffer(const mem::Buffer& buf);
@@ -521,6 +541,20 @@ class Engine {
   void complete(const std::shared_ptr<RequestState>& req, int source,
                 int tag, std::size_t bytes);
   void fail(const std::shared_ptr<RequestState>& req, std::string why);
+
+  // --- Collective-schedule executor (engine.cpp) -----------------------------
+  enum class PipeState { Busy, Done, Failed };
+  /// Advance every outstanding schedule as far as its completed transfers
+  /// allow; runs at the end of progress() (transfer completions land first).
+  void advance_schedules();
+  void advance_schedule(CollSchedule& s);
+  /// Drive one pipelined stage: keep all outgoing segments posted, keep two
+  /// incoming segments in flight (double-buffered scratch) ahead of the
+  /// fold cursor, fold segments as they land.
+  PipeState pipe_advance(CollSchedule& s, CollPipe& p);
+  void run_coll_local(const CollLocal& l);
+  void finish_schedule(CollSchedule& s);
+  void fail_schedule(CollSchedule& s, std::string why);
   bool tag_compatible(const RequestState& req, const PacketHeader& hdr) const {
     return req.tag == kAnyTag || req.tag == hdr.tag;
   }
@@ -560,6 +594,8 @@ class Engine {
   std::uint64_t next_wr_id_ = 1;
   std::uint64_t mpi_offload_threshold_ = 0;
   CollTuning coll_tuning_;
+  /// Collective schedules in flight (removed as they complete or fail).
+  std::vector<std::shared_ptr<CollSchedule>> schedules_;
 
   /// Fault-injection state. faults_armed_ is the single gate every hazard
   /// point branches on; with the default RunConfig it is false and the

@@ -16,7 +16,7 @@ class Engine;
 /// Internal request state. Lifetime is managed by shared_ptr: the user's
 /// Request handle and the protocol engine both hold references.
 struct RequestState {
-  enum class Kind { Send, Recv };
+  enum class Kind { Send, Recv, Coll };
   enum class Phase {
     Queued,        ///< created, protocol not yet decided / waiting for seq
     EagerSent,     ///< (send) data staged & written — complete for MPI
@@ -28,6 +28,9 @@ struct RequestState {
     Complete,
     Error,
   };
+  // Kind::Coll requests back a collective schedule (mpi/coll.hpp): they sit
+  // in Queued while the engine advances the schedule's stages and jump
+  // straight to Complete/Error. The fields below the envelope are unused.
 
   Kind kind = Kind::Send;
   Phase phase = Phase::Queued;
@@ -74,8 +77,10 @@ struct RequestState {
   }
 };
 
-/// User-facing request handle (MPI_Request). Obtained from isend/irecv;
-/// completed via Communicator::wait/test/waitall.
+/// User-facing request handle (MPI_Request) — one type for point-to-point,
+/// persistent and collective operations. Obtained from isend/irecv (and the
+/// i-collectives); completed via Communicator::wait/test/waitall/waitany,
+/// which accept mixed sets of all three kinds.
 class Request {
  public:
   Request() = default;

@@ -155,9 +155,166 @@ int ssend_iprobe_main(int, char**) {
   return 0;
 }
 
+int nbc_collectives_main(int, char**) {
+  MPI_Init(nullptr, nullptr);
+  int rank, size;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+
+  // Three collectives in flight at once, completed by one MPI_Waitall.
+  double *sb, *rb;
+  int *mine, *all;
+  MPI_Alloc_mem(64 * sizeof(double), nullptr, &sb);
+  MPI_Alloc_mem(64 * sizeof(double), nullptr, &rb);
+  MPI_Alloc_mem(4 * sizeof(int), nullptr, &mine);
+  MPI_Alloc_mem(size * 4 * sizeof(int), nullptr, &all);
+  for (int i = 0; i < 64; ++i) sb[i] = rank + i;
+  for (int i = 0; i < 4; ++i) mine[i] = rank * 10 + i;
+  MPI_Request reqs[3];
+  C_EXPECT(MPI_Iallreduce(sb, rb, 64, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD,
+                          &reqs[0]) == MPI_SUCCESS);
+  C_EXPECT(MPI_Iallgather(mine, 4, MPI_INT, all, 4, MPI_INT, MPI_COMM_WORLD,
+                          &reqs[1]) == MPI_SUCCESS);
+  C_EXPECT(MPI_Ibarrier(MPI_COMM_WORLD, &reqs[2]) == MPI_SUCCESS);
+  C_EXPECT(MPI_Waitall(3, reqs, MPI_STATUSES_IGNORE) == MPI_SUCCESS);
+  for (int i = 0; i < 3; ++i) C_EXPECT(reqs[i] == MPI_REQUEST_NULL);
+  const double ranksum = size * (size - 1) / 2.0;
+  for (int i = 0; i < 64; ++i) C_EXPECT(rb[i] == ranksum + size * i);
+  for (int r = 0; r < size; ++r) {
+    for (int i = 0; i < 4; ++i) C_EXPECT(all[r * 4 + i] == r * 10 + i);
+  }
+
+  // Ibcast completed through the test path.
+  if (rank == 0) {
+    for (int i = 0; i < 64; ++i) sb[i] = 7.25 * i;
+  }
+  MPI_Request br;
+  C_EXPECT(MPI_Ibcast(sb, 64, MPI_DOUBLE, 0, MPI_COMM_WORLD, &br) ==
+           MPI_SUCCESS);
+  int flag = 0;
+  while (!flag) {
+    C_EXPECT(MPI_Test(&br, &flag, MPI_STATUS_IGNORE) == MPI_SUCCESS);
+  }
+  C_EXPECT(br == MPI_REQUEST_NULL);
+  for (int i = 0; i < 64; ++i) C_EXPECT(sb[i] == 7.25 * i);
+
+  // Ireduce_scatter_block: element j of my block sums rank contributions.
+  double *rsin, *rsout;
+  MPI_Alloc_mem(size * 8 * sizeof(double), nullptr, &rsin);
+  MPI_Alloc_mem(8 * sizeof(double), nullptr, &rsout);
+  for (int i = 0; i < size * 8; ++i) rsin[i] = rank + i;
+  MPI_Request rr;
+  C_EXPECT(MPI_Ireduce_scatter_block(rsin, rsout, 8, MPI_DOUBLE, MPI_SUM,
+                                     MPI_COMM_WORLD, &rr) == MPI_SUCCESS);
+  MPI_Status st;
+  C_EXPECT(MPI_Wait(&rr, &st) == MPI_SUCCESS);
+  for (int j = 0; j < 8; ++j) {
+    C_EXPECT(rsout[j] == ranksum + size * (rank * 8 + j));
+  }
+
+  MPI_Free_mem(sb);
+  MPI_Free_mem(rb);
+  MPI_Free_mem(mine);
+  MPI_Free_mem(all);
+  MPI_Free_mem(rsin);
+  MPI_Free_mem(rsout);
+  MPI_Finalize();
+  return 0;
+}
+
+int request_lifecycle_main(int, char**) {
+  MPI_Init(nullptr, nullptr);
+  int rank;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  int* v;
+  MPI_Alloc_mem(4 * sizeof(int), nullptr, &v);
+
+  if (rank == 0) {
+    // Stale copies of a completed handle: wait/test must succeed
+    // idempotently and must not free the slot twice.
+    MPI_Request r;
+    C_EXPECT(MPI_Irecv(v, 1, MPI_INT, 1, 11, MPI_COMM_WORLD, &r) ==
+             MPI_SUCCESS);
+    MPI_Request copy1 = r, copy2 = r;
+    C_EXPECT(MPI_Wait(&r, MPI_STATUS_IGNORE) == MPI_SUCCESS);
+    C_EXPECT(r == MPI_REQUEST_NULL && v[0] == 111);
+    int flag = 0;
+    C_EXPECT(MPI_Test(&copy1, &flag, MPI_STATUS_IGNORE) == MPI_SUCCESS);
+    C_EXPECT(flag == 1 && copy1 == MPI_REQUEST_NULL);
+    C_EXPECT(MPI_Wait(&copy2, MPI_STATUS_IGNORE) == MPI_SUCCESS);
+    C_EXPECT(copy2 == MPI_REQUEST_NULL);
+
+    // A handle that never existed is an error, not a crash.
+    MPI_Request bogus = 0x7ffffff0;
+    C_EXPECT(MPI_Wait(&bogus, MPI_STATUS_IGNORE) == MPI_ERR_REQUEST);
+    C_EXPECT(MPI_Test(&bogus, &flag, MPI_STATUS_IGNORE) == MPI_ERR_REQUEST);
+    C_EXPECT(MPI_Request_free(&bogus) == MPI_ERR_REQUEST);
+    MPI_Request null_req = MPI_REQUEST_NULL;
+    C_EXPECT(MPI_Request_free(&null_req) == MPI_ERR_REQUEST);
+
+    // Waitany drains a set one completion at a time.
+    MPI_Request pair[2];
+    C_EXPECT(MPI_Irecv(v, 1, MPI_INT, 1, 12, MPI_COMM_WORLD, &pair[0]) ==
+             MPI_SUCCESS);
+    C_EXPECT(MPI_Irecv(v + 1, 1, MPI_INT, 1, 13, MPI_COMM_WORLD, &pair[1]) ==
+             MPI_SUCCESS);
+    int idx1, idx2;
+    MPI_Status st;
+    C_EXPECT(MPI_Waitany(2, pair, &idx1, &st) == MPI_SUCCESS);
+    C_EXPECT(pair[idx1] == MPI_REQUEST_NULL && st.MPI_SOURCE == 1);
+    C_EXPECT(MPI_Waitany(2, pair, &idx2, &st) == MPI_SUCCESS);
+    C_EXPECT(idx1 != idx2 && pair[idx2] == MPI_REQUEST_NULL);
+    C_EXPECT(v[0] == 12 && v[1] == 13);
+    int idx3 = 0;
+    C_EXPECT(MPI_Waitany(2, pair, &idx3, &st) == MPI_SUCCESS);
+    C_EXPECT(idx3 == MPI_UNDEFINED);
+
+    // Testall/Testany: poll a pair to completion.
+    C_EXPECT(MPI_Irecv(v, 1, MPI_INT, 1, 14, MPI_COMM_WORLD, &pair[0]) ==
+             MPI_SUCCESS);
+    C_EXPECT(MPI_Irecv(v + 1, 1, MPI_INT, 1, 15, MPI_COMM_WORLD, &pair[1]) ==
+             MPI_SUCCESS);
+    flag = 0;
+    MPI_Status sts[2];
+    while (!flag) {
+      C_EXPECT(MPI_Testall(2, pair, &flag, sts) == MPI_SUCCESS);
+    }
+    C_EXPECT(pair[0] == MPI_REQUEST_NULL && pair[1] == MPI_REQUEST_NULL);
+    C_EXPECT(sts[0].MPI_TAG == 14 && sts[1].MPI_TAG == 15);
+    C_EXPECT(v[0] == 14 && v[1] == 15);
+    int tidx = 0;
+    C_EXPECT(MPI_Testany(2, pair, &tidx, &flag, MPI_STATUS_IGNORE) ==
+             MPI_SUCCESS);
+    C_EXPECT(flag == 1 && tidx == MPI_UNDEFINED);
+
+    // Request_free releases the handle; the receive still completes inside
+    // the engine (the barrier below gives it time to land).
+    MPI_Request fr;
+    C_EXPECT(MPI_Irecv(v + 2, 1, MPI_INT, 1, 16, MPI_COMM_WORLD, &fr) ==
+             MPI_SUCCESS);
+    C_EXPECT(MPI_Request_free(&fr) == MPI_SUCCESS);
+    C_EXPECT(fr == MPI_REQUEST_NULL);
+  } else if (rank == 1) {
+    v[0] = 111;
+    C_EXPECT(MPI_Send(v, 1, MPI_INT, 0, 11, MPI_COMM_WORLD) == MPI_SUCCESS);
+    for (int tag : {12, 13, 14, 15, 16}) {
+      v[0] = tag;
+      C_EXPECT(MPI_Send(v, 1, MPI_INT, 0, tag, MPI_COMM_WORLD) ==
+               MPI_SUCCESS);
+    }
+  }
+  C_EXPECT(MPI_Barrier(MPI_COMM_WORLD) == MPI_SUCCESS);
+  if (rank == 0) C_EXPECT(v[2] == 16);
+  MPI_Free_mem(v);
+  MPI_Finalize();
+  return 0;
+}
+
 }  // namespace
 
 TEST(CApiMore, GatherScatter) { run(cfg(4), gather_scatter_main); }
 TEST(CApiMore, AllgatherAlltoall) { run(cfg(4), allgather_alltoall_main); }
 TEST(CApiMore, SendrecvOnDup) { run(cfg(3), sendrecv_dup_main); }
 TEST(CApiMore, SsendAndIprobe) { run(cfg(2), ssend_iprobe_main); }
+TEST(CApiMore, NonblockingCollectives) { run(cfg(4), nbc_collectives_main); }
+TEST(CApiMore, RequestLifecycle) { run(cfg(2), request_lifecycle_main); }
