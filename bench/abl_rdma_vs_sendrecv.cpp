@@ -1,3 +1,4 @@
+// dcfa-lint: allow-file(raw-post) -- the ablation compares raw transport primitives
 // Ablation (Section IV-B3): why rendezvous uses RDMA, not Send/Receive.
 //
 // The paper: "In the zero-copy design for large messages, it's impossible

@@ -1,3 +1,4 @@
+// dcfa-lint: allow-file(raw-post) -- the example demonstrates the raw verbs flow
 // Raw DCFA example: programming the co-processor's InfiniBand verbs
 // directly, without the MPI layer — the level of abstraction the DCFA
 // library itself provides (Section IV-A). Shows the full flow the paper

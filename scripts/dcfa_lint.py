@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""dcfa_lint: repo-specific protocol-hygiene lint for the DCFA-MPI tree.
+
+Four rule families, each encoding an invariant the generic toolchain cannot
+see (docs/checking.md has the rationale and the paper references):
+
+  raw-post        ib::Hca::post_send/post_recv may only be called from the
+                  transport layers (src/ib, src/verbs, src/dcfa,
+                  src/baselines) and the two mpi files that own the data
+                  path (engine.cpp, rma.cpp). Everything else must go
+                  through mpi::Engine so DcfaCheck sees every packet.
+  unchecked-result  resource-creating verbs (reg_mr, create_cq, create_qp,
+                  alloc_pd, alloc_buffer) must not have their result
+                  discarded; a dropped handle is a leak the sim never
+                  reclaims. ([[nodiscard]] backs this at compile time; the
+                  lint catches pre-C++17 idioms like `(void)` casts too.)
+  wire-struct     structs that cross the simulated wire (PacketHeader,
+                  PacketTail, CmdHeader, RespHeader, OffloadMrInfo) must
+                  use fixed-width field types and carry a
+                  trivially-copyable static_assert; `int`/`size_t` fields
+                  change layout between host and co-processor ABIs.
+  naked-memcpy    src/mpi/engine.cpp must not memcpy into registered ring
+                  or staging MRs directly; mpi/wire.hpp's bounds-checked
+                  put/get helpers are the only sanctioned path. (ib/hca.cpp
+                  is exempt: it *is* the simulated DMA engine.)
+
+A file can waive one rule with a justified marker comment:
+
+    // dcfa-lint: allow-file(raw-post) -- benchmarks the raw verbs path
+
+The justification after `--` is mandatory; a bare waiver is itself a
+finding. Exit status is the number of findings (0 == clean).
+
+If clang-tidy and build/compile_commands.json are present, the configured
+.clang-tidy checks run over the same file set; when either is missing the
+step is skipped with a note (the CI lint job installs clang-tidy, dev
+containers need not).
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# Directories scanned for C++ sources.
+SCAN_DIRS = ["src", "tests", "bench", "examples"]
+CPP_SUFFIXES = {".cpp", ".hpp"}
+
+# raw-post: layers that legitimately speak to the HCA model directly.
+RAW_POST_ALLOWED = [
+    "src/ib/",
+    "src/verbs/",
+    "src/dcfa/",
+    "src/baselines/",
+    "src/mpi/engine.cpp",
+    "src/mpi/rma.cpp",
+]
+
+# wire-struct: file -> structs that cross the simulated wire in that file.
+# (PacketTail is a bare using-alias of std::uint32_t, not a struct.)
+WIRE_STRUCTS = {
+    "src/mpi/packet.hpp": ["PacketHeader"],
+    "src/dcfa/cmd.hpp": ["CmdHeader", "RespHeader", "OffloadMrInfo"],
+}
+# Field types allowed in wire structs: fixed-width ints and repo typedefs
+# that are themselves fixed-width (see their definitions).
+WIRE_TYPE_OK = re.compile(
+    r"^(?:std::)?u?int(?:8|16|32|64)_t$"
+    r"|^(?:mem::)?SimAddr$|^(?:ib::)?MKey$|^(?:ib::)?Qpn$|^(?:ib::)?Lid$"
+    r"|^Handle$|^CmdOp$|^CmdStatus$|^PacketType$|^std::byte$"
+)
+
+# naked-memcpy: files where raw memcpy is banned outright (wire.hpp covers
+# every legitimate copy), plus destination substrings that indicate a
+# registered-MR target anywhere in src/mpi.
+MEMCPY_BANNED_FILES = ["src/mpi/engine.cpp"]
+MEMCPY_MR_DESTS = re.compile(
+    r"memcpy\s*\(\s*(?:ep\.)?(?:ring|staging|credit_src|credit_cell|hb_src|hb_cell)\b"
+)
+
+UNCHECKED_CALL = re.compile(
+    r"^\s*(?:\(void\)\s*)?[A-Za-z_]\w*(?:\.|->)"
+    r"(?:reg_mr|create_cq|create_qp|alloc_pd|alloc_buffer)\s*\("
+)
+
+RAW_POST_CALL = re.compile(r"(?:\.|->)post_(?:send|recv)\s*\(")
+WAIVER = re.compile(r"//\s*dcfa-lint:\s*allow-file\((?P<rule>[\w-]+)\)(?P<just>.*)")
+
+findings: list[str] = []
+
+
+def finding(path: Path, lineno: int, rule: str, msg: str) -> None:
+    findings.append(f"{path.relative_to(ROOT)}:{lineno}: [{rule}] {msg}")
+
+
+def strip_comments(line: str) -> str:
+    # Good enough for lint: drop // comments (waivers are parsed separately)
+    # and string literals so quoted code can't trip call regexes.
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    return line.split("//", 1)[0]
+
+
+def file_waivers(text: str, path: Path) -> set[str]:
+    waived: set[str] = set()
+    for i, line in enumerate(text.splitlines(), 1):
+        m = WAIVER.search(line)
+        if not m:
+            continue
+        just = m.group("just").strip()
+        if not just.startswith("--") or len(just.lstrip("- ").strip()) < 8:
+            finding(path, i, "waiver",
+                    "allow-file waiver without a justification (`-- reason`)")
+            continue
+        waived.add(m.group("rule"))
+    return waived
+
+
+def check_raw_post(path: Path, rel: str, lines: list[str], waived: set[str]) -> None:
+    if any(rel.startswith(a) or rel == a for a in RAW_POST_ALLOWED):
+        return
+    if "raw-post" in waived:
+        return
+    for i, line in enumerate(lines, 1):
+        if RAW_POST_CALL.search(strip_comments(line)):
+            finding(path, i, "raw-post",
+                    "direct post_send/post_recv outside the transport layers; "
+                    "route through mpi::Engine (or add a justified waiver)")
+
+
+def check_unchecked_result(path: Path, rel: str, lines: list[str],
+                           waived: set[str]) -> None:
+    if "unchecked-result" in waived:
+        return
+    prev = ""
+    for i, line in enumerate(lines, 1):
+        code = strip_comments(line)
+        # A line that merely continues an assignment / argument list from the
+        # previous line is not a discarded result.
+        continuation = prev.rstrip().endswith(("=", "(", ",", "+", "?", ":",
+                                               "return", "&&", "||"))
+        if not continuation and UNCHECKED_CALL.match(code):
+            finding(path, i, "unchecked-result",
+                    "result of a resource-creating verb is discarded; the "
+                    "handle leaks and can never be deregistered")
+        if code.strip():
+            prev = code
+
+
+def check_wire_structs(path: Path, rel: str, text: str, waived: set[str]) -> None:
+    if rel not in WIRE_STRUCTS or "wire-struct" in waived:
+        return
+    for struct in WIRE_STRUCTS[rel]:
+        m = re.search(r"struct\s+" + struct + r"\s*\{", text)
+        if not m:
+            finding(path, 1, "wire-struct",
+                    f"expected wire struct {struct} not found")
+            continue
+        body_start = m.end()
+        lineno = text.count("\n", 0, body_start) + 1
+        depth = 1
+        pos = body_start
+        while pos < len(text) and depth:
+            if text[pos] == "{":
+                depth += 1
+            elif text[pos] == "}":
+                depth -= 1
+            pos += 1
+        body = text[body_start:pos - 1]
+        for off, line in enumerate(body.splitlines()):
+            code = strip_comments(line).strip()
+            fm = re.match(
+                r"(?P<type>[A-Za-z_][\w:]*(?:\s*<[^>]*>)?)\s+"
+                r"(?P<name>[A-Za-z_]\w*)(?:\s*\[[^\]]*\])?\s*(?:=[^;]*)?;",
+                code)
+            if not fm:
+                continue
+            t = fm.group("type")
+            if t in ("struct", "enum", "using", "static", "constexpr", "return"):
+                continue
+            if not WIRE_TYPE_OK.match(t):
+                finding(path, lineno + off, "wire-struct",
+                        f"{struct}.{fm.group('name')} has non-fixed-width "
+                        f"type `{t}`; wire layouts must not depend on the "
+                        "host ABI")
+        if not re.search(
+                r"static_assert\(\s*std::is_trivially_copyable_v<\s*" +
+                struct + r"\s*>", text):
+            finding(path, lineno, "wire-struct",
+                    f"missing static_assert(std::is_trivially_copyable_v<"
+                    f"{struct}>) — wire structs are moved with byte copies")
+
+
+def check_naked_memcpy(path: Path, rel: str, lines: list[str],
+                       waived: set[str]) -> None:
+    if "naked-memcpy" in waived or rel.startswith("src/ib/"):
+        return
+    banned = rel in MEMCPY_BANNED_FILES
+    for i, line in enumerate(lines, 1):
+        code = strip_comments(line)
+        if banned and re.search(r"\bmemcpy\s*\(", code):
+            finding(path, i, "naked-memcpy",
+                    "raw memcpy in the eager-ring engine; use the "
+                    "bounds-checked mpi/wire.hpp helpers")
+        elif rel.startswith("src/mpi/") and MEMCPY_MR_DESTS.search(code):
+            finding(path, i, "naked-memcpy",
+                    "memcpy directly into a registered MR buffer; use "
+                    "mpi/wire.hpp so DcfaCheck sees the copy bounds")
+
+
+def run_clang_tidy(files: list[Path]) -> None:
+    tidy = shutil.which("clang-tidy")
+    compdb = ROOT / "build" / "compile_commands.json"
+    if not tidy or not compdb.exists():
+        missing = "clang-tidy" if not tidy else "build/compile_commands.json"
+        print(f"dcfa_lint: note: {missing} not available; "
+              "skipping clang-tidy pass (CI runs it)")
+        return
+    sources = [str(f) for f in files if f.suffix == ".cpp"
+               and str(f.relative_to(ROOT)).startswith("src/")]
+    r = subprocess.run([tidy, "-p", str(compdb.parent), "--quiet", *sources],
+                       cwd=ROOT, capture_output=True, text=True)
+    out = (r.stdout or "") + (r.stderr or "")
+    for line in out.splitlines():
+        if re.search(r"(warning|error):", line) and "clang-diagnostic" not in line:
+            findings.append(line.strip())
+
+
+def main() -> int:
+    files: list[Path] = []
+    for d in SCAN_DIRS:
+        for suf in CPP_SUFFIXES:
+            files.extend(sorted((ROOT / d).rglob(f"*{suf}")))
+
+    for path in files:
+        text = path.read_text(encoding="utf-8", errors="replace")
+        rel = str(path.relative_to(ROOT))
+        lines = text.splitlines()
+        waived = file_waivers(text, path)
+        check_raw_post(path, rel, lines, waived)
+        check_unchecked_result(path, rel, lines, waived)
+        check_wire_structs(path, rel, text, waived)
+        check_naked_memcpy(path, rel, lines, waived)
+
+    if "--no-tidy" not in sys.argv:
+        run_clang_tidy(files)
+
+    for f in findings:
+        print(f)
+    n = len(findings)
+    print(f"dcfa_lint: {n} finding(s) across {len(files)} files")
+    return min(n, 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

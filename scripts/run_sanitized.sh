@@ -1,15 +1,27 @@
 #!/usr/bin/env bash
-# Build and run the whole test suite under AddressSanitizer + UBSan.
+# Build and run the whole test suite under a sanitizer configuration.
 #
 #   scripts/run_sanitized.sh [sanitizers] [build-dir]
 #
-# Defaults: sanitizers=address,undefined, build-dir=build-asan. The normal
-# `build/` tree is left untouched so a sanitized run never forces a full
-# rebuild of the day-to-day configuration.
+# Defaults: sanitizers=address,undefined, build-dir=build-asan — except that
+# `thread` defaults its build dir to build-tsan so ASan and TSan trees never
+# share object files (they are link-incompatible). The normal `build/` tree
+# is left untouched so a sanitized run never forces a full rebuild of the
+# day-to-day configuration.
+#
+#   scripts/run_sanitized.sh thread        # ThreadSanitizer over the suite
+#
+# TSan races are suppressed only via scripts/tsan.supp, which documents each
+# entry; a new race must be fixed, not suppressed.
 set -euo pipefail
 
 SANITIZERS="${1:-address,undefined}"
-BUILD_DIR="${2:-build-asan}"
+if [ "$SANITIZERS" = "thread" ]; then
+  DEFAULT_DIR=build-tsan
+else
+  DEFAULT_DIR=build-asan
+fi
+BUILD_DIR="${2:-$DEFAULT_DIR}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 cmake -B "$ROOT/$BUILD_DIR" -S "$ROOT" \
@@ -20,4 +32,5 @@ cmake --build "$ROOT/$BUILD_DIR" -j "$(nproc)"
 # halt_on_error so a sanitizer report fails the suite instead of scrolling by.
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1:suppressions=$ROOT/scripts/tsan.supp}" \
   ctest --test-dir "$ROOT/$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,3 +1,4 @@
+// dcfa-lint: allow-file(raw-post) -- baseline latency app measured below the MPI layer
 #include "apps/pingpong.hpp"
 
 #include <cstring>

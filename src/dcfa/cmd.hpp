@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <stdexcept>
+#include <type_traits>
 #include <variant>
 
 #include "dcfa/host_compute.hpp"
@@ -83,6 +84,11 @@ struct RespHeader {
   CmdStatus status;
 };
 
+// CMD headers travel over the SCIF channel as raw bytes; fixed-width fields
+// only, and the layout must be byte-copyable (dcfa_lint wire-struct rule).
+static_assert(std::is_trivially_copyable_v<CmdHeader>);
+static_assert(std::is_trivially_copyable_v<RespHeader>);
+
 /// A handle published by the host delegation process ("a hash key for later
 /// reuse" in the paper's words).
 using Handle = std::uint64_t;
@@ -92,10 +98,12 @@ using Handle = std::uint64_t;
 struct OffloadMrInfo {
   Handle handle = 0;
   mem::SimAddr host_addr = 0;
-  std::size_t size = 0;
+  std::uint64_t size = 0;  ///< fixed-width: size_t differs across ABIs
   ib::MKey lkey = 0;
   ib::MKey rkey = 0;
 };
+
+static_assert(std::is_trivially_copyable_v<OffloadMrInfo>);
 
 /// The DCFA CMD server: an extension of the host delegation process (mcexec)
 /// that receives offloaded InfiniBand requests from one Phi client, executes

@@ -35,14 +35,15 @@ class PhiVerbs : public verbs::Ib {
            scif::Channel& channel);
 
   // --- verbs::Ib ------------------------------------------------------------
-  ib::ProtectionDomain* alloc_pd() override;
-  ib::MemoryRegion* reg_mr(ib::ProtectionDomain* pd, const mem::Buffer& buf,
-                           unsigned access) override;
+  [[nodiscard]] ib::ProtectionDomain* alloc_pd() override;
+  [[nodiscard]] ib::MemoryRegion* reg_mr(ib::ProtectionDomain* pd,
+                                         const mem::Buffer& buf,
+                                         unsigned access) override;
   void dereg_mr(ib::MemoryRegion* mr) override;
-  ib::CompletionQueue* create_cq(int capacity) override;
-  ib::QueuePair* create_qp(ib::ProtectionDomain* pd,
-                           ib::CompletionQueue* send_cq,
-                           ib::CompletionQueue* recv_cq) override;
+  [[nodiscard]] ib::CompletionQueue* create_cq(int capacity) override;
+  [[nodiscard]] ib::QueuePair* create_qp(ib::ProtectionDomain* pd,
+                                         ib::CompletionQueue* send_cq,
+                                         ib::CompletionQueue* recv_cq) override;
   void connect(ib::QueuePair* qp, verbs::QpAddress remote) override;
   void destroy_qp(ib::QueuePair* qp) override;
   verbs::QpAddress address(ib::QueuePair* qp) override;

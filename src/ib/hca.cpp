@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "ib/fabric.hpp"
+#include "sim/check.hpp"
+#include "sim/engine.hpp"
 #include "sim/log.hpp"
 #include "sim/trace.hpp"
 
@@ -64,11 +66,13 @@ MemoryRegion* Hca::reg_mr(ProtectionDomain* pd, mem::Domain domain,
   mrs_by_lkey_.emplace(lkey, std::move(mr));
   mrs_by_rkey_.emplace(rkey, p);
   ++mr_reg_count_;
+  engine_.checker().mr_registered(pd, lkey, rkey, addr, length);
   return p;
 }
 
 void Hca::dereg_mr(MemoryRegion* mr) {
   if (!mr) throw std::invalid_argument("dereg_mr: null MR");
+  engine_.checker().mr_deregistered(&mr->pd(), mr->lkey(), mr->rkey());
   mrs_by_rkey_.erase(mr->rkey());
   if (mrs_by_lkey_.erase(mr->lkey()) == 0) {
     throw std::invalid_argument("dereg_mr: unknown MR");
@@ -150,6 +154,10 @@ std::optional<WcStatus> Hca::check_sges(ProtectionDomain& pd,
                                         bool need_local_write) {
   for (const Sge& s : sges) {
     if (s.length == 0) continue;
+    // Fail fast on a dead or mis-sized key before the HCA-model lookup: the
+    // checker has the registration ledger, so a use-after-dereg surfaces as
+    // a structured violation instead of a generic protection error.
+    engine_.checker().mr_used(&pd, s.lkey, s.addr, s.length);
     MemoryRegion* mr = mr_by_lkey(s.lkey);
     if (!mr || &mr->pd() != &pd || !mr->covers(s.addr, s.length)) {
       return WcStatus::LocalProtectionError;
@@ -361,6 +369,10 @@ void Hca::execute_send(QueuePair* qp, SendWr wr) {
   }
 
   // RDMA write / read: validate the remote window against the remote HCA.
+  // Deliberately not a DcfaCheck hook: during connection recovery a peer can
+  // legitimately post against a ring MR the other side already tore down.
+  // That is the modeled RemoteAccessError -> QP-wedge -> reconnect path, not
+  // an invariant violation. Local keys (check_sges) have no such race.
   MemoryRegion* rmr = remote.mr_by_rkey(wr.rkey);
   const unsigned need = wr.opcode == Opcode::RdmaWrite
                             ? static_cast<unsigned>(kRemoteWrite)

@@ -132,18 +132,22 @@ class Hca {
   const sim::Platform& platform() const { return platform_; }
 
   // --- Resource creation (host-driver side; the Phi must delegate) --------
-  ProtectionDomain* alloc_pd();
+  // [[nodiscard]]: a discarded handle is a leak the simulation never
+  // reclaims (dcfa_lint unchecked-result rule).
+  [[nodiscard]] ProtectionDomain* alloc_pd();
   void dealloc_pd(ProtectionDomain* pd);
 
-  MemoryRegion* reg_mr(ProtectionDomain* pd, mem::Domain domain,
-                       mem::SimAddr addr, std::size_t length, unsigned access);
+  [[nodiscard]] MemoryRegion* reg_mr(ProtectionDomain* pd, mem::Domain domain,
+                                     mem::SimAddr addr, std::size_t length,
+                                     unsigned access);
   void dereg_mr(MemoryRegion* mr);
 
-  CompletionQueue* create_cq(int capacity);
+  [[nodiscard]] CompletionQueue* create_cq(int capacity);
   void destroy_cq(CompletionQueue* cq);
 
-  QueuePair* create_qp(ProtectionDomain* pd, CompletionQueue* send_cq,
-                       CompletionQueue* recv_cq);
+  [[nodiscard]] QueuePair* create_qp(ProtectionDomain* pd,
+                                     CompletionQueue* send_cq,
+                                     CompletionQueue* recv_cq);
   void destroy_qp(QueuePair* qp);
 
   /// Bring the QP to ReadyToSend, bound to (remote_lid, remote_qpn). Both

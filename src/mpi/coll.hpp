@@ -190,8 +190,14 @@ struct CollSchedule {
   std::size_t bytes = 0;  ///< reported in the completion Status
   /// Per-algorithm Stats counter bumped once at completion (may be null).
   std::uint64_t* algo_counter = nullptr;
+  /// Reserved rotating-window tag base (next_coll_tag_base); -1 when the
+  /// schedule runs outside the window. DcfaCheck derives the window slot
+  /// from it to catch alias bugs.
+  int tag_base = -1;
 
   // Runtime state (owned by the engine's executor).
+  /// DcfaCheck schedule id (0 = checker off); see sim/check.hpp.
+  std::uint64_t check_id = 0;
   std::shared_ptr<RequestState> req;
   std::size_t stage = 0;
   bool stage_started = false;

@@ -175,7 +175,8 @@ Request Communicator::ibarrier() {
   if (size() == 1) return engine_.completed_request();
   auto sched = std::make_shared<CollSchedule>();
   sched->comm_id = id_;
-  const int tag = next_coll_tag_base() + kPhaseBarrier;
+  sched->tag_base = next_coll_tag_base();
+  const int tag = sched->tag_base + kPhaseBarrier;
   // Dissemination barrier: works for any communicator size in ceil(log2 n)
   // rounds of 0-byte messages.
   mem::Buffer dummy = alloc(1);
@@ -289,6 +290,7 @@ Request Communicator::ibcast(const mem::Buffer& buf, std::size_t offset,
   sched->comm_id = id_;
   sched->bytes = bytes;
   const int tag_base = next_coll_tag_base();
+  sched->tag_base = tag_base;
   if (algo == CollAlgo::ScatterAllgather) {
     emit_bcast_scatter_ag(*sched, tag_base, buf, offset, count, type, root);
     sched->algo_counter = &engine_.coll_stats().coll_bcast_scatter_ag;
@@ -593,6 +595,7 @@ Request Communicator::iallreduce(const mem::Buffer& sendbuf, std::size_t soff,
   sched->comm_id = id_;
   sched->bytes = bytes;
   const int tag_base = next_coll_tag_base();
+  sched->tag_base = tag_base;
   Engine::Stats& st = engine_.coll_stats();
   switch (algo) {
     case CollAlgo::Ring:
@@ -668,6 +671,7 @@ Request Communicator::ireduce_scatter_block(const mem::Buffer& sendbuf,
   sched->owned.push_back(work);
   sched->owned.push_back(scratch);
   const int tag_base = next_coll_tag_base();
+  sched->tag_base = tag_base;
   emit_rs_ring(*sched, work, 0, part, type, op, seg_elems, rank(), scratch,
                tag_base + kPhaseRsRing);
   add_stage(*sched).locals.push_back(
@@ -787,6 +791,7 @@ Request Communicator::iallgather(const mem::Buffer& sendbuf, std::size_t soff,
   sched->comm_id = id_;
   sched->bytes = bytes;
   const int tag_base = next_coll_tag_base();
+  sched->tag_base = tag_base;
   if (algo == CollAlgo::RecursiveDoubling) {
     emit_allgather_rd(*sched, tag_base, recvbuf, roff, count, type);
     sched->algo_counter = &engine_.coll_stats().coll_allgather_rd;

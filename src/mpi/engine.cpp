@@ -3,7 +3,10 @@
 #include <cassert>
 #include <cstring>
 
+#include "mpi/wire.hpp"
+#include "sim/engine.hpp"
 #include "sim/log.hpp"
+#include "sim/process.hpp"
 #include "sim/trace.hpp"
 
 namespace dcfa::mpi {
@@ -287,6 +290,8 @@ void Engine::forget_buffer(const mem::Buffer& buf) {
   if (shadow_cache_) shadow_cache_->invalidate(buf);
 }
 
+sim::Checker& Engine::chk() { return ib_->process().engine().checker(); }
+
 // ---------------------------------------------------------------------------
 // TX plumbing
 // ---------------------------------------------------------------------------
@@ -313,6 +318,9 @@ void Engine::emit_packet(Endpoint& ep, PacketHeader hdr,
                          std::function<void(const ib::Wc&)> on_complete,
                          std::shared_ptr<RequestState> owner) {
   assert(slots_free(ep) > 0);
+  chk().packet_emitted(rank_, ep.peer, ep.sent_packets + 1,
+                       ep.sent_packets + 1 - ep.consumed_by_peer,
+                       usable_slots_);
   if (faults_armed_) {
     // Reliable path: stamp the absolute ring index and track the packet
     // until a CQE or a returning credit confirms delivery. Reusing a slot
@@ -331,16 +339,13 @@ void Engine::emit_packet(Endpoint& ep, PacketHeader hdr,
       }
     }
     const int slot = static_cast<int>(idx % slots());
-    std::memcpy(ep.staging.data() + layout_.header_off(slot), &hdr,
-                sizeof hdr);
+    wire::put(ep.staging, layout_.header_off(slot), hdr);
     if (len > 0) {
-      std::memcpy(ep.staging.data() + layout_.payload_off(slot), payload,
-                  len);
+      wire::put_bytes(ep.staging, layout_.payload_off(slot), payload, len);
       ib_->charge_memcpy(len);
     }
     const PacketTail tail = kPacketMagic;
-    std::memcpy(ep.staging.data() + layout_.tail_off(slot, len), &tail,
-                sizeof tail);
+    wire::put(ep.staging, layout_.tail_off(slot, len), tail);
     TxRecord rec;
     rec.hdr = hdr;
     rec.payload_len = len;
@@ -354,15 +359,13 @@ void Engine::emit_packet(Endpoint& ep, PacketHeader hdr,
   const int slot = static_cast<int>(ep.sent_packets % slots());
 
   // Stage header, payload (the eager one-copy) and tail into the slot.
-  std::byte* base = ep.staging.data() + layout_.header_off(slot);
-  std::memcpy(base, &hdr, sizeof hdr);
+  wire::put(ep.staging, layout_.header_off(slot), hdr);
   if (len > 0) {
-    std::memcpy(ep.staging.data() + layout_.payload_off(slot), payload, len);
+    wire::put_bytes(ep.staging, layout_.payload_off(slot), payload, len);
     ib_->charge_memcpy(len);
   }
   const PacketTail tail = kPacketMagic;
-  std::memcpy(ep.staging.data() + layout_.tail_off(slot, len), &tail,
-              sizeof tail);
+  wire::put(ep.staging, layout_.tail_off(slot, len), tail);
 
   // Header SGE + data SGE + tail SGE, exactly as the paper describes; the
   // responder lays them down contiguously so the tail lands last-after-data.
@@ -850,6 +853,7 @@ void Engine::perform_reconnect(Endpoint& ep, std::uint32_t target_epoch) {
   ep.remote_hb = pi->hb_addr;
   ep.remote_hb_rkey = pi->hb_rkey;
   ep.epoch = target_epoch;
+  chk().epoch_advanced(rank_, ep.peer, target_epoch);
   ep.conn_state = (phi_ && phi_->in_proxy_fallback()) ? ConnState::Degraded
                                                       : ConnState::Healthy;
   ep.last_heard = ib_->process().now();
@@ -896,15 +900,14 @@ void Engine::heartbeat_tick() {
       continue;
     }
     // Adopt the peer's beacon.
-    std::uint64_t v = 0;
-    std::memcpy(&v, ep.hb_cell.data(), sizeof v);
+    const std::uint64_t v = wire::get<std::uint64_t>(ep.hb_cell, 0);
     if (v != ep.hb_seen) {
       ep.hb_seen = v;
       ep.last_heard = now;
     }
     // Write mine: non-faultable and unsignaled, like a credit update.
     ++ep.hb_seq;
-    std::memcpy(ep.hb_src.data(), &ep.hb_seq, sizeof ep.hb_seq);
+    wire::put(ep.hb_src, 0, ep.hb_seq);
     ib::SendWr wr;
     wr.opcode = ib::Opcode::RdmaWrite;
     wr.signaled = false;
@@ -929,7 +932,8 @@ void Engine::heartbeat_tick() {
 void Engine::send_credit(Endpoint& ep) {
   // RDMA-write the consumption counter into the peer's credit cell. No ring
   // slot needed — this is what keeps the flow control deadlock-free.
-  std::memcpy(ep.credit_src.data(), &ep.my_consumed, sizeof ep.my_consumed);
+  chk().credit_written(rank_, ep.peer, ep.my_consumed);
+  wire::put(ep.credit_src, 0, ep.my_consumed);
   ib::SendWr wr;
   wr.opcode = ib::Opcode::RdmaWrite;
   wr.signaled = false;
@@ -963,9 +967,9 @@ void Engine::poll_cq() {
 }
 
 void Engine::read_credit_cell(Endpoint& ep) {
-  std::uint64_t value = 0;
-  std::memcpy(&value, ep.credit_cell.data(), sizeof value);
+  const std::uint64_t value = wire::get<std::uint64_t>(ep.credit_cell, 0);
   if (value > ep.consumed_by_peer) {
+    chk().credit_read(rank_, ep.peer, value);
     ep.consumed_by_peer = value;
     if (fatal_armed_) ep.last_heard = ib_->process().now();
   }
@@ -976,14 +980,13 @@ void Engine::scan_ring(Endpoint& ep) {
   for (;;) {
     const int slot = static_cast<int>(ep.my_consumed % slots());
     std::byte* base = ep.ring.data() + layout_.header_off(slot);
-    PacketHeader hdr;
-    std::memcpy(&hdr, base, sizeof hdr);
+    const auto hdr =
+        wire::get<PacketHeader>(ep.ring, layout_.header_off(slot));
     if (hdr.magic != kPacketMagic) break;
     const std::uint64_t plen =
         hdr.type == PacketType::Eager ? hdr.msg_bytes : 0;
-    PacketTail tail = 0;
-    std::memcpy(&tail, ep.ring.data() + layout_.tail_off(slot, plen),
-                sizeof tail);
+    const auto tail =
+        wire::get<PacketTail>(ep.ring, layout_.tail_off(slot, plen));
     if (tail != kPacketMagic) break;  // data still in flight
     if (fatal_armed_ && hdr.conn_epoch != ep.epoch) {
       // Cross-epoch traffic: a pre-recovery packet landing in the rebuilt
@@ -1021,6 +1024,7 @@ void Engine::scan_ring(Endpoint& ep) {
     std::memset(base, 0, sizeof hdr);
     std::memset(ep.ring.data() + layout_.tail_off(slot, plen), 0, sizeof tail);
     ++ep.my_consumed;
+    chk().packet_consumed(rank_, ep.peer, ep.my_consumed);
     ++stats_.packets_rx;
     // usable_slots_ == slots() unless a fault spec capped the credits; the
     // tighter cap also tightens the reporting period or the ring deadlocks.
@@ -1071,6 +1075,14 @@ Request Engine::start_coll(std::shared_ptr<CollSchedule> sched) {
   st->bytes = sched->bytes;
   st->posted_at = ib_->process().now();
   sched->req = st;
+  // Window slot for the alias check: -1 (untracked) for schedules outside
+  // the rotating collective tag window.
+  const int slot = sched->tag_base >= kCollSchedTagBase
+                       ? (sched->tag_base - kCollSchedTagBase) /
+                             kCollSchedPhases
+                       : -1;
+  sched->check_id =
+      chk().coll_started(rank_, sched->comm_id, slot, sched->stages.size());
   schedules_.push_back(std::move(sched));
   // Kick stage 0: the nested isend/irecv calls see in_progress_ and post
   // without re-entering the scan.
@@ -1114,6 +1126,7 @@ void Engine::advance_schedule(CollSchedule& s) {
       if (ps != PipeState::Done) return;  // Busy, or Failed (already failed)
     } else {
       if (!s.stage_started) {
+        chk().stage_started(s.check_id, s.stage);
         s.outstanding.clear();
         s.outstanding.reserve(stage.xfers.size());
         for (const CollXfer& x : stage.xfers) {
@@ -1155,6 +1168,7 @@ Engine::PipeState Engine::pipe_advance(CollSchedule& s, CollPipe& p) {
   };
 
   if (!p.started) {
+    chk().stage_started(s.check_id, s.stage);
     // All outgoing segments go up first (they read ranges this step never
     // writes), keeping the wire busy while incoming segments fold.
     p.sends.reserve(nout);
@@ -1230,13 +1244,14 @@ Engine::PipeState Engine::pipe_advance(CollSchedule& s, CollPipe& p) {
 
 void Engine::run_coll_local(const CollLocal& l) {
   if (l.kind == CollLocal::Kind::Copy) {
-    std::memcpy(l.dst.data() + l.dst_off, l.src.data() + l.src_off, l.count);
+    wire::put_bytes(l.dst, l.dst_off, l.src.data() + l.src_off, l.count);
   } else {
     combine(l.op, *l.type, l.dst, l.dst_off, l.src, l.src_off, l.count);
   }
 }
 
 void Engine::finish_schedule(CollSchedule& s) {
+  chk().coll_finished(s.check_id);
   for (const mem::Buffer& b : s.owned) {
     forget_buffer(b);
     ib_->free_buffer(b);
@@ -1255,6 +1270,7 @@ void Engine::finish_schedule(CollSchedule& s) {
 }
 
 void Engine::fail_schedule(CollSchedule& s, std::string why) {
+  chk().coll_failed(s.check_id);
   // Owned temporaries are deliberately leaked until teardown: in-flight
   // transfers of the failed stage may still land in them.
   sim::Log::error(ib_->process().now(), "mpi",

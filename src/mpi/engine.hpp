@@ -17,6 +17,7 @@
 #include "mpi/packet.hpp"
 #include "mpi/request.hpp"
 #include "mpi/types.hpp"
+#include "sim/check.hpp"
 #include "verbs/verbs.hpp"
 
 namespace dcfa::mpi {
@@ -560,6 +561,9 @@ class Engine {
   }
 
   void poll_cq();
+  /// DcfaCheck hooks: the per-cluster invariant checker owned by the
+  /// simulation engine (see src/sim/check.hpp and docs/checking.md).
+  sim::Checker& chk();
   Endpoint& endpoint(int peer);
   Channel& channel(Endpoint& ep, std::uint32_t comm_id, int tag) {
     return ep.channels[{comm_id, tag}];

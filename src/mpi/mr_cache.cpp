@@ -1,5 +1,9 @@
 #include "mpi/mr_cache.hpp"
 
+#include "sim/check.hpp"
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
 namespace dcfa::mpi {
 
 MrCache::~MrCache() {
@@ -12,6 +16,11 @@ ib::MemoryRegion* MrCache::get(const mem::Buffer& buf) {
   auto it = map_.find(buf.addr());
   if (it != map_.end() && it->second.bytes >= buf.size()) {
     ++hits_;
+    // A cache hit hands out an MR that skipped registration, so it bypasses
+    // the Hca-level liveness check until post time. Validate here so a stale
+    // entry (buffer freed without invalidate()) is caught at the handout.
+    ib_.process().engine().checker().mr_used(&pd_, it->second.lkey,
+                                             buf.addr(), buf.size());
     lru_.erase(it->second.lru_it);
     lru_.push_front(buf.addr());
     it->second.lru_it = lru_.begin();
@@ -30,7 +39,7 @@ ib::MemoryRegion* MrCache::get(const mem::Buffer& buf) {
       ib_.reg_mr(&pd_, buf,
                  ib::kLocalWrite | ib::kRemoteRead | ib::kRemoteWrite);
   lru_.push_front(buf.addr());
-  map_[buf.addr()] = Entry{mr, buf.size(), lru_.begin()};
+  map_[buf.addr()] = Entry{mr, mr->lkey(), buf.size(), lru_.begin()};
   pinned_bytes_ += buf.size();
   return mr;
 }

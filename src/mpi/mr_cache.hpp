@@ -46,6 +46,10 @@ class MrCache {
  private:
   struct Entry {
     ib::MemoryRegion* mr;
+    // Captured at registration: if the MR dies behind the cache's back (a
+    // buffer freed without invalidate()), `mr` dangles, and the checker
+    // hook in get() must not dereference it to learn what key it had.
+    std::uint64_t lkey;
     std::uint64_t bytes;
     std::list<mem::SimAddr>::iterator lru_it;
   };

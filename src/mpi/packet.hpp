@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 
 #include "ib/types.hpp"
 #include "mem/memory.hpp"
@@ -51,6 +52,12 @@ struct PacketHeader {
   ib::MKey rkey = 0;
   std::uint64_t buf_bytes = 0;   ///< exposed window size (RTR: capacity)
 };
+
+// Wire hygiene (scripts/dcfa_lint.py wire-struct rule): the header crosses
+// the simulated wire as raw bytes, so it must stay trivially copyable and
+// built only from fixed-width fields — host and co-processor ABIs must agree
+// on its layout.
+static_assert(std::is_trivially_copyable_v<PacketHeader>);
 
 using PacketTail = std::uint32_t;
 

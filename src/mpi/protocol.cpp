@@ -2,6 +2,7 @@
 #include <cstring>
 
 #include "mpi/engine.hpp"
+#include "mpi/wire.hpp"
 #include "sim/log.hpp"
 
 namespace dcfa::mpi {
@@ -68,6 +69,7 @@ Request Engine::isend(const mem::Buffer& buf, std::size_t offset,
     Endpoint& ep = endpoint(dst);
     Channel& ch = channel(ep, comm_id, tag);
     st->seq = ch.next_send_seq++;
+    chk().send_seq_assigned(rank_, dst, comm_id, tag, st->seq);
     st->seq_assigned = true;
     ch.sends[st->seq] = st;
     start_send(st);
@@ -177,6 +179,8 @@ Request Engine::irecv(const mem::Buffer& buf, std::size_t offset,
       Endpoint& ep = endpoint(match->src);
       Channel& ch = channel(ep, comm_id, match->tag);
       st->seq = ch.next_assign_seq++;
+      chk().recv_seq_assigned(rank_, match->src, comm_id, match->tag,
+                              st->seq);
       st->seq_assigned = true;
       activate_recv(ep, ch, st);
     }
@@ -186,6 +190,7 @@ Request Engine::irecv(const mem::Buffer& buf, std::size_t offset,
     Endpoint& ep = endpoint(src);
     Channel& ch = channel(ep, comm_id, tag);
     st->seq = ch.next_assign_seq++;
+    chk().recv_seq_assigned(rank_, src, comm_id, tag, st->seq);
     st->seq_assigned = true;
     activate_recv(ep, ch, st);
   }
@@ -496,6 +501,13 @@ void Engine::activate_recv(Endpoint& ep, Channel& ch,
     ib::MemoryRegion* mr = register_window(target);
     if (!options_.mr_cache) req->window_mr = mr;
     req->phase = RequestState::Phase::RtrSent;
+    // Receiver-First admits this seq here: the data lands by RDMA write and
+    // DONE, so no Eager/RTS packet ever reaches the accept ledger for it —
+    // and earlier seqs may still be in flight in the ring, so this is a
+    // claim, not an in-order accept. If the sender's Eager/RTS crosses the
+    // RTR (mis-prediction / Simultaneous), the handlers skip their accept
+    // hook for RtrSent.
+    chk().packet_claimed(rank_, req->peer, req->comm_id, req->tag, req->seq);
     const mem::SimAddr addr = target.addr() + toff;
     const ib::MKey rkey = mr->rkey();
     const std::uint64_t capacity = req->bytes;
@@ -527,7 +539,7 @@ void Engine::deliver_eager(Endpoint& ep,
   }
   if (hdr.msg_bytes > 0) {
     if (req->type->is_contiguous()) {
-      std::memcpy(user_ptr(req), payload, hdr.msg_bytes);
+      wire::put_bytes(req->buffer, req->offset, payload, hdr.msg_bytes);
       ib_->charge_memcpy(hdr.msg_bytes);
     } else {
       if (hdr.msg_bytes % req->type->size() != 0) {
@@ -600,6 +612,9 @@ void Engine::start_rdma_read(Endpoint& ep,
 
 void Engine::handle_packet(Endpoint& ep, const PacketHeader& hdr,
                            const std::byte* payload) {
+  // The scan_ring epoch fence must have filtered cross-generation traffic
+  // before any packet reaches dispatch.
+  chk().packet_epoch(rank_, hdr.src_rank, hdr.conn_epoch, ep.epoch);
   Channel& ch = channel(ep, hdr.comm_id, hdr.tag);
   switch (hdr.type) {
     case PacketType::Eager:
@@ -624,6 +639,10 @@ void Engine::handle_eager(Endpoint& ep, Channel& ch, const PacketHeader& hdr,
                           const std::byte* payload) {
   auto it = ch.posted.find(hdr.seq);
   if (it != ch.posted.end()) {
+    if (it->second->phase != RequestState::Phase::RtrSent) {
+      chk().packet_accepted(rank_, hdr.src_rank, hdr.comm_id, hdr.tag,
+                            hdr.seq);
+    }
     auto req = it->second;
     deliver_eager(ep, req, hdr, payload);
     return;
@@ -636,6 +655,7 @@ void Engine::handle_eager(Endpoint& ep, Channel& ch, const PacketHeader& hdr,
     ++stats_.dup_packets_dropped;
     return;
   }
+  chk().packet_accepted(rank_, hdr.src_rank, hdr.comm_id, hdr.tag, hdr.seq);
   // Unexpected: stash a copy (the ring slot is about to be recycled).
   ArrivedPacket pkt;
   pkt.hdr = hdr;
@@ -648,6 +668,10 @@ void Engine::handle_eager(Endpoint& ep, Channel& ch, const PacketHeader& hdr,
 void Engine::handle_rts(Endpoint& ep, Channel& ch, const PacketHeader& hdr) {
   auto it = ch.posted.find(hdr.seq);
   if (it != ch.posted.end()) {
+    if (it->second->phase != RequestState::Phase::RtrSent) {
+      chk().packet_accepted(rank_, hdr.src_rank, hdr.comm_id, hdr.tag,
+                            hdr.seq);
+    }
     auto req = it->second;
     // WaitingPacket: plain Sender-First. RtrSent: Simultaneous Send/Receive
     // — "the receiver will RDMA read by using the buffer data included in
@@ -660,6 +684,7 @@ void Engine::handle_rts(Endpoint& ep, Channel& ch, const PacketHeader& hdr) {
     ++stats_.dup_packets_dropped;
     return;
   }
+  chk().packet_accepted(rank_, hdr.src_rank, hdr.comm_id, hdr.tag, hdr.seq);
   ArrivedPacket pkt;
   pkt.hdr = hdr;
   ch.arrived.emplace(hdr.seq, std::move(pkt));
@@ -803,6 +828,8 @@ void Engine::drain_deferred(std::uint32_t comm_id) {
         Endpoint& ep = endpoint(match->src);
         Channel& ch = channel(ep, comm_id, match->tag);
         req->seq = ch.next_assign_seq++;
+        chk().recv_seq_assigned(rank_, match->src, comm_id, match->tag,
+                                req->seq);
         req->seq_assigned = true;
         activate_recv(ep, ch, req);
       }
@@ -814,6 +841,8 @@ void Engine::drain_deferred(std::uint32_t comm_id) {
         Endpoint& ep = endpoint(req->peer);
         Channel& ch = channel(ep, comm_id, req->tag);
         req->seq = ch.next_assign_seq++;
+        chk().recv_seq_assigned(rank_, req->peer, comm_id, req->tag,
+                                req->seq);
         req->seq_assigned = true;
         activate_recv(ep, ch, req);
       }

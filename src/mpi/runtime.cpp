@@ -37,6 +37,11 @@ Runtime::Runtime(RunConfig config)
     config_.engine_options.offload_send_buffer = false;
   }
   sim_ = std::make_unique<sim::Engine>();
+  // Force the lazy DcfaCheck creation here so a malformed DCFA_CHECK value
+  // throws std::invalid_argument at construction (like a malformed
+  // fault_spec) instead of surfacing mid-run from whichever rank or host
+  // delegate happens to touch the checker first.
+  sim_->checker();
   fabric_ = std::make_unique<ib::Fabric>(*sim_, platform_);
   if (!config_.fault_spec.empty()) {
     // One injector for the whole cluster: every HCA, delegation process and

@@ -1,0 +1,387 @@
+#include "sim/check.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace dcfa::sim {
+
+const char* check_kind_name(CheckKind k) {
+  switch (k) {
+    case CheckKind::SeqRegression: return "seq-regression";
+    case CheckKind::SeqGap: return "seq-gap";
+    case CheckKind::CreditOverrun: return "credit-overrun";
+    case CheckKind::CreditRegression: return "credit-regression";
+    case CheckKind::DoubleCredit: return "double-credit";
+    case CheckKind::MrUseAfterDereg: return "mr-use-after-dereg";
+    case CheckKind::MrUnknownKey: return "mr-unknown-key";
+    case CheckKind::MrOutOfBounds: return "mr-out-of-bounds";
+    case CheckKind::StaleEpoch: return "stale-epoch";
+    case CheckKind::EpochRegression: return "epoch-regression";
+    case CheckKind::TagWindowAlias: return "tag-window-alias";
+    case CheckKind::StageOrder: return "stage-order";
+    case CheckKind::WireBounds: return "wire-bounds";
+  }
+  return "unknown";
+}
+
+const char* check_level_name(CheckLevel l) {
+  switch (l) {
+    case CheckLevel::Off: return "off";
+    case CheckLevel::Cheap: return "cheap";
+    case CheckLevel::Full: return "full";
+  }
+  return "unknown";
+}
+
+CheckLevel Checker::parse_level(const std::string& s) {
+  if (s == "off" || s == "0") return CheckLevel::Off;
+  if (s == "cheap" || s.empty()) return CheckLevel::Cheap;
+  if (s == "full") return CheckLevel::Full;
+  throw std::invalid_argument("DCFA_CHECK: unknown level '" + s +
+                              "' (expected off|cheap|full)");
+}
+
+CheckLevel Checker::level_from_env() {
+  const char* v = std::getenv("DCFA_CHECK");
+  if (!v) return CheckLevel::Cheap;
+  return parse_level(v);
+}
+
+Checker::Checker(CheckLevel level) : level_(level) {}
+
+void Checker::violate(CheckKind kind, const std::string& what) {
+  ++violations_;
+  std::ostringstream os;
+  os << "DcfaCheck[" << check_kind_name(kind) << "] " << what;
+  throw CheckError(kind, os.str());
+}
+
+void Checker::wire_bounds_violation(const std::string& what) {
+  throw CheckError(CheckKind::WireBounds, "DcfaCheck[wire-bounds] " + what);
+}
+
+// --- sequence ledgers -------------------------------------------------------
+
+namespace {
+std::string chan_str(const char* role, int rank, int peer, std::uint32_t comm,
+                     int tag) {
+  std::ostringstream os;
+  os << role << " rank " << rank << " <-> peer " << peer << " comm " << comm
+     << " tag " << tag;
+  return os.str();
+}
+}  // namespace
+
+// Sequence ids are 0-based per channel and must advance by exactly 1 per
+// assignment/acceptance. The ledger stores the last seen id; map presence
+// distinguishes "nothing yet" from "last was 0", keeping the first id
+// strictly checked too.
+void Checker::check_seq(std::map<ChannelKey, std::uint64_t>& ledger,
+                        const char* role, int rank, int peer,
+                        std::uint32_t comm, int tag, std::uint64_t seq) {
+  count();
+  const ChannelKey key{rank, peer, comm, tag};
+  auto it = ledger.find(key);
+  const std::uint64_t expected = it == ledger.end() ? 0 : it->second + 1;
+  if (seq < expected)
+    violate(CheckKind::SeqRegression,
+            std::string(role) + " seq " + std::to_string(seq) +
+                " at/below ledger (expected " + std::to_string(expected) +
+                ", " + chan_str(role, rank, peer, comm, tag) + ")");
+  if (seq > expected)
+    violate(CheckKind::SeqGap,
+            std::string(role) + " seq skipped ahead to " +
+                std::to_string(seq) + " (expected " +
+                std::to_string(expected) + ", " +
+                chan_str(role, rank, peer, comm, tag) + ")");
+  ledger[key] = seq;
+}
+
+void Checker::send_seq_assigned(int rank, int peer, std::uint32_t comm,
+                                int tag, std::uint64_t seq) {
+  if (!on()) return;
+  check_seq(send_seq_, "send", rank, peer, comm, tag, seq);
+}
+
+void Checker::recv_seq_assigned(int rank, int peer, std::uint32_t comm,
+                                int tag, std::uint64_t seq) {
+  if (!on()) return;
+  check_seq(recv_seq_, "recv", rank, peer, comm, tag, seq);
+}
+
+void Checker::packet_accepted(int rank, int src, std::uint32_t comm, int tag,
+                              std::uint64_t seq) {
+  if (!on()) return;
+  count();
+  AcceptState& as = accepted_[{rank, src, comm, tag}];
+  if (seq < as.next || as.claimed.count(seq) > 0)
+    violate(CheckKind::SeqRegression,
+            "accept seq " + std::to_string(seq) + " admitted twice (" +
+                chan_str("accept", rank, src, comm, tag) + ")");
+  // A hole below the arriving seq is only legal if every missing seq was
+  // claimed by a receiver-first rendezvous (admitted out of arrival order).
+  for (std::uint64_t s = as.next; s < seq; ++s) {
+    if (as.claimed.erase(s) == 0)
+      violate(CheckKind::SeqGap,
+              "accept seq skipped ahead to " + std::to_string(seq) +
+                  " but seq " + std::to_string(s) +
+                  " never arrived nor was claimed (" +
+                  chan_str("accept", rank, src, comm, tag) + ")");
+  }
+  as.next = seq + 1;
+  while (as.claimed.erase(as.next) > 0) ++as.next;
+}
+
+void Checker::packet_claimed(int rank, int src, std::uint32_t comm, int tag,
+                             std::uint64_t seq) {
+  if (!on()) return;
+  count();
+  AcceptState& as = accepted_[{rank, src, comm, tag}];
+  if (seq < as.next || as.claimed.count(seq) > 0)
+    violate(CheckKind::SeqRegression,
+            "receiver-first claim of seq " + std::to_string(seq) +
+                " which was already admitted (" +
+                chan_str("claim", rank, src, comm, tag) + ")");
+  as.claimed.insert(seq);
+  while (as.claimed.erase(as.next) > 0) ++as.next;
+}
+
+// --- credit accounting ------------------------------------------------------
+
+void Checker::packet_emitted(int rank, int peer, std::uint64_t sent,
+                             std::uint64_t in_flight, std::uint64_t cap) {
+  if (!on()) return;
+  count();
+  CreditState& cs = credit_[{rank, peer}];
+  if (cap != 0 && in_flight > cap)
+    violate(CheckKind::CreditOverrun,
+            "rank " + std::to_string(rank) + " -> " + std::to_string(peer) +
+                ": " + std::to_string(in_flight) +
+                " eager packets in flight but ring has only " +
+                std::to_string(cap) + " slots");
+  if (sent <= cs.emitted)
+    violate(CheckKind::CreditRegression,
+            "rank " + std::to_string(rank) + " -> " + std::to_string(peer) +
+                ": sent counter moved " + std::to_string(cs.emitted) + " -> " +
+                std::to_string(sent));
+  cs.emitted = sent;
+}
+
+void Checker::packet_consumed(int rank, int peer, std::uint64_t consumed) {
+  if (!on()) return;
+  count();
+  CreditState& cs = credit_[{rank, peer}];
+  if (consumed != cs.consumed + 1)
+    violate(CheckKind::DoubleCredit,
+            "rank " + std::to_string(rank) + " consumed-counter from peer " +
+                std::to_string(peer) + " moved " +
+                std::to_string(cs.consumed) + " -> " +
+                std::to_string(consumed) + " (must advance by exactly 1)");
+  cs.consumed = consumed;
+}
+
+void Checker::credit_written(int rank, int peer, std::uint64_t value) {
+  if (!on()) return;
+  count();
+  CreditState& cs = credit_[{rank, peer}];
+  if (value <= cs.written && value != 0)
+    violate(CheckKind::CreditRegression,
+            "rank " + std::to_string(rank) + " re-wrote credit " +
+                std::to_string(value) + " toward peer " +
+                std::to_string(peer) + " (last written " +
+                std::to_string(cs.written) + ")");
+  if (value > cs.consumed)
+    violate(CheckKind::DoubleCredit,
+            "rank " + std::to_string(rank) + " wrote credit " +
+                std::to_string(value) + " toward peer " +
+                std::to_string(peer) + " but has only consumed " +
+                std::to_string(cs.consumed) + " packets");
+  cs.written = value;
+}
+
+void Checker::credit_read(int rank, int peer, std::uint64_t value) {
+  if (!on()) return;
+  count();
+  CreditState& cs = credit_[{rank, peer}];
+  if (value < cs.read)
+    violate(CheckKind::CreditRegression,
+            "rank " + std::to_string(rank) + " read credit " +
+                std::to_string(value) + " from peer " + std::to_string(peer) +
+                " below previous " + std::to_string(cs.read));
+  if (value > cs.emitted)
+    violate(CheckKind::DoubleCredit,
+            "rank " + std::to_string(rank) + " read credit " +
+                std::to_string(value) + " from peer " + std::to_string(peer) +
+                " but only emitted " + std::to_string(cs.emitted) +
+                " packets (peer acked packets that were never sent)");
+  if (full()) {
+    // Cross-rank: the value in our cell must be one the peer's credit
+    // writer actually produced, i.e. no larger than the peer's last write
+    // toward us. Only comparable while both directions sit in the same
+    // connection epoch (reconnect resets both sides at different times).
+    auto it = credit_.find({peer, rank});
+    if (it != credit_.end() && it->second.epoch == cs.epoch &&
+        value > it->second.written)
+      violate(CheckKind::DoubleCredit,
+              "rank " + std::to_string(rank) + " read credit " +
+                  std::to_string(value) + " from peer " +
+                  std::to_string(peer) + " but peer only wrote " +
+                  std::to_string(it->second.written));
+  }
+  cs.read = value;
+}
+
+// --- MR lifecycle -----------------------------------------------------------
+
+void Checker::mr_registered(const void* owner, std::uint64_t lkey,
+                            std::uint64_t rkey, std::uint64_t addr,
+                            std::uint64_t len) {
+  if (!on()) return;
+  count();
+  mrs_[{owner, lkey}] = MrState{addr, len, true};
+  mrs_[{owner, rkey}] = MrState{addr, len, true};
+}
+
+void Checker::mr_deregistered(const void* owner, std::uint64_t lkey,
+                              std::uint64_t rkey) {
+  if (!on()) return;
+  count();
+  auto kill = [this, owner](std::uint64_t key) {
+    auto it = mrs_.find({owner, key});
+    if (it != mrs_.end()) it->second.live = false;
+  };
+  kill(lkey);
+  kill(rkey);
+}
+
+void Checker::mr_used(const void* owner, std::uint64_t key,
+                      std::uint64_t addr, std::uint64_t len) {
+  if (!on()) return;
+  count();
+  auto it = mrs_.find({owner, key});
+  if (it == mrs_.end()) {
+    // Key never registered with this checker. The HCA's own protection
+    // checks report these as LocalProtectionError completions; unknown keys
+    // also arise for MRs registered before the checker existed, so only
+    // flag keys we have definitely seen die.
+    return;
+  }
+  if (!it->second.live)
+    violate(CheckKind::MrUseAfterDereg,
+            "key " + std::to_string(key) + " used after dereg (window was [" +
+                std::to_string(it->second.addr) + ", " +
+                std::to_string(it->second.addr + it->second.len) + "))");
+  if (full() && len != 0) {
+    const MrState& mr = it->second;
+    if (addr < mr.addr || addr + len > mr.addr + mr.len)
+      violate(CheckKind::MrOutOfBounds,
+              "key " + std::to_string(key) + " use [" + std::to_string(addr) +
+                  ", " + std::to_string(addr + len) +
+                  ") outside registered window [" + std::to_string(mr.addr) +
+                  ", " + std::to_string(mr.addr + mr.len) + ")");
+  }
+}
+
+// --- connection epochs ------------------------------------------------------
+
+void Checker::epoch_advanced(int rank, int peer, std::uint32_t epoch) {
+  if (!on()) return;
+  count();
+  std::uint32_t& cur = epoch_[{rank, peer}];
+  if (epoch <= cur)
+    violate(CheckKind::EpochRegression,
+            "rank " + std::to_string(rank) + " -> peer " +
+                std::to_string(peer) + ": epoch moved " +
+                std::to_string(cur) + " -> " + std::to_string(epoch));
+  cur = epoch;
+  // Reconnect rebuilds the ring: the eager counters restart from zero on the
+  // new connection. The send/recv/accept sequence ledgers survive — requests
+  // are replayed with their original seqs and replay dedup keeps delivery
+  // exactly-once, so those ledgers must stay monotonic across epochs.
+  CreditState& cs = credit_[{rank, peer}];
+  cs = CreditState{};
+  cs.epoch = epoch;
+}
+
+void Checker::packet_epoch(int rank, int src, std::uint32_t pkt_epoch,
+                           std::uint32_t ep_epoch) {
+  if (!on()) return;
+  count();
+  if (pkt_epoch != ep_epoch)
+    violate(CheckKind::StaleEpoch,
+            "rank " + std::to_string(rank) + " admitted packet from " +
+                std::to_string(src) + " carrying epoch " +
+                std::to_string(pkt_epoch) + " while connection is at epoch " +
+                std::to_string(ep_epoch));
+}
+
+// --- collective tag windows and schedule stages -----------------------------
+
+std::uint64_t Checker::coll_started(int rank, std::uint32_t comm,
+                                    int window_slot, std::size_t stages) {
+  if (!on()) return 0;
+  count();
+  if (window_slot >= 0) {
+    auto key = std::make_tuple(rank, comm, window_slot);
+    auto it = window_.find(key);
+    if (it != window_.end())
+      violate(CheckKind::TagWindowAlias,
+              "rank " + std::to_string(rank) + " comm " +
+                  std::to_string(comm) + ": tag-window slot " +
+                  std::to_string(window_slot) +
+                  " already occupied by a live schedule");
+    colls_.push_back(CollState{rank, comm, window_slot, stages, 0, true});
+    window_[key] = colls_.size();
+  } else {
+    colls_.push_back(CollState{rank, comm, window_slot, stages, 0, true});
+  }
+  return colls_.size();  // 1-based; 0 means "checker off"
+}
+
+void Checker::stage_started(std::uint64_t check_id, std::size_t stage) {
+  if (!on() || check_id == 0) return;
+  count();
+  CollState& cs = colls_.at(check_id - 1);
+  if (!cs.live)
+    violate(CheckKind::StageOrder,
+            "stage " + std::to_string(stage) +
+                " started on a finished schedule (check id " +
+                std::to_string(check_id) + ")");
+  if (stage != cs.next_stage)
+    violate(CheckKind::StageOrder,
+            "schedule on rank " + std::to_string(cs.rank) + " started stage " +
+                std::to_string(stage) + " but stage " +
+                std::to_string(cs.next_stage) + " is next in DAG order");
+  if (stage >= cs.stages)
+    violate(CheckKind::StageOrder,
+            "schedule on rank " + std::to_string(cs.rank) + " started stage " +
+                std::to_string(stage) + " of " + std::to_string(cs.stages));
+  cs.next_stage = stage + 1;
+}
+
+void Checker::coll_finished(std::uint64_t check_id) {
+  if (!on() || check_id == 0) return;
+  count();
+  CollState& cs = colls_.at(check_id - 1);
+  if (!cs.live)
+    violate(CheckKind::StageOrder, "schedule finished twice (check id " +
+                                       std::to_string(check_id) + ")");
+  if (cs.next_stage != cs.stages)
+    violate(CheckKind::StageOrder,
+            "schedule on rank " + std::to_string(cs.rank) +
+                " finished after stage " + std::to_string(cs.next_stage) +
+                " of " + std::to_string(cs.stages));
+  cs.live = false;
+  window_.erase({cs.rank, cs.comm, cs.window_slot});
+}
+
+void Checker::coll_failed(std::uint64_t check_id) {
+  if (!on() || check_id == 0) return;
+  count();
+  CollState& cs = colls_.at(check_id - 1);
+  if (!cs.live) return;  // failing an already-finished schedule is a no-op
+  cs.live = false;
+  window_.erase({cs.rank, cs.comm, cs.window_slot});
+}
+
+}  // namespace dcfa::sim

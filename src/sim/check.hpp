@@ -1,0 +1,250 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace dcfa::sim {
+
+/// How much work DcfaCheck does per protocol event.
+///
+///   Off   — every hook is a no-op (a level test and a return).
+///   Cheap — O(1)/O(log n) local-ledger checks: sequence continuity, credit
+///           monotonicity, MR liveness, epoch fences, tag-window occupancy,
+///           schedule stage order.
+///   Full  — Cheap plus cross-rank consistency: a credit value read by the
+///           sender must be one the receiver actually wrote, and MR uses are
+///           re-validated against the registered window bounds.
+enum class CheckLevel { Off, Cheap, Full };
+
+/// Violation classes DcfaCheck can report. One enum value per invariant
+/// family so tests can assert on the *class* of a seeded bug, not on
+/// message text.
+enum class CheckKind {
+  SeqRegression,   ///< a sequence id was assigned/accepted at or below the ledger
+  SeqGap,          ///< a sequence id skipped ahead of the ledger
+  CreditOverrun,   ///< more eager packets in flight than the ring has slots
+  CreditRegression,///< a credit counter (written or read) moved backwards
+  DoubleCredit,    ///< credit value inconsistent with the consumed ledger
+  MrUseAfterDereg, ///< an lkey/rkey was used after dereg_mr released it
+  MrUnknownKey,    ///< an lkey/rkey was used that was never registered
+  MrOutOfBounds,   ///< an MR use fell outside the registered window (Full)
+  StaleEpoch,      ///< a packet with a stale conn_epoch got past the fence
+  EpochRegression, ///< a connection epoch moved backwards
+  TagWindowAlias,  ///< two live schedules share one collective tag-window slot
+  StageOrder,      ///< schedule stages ran out of order or finished early
+  WireBounds,      ///< a wire-format copy overran its buffer
+};
+
+const char* check_kind_name(CheckKind k);
+const char* check_level_name(CheckLevel l);
+
+/// Thrown on the first invariant violation. Fail-fast: the simulation state
+/// that produced the violation is still intact in the throwing thread, so a
+/// debugger or the test harness sees the exact admitting event.
+class CheckError : public std::runtime_error {
+ public:
+  CheckError(CheckKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  CheckKind kind() const { return kind_; }
+
+ private:
+  CheckKind kind_;
+};
+
+/// Runtime protocol-invariant checker ("DcfaCheck").
+///
+/// One Checker is owned by each sim::Engine and shared by every rank in that
+/// cluster. All hooks run while their caller holds the simulation run token
+/// (exactly one process executes at a time), so the shadow state needs no
+/// locking and stays deterministic.
+///
+/// The checker deliberately speaks in plain integers (ranks, keys, tags,
+/// sequence numbers) so the sim layer keeps zero knowledge of the mpi/ib
+/// types that call into it.
+class Checker {
+ public:
+  /// Parse a DCFA_CHECK value; throws std::invalid_argument on junk.
+  static CheckLevel parse_level(const std::string& s);
+  /// Level from the DCFA_CHECK environment variable. Unset means Cheap:
+  /// checking is on by default and tests inherit it without opting in.
+  static CheckLevel level_from_env();
+
+  explicit Checker(CheckLevel level);
+
+  CheckLevel level() const { return level_; }
+  bool on() const { return level_ != CheckLevel::Off; }
+  bool full() const { return level_ == CheckLevel::Full; }
+
+  /// Number of invariant evaluations performed (for "the checker actually
+  /// ran" assertions in tests).
+  std::uint64_t events() const { return events_; }
+  /// Number of violations raised. The first one throws, so this is 0 or 1
+  /// unless a test swallows CheckError and keeps driving.
+  std::uint64_t violations() const { return violations_; }
+
+  // --- per-(rank, peer, comm, tag) sequence ledgers ---------------------
+
+  /// A send-side sequence id was assigned on `rank`'s channel to `peer`.
+  void send_seq_assigned(int rank, int peer, std::uint32_t comm, int tag,
+                         std::uint64_t seq);
+  /// A receive got bound to an expected sequence id on `rank`'s channel
+  /// from `peer` (posted-before-arrival or deferred-queue assignment).
+  void recv_seq_assigned(int rank, int peer, std::uint32_t comm, int tag,
+                         std::uint64_t seq);
+  /// `rank` accepted a data-bearing packet (eager or RTS) from `src` after
+  /// duplicate filtering. Ring order equals send order, so accepted seqs
+  /// advance a per-channel watermark; a hole is only legal if the missing
+  /// seq was claimed by a receiver-first rendezvous (packet_claimed), whose
+  /// data arrives by RDMA write instead of a ring packet.
+  void packet_accepted(int rank, int src, std::uint32_t comm, int tag,
+                       std::uint64_t seq);
+  /// `rank` claimed `seq` on the channel from `src` for a receiver-first
+  /// rendezvous (RTR sent): the seq is admitted out of arrival order, ahead
+  /// of ring packets still in flight. Claims must be unique per channel.
+  void packet_claimed(int rank, int src, std::uint32_t comm, int tag,
+                      std::uint64_t seq);
+
+  // --- eager ring credit accounting -------------------------------------
+
+  /// `rank` emitted eager packet number `sent` (post-increment value) to
+  /// `peer` with `in_flight` packets outstanding against `cap` ring slots.
+  void packet_emitted(int rank, int peer, std::uint64_t sent,
+                      std::uint64_t in_flight, std::uint64_t cap);
+  /// `rank` consumed a ring slot from `peer`; `consumed` is the new total.
+  void packet_consumed(int rank, int peer, std::uint64_t consumed);
+  /// `rank` wrote credit `value` toward `peer` (RDMA into peer's cell).
+  void credit_written(int rank, int peer, std::uint64_t value);
+  /// `rank` read credit `value` from its local cell for `peer`.
+  void credit_read(int rank, int peer, std::uint64_t value);
+
+  // --- MR lifecycle ------------------------------------------------------
+
+  /// `owner` namespaces the key: each ib::Hca allocates lkeys from its own
+  /// counter, so the same numeric key names different MRs on different
+  /// ranks of a cluster. Callers pass the MR's protection domain (available
+  /// at registration, dereg, post, and cache-hit time alike).
+  void mr_registered(const void* owner, std::uint64_t lkey,
+                     std::uint64_t rkey, std::uint64_t addr,
+                     std::uint64_t len);
+  void mr_deregistered(const void* owner, std::uint64_t lkey,
+                       std::uint64_t rkey);
+  /// A work request referenced `key` (an lkey or rkey) over
+  /// [addr, addr+len). len == 0 skips the bounds check.
+  void mr_used(const void* owner, std::uint64_t key, std::uint64_t addr,
+               std::uint64_t len);
+
+  // --- connection epochs --------------------------------------------------
+
+  /// `rank`'s connection to `peer` moved to `epoch` (reconnect completed).
+  /// Also resets the credit/sequence ledgers for that direction: the ring
+  /// restarts from zero on the new connection.
+  void epoch_advanced(int rank, int peer, std::uint32_t epoch);
+  /// `rank` admitted a packet from `src` carrying `pkt_epoch` while the
+  /// endpoint is at `ep_epoch`. The receive fence must have filtered any
+  /// mismatch before this point.
+  void packet_epoch(int rank, int src, std::uint32_t pkt_epoch,
+                    std::uint32_t ep_epoch);
+
+  // --- collective tag windows and schedule stages -------------------------
+
+  /// A collective schedule started on `rank`/`comm` occupying tag-window
+  /// slot `window_slot` with `stages` total stages. Returns a checker id
+  /// for the later stage/finish hooks.
+  std::uint64_t coll_started(int rank, std::uint32_t comm, int window_slot,
+                             std::size_t stages);
+  void stage_started(std::uint64_t check_id, std::size_t stage);
+  void coll_finished(std::uint64_t check_id);
+  /// Schedule abandoned by fault handling: releases the window slot without
+  /// requiring all stages to have run.
+  void coll_failed(std::uint64_t check_id);
+
+  // --- wire-format helpers ------------------------------------------------
+
+  /// Raise a WireBounds violation (used by mpi/wire.hpp when a packed copy
+  /// would overrun its buffer). Always fatal regardless of level: a wire
+  /// overrun is memory corruption, not a protocol anomaly.
+  [[noreturn]] static void wire_bounds_violation(const std::string& what);
+
+ private:
+  struct ChannelKey {
+    int rank;
+    int peer;
+    std::uint32_t comm;
+    int tag;
+    bool operator<(const ChannelKey& o) const {
+      if (rank != o.rank) return rank < o.rank;
+      if (peer != o.peer) return peer < o.peer;
+      if (comm != o.comm) return comm < o.comm;
+      return tag < o.tag;
+    }
+  };
+  struct PairKey {
+    int rank;
+    int peer;
+    bool operator<(const PairKey& o) const {
+      if (rank != o.rank) return rank < o.rank;
+      return peer < o.peer;
+    }
+  };
+  struct CreditState {
+    std::uint64_t consumed = 0;        // packets this rank consumed from peer
+    std::uint64_t written = 0;         // last credit value written to peer
+    std::uint64_t read = 0;            // last credit value read for peer
+    std::uint64_t emitted = 0;         // packets emitted toward peer
+    std::uint32_t epoch = 0;           // connection epoch these ledgers track
+  };
+  struct MrState {
+    std::uint64_t addr = 0;
+    std::uint64_t len = 0;
+    bool live = false;
+  };
+  struct CollState {
+    int rank = -1;
+    std::uint32_t comm = 0;
+    int window_slot = -1;
+    std::size_t stages = 0;
+    std::size_t next_stage = 0;
+    bool live = false;
+  };
+
+  [[noreturn]] void violate(CheckKind kind, const std::string& what);
+  void count() { ++events_; }
+  void check_seq(std::map<ChannelKey, std::uint64_t>& ledger,
+                 const char* role, int rank, int peer, std::uint32_t comm,
+                 int tag, std::uint64_t seq);
+
+  CheckLevel level_;
+  std::uint64_t events_ = 0;
+  std::uint64_t violations_ = 0;
+
+  // Receiver-side admission: `next` is the contiguous watermark (everything
+  // below it was admitted); `claimed` holds receiver-first seqs admitted
+  // ahead of the watermark, absorbed as the ring catches up.
+  struct AcceptState {
+    std::uint64_t next = 0;
+    std::set<std::uint64_t> claimed;
+  };
+
+  std::map<ChannelKey, std::uint64_t> send_seq_;    // last assigned send seq
+  std::map<ChannelKey, std::uint64_t> recv_seq_;    // last assigned recv seq
+  std::map<ChannelKey, AcceptState> accepted_;
+  std::map<PairKey, CreditState> credit_;
+  std::map<PairKey, std::uint32_t> epoch_;
+  // Keyed by (protection domain, key): key counters are per-Hca, so the
+  // same numeric key legitimately recurs across ranks. Within one PD keys
+  // are monotonic and never reused (ib::Hca hands out next_key_++), so a
+  // dead key stays in the map forever as a tombstone.
+  std::map<std::pair<const void*, std::uint64_t>, MrState> mrs_;
+  // (rank, comm, slot) -> check_id; ranks share the checker but each has
+  // its own independent copy of the rotating window.
+  std::map<std::tuple<int, std::uint32_t, int>, std::uint64_t> window_;
+  std::vector<CollState> colls_;
+};
+
+}  // namespace dcfa::sim

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/check.hpp"
 #include "sim/process.hpp"
 
 namespace dcfa::sim {
@@ -50,6 +51,11 @@ void Engine::run() {
     Event ev = queue_.top();
     queue_.pop();
     step(ev);
+    // Fail fast on a dead process: periodic timers (heartbeats, retransmit
+    // checks) keep the queue non-empty forever, which would turn any rank
+    // exception — a DcfaCheck violation, say — into a silent hang if we
+    // only looked after the queue drained.
+    if (process_failed_) break;
   }
   // A process that died on an exception usually strands its peers; surface
   // the root cause rather than a misleading deadlock report.
@@ -66,6 +72,11 @@ void Engine::run_until(Time deadline) {
     step(ev);
   }
   if (now_ < deadline) now_ = deadline;
+}
+
+Checker& Engine::checker() {
+  if (!checker_) checker_ = std::make_unique<Checker>(Checker::level_from_env());
+  return *checker_;
 }
 
 std::size_t Engine::live_processes() const {

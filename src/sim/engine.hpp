@@ -11,6 +11,7 @@
 
 namespace dcfa::sim {
 
+class Checker;
 class Process;
 
 /// Deterministic discrete-event engine.
@@ -67,6 +68,11 @@ class Engine {
   /// Total events executed so far (for determinism tests and stats).
   std::uint64_t events_executed() const { return events_executed_; }
 
+  /// The DcfaCheck invariant checker for this cluster. Created lazily at
+  /// the level named by DCFA_CHECK (off|cheap|full; unset = cheap), so each
+  /// Engine — and therefore each test cluster — gets fresh shadow state.
+  Checker& checker();
+
  private:
   friend class Process;
 
@@ -86,10 +92,12 @@ class Engine {
   void check_deadlock() const;
 
   Time now_ = 0;
+  bool process_failed_ = false;  // set by Process when a body dies on an exception
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::vector<std::unique_ptr<Process>> processes_;
+  std::unique_ptr<Checker> checker_;
 };
 
 /// Thrown by Engine::run() when all events have drained but processes are

@@ -47,6 +47,9 @@ void Process::start() {
     } catch (...) {
       // Remember the failure; Engine::run() rethrows it to the caller.
       error_ = std::current_exception();
+      // The engine thread is parked in resume() until we hand the token
+      // back below, so this write is ordered before its next loop check.
+      engine_.process_failed_ = true;
     }
     std::unique_lock lk(mu_);
     state_ = State::Done;

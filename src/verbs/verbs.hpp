@@ -30,15 +30,18 @@ class Ib {
   virtual ~Ib() = default;
 
   // --- Resource creation ---------------------------------------------------
-  virtual ib::ProtectionDomain* alloc_pd() = 0;
-  virtual ib::MemoryRegion* reg_mr(ib::ProtectionDomain* pd,
-                                   const mem::Buffer& buf,
-                                   unsigned access) = 0;
+  // [[nodiscard]]: a dropped handle can never be deregistered/destroyed, so
+  // the leak outlives the rank. dcfa_lint's unchecked-result rule is the
+  // same invariant for toolchains that ignore the attribute.
+  [[nodiscard]] virtual ib::ProtectionDomain* alloc_pd() = 0;
+  [[nodiscard]] virtual ib::MemoryRegion* reg_mr(ib::ProtectionDomain* pd,
+                                                 const mem::Buffer& buf,
+                                                 unsigned access) = 0;
   virtual void dereg_mr(ib::MemoryRegion* mr) = 0;
-  virtual ib::CompletionQueue* create_cq(int capacity) = 0;
-  virtual ib::QueuePair* create_qp(ib::ProtectionDomain* pd,
-                                   ib::CompletionQueue* send_cq,
-                                   ib::CompletionQueue* recv_cq) = 0;
+  [[nodiscard]] virtual ib::CompletionQueue* create_cq(int capacity) = 0;
+  [[nodiscard]] virtual ib::QueuePair* create_qp(
+      ib::ProtectionDomain* pd, ib::CompletionQueue* send_cq,
+      ib::CompletionQueue* recv_cq) = 0;
   virtual void connect(ib::QueuePair* qp, QpAddress remote) = 0;
   /// Destroy a QP (connection recovery tears down error-state QPs before
   /// re-creating them). Delegated on the Phi, a direct verb on the host.
@@ -58,7 +61,8 @@ class Ib {
   // --- Memory ----------------------------------------------------------------
   /// Allocate a user buffer in this endpoint's natural domain (host DRAM for
   /// HostVerbs, Phi GDDR for PhiVerbs).
-  virtual mem::Buffer alloc_buffer(std::size_t size, std::size_t align = 64) = 0;
+  [[nodiscard]] virtual mem::Buffer alloc_buffer(std::size_t size,
+                                                 std::size_t align = 64) = 0;
   virtual void free_buffer(const mem::Buffer& buf) = 0;
   virtual mem::Domain data_domain() const = 0;
 
@@ -89,14 +93,15 @@ class HostVerbs final : public Ib {
  public:
   HostVerbs(sim::Process& proc, ib::Fabric& fabric, mem::NodeMemory& memory);
 
-  ib::ProtectionDomain* alloc_pd() override;
-  ib::MemoryRegion* reg_mr(ib::ProtectionDomain* pd, const mem::Buffer& buf,
-                           unsigned access) override;
+  [[nodiscard]] ib::ProtectionDomain* alloc_pd() override;
+  [[nodiscard]] ib::MemoryRegion* reg_mr(ib::ProtectionDomain* pd,
+                                         const mem::Buffer& buf,
+                                         unsigned access) override;
   void dereg_mr(ib::MemoryRegion* mr) override;
-  ib::CompletionQueue* create_cq(int capacity) override;
-  ib::QueuePair* create_qp(ib::ProtectionDomain* pd,
-                           ib::CompletionQueue* send_cq,
-                           ib::CompletionQueue* recv_cq) override;
+  [[nodiscard]] ib::CompletionQueue* create_cq(int capacity) override;
+  [[nodiscard]] ib::QueuePair* create_qp(ib::ProtectionDomain* pd,
+                                         ib::CompletionQueue* send_cq,
+                                         ib::CompletionQueue* recv_cq) override;
   void connect(ib::QueuePair* qp, QpAddress remote) override;
   void destroy_qp(ib::QueuePair* qp) override;
   QpAddress address(ib::QueuePair* qp) override;

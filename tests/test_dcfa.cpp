@@ -1,3 +1,5 @@
+// dcfa-lint: allow-file(raw-post) -- exercises the raw DCFA verbs under test
+// dcfa-lint: allow-file(unchecked-result) -- registration-cost timing discards the MR on purpose
 // Tests for the DCFA facility: the CMD offload protocol (client <-> host
 // delegation process), the Phi-side verbs (DCFA IB IF), cost asymmetries,
 // and the offloading send buffer triple (reg / sync / dereg).
@@ -93,7 +95,7 @@ TEST(DcfaCmd, RegistrationCostsMuchMoreThanOnHost) {
     ib::ProtectionDomain* pd = verbs.alloc_pd();
     mem::Buffer buf = verbs.alloc_buffer(1 << 20, 4096);
     const sim::Time t0 = proc.now();
-    verbs.reg_mr(pd, buf, ib::kRemoteRead);
+    (void)verbs.reg_mr(pd, buf, ib::kRemoteRead);
     phi_cost = proc.now() - t0;
   });
   c.engine.spawn("host1", [&](sim::Process& proc) {
@@ -101,7 +103,7 @@ TEST(DcfaCmd, RegistrationCostsMuchMoreThanOnHost) {
     ib::ProtectionDomain* pd = verbs.alloc_pd();
     mem::Buffer buf = verbs.alloc_buffer(1 << 20, 4096);
     const sim::Time t0 = proc.now();
-    verbs.reg_mr(pd, buf, ib::kRemoteRead);
+    (void)verbs.reg_mr(pd, buf, ib::kRemoteRead);
     host_cost = proc.now() - t0;
   });
   c.engine.run();

@@ -1,3 +1,4 @@
+// dcfa-lint: allow-file(raw-post) -- this file tests the HCA verbs model itself
 // Tests for the simulated InfiniBand HCA + fabric: verbs object lifecycle,
 // protection checks, RDMA read/write data integrity, SGE gather/scatter,
 // send/recv matching and RNR, completion ordering, and the
