@@ -17,22 +17,6 @@ using namespace dcfa;
 
 namespace {
 
-/// Virtual time of `iters` back-to-back collectives, max over ranks
-/// (ranks only advance their own slot, so the vector needs no lock).
-template <typename Body>
-sim::Time coll_time(mpi::RunConfig cfg, int iters, Body&& body) {
-  std::vector<double> elapsed(cfg.nprocs, 0.0);
-  mpi::run_mpi(cfg, [&](mpi::RankCtx& ctx) {
-    ctx.world.barrier();
-    const double t0 = ctx.wtime();
-    for (int i = 0; i < iters; ++i) body(ctx);
-    elapsed[ctx.rank] = ctx.wtime() - t0;
-  });
-  double worst = 0.0;
-  for (double e : elapsed) worst = std::max(worst, e);
-  return sim::seconds(worst / iters);
-}
-
 sim::Time allreduce_time(const char* algo, std::size_t bytes, int nprocs,
                          int iters) {
   mpi::RunConfig cfg;
@@ -40,7 +24,7 @@ sim::Time allreduce_time(const char* algo, std::size_t bytes, int nprocs,
   cfg.nprocs = nprocs;
   cfg.engine_options.coll.allreduce = algo;
   const std::size_t n = std::max<std::size_t>(bytes / sizeof(double), 1);
-  return coll_time(cfg, iters, [n](mpi::RankCtx& ctx) {
+  return bench::max_rank_time(cfg, iters, [n](mpi::RankCtx& ctx) {
     mem::Buffer in = ctx.world.alloc(n * sizeof(double));
     mem::Buffer out = ctx.world.alloc(n * sizeof(double));
     std::memset(in.data(), 0, n * sizeof(double));
@@ -56,7 +40,7 @@ sim::Time bcast_time(const char* algo, std::size_t bytes, int nprocs,
   cfg.mode = mpi::MpiMode::DcfaPhi;
   cfg.nprocs = nprocs;
   cfg.engine_options.coll.bcast = algo;
-  return coll_time(cfg, iters, [bytes](mpi::RankCtx& ctx) {
+  return bench::max_rank_time(cfg, iters, [bytes](mpi::RankCtx& ctx) {
     mem::Buffer buf = ctx.world.alloc(bytes);
     if (ctx.rank == 0) std::memset(buf.data(), 0x5a, bytes);
     ctx.world.bcast(buf, 0, bytes, mpi::type_byte(), 0);
@@ -72,7 +56,7 @@ sim::Time ring_seg_time(std::size_t bytes, std::uint64_t seg, int nprocs,
   cfg.engine_options.coll.allreduce = "ring";
   cfg.engine_options.coll.segment_bytes = seg;
   const std::size_t n = bytes / sizeof(double);
-  return coll_time(cfg, iters, [n](mpi::RankCtx& ctx) {
+  return bench::max_rank_time(cfg, iters, [n](mpi::RankCtx& ctx) {
     mem::Buffer in = ctx.world.alloc(n * sizeof(double));
     mem::Buffer out = ctx.world.alloc(n * sizeof(double));
     std::memset(in.data(), 0, n * sizeof(double));
@@ -86,6 +70,7 @@ sim::Time ring_seg_time(std::size_t bytes, std::uint64_t seg, int nprocs,
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  bench::JsonReport rep("abl_collectives", argc, argv);
   const int nprocs = 8;
   const int iters = quick ? 2 : 4;
 
@@ -118,6 +103,7 @@ int main(int argc, char** argv) {
       table.add_row(std::move(row));
     }
     table.print();
+    rep.table("allreduce", table, {"", "us", "us", "us", "us", ""});
   }
 
   std::printf("\n");
@@ -133,6 +119,7 @@ int main(int argc, char** argv) {
       table.add_row(std::move(row));
     }
     table.print();
+    rep.table("bcast", table, {"", "us", "us", ""});
   }
 
   if (!quick) {
@@ -144,6 +131,7 @@ int main(int argc, char** argv) {
                      bench::fmt_us(ring_seg_time(4 << 20, seg, nprocs, 2))});
     }
     table.print();
+    rep.table("ring_segment", table, {"", "us"});
     std::printf("\n(Tiny segments pay per-message overhead; one huge segment "
                 "loses the transfer/combine overlap. The default sits at the "
                 "elbow.)\n");

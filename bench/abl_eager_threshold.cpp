@@ -13,6 +13,7 @@ using namespace dcfa;
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  bench::JsonReport rep("abl_eager_threshold", argc, argv);
   bench::banner("Ablation IV-B3", "eager one-copy vs rendezvous zero-copy");
   bench::claim("one-copy wins for small messages (copy < handshake), "
                "zero-copy wins for large ones");
@@ -45,6 +46,10 @@ int main(int argc, char** argv) {
         best = r.round_trip;
         best_col = c;
       }
+    }
+    for (std::size_t c = 0; c < rtts.size(); ++c) {
+      rep.metric("rtt", bench::fmt_size(bytes) + "/" + table.headers()[c + 1],
+                 sim::to_us(rtts[c]), "us");
     }
     for (std::size_t c = 0; c < rtts.size(); ++c) {
       row.push_back(bench::fmt_us(rtts[c]) + (c == best_col ? " *" : ""));

@@ -74,6 +74,7 @@ sim::Time time_vector_send(bool offload, std::size_t blocks, int iters) {
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  bench::JsonReport rep("abl_future_offload", argc, argv);
   const int iters = quick ? 5 : 20;
 
   bench::banner("Ablation VI-a", "host-offloaded collective reductions");
@@ -90,6 +91,7 @@ int main(int argc, char** argv) {
                 bench::fmt_ratio(static_cast<double>(local) / off)});
   }
   ra.print();
+  rep.table("reduce_offload", ra, {"", "us", "us", "x"});
 
   bench::banner("Ablation VI-b", "host-offloaded derived-datatype packing");
   bench::claim("packing a strided send on the host (one bulk extent DMA + "
@@ -105,6 +107,7 @@ int main(int argc, char** argv) {
                 bench::fmt_ratio(static_cast<double>(local) / off)});
   }
   rb.print();
+  rep.table("pack_offload", rb, {"", "us", "us", "x"});
   std::printf(
       "\n(end-to-end message times: the *receiver's* local unpack — which "
       "cannot profitably be delegated, since pushing the strided extent "

@@ -22,6 +22,7 @@ apps::PingPongResult run_pair(int nodes, std::size_t bytes, int iters) {
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  bench::JsonReport rep("abl_intranode", argc, argv);
   bench::banner("Ablation III-C", "intra-MIC (co-located ranks) vs inter-node");
   bench::claim("loopback saves the wire hops on small messages; both regimes "
                "hit the same Phi-memory ceilings on large ones");
@@ -39,5 +40,6 @@ int main(int argc, char** argv) {
                    bench::fmt_gbps(inter.bandwidth_gbps)});
   }
   table.print();
+  rep.table("intra_vs_inter", table, {"", "us", "us", "GB/s", "GB/s"});
   return 0;
 }

@@ -52,6 +52,7 @@ sim::Time run_case(bool mr_cache, bool reuse, std::size_t bytes, int iters) {
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  bench::JsonReport rep("abl_mr_cache", argc, argv);
   bench::banner("Ablation IV-B3", "MR buffer cache pool");
   bench::claim("the cache pool amortises the expensive Phi-side "
                "registration, but 'can only benefit applications which "
@@ -71,6 +72,7 @@ int main(int argc, char** argv) {
                    bench::fmt_us(cf), bench::fmt_us(nf)});
   }
   table.print();
+  rep.table("mr_cache", table, {"", "us", "us", "x", "us", "us"});
   std::printf("\n(per-message latency. With fresh buffers every message the "
               "cache misses continuously and registration stays on the "
               "critical path, exactly as the paper warns.)\n");

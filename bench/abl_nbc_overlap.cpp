@@ -119,11 +119,9 @@ OverlapPoint measure(mpi::MpiMode mode, std::size_t bytes, int nprocs,
     comm.free(tbuf);
   });
   OverlapPoint p{};
-  for (int r = 0; r < nprocs; ++r) {
-    p.t_comm = std::max(p.t_comm, comm_t[r]);
-    p.t_seq = std::max(p.t_seq, seq_t[r]);
-    p.t_ovl = std::max(p.t_ovl, ovl_t[r]);
-  }
+  p.t_comm = bench::max_over(comm_t);
+  p.t_seq = bench::max_over(seq_t);
+  p.t_ovl = bench::max_over(ovl_t);
   return p;
 }
 
@@ -131,6 +129,7 @@ OverlapPoint measure(mpi::MpiMode mode, std::size_t bytes, int nprocs,
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  bench::JsonReport rep("abl_nbc_overlap", argc, argv);
   const int nprocs = 8;
   const int iters = quick ? 2 : 3;
 
@@ -172,6 +171,7 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
+  rep.table("overlap", table, {"", "", "us", "us", "us", "%"});
 
   std::printf(
       "\n(Compute is %.0f%% of one allreduce, so perfect overlap saves "

@@ -13,6 +13,7 @@ using namespace dcfa;
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  bench::JsonReport rep("abl_offload_threshold", argc, argv);
   bench::banner("Ablation IV-B4", "offloading send buffer threshold tuning");
   bench::claim("8KB threshold performs best in the paper's environment");
 
@@ -50,6 +51,10 @@ int main(int argc, char** argv) {
         best_col = col;
       }
       ++col;
+    }
+    for (std::size_t c = 0; c < rtts.size(); ++c) {
+      rep.metric("rtt", bench::fmt_size(bytes) + "/" + table.headers()[c + 1],
+                 sim::to_us(rtts[c]), "us");
     }
     for (std::size_t c = 0; c < rtts.size(); ++c) {
       row.push_back(bench::fmt_us(rtts[c]) +

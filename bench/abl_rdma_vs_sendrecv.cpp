@@ -135,6 +135,7 @@ sim::Time rdma_read_case(std::size_t bytes, sim::Time recv_delay) {
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  bench::JsonReport rep("abl_rdma_vs_sendrecv", argc, argv);
   bench::banner("Ablation IV-B3",
                 "rendezvous over RDMA vs over Send/Receive (sender first)");
   bench::claim("with Send/Receive the transfer cannot finish until "
@@ -157,6 +158,7 @@ int main(int argc, char** argv) {
                    bench::fmt_us(rd), win});
   }
   table.print();
+  rep.table("rndv_transport", table, {"", "us", "us", ""});
   std::printf(
       "\n(1 MiB payload, host buffers. With a late receive the Send is "
       "RNR-NAKed and the whole payload is retransmitted after the retry "

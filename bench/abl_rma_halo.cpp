@@ -84,6 +84,7 @@ sim::Time one_sided(std::size_t row, int iters) {
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  bench::JsonReport rep("abl_rma_halo", argc, argv);
   bench::banner("Ablation RMA", "one-sided vs two-sided halo exchange");
   bench::claim("fence-epoch puts skip the per-message rendezvous handshake "
                "but pay a barrier per epoch: two-sided eager wins tiny "
@@ -103,6 +104,7 @@ int main(int argc, char** argv) {
                    bench::fmt_us(os), save});
   }
   table.print();
+  rep.table("halo", table, {"", "us", "us", "%"});
   std::printf("\n(8 processes, both neighbours per iteration; the RMA "
               "epoch closes with one dissemination barrier — which is why "
               "eager two-sided wins at 1KB, while the handshake savings "

@@ -1,14 +1,18 @@
 #pragma once
 
 // Shared helpers for the figure/table reproduction harnesses: aligned table
-// printing, human-readable sizes, and the standard message-size sweep.
+// printing, human-readable sizes, the standard message-size sweep, the
+// max-over-ranks timing loop, and machine-readable BENCH_<name>.json
+// emission (schema + trajectory gating in docs/benchmarks.md).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "mpi/runtime.hpp"
 #include "sim/time.hpp"
 
 namespace dcfa::bench {
@@ -69,6 +73,9 @@ class Table {
     for (const auto& row : rows_) line(row);
   }
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
@@ -105,5 +112,176 @@ inline void banner(const char* fig, const char* what) {
 }
 
 inline void claim(const char* text) { std::printf("paper claim: %s\n", text); }
+
+/// Max over per-rank samples (the "slowest rank defines the phase" fold
+/// every collective/NBC harness needs).
+inline double max_over(const std::vector<double>& xs) {
+  double worst = 0.0;
+  for (double x : xs) worst = std::max(worst, x);
+  return worst;
+}
+
+/// Virtual time of `iters` back-to-back iterations of `body`, max over
+/// ranks, divided by iters. Ranks only advance their own slot, so the
+/// vector needs no lock. This is the canonical collective timing loop —
+/// use it instead of re-rolling the barrier/t0/max pattern per bench.
+template <typename Body>
+sim::Time max_rank_time(mpi::RunConfig cfg, int iters, Body&& body) {
+  std::vector<double> elapsed(cfg.nprocs, 0.0);
+  mpi::run_mpi(cfg, [&](mpi::RankCtx& ctx) {
+    ctx.world.barrier();
+    const double t0 = ctx.wtime();
+    for (int i = 0; i < iters; ++i) body(ctx);
+    elapsed[ctx.rank] = ctx.wtime() - t0;
+  });
+  return sim::seconds(max_over(elapsed) / iters);
+}
+
+/// Machine-readable bench emission: accumulates named metrics and writes
+/// BENCH_<name>.json (schema "dcfa-bench-v1") on destruction, into
+/// $DCFA_BENCH_DIR (default: the working directory). The simulator is
+/// deterministic, so these numbers are exact across machines — which is
+/// what lets scripts/bench_trajectory.py diff them against committed
+/// baselines and gate regressions in CI (docs/benchmarks.md).
+class JsonReport {
+ public:
+  JsonReport(std::string bench, int argc, char** argv)
+      : bench_(std::move(bench)), quick_(quick_mode(argc, argv)) {}
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() { write(); }
+
+  void config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, quote(value));
+  }
+  void config(const std::string& key, double value) {
+    config_.emplace_back(key, num(value));
+  }
+
+  /// One metric row. `scenario` scopes the metric (phase, sweep point...);
+  /// scenario + metric must be unique within the file.
+  void metric(const std::string& scenario, const std::string& name,
+              double value, const std::string& unit) {
+    rows_.push_back({scenario, name, value, unit});
+  }
+
+  /// Capture every numeric cell of a printed table. The row label is the
+  /// first cell plus any following non-numeric cells (joined with '/');
+  /// each numeric cell then becomes metric "<label>/<header>" with the
+  /// unit given for its column (missing/empty = unitless).
+  void table(const std::string& scenario, const Table& t,
+             const std::vector<std::string>& units = {}) {
+    for (const auto& row : t.rows()) {
+      if (row.empty()) continue;
+      std::string label = row[0];
+      std::size_t c = 1;
+      double v = 0;
+      for (; c < row.size() && !parse_num(row[c], v); ++c) {
+        label += "/" + row[c];
+      }
+      for (; c < row.size(); ++c) {
+        if (!parse_num(row[c], v) || c >= t.headers().size()) continue;
+        metric(scenario, label + "/" + t.headers()[c], v,
+               c < units.size() ? units[c] : "");
+      }
+    }
+  }
+
+  /// Where the JSON lands (for logs).
+  std::string path() const {
+    const char* dir = std::getenv("DCFA_BENCH_DIR");
+    return std::string(dir != nullptr ? dir : ".") + "/BENCH_" + bench_ +
+           ".json";
+  }
+
+ private:
+  struct Row {
+    std::string scenario, metric;
+    double value;
+    std::string unit;
+  };
+
+  /// Strict numeric parse of a table cell; tolerates the fmt_ratio 'x'
+  /// and '%' suffixes. Returns false for sizes like "4K" (labels).
+  static bool parse_num(const std::string& s, double& out) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    if (end == s.c_str()) return false;
+    if (*end == 'x' || *end == '%') ++end;
+    return *end == '\0';
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') {
+        out += '\\';
+        out += ch;
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+        out += buf;
+      } else {
+        out += ch;
+      }
+    }
+    return out + "\"";
+  }
+
+  static std::string num(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    // JSON wants a leading digit; %g never emits one bare '.', so the
+    // only fixups needed are nan/inf (shouldn't happen, but don't emit
+    // invalid JSON if a bench divides by zero).
+    if (std::strstr(buf, "nan") != nullptr ||
+        std::strstr(buf, "inf") != nullptr) {
+      return "null";
+    }
+    return buf;
+  }
+
+  void write() const {
+    const std::string file = path();
+    std::FILE* f = std::fopen(file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", file.c_str());
+      return;
+    }
+    const char* rev = std::getenv("DCFA_GIT_REV");
+    std::fprintf(f, "{\n  \"schema\": \"dcfa-bench-v1\",\n");
+    std::fprintf(f, "  \"bench\": %s,\n", quote(bench_).c_str());
+    std::fprintf(f, "  \"git_rev\": %s,\n",
+                 quote(rev != nullptr ? rev : "unknown").c_str());
+    std::fprintf(f, "  \"quick\": %s,\n", quick_ ? "true" : "false");
+    std::fprintf(f, "  \"config\": {");
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      std::fprintf(f, "%s\n    %s: %s", i ? "," : "",
+                   quote(config_[i].first).c_str(), config_[i].second.c_str());
+    }
+    std::fprintf(f, "%s},\n", config_.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"metrics\": [");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "%s\n    {\"scenario\": %s, \"metric\": %s, "
+                   "\"value\": %s, \"unit\": %s}",
+                   i ? "," : "", quote(r.scenario).c_str(),
+                   quote(r.metric).c_str(), num(r.value).c_str(),
+                   quote(r.unit).c_str());
+    }
+    std::fprintf(f, "%s]\n}\n", rows_.empty() ? "" : "\n  ");
+    std::fclose(f);
+    std::printf("bench json: %s (%zu metrics)\n", file.c_str(), rows_.size());
+  }
+
+  std::string bench_;
+  bool quick_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace dcfa::bench

@@ -15,6 +15,7 @@ using namespace dcfa;
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  bench::JsonReport rep("fig05_ib_directions", argc, argv);
   bench::banner("Figure 5",
                 "InfiniBand RDMA write bandwidth by transfer direction");
   bench::claim(
@@ -54,6 +55,10 @@ int main(int argc, char** argv) {
     peak_phi_src = std::max(peak_phi_src, bw[2]);
   }
   table.print();
+  rep.table("rdma_bw", table,
+            {"", "GB/s", "GB/s", "GB/s", "GB/s", ""});
+  rep.metric("summary", "host_vs_phi_slowdown", peak_host / peak_phi_src,
+             "x");
   std::printf(
       "\nhost-to-host peak %.2f GB/s, phi-sourced peak %.2f GB/s -> "
       "%.1fx slower (paper: >4x)\n",

@@ -13,6 +13,7 @@ using namespace dcfa;
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  bench::JsonReport rep("fig07_offload_rtt", argc, argv);
   bench::banner("Figure 7",
                 "non-blocking inter-node RTT with/without offloading send "
                 "buffer");
@@ -43,5 +44,6 @@ int main(int argc, char** argv) {
                    ratio});
   }
   table.print();
+  rep.table("rtt", table, {"", "us", "us", "us", "x"});
   return 0;
 }

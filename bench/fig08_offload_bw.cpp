@@ -11,6 +11,7 @@ using namespace dcfa;
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  bench::JsonReport rep("fig08_offload_bw", argc, argv);
   bench::banner("Figure 8", "inter-node bandwidth with offloading send buffer");
   bench::claim("offload buffer lifts bandwidth to ~2.8 GB/s; ~4x over the "
                "un-offloaded Phi path; host reference on top");
@@ -39,6 +40,8 @@ int main(int argc, char** argv) {
                    bench::fmt_gbps(c.bandwidth_gbps)});
   }
   table.print();
+  rep.table("bw", table, {"", "GB/s", "GB/s", "GB/s"});
+  rep.metric("summary", "offload_peak_gbps", peak, "GB/s");
   std::printf("\nDCFA-MPI with offloading send buffer peak: %.2f GB/s "
               "(paper: 2.8 GB/s)\n", peak);
   return 0;

@@ -13,6 +13,7 @@ using namespace dcfa;
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  bench::JsonReport rep("fig09_vs_intelphi_bw", argc, argv);
   bench::banner("Figure 9", "DCFA-MPI vs 'Intel MPI on Xeon Phi' bandwidth");
   bench::claim(
       "3x bandwidth from 1MB; 4B RTT 15us vs 28us; proxy caps <1GB/s, "
@@ -37,5 +38,7 @@ int main(int argc, char** argv) {
                    bench::fmt_ratio(d.bandwidth_gbps / i.bandwidth_gbps)});
   }
   table.print();
+  rep.table("vs_intelphi", table,
+            {"", "us", "GB/s", "us", "GB/s", "x"});
   return 0;
 }

@@ -14,6 +14,7 @@ using namespace dcfa;
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  bench::JsonReport rep("fig10_commonly", argc, argv);
   bench::banner("Figure 10 / Table II", "communication-only application");
   bench::claim("12x for <128B, 2x for >512KB over 'Intel MPI on Xeon + "
                "offload' (optimised: persistent aligned buffers, double "
@@ -43,5 +44,6 @@ int main(int argc, char** argv) {
                                     static_cast<double>(d.per_iteration))});
   }
   table.print();
+  rep.table("comm_only", table, {"", "us", "us", "x"});
   return 0;
 }

@@ -14,6 +14,7 @@ using namespace dcfa;
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  bench::JsonReport rep("fig11_stencil_time", argc, argv);
   bench::banner("Figure 11 / Table III",
                 "five-point stencil processing time vs MPI processes");
   bench::claim("offload mode always slowest; gap grows with processes "
@@ -50,5 +51,6 @@ int main(int argc, char** argv) {
                                     static_cast<double>(d.total))});
   }
   table.print();
+  rep.table("stencil_time", table, {"", "ms", "ms", "ms", "x"});
   return 0;
 }

@@ -13,6 +13,7 @@ using namespace dcfa;
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  bench::JsonReport rep("fig12_stencil_speedup", argc, argv);
   bench::banner("Figure 12", "stencil speed-up over serial");
   bench::claim("8 procs x 56 thr: 117x (DCFA-MPI) / 113x (Intel on Phi) / "
                "74x (Intel on Xeon + offload)");
@@ -48,6 +49,15 @@ int main(int argc, char** argv) {
       };
       table.add_row({std::to_string(procs), std::to_string(threads), spd(d),
                      spd(o), spd(i)});
+      const std::string point =
+          std::to_string(procs) + "p" + std::to_string(threads) + "t";
+      auto ratio = [&](const apps::StencilResult& r) {
+        return static_cast<double>(serial.total) /
+               static_cast<double>(r.total);
+      };
+      rep.metric("speedup", point + "/dcfa", ratio(d), "x");
+      rep.metric("speedup", point + "/offload", ratio(o), "x");
+      rep.metric("speedup", point + "/intel_phi", ratio(i), "x");
     }
   }
   table.print();

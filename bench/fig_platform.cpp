@@ -7,8 +7,13 @@
 
 using namespace dcfa;
 
-int main() {
+int main(int argc, char** argv) {
   const sim::Platform p;
+  bench::JsonReport rep("fig_platform", argc, argv);
+  rep.metric("platform", "ib_wire_gbps", p.ib_wire_gbps, "GB/s");
+  rep.metric("platform", "hca_read_phi_gbps", p.hca_read_phi_gbps, "GB/s");
+  rep.metric("platform", "phi_dma_gbps", p.phi_dma_gbps, "GB/s");
+  rep.metric("platform", "nodes", p.nodes, "");
   bench::banner("Table I", "simulated server architecture / model parameters");
 
   bench::Table hw({"component", "modelled as", "paper reference"});

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json emissions against committed baselines.
+
+The benches run on a deterministic virtual-time simulator, so their numbers
+are exact and machine-independent: a committed baseline reproduces bit-for-
+bit until someone changes the code. This script diffs a directory of fresh
+emissions (bench_util.hpp JsonReport, schema dcfa-bench-v1) against
+bench/baselines/ and fails when any metric drifts outside its tolerance
+band — the perf-trajectory gate wired into CI (docs/benchmarks.md).
+
+Usage:
+  bench_trajectory.py --check  [--emit-dir DIR] [--baseline-dir DIR]
+                               [--tolerance FRAC] [--strict]
+  bench_trajectory.py --update [--emit-dir DIR] [--baseline-dir DIR]
+
+--check exits with the number of out-of-band metrics (0 = pass).
+--update copies the emissions over the baselines (review the diff!).
+
+A baseline file may carry a top-level "tolerance": 0.15 to override the
+global band for every metric in that file. Latency/throughput metrics
+compare as relative error; a baseline value of exactly 0 requires 0.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+SCHEMA = "dcfa-bench-v1"
+REQUIRED_TOP = ("schema", "bench", "git_rev", "quick", "config", "metrics")
+REQUIRED_ROW = ("scenario", "metric", "value", "unit")
+
+
+def load(path):
+    """Parse + schema-check one emission; raises ValueError on bad shape."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            raise ValueError(f"{path}: missing top-level key '{key}'")
+    if doc["schema"] != SCHEMA:
+        raise ValueError(f"{path}: schema '{doc['schema']}' != '{SCHEMA}'")
+    if not isinstance(doc["metrics"], list):
+        raise ValueError(f"{path}: 'metrics' is not a list")
+    rows = {}
+    for row in doc["metrics"]:
+        for key in REQUIRED_ROW:
+            if key not in row:
+                raise ValueError(f"{path}: metric row missing '{key}': {row}")
+        if not isinstance(row["value"], (int, float)) or isinstance(
+            row["value"], bool
+        ):
+            raise ValueError(f"{path}: non-numeric value in {row}")
+        key = (row["scenario"], row["metric"])
+        if key in rows:
+            raise ValueError(f"{path}: duplicate metric {key}")
+        rows[key] = row
+    return doc, rows
+
+
+def bench_files(directory):
+    try:
+        names = sorted(os.listdir(directory))
+    except FileNotFoundError:
+        return []
+    return [
+        os.path.join(directory, n)
+        for n in names
+        if n.startswith("BENCH_") and n.endswith(".json")
+    ]
+
+
+def check(args):
+    emitted = bench_files(args.emit_dir)
+    baselines = bench_files(args.baseline_dir)
+    if not baselines:
+        print(f"bench_trajectory: no baselines in {args.baseline_dir}",
+              file=sys.stderr)
+        return 1
+    emitted_by_name = {os.path.basename(p): p for p in emitted}
+
+    violations = 0
+    compared = 0
+    for base_path in baselines:
+        name = os.path.basename(base_path)
+        base_doc, base_rows = load(base_path)
+        tol = float(base_doc.get("tolerance", args.tolerance))
+        emit_path = emitted_by_name.get(name)
+        if emit_path is None:
+            msg = f"{name}: no fresh emission in {args.emit_dir}"
+            if args.strict:
+                print(f"FAIL {msg}")
+                violations += 1
+            else:
+                print(f"skip {msg}")
+            continue
+        _, emit_rows = load(emit_path)
+        for key, base_row in sorted(base_rows.items()):
+            emit_row = emit_rows.get(key)
+            scenario, metric = key
+            label = f"{name}:{scenario}:{metric}"
+            if emit_row is None:
+                if args.strict:
+                    print(f"FAIL {label}: metric disappeared")
+                    violations += 1
+                continue
+            if emit_row["unit"] != base_row["unit"]:
+                print(
+                    f"FAIL {label}: unit changed "
+                    f"'{base_row['unit']}' -> '{emit_row['unit']}'"
+                )
+                violations += 1
+                continue
+            want, got = float(base_row["value"]), float(emit_row["value"])
+            if want == 0.0:
+                ok, drift = got == 0.0, float("inf") if got else 0.0
+            else:
+                drift = (got - want) / abs(want)
+                ok = abs(drift) <= tol
+            compared += 1
+            if not ok:
+                print(
+                    f"FAIL {label}: {got:g} vs baseline {want:g} "
+                    f"({drift:+.1%}, band ±{tol:.0%})"
+                )
+                violations += 1
+        # New metrics (in emission, not baseline) are fine: they start
+        # gating on the next --update.
+    print(
+        f"bench_trajectory: {compared} metrics compared, "
+        f"{violations} out of band"
+    )
+    return violations
+
+
+def update(args):
+    emitted = bench_files(args.emit_dir)
+    if not emitted:
+        print(f"bench_trajectory: nothing to update from {args.emit_dir}",
+              file=sys.stderr)
+        return 1
+    os.makedirs(args.baseline_dir, exist_ok=True)
+    for path in emitted:
+        load(path)  # schema-check before blessing
+        dest = os.path.join(args.baseline_dir, os.path.basename(path))
+        shutil.copyfile(path, dest)
+        print(f"baseline <- {dest}")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="diff emissions against baselines")
+    mode.add_argument("--update", action="store_true",
+                      help="bless current emissions as the new baselines")
+    ap.add_argument("--emit-dir", default=".",
+                    help="directory holding fresh BENCH_*.json")
+    ap.add_argument("--baseline-dir", default="bench/baselines",
+                    help="directory holding committed baselines")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="relative drift band (default 0.25 = ±25%%)")
+    ap.add_argument("--strict", action="store_true",
+                    help="missing emissions/metrics are failures too")
+    args = ap.parse_args()
+    try:
+        rc = check(args) if args.check else update(args)
+    except ValueError as e:
+        print(f"bench_trajectory: {e}", file=sys.stderr)
+        return 2
+    return min(rc, 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run every bench in --quick mode and collect their BENCH_*.json emissions.
+#
+#   scripts/run_bench_quick.sh [build-dir] [out-dir]
+#
+# The simulator is deterministic, so the emitted numbers are exact: this is
+# both the CI perf-trajectory tier (compared by bench_trajectory.py --check)
+# and the way baselines are regenerated (--update). See docs/benchmarks.md.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_out}"
+
+BENCHES=(
+  fig05_ib_directions fig07_offload_rtt fig08_offload_bw
+  fig09_vs_intelphi_bw fig10_commonly fig11_stencil_time
+  fig12_stencil_speedup fig_platform
+  abl_offload_threshold abl_mr_cache abl_eager_threshold abl_collectives
+  abl_future_offload abl_intranode abl_rdma_vs_sendrecv abl_rma_halo
+  abl_nbc_overlap traffic_gen
+)
+
+mkdir -p "$OUT_DIR"
+export DCFA_BENCH_DIR="$(cd "$OUT_DIR" && pwd)"
+export DCFA_GIT_REV="${DCFA_GIT_REV:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
+
+for b in "${BENCHES[@]}"; do
+  echo "== $b --quick"
+  "$BUILD_DIR/bench/$b" --quick > "$DCFA_BENCH_DIR/$b.log"
+done
+
+echo "emitted $(ls "$DCFA_BENCH_DIR"/BENCH_*.json | wc -l) BENCH_*.json into $OUT_DIR"

@@ -30,6 +30,9 @@ cmake -B "$ROOT/$BUILD_DIR" -S "$ROOT" \
 cmake --build "$ROOT/$BUILD_DIR" -j "$(nproc)"
 
 # halt_on_error so a sanitizer report fails the suite instead of scrolling by.
+# The traffic soak stretches to 13 ranks here: more rank threads means more
+# genuine interleavings for the sanitizers to chew on than the default 9.
+DCFA_SOAK_RANKS="${DCFA_SOAK_RANKS:-13}" \
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1:suppressions=$ROOT/scripts/tsan.supp}" \

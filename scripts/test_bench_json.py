@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Golden test for the bench JSON emission + trajectory gate.
+
+Run under ctest as:  test_bench_json.py <traffic_gen binary> <repo root>
+
+1. Runs `traffic_gen --quick` with DCFA_BENCH_DIR pointing at a tmpdir and
+   checks the emitted BENCH_traffic_gen.json against the dcfa-bench-v1
+   schema (required keys, numeric values, expected units, non-empty).
+2. Re-runs bench_trajectory.py --check with the emission doubling as its
+   own baseline: must pass with zero violations (determinism: the baseline
+   reproduces exactly).
+3. Perturbs one metric by +20% in a copied baseline and re-checks with a
+   ±5% band: must now fail — the regression gate actually gates.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+
+def run(cmd, **kw):
+    return subprocess.run(cmd, capture_output=True, text=True, **kw)
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <traffic_gen> <repo_root>")
+    traffic_gen, repo = sys.argv[1], sys.argv[2]
+    trajectory = os.path.join(repo, "scripts", "bench_trajectory.py")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        emit = os.path.join(tmp, "emit")
+        os.makedirs(emit)
+        env = dict(os.environ, DCFA_BENCH_DIR=emit)
+        r = run([traffic_gen, "--quick"], env=env)
+        if r.returncode != 0:
+            fail(f"traffic_gen --quick exited {r.returncode}:\n{r.stdout}"
+                 f"\n{r.stderr}")
+
+        path = os.path.join(emit, "BENCH_traffic_gen.json")
+        if not os.path.exists(path):
+            fail(f"no {path} emitted")
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+
+        for key in ("schema", "bench", "git_rev", "quick", "config",
+                    "metrics"):
+            if key not in doc:
+                fail(f"missing top-level key '{key}'")
+        if doc["schema"] != "dcfa-bench-v1":
+            fail(f"bad schema '{doc['schema']}'")
+        if doc["bench"] != "traffic_gen":
+            fail(f"bad bench name '{doc['bench']}'")
+        if doc["quick"] is not True:
+            fail("quick flag not recorded")
+        if not doc["metrics"]:
+            fail("metrics list is empty")
+        units = set()
+        for row in doc["metrics"]:
+            for key in ("scenario", "metric", "value", "unit"):
+                if key not in row:
+                    fail(f"metric row missing '{key}': {row}")
+            if not isinstance(row["value"], (int, float)):
+                fail(f"non-numeric value: {row}")
+            units.add(row["unit"])
+        for want in ("msg/s", "GB/s", "us", "ms"):
+            if want not in units:
+                fail(f"expected a metric with unit '{want}'")
+        scenarios = {row["scenario"] for row in doc["metrics"]}
+        for want in ("steady_p2p", "bursty_a2a", "mixed_comms",
+                     "straggler_allreduce", "faulty_soak"):
+            if want not in scenarios:
+                fail(f"scenario '{want}' missing from metrics")
+
+        # Self-baseline must pass: determinism makes the band trivial.
+        base = os.path.join(tmp, "base")
+        shutil.copytree(emit, base)
+        r = run([sys.executable, trajectory, "--check", "--strict",
+                 "--emit-dir", emit, "--baseline-dir", base,
+                 "--tolerance", "0.0001"])
+        if r.returncode != 0:
+            fail(f"in-band check failed (rc={r.returncode}):\n{r.stdout}"
+                 f"\n{r.stderr}")
+
+        # A +20% regression on one metric must trip a ±5% band.
+        with open(path, encoding="utf-8") as f:
+            perturbed = json.load(f)
+        bumped = None
+        for row in perturbed["metrics"]:
+            if row["value"] > 0:
+                row["value"] *= 1.20
+                bumped = row
+                break
+        if bumped is None:
+            fail("no positive metric to perturb")
+        with open(os.path.join(base, "BENCH_traffic_gen.json"), "w",
+                  encoding="utf-8") as f:
+            json.dump(perturbed, f)
+        r = run([sys.executable, trajectory, "--check",
+                 "--emit-dir", emit, "--baseline-dir", base,
+                 "--tolerance", "0.05"])
+        if r.returncode == 0:
+            fail("synthetic 20% regression was not flagged:\n" + r.stdout)
+        if "FAIL" not in r.stdout:
+            fail("regression exit code set but no FAIL line:\n" + r.stdout)
+
+        # Malformed JSON must be a schema error (exit 2), not a pass.
+        with open(os.path.join(base, "BENCH_traffic_gen.json"), "w",
+                  encoding="utf-8") as f:
+            f.write('{"schema": "dcfa-bench-v1", "bench": "traffic_gen"}')
+        r = run([sys.executable, trajectory, "--check",
+                 "--emit-dir", emit, "--baseline-dir", base])
+        if r.returncode != 2:
+            fail(f"schema violation not detected (rc={r.returncode})")
+
+    print("PASS: bench json schema + trajectory gate")
+
+
+if __name__ == "__main__":
+    main()

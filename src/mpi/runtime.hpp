@@ -83,6 +83,9 @@ class Runtime {
   /// The run's fault injector (nullptr when RunConfig::fault_spec is
   /// empty); its counters tell tests what was actually injected.
   const sim::FaultInjector* faults() const { return faults_.get(); }
+  /// Mutable access for workload harnesses that consult per-step hazards
+  /// (FaultInjector::compute_jitter advances the shared RNG/counters).
+  sim::FaultInjector* faults_mut() { return faults_.get(); }
 
  private:
   struct Node {

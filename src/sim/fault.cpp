@@ -77,6 +77,14 @@ FaultInjector::Spec FaultInjector::Spec::parse(const std::string& text) {
       spec.delegate_restart_ns = static_cast<Time>(parse_u64(item, value));
     } else if (key == "delay_dma_ns") {
       spec.delay_dma_ns = static_cast<Time>(parse_u64(item, value));
+    } else if (key == "compute_delay") {
+      spec.compute_delay = parse_prob(item, value);
+    } else if (key == "compute_delay_ns") {
+      spec.compute_delay_ns = static_cast<Time>(parse_u64(item, value));
+    } else if (key == "compute_delay_max") {
+      spec.compute_delay_max = parse_u64(item, value);
+    } else if (key == "compute_delay_skip") {
+      spec.compute_delay_skip = parse_u64(item, value);
     } else if (key == "credit_slots") {
       spec.credit_slots = static_cast<int>(parse_u64(item, value));
     } else if (key == "drop_wc_max") {
@@ -169,6 +177,18 @@ Time FaultInjector::dma_delay() {
       rng_.chance(spec_.delay_dma)) {
     ++counters_.dma_delayed;
     return spec_.delay_dma_ns;
+  }
+  return 0;
+}
+
+Time FaultInjector::compute_jitter() {
+  if (spec_.compute_delay <= 0.0) return 0;
+  const std::uint64_t idx = compute_seen_++;
+  if (idx >= spec_.compute_delay_skip &&
+      counters_.compute_delayed < spec_.compute_delay_max &&
+      rng_.chance(spec_.compute_delay)) {
+    ++counters_.compute_delayed;
+    return spec_.compute_delay_ns;
   }
   return 0;
 }

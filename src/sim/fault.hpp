@@ -55,6 +55,10 @@ class FaultInjector {
     double delay_dma = 0.0;  ///< P(delay a DMA/wire transfer start)
     double cmd_fail = 0.0;   ///< P(CMD verb replies Failed)
     double cmd_drop = 0.0;   ///< P(CMD request swallowed, no reply)
+    /// P(one compute step straggles): OS noise / page-fault style jitter.
+    /// Consulted by workloads that model per-rank compute (the traffic
+    /// generator's soak scenarios), not by the protocol layers.
+    double compute_delay = 0.0;
 
     // Fatal faults: these kill a resource instead of one operation. The
     // recovery subsystem (engine reconnect / proxy failover) is what makes
@@ -70,6 +74,9 @@ class FaultInjector {
     /// Added latency for each delayed DMA start.
     Time delay_dma_ns = nanoseconds(2000);
 
+    /// Added latency for each straggling compute step.
+    Time compute_delay_ns = microseconds(50);
+
     /// Cap on usable eager-ring credits per peer (0 = no squeeze). Values
     /// below the ring depth force credit exhaustion under bursts.
     int credit_slots = 0;
@@ -84,6 +91,8 @@ class FaultInjector {
     std::uint64_t err_wc_skip = 0;
     std::uint64_t delay_dma_max = UINT64_MAX;
     std::uint64_t delay_dma_skip = 0;
+    std::uint64_t compute_delay_max = UINT64_MAX;
+    std::uint64_t compute_delay_skip = 0;
     std::uint64_t cmd_fail_max = UINT64_MAX;
     std::uint64_t cmd_fail_skip = 0;
     std::uint64_t cmd_drop_max = UINT64_MAX;
@@ -100,8 +109,8 @@ class FaultInjector {
     /// True when any hazard can actually fire.
     bool armed() const {
       return drop_wc > 0.0 || err_wc > 0.0 || delay_dma > 0.0 ||
-             cmd_fail > 0.0 || cmd_drop > 0.0 || credit_slots > 0 ||
-             fatal_armed();
+             cmd_fail > 0.0 || cmd_drop > 0.0 || compute_delay > 0.0 ||
+             credit_slots > 0 || fatal_armed();
     }
 
     /// True when a *fatal* hazard (QP wedge / delegate crash) can fire.
@@ -120,6 +129,7 @@ class FaultInjector {
     std::uint64_t wc_dropped = 0;
     std::uint64_t wc_errored = 0;
     std::uint64_t dma_delayed = 0;
+    std::uint64_t compute_delayed = 0;
     std::uint64_t cmd_failed = 0;
     std::uint64_t cmd_dropped = 0;
     std::uint64_t qp_fatal = 0;
@@ -143,6 +153,11 @@ class FaultInjector {
   /// Extra latency to add before this DMA transfer starts (0 most times).
   Time dma_delay();
 
+  /// Extra latency to add to this compute step (0 most times). Workload
+  /// harnesses consult it once per modelled compute quantum so OS-noise
+  /// stragglers ride the same seeded oracle as the protocol hazards.
+  Time compute_jitter();
+
   /// Decide the fate of one CMD request of the given class.
   CmdFate cmd_fate(CmdOpClass cls);
 
@@ -161,6 +176,7 @@ class FaultInjector {
   std::uint64_t err_seen_ = 0;
   std::uint64_t drop_seen_ = 0;
   std::uint64_t delay_seen_ = 0;
+  std::uint64_t compute_seen_ = 0;
   std::uint64_t cmd_fail_seen_ = 0;
   std::uint64_t cmd_drop_seen_ = 0;
   std::uint64_t qp_fatal_seen_ = 0;

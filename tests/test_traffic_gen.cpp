@@ -1,0 +1,211 @@
+// Traffic-generator determinism and correctness (src/mpi/traffic.hpp).
+//
+// The whole point of the generator is that a scenario is a pure function of
+// its seed: the compiled schedule must be byte-identical across builds and
+// the executed run must land on identical virtual-time metrics. These tests
+// pin that contract, plus message/byte conservation, the named-scenario
+// catalogue running clean under the checker (ctest sets DCFA_CHECK=full for
+// this binary; invariant violations throw), and the compute_delay hazard
+// that powers the straggler/soak scenarios.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mpi/traffic.hpp"
+#include "sim/fault.hpp"
+
+using namespace dcfa;
+using namespace dcfa::mpi;
+namespace tg = dcfa::mpi::traffic;
+
+namespace {
+
+TEST(TrafficSchedule, SameSeedByteIdentical) {
+  for (const std::string& name : tg::scenario_names()) {
+    const tg::Scenario a = tg::make_scenario(name, 8, 7, /*quick=*/true);
+    const tg::Scenario b = tg::make_scenario(name, 8, 7, /*quick=*/true);
+    const auto bytes_a = tg::serialize(tg::build_schedule(a));
+    const auto bytes_b = tg::serialize(tg::build_schedule(b));
+    EXPECT_EQ(bytes_a, bytes_b) << name;
+    EXPECT_FALSE(bytes_a.empty()) << name;
+  }
+}
+
+TEST(TrafficSchedule, SeedsDiverge) {
+  std::set<std::uint64_t> digests;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const tg::Scenario sc = tg::make_scenario("steady_p2p", 8, seed, true);
+    digests.insert(tg::schedule_digest(tg::build_schedule(sc)));
+  }
+  // All eight seeds must produce distinct schedules.
+  EXPECT_EQ(digests.size(), 8u);
+}
+
+TEST(TrafficSchedule, WellFormed) {
+  const tg::Scenario sc = tg::make_scenario("steady_p2p", 8, 3, false);
+  const tg::Schedule sched = tg::build_schedule(sc);
+  ASSERT_EQ(sched.phases.size(), sc.phases.size());
+  for (std::size_t pi = 0; pi < sched.phases.size(); ++pi) {
+    const tg::PhaseSpec& ps = sc.phases[pi];
+    ASSERT_EQ(sched.phases[pi].rounds.size(),
+              static_cast<std::size_t>(ps.rounds));
+    for (const tg::Round& rd : sched.phases[pi].rounds) {
+      EXPECT_EQ(rd.p2p.size(),
+                static_cast<std::size_t>(sc.nprocs * ps.msgs_per_rank));
+      for (const tg::P2POp& op : rd.p2p) {
+        EXPECT_NE(op.src, op.dst);  // never self-sends
+        EXPECT_GE(op.dst, 0);
+        EXPECT_LT(op.dst, sc.nprocs);
+        EXPECT_GE(op.bytes, 1u);
+        EXPECT_LE(op.bytes, 256u << 10);  // steady_p2p clamps at 256K
+      }
+    }
+  }
+}
+
+TEST(TrafficSchedule, StragglersDistinct) {
+  const tg::Scenario sc =
+      tg::make_scenario("straggler_allreduce", 8, 11, false);
+  const tg::Schedule sched = tg::build_schedule(sc);
+  bool any = false;
+  for (const tg::Round& rd : sched.phases[1].rounds) {
+    EXPECT_EQ(rd.stragglers.size(), 2u);  // 0.25 * 8 ranks
+    std::set<std::int32_t> uniq(rd.stragglers.begin(), rd.stragglers.end());
+    EXPECT_EQ(uniq.size(), rd.stragglers.size());
+    any = true;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(TrafficScenario, UnknownNameThrows) {
+  EXPECT_THROW(tg::make_scenario("no_such_scenario", 8, 1, true),
+               std::invalid_argument);
+  EXPECT_THROW(tg::build_schedule(tg::make_scenario("steady_p2p", 1, 1, true)),
+               std::invalid_argument);
+}
+
+TEST(TrafficStats, FoldRoundTrips) {
+  Engine::Stats a{}, b{};
+  a.eager_sends = 7;
+  a.retransmits = 3;
+  b.eager_sends = 5;
+  b.coll_schedules = 2;
+  const Engine::Stats sum = tg::stats_add(a, b);
+  EXPECT_EQ(sum.eager_sends, 12u);
+  EXPECT_EQ(sum.retransmits, 3u);
+  EXPECT_EQ(sum.coll_schedules, 2u);
+  const Engine::Stats back = tg::stats_sub(sum, b);
+  EXPECT_EQ(back.eager_sends, a.eager_sends);
+  EXPECT_EQ(back.retransmits, a.retransmits);
+  EXPECT_EQ(back.coll_schedules, 0u);
+}
+
+// Every named scenario must run to completion with verified payloads and an
+// active checker. Quick tier keeps the full catalogue affordable here; the
+// soak test stretches faulty_soak further.
+TEST(TrafficScenario, CatalogueRunsClean) {
+  for (const std::string& name : tg::scenario_names()) {
+    SCOPED_TRACE(name);
+    const tg::Scenario sc = tg::make_scenario(name, 6, 5, /*quick=*/true);
+    const tg::ScenarioResult res = tg::run_scenario(sc);
+    ASSERT_EQ(res.phases.size(), sc.phases.size());
+    EXPECT_GT(res.elapsed, 0);
+    EXPECT_GT(res.check_events, 0u);  // the checker actually ran
+    for (const tg::PhaseMetrics& m : res.phases) {
+      EXPECT_GT(m.msgs_recv, 0u) << m.phase;
+      EXPECT_GT(m.seconds, 0.0) << m.phase;
+      EXPECT_GE(m.p99_us, m.p50_us) << m.phase;
+      EXPECT_GT(m.msg_rate, 0.0) << m.phase;
+    }
+  }
+}
+
+// Message/byte conservation from the harness' own accounting: everything a
+// P2P phase sends is received, exactly.
+TEST(TrafficScenario, P2PConservation) {
+  const tg::Scenario sc = tg::make_scenario("steady_p2p", 8, 21, true);
+  const tg::ScenarioResult res = tg::run_scenario(sc);
+  const tg::Schedule sched = tg::build_schedule(sc);
+  for (std::size_t pi = 0; pi < res.phases.size(); ++pi) {
+    const tg::PhaseMetrics& m = res.phases[pi];
+    EXPECT_EQ(m.msgs_sent, m.msgs_recv) << m.phase;
+    EXPECT_EQ(m.bytes_sent, m.bytes_recv) << m.phase;
+    // ... and both match the compiled schedule exactly.
+    std::uint64_t want_msgs = 0, want_bytes = 0;
+    for (const tg::Round& rd : sched.phases[pi].rounds) {
+      want_msgs += rd.p2p.size();
+      for (const tg::P2POp& op : rd.p2p) want_bytes += op.bytes;
+    }
+    EXPECT_EQ(m.msgs_recv, want_msgs) << m.phase;
+    EXPECT_EQ(m.bytes_recv, want_bytes) << m.phase;
+  }
+}
+
+// The determinism contract the trajectory gate rests on: same scenario,
+// same seed => identical virtual-time metrics, not merely similar ones.
+TEST(TrafficScenario, RerunIdenticalMetrics) {
+  const tg::Scenario sc = tg::make_scenario("mixed_comms", 6, 9, true);
+  const tg::ScenarioResult a = tg::run_scenario(sc);
+  const tg::ScenarioResult b = tg::run_scenario(sc);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.leaked_allocations, b.leaked_allocations);
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    EXPECT_EQ(a.phases[i].seconds, b.phases[i].seconds) << a.phases[i].phase;
+    EXPECT_EQ(a.phases[i].p50_us, b.phases[i].p50_us) << a.phases[i].phase;
+    EXPECT_EQ(a.phases[i].p99_us, b.phases[i].p99_us) << a.phases[i].phase;
+    EXPECT_EQ(a.phases[i].msgs_recv, b.phases[i].msgs_recv);
+    EXPECT_EQ(a.phases[i].bytes_recv, b.phases[i].bytes_recv);
+    EXPECT_EQ(a.phases[i].stats.packets_rx, b.phases[i].stats.packets_rx);
+  }
+}
+
+// Stragglers must actually stretch the phase: same collective with and
+// without the injected 300us delays.
+TEST(TrafficScenario, StragglersStretchThePhase) {
+  const tg::Scenario sc =
+      tg::make_scenario("straggler_allreduce", 8, 13, true);
+  const tg::ScenarioResult res = tg::run_scenario(sc);
+  ASSERT_EQ(res.phases.size(), 2u);
+  const double per_round_base =
+      res.phases[0].seconds / sc.phases[0].rounds;
+  const double per_round_straggle =
+      res.phases[1].seconds / sc.phases[1].rounds;
+  // Each straggle round waits at least the 300us injected delay.
+  EXPECT_GT(per_round_straggle, per_round_base + 250e-6);
+}
+
+// The compute_delay hazard: deterministic targeting via skip/max, counted
+// in the injector's counters, zero when disarmed.
+TEST(ComputeDelay, SkipAndMaxTargetExactQuanta) {
+  sim::FaultInjector off(sim::FaultInjector::Spec::parse(""), 1);
+  EXPECT_EQ(off.compute_jitter(), 0);
+  EXPECT_FALSE(off.armed());
+
+  sim::FaultInjector fi(
+      sim::FaultInjector::Spec::parse(
+          "compute_delay=1,compute_delay_ns=777,compute_delay_skip=2,"
+          "compute_delay_max=3"),
+      1);
+  EXPECT_TRUE(fi.armed());
+  std::vector<sim::Time> got;
+  for (int i = 0; i < 8; ++i) got.push_back(fi.compute_jitter());
+  const std::vector<sim::Time> want = {0, 0, 777, 777, 777, 0, 0, 0};
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(fi.counters().compute_delayed, 3u);
+}
+
+TEST(ComputeDelay, SpecParses) {
+  const auto spec = sim::FaultInjector::Spec::parse(
+      "compute_delay=0.25,compute_delay_ns=50000");
+  EXPECT_DOUBLE_EQ(spec.compute_delay, 0.25);
+  EXPECT_EQ(spec.compute_delay_ns, 50000);
+  EXPECT_TRUE(spec.armed());
+  EXPECT_FALSE(spec.fatal_armed());
+  EXPECT_THROW(sim::FaultInjector::Spec::parse("compute_delay=2"),
+               std::invalid_argument);
+}
+
+}  // namespace
