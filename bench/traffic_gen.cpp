@@ -119,6 +119,17 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(
                       sum_phase(res, &mpi::Engine::Stats::reconnects)));
     }
+    if (sc.ft_shrink) {
+      std::printf("survivors: %d/%d, failure detection latency %.1f us "
+                  "(max over survivors)\n",
+                  res.survivors, sc.nprocs,
+                  static_cast<double>(res.failure_detect_max_ns) / 1000.0);
+      rep.metric(name, "survivors", static_cast<double>(res.survivors),
+                 "ranks");
+      rep.metric(name, "failure_detect_us",
+                 static_cast<double>(res.failure_detect_max_ns) / 1000.0,
+                 "us");
+    }
     rep.metric(name, "elapsed_ms", sim::to_us(res.elapsed) / 1000.0, "ms");
   }
 

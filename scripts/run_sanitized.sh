@@ -32,8 +32,22 @@ cmake --build "$ROOT/$BUILD_DIR" -j "$(nproc)"
 # halt_on_error so a sanitizer report fails the suite instead of scrolling by.
 # The traffic soak stretches to 13 ranks here: more rank threads means more
 # genuine interleavings for the sanitizers to chew on than the default 9.
+# The hang watchdog (tests/watchdog.cpp) gets a doubled deadline: sanitizer
+# instrumentation slows everything down, and a false watchdog abort would
+# read as a hang that never happened.
+export DCFA_TEST_DEADLINE_MS="${DCFA_TEST_DEADLINE_MS:-480000}"
 DCFA_SOAK_RANKS="${DCFA_SOAK_RANKS:-13}" \
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1:suppressions=$ROOT/scripts/tsan.supp}" \
   ctest --test-dir "$ROOT/$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Rank-failure recovery is the most teardown-heavy path in the repo (mid-
+# flight schedule cancellation, revoked comms, shrink agreement), so drive
+# the survivor_soak scenario under the same sanitizer build with DcfaCheck
+# at full paranoia — races and leaks in the death path show up here first.
+DCFA_CHECK=full \
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1:suppressions=$ROOT/scripts/tsan.supp}" \
+  "$ROOT/$BUILD_DIR/bench/traffic_gen" --quick --scenario survivor_soak

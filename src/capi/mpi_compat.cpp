@@ -15,6 +15,7 @@ struct RankEnv {
   mpi::RankCtx* ctx = nullptr;
   bool initialized = false;
   bool finalized = false;
+  MPI_Errhandler errhandler = MPI_ERRORS_ARE_FATAL;
 
   /// Slot 0 = MPI_COMM_WORLD (borrowed from the ctx), slot 1 =
   /// MPI_COMM_SELF (built lazily), others from dup/split.
@@ -167,19 +168,33 @@ void release_request(int slot) {
 }
 
 int classify(const mpi::MpiError& err) {
+  switch (err.errc()) {
+    case mpi::MpiErrc::ProcFailed: return MPIX_ERR_PROC_FAILED;
+    case mpi::MpiErrc::Revoked: return MPIX_ERR_REVOKED;
+    case mpi::MpiErrc::Truncation: return MPI_ERR_TRUNCATE;
+    default: break;
+  }
   return std::string(err.what()).find("truncation") != std::string::npos
              ? MPI_ERR_TRUNCATE
              : MPI_ERR_OTHER;
 }
 
 /// Wrap a shim body: translate argument failures and engine errors into
-/// MPI error codes.
+/// MPI error codes. Rank-failure and revocation errors are only reported as
+/// codes under MPI_ERRORS_RETURN; a fault-unaware program (the default
+/// MPI_ERRORS_ARE_FATAL) lets them escape and kill the job, matching MPI's
+/// predefined-handler semantics.
 template <typename Fn>
 int guarded(Fn&& fn) {
   try {
     return fn();
   } catch (const mpi::MpiError& e) {
-    return classify(e);
+    const int code = classify(e);
+    if ((code == MPIX_ERR_PROC_FAILED || code == MPIX_ERR_REVOKED) &&
+        env().errhandler == MPI_ERRORS_ARE_FATAL) {
+      throw;
+    }
+    return code;
   }
 }
 
@@ -290,6 +305,52 @@ int MPI_Comm_free(MPI_Comm* comm) {
   env().comms[*comm] = nullptr;  // handle dangles; storage freed at finalize
   *comm = MPI_COMM_NULL;
   return MPI_SUCCESS;
+}
+
+int MPI_Comm_set_errhandler(MPI_Comm comm, MPI_Errhandler errhandler) {
+  if (!comm_of(comm)) return MPI_ERR_COMM;
+  if (errhandler != MPI_ERRORS_ARE_FATAL && errhandler != MPI_ERRORS_RETURN) {
+    return MPI_ERR_OTHER;
+  }
+  // Rank-wide, whichever communicator it was set on: the shim keeps one
+  // ambient handler per rank, like real MPI programs that only ever set it
+  // on MPI_COMM_WORLD.
+  env().errhandler = errhandler;
+  return MPI_SUCCESS;
+}
+
+// --- Fault tolerance (ULFM-style MPIX extensions) ----------------------------
+
+int MPIX_Comm_revoke(MPI_Comm comm) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    c->revoke();
+    return MPI_SUCCESS;
+  });
+}
+
+int MPIX_Comm_shrink(MPI_Comm comm, MPI_Comm* newcomm) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    RankEnv& e = env();
+    auto shrunk = std::make_unique<mpi::Communicator>(c->shrink());
+    e.comms.push_back(shrunk.get());
+    e.owned_comms.push_back(std::move(shrunk));
+    *newcomm = static_cast<MPI_Comm>(e.comms.size()) - 1;
+    return MPI_SUCCESS;
+  });
+}
+
+int MPIX_Comm_agree(MPI_Comm comm, int* flag) {
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c) return MPI_ERR_COMM;
+    *flag = static_cast<int>(
+        c->agree(static_cast<std::uint32_t>(*flag)) & 0xffffffffu);
+    return MPI_SUCCESS;
+  });
 }
 
 // --- Point-to-point -----------------------------------------------------------------

@@ -80,7 +80,19 @@ enum : int {
   MPI_ERR_REQUEST = 7,
   MPI_ERR_TRUNCATE = 8,
   MPI_ERR_OTHER = 9,
+  MPIX_ERR_PROC_FAILED = 10,  ///< operation depended on a failed rank
+  MPIX_ERR_REVOKED = 11,      ///< communicator was revoked
 };
+
+/// Error handlers. The shim supports the two standard predefined handlers:
+/// with MPI_ERRORS_ARE_FATAL (the default, as in MPI) an engine error
+/// escapes as a C++ exception and kills the job; with MPI_ERRORS_RETURN the
+/// call returns the matching MPI_ERR_*/MPIX_ERR_* code instead, which is
+/// what a fault-tolerant program needs to see MPIX_ERR_PROC_FAILED and
+/// react with MPIX_Comm_revoke/shrink.
+using MPI_Errhandler = int;
+constexpr MPI_Errhandler MPI_ERRORS_ARE_FATAL = 0;
+constexpr MPI_Errhandler MPI_ERRORS_RETURN = 1;
 
 // --- Environment --------------------------------------------------------------
 
@@ -102,6 +114,28 @@ int MPI_Comm_size(MPI_Comm comm, int* size);
 int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm);
 int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm);
 int MPI_Comm_free(MPI_Comm* comm);
+int MPI_Comm_set_errhandler(MPI_Comm comm, MPI_Errhandler errhandler);
+
+// --- Fault tolerance (ULFM-style MPIX extensions) ----------------------------
+//
+// The recovery workflow after a peer dies mid-run: an operation fails with
+// MPIX_ERR_PROC_FAILED (visible under MPI_ERRORS_RETURN), the application
+// calls MPIX_Comm_revoke to interrupt everyone else's pending operations on
+// the communicator, then MPIX_Comm_shrink to agree on the survivor set and
+// continue on the new, smaller communicator.
+
+/// Revoke `comm`: non-collective; poisons local pending operations on it
+/// and floods a revocation notice so every member's operations fail with
+/// MPIX_ERR_REVOKED instead of hanging.
+int MPIX_Comm_revoke(MPI_Comm comm);
+
+/// Collective over survivors: agree on the failed set and build a new
+/// communicator containing only live ranks. Works on revoked communicators.
+int MPIX_Comm_shrink(MPI_Comm comm, MPI_Comm* newcomm);
+
+/// Fault-tolerant agreement: *flag becomes the bitwise OR of every live
+/// member's input. Completes even if members die mid-vote.
+int MPIX_Comm_agree(MPI_Comm comm, int* flag);
 
 // --- Point-to-point --------------------------------------------------------------
 

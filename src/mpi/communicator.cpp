@@ -13,6 +13,10 @@ Communicator::Communicator(Engine& engine, std::uint32_t id,
   if (group_[my_index_] != engine_.rank()) {
     throw MpiError("Communicator: group entry does not name this rank");
   }
+  // The engine needs the membership to scope failure semantics: which
+  // collectives a dead rank poisons, which wildcards it can wake, who a
+  // revocation notice floods to.
+  engine_.register_comm(id_, group_);
 }
 
 int Communicator::to_world(int comm_rank) const {
@@ -91,9 +95,11 @@ Status Communicator::wait(Request& req) { return translate(engine_.wait(req)); }
 bool Communicator::test(Request& req) { return engine_.test(req); }
 
 void Communicator::waitall(std::span<Request> reqs) {
-  for (Request& r : reqs) {
-    if (r.valid()) engine_.wait(r);
-  }
+  // Delegated (not a per-request wait loop) so one failed request cannot
+  // block the set: the engine drives every request to a terminal phase
+  // first, then reports the first casualty — the rest have completed and
+  // remain inspectable through Request::failed()/errc().
+  engine_.waitall(reqs);
 }
 
 std::size_t Communicator::waitany(std::span<Request> reqs) {
@@ -181,6 +187,76 @@ Communicator::Persistent Communicator::recv_init(const mem::Buffer& buf,
 
 double Communicator::wtime() const {
   return sim::to_s(engine_.ib().process().now());
+}
+
+void Communicator::revoke() { engine_.revoke_comm(id_); }
+
+std::uint64_t Communicator::agree(std::uint64_t value) {
+  if (size() > 64) {
+    throw MpiError("agree: groups larger than 64 ranks not supported");
+  }
+  const std::uint64_t seq = ++agree_seq_;
+  Bootstrap& bs = engine_.bootstrap();
+  bs.post_vote(id_, seq, engine_.rank(), value);
+  const std::uint64_t* dec = nullptr;
+  engine_.wait_until_ft([&]() -> bool {
+    dec = bs.get_decision(id_, seq);
+    if (dec) return true;
+    // Coordinator duty falls on the lowest member this rank believes alive.
+    // Beliefs may lag (two ranks can act as coordinator simultaneously
+    // during a succession) — harmless, because decisions are first-wins.
+    int coord = -1;
+    for (int w : group_) {
+      if (!engine_.rank_failed(w) && !bs.is_dead(w)) {
+        coord = w;
+        break;
+      }
+    }
+    if (coord != engine_.rank()) return false;
+    std::uint64_t acc = 0;
+    for (int w : group_) {
+      if (const std::uint64_t* v = bs.get_vote(id_, seq, w)) {
+        acc |= *v;  // counted even if the voter died after voting
+        continue;
+      }
+      if (engine_.rank_failed(w) || bs.is_dead(w)) continue;  // died unvoted
+      return false;  // a live member has not voted yet
+    }
+    bs.post_decision(id_, seq, acc);
+    dec = bs.get_decision(id_, seq);
+    return dec != nullptr;
+  });
+  return *dec;
+}
+
+Communicator Communicator::shrink() {
+  // Agree on who is gone: each survivor contributes the members it knows
+  // dead as a bit mask (indexed by communicator rank), and the OR makes the
+  // view consistent — a failure only one rank had detected still excludes
+  // that member everywhere.
+  std::uint64_t mask = 0;
+  Bootstrap& bs = engine_.bootstrap();
+  for (int i = 0; i < size(); ++i) {
+    const int w = group_[i];
+    if (w == engine_.rank()) continue;
+    if (engine_.rank_failed(w) || bs.is_dead(w)) mask |= std::uint64_t{1} << i;
+  }
+  mask = agree(mask);
+  std::vector<int> group;
+  int my_index = -1;
+  for (int i = 0; i < size(); ++i) {
+    if ((mask >> i) & 1) continue;
+    if (group_[i] == engine_.rank()) my_index = static_cast<int>(group.size());
+    group.push_back(group_[i]);
+  }
+  if (my_index < 0) {
+    throw MpiError("shrink: calling rank agreed to be failed",
+                   MpiErrc::ProcFailed, engine_.rank(), id_);
+  }
+  // All survivors made the same derive_id calls (agree is collective), so
+  // the child id matches without further communication.
+  const std::uint32_t child = derive_id(/*color=*/0);
+  return Communicator(engine_, child, std::move(group), my_index);
 }
 
 Communicator Communicator::dup() {

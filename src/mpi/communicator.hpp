@@ -185,6 +185,27 @@ class Communicator {
                 const mem::Buffer& recvbuf, std::size_t roff,
                 std::size_t count, int root);
 
+  // --- Fault tolerance (ULFM-style recovery API) -------------------------------
+  /// Revoke this communicator: every pending and future operation on it
+  /// completes with MpiErrc::Revoked, on every member. NOT collective — any
+  /// member may call it unilaterally (typically after an operation returned
+  /// ProcFailed); the revocation notice floods to the rest of the group and
+  /// is gossiped on first sight.
+  void revoke();
+  bool revoked() const { return engine_.comm_revoked(id_); }
+  /// Fault-tolerant agreement (MPIX_Comm_agree): returns the bitwise OR of
+  /// every contributing member's value. Collective over the surviving
+  /// members; tolerates participants dying mid-vote (a dead member's value
+  /// is included only if it voted before dying). Coordinator succession is
+  /// safe: decisions are first-wins, so a takeover after the coordinator's
+  /// death cannot fork the outcome. Groups of at most 64 ranks.
+  std::uint64_t agree(std::uint64_t value);
+  /// Build a new communicator from the surviving members, preserving
+  /// relative rank order (MPIX_Comm_shrink). Collective over survivors;
+  /// internally runs agree() on the failed-member set so every survivor
+  /// derives the identical group and communicator id.
+  Communicator shrink();
+
   // --- Communicator management ------------------------------------------------
   Communicator dup();
   /// Group by `color` (same color => same new communicator), ordered by
@@ -277,6 +298,9 @@ class Communicator {
   std::uint32_t derive_counter_ = 0;
   /// Collective-schedule counter feeding next_coll_tag_base.
   std::uint64_t coll_seq_ = 0;
+  /// Agreement round counter; advances identically on every member because
+  /// agree() is collective, so (comm id, round) names one vote board.
+  std::uint64_t agree_seq_ = 0;
 };
 
 }  // namespace dcfa::mpi

@@ -1,7 +1,9 @@
 #include "mpi/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <mutex>
 
 #include "mpi/wire.hpp"
 #include "sim/engine.hpp"
@@ -10,6 +12,21 @@
 #include "sim/trace.hpp"
 
 namespace dcfa::mpi {
+
+namespace {
+
+// Live-engine registry for the deadline watchdog (tests/watchdog.cpp): the
+// watchdog thread calls Engine::dump_all from outside the simulation when a
+// run hangs past its deadline, just before aborting. The mutex only guards
+// the set itself; the dumped fields are read unsynchronised (best-effort —
+// the process is about to abort).
+std::mutex g_engines_mu;
+std::set<Engine*>& live_engines() {
+  static std::set<Engine*> s;
+  return s;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Bootstrap
@@ -70,6 +87,54 @@ void Bootstrap::set_watch(int rank, std::function<void()> fn) {
   }
 }
 
+void Bootstrap::mark_dead(int rank, sim::Time when) {
+  if (dead_.count(rank) > 0) return;
+  dead_[rank] = when;
+  notify();
+}
+
+bool Bootstrap::is_dead(int rank) const { return dead_.count(rank) > 0; }
+
+sim::Time Bootstrap::death_time(int rank) const {
+  auto it = dead_.find(rank);
+  return it == dead_.end() ? sim::Time{-1} : it->second;
+}
+
+void Bootstrap::announce_failure(int rank) {
+  if (!announced_.insert(rank).second) return;
+  failed_order_.push_back(rank);
+  notify();
+}
+
+std::uint64_t Bootstrap::fail_epoch() const { return failed_order_.size(); }
+
+int Bootstrap::failed_at(std::size_t i) const { return failed_order_.at(i); }
+
+void Bootstrap::post_vote(std::uint32_t comm, std::uint64_t seq, int rank,
+                          std::uint64_t value) {
+  votes_[{comm, seq, rank}] = value;
+  notify();
+}
+
+const std::uint64_t* Bootstrap::get_vote(std::uint32_t comm,
+                                         std::uint64_t seq, int rank) const {
+  auto it = votes_.find({comm, seq, rank});
+  return it == votes_.end() ? nullptr : &it->second;
+}
+
+void Bootstrap::post_decision(std::uint32_t comm, std::uint64_t seq,
+                              std::uint64_t value) {
+  if (decisions_.count({comm, seq}) > 0) return;  // first decision wins
+  decisions_[{comm, seq}] = value;
+  notify();
+}
+
+const std::uint64_t* Bootstrap::get_decision(std::uint32_t comm,
+                                             std::uint64_t seq) const {
+  auto it = decisions_.find({comm, seq});
+  return it == decisions_.end() ? nullptr : &it->second;
+}
+
 // ---------------------------------------------------------------------------
 // Engine lifecycle
 // ---------------------------------------------------------------------------
@@ -99,6 +164,7 @@ Engine::Engine(int rank, int nranks, std::unique_ptr<verbs::Ib> ib,
   faults_ = ib_->faults();
   faults_armed_ = faults_ != nullptr && faults_->armed();
   fatal_armed_ = faults_ != nullptr && faults_->spec().fatal_armed();
+  kill_armed_ = faults_ != nullptr && !faults_->spec().rank_kill.empty();
   usable_slots_ = faults_armed_
                       ? static_cast<std::uint64_t>(faults_->credit_cap(slots()))
                       : static_cast<std::uint64_t>(slots());
@@ -109,9 +175,17 @@ Engine::Engine(int rank, int nranks, std::unique_ptr<verbs::Ib> ib,
     options_.offload_reductions = false;
     options_.offload_datatypes = false;
   }
+  {
+    std::lock_guard<std::mutex> lock(g_engines_mu);
+    live_engines().insert(this);
+  }
 }
 
 Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(g_engines_mu);
+    live_engines().erase(this);
+  }
   // The HCA and CQ outlive this engine (they belong to the cluster): tear
   // the wake-up callbacks out so a packet landing after an early death
   // (e.g. a rank body that threw) cannot call into freed memory. Retry
@@ -162,11 +236,13 @@ void Engine::setup() {
     if (fatal_armed_) {
       // Peer-liveness heartbeat cells; beacons are non-faultable, like
       // credit updates. Only fatal specs pay for these so non-fatal runs
-      // keep their exact event schedule.
-      ep.hb_cell = ib_->alloc_buffer(sizeof(std::uint64_t), 64);
+      // keep their exact event schedule. Two words per beacon: the liveness
+      // counter and the sender's known-failure epoch (failure dissemination
+      // rides the heartbeat as well as the packet headers).
+      ep.hb_cell = ib_->alloc_buffer(2 * sizeof(std::uint64_t), 64);
       ep.hb_cell_mr =
           ib_->reg_mr(pd_, ep.hb_cell, ib::kLocalWrite | ib::kRemoteWrite);
-      ep.hb_src = ib_->alloc_buffer(sizeof(std::uint64_t), 64);
+      ep.hb_src = ib_->alloc_buffer(2 * sizeof(std::uint64_t), 64);
       ep.hb_src_mr = ib_->reg_mr(pd_, ep.hb_src, ib::kLocalWrite);
     }
     ep.qp = ib_->create_qp(pd_, cq_, cq_);
@@ -199,7 +275,41 @@ void Engine::setup() {
     });
     schedule_heartbeat();
   }
+  if (kill_armed_) {
+    const sim::Time at = faults_->spec().kill_time_of(rank_);
+    if (at >= 0) {
+      // This rank is a victim: arm the suicide timer. The delay is clamped
+      // so setup (a collective) always completes — the victim dies as a
+      // fully wired member, which is what makes its memory safe to receive
+      // survivors' in-flight writes afterwards.
+      const sim::Time now = ib_->process().now();
+      auto alive = alive_;
+      ib_->process().engine().schedule_after(
+          std::max<sim::Time>(at - now, 1), [this, alive] {
+            if (!*alive) return;
+            die();
+          });
+    }
+  }
   setup_done_ = true;
+}
+
+void Engine::die() {
+  if (dead_) return;
+  dead_ = true;
+  hb_stop_ = true;  // beacons stop; survivors' liveness timers take it from here
+  const sim::Time now = ib_->process().now();
+  faults_->note_rank_kill();
+  sim::Log::info(now, "mpi", "rank %d killed (rank_kill fate)", rank_);
+  sim::trace_instant("rank" + std::to_string(rank_) + ".faults", "rank-killed",
+                     now);
+  // Launcher-level ground truth; survivors adopt through the failure board
+  // once one of them *detects* the silence (liveness timeout / retry
+  // exhaustion) — the registry itself only short-circuits doomed reconnects
+  // and anchors the detection-latency metric.
+  bootstrap_.mark_dead(rank_, now);
+  wake_pending_ = true;
+  wake_.notify_all();
 }
 
 void Engine::finalize() {
@@ -215,6 +325,9 @@ void Engine::finalize() {
     // is waiting on exactly this counter as its implicit ack, and no more
     // consumption will happen to push it past the reporting threshold.
     for (auto& [p, ep] : endpoints_) {
+      // A Failed endpoint's peer is gone (or unrecoverable): flushing a
+      // credit toward it would post on a dead connection for nothing.
+      if (ep.conn_state == ConnState::Failed) continue;
       if (ep.my_consumed > ep.my_consumed_reported) send_credit(ep);
     }
   }
@@ -296,18 +409,19 @@ sim::Checker& Engine::chk() { return ib_->process().engine().checker(); }
 // TX plumbing
 // ---------------------------------------------------------------------------
 
-void Engine::tx(Endpoint& ep, std::function<void()> emit) {
+void Engine::tx(Endpoint& ep, std::function<void()> emit,
+                std::shared_ptr<RequestState> owner) {
   if (ep.pending_tx.empty() && slots_free(ep) > 0) {
     emit();
     return;
   }
   ++stats_.tx_stalls;
-  ep.pending_tx.push_back(std::move(emit));
+  ep.pending_tx.push_back({std::move(emit), std::move(owner)});
 }
 
 void Engine::drain_tx(Endpoint& ep) {
   while (!ep.pending_tx.empty() && slots_free(ep) > 0) {
-    auto emit = std::move(ep.pending_tx.front());
+    auto emit = std::move(ep.pending_tx.front().emit);
     ep.pending_tx.pop_front();
     emit();
   }
@@ -321,6 +435,10 @@ void Engine::emit_packet(Endpoint& ep, PacketHeader hdr,
   chk().packet_emitted(rank_, ep.peer, ep.sent_packets + 1,
                        ep.sent_packets + 1 - ep.consumed_by_peer,
                        usable_slots_);
+  // Failure-propagation piggyback: every outgoing packet carries this
+  // rank's known-failure epoch (Tentpole part 1 — dissemination rides
+  // existing traffic).
+  hdr.fail_epoch = known_fail_epoch_;
   if (faults_armed_) {
     // Reliable path: stamp the absolute ring index and track the packet
     // until a CQE or a returning credit confirms delivery. Reusing a slot
@@ -337,6 +455,7 @@ void Engine::emit_packet(Endpoint& ep, PacketHeader hdr,
         ack.status = ib::WcStatus::Success;
         finish_tx_record(ep, old, ack);
       }
+      ep.delivered.erase(old);  // slot reuse proves the peer consumed it
     }
     const int slot = static_cast<int>(idx % slots());
     wire::put(ep.staging, layout_.header_off(slot), hdr);
@@ -478,6 +597,11 @@ void Engine::on_tx_wc(int peer, std::uint64_t idx, const ib::Wc& wc) {
   auto it = ep.unacked.find(idx);
   if (it == ep.unacked.end()) return;  // already credit-acknowledged
   if (wc.status == ib::WcStatus::Success) {
+    // Delivered, but not yet provably consumed: park the header so a later
+    // reconnect (which rebuilds the peer's ring) can replay it. The credit
+    // counter purges the entry once consumption is proven.
+    ep.delivered[idx] =
+        Endpoint::DeliveredTx{it->second.hdr, it->second.payload_len};
     finish_tx_record(ep, idx, wc);
     return;
   }
@@ -550,11 +674,19 @@ void Engine::finish_tx_record(Endpoint& ep, std::uint64_t idx,
                        "retry-exhausted idx=" + std::to_string(idx),
                        ib_->process().now());
   }
-  if (cb) {
+  if (wc.status != ib::WcStatus::Success) {
+    // Blame scope: a failure delivered from here means the transport gave
+    // up on a known peer — requests failed by the callback inherit the
+    // taxonomy (MpiError carries errc + peer on retry exhaustion).
+    BlameScope blame(*this, MpiErrc::RetryExhausted, ep.peer);
+    if (cb) {
+      cb(wc);
+    } else if (owner && !owner->done()) {
+      fail(owner, std::string("transport retry budget exhausted (") +
+                      ib::wc_status_name(wc.status) + ")");
+    }
+  } else if (cb) {
     cb(wc);
-  } else if (wc.status != ib::WcStatus::Success && owner && !owner->done()) {
-    fail(owner, std::string("transport retry budget exhausted (") +
-                    ib::wc_status_name(wc.status) + ")");
   }
   wake_.notify_all();
 }
@@ -619,9 +751,11 @@ void Engine::on_data_wc(std::uint64_t op, const ib::Wc& wc) {
   if (d.attempts >= 1 + max_retries_) {
     if (maybe_start_reconnect(dep, "data-op budget exhausted")) return;
     ++stats_.retry_exhausted;
+    const int peer = d.peer;
     auto cb = std::move(d.on_result);
     forget_wr_ids(d.wr_ids);
     data_ops_.erase(it);
+    BlameScope blame(*this, MpiErrc::RetryExhausted, peer);
     cb(wc);  // the protocol callbacks turn a bad status into fail(req)
     wake_.notify_all();
     return;
@@ -645,11 +779,13 @@ void Engine::data_check(std::uint64_t op, std::uint64_t epoch,
         return;
       }
       ++stats_.retry_exhausted;
+      const int peer = d.peer;
       auto cb = std::move(d.on_result);
       ib::Wc err{};
       err.status = ib::WcStatus::RetryExceeded;
       forget_wr_ids(d.wr_ids);
       data_ops_.erase(it);
+      BlameScope blame(*this, MpiErrc::RetryExhausted, peer);
       cb(err);
       wake_.notify_all();
       return;
@@ -672,6 +808,15 @@ void Engine::forget_wr_ids(const std::vector<std::uint64_t>& ids) {
 
 bool Engine::maybe_start_reconnect(Endpoint& ep, const char* why) {
   if (!fatal_armed_ || finalized_) return false;
+  if (kill_armed_ && ep.conn_state != ConnState::Failed &&
+      bootstrap_.is_dead(ep.peer)) {
+    // The peer is permanently dead (rank_kill): reconnecting would block
+    // forever on a publication that never comes. Declare the failure —
+    // fail_peer_ops (via adoption) purges the parked records this signal
+    // came from, so returning true is accurate: the signal is handled.
+    declare_failed(ep.peer, why);
+    return true;
+  }
   if (ep.conn_state == ConnState::Suspect ||
       ep.conn_state == ConnState::Reconnecting) {
     return true;  // recovery already underway; this signal rides along
@@ -717,6 +862,13 @@ void Engine::perform_reconnect(Endpoint& ep, std::uint32_t target_epoch) {
   if (ep.epoch >= target_epoch || ep.conn_state == ConnState::Reconnecting) {
     return;  // a concurrent signal already got here
   }
+  if (kill_armed_) {
+    if (ep.conn_state == ConnState::Failed) return;  // terminal under kills
+    if (bootstrap_.is_dead(ep.peer)) {
+      declare_failed(ep.peer, "reconnect target is dead");
+      return;
+    }
+  }
   ep.conn_state = ConnState::Reconnecting;
   ++ep.reconnects;
   ++stats_.reconnects;
@@ -733,27 +885,45 @@ void Engine::perform_reconnect(Endpoint& ep, std::uint32_t target_epoch) {
   // staged payload is copied out now because the staging slots are about to
   // be scrubbed and reassigned.
   struct Replay {
+    std::uint64_t idx = 0;
     PacketHeader hdr;
     std::vector<std::byte> payload;
     std::function<void(const ib::Wc&)> cb;
     std::shared_ptr<RequestState> owner;
   };
   std::vector<Replay> replay;
+  auto copy_payload = [&](std::uint64_t idx, std::size_t len, Replay& r) {
+    if (len == 0) return;
+    const int slot = static_cast<int>(idx % slots());
+    const std::byte* src = ep.staging.data() + layout_.payload_off(slot);
+    r.payload.assign(src, src + len);
+  };
+  // Delivered-but-unconsumed packets are about to be destroyed with the
+  // peer's ring; their completions already fired, so they replay with no
+  // callback — the receive-side seq dedup keeps delivery exactly-once if
+  // the peer did consume one before stalling.
+  for (auto& [idx, d] : ep.delivered) {
+    Replay r;
+    r.idx = idx;
+    r.hdr = d.hdr;
+    copy_payload(idx, d.payload_len, r);
+    replay.push_back(std::move(r));
+  }
+  ep.delivered.clear();
   for (auto& [idx, rec] : ep.unacked) {
     ++rec.epoch;  // defuse the pending tx_check timer
     forget_wr_ids(rec.wr_ids);
     Replay r;
+    r.idx = idx;
     r.hdr = rec.hdr;
-    if (rec.payload_len > 0) {
-      const int slot = static_cast<int>(idx % slots());
-      const std::byte* src = ep.staging.data() + layout_.payload_off(slot);
-      r.payload.assign(src, src + rec.payload_len);
-    }
+    copy_payload(idx, rec.payload_len, r);
     r.cb = std::move(rec.on_delivered);
     r.owner = std::move(rec.owner);
     replay.push_back(std::move(r));
   }
   ep.unacked.clear();
+  std::sort(replay.begin(), replay.end(),
+            [](const Replay& a, const Replay& b) { return a.idx < b.idx; });
   std::vector<std::uint64_t> ops;
   for (auto& [id, d] : data_ops_) {
     if (d.peer != ep.peer) continue;
@@ -838,6 +1008,34 @@ void Engine::perform_reconnect(Endpoint& ep, std::uint32_t target_epoch) {
   // (A waits on B while C waits on A).
   const Bootstrap::PeerInfo* pi = nullptr;
   for (;;) {
+    check_alive();  // our own kill fate can fire while blocked here
+    if (kill_armed_ && bootstrap_.is_dead(ep.peer)) {
+      // The peer died mid-handshake: its epoch publication will never come.
+      // The in-flight state was already quiesced into `replay`/`ops`, out
+      // of fail_peer_ops' reach — fail it here, then put the death on the
+      // board so the rest of this rank's dependent state gets purged too.
+      ep.conn_state = ConnState::Failed;
+      BlameScope blame(*this, MpiErrc::ProcFailed, ep.peer);
+      ib::Wc err{};
+      err.status = ib::WcStatus::RetryExceeded;
+      for (auto& r : replay) {
+        if (r.cb) {
+          r.cb(err);
+        } else if (r.owner && !r.owner->done()) {
+          fail(r.owner, "peer died during connection re-establishment");
+        }
+      }
+      for (std::uint64_t id : ops) {
+        auto oit = data_ops_.find(id);
+        if (oit == data_ops_.end()) continue;
+        auto cb = std::move(oit->second.on_result);
+        data_ops_.erase(oit);
+        cb(err);
+      }
+      declare_failed(ep.peer, "peer died during reconnect handshake");
+      wake_.notify_all();
+      return;
+    }
     pi = bootstrap_.try_get_epoch(ep.peer, rank_, target_epoch);
     if (pi) break;
     service_reconnect_requests(/*except_peer=*/ep.peer);
@@ -899,34 +1097,375 @@ void Engine::heartbeat_tick() {
         ep.conn_state == ConnState::Failed) {
       continue;
     }
-    // Adopt the peer's beacon.
+    // Adopt the peer's beacon — and, under rank kills, the failure-epoch
+    // word riding in the beacon's second half (heartbeat-borne failure
+    // dissemination for ranks with no packet traffic to piggyback on).
     const std::uint64_t v = wire::get<std::uint64_t>(ep.hb_cell, 0);
     if (v != ep.hb_seen) {
       ep.hb_seen = v;
       ep.last_heard = now;
     }
+    if (kill_armed_) {
+      const std::uint64_t fe =
+          wire::get<std::uint64_t>(ep.hb_cell, sizeof(std::uint64_t));
+      if (fe > known_fail_epoch_) adopt_failures();
+      if (ep.conn_state == ConnState::Failed) continue;  // adoption failed ep
+    }
     // Write mine: non-faultable and unsignaled, like a credit update.
     ++ep.hb_seq;
     wire::put(ep.hb_src, 0, ep.hb_seq);
+    wire::put(ep.hb_src, sizeof(std::uint64_t), known_fail_epoch_);
     ib::SendWr wr;
     wr.opcode = ib::Opcode::RdmaWrite;
     wr.signaled = false;
     wr.sg_list = {{ep.hb_src.addr(),
-                   static_cast<std::uint32_t>(sizeof ep.hb_seq),
+                   static_cast<std::uint32_t>(2 * sizeof ep.hb_seq),
                    ep.hb_src_mr->lkey()}};
     wr.remote_addr = ep.remote_hb;
     wr.rkey = ep.remote_hb_rkey;
     ib_->post_send(ep.qp, std::move(wr));
-    // Liveness: only a peer we owe traffic to can be declared dead — an
-    // idle endpoint has nothing to recover, and a spurious reconnect at
-    // the tail of a run would wait on a peer that already finalized.
-    const bool pending = !ep.unacked.empty() || !ep.pending_tx.empty();
-    if (pending && now - ep.last_heard > platform_.mpi_liveness_timeout) {
+    // Liveness: a peer can only be declared dead when traffic depends on it
+    // — an idle endpoint has nothing to recover, and a spurious reconnect
+    // at the tail of a run would wait on a peer that already finalized.
+    // Under rank kills the dependency test also covers the receive side
+    // (posted receives, wildcard receives, in-flight schedules): a dead
+    // *sender* leaves nothing in unacked/pending_tx, yet blocked receivers
+    // still need the timeout to fire. The grace term suppresses false
+    // positives when injected compute stragglers legitimately stall whole
+    // ranks near the timeout (see set_liveness_grace).
+    bool pending = !ep.unacked.empty() || !ep.pending_tx.empty();
+    if (kill_armed_ && !pending) pending = expecting_from(ep);
+    if (pending &&
+        now - ep.last_heard > platform_.mpi_liveness_timeout + liveness_grace_) {
       sim::trace_instant("rank" + std::to_string(rank_) + ".faults",
                          "liveness-timeout peer=" + std::to_string(p), now);
       maybe_start_reconnect(ep, "liveness timeout");
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Rank-failure semantics: adoption, dependent-op cancellation, revocation
+// ---------------------------------------------------------------------------
+
+void Engine::declare_failed(int peer, const char* why) {
+  sim::Log::error(ib_->process().now(), "mpi",
+                  "rank %d declares rank %d failed (%s)", rank_, peer, why);
+  sim::trace_instant("rank" + std::to_string(rank_) + ".faults",
+                     "declare-failed peer=" + std::to_string(peer) + " (" +
+                         why + ")",
+                     ib_->process().now());
+  bootstrap_.announce_failure(peer);
+  adopt_failures();
+}
+
+void Engine::adopt_failures() {
+  const std::uint64_t board = bootstrap_.fail_epoch();
+  while (known_fail_epoch_ < board) {
+    const int r = bootstrap_.failed_at(known_fail_epoch_++);
+    if (r == rank_) continue;  // our own death unwinds via check_alive
+    if (!known_failed_.insert(r).second) continue;
+    ++stats_.rank_failures_known;
+    const sim::Time now = ib_->process().now();
+    const sim::Time died = bootstrap_.death_time(r);
+    if (died >= 0 && now > died) {
+      const std::uint64_t lat = static_cast<std::uint64_t>(now - died);
+      if (lat > stats_.failure_detect_max_ns) {
+        stats_.failure_detect_max_ns = lat;
+      }
+    }
+    chk().rank_failed(rank_, r);
+    sim::trace_instant("rank" + std::to_string(rank_) + ".faults",
+                       "adopt-failure peer=" + std::to_string(r) + " epoch=" +
+                           std::to_string(known_fail_epoch_),
+                       now);
+    fail_peer_ops(r);
+  }
+}
+
+void Engine::fail_peer_ops(int r) {
+  auto eit = endpoints_.find(r);
+  if (eit != endpoints_.end()) {
+    Endpoint& ep = eit->second;
+    ep.conn_state = ConnState::Failed;
+    // Unacked ring packets: defuse the retry timers and pull the records
+    // out before delivering verdicts (a verdict callback may re-enter the
+    // endpoint). The blame scope classifies callback-mediated fail() calls.
+    std::vector<TxRecord> recs;
+    recs.reserve(ep.unacked.size());
+    for (auto& [idx, rec] : ep.unacked) {
+      ++rec.epoch;
+      forget_wr_ids(rec.wr_ids);
+      recs.push_back(std::move(rec));
+    }
+    ep.unacked.clear();
+    // Parked delivered records need no verdicts (their completions already
+    // fired) and can never be replayed toward a dead peer.
+    ep.delivered.clear();
+    std::deque<Endpoint::PendingTx> queued;
+    queued.swap(ep.pending_tx);
+    ib::Wc err{};
+    err.status = ib::WcStatus::RetryExceeded;
+    BlameScope blame(*this, MpiErrc::ProcFailed, r);
+    for (auto& rec : recs) {
+      if (rec.on_delivered) {
+        rec.on_delivered(err);
+      } else if (rec.owner && !rec.owner->done()) {
+        fail(rec.owner, "peer rank died", MpiErrc::ProcFailed, r);
+      }
+    }
+    for (auto& ptx : queued) {
+      if (ptx.owner && !ptx.owner->done()) {
+        fail(ptx.owner, "peer rank died before emission", MpiErrc::ProcFailed,
+             r);
+      }
+    }
+    // Channel state: sends awaiting DONE/credit and posted receives can
+    // never complete against a dead peer.
+    for (auto& [key, ch] : ep.channels) {
+      for (auto& [seq, st] : ch.sends) {
+        if (st && !st->done()) {
+          fail(st, "peer rank died", MpiErrc::ProcFailed, r);
+        }
+      }
+      ch.sends.clear();
+      for (auto& [seq, st] : ch.posted) {
+        if (st && !st->done()) {
+          fail(st, "peer rank died", MpiErrc::ProcFailed, r);
+        }
+      }
+      ch.posted.clear();
+    }
+  }
+  // Rendezvous RDMA operations targeting the dead peer.
+  std::vector<std::uint64_t> doomed;
+  for (auto& [id, d] : data_ops_) {
+    if (d.peer == r) doomed.push_back(id);
+  }
+  for (std::uint64_t id : doomed) {
+    auto it = data_ops_.find(id);
+    if (it == data_ops_.end()) continue;
+    ++it->second.epoch;  // defuse data_check timers
+    auto cb = std::move(it->second.on_result);
+    forget_wr_ids(it->second.wr_ids);
+    data_ops_.erase(it);
+    ib::Wc err{};
+    err.status = ib::WcStatus::RetryExceeded;
+    BlameScope blame(*this, MpiErrc::ProcFailed, r);
+    cb(err);
+  }
+  // Deferred receives: explicit receives from the dead rank, and wildcard
+  // receives on any communicator containing it. The wildcard case is
+  // deliberately pessimistic (ULFM semantics): the dead rank may have been
+  // the only possible sender, and completing with PROC_FAILED beats
+  // hanging — the caller re-posts after shrinking if it wants to go on.
+  for (auto& [comm_id, cr] : comm_recv_) {
+    for (auto it = cr.deferred.begin(); it != cr.deferred.end();) {
+      auto& st = *it;
+      const bool depends =
+          st && !st->done() &&
+          (st->peer == r ||
+           (st->peer == kAnySource && comm_contains(comm_id, r)));
+      if (depends) {
+        fail(st, "peer rank died (receive can never match)",
+             MpiErrc::ProcFailed, r);
+        it = cr.deferred.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Collective schedules whose group contains the dead rank: every stage
+  // eventually depends on it (directly or through the dependency chain),
+  // so the whole schedule fails now instead of hanging in a later stage.
+  for (auto& sched : schedules_) {
+    if (sched->req->done()) continue;
+    if (!comm_contains(sched->comm_id, r)) continue;
+    fail_schedule(*sched, "peer rank died during collective",
+                  MpiErrc::ProcFailed, r);
+  }
+  wake_pending_ = true;
+  wake_.notify_all();
+}
+
+bool Engine::comm_contains(std::uint32_t comm_id, int r) const {
+  auto it = comm_groups_.find(comm_id);
+  if (it == comm_groups_.end()) {
+    // Unregistered communicators (engine-level tests drive comm 0 without a
+    // Communicator object) are treated as the world group.
+    return comm_id == 0 && r >= 0 && r < nranks_;
+  }
+  for (int m : it->second) {
+    if (m == r) return true;
+  }
+  return false;
+}
+
+bool Engine::expecting_from(const Endpoint& ep) const {
+  for (const auto& [key, ch] : ep.channels) {
+    if (!ch.posted.empty()) return true;
+  }
+  for (const auto& [comm_id, cr] : comm_recv_) {
+    for (const auto& st : cr.deferred) {
+      if (!st || st->done()) continue;
+      if (st->peer == ep.peer) return true;
+      if (st->peer == kAnySource && comm_contains(comm_id, ep.peer)) {
+        return true;
+      }
+    }
+  }
+  for (const auto& sched : schedules_) {
+    if (!sched->req->done() && comm_contains(sched->comm_id, ep.peer)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Engine::register_comm(std::uint32_t comm_id, std::vector<int> group) {
+  comm_groups_[comm_id] = std::move(group);
+}
+
+void Engine::revoke_comm(std::uint32_t comm_id) {
+  if (!revoked_.insert(comm_id).second) return;  // each rank floods once
+  ++stats_.comms_revoked;
+  chk().comm_revoked(rank_, comm_id);
+  sim::Log::info(ib_->process().now(), "mpi", "rank %d: comm %u revoked",
+                 rank_, comm_id);
+  sim::trace_instant("rank" + std::to_string(rank_) + ".faults",
+                     "comm-revoked comm=" + std::to_string(comm_id),
+                     ib_->process().now());
+  poison_comm(comm_id, "communicator revoked");
+  flood_revoke(comm_id);
+}
+
+void Engine::poison_comm(std::uint32_t comm_id, const char* why) {
+  for (auto& [p, ep] : endpoints_) {
+    for (auto& [key, ch] : ep.channels) {
+      if (key.first != comm_id) continue;
+      for (auto& [seq, st] : ch.sends) {
+        if (st && !st->done()) fail(st, why, MpiErrc::Revoked, p);
+      }
+      ch.sends.clear();
+      for (auto& [seq, st] : ch.posted) {
+        if (st && !st->done()) fail(st, why, MpiErrc::Revoked, p);
+      }
+      ch.posted.clear();
+    }
+  }
+  for (auto& [key, sc] : self_channels_) {
+    if (key.first != comm_id) continue;
+    for (auto& [seq, st] : sc.posted) {
+      if (st && !st->done()) fail(st, why, MpiErrc::Revoked);
+    }
+    sc.posted.clear();
+  }
+  if (auto it = comm_recv_.find(comm_id); it != comm_recv_.end()) {
+    for (auto& st : it->second.deferred) {
+      if (st && !st->done()) fail(st, why, MpiErrc::Revoked);
+    }
+    it->second.deferred.clear();
+  }
+  for (auto& sched : schedules_) {
+    if (sched->comm_id == comm_id && !sched->req->done()) {
+      fail_schedule(*sched, why, MpiErrc::Revoked);
+    }
+  }
+  wake_pending_ = true;
+  wake_.notify_all();
+}
+
+void Engine::flood_revoke(std::uint32_t comm_id) {
+  auto git = comm_groups_.find(comm_id);
+  for (auto& [p, ep] : endpoints_) {
+    if (git != comm_groups_.end()) {
+      bool member = false;
+      for (int m : git->second) member |= (m == p);
+      if (!member) continue;
+    }
+    if (ep.conn_state == ConnState::Failed) continue;
+    if (kill_armed_ && (known_failed_.count(p) > 0 || bootstrap_.is_dead(p))) {
+      continue;
+    }
+    PacketHeader hdr;
+    hdr.type = PacketType::Revoke;
+    hdr.src_rank = rank_;
+    hdr.comm_id = comm_id;
+    hdr.tag = 0;
+    Endpoint* target = &ep;
+    tx(ep, [this, target, hdr] { emit_packet(*target, hdr, nullptr, 0); });
+  }
+}
+
+void Engine::waitall(std::span<Request> reqs) {
+  check_alive();
+  for (;;) {
+    wake_pending_ = false;
+    progress();
+    bool all = true;
+    for (const Request& r : reqs) {
+      if (r.valid() && !r.done()) {
+        all = false;
+        break;
+      }
+    }
+    if (all) break;
+    if (!wake_pending_) ib_->process().wait_on(wake_);
+  }
+  // Every request reached a terminal phase (a failure on one cannot leave
+  // another undriven); now report the first casualty, if any.
+  for (const Request& r : reqs) {
+    if (!r.valid() || !r.failed()) continue;
+    const auto& st = *r.state_;
+    throw MpiError(st.error, st.errc, st.err_peer, st.comm_id);
+  }
+}
+
+void Engine::wait_until_ft(const std::function<bool()>& pred) {
+  for (;;) {
+    progress();  // throws RankKilled once our own fate fires
+    if (pred()) return;
+    // A bounded sleep instead of a wake condition: the out-of-band boards
+    // this loop polls are advanced by ranks whose p2p connectivity to us
+    // may be gone, so no packet-level wake can be relied on.
+    ib_->process().wait(platform_.mpi_heartbeat_period);
+  }
+}
+
+void Engine::dump_all(std::FILE* out) {
+  std::lock_guard<std::mutex> lock(g_engines_mu);
+  for (Engine* e : live_engines()) {
+    std::fprintf(out, "rank %d%s: fail_epoch=%llu known_failed={", e->rank_,
+                 e->dead_ ? " (dead)" : "",
+                 static_cast<unsigned long long>(e->known_fail_epoch_));
+    for (int r : e->known_failed_) std::fprintf(out, " %d", r);
+    std::fprintf(out, " } outstanding=%zu data_ops=%zu pending_recovery=%zu\n",
+                 e->outstanding_.size(), e->data_ops_.size(),
+                 e->pending_recovery_.size());
+    for (const auto& [p, ep] : e->endpoints_) {
+      const char* st = "?";
+      switch (ep.conn_state) {
+        case ConnState::Healthy: st = "healthy"; break;
+        case ConnState::Suspect: st = "suspect"; break;
+        case ConnState::Reconnecting: st = "reconnecting"; break;
+        case ConnState::Degraded: st = "degraded"; break;
+        case ConnState::Failed: st = "failed"; break;
+      }
+      std::fprintf(out,
+                   "  -> peer %d: %s epoch=%u unacked=%zu pending_tx=%zu "
+                   "sent=%llu acked=%llu last_heard=%lld\n",
+                   p, st, ep.epoch, ep.unacked.size(), ep.pending_tx.size(),
+                   static_cast<unsigned long long>(ep.sent_packets),
+                   static_cast<unsigned long long>(ep.consumed_by_peer),
+                   static_cast<long long>(ep.last_heard));
+    }
+    for (const auto& s : e->schedules_) {
+      std::fprintf(out, "  coll comm=%u stage=%zu/%zu outstanding=%zu %s\n",
+                   s->comm_id, s->stage, s->stages.size(),
+                   s->outstanding.size(), s->label.c_str());
+    }
+  }
+  std::fflush(out);
 }
 
 void Engine::send_credit(Endpoint& ep) {
@@ -972,6 +1511,10 @@ void Engine::read_credit_cell(Endpoint& ep) {
     chk().credit_read(rank_, ep.peer, value);
     ep.consumed_by_peer = value;
     if (fatal_armed_) ep.last_heard = ib_->process().now();
+    // Consumption proven up to `value`: parked delivered-packet records
+    // below it can never need a replay.
+    ep.delivered.erase(ep.delivered.begin(),
+                       ep.delivered.lower_bound(value));
   }
 }
 
@@ -1017,6 +1560,11 @@ void Engine::scan_ring(Endpoint& ep) {
                                : platform_.host_poll_overhead);
     if (fatal_armed_) ep.last_heard = ib_->process().now();
 
+    // Failure piggyback: the sender knows of deaths we have not adopted
+    // yet — pull the board before dispatching, so a packet that depends on
+    // a dead rank is handled with that knowledge in place.
+    if (kill_armed_ && hdr.fail_epoch > known_fail_epoch_) adopt_failures();
+
     const std::byte* payload = ep.ring.data() + layout_.payload_off(slot);
     handle_packet(ep, hdr, payload);
 
@@ -1040,6 +1588,7 @@ void Engine::scan_ring(Endpoint& ep) {
 }
 
 void Engine::progress() {
+  check_alive();
   if (in_progress_) return;
   in_progress_ = true;
   struct Guard {
@@ -1054,6 +1603,13 @@ void Engine::progress() {
     fn();
   }
   if (fatal_armed_) service_reconnect_requests();
+  // Direct board pull: piggybacked epochs cover ranks with traffic, the
+  // heartbeat covers idle pairs, and this covers a rank woken by the
+  // bootstrap watch with neither (e.g. blocked in wait with nothing
+  // in flight toward anyone).
+  if (kill_armed_ && bootstrap_.fail_epoch() > known_fail_epoch_) {
+    adopt_failures();
+  }
   for (auto& [p, ep] : endpoints_) {
     read_credit_cell(ep);
     drain_tx(ep);
@@ -1062,6 +1618,20 @@ void Engine::progress() {
   // Schedules advance after the endpoint scan so transfers completed this
   // pass unlock their next stages immediately.
   advance_schedules();
+  if (!condemned_.empty()) reap_condemned();
+}
+
+void Engine::reap_condemned() {
+  std::erase_if(condemned_, [this](CondemnedScratch& c) {
+    for (const auto& st : c.waits) {
+      if (st && !st->done()) return false;
+    }
+    for (const mem::Buffer& b : c.bufs) {
+      forget_buffer(b);
+      ib_->free_buffer(b);
+    }
+    return true;
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -1075,6 +1645,32 @@ Request Engine::start_coll(std::shared_ptr<CollSchedule> sched) {
   st->bytes = sched->bytes;
   st->posted_at = ib_->process().now();
   sched->req = st;
+  check_alive();
+  // ULFM posting guards, mirroring isend/irecv: a collective on a revoked
+  // communicator or over a group with a known-dead member can never finish,
+  // so the request is born failed without occupying a tag-window slot. The
+  // schedule's owned temporaries are freed here — no transfer ever started.
+  int dead_member = -1;
+  for (int m : known_failed_) {
+    if (comm_contains(sched->comm_id, m)) {
+      dead_member = m;
+      break;
+    }
+  }
+  if (comm_revoked(sched->comm_id) || dead_member >= 0) {
+    for (const mem::Buffer& b : sched->owned) {
+      forget_buffer(b);
+      ib_->free_buffer(b);
+    }
+    sched->owned.clear();
+    if (comm_revoked(sched->comm_id)) {
+      fail(st, "collective on revoked communicator", MpiErrc::Revoked);
+    } else {
+      fail(st, "collective over failed rank", MpiErrc::ProcFailed,
+           dead_member);
+    }
+    return Request(st);
+  }
   // Window slot for the alias check: -1 (untracked) for schedules outside
   // the rotating collective tag window.
   const int slot = sched->tag_base >= kCollSchedTagBase
@@ -1141,7 +1737,7 @@ void Engine::advance_schedule(CollSchedule& s) {
       }
       for (Request& r : s.outstanding) {
         if (r.state_->phase == RequestState::Phase::Error) {
-          fail_schedule(s, r.state_->error);
+          fail_schedule(s, r.state_->error, r.state_->errc, r.state_->err_peer);
           return;
         }
         if (!r.done()) return;
@@ -1208,7 +1804,7 @@ Engine::PipeState Engine::pipe_advance(CollSchedule& s, CollPipe& p) {
     while (p.combined < nin) {
       Request& r = p.recvs[p.combined];
       if (r.state_->phase == RequestState::Phase::Error) {
-        fail_schedule(s, r.state_->error);
+        fail_schedule(s, r.state_->error, r.state_->errc, r.state_->err_peer);
         return PipeState::Failed;
       }
       if (!r.done()) break;
@@ -1223,7 +1819,7 @@ Engine::PipeState Engine::pipe_advance(CollSchedule& s, CollPipe& p) {
     while (p.combined < nin) {
       Request& r = p.recvs[p.combined];
       if (r.state_->phase == RequestState::Phase::Error) {
-        fail_schedule(s, r.state_->error);
+        fail_schedule(s, r.state_->error, r.state_->errc, r.state_->err_peer);
         return PipeState::Failed;
       }
       if (!r.done()) return PipeState::Busy;
@@ -1269,15 +1865,45 @@ void Engine::finish_schedule(CollSchedule& s) {
   wake_.notify_all();
 }
 
-void Engine::fail_schedule(CollSchedule& s, std::string why) {
+void Engine::fail_schedule(CollSchedule& s, std::string why, MpiErrc errc,
+                           int peer) {
+  if (s.req->done()) return;
   chk().coll_failed(s.check_id);
-  // Owned temporaries are deliberately leaked until teardown: in-flight
-  // transfers of the failed stage may still land in them.
+  if (errc == MpiErrc::Other) {
+    errc = blame_errc_;
+    if (peer < 0) peer = blame_peer_;
+  }
+  if (errc != MpiErrc::Other) {
+    why += std::string(" [errc=") + errc_name(errc) +
+           (peer >= 0 ? " peer=" + std::to_string(peer) : std::string()) + "]";
+  }
+  if (errc == MpiErrc::ProcFailed) ++stats_.proc_failed_ops;
+  // Owned temporaries cannot be freed here — transfers of the cancelled
+  // stage may still land in them. Park them with every still-pending
+  // request state; reap_condemned() frees the lot once all are terminal
+  // (revocation poisons the whole comm, so that point arrives promptly).
+  if (!s.owned.empty()) {
+    CondemnedScratch c;
+    c.bufs = std::move(s.owned);
+    s.owned.clear();
+    const auto park = [&c](const Request& r) {
+      if (r.state_ && !r.state_->done()) c.waits.push_back(r.state_);
+    };
+    for (const Request& r : s.outstanding) park(r);
+    for (CollStage& stage : s.stages) {
+      if (!stage.pipe) continue;
+      for (const Request& r : stage.pipe->sends) park(r);
+      for (const Request& r : stage.pipe->recvs) park(r);
+    }
+    condemned_.push_back(std::move(c));
+  }
   sim::Log::error(ib_->process().now(), "mpi",
                   "rank %d collective schedule error: %s", rank_,
                   why.c_str());
   auto& st = *s.req;
   st.error = std::move(why);
+  st.errc = errc;
+  st.err_peer = peer;
   st.phase = RequestState::Phase::Error;
   wake_.notify_all();
 }
@@ -1288,6 +1914,9 @@ void Engine::fail_schedule(CollSchedule& s, std::string why) {
 
 void Engine::complete(const std::shared_ptr<RequestState>& req, int source,
                       int tag, std::size_t bytes) {
+  // A request the failure layer already condemned (dead peer, revoked comm)
+  // stays failed even if its last transfer races to a successful verdict.
+  if (req->done()) return;
   req->status = Status{source, tag, bytes};
   req->phase = RequestState::Phase::Complete;
   if (sim::Tracer::current()) {
@@ -1317,10 +1946,26 @@ void Engine::complete(const std::shared_ptr<RequestState>& req, int source,
   wake_.notify_all();
 }
 
-void Engine::fail(const std::shared_ptr<RequestState>& req, std::string why) {
+void Engine::fail(const std::shared_ptr<RequestState>& req, std::string why,
+                  MpiErrc errc, int peer) {
+  if (req->done()) return;
+  // Callbacks that predate the FT layer call fail() with no taxonomy; an
+  // active blame scope (set around callback invocation by whoever knows the
+  // real cause) supplies it so the classification survives the indirection.
+  if (errc == MpiErrc::Other) {
+    errc = blame_errc_;
+    if (peer < 0) peer = blame_peer_;
+  }
+  if (errc != MpiErrc::Other) {
+    why += std::string(" [errc=") + errc_name(errc) +
+           (peer >= 0 ? " peer=" + std::to_string(peer) : std::string()) + "]";
+  }
+  if (errc == MpiErrc::ProcFailed) ++stats_.proc_failed_ops;
   sim::Log::error(ib_->process().now(), "mpi",
                   "rank %d request error: %s", rank_, why.c_str());
   req->error = std::move(why);
+  req->errc = errc;
+  req->err_peer = peer;
   req->phase = RequestState::Phase::Error;
   wake_.notify_all();
 }
@@ -1336,7 +1981,9 @@ Status Engine::wait(Request& req) {
     // scan instead of blocking (level-triggered wake).
     if (!wake_pending_) ib_->process().wait_on(wake_);
   }
-  if (st.phase == RequestState::Phase::Error) throw MpiError(st.error);
+  if (st.phase == RequestState::Phase::Error) {
+    throw MpiError(st.error, st.errc, st.err_peer, st.comm_id);
+  }
   return st.status;
 }
 
@@ -1349,7 +1996,8 @@ bool Engine::test(Request& req) {
                              : platform_.host_poll_overhead);
   progress();
   if (req.state_->phase == RequestState::Phase::Error) {
-    throw MpiError(req.state_->error);
+    const auto& st = *req.state_;
+    throw MpiError(st.error, st.errc, st.err_peer, st.comm_id);
   }
   return req.state_->done();
 }
@@ -1364,7 +2012,8 @@ std::size_t Engine::waitany(std::span<Request> reqs) {
     for (std::size_t i = 0; i < reqs.size(); ++i) {
       if (!reqs[i].valid() || !reqs[i].done()) continue;
       if (reqs[i].state_->phase == RequestState::Phase::Error) {
-        throw MpiError(reqs[i].state_->error);
+        const auto& st = *reqs[i].state_;
+        throw MpiError(st.error, st.errc, st.err_peer, st.comm_id);
       }
       return i;
     }
@@ -1381,7 +2030,8 @@ bool Engine::testall(std::span<Request> reqs) {
   for (const Request& r : reqs) {
     if (!r.valid()) continue;
     if (r.state_->phase == RequestState::Phase::Error) {
-      throw MpiError(r.state_->error);
+      const auto& st = *r.state_;
+      throw MpiError(st.error, st.errc, st.err_peer, st.comm_id);
     }
     all &= r.done();
   }
@@ -1396,7 +2046,8 @@ std::optional<std::size_t> Engine::testany(std::span<Request> reqs) {
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     if (!reqs[i].valid() || !reqs[i].done()) continue;
     if (reqs[i].state_->phase == RequestState::Phase::Error) {
-      throw MpiError(reqs[i].state_->error);
+      const auto& st = *reqs[i].state_;
+      throw MpiError(st.error, st.errc, st.err_peer, st.comm_id);
     }
     return i;
   }

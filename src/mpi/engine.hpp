@@ -1,10 +1,12 @@
 #pragma once
 
+#include <cstdio>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <span>
 #include <tuple>
 #include <vector>
@@ -65,6 +67,39 @@ class Bootstrap {
   /// wait loop).
   sim::Condition& changed() { return cond_; }
 
+  // --- Rank-death registry and failure board (rank_kill; docs/faults.md) ----
+  /// Launcher-level ground truth: the victim's own kill timer records its
+  /// death here. Survivors learn of deaths through the failure board below;
+  /// detection paths consult the registry to short-circuit doomed reconnect
+  /// attempts, and the detection-latency metric measures against death_time.
+  void mark_dead(int rank, sim::Time when);
+  bool is_dead(int rank) const;
+  /// Virtual death time, or -1 while `rank` is alive.
+  sim::Time death_time(int rank) const;
+
+  /// Failure board: announce-ordered list of failed ranks under a monotonic
+  /// epoch (== announcements so far). Idempotent per rank; the announce
+  /// order is globally consistent, so every rank adopts failures in the
+  /// same order and the whole recovery stays deterministic.
+  void announce_failure(int rank);
+  std::uint64_t fail_epoch() const;
+  /// The i-th announced failed rank (i < fail_epoch()).
+  int failed_at(std::size_t i) const;
+
+  // --- Agreement board (MPIX_Comm_agree / shrink; docs/faults.md) -----------
+  /// One vote per (comm, agreement-seq, rank); re-posts overwrite.
+  void post_vote(std::uint32_t comm, std::uint64_t seq, int rank,
+                 std::uint64_t value);
+  /// nullptr until `rank` voted in that round.
+  const std::uint64_t* get_vote(std::uint32_t comm, std::uint64_t seq,
+                                int rank) const;
+  /// First decision posted for (comm, seq) wins; later posts are ignored,
+  /// which keeps agreement consistent across coordinator succession.
+  void post_decision(std::uint32_t comm, std::uint64_t seq,
+                     std::uint64_t value);
+  const std::uint64_t* get_decision(std::uint32_t comm,
+                                    std::uint64_t seq) const;
+
  private:
   void notify();
 
@@ -72,6 +107,12 @@ class Bootstrap {
   std::map<std::tuple<int, int, std::uint32_t>, PeerInfo> epoch_table_;
   std::map<std::pair<int, int>, std::uint32_t> reconnect_board_;
   std::map<int, std::function<void()>> watches_;
+  std::map<int, sim::Time> dead_;           ///< rank -> virtual death time
+  std::vector<int> failed_order_;           ///< failure board, announce order
+  std::set<int> announced_;                 ///< dedup for announce_failure
+  std::map<std::tuple<std::uint32_t, std::uint64_t, int>, std::uint64_t>
+      votes_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> decisions_;
   sim::Condition cond_;
 };
 
@@ -163,6 +204,11 @@ class Engine {
     std::uint64_t coll_allgather_rd = 0;
     std::uint64_t coll_segments = 0;  ///< pipeline segments moved
     std::uint64_t coll_schedules = 0;  ///< collective schedules completed
+    // --- Rank-failure semantics (zero unless rank_kill armed) ----------------
+    std::uint64_t rank_failures_known = 0;   ///< deaths adopted from the board
+    std::uint64_t failure_detect_max_ns = 0; ///< max(adopt time - death time)
+    std::uint64_t proc_failed_ops = 0;   ///< ops failed with PROC_FAILED
+    std::uint64_t comms_revoked = 0;     ///< revocations processed locally
   };
 
   Engine(int rank, int nranks, std::unique_ptr<verbs::Ib> ib,
@@ -255,6 +301,48 @@ class Engine {
                 std::function<void()> on_done);
   /// Drive progress until `pred()` holds (blocks the owning process).
   void wait_until(const std::function<bool()>& pred);
+
+  // --- Rank-failure semantics (ULFM-style recovery; docs/faults.md) ----------
+  /// True once this rank's scheduled rank_kill fired. Every blocking entry
+  /// point checks it and throws RankKilled to unwind the rank body.
+  bool dead() const { return dead_; }
+  /// Register a communicator's world-rank membership. The Communicator ctor
+  /// calls this so failure handling can map a dead rank onto the schedules,
+  /// sends and receives that depend on it.
+  void register_comm(std::uint32_t comm_id, std::vector<int> group);
+  /// Revoke `comm_id` locally: poison every pending operation on it with
+  /// MpiErrc::Revoked and flood a Revoke notice to every live group member
+  /// (MPIX_Comm_revoke). Idempotent; each rank re-floods exactly once, so
+  /// the gossip terminates.
+  void revoke_comm(std::uint32_t comm_id);
+  bool comm_revoked(std::uint32_t comm_id) const {
+    return revoked_.count(comm_id) != 0;
+  }
+  /// Failed-rank knowledge as adopted from the global failure board.
+  bool rank_failed(int rank) const { return known_failed_.count(rank) != 0; }
+  const std::set<int>& known_failed() const { return known_failed_; }
+  /// Extra slack on the liveness timeout before a silent peer is declared
+  /// Suspect. Used by workloads whose injected compute stragglers can stall
+  /// a whole rank legitimately for ~the timeout (heartbeat false positives).
+  void set_liveness_grace(sim::Time grace) { liveness_grace_ = grace; }
+  /// The out-of-band wiring/failure/agreement boards (Communicator::agree
+  /// and shrink run their votes over these, not over p2p traffic, so they
+  /// work even when the communicator itself is poisoned).
+  Bootstrap& bootstrap() { return bootstrap_; }
+  /// Drive every valid request in the set to a terminal phase, then throw
+  /// for the first errored one. Unlike wait-in-a-loop, a failure on request
+  /// i cannot leave request i+1 undriven: fault-tolerant callers catch the
+  /// MpiError and inspect Request::failed()/errc() per request.
+  void waitall(std::span<Request> reqs);
+  /// Timed-poll progress loop for the out-of-band agreement protocol:
+  /// advance, check `pred`, sleep one heartbeat period, repeat. The bounded
+  /// sleep keeps agreement live even when every p2p wake source is dead.
+  void wait_until_ft(const std::function<bool()>& pred);
+  /// Watchdog hook: dump every live engine's state (rank, endpoint health,
+  /// in-flight schedules, known failures) to `out`. Called from a foreign
+  /// OS thread only when the deadline watchdog is about to abort a hung
+  /// run — best-effort, unsynchronised reads are acceptable there.
+  static void dump_all(std::FILE* out);
 
   /// acc[i] = acc[i] OP in[i] over `count` elements, charging the owning
   /// core's element throughput — or, when offload_reductions is on and the
@@ -366,11 +454,32 @@ class Engine {
     std::uint64_t hb_seq = 0;   ///< my beacon counter towards this peer
     std::uint64_t hb_seen = 0;  ///< last beacon value read from the peer
 
-    std::deque<std::function<void()>> pending_tx;
+    /// Emissions deferred for credit. The owner rides alongside the opaque
+    /// closure so failure handling can fail the request a queued packet
+    /// belongs to instead of emitting toward a dead peer (control packets
+    /// and credit updates queue with no owner and are simply dropped).
+    struct PendingTx {
+      std::function<void()> emit;
+      std::shared_ptr<RequestState> owner;
+    };
+    std::deque<PendingTx> pending_tx;
 
     /// Fault mode only: packets posted but not yet confirmed delivered
     /// (keyed by absolute ring index = the sent_packets value at emission).
     std::map<std::uint64_t, TxRecord> unacked;
+
+    /// Fault mode only: packets whose CQE succeeded but whose consumption
+    /// the peer's credit has not yet proven (the payload still sits in the
+    /// staging slot — it cannot be reused before that credit). No timers
+    /// run on these; they exist so a reconnect can replay them, because
+    /// the ring rebuild destroys any still-unconsumed occupants (e.g. a
+    /// spurious liveness reconnect against a live-but-stalled peer).
+    /// Purged as the peer's credit counter passes them.
+    struct DeliveredTx {
+      PacketHeader hdr;
+      std::size_t payload_len = 0;
+    };
+    std::map<std::uint64_t, DeliveredTx> delivered;
 
     /// Sequencing is per (communicator, tag): MPI's non-overtaking rule
     /// applies within a (source, comm, tag) triple, and keying the paper's
@@ -407,8 +516,10 @@ class Engine {
     return usable_slots_ - (ep.sent_packets - ep.consumed_by_peer);
   }
   /// Run `emit` now if a slot is free and nothing is queued ahead; otherwise
-  /// defer it (drained by progress when credits return).
-  void tx(Endpoint& ep, std::function<void()> emit);
+  /// defer it (drained by progress when credits return). `owner` names the
+  /// request the emission serves, for failure handling of queued packets.
+  void tx(Endpoint& ep, std::function<void()> emit,
+          std::shared_ptr<RequestState> owner = nullptr);
   void drain_tx(Endpoint& ep);
   /// Write a packet into the peer's next ring slot (requires a free slot).
   /// Under fault injection the write is tracked for retransmission;
@@ -513,6 +624,9 @@ class Engine {
   void handle_rtr(Endpoint& ep, Channel& ch, const PacketHeader& hdr);
   void handle_done(Endpoint& ep, Channel& ch, const PacketHeader& hdr);
   void handle_err(Endpoint& ep, Channel& ch, const PacketHeader& hdr);
+  /// Revoke notice: dispatched before channel resolution (a revocation is
+  /// per-communicator, not per-channel) — adopt + gossip.
+  void handle_revoke(const PacketHeader& hdr);
 
   /// Deliver eager payload into a posted receive and complete it.
   void deliver_eager(Endpoint& ep, const std::shared_ptr<RequestState>& req,
@@ -541,7 +655,56 @@ class Engine {
 
   void complete(const std::shared_ptr<RequestState>& req, int source,
                 int tag, std::size_t bytes);
-  void fail(const std::shared_ptr<RequestState>& req, std::string why);
+  /// Terminal error on a request. `errc`/`peer` classify it; when left at
+  /// the defaults the ambient blame scope (set around callback-mediated
+  /// failure paths like retry exhaustion) supplies the taxonomy instead.
+  void fail(const std::shared_ptr<RequestState>& req, std::string why,
+            MpiErrc errc = MpiErrc::Other, int peer = -1);
+
+  /// Scoped ambient blame (see blame_errc_/blame_peer_ below): opened around
+  /// callback chains whose fail() calls cannot name the culprit themselves.
+  struct BlameScope {
+    Engine& e;
+    MpiErrc saved_errc;
+    int saved_peer;
+    BlameScope(Engine& en, MpiErrc errc, int peer)
+        : e(en), saved_errc(en.blame_errc_), saved_peer(en.blame_peer_) {
+      en.blame_errc_ = errc;
+      en.blame_peer_ = peer;
+    }
+    ~BlameScope() {
+      e.blame_errc_ = saved_errc;
+      e.blame_peer_ = saved_peer;
+    }
+  };
+
+  // --- Rank-failure semantics (internals; docs/faults.md) --------------------
+  /// Throw RankKilled once this rank's kill fate fired — checked at every
+  /// blocking entry point and at the top of progress().
+  void check_alive() const {
+    if (dead_) throw RankKilled{};
+  }
+  /// Kill-timer body: record the death on the launcher registry, stop the
+  /// heartbeat, and arrange for the next engine entry to unwind.
+  void die();
+  /// Pull newly announced failures from the bootstrap failure board (in
+  /// announce order) and fail every local operation depending on them.
+  void adopt_failures();
+  /// First-observer path: announce `peer` on the failure board, then adopt.
+  void declare_failed(int peer, const char* why);
+  /// Fail everything that depends on dead `peer`: unacked and queued
+  /// packets, rendezvous data ops, posted sends/recvs on its channels,
+  /// deferred wildcard receives it could have satisfied, and collective
+  /// schedules whose group contains it.
+  void fail_peer_ops(int peer);
+  /// Fail every pending operation on a revoked communicator.
+  void poison_comm(std::uint32_t comm_id, const char* why);
+  bool comm_contains(std::uint32_t comm_id, int rank) const;
+  /// Does this rank expect traffic *from* ep.peer (posted recvs, deferred
+  /// wildcards, an in-flight schedule containing the peer)? Liveness
+  /// monitoring must cover receive dependencies, not only packets we owe.
+  bool expecting_from(const Endpoint& ep) const;
+  void flood_revoke(std::uint32_t comm_id);
 
   // --- Collective-schedule executor (engine.cpp) -----------------------------
   enum class PipeState { Busy, Done, Failed };
@@ -555,7 +718,11 @@ class Engine {
   PipeState pipe_advance(CollSchedule& s, CollPipe& p);
   void run_coll_local(const CollLocal& l);
   void finish_schedule(CollSchedule& s);
-  void fail_schedule(CollSchedule& s, std::string why);
+  void fail_schedule(CollSchedule& s, std::string why,
+                     MpiErrc errc = MpiErrc::Other, int peer = -1);
+  /// Free parked scratch from failed schedules whose transfers have all
+  /// reached a terminal phase (see CondemnedScratch).
+  void reap_condemned();
   bool tag_compatible(const RequestState& req, const PacketHeader& hdr) const {
     return req.tag == kAnyTag || req.tag == hdr.tag;
   }
@@ -600,6 +767,16 @@ class Engine {
   CollTuning coll_tuning_;
   /// Collective schedules in flight (removed as they complete or fail).
   std::vector<std::shared_ptr<CollSchedule>> schedules_;
+  /// Scratch owned by a failed schedule cannot be freed at failure time:
+  /// transfers of the cancelled stage may still land in it. It is parked
+  /// here with the still-pending request states and freed once every one
+  /// is terminal — revoking the communicator (the ULFM recovery step)
+  /// poisons all of them, so reclamation happens promptly in practice.
+  struct CondemnedScratch {
+    std::vector<mem::Buffer> bufs;
+    std::vector<std::shared_ptr<RequestState>> waits;
+  };
+  std::vector<CondemnedScratch> condemned_;
 
   /// Fault-injection state. faults_armed_ is the single gate every hazard
   /// point branches on; with the default RunConfig it is false and the
@@ -611,6 +788,26 @@ class Engine {
   /// heartbeat, the bootstrap watch, reconnects — so non-fatal fault specs
   /// keep the exact PR-1 event schedule (and its tests byte-identical).
   bool fatal_armed_ = false;
+  /// True only when the spec schedules rank kills. Gates every *new* FT
+  /// behaviour that could perturb the existing fatal-fault event schedule
+  /// (receive-side liveness, dead-peer reconnect short-circuits), so the
+  /// qp_fatal/delegate_crash recovery tests keep their exact traces.
+  bool kill_armed_ = false;
+  bool dead_ = false;  ///< this rank's kill fate fired
+  /// Extra slack on the liveness timeout (set_liveness_grace).
+  sim::Time liveness_grace_ = 0;
+  /// Failed ranks this engine has adopted, and how far into the failure
+  /// board it has read (board entries [0, known_fail_epoch_) are adopted).
+  std::set<int> known_failed_;
+  std::uint64_t known_fail_epoch_ = 0;
+  /// World-rank membership per communicator (register_comm).
+  std::map<std::uint32_t, std::vector<int>> comm_groups_;
+  std::set<std::uint32_t> revoked_;
+  /// Ambient blame for callback-mediated failures: while a failure scope is
+  /// open (retry exhaustion toward a known peer, dead-peer purge), fail()
+  /// calls that pass no explicit taxonomy inherit this one.
+  MpiErrc blame_errc_ = MpiErrc::Other;
+  int blame_peer_ = -1;
   bool hb_stop_ = false;  ///< set at finalize; ends the heartbeat chain
   std::uint64_t usable_slots_ = 0;  ///< slots(), possibly credit-capped
   sim::Time retry_timeout_ = 0;

@@ -16,6 +16,9 @@ enum class PacketType : std::uint32_t {
   Done = 4,   ///< rendezvous data movement finished
   Err = 5,    ///< peer aborted the message (truncation); extension to the
               ///< paper's set so the opposite side errors instead of hanging
+  Revoke = 6, ///< communicator revocation notice (ULFM MPIX_Comm_revoke):
+              ///< comm_id names the revoked communicator; receivers poison
+              ///< pending ops on it and re-flood once
 };
 
 constexpr std::uint32_t kPacketMagic = 0xDCFA2013;
@@ -46,6 +49,12 @@ struct PacketHeader {
   /// are independent, so a completion packet must say which map it targets.
   enum Dir : std::uint32_t { kToSender = 0, kToReceiver = 1 };
   std::uint32_t dir = kToSender;
+  /// Failure-propagation piggyback: the sender's known-failure epoch (a
+  /// monotonic count of rank deaths it has adopted from the global failure
+  /// board). A receiver seeing a higher epoch than its own pulls the board
+  /// — failure knowledge disseminates on existing traffic with zero extra
+  /// packets (Tentpole part 1).
+  std::uint64_t fail_epoch = 0;
   /// RTS: the sender's exposed buffer (user MR or offload shadow).
   /// RTR: the receiver's user buffer. Unused for Eager/Done.
   mem::SimAddr buf_addr = 0;

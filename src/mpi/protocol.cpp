@@ -63,6 +63,17 @@ Request Engine::isend(const mem::Buffer& buf, std::size_t offset,
   }
 
   st->sync_mode = sync;
+  // ULFM posting guards: operations on a revoked communicator or toward a
+  // known-dead rank are born failed instead of being sequenced (keeping the
+  // channel ledgers clean — no seq is ever burned on a doomed op).
+  if (comm_revoked(comm_id)) {
+    fail(st, "isend on revoked communicator", MpiErrc::Revoked);
+    return Request(st);
+  }
+  if (dst != rank_ && rank_failed(dst)) {
+    fail(st, "isend to failed rank", MpiErrc::ProcFailed, dst);
+    return Request(st);
+  }
   if (dst == rank_) {
     self_send(st);
   } else {
@@ -159,6 +170,15 @@ Request Engine::irecv(const mem::Buffer& buf, std::size_t offset,
   if (!type.is_contiguous() && count > 0) {
     st->pack_buf = ib_->alloc_buffer(std::max<std::size_t>(bytes, 1), 64);
     st->has_pack = true;
+  }
+
+  if (comm_revoked(comm_id)) {
+    fail(st, "irecv on revoked communicator", MpiErrc::Revoked);
+    return Request(st);
+  }
+  if (src != kAnySource && src != rank_ && rank_failed(src)) {
+    fail(st, "irecv from failed rank", MpiErrc::ProcFailed, src);
+    return Request(st);
   }
 
   CommRecv& cr = comm_recv_[comm_id];
@@ -267,7 +287,7 @@ void Engine::send_eager(Endpoint& ep, const std::shared_ptr<RequestState>& req) 
     Channel& ch = channel(ep, req->comm_id, req->tag);
     ch.sends.erase(req->seq);
     complete(req, rank_, req->tag, req->bytes);
-  });
+  }, req);
 }
 
 Engine::Exposure Engine::expose_send_payload(
@@ -427,7 +447,7 @@ void Engine::send_rts(Endpoint& ep, const std::shared_ptr<RequestState>& req) {
   ++stats_.sender_first;
   tx(ep, [this, &ep, req, e] {
     emit_control(ep, PacketType::Rts, req, e.addr, e.rkey, req->bytes);
-  });
+  }, req);
 }
 
 void Engine::rdma_write_to(Endpoint& ep,
@@ -439,7 +459,7 @@ void Engine::rdma_write_to(Endpoint& ep,
     tx(ep, [this, &ep, req] {
       emit_control(ep, PacketType::Err, req, 0, 0, 0,
                    PacketHeader::kToReceiver);
-    });
+    }, req);
     ch.sends.erase(req->seq);
     fail(req, "truncation: send of " + std::to_string(req->bytes) +
                   " bytes exceeds receive of " + std::to_string(rtr.buf_bytes));
@@ -467,7 +487,7 @@ void Engine::rdma_write_to(Endpoint& ep,
     tx(ep, [this, &ep, req] {
       emit_control(ep, PacketType::Done, req, 0, 0, 0,
                    PacketHeader::kToReceiver);
-    });
+    }, req);
     complete(req, rank_, req->tag, req->bytes);
   });
 }
@@ -513,7 +533,7 @@ void Engine::activate_recv(Endpoint& ep, Channel& ch,
     const std::uint64_t capacity = req->bytes;
     tx(ep, [this, &ep, req, addr, rkey, capacity] {
       emit_control(ep, PacketType::Rtr, req, addr, rkey, capacity);
-    });
+    }, req);
   } else {
     req->phase = RequestState::Phase::WaitingPacket;
   }
@@ -564,7 +584,7 @@ void Engine::start_rdma_read(Endpoint& ep,
     ch.posted.erase(req->seq);
     tx(ep, [this, &ep, req] {
       emit_control(ep, PacketType::Err, req, 0, 0, 0);
-    });
+    }, req);
     fail(req, "truncation: rendezvous message of " +
                   std::to_string(rts.msg_bytes) + " bytes exceeds receive of " +
                   std::to_string(req->bytes));
@@ -601,7 +621,7 @@ void Engine::start_rdma_read(Endpoint& ep,
     ++stats_.sender_first;
     tx(ep, [this, &ep, req] {
       emit_control(ep, PacketType::Done, req, 0, 0, 0);
-    });
+    }, req);
     complete(req, rts_copy.src_rank, rts_copy.tag, rts_copy.msg_bytes);
   });
 }
@@ -615,6 +635,13 @@ void Engine::handle_packet(Endpoint& ep, const PacketHeader& hdr,
   // The scan_ring epoch fence must have filtered cross-generation traffic
   // before any packet reaches dispatch.
   chk().packet_epoch(rank_, hdr.src_rank, hdr.conn_epoch, ep.epoch);
+  if (hdr.type == PacketType::Revoke) {
+    // Revocation notices are comm-scoped, not channel-scoped — intercept
+    // before channel resolution (resolving would mint a (comm, tag=0)
+    // channel that carries no sequenced traffic).
+    handle_revoke(hdr);
+    return;
+  }
   Channel& ch = channel(ep, hdr.comm_id, hdr.tag);
   switch (hdr.type) {
     case PacketType::Eager:
@@ -632,7 +659,19 @@ void Engine::handle_packet(Endpoint& ep, const PacketHeader& hdr,
     case PacketType::Err:
       handle_err(ep, ch, hdr);
       break;
+    case PacketType::Revoke:
+      break;  // intercepted above
   }
+}
+
+void Engine::handle_revoke(const PacketHeader& hdr) {
+  // Gossip: first sight poisons local state and re-floods to the rest of
+  // the group (revoke_comm is idempotent, so the flood terminates after
+  // every member has seen the notice once).
+  sim::Log::info(ib_->process().now(), "mpi",
+                 "rank %d: revoke notice for comm %u from rank %d", rank_,
+                 hdr.comm_id, hdr.src_rank);
+  revoke_comm(hdr.comm_id);
 }
 
 void Engine::handle_eager(Endpoint& ep, Channel& ch, const PacketHeader& hdr,

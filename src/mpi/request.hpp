@@ -71,6 +71,8 @@ struct RequestState {
 
   Status status;             ///< filled at completion (recv)
   std::string error;         ///< non-empty when phase == Error
+  MpiErrc errc = MpiErrc::Other;  ///< taxonomy code when phase == Error
+  int err_peer = -1;         ///< world rank blamed for the error, if any
 
   bool done() const {
     return phase == Phase::Complete || phase == Phase::Error;
@@ -88,6 +90,16 @@ class Request {
   bool valid() const { return state_ != nullptr; }
   bool done() const { return state_ && state_->done(); }
   const Status& status() const { return state_->status; }
+
+  /// Error inspection for fault-tolerant wait sets: after waitall drives a
+  /// mixed set to terminal phases, callers sort survivors from casualties
+  /// by failed()/errc() without re-throwing.
+  bool failed() const {
+    return state_ && state_->phase == RequestState::Phase::Error;
+  }
+  MpiErrc errc() const { return state_ ? state_->errc : MpiErrc::Other; }
+  const std::string& error() const { return state_->error; }
+  int err_peer() const { return state_ ? state_->err_peer : -1; }
 
  private:
   friend class Engine;

@@ -142,7 +142,16 @@ void Runtime::run(const std::function<void(RankCtx&)>& body) {
                   slot.node.memory, slot.node.pcie,
                   off ? &*off : nullptr, platform_,
                   r,         config_.nprocs};
-      body(ctx);
+      try {
+        body(ctx);
+      } catch (const RankKilled&) {
+        // A rank_kill fate fired for this rank: park it without finalizing.
+        // Its MRs stay registered so in-flight RDMA from survivors still
+        // lands in valid (ignored) memory, mirroring how a crashed host's
+        // HCA keeps DMA-ing until the fabric notices.
+        stats_[r] = engine.stats();
+        return;
+      }
 
       engine.finalize();
       stats_[r] = engine.stats();

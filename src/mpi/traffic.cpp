@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <numbers>
@@ -224,7 +225,7 @@ Engine::Stats stats_sub(const Engine::Stats& a, const Engine::Stats& b) {
 
 std::vector<std::string> scenario_names() {
   return {"steady_p2p", "bursty_a2a", "mixed_comms", "straggler_allreduce",
-          "faulty_soak"};
+          "faulty_soak", "survivor_soak"};
 }
 
 Scenario make_scenario(const std::string& name, int nprocs,
@@ -325,6 +326,35 @@ Scenario make_scenario(const std::string& name, int nprocs,
            .kind = PhaseKind::AllToAll,
            .sizes = SizeDist::fixed(4096),
            .rounds = quick ? 1 : 3});
+  } else if (name == "survivor_soak") {
+    // Rank failure mid-collective: two ranks die permanently during the
+    // storm phase; every survivor's allreduce fails with PROC_FAILED, the
+    // ULFM loop (revoke -> shrink -> retry) rebuilds the communicator, and
+    // the remaining rounds complete on the smaller group. Victims and death
+    // times are exact, so the recovery trajectory is seeded-deterministic.
+    if (nprocs < 4) {
+      throw std::invalid_argument("traffic: survivor_soak needs >= 4 ranks");
+    }
+    sc.ft_shrink = true;
+    // Death times must land after startup + the run's initial barrier/dup
+    // (several hundred microseconds of virtual time at 9 ranks): a kill that
+    // hits while the world communicator is still being cloned poisons ranks
+    // outside the recovery loop's protection.
+    sc.fault_spec = "rank_kill=2+" + std::to_string(nprocs - 3) +
+                    ",rank_kill_at_ns=2500000+2600000";
+    phase({.name = "warmup",
+           .kind = PhaseKind::Allreduce,
+           .sizes = SizeDist::fixed(8 << 10),
+           .rounds = 2});
+    phase({.name = "kill_storm",
+           .kind = PhaseKind::Allreduce,
+           .sizes = SizeDist::fixed(32 << 10),
+           .rounds = quick ? 4 : 6,
+           .burst = 2});
+    phase({.name = "aftermath",
+           .kind = PhaseKind::Allreduce,
+           .sizes = SizeDist::fixed(16 << 10),
+           .rounds = quick ? 2 : 4});
   } else {
     throw std::invalid_argument("traffic: unknown scenario '" + name + "'");
   }
@@ -482,6 +512,142 @@ void run_alltoall_round(RankCtx& ctx, Communicator& comm, const Round& rd,
   comm.free(rbuf);
 }
 
+/// One allreduce round under ft_shrink. Returns false when any operation
+/// failed with PROC_FAILED/REVOKED — the caller revokes, shrinks and retries
+/// the round on the new communicator. Every posted request is drained to a
+/// terminal phase before the buffers are freed, so a failure cannot leave
+/// in-flight RDMA aimed at recycled memory.
+bool ft_allreduce_round(RankCtx& ctx, Communicator& comm, const Round& rd,
+                        int burst, RankPhase& out) {
+  const int me = comm.rank(), sz = comm.size();
+  const std::size_t n =
+      std::max<std::size_t>(rd.coll_bytes / sizeof(double), 1);
+  std::vector<mem::Buffer> ins, outs;
+  std::vector<Request> reqs;
+  for (int b = 0; b < burst; ++b) {
+    ins.push_back(comm.alloc(n * sizeof(double)));
+    outs.push_back(comm.alloc(n * sizeof(double)));
+    auto* din = reinterpret_cast<double*>(ins.back().data());
+    for (std::size_t i = 0; i < n; ++i) din[i] = me + b;
+  }
+  bool ok = true;
+  const double t0 = ctx.wtime();
+  try {
+    for (int b = 0; b < burst; ++b) {
+      reqs.push_back(comm.iallreduce(ins[b], 0, outs[b], 0, n, type_double(),
+                                     Op::Sum));
+    }
+  } catch (const MpiError& e) {
+    // Once a member's death (or a revocation) is already adopted, posting
+    // on the communicator is refused outright — same recovery as a wait.
+    if (e.errc() != MpiErrc::ProcFailed && e.errc() != MpiErrc::Revoked) {
+      throw;
+    }
+    ok = false;
+  }
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    try {
+      comm.wait(reqs[i]);
+    } catch (const MpiError& e) {
+      if (e.errc() != MpiErrc::ProcFailed && e.errc() != MpiErrc::Revoked) {
+        throw;
+      }
+      ok = false;
+      continue;
+    }
+    out.lat_us.push_back((ctx.wtime() - t0) * 1e6);
+    const auto* dout = reinterpret_cast<const double*>(outs[i].data());
+    const double expect =
+        static_cast<double>(sz) * (sz - 1) / 2.0 +
+        static_cast<double>(sz) * static_cast<double>(i);
+    if (dout[0] != expect || dout[n - 1] != expect) corrupt("ft_allreduce");
+    ++out.msgs_sent;
+    ++out.msgs_recv;
+    out.bytes_sent += rd.coll_bytes;
+    out.bytes_recv += rd.coll_bytes;
+  }
+  for (int b = 0; b < burst; ++b) {
+    comm.free(ins[b]);
+    comm.free(outs[b]);
+  }
+  return ok;
+}
+
+/// Rank body for ft_shrink scenarios: no world barriers after startup (the
+/// world contains doomed ranks and would poison them), each failed round is
+/// retried on the shrunk communicator until it completes. Killed ranks never
+/// reach the bookkeeping at the end, which is what excludes them from the
+/// leak and survivor accounting.
+///
+/// Rounds across all phases are flattened into one global cursor because a
+/// failure can leave survivors in different rounds — one rank's allreduce
+/// completes while a peer's cancels, and the completed rank may already be
+/// posting the next round (even the next phase) when the revocation reaches
+/// it. After shrinking, survivors agree on the earliest round any of them
+/// has not finished and all resume there; redone rounds are idempotent
+/// (inputs are a pure function of comm rank and round index).
+void run_ft_body(const Scenario& sc, const Schedule& sched, RankCtx& ctx,
+                 bool exclusive_node,
+                 std::vector<std::vector<RankPhase>>& per_rank,
+                 std::vector<std::int64_t>& leaked,
+                 std::vector<std::uint64_t>& detect_ns,
+                 std::vector<char>& completed) {
+  auto& world = ctx.world;
+  const int me = ctx.rank;
+  world.barrier();
+  const std::int64_t live0 = live_allocs(ctx.memory);
+  // Recovery replaces the working communicator wholesale, so run on a dup
+  // and leave ctx.world untouched.
+  std::optional<Communicator> comm(world.dup());
+  struct FlatRound {
+    std::size_t pi;
+    const Round* rd;
+  };
+  std::vector<FlatRound> flat;
+  for (std::size_t pi = 0; pi < sc.phases.size(); ++pi) {
+    if (sc.phases[pi].kind != PhaseKind::Allreduce) {
+      throw std::invalid_argument(
+          "traffic: ft_shrink scenarios support Allreduce phases only");
+    }
+    for (const Round& rd : sched.phases[pi].rounds) {
+      flat.push_back({pi, &rd});
+    }
+  }
+  if (flat.size() > 63) {
+    throw std::invalid_argument(
+        "traffic: ft_shrink scenarios support at most 63 rounds (the resume "
+        "agreement votes a one-bit-per-round mask)");
+  }
+  std::size_t k = 0;
+  while (k < flat.size()) {
+    const PhaseSpec& ps = sc.phases[flat[k].pi];
+    RankPhase& out = per_rank[me][flat[k].pi];
+    const Engine::Stats s0 = world.engine().stats();
+    const double t0 = ctx.wtime();
+    const bool ok = ft_allreduce_round(ctx, *comm, *flat[k].rd, ps.burst, out);
+    out.seconds += ctx.wtime() - t0;
+    out.stats = stats_add(out.stats, stats_sub(world.engine().stats(), s0));
+    if (ok) {
+      ++k;
+      if (ps.gap > 0) ctx.proc.wait(ps.gap);
+      continue;
+    }
+    // The ULFM loop: interrupt everyone still blocked on the old
+    // communicator, agree on the survivor set, then agree on the resume
+    // round — the earliest one any survivor has yet to finish (votes are
+    // "rounds I have not completed" masks; the OR's lowest bit is the
+    // global minimum).
+    comm->revoke();
+    Communicator shrunk = comm->shrink();
+    comm.emplace(std::move(shrunk));
+    const std::uint64_t agreed = comm->agree(~std::uint64_t{0} << k);
+    k = static_cast<std::size_t>(std::countr_zero(agreed));
+  }
+  leaked[me] = exclusive_node ? live_allocs(ctx.memory) - live0 : 0;
+  detect_ns[me] = world.engine().stats().failure_detect_max_ns;
+  completed[me] = 1;
+}
+
 double percentile(std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0;
   const auto idx = static_cast<std::size_t>(
@@ -503,12 +669,36 @@ ScenarioResult run_scenario(const Scenario& sc, MpiMode mode) {
   std::vector<std::vector<RankPhase>> per_rank(
       P, std::vector<RankPhase>(nphases));
   std::vector<std::int64_t> leaked(P, 0);
+  std::vector<std::uint64_t> detect_ns(P, 0);
+  std::vector<char> completed(P, 0);
 
   Runtime rt(cfg);
   sim::FaultInjector* faults = rt.faults_mut();
   rt.run([&](RankCtx& ctx) {
     auto& world = ctx.world;
     const int me = ctx.rank;
+    // Past the cluster size, ranks share nodes round-robin; arena counters
+    // on a shared node see the co-located rank's transient allocations
+    // (e.g. an in-flight barrier scratch byte), so leaks are attributable
+    // only to ranks that own their node exclusively.
+    const int node_count = std::min(sc.nprocs, rt.platform().nodes);
+    const bool exclusive_node = (me % node_count) + node_count >= sc.nprocs;
+    if (faults != nullptr && faults->spec().compute_delay > 0.0) {
+      // Compute jitter stretches a rank's gap between progress calls; that
+      // must not read as peer death. Widen the liveness deadline by the
+      // worst-case hold (jitter quantum plus any scheduled straggler delay)
+      // so a slow-but-live rank stays Healthy.
+      sim::Time grace = 2 * faults->spec().compute_delay_ns;
+      for (const PhaseSpec& ps : sc.phases) {
+        grace = std::max(grace, ps.straggler_delay);
+      }
+      world.engine().set_liveness_grace(grace);
+    }
+    if (sc.ft_shrink) {
+      run_ft_body(sc, sched, ctx, exclusive_node, per_rank, leaked, detect_ns,
+                  completed);
+      return;
+    }
     Communicator halves = world.split(me % 2, me);
     Communicator stripes = world.split(me / 2, me);
     world.barrier();
@@ -556,7 +746,8 @@ ScenarioResult run_scenario(const Scenario& sc, MpiMode mode) {
       out.stats = stats_sub(world.engine().stats(), s0);
     }
     world.barrier();
-    leaked[me] = live_allocs(ctx.memory) - live0;
+    leaked[me] = exclusive_node ? live_allocs(ctx.memory) - live0 : 0;
+    completed[me] = 1;
   });
 
   ScenarioResult res;
@@ -565,7 +756,13 @@ ScenarioResult run_scenario(const Scenario& sc, MpiMode mode) {
   res.elapsed = rt.elapsed();
   res.check_events = rt.sim().checker().events();
   if (rt.faults() != nullptr) res.injected = rt.faults()->counters();
-  for (std::int64_t l : leaked) res.leaked_allocations += l;
+  for (int r = 0; r < P; ++r) {
+    if (completed[r] == 0) continue;  // killed ranks: no leak/detect data
+    ++res.survivors;
+    res.leaked_allocations += leaked[r];
+    res.failure_detect_max_ns =
+        std::max(res.failure_detect_max_ns, detect_ns[r]);
+  }
   for (std::size_t pi = 0; pi < nphases; ++pi) {
     PhaseMetrics m;
     m.phase = sc.phases[pi].name;

@@ -84,6 +84,12 @@ struct Scenario {
   /// Optional sim::FaultInjector spec armed for the whole run.
   std::string fault_spec;
   std::uint64_t fault_seed = 42;
+  /// Fault-tolerant execution: ranks may die permanently (rank_kill fates in
+  /// fault_spec); survivors catch MPI_ERR_PROC_FAILED, revoke, shrink, and
+  /// finish the remaining rounds on the shrunk communicator. Restricted to
+  /// Allreduce phases (the ULFM recovery loop needs a collective whose
+  /// result is checkable against whatever membership survived).
+  bool ft_shrink = false;
   std::vector<PhaseSpec> phases;
 };
 
@@ -152,8 +158,15 @@ struct ScenarioResult {
   std::uint64_t check_events = 0;
   /// Sum over ranks of (live node-memory allocations at body end) minus
   /// (at body start): lazily-grown cache state shows up here once; real
-  /// leaks grow with the workload (the soak test's invariant).
+  /// leaks grow with the workload (the soak test's invariant). Killed ranks
+  /// are excluded — a dead rank's outstanding buffers are not a leak.
   std::int64_t leaked_allocations = 0;
+  /// Ranks that ran the body to completion (= nprocs minus killed ranks).
+  int survivors = 0;
+  /// Failure-detection latency: max over survivors of the engine's
+  /// death-to-adoption gap (0 when nothing died). The headline robustness
+  /// metric for the ft_shrink scenarios.
+  std::uint64_t failure_detect_max_ns = 0;
 };
 
 /// Engine::Stats is a plain bag of uint64 counters; these fold them
@@ -162,7 +175,7 @@ Engine::Stats stats_add(const Engine::Stats& a, const Engine::Stats& b);
 Engine::Stats stats_sub(const Engine::Stats& a, const Engine::Stats& b);
 
 /// The named scenarios: steady_p2p, bursty_a2a, mixed_comms,
-/// straggler_allreduce, faulty_soak.
+/// straggler_allreduce, faulty_soak, survivor_soak.
 std::vector<std::string> scenario_names();
 
 /// Build one named scenario. `quick` shrinks rounds/sizes for CI smoke.

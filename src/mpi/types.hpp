@@ -24,17 +24,67 @@ struct Status {
 /// Reduction operators for reduce/allreduce/scan.
 enum class Op { Sum, Max, Min, Prod };
 
+/// Error taxonomy attached to failed requests and thrown MpiErrors. The
+/// interesting distinctions for fault-tolerant callers are ProcFailed (a
+/// peer is permanently dead — ULFM MPI_ERR_PROC_FAILED) and Revoked (the
+/// communicator was revoked — MPI_ERR_REVOKED); everything else is
+/// conventional misuse/limit errors that predate the FT layer.
+enum class MpiErrc {
+  Other = 0,          ///< unclassified (argument/protocol misuse)
+  Truncation,         ///< receive buffer smaller than the matched message
+  RetryExhausted,     ///< transport gave up after mpi_max_retries
+  ProcFailed,         ///< a peer the operation depends on is dead
+  Revoked,            ///< the communicator was revoked
+};
+
+inline const char* errc_name(MpiErrc e) {
+  switch (e) {
+    case MpiErrc::Other: return "OTHER";
+    case MpiErrc::Truncation: return "TRUNCATE";
+    case MpiErrc::RetryExhausted: return "RETRY_EXHAUSTED";
+    case MpiErrc::ProcFailed: return "PROC_FAILED";
+    case MpiErrc::Revoked: return "REVOKED";
+  }
+  return "?";
+}
+
 /// MPI-level error (truncation, protocol misuse, invalid arguments). The
 /// paper's sender-rendezvous/receiver-eager mis-prediction "will issue an
-/// MPI error" — that surfaces as this exception.
+/// MPI error" — that surfaces as this exception. Carries the taxonomy code
+/// plus, when known, *who* failed (peer world rank) and on which
+/// communicator, so fault-tolerant callers can act without parsing text.
 class MpiError : public std::runtime_error {
  public:
   explicit MpiError(const std::string& what) : std::runtime_error(what) {}
+  MpiError(const std::string& what, MpiErrc errc, int peer = -1,
+           std::uint32_t comm_id = 0)
+      : std::runtime_error(what), errc_(errc), peer_(peer),
+        comm_id_(comm_id) {}
+
+  MpiErrc errc() const { return errc_; }
+  /// World rank of the failed peer, or -1 when not attributable to one.
+  int peer() const { return peer_; }
+  /// Communicator id the failed operation ran on (0 = world / unknown).
+  std::uint32_t comm_id() const { return comm_id_; }
+
+ private:
+  MpiErrc errc_ = MpiErrc::Other;
+  int peer_ = -1;
+  std::uint32_t comm_id_ = 0;
 };
+
+/// Thrown (as a non-MpiError type, so it can't be swallowed by catch
+/// (MpiError&) in user code) when a rank_kill fault fate fires for the
+/// calling rank: the victim's process body unwinds out of whatever MPI call
+/// it is in, Runtime::run catches it and parks the rank without finalizing.
+/// Deliberately not derived from std::exception — a killed process has no
+/// error to report, it is simply gone.
+struct RankKilled {};
 
 class TruncationError : public MpiError {
  public:
-  explicit TruncationError(const std::string& what) : MpiError(what) {}
+  explicit TruncationError(const std::string& what)
+      : MpiError(what, MpiErrc::Truncation) {}
 };
 
 }  // namespace dcfa::mpi

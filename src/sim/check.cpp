@@ -20,6 +20,9 @@ const char* check_kind_name(CheckKind k) {
     case CheckKind::TagWindowAlias: return "tag-window-alias";
     case CheckKind::StageOrder: return "stage-order";
     case CheckKind::WireBounds: return "wire-bounds";
+    case CheckKind::FailureReplay: return "failure-replay";
+    case CheckKind::DeadRankTraffic: return "dead-rank-traffic";
+    case CheckKind::RevokedUse: return "revoked-use";
   }
   return "unknown";
 }
@@ -321,6 +324,12 @@ std::uint64_t Checker::coll_started(int rank, std::uint32_t comm,
                                     int window_slot, std::size_t stages) {
   if (!on()) return 0;
   count();
+  if (revoked_seen_.count({rank, comm}) > 0)
+    violate(CheckKind::RevokedUse,
+            "rank " + std::to_string(rank) +
+                " started a collective schedule on revoked comm " +
+                std::to_string(comm) +
+                " (the engine must born-fail such requests)");
   if (window_slot >= 0) {
     auto key = std::make_tuple(rank, comm, window_slot);
     auto it = window_.find(key);
@@ -382,6 +391,33 @@ void Checker::coll_failed(std::uint64_t check_id) {
   if (!cs.live) return;  // failing an already-finished schedule is a no-op
   cs.live = false;
   window_.erase({cs.rank, cs.comm, cs.window_slot});
+}
+
+// --- rank-failure / revocation ledgers --------------------------------------
+
+void Checker::rank_failed(int rank, int failed) {
+  if (!on()) return;
+  count();
+  if (rank == failed)
+    violate(CheckKind::DeadRankTraffic,
+            "rank " + std::to_string(rank) +
+                " adopted its own failure (a dead rank must unwind, not "
+                "observe itself)");
+  if (!failures_seen_.insert({rank, failed}).second)
+    violate(CheckKind::FailureReplay,
+            "rank " + std::to_string(rank) + " adopted failure of rank " +
+                std::to_string(failed) +
+                " twice (fail-epoch cursor replayed)");
+}
+
+void Checker::comm_revoked(int rank, std::uint32_t comm) {
+  if (!on()) return;
+  count();
+  if (!revoked_seen_.insert({rank, comm}).second)
+    violate(CheckKind::FailureReplay,
+            "rank " + std::to_string(rank) + " revoked comm " +
+                std::to_string(comm) +
+                " twice (revocation must be idempotent at the engine)");
 }
 
 }  // namespace dcfa::sim

@@ -39,6 +39,9 @@ enum class CheckKind {
   TagWindowAlias,  ///< two live schedules share one collective tag-window slot
   StageOrder,      ///< schedule stages ran out of order or finished early
   WireBounds,      ///< a wire-format copy overran its buffer
+  FailureReplay,   ///< a rank adopted the same peer failure twice
+  DeadRankTraffic, ///< a rank adopted a failure of / heard from itself dead
+  RevokedUse,      ///< a collective started on a revoked communicator
 };
 
 const char* check_kind_name(CheckKind k);
@@ -164,6 +167,16 @@ class Checker {
   /// requiring all stages to have run.
   void coll_failed(std::uint64_t check_id);
 
+  // --- rank-failure / revocation ledgers ----------------------------------
+
+  /// `rank` adopted the failure of `failed` into its local failure set.
+  /// Each (rank, failed) adoption must happen at most once (the fail-epoch
+  /// cursor makes replays a bug), and a rank must never blame itself.
+  void rank_failed(int rank, int failed);
+  /// `rank` marked communicator `comm` revoked. Idempotent at the engine
+  /// level, so the checker too sees each (rank, comm) pair at most once.
+  void comm_revoked(int rank, std::uint32_t comm);
+
   // --- wire-format helpers ------------------------------------------------
 
   /// Raise a WireBounds violation (used by mpi/wire.hpp when a packed copy
@@ -245,6 +258,8 @@ class Checker {
   // its own independent copy of the rotating window.
   std::map<std::tuple<int, std::uint32_t, int>, std::uint64_t> window_;
   std::vector<CollState> colls_;
+  std::set<std::pair<int, int>> failures_seen_;           // (rank, failed)
+  std::set<std::pair<int, std::uint32_t>> revoked_seen_;  // (rank, comm)
 };
 
 }  // namespace dcfa::sim

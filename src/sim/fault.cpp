@@ -35,6 +35,24 @@ std::uint64_t parse_u64(const std::string& item, const std::string& value) {
   return static_cast<std::uint64_t>(v);
 }
 
+// Plus-separated list ("2+5+7") — commas already delimit spec tokens.
+std::vector<std::uint64_t> parse_u64_list(const std::string& item,
+                                          const std::string& value) {
+  std::vector<std::uint64_t> out;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    std::size_t sep = value.find('+', pos);
+    if (sep == std::string::npos) sep = value.size();
+    const std::string part = value.substr(pos, sep - pos);
+    pos = sep + 1;
+    if (part.empty()) bad_token(item, "wants a +-separated integer list");
+    out.push_back(parse_u64(item, part));
+    if (sep == value.size()) break;
+  }
+  if (out.empty()) bad_token(item, "wants a +-separated integer list");
+  return out;
+}
+
 std::string trim(const std::string& s) {
   std::size_t b = s.find_first_not_of(" \t");
   if (b == std::string::npos) return "";
@@ -75,6 +93,14 @@ FaultInjector::Spec FaultInjector::Spec::parse(const std::string& text) {
       spec.delegate_crash = parse_prob(item, value);
     } else if (key == "delegate_restart_ns") {
       spec.delegate_restart_ns = static_cast<Time>(parse_u64(item, value));
+    } else if (key == "rank_kill") {
+      for (std::uint64_t r : parse_u64_list(item, value)) {
+        spec.rank_kill.push_back(static_cast<int>(r));
+      }
+    } else if (key == "rank_kill_at_ns") {
+      for (std::uint64_t t : parse_u64_list(item, value)) {
+        spec.rank_kill_at_ns.push_back(static_cast<Time>(t));
+      }
     } else if (key == "delay_dma_ns") {
       spec.delay_dma_ns = static_cast<Time>(parse_u64(item, value));
     } else if (key == "compute_delay") {

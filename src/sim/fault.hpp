@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
@@ -71,6 +72,16 @@ class FaultInjector {
     /// 0 means it stays dead (forcing the proxy failover path).
     Time delegate_restart_ns = 0;
 
+    /// Permanent process death: `rank_kill=2+5` kills world ranks 2 and 5
+    /// outright (the whole rank, not just its delegate — nothing restarts).
+    /// `rank_kill_at_ns=80000+120000` gives each victim its own virtual
+    /// death time (a single value applies to all victims; default 0 = die
+    /// at setup). Unlike every probabilistic key above this is exact by
+    /// construction: the survivors' detection/recovery path is what the
+    /// seeded tests pin down.
+    std::vector<int> rank_kill;
+    std::vector<Time> rank_kill_at_ns;
+
     /// Added latency for each delayed DMA start.
     Time delay_dma_ns = nanoseconds(2000);
 
@@ -113,11 +124,22 @@ class FaultInjector {
              credit_slots > 0 || fatal_armed();
     }
 
-    /// True when a *fatal* hazard (QP wedge / delegate crash) can fire.
-    /// The engine arms its peer-liveness heartbeat only in this case, so
-    /// transient-fault specs keep their exact PR 1 event schedule.
+    /// True when a *fatal* hazard (QP wedge / delegate crash / rank kill)
+    /// can fire. The engine arms its peer-liveness heartbeat only in this
+    /// case, so transient-fault specs keep their exact PR 1 event schedule.
     bool fatal_armed() const {
-      return qp_fatal > 0.0 || delegate_crash > 0.0;
+      return qp_fatal > 0.0 || delegate_crash > 0.0 || !rank_kill.empty();
+    }
+
+    /// Scheduled death time of `rank`, or -1 when it is not a victim.
+    Time kill_time_of(int rank) const {
+      for (std::size_t i = 0; i < rank_kill.size(); ++i) {
+        if (rank_kill[i] != rank) continue;
+        if (rank_kill_at_ns.empty()) return 0;
+        return i < rank_kill_at_ns.size() ? rank_kill_at_ns[i]
+                                          : rank_kill_at_ns.back();
+      }
+      return -1;
     }
 
     /// Parse the spec grammar; throws std::invalid_argument on unknown keys
@@ -134,6 +156,7 @@ class FaultInjector {
     std::uint64_t cmd_dropped = 0;
     std::uint64_t qp_fatal = 0;
     std::uint64_t delegate_crashes = 0;
+    std::uint64_t rank_kills = 0;
   };
 
   FaultInjector(const Spec& spec, std::uint64_t seed)
@@ -160,6 +183,10 @@ class FaultInjector {
 
   /// Decide the fate of one CMD request of the given class.
   CmdFate cmd_fate(CmdOpClass cls);
+
+  /// Record that a scheduled rank kill fired (bookkeeping only; the kill
+  /// itself is exact, driven by Spec::rank_kill / kill_time_of).
+  void note_rank_kill() { ++counters_.rank_kills; }
 
   /// Eager-ring credit squeeze: usable credits per peer, given the ring's
   /// natural depth. Returns `ring_slots` untouched when no squeeze is set.

@@ -107,6 +107,30 @@ TEST(FatalFaultSpec, FatalKeysParseAndArm) {
   EXPECT_FALSE(quiet.fatal_armed());
 }
 
+TEST(FatalFaultSpec, RankKillParsesAndSchedulesDeaths) {
+  auto spec = sim::FaultInjector::Spec::parse(
+      "rank_kill=2+5,rank_kill_at_ns=80000+120000");
+  ASSERT_EQ(spec.rank_kill.size(), 2u);
+  EXPECT_EQ(spec.rank_kill[0], 2);
+  EXPECT_EQ(spec.rank_kill[1], 5);
+  EXPECT_EQ(spec.kill_time_of(2), sim::Time(80000));
+  EXPECT_EQ(spec.kill_time_of(5), sim::Time(120000));
+  EXPECT_EQ(spec.kill_time_of(0), sim::Time(-1));  // not a victim
+  EXPECT_TRUE(spec.fatal_armed());
+  EXPECT_TRUE(spec.armed());
+
+  // A single death time broadcasts to every victim.
+  auto one = sim::FaultInjector::Spec::parse(
+      "rank_kill=1+3,rank_kill_at_ns=50000");
+  EXPECT_EQ(one.kill_time_of(1), sim::Time(50000));
+  EXPECT_EQ(one.kill_time_of(3), sim::Time(50000));
+
+  // No death time at all means die at setup.
+  auto at_setup = sim::FaultInjector::Spec::parse("rank_kill=4");
+  EXPECT_EQ(at_setup.kill_time_of(4), sim::Time(0));
+  EXPECT_TRUE(at_setup.fatal_armed());
+}
+
 // ---------------------------------------------------------------------------
 // Tentpole: QP wedged in error state -> epoch-bumped reconnect, pending
 // messages replayed, everything delivered exactly once.
@@ -314,4 +338,26 @@ TEST(FatalFaults, AnySourceRendezvousSurvivesReconnect) {
   }
   // At least one sweep point actually hit the exchange and reconnected.
   EXPECT_GE(total_reconnects, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: the MpiError thrown on retry exhaustion carries a machine-
+// checkable taxonomy — errc, culprit peer — instead of only a prose string.
+// ---------------------------------------------------------------------------
+
+TEST(FatalFaults, RetryExhaustionCarriesTaxonomy) {
+  // Error every faultable WR: the retry budget burns down with no recovery
+  // path, so the engine must give up and blame the peer it was talking to.
+  Runtime rt(fatal_cfg("err_wc=1"));
+  try {
+    rt.run(pingpong_body);
+    FAIL() << "an exhausted retry budget must surface as MpiError";
+  } catch (const MpiError& e) {
+    EXPECT_EQ(e.errc(), MpiErrc::RetryExhausted);
+    EXPECT_GE(e.peer(), 0);
+    EXPECT_LT(e.peer(), 2);
+    EXPECT_NE(std::string(e.what()).find("RETRY_EXHAUSTED"),
+              std::string::npos)
+        << e.what();
+  }
 }

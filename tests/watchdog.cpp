@@ -1,0 +1,69 @@
+// Global deadline watchdog for the test suite (DCFA_TEST_DEADLINE_MS).
+//
+// Hang-freedom is part of this repo's contract — a collective over a dead
+// rank must fail with PROC_FAILED, never block forever. When that contract
+// breaks, CTest's own timeout kills the process silently and the state
+// needed to debug the hang is gone. This watchdog fires first: it dumps
+// every live engine's rank/endpoint/schedule snapshot
+// (mpi::Engine::dump_all) to stderr and aborts, leaving a usable
+// post-mortem. It is compiled into every test executable by add_dcfa_test
+// and armed by this translation unit's global constructor.
+//
+// DCFA_TEST_DEADLINE_MS overrides the deadline; 0 disables it. The default
+// of 240 s is far above any healthy test's runtime (sanitized runs export a
+// larger value in scripts/run_sanitized.sh).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "mpi/engine.hpp"
+
+namespace {
+
+class Watchdog {
+ public:
+  Watchdog() {
+    long ms = 240000;
+    if (const char* env = std::getenv("DCFA_TEST_DEADLINE_MS")) {
+      ms = std::strtol(env, nullptr, 10);
+    }
+    if (ms <= 0) return;
+    thread_ = std::thread([this, ms] {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (cv_.wait_for(lk, std::chrono::milliseconds(ms),
+                       [this] { return done_; })) {
+        return;  // process finished in time
+      }
+      std::fprintf(stderr,
+                   "\n=== DCFA_TEST_DEADLINE_MS (%ld ms) expired: test hung, "
+                   "dumping live engine state ===\n",
+                   ms);
+      dcfa::mpi::Engine::dump_all(stderr);
+      std::abort();
+    });
+  }
+
+  ~Watchdog() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+Watchdog g_watchdog;
+
+}  // namespace
