@@ -9,8 +9,9 @@ namespace dcfa::capi {
 
 namespace {
 
-/// Per-rank ambient state. Each rank runs on its own simulated-process OS
-/// thread, so thread_local gives every rank its own "process globals".
+/// Per-rank ambient state. Each rank is one sim::Process — with the fiber
+/// scheduler many ranks share an OS thread, so "process globals" hang off
+/// the process's ambient slot (set by run() below), not off thread_local.
 struct RankEnv {
   mpi::RankCtx* ctx = nullptr;
   bool initialized = false;
@@ -33,13 +34,17 @@ struct RankEnv {
   std::vector<int> free_slots;
 };
 
-thread_local RankEnv* tls_env = nullptr;
+RankEnv* env_or_null() {
+  sim::Process* p = sim::Process::current();
+  return p ? static_cast<RankEnv*>(p->ambient()) : nullptr;
+}
 
 RankEnv& env() {
-  if (!tls_env || !tls_env->ctx) {
+  RankEnv* e = env_or_null();
+  if (!e || !e->ctx) {
     throw mpi::MpiError("MPI call outside dcfa::capi::run()");
   }
-  return *tls_env;
+  return *e;
 }
 
 mpi::Communicator* comm_of(MPI_Comm comm) {
@@ -225,7 +230,8 @@ int MPI_Finalize() {
 }
 
 int MPI_Initialized(int* flag) {
-  *flag = tls_env && tls_env->initialized ? 1 : 0;
+  RankEnv* e = env_or_null();
+  *flag = e && e->initialized ? 1 : 0;
   return MPI_SUCCESS;
 }
 
@@ -1011,17 +1017,21 @@ sim::Time run(mpi::RunConfig config, int (*rank_main)(int, char**), int argc,
   return mpi::run_mpi(std::move(config), [&](mpi::RankCtx& ctx) {
     RankEnv local;
     local.ctx = &ctx;
-    tls_env = &local;
+    // The env lives on this rank's (fiber) stack; publish it through the
+    // process's ambient slot so shim calls find it via Process::current().
+    // The guard also unpublishes on exceptional unwinds (engine teardown).
+    struct AmbientGuard {
+      sim::Process& p;
+      ~AmbientGuard() { p.set_ambient(nullptr); }
+    } guard{ctx.proc};
+    ctx.proc.set_ambient(&local);
     const int rc = rank_main(argc, argv);
     if (rc != 0) {
-      tls_env = nullptr;
       throw mpi::MpiError("rank main returned " + std::to_string(rc));
     }
     if (local.initialized && !local.finalized) {
-      tls_env = nullptr;
       throw mpi::MpiError("rank main returned without MPI_Finalize");
     }
-    tls_env = nullptr;
   });
 }
 

@@ -192,9 +192,6 @@ double Communicator::wtime() const {
 void Communicator::revoke() { engine_.revoke_comm(id_); }
 
 std::uint64_t Communicator::agree(std::uint64_t value) {
-  if (size() > 64) {
-    throw MpiError("agree: groups larger than 64 ranks not supported");
-  }
   const std::uint64_t seq = ++agree_seq_;
   Bootstrap& bs = engine_.bootstrap();
   bs.post_vote(id_, seq, engine_.rank(), value);
@@ -233,19 +230,26 @@ Communicator Communicator::shrink() {
   // Agree on who is gone: each survivor contributes the members it knows
   // dead as a bit mask (indexed by communicator rank), and the OR makes the
   // view consistent — a failure only one rank had detected still excludes
-  // that member everywhere.
-  std::uint64_t mask = 0;
+  // that member everywhere. The agreement value is 64 bits, so groups
+  // beyond 64 members vote one 64-rank chunk per round; every survivor
+  // makes the same sequence of agree() calls (it is collective), so the
+  // merged mask is identical everywhere even if further members die
+  // between chunk rounds (a late death just surfaces in a later shrink).
   Bootstrap& bs = engine_.bootstrap();
+  const int words = (size() + 63) / 64;
+  std::vector<std::uint64_t> mask(static_cast<std::size_t>(words), 0);
   for (int i = 0; i < size(); ++i) {
     const int w = group_[i];
     if (w == engine_.rank()) continue;
-    if (engine_.rank_failed(w) || bs.is_dead(w)) mask |= std::uint64_t{1} << i;
+    if (engine_.rank_failed(w) || bs.is_dead(w)) {
+      mask[static_cast<std::size_t>(i / 64)] |= std::uint64_t{1} << (i % 64);
+    }
   }
-  mask = agree(mask);
+  for (std::uint64_t& word : mask) word = agree(word);
   std::vector<int> group;
   int my_index = -1;
   for (int i = 0; i < size(); ++i) {
-    if ((mask >> i) & 1) continue;
+    if ((mask[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 1) continue;
     if (group_[i] == engine_.rank()) my_index = static_cast<int>(group.size());
     group.push_back(group_[i]);
   }

@@ -198,12 +198,15 @@ class Communicator {
   /// members; tolerates participants dying mid-vote (a dead member's value
   /// is included only if it voted before dying). Coordinator succession is
   /// safe: decisions are first-wins, so a takeover after the coordinator's
-  /// death cannot fork the outcome. Groups of at most 64 ranks.
+  /// death cannot fork the outcome. The value is 64 bits regardless of
+  /// group size — callers needing a per-member bit (shrink) agree on
+  /// 64-rank chunks in consecutive rounds.
   std::uint64_t agree(std::uint64_t value);
   /// Build a new communicator from the surviving members, preserving
   /// relative rank order (MPIX_Comm_shrink). Collective over survivors;
-  /// internally runs agree() on the failed-member set so every survivor
-  /// derives the identical group and communicator id.
+  /// internally runs one agree() round per 64 members on the failed-member
+  /// set so every survivor derives the identical group and communicator id
+  /// at any group size.
   Communicator shrink();
 
   // --- Communicator management ------------------------------------------------

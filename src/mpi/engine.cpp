@@ -87,6 +87,33 @@ void Bootstrap::set_watch(int rank, std::function<void()> fn) {
   }
 }
 
+void Bootstrap::put_direct(int from, int to, PeerInfo info) {
+  table_[{from, to}] = info;
+}
+
+const Bootstrap::PeerInfo* Bootstrap::try_get(int from, int to) const {
+  auto it = table_.find({from, to});
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+void Bootstrap::request_connect(int from, int to) {
+  connect_requests_[to].push_back(from);
+  notify_rank(to);
+}
+
+std::vector<int> Bootstrap::take_connect_requests(int rank) {
+  auto it = connect_requests_.find(rank);
+  if (it == connect_requests_.end()) return {};
+  std::vector<int> out = std::move(it->second);
+  connect_requests_.erase(it);
+  return out;
+}
+
+void Bootstrap::notify_rank(int rank) {
+  auto it = watches_.find(rank);
+  if (it != watches_.end() && it->second) it->second();
+}
+
 void Bootstrap::mark_dead(int rank, sim::Time when) {
   if (dead_.count(rank) > 0) return;
   dead_[rank] = when;
@@ -165,6 +192,7 @@ Engine::Engine(int rank, int nranks, std::unique_ptr<verbs::Ib> ib,
   faults_armed_ = faults_ != nullptr && faults_->armed();
   fatal_armed_ = faults_ != nullptr && faults_->spec().fatal_armed();
   kill_armed_ = faults_ != nullptr && !faults_->spec().rank_kill.empty();
+  lazy_ = options.lazy_endpoints;
   usable_slots_ = faults_armed_
                       ? static_cast<std::uint64_t>(faults_->credit_cap(slots()))
                       : static_cast<std::uint64_t>(slots());
@@ -192,7 +220,7 @@ Engine::~Engine() {
   // timers still queued in the simulator are defused the same way.
   *alive_ = false;
   hb_stop_ = true;
-  if (fatal_armed_) bootstrap_.set_watch(rank_, {});
+  if (fatal_armed_ || lazy_) bootstrap_.set_watch(rank_, {});
   if (cq_) cq_->set_on_push({});
   if (write_observer_id_ != SIZE_MAX) {
     ib_->hca_ref().remove_remote_write_observer(write_observer_id_);
@@ -219,61 +247,32 @@ void Engine::setup() {
         *phi_, *pd_, platform_.mr_cache_entries);
   }
 
-  const std::size_t ring_bytes = layout_.stride() * slots();
-  for (int p = 0; p < nranks_; ++p) {
-    if (p == rank_) continue;
-    Endpoint& ep = endpoints_[p];
-    ep.peer = p;
-    ep.ring = ib_->alloc_buffer(ring_bytes, mem::AddressSpace::kPage);
-    ep.ring_mr = ib_->reg_mr(pd_, ep.ring, ib::kLocalWrite | ib::kRemoteWrite);
-    ep.staging = ib_->alloc_buffer(ring_bytes, mem::AddressSpace::kPage);
-    ep.staging_mr = ib_->reg_mr(pd_, ep.staging, ib::kLocalWrite);
-    ep.credit_cell = ib_->alloc_buffer(sizeof(std::uint64_t), 64);
-    ep.credit_mr =
-        ib_->reg_mr(pd_, ep.credit_cell, ib::kLocalWrite | ib::kRemoteWrite);
-    ep.credit_src = ib_->alloc_buffer(sizeof(std::uint64_t), 64);
-    ep.credit_src_mr = ib_->reg_mr(pd_, ep.credit_src, ib::kLocalWrite);
-    if (fatal_armed_) {
-      // Peer-liveness heartbeat cells; beacons are non-faultable, like
-      // credit updates. Only fatal specs pay for these so non-fatal runs
-      // keep their exact event schedule. Two words per beacon: the liveness
-      // counter and the sender's known-failure epoch (failure dissemination
-      // rides the heartbeat as well as the packet headers).
-      ep.hb_cell = ib_->alloc_buffer(2 * sizeof(std::uint64_t), 64);
-      ep.hb_cell_mr =
-          ib_->reg_mr(pd_, ep.hb_cell, ib::kLocalWrite | ib::kRemoteWrite);
-      ep.hb_src = ib_->alloc_buffer(2 * sizeof(std::uint64_t), 64);
-      ep.hb_src_mr = ib_->reg_mr(pd_, ep.hb_src, ib::kLocalWrite);
-    }
-    ep.qp = ib_->create_qp(pd_, cq_, cq_);
-
-    Bootstrap::PeerInfo info{ib_->address(ep.qp), ep.ring.addr(),
-                             ep.ring_mr->rkey(), ep.credit_cell.addr(),
-                             ep.credit_mr->rkey()};
-    if (fatal_armed_) {
-      info.hb_addr = ep.hb_cell.addr();
-      info.hb_rkey = ep.hb_cell_mr->rkey();
-    }
-    bootstrap_.put(rank_, p, info);
-  }
-  for (auto& [p, ep] : endpoints_) {
-    const auto info = bootstrap_.get(ib_->process(), p, rank_);
-    ib_->connect(ep.qp, info.qp);
-    ep.remote_ring = info.ring_addr;
-    ep.remote_ring_rkey = info.ring_rkey;
-    ep.remote_credit = info.credit_addr;
-    ep.remote_credit_rkey = info.credit_rkey;
-    ep.remote_hb = info.hb_addr;
-    ep.remote_hb_rkey = info.hb_rkey;
-  }
-  if (fatal_armed_) {
-    const sim::Time now = ib_->process().now();
-    for (auto& [p, ep] : endpoints_) ep.last_heard = now;
+  if (lazy_) {
+    // First-touch wiring: no endpoints yet — endpoint() establishes pairs
+    // on demand and progress() answers peers' connect requests. The watch
+    // is how a rank blocked in a wait loop learns a requester needs it.
     bootstrap_.set_watch(rank_, [this] {
       wake_pending_ = true;
       wake_.notify_all();
     });
-    schedule_heartbeat();
+    if (fatal_armed_) schedule_heartbeat();
+  } else {
+    for (int p = 0; p < nranks_; ++p) {
+      if (p == rank_) continue;
+      open_endpoint(p);
+    }
+    for (auto& [p, ep] : endpoints_) {
+      connect_endpoint(ep, bootstrap_.get(ib_->process(), p, rank_));
+    }
+    if (fatal_armed_) {
+      const sim::Time now = ib_->process().now();
+      for (auto& [p, ep] : endpoints_) ep.last_heard = now;
+      bootstrap_.set_watch(rank_, [this] {
+        wake_pending_ = true;
+        wake_.notify_all();
+      });
+      schedule_heartbeat();
+    }
   }
   if (kill_armed_) {
     const sim::Time at = faults_->spec().kill_time_of(rank_);
@@ -342,7 +341,7 @@ void Engine::finalize() {
     ib_->process().wait_on(wake_);
   }
   ib_->process().wait(sim::microseconds(100));
-  if (fatal_armed_) bootstrap_.set_watch(rank_, {});
+  if (fatal_armed_ || lazy_) bootstrap_.set_watch(rank_, {});
 
   if (phi_) {
     stats_.cmd_retries = phi_->cmd_retries();
@@ -390,9 +389,109 @@ void Engine::finalize() {
   finalized_ = true;
 }
 
+Engine::Endpoint& Engine::open_endpoint(int peer) {
+  const std::size_t ring_bytes = layout_.stride() * slots();
+  Endpoint& ep = endpoints_[peer];
+  ep.peer = peer;
+  ep.ring = ib_->alloc_buffer(ring_bytes, mem::AddressSpace::kPage);
+  ep.ring_mr = ib_->reg_mr(pd_, ep.ring, ib::kLocalWrite | ib::kRemoteWrite);
+  ep.staging = ib_->alloc_buffer(ring_bytes, mem::AddressSpace::kPage);
+  ep.staging_mr = ib_->reg_mr(pd_, ep.staging, ib::kLocalWrite);
+  ep.credit_cell = ib_->alloc_buffer(sizeof(std::uint64_t), 64);
+  ep.credit_mr =
+      ib_->reg_mr(pd_, ep.credit_cell, ib::kLocalWrite | ib::kRemoteWrite);
+  ep.credit_src = ib_->alloc_buffer(sizeof(std::uint64_t), 64);
+  ep.credit_src_mr = ib_->reg_mr(pd_, ep.credit_src, ib::kLocalWrite);
+  if (fatal_armed_) {
+    // Peer-liveness heartbeat cells; beacons are non-faultable, like
+    // credit updates. Only fatal specs pay for these so non-fatal runs
+    // keep their exact event schedule. Two words per beacon: the liveness
+    // counter and the sender's known-failure epoch (failure dissemination
+    // rides the heartbeat as well as the packet headers).
+    ep.hb_cell = ib_->alloc_buffer(2 * sizeof(std::uint64_t), 64);
+    ep.hb_cell_mr =
+        ib_->reg_mr(pd_, ep.hb_cell, ib::kLocalWrite | ib::kRemoteWrite);
+    ep.hb_src = ib_->alloc_buffer(2 * sizeof(std::uint64_t), 64);
+    ep.hb_src_mr = ib_->reg_mr(pd_, ep.hb_src, ib::kLocalWrite);
+  }
+  ep.qp = ib_->create_qp(pd_, cq_, cq_);
+
+  Bootstrap::PeerInfo info{ib_->address(ep.qp), ep.ring.addr(),
+                           ep.ring_mr->rkey(), ep.credit_cell.addr(),
+                           ep.credit_mr->rkey()};
+  if (fatal_armed_) {
+    info.hb_addr = ep.hb_cell.addr();
+    info.hb_rkey = ep.hb_cell_mr->rkey();
+  }
+  if (lazy_) {
+    bootstrap_.put_direct(rank_, peer, info);
+  } else {
+    bootstrap_.put(rank_, peer, info);
+  }
+  return ep;
+}
+
+void Engine::connect_endpoint(Endpoint& ep, const Bootstrap::PeerInfo& info) {
+  ib_->connect(ep.qp, info.qp);
+  ep.remote_ring = info.ring_addr;
+  ep.remote_ring_rkey = info.ring_rkey;
+  ep.remote_credit = info.credit_addr;
+  ep.remote_credit_rkey = info.credit_rkey;
+  ep.remote_hb = info.hb_addr;
+  ep.remote_hb_rkey = info.hb_rkey;
+}
+
+Engine::Endpoint& Engine::establish_endpoint(int peer) {
+  // Publish-before-request: our half is on the board before the request, so
+  // the responder can always finish without blocking on us.
+  Endpoint& ep = open_endpoint(peer);
+  bootstrap_.request_connect(rank_, peer);
+  const Bootstrap::PeerInfo* pi = nullptr;
+  for (;;) {
+    check_alive();
+    if (kill_armed_ && bootstrap_.is_dead(peer)) {
+      // The peer died before building its half; its publication will never
+      // come. Put the death on the board (purging dependent state) and
+      // unwind — waiting here would hang the rank forever.
+      declare_failed(peer, "peer died before first connection");
+      throw MpiError("connect to dead rank " + std::to_string(peer),
+                     MpiErrc::ProcFailed, peer);
+    }
+    wake_pending_ = false;
+    pi = bootstrap_.try_get(peer, rank_);
+    if (pi) break;
+    // Serve incoming first-touch requests while blocked: A waiting on B
+    // while C waits on A must still build A's half toward C.
+    service_connect_requests();
+    pi = bootstrap_.try_get(peer, rank_);
+    if (pi) break;
+    if (!wake_pending_) ib_->process().wait_on(wake_);
+  }
+  connect_endpoint(ep, *pi);
+  if (fatal_armed_) ep.last_heard = ib_->process().now();
+  return ep;
+}
+
+void Engine::service_connect_requests() {
+  for (int q : bootstrap_.take_connect_requests(rank_)) {
+    if (q == rank_ || endpoints_.count(q) > 0) continue;  // already wired
+    if (kill_armed_ && bootstrap_.is_dead(q)) continue;   // requester died
+    const Bootstrap::PeerInfo* pi = bootstrap_.try_get(q, rank_);
+    if (!pi) continue;  // unreachable under publish-before-request
+    Endpoint& ep = open_endpoint(q);
+    connect_endpoint(ep, *pi);
+    if (fatal_armed_) ep.last_heard = ib_->process().now();
+    bootstrap_.notify_rank(q);  // requester's wait loop can proceed
+  }
+}
+
 Engine::Endpoint& Engine::endpoint(int peer) {
   auto it = endpoints_.find(peer);
   if (it == endpoints_.end()) {
+    if (lazy_ && setup_done_ && !finalized_ && peer != rank_ && peer >= 0 &&
+        peer < nranks_) {
+      return establish_endpoint(peer);
+    }
     throw MpiError("no endpoint for rank " + std::to_string(peer));
   }
   return it->second;
@@ -1603,6 +1702,7 @@ void Engine::progress() {
     fn();
   }
   if (fatal_armed_) service_reconnect_requests();
+  if (lazy_) service_connect_requests();
   // Direct board pull: piggybacked epochs cover ranks with traffic, the
   // heartbeat covers idle pairs, and this covers a rank woken by the
   // bootstrap watch with neither (e.g. blocked in wait with nothing

@@ -67,6 +67,24 @@ class Bootstrap {
   /// wait loop).
   sim::Condition& changed() { return cond_; }
 
+  // --- Lazy first-touch wiring (Engine::Options::lazy_endpoints) -------------
+  /// Targeted publish: same table as put(), but with no notification at
+  /// all — rare global events (failures, votes) may ring every rank, but a
+  /// publish happens per endpoint pair, and waking all N ranks for each of
+  /// them would make first-touch wiring O(N^2) wake-ups. The one rank that
+  /// cares is poked explicitly with notify_rank().
+  void put_direct(int from, int to, PeerInfo info);
+  /// Non-blocking table lookup; nullptr until `from` published for `to`.
+  const PeerInfo* try_get(int from, int to) const;
+  /// First-touch connect request: `from` asks `to` to build its side of
+  /// their pair. Invariant: `from` has already published (put_direct), so
+  /// the responder can always finish without blocking.
+  void request_connect(int from, int to);
+  /// Drain `rank`'s queued connect requests, in arrival order.
+  std::vector<int> take_connect_requests(int rank);
+  /// Ring exactly one rank's watch (no-op before that rank set one).
+  void notify_rank(int rank);
+
   // --- Rank-death registry and failure board (rank_kill; docs/faults.md) ----
   /// Launcher-level ground truth: the victim's own kill timer records its
   /// death here. Survivors learn of deaths through the failure board below;
@@ -106,6 +124,7 @@ class Bootstrap {
   std::map<std::pair<int, int>, PeerInfo> table_;
   std::map<std::tuple<int, int, std::uint32_t>, PeerInfo> epoch_table_;
   std::map<std::pair<int, int>, std::uint32_t> reconnect_board_;
+  std::map<int, std::vector<int>> connect_requests_;  ///< target -> requesters
   std::map<int, std::function<void()>> watches_;
   std::map<int, sim::Time> dead_;           ///< rank -> virtual death time
   std::vector<int> failed_order_;           ///< failure board, announce order
@@ -162,6 +181,13 @@ class Engine {
     /// overrides (ablation benches, tests). See mpi/coll.hpp for the
     /// option > DCFA_COLL_* env > Platform precedence.
     CollOverrides coll;
+    /// Wire endpoints on first touch instead of building the full N-1 mesh
+    /// in setup(). At thousands of ranks the mesh is the dominant memory
+    /// (rings + staging per pair) and setup becomes O(N^2) cluster-wide;
+    /// first-touch wiring keeps each rank at its actual peer set (log N for
+    /// the tree/ring collectives). Off by default: the eager mesh keeps the
+    /// historical event schedule — and every existing trace — unchanged.
+    bool lazy_endpoints = false;
   };
 
   struct Stats {
@@ -580,6 +606,22 @@ class Engine {
   /// skips one peer (used from inside perform_reconnect's wait loop, where
   /// serving *other* peers breaks multi-endpoint reconnect cycles).
   void service_reconnect_requests(int except_peer = -1);
+
+  // --- Lazy first-touch wiring (Options::lazy_endpoints) ---------------------
+  /// Create this side of the pair with `peer` (rings, staging, credit,
+  /// heartbeat cells when armed, QP) and publish it on the bootstrap.
+  Endpoint& open_endpoint(int peer);
+  /// Wire remote addresses from a published PeerInfo into an opened
+  /// endpoint (the second half of what setup()'s mesh loop did).
+  void connect_endpoint(Endpoint& ep, const Bootstrap::PeerInfo& info);
+  /// First touch toward `peer`: open our side, request theirs, block until
+  /// they publish. While blocked, incoming connect requests are served —
+  /// that breaks first-touch cycles (A waits on B while C waits on A),
+  /// exactly like perform_reconnect's except_peer loop does for epochs.
+  Endpoint& establish_endpoint(int peer);
+  /// Responder half, run from progress(): build + publish our side for
+  /// every queued requester. Never blocks (publish-before-request).
+  void service_connect_requests();
   /// Heartbeat body (runs in process context): read peer beacons, write
   /// ours, declare silent peers Suspect when traffic is pending on them.
   void heartbeat_tick();
@@ -794,6 +836,10 @@ class Engine {
   /// qp_fatal/delegate_crash recovery tests keep their exact traces.
   bool kill_armed_ = false;
   bool dead_ = false;  ///< this rank's kill fate fired
+  /// First-touch wiring armed (Options::lazy_endpoints): endpoints_ holds
+  /// only touched pairs, endpoint() establishes on miss, and progress()
+  /// serves peers' connect requests.
+  bool lazy_ = false;
   /// Extra slack on the liveness timeout (set_liveness_grace).
   sim::Time liveness_grace_ = 0;
   /// Failed ranks this engine has adopted, and how far into the failure

@@ -658,9 +658,34 @@ double percentile(std::vector<double>& sorted, double p) {
 }  // namespace
 
 ScenarioResult run_scenario(const Scenario& sc, MpiMode mode) {
-  const Schedule sched = build_schedule(sc);
   RunConfig cfg;
   cfg.mode = mode;
+  return run_scenario(sc, cfg);
+}
+
+RunConfig scale_run_config(int nprocs) {
+  RunConfig cfg;
+  cfg.mode = MpiMode::HostMpi;
+  cfg.nprocs = nprocs;
+  // One rank per node: exclusive allocation arenas (the leak accounting
+  // stays exact) and no co-located transient noise.
+  cfg.platform.nodes = nprocs;
+  // Shrink the per-pair footprint: ring + staging cost
+  // eager_slots * stride each, and even with lazy wiring a collective-heavy
+  // rank holds O(log N) pairs. Small payload ceilings keep the stride at
+  // ~1KB instead of ~8KB.
+  cfg.platform.eager_slots = 4;
+  cfg.platform.eager_max_payload = 1024;
+  cfg.platform.eager_threshold = 1024;
+  cfg.platform.mr_cache_entries = 16;
+  cfg.platform.mr_cache_bytes = 16ull * 1024 * 1024;
+  cfg.engine_options.lazy_endpoints = true;
+  return cfg;
+}
+
+ScenarioResult run_scenario(const Scenario& sc, const RunConfig& base) {
+  const Schedule sched = build_schedule(sc);
+  RunConfig cfg = base;
   cfg.nprocs = sc.nprocs;
   cfg.fault_spec = sc.fault_spec;
   cfg.fault_seed = sc.fault_seed;

@@ -187,4 +187,18 @@ Scenario make_scenario(const std::string& name, int nprocs,
 ScenarioResult run_scenario(const Scenario& sc,
                             MpiMode mode = MpiMode::DcfaPhi);
 
+/// Compile and execute on a caller-supplied cluster configuration (mode,
+/// platform knobs, engine options); the scenario still supplies nprocs and
+/// the fault fields. This is how the scale tier runs thousand-rank
+/// clusters on a tuned RunConfig.
+ScenarioResult run_scenario(const Scenario& sc, const RunConfig& base);
+
+/// RunConfig tuned for thousand-rank runs (tests/test_scale.cpp,
+/// bench/scale_ranks.cpp): HostMpi transport (no per-rank co-processor
+/// machinery), one node per rank (exclusive allocation arenas), small eager
+/// rings, and lazy first-touch endpoints so a rank's memory scales with the
+/// peers it actually talks to — O(log N) under the tree/ring collectives —
+/// instead of the full N-1 mesh.
+RunConfig scale_run_config(int nprocs);
+
 }  // namespace dcfa::mpi::traffic

@@ -8,15 +8,42 @@
 
 namespace dcfa::sim {
 
-Engine::Engine() = default;
+Engine::Engine() : Engine(SchedConfig::from_env()) {}
+
+Engine::Engine(SchedConfig sched) : sched_(sched) {
+  if (sched_.backend == SchedConfig::Backend::Fiber && sched_.threads > 0) {
+    pool_ = std::make_unique<FiberPool>(sched_.threads);
+  }
+}
 
 Engine::~Engine() { join_all(); }
 
 void Engine::join_all() {
-  // Unblock and join any process threads that are still parked. Their
-  // bodies can no longer run, so Process's destructor hands each one a
-  // poisoned token and force-joins while it unwinds.
+  // Unblock and unwind any contexts that are still parked: fiber stacks get
+  // one final abandonment resume, thread-backend processes get a poisoned
+  // token and a join — all from ~Process while the pool still exists.
   processes_.clear();
+  live_ = 0;
+}
+
+void Engine::run_resume(Process& p) {
+  // Fibers must always resume on the same OS thread they last yielded from
+  // (ucontext and sanitizer bookkeeping both require it), so each fiber is
+  // pinned to worker id % pool-size. With no pool, the engine thread is
+  // that one thread.
+  const auto go = [&p] {
+    // Keep Process::current() accurate on the thread that actually runs
+    // the body for the duration of this slice.
+    Process* prev = Process::tl_current_;
+    Process::tl_current_ = &p;
+    p.fiber_->resume();
+    Process::tl_current_ = prev;
+  };
+  if (pool_) {
+    pool_->run_on(p.id_, go);
+  } else {
+    go();
+  }
 }
 
 void Engine::schedule_at(Time t, Callback cb) {
@@ -32,9 +59,10 @@ void Engine::schedule_after(Time delay, Callback cb) {
 
 Process& Engine::spawn(std::string name, std::function<void(Process&)> body) {
   auto proc = std::unique_ptr<Process>(
-      new Process(*this, std::move(name), std::move(body)));
+      new Process(*this, std::move(name), std::move(body), processes_.size()));
   Process& ref = *proc;
   processes_.push_back(std::move(proc));
+  ++live_;
   ref.start();
   schedule_at(now_, [&ref] { ref.resume(); });
   return ref;
@@ -58,9 +86,12 @@ void Engine::run() {
     if (process_failed_) break;
   }
   // A process that died on an exception usually strands its peers; surface
-  // the root cause rather than a misleading deadlock report.
-  for (const auto& p : processes_) {
-    if (p->error()) std::rethrow_exception(p->error());
+  // the root cause rather than a misleading deadlock report. The scan is
+  // O(ranks), so only pay for it when a failure actually happened.
+  if (process_failed_) {
+    for (const auto& p : processes_) {
+      if (p->error()) std::rethrow_exception(p->error());
+    }
   }
   check_deadlock();
 }
@@ -79,15 +110,8 @@ Checker& Engine::checker() {
   return *checker_;
 }
 
-std::size_t Engine::live_processes() const {
-  std::size_t n = 0;
-  for (const auto& p : processes_) {
-    if (!p->finished()) ++n;
-  }
-  return n;
-}
-
 void Engine::check_deadlock() const {
+  if (live_ == 0) return;  // the common case — skip the name sweep entirely
   std::ostringstream stuck;
   std::size_t n = 0;
   for (const auto& p : processes_) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fiber.hpp"
 #include "sim/time.hpp"
 
 namespace dcfa::sim {
@@ -21,11 +22,22 @@ class Process;
 /// caller inside an event callback, or a single resumed Process — runs at any
 /// moment, so simulation state needs no locking and every run with the same
 /// inputs produces the same event order.
+///
+/// Scheduling is O(active contexts), not O(all ranks): blocked processes
+/// cost nothing until an event resumes them, finished processes release
+/// their stacks and bodies immediately (Process::finish_cleanup), and the
+/// live-process count is a counter, not a sweep. The execution backend —
+/// stackful fibers over a small worker pool, or one OS thread per process —
+/// is picked by SchedConfig (sim/fiber.hpp) and never affects event order.
 class Engine {
  public:
   using Callback = std::function<void()>;
 
+  /// Backend/pool/stack from the environment (DCFA_SIM_SCHED,
+  /// DCFA_SIM_THREADS, DCFA_SIM_STACK_KB; see SchedConfig::from_env).
   Engine();
+  /// Explicit scheduler configuration (tests pin pool sizes with this).
+  explicit Engine(SchedConfig sched);
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -41,8 +53,9 @@ class Engine {
   void schedule_after(Time delay, Callback cb);
 
   /// Create a process whose body starts executing at the current time once
-  /// run() reaches it. The engine owns the process. Body runs on its own OS
-  /// thread but only while the engine has handed it control.
+  /// run() reaches it. The engine owns the process; its body runs on a
+  /// resumable context that only executes while the engine has handed it
+  /// control.
   Process& spawn(std::string name, std::function<void(Process&)> body);
 
   /// Run until the event queue is empty. Returns normally when every spawned
@@ -55,18 +68,21 @@ class Engine {
   /// processes (useful for driving partial scenarios in tests).
   void run_until(Time deadline);
 
-  /// Number of processes that have been spawned and not yet finished.
-  std::size_t live_processes() const;
+  /// Number of processes that have been spawned and not yet finished. O(1).
+  std::size_t live_processes() const { return live_; }
 
-  /// Abandon any still-parked processes and join every process thread.
-  /// Owners whose members are referenced from process bodies (fabrics,
-  /// memories) call this at the top of their destructors so no thread is
-  /// still unwinding when those members die. Idempotent; the destructor
-  /// calls it too.
+  /// Abandon any still-parked processes and release every execution
+  /// context. Owners whose members are referenced from process bodies
+  /// (fabrics, memories) call this at the top of their destructors so no
+  /// context is still unwinding when those members die. Idempotent; the
+  /// destructor calls it too.
   void join_all();
 
   /// Total events executed so far (for determinism tests and stats).
   std::uint64_t events_executed() const { return events_executed_; }
+
+  /// The scheduler configuration this engine runs under.
+  const SchedConfig& sched_config() const { return sched_; }
 
   /// The DcfaCheck invariant checker for this cluster. Created lazily at
   /// the level named by DCFA_CHECK (off|cheap|full; unset = cheap), so each
@@ -90,12 +106,20 @@ class Engine {
 
   void step(const Event& ev);
   void check_deadlock() const;
+  /// Dispatch a fiber resume to its pinned pool worker (or inline).
+  void run_resume(Process& p);
+  void note_process_finished() { --live_; }
 
   Time now_ = 0;
   bool process_failed_ = false;  // set by Process when a body dies on an exception
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
+  std::size_t live_ = 0;
+  SchedConfig sched_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  /// Declared before processes_: abandoned fibers unwind on their pinned
+  /// workers from ~Process, so the pool must outlive the process list.
+  std::unique_ptr<FiberPool> pool_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::unique_ptr<Checker> checker_;
 };

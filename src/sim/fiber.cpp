@@ -1,0 +1,224 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+// Sanitizer detection. TSan's runtime tracks OS threads, not ucontext
+// switches, so the fiber backend is force-disabled there (SchedConfig keeps
+// the thread backend). ASan supports foreign stacks through the
+// __sanitizer_*_switch_fiber annotation protocol, implemented below.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DCFA_FIBER_ASAN 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define DCFA_FIBER_TSAN 1
+#endif
+#endif
+#if !defined(DCFA_FIBER_ASAN) && defined(__SANITIZE_ADDRESS__)
+#define DCFA_FIBER_ASAN 1
+#endif
+#if !defined(DCFA_FIBER_TSAN) && defined(__SANITIZE_THREAD__)
+#define DCFA_FIBER_TSAN 1
+#endif
+
+#ifdef DCFA_FIBER_ASAN
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     std::size_t* size_old);
+}
+#endif
+
+namespace dcfa::sim {
+
+namespace {
+
+// makecontext's entry function takes no usable pointer-sized argument
+// portably; the fiber being entered parks itself here just before the
+// switch, on the same thread that will run the trampoline.
+thread_local Fiber* tl_entering = nullptr;
+
+std::size_t page_size() {
+  static const std::size_t p = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return p;
+}
+
+}  // namespace
+
+SchedConfig SchedConfig::from_env() {
+  SchedConfig cfg;
+#ifdef DCFA_FIBER_TSAN
+  cfg.backend = Backend::Thread;
+#endif
+  if (const char* e = std::getenv("DCFA_SIM_SCHED")) {
+    if (std::strcmp(e, "fiber") == 0) {
+      cfg.backend = Backend::Fiber;
+    } else if (std::strcmp(e, "thread") == 0) {
+      cfg.backend = Backend::Thread;
+    } else {
+      throw std::invalid_argument(
+          std::string("DCFA_SIM_SCHED: expected 'fiber' or 'thread', got '") +
+          e + "'");
+    }
+  }
+  if (const char* e = std::getenv("DCFA_SIM_THREADS")) {
+    const long n = std::strtol(e, nullptr, 10);
+    if (n < 0 || n > 1024) {
+      throw std::invalid_argument("DCFA_SIM_THREADS: out of range");
+    }
+    cfg.threads = static_cast<unsigned>(n);
+  }
+  if (const char* e = std::getenv("DCFA_SIM_STACK_KB")) {
+    const long kb = std::strtol(e, nullptr, 10);
+    if (kb < 16 || kb > 1048576) {
+      throw std::invalid_argument("DCFA_SIM_STACK_KB: out of range [16, 2^20]");
+    }
+    cfg.stack_bytes = static_cast<std::size_t>(kb) * 1024;
+  }
+#ifdef DCFA_FIBER_TSAN
+  // Never let the env re-enable fibers under TSan: swapcontext would leave
+  // the TSan shadow stack pointing at the wrong frames.
+  cfg.backend = Backend::Thread;
+#endif
+  return cfg;
+}
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)) {
+  const std::size_t page = page_size();
+  stack_size_ = (stack_bytes + page - 1) / page * page;
+  map_bytes_ = stack_size_ + page;
+  map_ = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+              MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (map_ == MAP_FAILED) {
+    map_ = nullptr;
+    throw std::runtime_error("Fiber: stack mmap failed");
+  }
+  // Stacks grow down; an overflow hits the PROT_NONE page and faults
+  // instead of silently corrupting the neighbouring fiber's stack.
+  if (mprotect(map_, page, PROT_NONE) != 0) {
+    munmap(map_, map_bytes_);
+    map_ = nullptr;
+    throw std::runtime_error("Fiber: guard-page mprotect failed");
+  }
+  stack_base_ = static_cast<char*>(map_) + page;
+}
+
+Fiber::~Fiber() {
+  if (map_ != nullptr) munmap(map_, map_bytes_);
+}
+
+void Fiber::trampoline() {
+  Fiber* f = tl_entering;
+  tl_entering = nullptr;
+  f->enter();
+  // Returning ends the context via uc_link (back inside resume()).
+}
+
+void Fiber::enter() {
+#ifdef DCFA_FIBER_ASAN
+  // First entry: no fake stack of our own to restore yet; record the
+  // resumer's stack so yield()/exit can switch back to it.
+  __sanitizer_finish_switch_fiber(nullptr, &from_stack_bottom_,
+                                  &from_stack_size_);
+#endif
+  body_();
+  done_ = true;
+#ifdef DCFA_FIBER_ASAN
+  // Final exit: nullptr tells ASan this stack is dying (its fake-stack
+  // frames are released instead of saved).
+  __sanitizer_start_switch_fiber(nullptr, from_stack_bottom_,
+                                 from_stack_size_);
+#endif
+}
+
+void Fiber::resume() {
+  if (done_) return;
+  if (!started_) {
+    started_ = true;
+    if (getcontext(&self_) != 0) {
+      throw std::runtime_error("Fiber: getcontext failed");
+    }
+    self_.uc_stack.ss_sp = stack_base_;
+    self_.uc_stack.ss_size = stack_size_;
+    self_.uc_link = &return_ctx_;
+    makecontext(&self_, &Fiber::trampoline, 0);
+    tl_entering = this;
+  }
+#ifdef DCFA_FIBER_ASAN
+  __sanitizer_start_switch_fiber(&resumer_fake_stack_, stack_base_,
+                                 stack_size_);
+#endif
+  swapcontext(&return_ctx_, &self_);
+#ifdef DCFA_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(resumer_fake_stack_, nullptr, nullptr);
+#endif
+}
+
+void Fiber::yield() {
+#ifdef DCFA_FIBER_ASAN
+  __sanitizer_start_switch_fiber(&own_fake_stack_, from_stack_bottom_,
+                                 from_stack_size_);
+#endif
+  swapcontext(&self_, &return_ctx_);
+#ifdef DCFA_FIBER_ASAN
+  // Re-record the resumer's stack on every entry: the pool pins us to one
+  // worker, but recording what finish reports is what the protocol asks.
+  __sanitizer_finish_switch_fiber(own_fake_stack_, &from_stack_bottom_,
+                                  &from_stack_size_);
+#endif
+}
+
+FiberPool::FiberPool(unsigned threads) {
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    auto w = std::make_unique<Worker>();
+    Worker* raw = w.get();
+    raw->thread = std::thread([raw] {
+      std::unique_lock lk(raw->mu);
+      for (;;) {
+        raw->cv.wait(lk, [raw] { return raw->job != nullptr || raw->stop; });
+        if (raw->job == nullptr) return;  // stop with no pending job
+        (*raw->job)();
+        raw->job = nullptr;
+        raw->job_done = true;
+        raw->cv.notify_all();
+      }
+    });
+    workers_.push_back(std::move(w));
+  }
+}
+
+FiberPool::~FiberPool() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard lk(w->mu);
+      w->stop = true;
+    }
+    w->cv.notify_all();
+    w->thread.join();
+  }
+}
+
+void FiberPool::run_on(std::size_t slot, const std::function<void()>& fn) {
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
+  Worker& w = *workers_[slot % workers_.size()];
+  std::unique_lock lk(w.mu);
+  w.job = &fn;
+  w.job_done = false;
+  w.cv.notify_all();
+  w.cv.wait(lk, [&w] { return w.job_done; });
+}
+
+}  // namespace dcfa::sim

@@ -1,0 +1,115 @@
+#pragma once
+
+// Stackful-fiber backend for sim::Process (docs/simulator.md).
+//
+// A Fiber is a resumable execution context over ucontext with its own
+// mmap'd stack: a guard page at the low end, the rest lazily paged, so
+// thousands of simulated ranks cost virtual address space instead of OS
+// threads. The FiberPool multiplexes fibers over a small set of worker
+// threads: every fiber is pinned to one worker (slot % workers) and the
+// resuming thread blocks until the fiber parks again, so the pool size
+// changes *where* a fiber runs but never *when* — the engine's event order,
+// and therefore every trace and Stats bag, is identical for any pool size
+// (tests/test_scale.cpp proves it).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <ucontext.h>
+#include <vector>
+
+namespace dcfa::sim {
+
+/// Scheduler configuration for one sim::Engine, resolved from the
+/// environment once at engine construction:
+///   DCFA_SIM_SCHED     fiber | thread. Default fiber — except under
+///                      ThreadSanitizer, whose runtime does not model
+///                      ucontext switches and always gets thread.
+///   DCFA_SIM_THREADS   worker threads multiplexing the fibers; 0 (the
+///                      default) runs fibers inline on the engine thread.
+///   DCFA_SIM_STACK_KB  virtual stack size per fiber (default 512). Only
+///                      touched pages cost RSS.
+struct SchedConfig {
+  enum class Backend { Fiber, Thread };
+  Backend backend = Backend::Fiber;
+  unsigned threads = 0;
+  std::size_t stack_bytes = 512 * 1024;
+
+  static SchedConfig from_env();
+};
+
+/// One resumable context. resume() and yield() must pair on the same OS
+/// thread for any given fiber (the FiberPool's pinning guarantees it);
+/// sanitizer stack bookkeeping and ucontext both require this.
+class Fiber {
+ public:
+  Fiber(std::function<void()> body, std::size_t stack_bytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switch the calling thread into the fiber; returns when the fiber
+  /// yields or its body returns.
+  void resume();
+  /// Called from inside the body: switch back to the resumer.
+  void yield();
+  /// True once the body has returned. A done fiber must not be resumed.
+  bool done() const { return done_; }
+  bool started() const { return started_; }
+
+ private:
+  static void trampoline();
+  void enter();
+
+  std::function<void()> body_;
+  void* map_ = nullptr;  ///< mmap base (guard page first)
+  std::size_t map_bytes_ = 0;
+  void* stack_base_ = nullptr;  ///< usable stack (above the guard page)
+  std::size_t stack_size_ = 0;
+  bool started_ = false;
+  bool done_ = false;
+  ucontext_t self_{};
+  ucontext_t return_ctx_{};
+  // ASan fiber-switch bookkeeping (__sanitizer_*_switch_fiber protocol):
+  // the resumer's fake-stack handle, the fiber's own handle across yields,
+  // and the stack we most recently arrived from (switched back to on yield).
+  void* resumer_fake_stack_ = nullptr;
+  void* own_fake_stack_ = nullptr;
+  const void* from_stack_bottom_ = nullptr;
+  std::size_t from_stack_size_ = 0;
+};
+
+/// Pinned worker threads for fiber execution. run_on() blocks the caller
+/// until `fn` (which resumes a fiber and returns when it parks) completes,
+/// so exactly one simulated context ever runs at a time regardless of the
+/// pool size — concurrency here buys stack/TLS isolation, not parallelism.
+class FiberPool {
+ public:
+  explicit FiberPool(unsigned threads);
+  ~FiberPool();
+
+  FiberPool(const FiberPool&) = delete;
+  FiberPool& operator=(const FiberPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+  /// Run `fn` to completion on worker (slot % size()); with zero workers
+  /// it runs inline on the calling thread.
+  void run_on(std::size_t slot, const std::function<void()>& fn);
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;
+    const std::function<void()>* job = nullptr;
+    bool job_done = false;
+    bool stop = false;
+    std::thread thread;
+  };
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace dcfa::sim

@@ -2,11 +2,13 @@
 
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "sim/fiber.hpp"
 #include "sim/time.hpp"
 
 namespace dcfa::sim {
@@ -14,16 +16,23 @@ namespace dcfa::sim {
 class Engine;
 class Condition;
 
-/// Internal exception used to unwind a parked process thread when its engine
-/// is destroyed before the process body finished. Never escapes the library.
+/// Internal exception used to unwind a parked process when its engine is
+/// destroyed before the process body finished. Never escapes the library.
 struct AbandonedProcess {};
 
-/// A cooperative simulated process backed by an OS thread.
+/// A cooperative simulated process.
 ///
 /// The engine resumes a process by handing it the "run token"; the process
 /// gives it back whenever it blocks in wait() / wait_on(). Only one process
 /// (or the engine itself) ever holds the token, which makes the simulation
 /// single-threaded in effect and fully deterministic.
+///
+/// Two interchangeable backends carry the resumable context (SchedConfig):
+/// a stackful fiber (default — thousands of ranks cost lazily-paged stack
+/// mappings, not OS threads), or one OS thread per process with a
+/// mutex/cv token handshake (ThreadSanitizer runs, DCFA_SIM_SCHED=thread).
+/// The backend is invisible above this API: event order, traces and Stats
+/// are byte-identical across backends and fiber-pool sizes.
 class Process {
  public:
   ~Process();
@@ -45,6 +54,18 @@ class Process {
   /// True once the body has returned.
   bool finished() const { return state_ == State::Done; }
 
+  /// The process whose body the calling thread is currently executing, or
+  /// nullptr outside any process body. Replaces "one OS thread per rank"
+  /// assumptions: with the fiber backend many ranks share a thread, so
+  /// per-rank ambient state must key off the process, not the thread.
+  static Process* current();
+
+  /// One ambient pointer slot per process, for layers that need "process
+  /// globals" (the C API keeps its per-rank environment here). The process
+  /// does not own what it points to.
+  void set_ambient(void* p) { ambient_ = p; }
+  void* ambient() const { return ambient_; }
+
   /// Exception that escaped the body, if any (rethrown by Engine::run()).
   std::exception_ptr error() const { return error_; }
 
@@ -54,25 +75,49 @@ class Process {
 
   enum class State { Created, Runnable, Running, Blocked, Done };
 
-  Process(Engine& engine, std::string name,
-          std::function<void(Process&)> body);
+  Process(Engine& engine, std::string name, std::function<void(Process&)> body,
+          std::size_t id);
 
   void start();
   /// Engine-side: hand the token to this process and wait for it back.
   void resume();
   /// Process-side: give the token back to the engine.
   void park();
+  /// Body wrapper shared by both backends (error capture, Done transition).
+  void run_body();
+  /// Engine-side, once per process after the Done transition: release the
+  /// execution context (fiber stack mapping / joined OS thread) and the
+  /// body closure eagerly, so a finished rank stops costing memory long
+  /// before teardown. The Process shell (name, error) survives for
+  /// diagnostics.
+  void finish_cleanup();
+
+  bool fiber_backend() const { return fiber_ != nullptr; }
+
+  /// Maintained on whichever OS thread executes the body: the thread
+  /// backend sets it once at thread start; the fiber backend saves/restores
+  /// it around every resume (Engine::run_resume).
+  static thread_local Process* tl_current_;
 
   Engine& engine_;
   std::string name_;
   std::function<void(Process&)> body_;
-  std::thread thread_;
+  const std::size_t id_;  ///< spawn index; pins the fiber to one pool worker
+  State state_ = State::Created;
+  bool abandoned_ = false;  ///< teardown unwind flag (fiber backend)
+  void* ambient_ = nullptr;
+  std::exception_ptr error_;
 
+  // Fiber backend. No locking: the engine thread and the (pinned) pool
+  // worker hand control back and forth through FiberPool::run_on, whose
+  // mutex orders every access.
+  std::unique_ptr<Fiber> fiber_;
+
+  // Thread backend.
+  std::thread thread_;
   std::mutex mu_;
   std::condition_variable cv_;
-  State state_ = State::Created;
   bool token_with_process_ = false;
-  std::exception_ptr error_;
 };
 
 /// A waitable condition in virtual time. notify_all() schedules a wake-up of

@@ -11,8 +11,13 @@
 //
 // DCFA_TEST_DEADLINE_MS overrides the deadline; 0 disables it. The default
 // of 240 s is far above any healthy test's runtime (sanitized runs export a
-// larger value in scripts/run_sanitized.sh).
+// larger value in scripts/run_sanitized.sh). The soak suites scale their
+// work with DCFA_SOAK_RANKS, so when that is set above the 16-rank nominal
+// the default deadline grows proportionally (capped at 2 h) — a 256-rank
+// soak must not be declared hung on the 13-rank budget. An explicit
+// DCFA_TEST_DEADLINE_MS always wins.
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -28,6 +33,12 @@ class Watchdog {
  public:
   Watchdog() {
     long ms = 240000;
+    if (const char* soak = std::getenv("DCFA_SOAK_RANKS")) {
+      const long ranks = std::strtol(soak, nullptr, 10);
+      if (ranks > 16) {
+        ms = std::min(240000L * ranks / 16, 7200000L);
+      }
+    }
     if (const char* env = std::getenv("DCFA_TEST_DEADLINE_MS")) {
       ms = std::strtol(env, nullptr, 10);
     }
