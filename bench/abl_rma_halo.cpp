@@ -69,8 +69,8 @@ sim::Time one_sided(std::size_t row, int iters) {
     win.fence();
     const sim::Time t0 = ctx.proc.now();
     for (int it = 0; it < iters; ++it) {
-      if (up >= 0) win.put(plane, row, row, up, 3 * row);
-      if (down >= 0) win.put(plane, 2 * row, row, down, 0);
+      if (up >= 0) win.put(plane, row, row, type_byte(), up, 3 * row);
+      if (down >= 0) win.put(plane, 2 * row, row, type_byte(), down, 0);
       win.fence();
     }
     if (ctx.rank == 0) elapsed = (ctx.proc.now() - t0) / iters;

@@ -1,0 +1,295 @@
+// Multigrid with persistent-channel halos, DD-alphaAMG style.
+//
+// Multigrid is the communication stress test for one-sided halo machinery:
+// every V-cycle exchanges halos on *every* level, and the coarse levels are
+// so small that per-message setup (rendezvous handshakes, MR negotiation)
+// dominates the wire time. DD-alphaAMG's answer — and ours — is persistent
+// communication channels: negotiate the buffers, MRs and rkeys once at
+// solver setup, then every smoothing sweep posts a bare RDMA write plus a
+// doorbell. This example builds a full V-cycle hierarchy for the 1-D
+// Poisson problem (tridiagonal [-1, 2, -1]) with weighted-Jacobi smoothing,
+// wires every halo on every level — solution and residual both — through
+// Channels, and proves both claims at once:
+//
+//   numerics:  the residual norm drops ~20x per V-cycle
+//   structure: zero MR negotiations inside the solve (Stats counters)
+//
+// Grid layout: vertex-centred coarsening needs the Dirichlet boundaries to
+// sit on coarse points, so the global interior is n = P*q - 1 points with
+// q a power of two: ranks 0..P-2 own q points, the last rank owns q-1.
+// Every rank's block then starts at an even global index and the local
+// coarse->fine map is simply i_fine = 2*j on every rank at every level;
+// the last rank just interpolates one extra odd tail point.
+//
+//   $ ./examples/multigrid_halo [n] [procs] [cycles]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "compute/compute.hpp"
+#include "mpi/channel.hpp"
+#include "mpi/runtime.hpp"
+
+using namespace dcfa;
+using namespace dcfa::mpi;
+
+namespace {
+
+constexpr double kOmega = 2.0 / 3.0;  // weighted-Jacobi damping
+
+struct MgResult {
+  std::vector<double> residuals;  // norm after each V-cycle (entry 0 = rhs)
+  int levels = 0;
+  int channels = 0;               // rank 0's channel count
+  std::uint64_t hot_negotiations = 0;
+  std::uint64_t channel_posts = 0;
+  sim::Time elapsed = 0;
+};
+
+MgResult run_mg(int n, int nprocs, int cycles) {
+  MgResult result;
+  RunConfig cfg;
+  cfg.mode = MpiMode::DcfaPhi;
+  cfg.nprocs = nprocs;
+
+  Runtime rt(cfg);
+  rt.run([&](RankCtx& ctx) {
+    auto& comm = ctx.world;
+    const int P = comm.size(), rank = comm.rank();
+    const int up = rank > 0 ? rank - 1 : -1;
+    const int down = rank < P - 1 ? rank + 1 : -1;
+
+    // --- The level hierarchy: halve the block until 2 points per rank ----
+    std::vector<int> q{(n + 1) / P};
+    while (q.back() % 2 == 0 && q.back() > 2) q.push_back(q.back() / 2);
+    const int L = static_cast<int>(q.size());
+    std::vector<int> m(L);  // this rank's interior points per level
+    for (int l = 0; l < L; ++l) m[l] = rank == P - 1 ? q[l] - 1 : q[l];
+
+    // Per level: solution u and residual r with one ghost element each
+    // side (ghosts start, and at the domain boundary stay, zero —
+    // homogeneous Dirichlet), plus a plain rhs array.
+    auto vec = [&](int mm) {
+      mem::Buffer b = comm.alloc((mm + 2) * sizeof(double));
+      std::memset(b.data(), 0, (mm + 2) * sizeof(double));
+      return b;
+    };
+    std::vector<mem::Buffer> u(L), r(L);
+    std::vector<std::vector<double>> f(L);
+    for (int l = 0; l < L; ++l) {
+      u[l] = vec(m[l]);
+      r[l] = vec(m[l]);
+      f[l].assign(m[l] + 1, 0.0);
+    }
+    mem::Buffer red_in = comm.alloc(sizeof(double));
+    mem::Buffer red_out = comm.alloc(sizeof(double));
+    auto D = [](mem::Buffer& b) {
+      return reinterpret_cast<double*>(b.data());
+    };
+
+    // --- Solver setup: the one-time channel negotiation ------------------
+    // One pairwise channel per (level, buffer, neighbour): my first
+    // interior element lands in the up-neighbour's upper ghost and vice
+    // versa. Rank k's up-channels pair with rank k-1's down-channels, so
+    // every rank opens its whole up side first (same level/buffer order on
+    // both sides) and the pairwise setup resolves as a chain from rank 0
+    // without deadlock.
+    std::vector<std::optional<Channel>> u_up(L), u_down(L), r_up(L),
+        r_down(L);
+    if (up >= 0) {
+      for (int l = 0; l < L; ++l) {
+        u_up[l].emplace(comm, up, u[l], sizeof(double), u[l], 0,
+                        sizeof(double));
+        r_up[l].emplace(comm, up, r[l], sizeof(double), r[l], 0,
+                        sizeof(double));
+      }
+    }
+    if (down >= 0) {
+      for (int l = 0; l < L; ++l) {
+        u_down[l].emplace(comm, down, u[l], m[l] * sizeof(double), u[l],
+                          (m[l] + 1) * sizeof(double), sizeof(double));
+        r_down[l].emplace(comm, down, r[l], m[l] * sizeof(double), r[l],
+                          (m[l] + 1) * sizeof(double), sizeof(double));
+      }
+    }
+    if (rank == 0) {
+      result.levels = L;
+      result.channels = (up >= 0 ? 2 * L : 0) + (down >= 0 ? 2 * L : 0);
+    }
+
+    // One halo exchange: both neighbours, payload + doorbell each.
+    auto exchange = [](std::optional<Channel>& cu,
+                       std::optional<Channel>& cd) {
+      if (cu) cu->post();
+      if (cd) cd->post();
+      if (cu) cu->wait_arrival();
+      if (cd) cd->wait_arrival();
+      if (cu) cu->wait_local();
+      if (cd) cd->wait_local();
+    };
+
+    // rhs f = 1 on the fine grid; initial guess u = 0.
+    f[0].assign(m[0] + 1, 1.0);
+    std::vector<double> tmp(m[0] + 1, 0.0);
+
+    auto norm = [&](const double* v, int mm) {
+      double s = 0;
+      for (int i = 1; i <= mm; ++i) s += v[i] * v[i];
+      std::memcpy(red_in.data(), &s, sizeof s);
+      comm.allreduce(red_in, 0, red_out, 0, 1, type_double(), Op::Sum);
+      double g;
+      std::memcpy(&g, red_out.data(), sizeof g);
+      return std::sqrt(g);
+    };
+
+    // Damped-Jacobi sweeps of (2u[i] - u[i-1] - u[i+1]) = rhs[i] on level
+    // l, each with a halo-fresh u; flops charged to the Phi clock.
+    auto jacobi = [&](int l, int sweeps) {
+      for (int s = 0; s < sweeps; ++s) {
+        exchange(u_up[l], u_down[l]);
+        double* x = D(u[l]);
+        const double* rhs = f[l].data();
+        for (int i = 1; i <= m[l]; ++i) {
+          tmp[i] = x[i] + kOmega * 0.5 *
+                              (rhs[i] - (2.0 * x[i] - x[i - 1] - x[i + 1]));
+        }
+        for (int i = 1; i <= m[l]; ++i) x[i] = tmp[i];
+        compute::parallel_for(ctx.proc, ctx.platform, compute::Cpu::Phi,
+                              static_cast<std::uint64_t>(m[l]), 56);
+      }
+    };
+    auto residual = [&](int l) {
+      exchange(u_up[l], u_down[l]);
+      double* x = D(u[l]);
+      double* res = D(r[l]);
+      for (int i = 1; i <= m[l]; ++i) {
+        res[i] = f[l][i] - (2.0 * x[i] - x[i - 1] - x[i + 1]);
+      }
+    };
+
+    // The V-cycle. Full-weighting restriction and linear interpolation
+    // give the Galerkin coarse operator R*T*P = T/4 for our unscaled
+    // stencil T = [-1, 2, -1], so the coarse equation is T u_c = 4*R*r —
+    // which is exactly (r[2j-1] + 2 r[2j] + r[2j+1]).
+    auto vcycle = [&](auto&& self, int l) -> void {
+      if (l == L - 1) {
+        jacobi(l, 60);  // coarsest grid is tiny: Jacobi *is* the solver
+        return;
+      }
+      jacobi(l, 3);
+      residual(l);
+      exchange(r_up[l], r_down[l]);  // restriction reads r's upper ghost
+      const double* res = D(r[l]);
+      for (int j = 1; j <= m[l + 1]; ++j) {
+        f[l + 1][j] = res[2 * j - 1] + 2.0 * res[2 * j] + res[2 * j + 1];
+      }
+      std::memset(u[l + 1].data(), 0, (m[l + 1] + 2) * sizeof(double));
+      self(self, l + 1);
+      // Prolong + correct: odd fine points interpolate, so they read the
+      // coarse lower ghost; the last rank's odd tail point sits next to
+      // the Dirichlet boundary (coarse ghost there is zero).
+      exchange(u_up[l + 1], u_down[l + 1]);
+      const double* cu = D(u[l + 1]);
+      double* x = D(u[l]);
+      for (int j = 1; j <= m[l + 1]; ++j) {
+        x[2 * j] += cu[j];
+        x[2 * j - 1] += 0.5 * (cu[j - 1] + cu[j]);
+      }
+      if (m[l] % 2 == 1) x[m[l]] += 0.5 * cu[m[l + 1]];
+      jacobi(l, 3);
+    };
+
+    comm.barrier();
+    const std::uint64_t neg0 = comm.engine().coll_stats().rma_mr_negotiations;
+    const sim::Time t0 = ctx.proc.now();
+
+    residual(0);
+    double res_norm = norm(D(r[0]), m[0]);
+    if (rank == 0) result.residuals.push_back(res_norm);
+
+    for (int c = 0; c < cycles; ++c) {
+      vcycle(vcycle, 0);
+      residual(0);
+      res_norm = norm(D(r[0]), m[0]);
+      if (rank == 0) result.residuals.push_back(res_norm);
+    }
+
+    comm.barrier();
+    if (rank == 0) {
+      result.elapsed = ctx.proc.now() - t0;
+      result.hot_negotiations =
+          comm.engine().coll_stats().rma_mr_negotiations - neg0;
+    }
+    for (auto* chans : {&u_up, &u_down, &r_up, &r_down}) {
+      for (auto& ch : *chans) {
+        if (ch) ch->close();
+      }
+    }
+    for (int l = 0; l < L; ++l) {
+      comm.free(u[l]);
+      comm.free(r[l]);
+    }
+    comm.free(red_in);
+    comm.free(red_out);
+  });
+
+  for (const auto& s : rt.rank_stats()) {
+    result.channel_posts += s.channel_posts;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 511;
+  const int procs = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int cycles = argc > 3 ? std::atoi(argv[3]) : 8;
+  const int q = (n + 1) / procs;
+  if ((n + 1) % procs != 0 || q % 2 != 0) {
+    std::fprintf(stderr,
+                 "need n = procs*q - 1 with q even (e.g. n=511, procs=4)\n");
+    return 2;
+  }
+  std::printf("multigrid V-cycles, 1-D Poisson, n=%d, %d ranks, %d cycles\n"
+              "halos on every level ride persistent channels (negotiated "
+              "once at setup)\n\n",
+              n, procs, cycles);
+
+  const MgResult res = run_mg(n, procs, cycles);
+  std::printf("%d levels, %d channels per interior rank\n\n", res.levels,
+              res.channels);
+
+  std::printf("%-8s %-14s %s\n", "cycle", "||r||", "reduction");
+  bool converging = true;
+  for (std::size_t c = 0; c < res.residuals.size(); ++c) {
+    if (c == 0) {
+      std::printf("%-8zu %-14.3e -\n", c, res.residuals[c]);
+      continue;
+    }
+    const double factor = res.residuals[c] / res.residuals[c - 1];
+    // Monotone decrease, cycle after cycle — until the residual hits the
+    // double-precision floor, where roundoff may wiggle it.
+    if (res.residuals[c] > res.residuals[c - 1] &&
+        res.residuals[c] > 1e-10 * res.residuals[0]) {
+      converging = false;
+    }
+    std::printf("%-8zu %-14.3e x%.4f\n", c, res.residuals[c], factor);
+  }
+  const double drop = res.residuals.back() / res.residuals.front();
+  std::printf("\nchannel posts: %llu   MR negotiations inside the solve: "
+              "%llu   solve time: %.2f ms\n",
+              static_cast<unsigned long long>(res.channel_posts),
+              static_cast<unsigned long long>(res.hot_negotiations),
+              sim::to_ms(res.elapsed));
+
+  const bool ok = converging && drop < 1e-6 && res.hot_negotiations == 0;
+  std::printf("check (monotone residual, >1e6 total reduction, zero hot "
+              "negotiations): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -23,6 +23,12 @@ see (docs/checking.md has the rationale and the paper references):
                   or staging MRs directly; mpi/wire.hpp's bounds-checked
                   put/get helpers are the only sanctioned path. (ib/hca.cpp
                   is exempt: it *is* the simulated DMA engine.)
+  rma-epoch       work requests with Opcode::RdmaWrite/RdmaRead may only be
+                  built in the files whose entry points run the window
+                  epoch hooks (engine.cpp, rma.cpp, protocol.cpp). A raw
+                  RDMA post anywhere else in src/mpi bypasses
+                  chk().rma_remote_access and the passive-target epoch
+                  ledgers — DcfaCheck would be blind to the access.
 
 A file can waive one rule with a justified marker comment:
 
@@ -89,6 +95,15 @@ UNCHECKED_CALL = re.compile(
 )
 
 RAW_POST_CALL = re.compile(r"(?:\.|->)post_(?:send|recv)\s*\(")
+
+# rma-epoch: the only src/mpi files allowed to build RDMA work requests —
+# their entry points are the ones that run the checker's epoch hooks.
+RMA_EPOCH_ALLOWED = [
+    "src/mpi/engine.cpp",
+    "src/mpi/rma.cpp",
+    "src/mpi/protocol.cpp",
+]
+RMA_OPCODE = re.compile(r"Opcode::Rdma(?:Write|Read)\b")
 WAIVER = re.compile(r"//\s*dcfa-lint:\s*allow-file\((?P<rule>[\w-]+)\)(?P<just>.*)")
 
 findings: list[str] = []
@@ -212,6 +227,21 @@ def check_naked_memcpy(path: Path, rel: str, lines: list[str],
                     "mpi/wire.hpp so DcfaCheck sees the copy bounds")
 
 
+def check_rma_epoch(path: Path, rel: str, lines: list[str],
+                    waived: set[str]) -> None:
+    if not rel.startswith("src/mpi/") or rel in RMA_EPOCH_ALLOWED:
+        return
+    if "rma-epoch" in waived:
+        return
+    for i, line in enumerate(lines, 1):
+        if RMA_OPCODE.search(strip_comments(line)):
+            finding(path, i, "rma-epoch",
+                    "raw RDMA work request outside engine/rma/protocol; "
+                    "this bypasses the window epoch hooks and the checker's "
+                    "remote-access ledger — go through Engine::rma_* (or "
+                    "add a justified waiver)")
+
+
 def run_clang_tidy(files: list[Path]) -> None:
     tidy = shutil.which("clang-tidy")
     compdb = ROOT / "build" / "compile_commands.json"
@@ -245,6 +275,7 @@ def main() -> int:
         check_unchecked_result(path, rel, lines, waived)
         check_wire_structs(path, rel, text, waived)
         check_naked_memcpy(path, rel, lines, waived)
+        check_rma_epoch(path, rel, lines, waived)
 
     if "--no-tidy" not in sys.argv:
         run_clang_tidy(files)

@@ -17,6 +17,7 @@ BENCHES=(
   fig12_stencil_speedup fig_platform
   abl_offload_threshold abl_mr_cache abl_eager_threshold abl_collectives
   abl_future_offload abl_intranode abl_rdma_vs_sendrecv abl_rma_halo
+  abl_rma_passive abl_persistent_halo
   abl_nbc_overlap traffic_gen
 )
 

@@ -51,3 +51,14 @@ ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1:suppressions=$ROOT/scripts/tsan.supp}" \
   "$ROOT/$BUILD_DIR/bench/traffic_gen" --quick --scenario survivor_soak
+
+# The RMA torture test is the one-sided counterpart: every rank runs
+# randomized lock/put/accumulate/flush epochs against every other rank
+# concurrently (plus a rank-kill mid-epoch scenario), so the passive-target
+# ledgers, doorbell channels and window teardown all get sanitizer + full-
+# checker coverage in one go — same explicit treatment as survivor_soak.
+DCFA_CHECK=full \
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1:suppressions=$ROOT/scripts/tsan.supp}" \
+  "$ROOT/$BUILD_DIR/tests/test_rma_random"

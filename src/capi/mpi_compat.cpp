@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "mpi/window.hpp"
+
 namespace dcfa::capi {
 
 namespace {
@@ -32,6 +34,20 @@ struct RankEnv {
   std::vector<mpi::Request> requests;
   std::vector<std::uint16_t> gens;
   std::vector<int> free_slots;
+
+  /// RMA windows, generation-counted like the request table. `base` and
+  /// `owned_mem` track MPI_Win_allocate memory (registered in allocs so the
+  /// window region doubles as regular device memory; freed at Win_free).
+  struct WinEntry {
+    std::unique_ptr<mpi::Window> win;
+    int disp_unit = 1;
+    MPI_Errhandler errhandler = MPI_ERRORS_ARE_FATAL;
+    const std::byte* base = nullptr;
+    bool owned_mem = false;
+  };
+  std::vector<WinEntry> wins;
+  std::vector<std::uint16_t> win_gens;
+  std::vector<int> win_free_slots;
 };
 
 RankEnv* env_or_null() {
@@ -96,6 +112,16 @@ bool op_of(MPI_Op op, mpi::Op* out) {
     case MPI_MIN: *out = mpi::Op::Min; return true;
   }
   return false;
+}
+
+/// RMA flavour: MPI_Accumulate additionally takes MPI_REPLACE, which the
+/// collective reductions reject.
+bool rma_op_of(MPI_Op op, mpi::Op* out) {
+  if (op == MPI_REPLACE) {
+    *out = mpi::Op::Replace;
+    return true;
+  }
+  return op_of(op, out);
 }
 
 /// Map a raw pointer into (device buffer, offset). The pointer must lie in
@@ -170,6 +196,52 @@ void release_request(int slot) {
   e.requests[slot] = mpi::Request{};
   ++e.gens[slot];
   e.free_slots.push_back(slot);
+}
+
+// --- Window handle table (generation-counted, mirroring requests) -----------
+
+MPI_Win encode_win(const RankEnv& e, int slot) {
+  return static_cast<MPI_Win>((e.win_gens[slot] & 0x7fff) << 16 | slot);
+}
+
+MPI_Win stash_win(RankEnv::WinEntry entry) {
+  RankEnv& e = env();
+  int slot;
+  if (!e.win_free_slots.empty()) {
+    slot = e.win_free_slots.back();
+    e.win_free_slots.pop_back();
+    e.wins[slot] = std::move(entry);
+  } else {
+    slot = static_cast<int>(e.wins.size());
+    e.wins.push_back(std::move(entry));
+    e.win_gens.push_back(0);
+  }
+  return encode_win(e, slot);
+}
+
+enum class WinRef { Ok, Stale, Invalid };
+
+WinRef decode_win(MPI_Win h, int* slot) {
+  if (h < 0) return WinRef::Invalid;
+  const int s = h & 0xffff;
+  const int gen = (h >> 16) & 0x7fff;
+  RankEnv& e = env();
+  if (s >= static_cast<int>(e.wins.size())) return WinRef::Invalid;
+  if ((e.win_gens[s] & 0x7fff) != gen || !e.wins[s].win) return WinRef::Stale;
+  *slot = s;
+  return WinRef::Ok;
+}
+
+void release_win(int slot) {
+  RankEnv& e = env();
+  e.wins[slot] = RankEnv::WinEntry{};
+  ++e.win_gens[slot];
+  e.win_free_slots.push_back(slot);
+}
+
+RankEnv::WinEntry* win_of(MPI_Win h) {
+  int slot;
+  return decode_win(h, &slot) == WinRef::Ok ? &env().wins[slot] : nullptr;
 }
 
 int classify(const mpi::MpiError& err) {
@@ -1006,6 +1078,313 @@ int MPI_Ireduce_scatter_block(const void* sendbuf, void* recvbuf,
     }
     *request = stash_request(
         c->ireduce_scatter_block(sb, soff, rb, roff, recvcount, *t, o));
+    return MPI_SUCCESS;
+  });
+}
+
+// --- One-sided (MPI-3 RMA) ----------------------------------------------------
+
+namespace {
+
+/// guarded() flavour for window operations: the *window's* error handler
+/// decides whether fault errors surface as codes, so a program can opt a
+/// single window into MPIX_ERR_PROC_FAILED returns while the rest of the
+/// rank stays fatal-by-default.
+template <typename Fn>
+int guarded_w(MPI_Win win, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const mpi::MpiError& e) {
+    const int code = classify(e);
+    if (code == MPIX_ERR_PROC_FAILED || code == MPIX_ERR_REVOKED) {
+      const RankEnv::WinEntry* w = win_of(win);
+      const MPI_Errhandler eh = w ? w->errhandler : env().errhandler;
+      if (eh == MPI_ERRORS_ARE_FATAL) throw;
+    }
+    return code;
+  }
+}
+
+/// Decode the common (origin, counts, types, window) argument bundle of
+/// the communication calls. Origin and target shapes must agree in bytes
+/// (a contiguous-only engine has no resizing to offer).
+int rma_args(const void* origin, int origin_count, MPI_Datatype origin_type,
+             int target_count, MPI_Datatype target_type, MPI_Win win,
+             std::size_t target_disp, RankEnv::WinEntry** went,
+             mem::Buffer* buf, std::size_t* off, const mpi::Datatype** type,
+             std::size_t* disp) {
+  RankEnv::WinEntry* w = win_of(win);
+  if (!w) return MPI_ERR_WIN;
+  const mpi::Datatype* ot = type_of(origin_type);
+  const mpi::Datatype* tt = type_of(target_type);
+  if (!ot || !tt || origin_count < 0 || target_count < 0) return MPI_ERR_TYPE;
+  if (origin_count * ot->size() != target_count * tt->size()) {
+    return MPI_ERR_TYPE;
+  }
+  if (!resolve(origin, origin_count * ot->size(), buf, off)) {
+    return MPI_ERR_BUFFER;
+  }
+  *went = w;
+  *type = ot;
+  *disp = target_disp * static_cast<std::size_t>(w->disp_unit);
+  return MPI_SUCCESS;
+}
+
+}  // namespace
+
+int MPI_Win_create(void* base, std::size_t size, int disp_unit,
+                   void* info_ignored, MPI_Comm comm, MPI_Win* win) {
+  (void)info_ignored;
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c || !win || disp_unit <= 0) return c ? MPI_ERR_OTHER : MPI_ERR_COMM;
+    mem::Buffer b;
+    std::size_t off = 0;
+    RankEnv::WinEntry entry;
+    if (size > 0) {
+      if (!resolve(base, size, &b, &off)) return MPI_ERR_BUFFER;
+    } else {
+      // Zero-size participation still needs a registered region to ride
+      // the collective exchange; give it a private byte.
+      RankEnv& e = env();
+      b = c->alloc(1);
+      e.allocs.emplace(b.data(), b);
+      entry.base = b.data();
+      entry.owned_mem = true;
+    }
+    entry.win = std::make_unique<mpi::Window>(*c, b, off, size);
+    entry.disp_unit = disp_unit;
+    *win = stash_win(std::move(entry));
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Win_allocate(std::size_t size, int disp_unit, void* info_ignored,
+                     MPI_Comm comm, void* baseptr, MPI_Win* win) {
+  (void)info_ignored;
+  return guarded([&]() -> int {
+    mpi::Communicator* c = comm_of(comm);
+    if (!c || !win || !baseptr || disp_unit <= 0) {
+      return c ? MPI_ERR_OTHER : MPI_ERR_COMM;
+    }
+    RankEnv& e = env();
+    // Allocate through the allocs map (not Window::allocate) so the window
+    // memory is a first-class raw-pointer region: the app can pass it to
+    // any other shim (MPI_Send from the window, memset via *baseptr, ...).
+    mem::Buffer b = c->alloc(size > 0 ? size : 1);
+    e.allocs.emplace(b.data(), b);
+    RankEnv::WinEntry entry;
+    entry.win = std::make_unique<mpi::Window>(*c, b, 0, size);
+    entry.disp_unit = disp_unit;
+    entry.base = b.data();
+    entry.owned_mem = true;
+    *static_cast<void**>(baseptr) = b.data();
+    *win = stash_win(std::move(entry));
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Win_free(MPI_Win* win) {
+  return guarded([&]() -> int {
+    if (!win) return MPI_ERR_WIN;
+    int slot;
+    switch (decode_win(*win, &slot)) {
+      case WinRef::Invalid:
+        return *win == MPI_WIN_NULL ? MPI_SUCCESS : MPI_ERR_WIN;
+      case WinRef::Stale:
+        *win = MPI_WIN_NULL;  // already freed through another handle copy
+        return MPI_SUCCESS;
+      case WinRef::Ok: break;
+    }
+    RankEnv& e = env();
+    RankEnv::WinEntry& w = e.wins[slot];
+    w.win->free();
+    w.win.reset();
+    if (w.owned_mem) {
+      auto it = e.allocs.find(w.base);
+      if (it != e.allocs.end()) {
+        e.ctx->world.free(it->second);
+        e.allocs.erase(it);
+      }
+    }
+    release_win(slot);
+    *win = MPI_WIN_NULL;
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Win_fence(int assert_ignored, MPI_Win win) {
+  (void)assert_ignored;
+  return guarded_w(win, [&]() -> int {
+    RankEnv::WinEntry* w = win_of(win);
+    if (!w) return MPI_ERR_WIN;
+    w->win->fence();
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Win_lock(int lock_type, int rank, int assert_ignored, MPI_Win win) {
+  (void)assert_ignored;
+  return guarded_w(win, [&]() -> int {
+    RankEnv::WinEntry* w = win_of(win);
+    if (!w) return MPI_ERR_WIN;
+    if (lock_type != MPI_LOCK_SHARED && lock_type != MPI_LOCK_EXCLUSIVE) {
+      return MPI_ERR_OTHER;
+    }
+    w->win->lock(rank, lock_type == MPI_LOCK_EXCLUSIVE
+                           ? mpi::Window::Lock::Exclusive
+                           : mpi::Window::Lock::Shared);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Win_lock_all(int assert_ignored, MPI_Win win) {
+  (void)assert_ignored;
+  return guarded_w(win, [&]() -> int {
+    RankEnv::WinEntry* w = win_of(win);
+    if (!w) return MPI_ERR_WIN;
+    w->win->lock_all();
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Win_unlock(int rank, MPI_Win win) {
+  return guarded_w(win, [&]() -> int {
+    RankEnv::WinEntry* w = win_of(win);
+    if (!w) return MPI_ERR_WIN;
+    w->win->unlock(rank);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Win_unlock_all(MPI_Win win) {
+  return guarded_w(win, [&]() -> int {
+    RankEnv::WinEntry* w = win_of(win);
+    if (!w) return MPI_ERR_WIN;
+    w->win->unlock_all();
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Win_flush(int rank, MPI_Win win) {
+  return guarded_w(win, [&]() -> int {
+    RankEnv::WinEntry* w = win_of(win);
+    if (!w) return MPI_ERR_WIN;
+    w->win->flush(rank);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Win_flush_local(int rank, MPI_Win win) {
+  return guarded_w(win, [&]() -> int {
+    RankEnv::WinEntry* w = win_of(win);
+    if (!w) return MPI_ERR_WIN;
+    w->win->flush_local(rank);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Win_set_errhandler(MPI_Win win, MPI_Errhandler errhandler) {
+  RankEnv::WinEntry* w = win_of(win);
+  if (!w) return MPI_ERR_WIN;
+  if (errhandler != MPI_ERRORS_ARE_FATAL && errhandler != MPI_ERRORS_RETURN) {
+    return MPI_ERR_OTHER;
+  }
+  w->errhandler = errhandler;
+  return MPI_SUCCESS;
+}
+
+int MPI_Put(const void* origin, int origin_count, MPI_Datatype origin_type,
+            int target_rank, std::size_t target_disp, int target_count,
+            MPI_Datatype target_type, MPI_Win win) {
+  return guarded_w(win, [&]() -> int {
+    RankEnv::WinEntry* w;
+    mem::Buffer b;
+    std::size_t off, disp;
+    const mpi::Datatype* t;
+    if (const int rc = rma_args(origin, origin_count, origin_type,
+                                target_count, target_type, win, target_disp,
+                                &w, &b, &off, &t, &disp)) {
+      return rc;
+    }
+    w->win->put(b, off, origin_count, *t, target_rank, disp);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Get(void* origin, int origin_count, MPI_Datatype origin_type,
+            int target_rank, std::size_t target_disp, int target_count,
+            MPI_Datatype target_type, MPI_Win win) {
+  return guarded_w(win, [&]() -> int {
+    RankEnv::WinEntry* w;
+    mem::Buffer b;
+    std::size_t off, disp;
+    const mpi::Datatype* t;
+    if (const int rc = rma_args(origin, origin_count, origin_type,
+                                target_count, target_type, win, target_disp,
+                                &w, &b, &off, &t, &disp)) {
+      return rc;
+    }
+    w->win->get(b, off, origin_count, *t, target_rank, disp);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Accumulate(const void* origin, int origin_count,
+                   MPI_Datatype origin_type, int target_rank,
+                   std::size_t target_disp, int target_count,
+                   MPI_Datatype target_type, MPI_Op op, MPI_Win win) {
+  return guarded_w(win, [&]() -> int {
+    mpi::Op o;
+    if (!rma_op_of(op, &o)) return MPI_ERR_OP;
+    RankEnv::WinEntry* w;
+    mem::Buffer b;
+    std::size_t off, disp;
+    const mpi::Datatype* t;
+    if (const int rc = rma_args(origin, origin_count, origin_type,
+                                target_count, target_type, win, target_disp,
+                                &w, &b, &off, &t, &disp)) {
+      return rc;
+    }
+    w->win->accumulate(b, off, origin_count, *t, o, target_rank, disp);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Rput(const void* origin, int origin_count, MPI_Datatype origin_type,
+             int target_rank, std::size_t target_disp, int target_count,
+             MPI_Datatype target_type, MPI_Win win, MPI_Request* request) {
+  return guarded_w(win, [&]() -> int {
+    RankEnv::WinEntry* w;
+    mem::Buffer b;
+    std::size_t off, disp;
+    const mpi::Datatype* t;
+    if (const int rc = rma_args(origin, origin_count, origin_type,
+                                target_count, target_type, win, target_disp,
+                                &w, &b, &off, &t, &disp)) {
+      return rc;
+    }
+    *request =
+        stash_request(w->win->rput(b, off, origin_count, *t, target_rank, disp));
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Rget(void* origin, int origin_count, MPI_Datatype origin_type,
+             int target_rank, std::size_t target_disp, int target_count,
+             MPI_Datatype target_type, MPI_Win win, MPI_Request* request) {
+  return guarded_w(win, [&]() -> int {
+    RankEnv::WinEntry* w;
+    mem::Buffer b;
+    std::size_t off, disp;
+    const mpi::Datatype* t;
+    if (const int rc = rma_args(origin, origin_count, origin_type,
+                                target_count, target_type, win, target_disp,
+                                &w, &b, &off, &t, &disp)) {
+      return rc;
+    }
+    *request =
+        stash_request(w->win->rget(b, off, origin_count, *t, target_rank, disp));
     return MPI_SUCCESS;
   });
 }

@@ -47,6 +47,8 @@ constexpr MPI_Op MPI_SUM = 0;
 constexpr MPI_Op MPI_PROD = 1;
 constexpr MPI_Op MPI_MAX = 2;
 constexpr MPI_Op MPI_MIN = 3;
+/// RMA-only (MPI_Accumulate): element-wise overwrite.
+constexpr MPI_Op MPI_REPLACE = 4;
 
 constexpr int MPI_ANY_SOURCE = mpi::kAnySource;
 constexpr int MPI_ANY_TAG = mpi::kAnyTag;
@@ -69,6 +71,17 @@ inline MPI_Status* const MPI_STATUSES_IGNORE = nullptr;
 using MPI_Request = int;
 constexpr MPI_Request MPI_REQUEST_NULL = -1;
 
+/// Window handles share the request handles' generation-counting layout
+/// (slot in the low 16 bits, generation stamp above), so a handle copied
+/// before MPI_Win_free was called on another copy is detected as stale —
+/// freeing it again succeeds idempotently instead of aliasing a recycled
+/// slot.
+using MPI_Win = int;
+constexpr MPI_Win MPI_WIN_NULL = -1;
+
+constexpr int MPI_LOCK_SHARED = 1;
+constexpr int MPI_LOCK_EXCLUSIVE = 2;
+
 enum : int {
   MPI_SUCCESS = 0,
   MPI_ERR_COMM = 1,
@@ -82,6 +95,7 @@ enum : int {
   MPI_ERR_OTHER = 9,
   MPIX_ERR_PROC_FAILED = 10,  ///< operation depended on a failed rank
   MPIX_ERR_REVOKED = 11,      ///< communicator was revoked
+  MPI_ERR_WIN = 12,           ///< invalid window handle
 };
 
 /// Error handlers. The shim supports the two standard predefined handlers:
@@ -220,6 +234,52 @@ int MPI_Iallgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
 int MPI_Ireduce_scatter_block(const void* sendbuf, void* recvbuf,
                               int recvcount, MPI_Datatype type, MPI_Op op,
                               MPI_Comm comm, MPI_Request* request);
+
+// --- One-sided (MPI-3 RMA) ----------------------------------------------------
+//
+// Windows over mpi::Window (src/mpi/window.hpp): fence and passive-target
+// synchronisation, Put/Get/Accumulate, request-returning Rput/Rget whose
+// requests mix freely with every other kind in MPI_Wait*/Test*. Target
+// displacements are scaled by the window's disp_unit. Each window carries
+// its own error handler (MPI_Win_set_errhandler): under MPI_ERRORS_RETURN,
+// passive-target operations toward a dead rank return MPIX_ERR_PROC_FAILED
+// instead of hanging.
+
+/// Expose `size` bytes at `base` (memory from MPI_Alloc_mem). Collective.
+int MPI_Win_create(void* base, std::size_t size, int disp_unit,
+                   void* info_ignored, MPI_Comm comm, MPI_Win* win);
+/// Allocate `size` bytes and expose them; *baseptr receives the memory,
+/// which lives until MPI_Win_free. Collective.
+int MPI_Win_allocate(std::size_t size, int disp_unit, void* info_ignored,
+                     MPI_Comm comm, void* baseptr, MPI_Win* win);
+/// Collective teardown; *win becomes MPI_WIN_NULL. Freeing a stale handle
+/// copy succeeds idempotently.
+int MPI_Win_free(MPI_Win* win);
+int MPI_Win_fence(int assert_ignored, MPI_Win win);
+int MPI_Win_lock(int lock_type, int rank, int assert_ignored, MPI_Win win);
+int MPI_Win_lock_all(int assert_ignored, MPI_Win win);
+int MPI_Win_unlock(int rank, MPI_Win win);
+int MPI_Win_unlock_all(MPI_Win win);
+int MPI_Win_flush(int rank, MPI_Win win);
+int MPI_Win_flush_local(int rank, MPI_Win win);
+int MPI_Win_set_errhandler(MPI_Win win, MPI_Errhandler errhandler);
+
+int MPI_Put(const void* origin, int origin_count, MPI_Datatype origin_type,
+            int target_rank, std::size_t target_disp, int target_count,
+            MPI_Datatype target_type, MPI_Win win);
+int MPI_Get(void* origin, int origin_count, MPI_Datatype origin_type,
+            int target_rank, std::size_t target_disp, int target_count,
+            MPI_Datatype target_type, MPI_Win win);
+int MPI_Accumulate(const void* origin, int origin_count,
+                   MPI_Datatype origin_type, int target_rank,
+                   std::size_t target_disp, int target_count,
+                   MPI_Datatype target_type, MPI_Op op, MPI_Win win);
+int MPI_Rput(const void* origin, int origin_count, MPI_Datatype origin_type,
+             int target_rank, std::size_t target_disp, int target_count,
+             MPI_Datatype target_type, MPI_Win win, MPI_Request* request);
+int MPI_Rget(void* origin, int origin_count, MPI_Datatype origin_type,
+             int target_rank, std::size_t target_disp, int target_count,
+             MPI_Datatype target_type, MPI_Win win, MPI_Request* request);
 
 // --- Launcher ----------------------------------------------------------------------
 

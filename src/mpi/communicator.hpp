@@ -226,6 +226,23 @@ class Communicator {
     engine_.ib().free_buffer(buf);
   }
 
+  /// Cluster-unique id for the next window created on this communicator.
+  /// Window creation is collective and posted in the same order on every
+  /// member, so the per-comm sequence agrees everywhere — the same argument
+  /// that makes next_coll_tag_base consistent.
+  std::uint64_t next_win_id() {
+    return (static_cast<std::uint64_t>(id_) << 32) | win_seq_++;
+  }
+
+  /// Rank-local id for a persistent channel's checker exposures. Unlike
+  /// window ids this needs no cross-rank agreement (channels are pairwise
+  /// and never touch the lock board), so the counter is free-running; the
+  /// high bit keeps the namespace disjoint from window ids.
+  std::uint64_t next_channel_id() {
+    return (1ull << 63) | (static_cast<std::uint64_t>(id_) << 32) |
+           chan_seq_++;
+  }
+
  private:
   int to_world(int comm_rank) const;
   int from_world(int world_rank) const;
@@ -304,6 +321,10 @@ class Communicator {
   /// Agreement round counter; advances identically on every member because
   /// agree() is collective, so (comm id, round) names one vote board.
   std::uint64_t agree_seq_ = 0;
+  /// Window creation counter feeding next_win_id.
+  std::uint32_t win_seq_ = 0;
+  /// Channel exposure-id counter feeding next_channel_id (rank-local).
+  std::uint32_t chan_seq_ = 0;
 };
 
 }  // namespace dcfa::mpi

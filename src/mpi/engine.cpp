@@ -162,6 +162,50 @@ const std::uint64_t* Bootstrap::get_decision(std::uint32_t comm,
   return it == decisions_.end() ? nullptr : &it->second;
 }
 
+bool Bootstrap::rma_try_lock(std::uint64_t win, int target, int origin,
+                             bool exclusive) {
+  RmaLockSlot& slot = rma_locks_[{win, target}];
+  if (slot.exclusive == origin || slot.shared.count(origin) > 0) {
+    return true;  // already held (re-grant is idempotent)
+  }
+  if (slot.exclusive >= 0) return false;
+  if (exclusive) {
+    if (!slot.shared.empty()) return false;
+    slot.exclusive = origin;
+  } else {
+    slot.shared.insert(origin);
+  }
+  return true;
+}
+
+void Bootstrap::rma_unlock(std::uint64_t win, int target, int origin) {
+  auto it = rma_locks_.find({win, target});
+  if (it == rma_locks_.end()) return;
+  RmaLockSlot& slot = it->second;
+  if (slot.exclusive == origin) slot.exclusive = -1;
+  slot.shared.erase(origin);
+  if (slot.exclusive < 0 && slot.shared.empty()) rma_locks_.erase(it);
+  notify();
+}
+
+void Bootstrap::rma_release_rank(int origin) {
+  bool changed = false;
+  for (auto it = rma_locks_.begin(); it != rma_locks_.end();) {
+    RmaLockSlot& slot = it->second;
+    if (slot.exclusive == origin) {
+      slot.exclusive = -1;
+      changed = true;
+    }
+    changed |= slot.shared.erase(origin) > 0;
+    if (slot.exclusive < 0 && slot.shared.empty()) {
+      it = rma_locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (changed) notify();
+}
+
 // ---------------------------------------------------------------------------
 // Engine lifecycle
 // ---------------------------------------------------------------------------
@@ -503,6 +547,8 @@ void Engine::forget_buffer(const mem::Buffer& buf) {
 }
 
 sim::Checker& Engine::chk() { return ib_->process().engine().checker(); }
+
+sim::Checker& Engine::checker() { return chk(); }
 
 // ---------------------------------------------------------------------------
 // TX plumbing
@@ -1265,6 +1311,10 @@ void Engine::adopt_failures() {
     if (r == rank_) continue;  // our own death unwinds via check_alive
     if (!known_failed_.insert(r).second) continue;
     ++stats_.rank_failures_known;
+    // Drop every passive-target RMA lock the victim held, so survivors
+    // spinning in Window::lock toward one of its slots wake and re-arbitrate
+    // (or observe the death and raise PROC_FAILED) instead of hanging.
+    bootstrap_.rma_release_rank(r);
     const sim::Time now = ib_->process().now();
     const sim::Time died = bootstrap_.death_time(r);
     if (died >= 0 && now > died) {

@@ -118,8 +118,30 @@ class Bootstrap {
   const std::uint64_t* get_decision(std::uint32_t comm,
                                     std::uint64_t seq) const;
 
+  // --- RMA passive-target lock board (Window::lock/lock_all; docs/rma.md) ---
+  /// Out-of-band lock table keyed by (window id, target rank): the
+  /// passive-target side of MPI-3 RMA must not require the target to enter
+  /// MPI calls, so lock arbitration runs over the bootstrap (the PMI role),
+  /// exactly like agreement. An exclusive lock is granted only when no one
+  /// holds the slot; a shared lock coexists with other shared holders.
+  /// Returns false without side effects when the lock cannot be granted
+  /// now — callers wait on changed() and retry.
+  bool rma_try_lock(std::uint64_t win, int target, int origin, bool exclusive);
+  /// Release origin's hold (idempotent) and wake waiters.
+  void rma_unlock(std::uint64_t win, int target, int origin);
+  /// Drop every lock `origin` holds on any window (rank death: survivors
+  /// blocked in Window::lock toward a slot the victim held must not hang).
+  void rma_release_rank(int origin);
+
  private:
   void notify();
+
+  /// One passive-target lock slot (window, target): MPI-3 lock
+  /// compatibility — one exclusive holder XOR any number of shared ones.
+  struct RmaLockSlot {
+    int exclusive = -1;        ///< origin holding exclusive, -1 if none
+    std::set<int> shared;      ///< origins holding shared
+  };
 
   std::map<std::pair<int, int>, PeerInfo> table_;
   std::map<std::tuple<int, int, std::uint32_t>, PeerInfo> epoch_table_;
@@ -132,6 +154,7 @@ class Bootstrap {
   std::map<std::tuple<std::uint32_t, std::uint64_t, int>, std::uint64_t>
       votes_;
   std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> decisions_;
+  std::map<std::pair<std::uint64_t, int>, RmaLockSlot> rma_locks_;
   sim::Condition cond_;
 };
 
@@ -235,6 +258,16 @@ class Engine {
     std::uint64_t failure_detect_max_ns = 0; ///< max(adopt time - death time)
     std::uint64_t proc_failed_ops = 0;   ///< ops failed with PROC_FAILED
     std::uint64_t comms_revoked = 0;     ///< revocations processed locally
+    // --- One-sided RMA (Window / Channel; bumped from window.cpp,
+    // channel.cpp via coll_stats(), like the collectives counters) ------------
+    std::uint64_t rma_puts = 0;          ///< put/rput operations started
+    std::uint64_t rma_gets = 0;          ///< get/rget operations started
+    std::uint64_t rma_accumulates = 0;   ///< accumulate operations started
+    std::uint64_t rma_flushes = 0;       ///< flush/flush_local completions
+    std::uint64_t rma_locks = 0;         ///< passive-target locks granted
+    std::uint64_t rma_mr_negotiations = 0;  ///< window/channel MRs exposed
+    std::uint64_t channel_posts = 0;     ///< persistent-channel hot-path posts
+    std::uint64_t channel_negotiations = 0; ///< channel setup rkey exchanges
   };
 
   Engine(int rank, int nranks, std::unique_ptr<verbs::Ib> ib,
@@ -325,8 +358,29 @@ class Engine {
   void rma_read(int peer, const mem::Buffer& local, std::size_t loff,
                 std::size_t bytes, mem::SimAddr remote_addr, ib::MKey rkey,
                 std::function<void()> on_done);
+  /// Fully pre-negotiated RDMA write (persistent channels): both keys were
+  /// exchanged at setup, so the hot path does no MR lookup, registration or
+  /// staging — the pMR design point. Self-writes short-circuit like
+  /// rma_write's.
+  void rma_write_prereg(int peer, mem::SimAddr local_addr, ib::MKey lkey,
+                        std::size_t bytes, mem::SimAddr remote_addr,
+                        ib::MKey rkey, std::function<void()> on_done);
+  /// Pick the source (addr, lkey) a prereg write should post from: the
+  /// offload shadow when that's how a large co-processor payload should
+  /// leave the node (same rules as rendezvous staging), else the direct
+  /// buffer with `direct_lkey`. The first call per buffer registers the
+  /// shadow — channels call it once at setup so their hot loop only pays
+  /// the PCIe sync, never a negotiation.
+  std::pair<mem::SimAddr, ib::MKey> rma_stage(const mem::Buffer& local,
+                                              std::size_t loff,
+                                              std::size_t bytes,
+                                              ib::MKey direct_lkey);
   /// Drive progress until `pred()` holds (blocks the owning process).
   void wait_until(const std::function<bool()>& pred);
+  /// The cluster invariant checker, for components layered above the engine
+  /// (Window/Channel epoch and exposure hooks). Same instance chk() serves
+  /// the protocol internals.
+  sim::Checker& checker();
 
   // --- Rank-failure semantics (ULFM-style recovery; docs/faults.md) ----------
   /// True once this rank's scheduled rank_kill fired. Every blocking entry

@@ -16,7 +16,7 @@ class Engine;
 /// Internal request state. Lifetime is managed by shared_ptr: the user's
 /// Request handle and the protocol engine both hold references.
 struct RequestState {
-  enum class Kind { Send, Recv, Coll };
+  enum class Kind { Send, Recv, Coll, Rma };
   enum class Phase {
     Queued,        ///< created, protocol not yet decided / waiting for seq
     EagerSent,     ///< (send) data staged & written — complete for MPI
@@ -31,6 +31,10 @@ struct RequestState {
   // Kind::Coll requests back a collective schedule (mpi/coll.hpp): they sit
   // in Queued while the engine advances the schedule's stages and jump
   // straight to Complete/Error. The fields below the envelope are unused.
+  // Kind::Rma requests back a window rput/rget (mpi/window.hpp): same shape
+  // — Queued until the RDMA op's completion callback fires, then straight
+  // to Complete/Error. Completion is phase-based, so they mix freely with
+  // p2p and collective requests in every wait/test set.
 
   Kind kind = Kind::Send;
   Phase phase = Phase::Queued;
@@ -104,6 +108,7 @@ class Request {
  private:
   friend class Engine;
   friend class Communicator;
+  friend class Window;
   explicit Request(std::shared_ptr<RequestState> s) : state_(std::move(s)) {}
   std::shared_ptr<RequestState> state_;
 };

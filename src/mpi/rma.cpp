@@ -10,6 +10,7 @@
 namespace dcfa::mpi {
 
 ib::MemoryRegion* Engine::expose_window_mr(const mem::Buffer& buf) {
+  ++stats_.rma_mr_negotiations;
   return ib_->reg_mr(pd_, buf,
                      ib::kLocalWrite | ib::kRemoteRead | ib::kRemoteWrite);
 }
@@ -21,6 +22,12 @@ void Engine::release_window_mr(ib::MemoryRegion* mr) {
 void Engine::rma_write(int peer, const mem::Buffer& local, std::size_t loff,
                        std::size_t bytes, mem::SimAddr remote_addr,
                        ib::MKey rkey, std::function<void()> on_done) {
+  if (peer != rank_ && rank_failed(peer)) {
+    ++stats_.proc_failed_ops;
+    throw MpiError("RMA write to dead rank " + std::to_string(peer),
+                   MpiErrc::ProcFailed, peer);
+  }
+  chk().rma_remote_access(rank_, peer, remote_addr, bytes);
   if (peer == rank_) {
     // Local window: plain copy at memcpy cost.
     std::byte* dst = ib_->hca_ref().memory().space(local.domain())
@@ -71,6 +78,12 @@ void Engine::rma_write(int peer, const mem::Buffer& local, std::size_t loff,
 void Engine::rma_read(int peer, const mem::Buffer& local, std::size_t loff,
                       std::size_t bytes, mem::SimAddr remote_addr,
                       ib::MKey rkey, std::function<void()> on_done) {
+  if (peer != rank_ && rank_failed(peer)) {
+    ++stats_.proc_failed_ops;
+    throw MpiError("RMA read from dead rank " + std::to_string(peer),
+                   MpiErrc::ProcFailed, peer);
+  }
+  chk().rma_remote_access(rank_, peer, remote_addr, bytes);
   if (peer == rank_) {
     const std::byte* src = ib_->hca_ref().memory().space(local.domain())
                                .resolve(remote_addr, bytes);
@@ -99,6 +112,67 @@ void Engine::rma_read(int peer, const mem::Buffer& local, std::size_t loff,
     if (on_done) on_done();
   };
   ib_->post_send(ep.qp, std::move(wr));
+}
+
+void Engine::rma_write_prereg(int peer, mem::SimAddr local_addr,
+                              ib::MKey lkey, std::size_t bytes,
+                              mem::SimAddr remote_addr, ib::MKey rkey,
+                              std::function<void()> on_done) {
+  if (peer != rank_ && rank_failed(peer)) {
+    ++stats_.proc_failed_ops;
+    throw MpiError("channel post to dead rank " + std::to_string(peer),
+                   MpiErrc::ProcFailed, peer);
+  }
+  chk().rma_remote_access(rank_, peer, remote_addr, bytes);
+  if (peer == rank_) {
+    // Self channel: both sides live in this rank's node memory. Simulated
+    // addresses encode the domain (mem::base_for puts PhiGddr at bit 39),
+    // so each endpoint resolves through its own space.
+    auto& memory = ib_->hca_ref().memory();
+    auto resolve = [&](mem::SimAddr a, std::size_t n) {
+      const mem::Domain d = (a >> 39) & 1 ? mem::Domain::PhiGddr
+                                          : mem::Domain::HostDram;
+      return memory.space(d).resolve(a, n);
+    };
+    std::memcpy(resolve(remote_addr, bytes), resolve(local_addr, bytes),
+                bytes);
+    ib_->charge_memcpy(bytes);
+    if (on_done) on_done();
+    return;
+  }
+  Endpoint& ep = endpoint(peer);
+
+  ib::SendWr wr;
+  wr.opcode = ib::Opcode::RdmaWrite;
+  wr.signaled = true;
+  wr.wr_id = next_wr_id_++;
+  wr.sg_list = {{local_addr, static_cast<std::uint32_t>(bytes), lkey}};
+  wr.remote_addr = remote_addr;
+  wr.rkey = rkey;
+  outstanding_[wr.wr_id] = [this, on_done = std::move(on_done)](
+                               const ib::Wc& wc) {
+    if (wc.status != ib::WcStatus::Success) {
+      throw MpiError(std::string("channel post failed: ") +
+                     ib::wc_status_name(wc.status));
+    }
+    if (on_done) on_done();
+  };
+  ib_->post_send(ep.qp, std::move(wr));
+}
+
+std::pair<mem::SimAddr, ib::MKey> Engine::rma_stage(const mem::Buffer& local,
+                                                    std::size_t loff,
+                                                    std::size_t bytes,
+                                                    ib::MKey direct_lkey) {
+  if (shadow_cache_ && bytes >= offload_threshold_ &&
+      local.domain() == mem::Domain::PhiGddr) {
+    const core::OffloadRegion& region = shadow_cache_->get(local);
+    phi_->sync_offload_mr(region, local, loff, bytes);
+    ++stats_.offload_syncs;
+    stats_.offload_sync_bytes += bytes;
+    return {region.host_addr + loff, region.lkey};
+  }
+  return {local.addr() + loff, direct_lkey};
 }
 
 void Engine::wait_until(const std::function<bool()>& pred) {

@@ -21,8 +21,11 @@ struct Status {
   std::size_t bytes = 0;
 };
 
-/// Reduction operators for reduce/allreduce/scan.
-enum class Op { Sum, Max, Min, Prod };
+/// Reduction operators for reduce/allreduce/scan. Replace (MPI_REPLACE) is
+/// RMA-only: Window::accumulate treats it as an element-wise overwrite (an
+/// atomic put under the window's lock discipline); the collective reduction
+/// paths reject it.
+enum class Op { Sum, Max, Min, Prod, Replace };
 
 /// Error taxonomy attached to failed requests and thrown MpiErrors. The
 /// interesting distinctions for fault-tolerant callers are ProcFailed (a

@@ -23,6 +23,11 @@ const char* check_kind_name(CheckKind k) {
     case CheckKind::FailureReplay: return "failure-replay";
     case CheckKind::DeadRankTraffic: return "dead-rank-traffic";
     case CheckKind::RevokedUse: return "revoked-use";
+    case CheckKind::RmaNoEpoch: return "rma-no-epoch";
+    case CheckKind::RmaLockConflict: return "rma-lock-conflict";
+    case CheckKind::RmaLockOrder: return "rma-lock-order";
+    case CheckKind::RmaUnflushed: return "rma-unflushed";
+    case CheckKind::RmaBounds: return "rma-bounds";
   }
   return "unknown";
 }
@@ -391,6 +396,223 @@ void Checker::coll_failed(std::uint64_t check_id) {
   if (!cs.live) return;  // failing an already-finished schedule is a no-op
   cs.live = false;
   window_.erase({cs.rank, cs.comm, cs.window_slot});
+}
+
+// --- RMA windows: exposures, epoch machine, locks, flushes -------------------
+
+namespace {
+std::string win_str(int rank, std::uint64_t win) {
+  std::ostringstream os;
+  os << "rank " << rank << " win " << std::hex << win;
+  return os.str();
+}
+}  // namespace
+
+void Checker::rma_exposed(int rank, std::uint64_t id, std::uint64_t addr,
+                          std::uint64_t len) {
+  if (!on()) return;
+  count();
+  rma_exposures_[{rank, id}] = Exposure{addr, len};
+}
+
+void Checker::rma_unexposed(int rank, std::uint64_t id) {
+  if (!on()) return;
+  count();
+  rma_exposures_.erase({rank, id});
+}
+
+void Checker::rma_remote_access(int rank, int target, std::uint64_t addr,
+                                std::uint64_t len) {
+  if (!full()) return;
+  count();
+  // The access must land wholly inside one region `target` exposed. This is
+  // the remote-rkey path: the origin's own argument checks can be wrong (or
+  // bypassed), so the bounds are re-derived from the target's ledger.
+  auto it = rma_exposures_.lower_bound({target, 0});
+  for (; it != rma_exposures_.end() && it->first.first == target; ++it) {
+    const Exposure& e = it->second;
+    if (addr >= e.addr && addr + len <= e.addr + e.len) return;
+  }
+  violate(CheckKind::RmaBounds,
+          "rank " + std::to_string(rank) + " RMA access [" +
+              std::to_string(addr) + ", " + std::to_string(addr + len) +
+              ") is outside every region rank " + std::to_string(target) +
+              " exposed");
+}
+
+void Checker::win_fence(int rank, std::uint64_t win) {
+  if (!on()) return;
+  count();
+  RmaEpochState& st = rma_state(rank, win);
+  if (st.lock_all || !st.locks.empty())
+    violate(CheckKind::RmaLockOrder,
+            "fence on " + win_str(rank, win) +
+                " while passive-target locks are held (sync modes must not "
+                "mix within an epoch)");
+  if (st.pending_total != 0)
+    violate(CheckKind::RmaUnflushed,
+            "fence on " + win_str(rank, win) + " closed with " +
+                std::to_string(st.pending_total) +
+                " ops still pending (the engine must quiesce first)");
+  st.fence_open = true;
+  st.pending.clear();
+}
+
+void Checker::win_lock(int rank, std::uint64_t win, int target,
+                       bool exclusive) {
+  if (!on()) return;
+  count();
+  RmaEpochState& st = rma_state(rank, win);
+  if (st.locks.count(target) > 0 || st.lock_all)
+    violate(CheckKind::RmaLockOrder,
+            win_str(rank, win) + ": lock(target " + std::to_string(target) +
+                ") while already holding a lock there (double lock)");
+  // Lock-compatibility matrix: shared|shared is the only concurrent pair.
+  RmaLockHolders& h = rma_locks_[{win, target}];
+  if (h.exclusive >= 0)
+    violate(CheckKind::RmaLockConflict,
+            win_str(rank, win) + ": lock(target " + std::to_string(target) +
+                ") granted while rank " + std::to_string(h.exclusive) +
+                " holds the exclusive lock");
+  if (exclusive && !h.shared.empty())
+    violate(CheckKind::RmaLockConflict,
+            win_str(rank, win) + ": exclusive lock on target " +
+                std::to_string(target) + " granted while " +
+                std::to_string(h.shared.size()) + " shared lock(s) are held");
+  if (exclusive)
+    h.exclusive = rank;
+  else
+    h.shared.insert(rank);
+  st.locks.insert(target);
+}
+
+void Checker::win_unlock(int rank, std::uint64_t win, int target) {
+  if (!on()) return;
+  count();
+  RmaEpochState& st = rma_state(rank, win);
+  if (st.locks.count(target) == 0)
+    violate(CheckKind::RmaLockOrder,
+            win_str(rank, win) + ": unlock(target " + std::to_string(target) +
+                ") without holding a lock there");
+  const std::uint64_t pending = st.pending.count(target) ? st.pending[target]
+                                                         : 0;
+  if (pending != 0)
+    violate(CheckKind::RmaUnflushed,
+            win_str(rank, win) + ": unlock(target " + std::to_string(target) +
+                ") with " + std::to_string(pending) +
+                " ops still pending (unlock implies flush)");
+  st.locks.erase(target);
+  RmaLockHolders& h = rma_locks_[{win, target}];
+  if (h.exclusive == rank)
+    h.exclusive = -1;
+  else
+    h.shared.erase(rank);
+}
+
+void Checker::win_lock_all(int rank, std::uint64_t win, int nranks) {
+  if (!on()) return;
+  count();
+  RmaEpochState& st = rma_state(rank, win);
+  if (st.lock_all || !st.locks.empty())
+    violate(CheckKind::RmaLockOrder,
+            win_str(rank, win) +
+                ": lock_all while already inside a passive epoch");
+  // lock_all is shared mode on every target: conflicts only with exclusive.
+  for (int t = 0; t < nranks; ++t) {
+    RmaLockHolders& h = rma_locks_[{win, t}];
+    if (h.exclusive >= 0)
+      violate(CheckKind::RmaLockConflict,
+              win_str(rank, win) + ": lock_all granted while rank " +
+                  std::to_string(h.exclusive) +
+                  " holds the exclusive lock on target " + std::to_string(t));
+    h.shared.insert(rank);
+  }
+  st.lock_all = true;
+}
+
+void Checker::win_unlock_all(int rank, std::uint64_t win) {
+  if (!on()) return;
+  count();
+  RmaEpochState& st = rma_state(rank, win);
+  if (!st.lock_all)
+    violate(CheckKind::RmaLockOrder,
+            win_str(rank, win) + ": unlock_all without lock_all");
+  if (st.pending_total != 0)
+    violate(CheckKind::RmaUnflushed,
+            win_str(rank, win) + ": unlock_all with " +
+                std::to_string(st.pending_total) +
+                " ops still pending (unlock implies flush)");
+  for (auto& [key, h] : rma_locks_) {
+    if (key.first != win) continue;
+    if (h.exclusive == rank) h.exclusive = -1;
+    h.shared.erase(rank);
+  }
+  st.lock_all = false;
+  st.pending.clear();
+}
+
+void Checker::rma_op(int rank, std::uint64_t win, int target) {
+  if (!on()) return;
+  count();
+  RmaEpochState& st = rma_state(rank, win);
+  const bool passive = st.lock_all || st.locks.count(target) > 0;
+  if (!passive) {
+    if (!st.locks.empty())
+      violate(CheckKind::RmaNoEpoch,
+              win_str(rank, win) + ": op toward target " +
+                  std::to_string(target) +
+                  " which is not covered by the held lock set");
+    else if (!st.fence_open)
+      violate(CheckKind::RmaNoEpoch,
+              win_str(rank, win) + ": op toward target " +
+                  std::to_string(target) +
+                  " with no access epoch open (no fence, no lock)");
+  }
+  ++st.pending[target];
+  ++st.pending_total;
+}
+
+void Checker::rma_completed(int rank, std::uint64_t win, int target) {
+  if (!on()) return;
+  count();
+  RmaEpochState& st = rma_state(rank, win);
+  auto it = st.pending.find(target);
+  if (it != st.pending.end() && it->second > 0) {
+    --it->second;
+    --st.pending_total;
+  }
+}
+
+void Checker::rma_flushed(int rank, std::uint64_t win, int target) {
+  if (!on()) return;
+  count();
+  RmaEpochState& st = rma_state(rank, win);
+  if (!st.lock_all && st.locks.count(target) == 0)
+    violate(CheckKind::RmaLockOrder,
+            win_str(rank, win) + ": flush(target " + std::to_string(target) +
+                ") outside a passive-target epoch");
+  const std::uint64_t pending = st.pending.count(target) ? st.pending[target]
+                                                         : 0;
+  if (pending != 0)
+    violate(CheckKind::RmaUnflushed,
+            win_str(rank, win) + ": flush(target " + std::to_string(target) +
+                ") reported complete with " + std::to_string(pending) +
+                " ops still pending (the engine must drain first)");
+}
+
+void Checker::win_freed(int rank, std::uint64_t win) {
+  if (!on()) return;
+  count();
+  RmaEpochState& st = rma_state(rank, win);
+  if (st.lock_all || !st.locks.empty())
+    violate(CheckKind::RmaLockOrder,
+            win_str(rank, win) + ": freed while passive-target locks are "
+                                 "held");
+  if (st.pending_total != 0)
+    violate(CheckKind::RmaUnflushed,
+            win_str(rank, win) + ": freed with " +
+                std::to_string(st.pending_total) + " ops still pending");
+  rma_state_.erase({rank, win});
 }
 
 // --- rank-failure / revocation ledgers --------------------------------------

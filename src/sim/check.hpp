@@ -42,6 +42,11 @@ enum class CheckKind {
   FailureReplay,   ///< a rank adopted the same peer failure twice
   DeadRankTraffic, ///< a rank adopted a failure of / heard from itself dead
   RevokedUse,      ///< a collective started on a revoked communicator
+  RmaNoEpoch,      ///< an RMA op was issued with no access epoch open
+  RmaLockConflict, ///< a granted window lock conflicts with a held one
+  RmaLockOrder,    ///< lock/unlock/fence sequencing broke the epoch machine
+  RmaUnflushed,    ///< an epoch closed with RMA ops still un-flushed
+  RmaBounds,       ///< a remote-rkey access escaped the target's exposures (Full)
 };
 
 const char* check_kind_name(CheckKind k);
@@ -177,6 +182,50 @@ class Checker {
   /// level, so the checker too sees each (rank, comm) pair at most once.
   void comm_revoked(int rank, std::uint32_t comm);
 
+  // --- RMA windows: exposure registry, epoch machine, locks, flushes -------
+  //
+  // Shadow ledgers for the one-sided subsystem (docs/rma.md). Exposures are
+  // the remote-rkey side: every region a rank advertises for RMA (window or
+  // persistent channel) registers here, and at Full every remote access is
+  // re-validated against the *target's* exposure set — the cross-rank bounds
+  // check the origin-side argument validation cannot substitute for. The
+  // epoch machine audits, per (origin rank, window): fence/lock mode
+  // exclusivity, lock compatibility across origins, and flush ordering
+  // (no epoch may close while ops are still pending).
+
+  /// `rank` exposed [addr, addr+len) for remote one-sided access under
+  /// rank-local exposure id `id`.
+  void rma_exposed(int rank, std::uint64_t id, std::uint64_t addr,
+                   std::uint64_t len);
+  void rma_unexposed(int rank, std::uint64_t id);
+  /// Origin `rank` posted a remote access (RDMA write/read) hitting
+  /// [addr, addr+len) in `target`'s memory. Full re-validates containment
+  /// in one of the target's live exposures.
+  void rma_remote_access(int rank, int target, std::uint64_t addr,
+                         std::uint64_t len);
+
+  /// `rank` completed a fence on window `win` (called after quiescing, so
+  /// no op may still be pending). Opens/continues the fence epoch; illegal
+  /// while passive-target locks are held.
+  void win_fence(int rank, std::uint64_t win);
+  /// `rank` was *granted* a shared/exclusive lock on `target`'s side of
+  /// `win`. Checks the lock-compatibility matrix against every holder.
+  void win_lock(int rank, std::uint64_t win, int target, bool exclusive);
+  void win_unlock(int rank, std::uint64_t win, int target);
+  /// lock_all is shared-mode on every target (MPI semantics).
+  void win_lock_all(int rank, std::uint64_t win, int nranks);
+  void win_unlock_all(int rank, std::uint64_t win);
+  /// `rank` issued put/get/accumulate on `win` toward `target`: requires an
+  /// open access epoch covering that target, and counts as pending until
+  /// rma_completed.
+  void rma_op(int rank, std::uint64_t win, int target);
+  void rma_completed(int rank, std::uint64_t win, int target);
+  /// `rank` finished a flush toward `target` (engine must have drained
+  /// first): requires a passive epoch on that target and zero pending ops.
+  void rma_flushed(int rank, std::uint64_t win, int target);
+  /// Window freed: every epoch must be closed and every op flushed.
+  void win_freed(int rank, std::uint64_t win);
+
   // --- wire-format helpers ------------------------------------------------
 
   /// Raise a WireBounds violation (used by mpi/wire.hpp when a packed copy
@@ -260,6 +309,31 @@ class Checker {
   std::vector<CollState> colls_;
   std::set<std::pair<int, int>> failures_seen_;           // (rank, failed)
   std::set<std::pair<int, std::uint32_t>> revoked_seen_;  // (rank, comm)
+
+  // --- RMA shadow state -----------------------------------------------------
+  struct Exposure {
+    std::uint64_t addr = 0;
+    std::uint64_t len = 0;
+  };
+  struct RmaEpochState {
+    bool fence_open = false;   // a fence ran; fence-mode ops are legal
+    bool lock_all = false;
+    std::set<int> locks;       // targets this origin holds a lock on
+    std::map<int, std::uint64_t> pending;  // un-flushed ops per target
+    std::uint64_t pending_total = 0;
+  };
+  struct RmaLockHolders {
+    int exclusive = -1;        // origin holding the exclusive lock, or -1
+    std::set<int> shared;      // origins holding shared locks
+  };
+  RmaEpochState& rma_state(int rank, std::uint64_t win) {
+    return rma_state_[{rank, win}];
+  }
+
+  // (rank, exposure id) -> region; bounds lookups scan one rank's exposures.
+  std::map<std::pair<int, std::uint64_t>, Exposure> rma_exposures_;
+  std::map<std::pair<int, std::uint64_t>, RmaEpochState> rma_state_;
+  std::map<std::pair<std::uint64_t, int>, RmaLockHolders> rma_locks_;
 };
 
 }  // namespace dcfa::sim

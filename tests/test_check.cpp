@@ -413,6 +413,139 @@ TEST(CheckEndToEnd, MrCacheStaleEntryIsCaughtAtHandout) {
   EXPECT_TRUE(caught) << "stale MrCache hit was not flagged";
 }
 
+// --- RMA shadow ledgers (epoch state machine, lock matrix, flush, bounds) ----
+
+TEST(CheckRma, OpWithNoEpochOpenIsViolation) {
+  Checker chk(CheckLevel::Cheap);
+  chk.rma_exposed(0, 7, 0x1000, 256);
+  // Seeded bug: an RMA op issued before any fence or lock opened an epoch.
+  expect_violation(CheckKind::RmaNoEpoch, [&] { chk.rma_op(0, 7, 1); });
+}
+
+TEST(CheckRma, OpOutsideHeldLockSetIsViolation) {
+  Checker chk(CheckLevel::Cheap);
+  chk.win_fence(0, 7);
+  chk.win_lock(0, 7, /*target=*/1, /*exclusive=*/false);
+  // Lock set covers target 1 only; an op toward 2 escapes the epoch.
+  expect_violation(CheckKind::RmaNoEpoch, [&] { chk.rma_op(0, 7, 2); });
+}
+
+TEST(CheckRma, TwoExclusiveHoldersIsConflict) {
+  Checker chk(CheckLevel::Cheap);
+  chk.win_lock(0, 7, 1, /*exclusive=*/true);
+  // Seeded bug: the lock board grants a second exclusive on the same
+  // (window, target) — the matrix allows only shared|shared concurrency.
+  expect_violation(CheckKind::RmaLockConflict,
+                   [&] { chk.win_lock(2, 7, 1, /*exclusive=*/true); });
+}
+
+TEST(CheckRma, ExclusiveOverSharedIsConflict) {
+  Checker chk(CheckLevel::Cheap);
+  chk.win_lock(0, 7, 1, /*exclusive=*/false);
+  expect_violation(CheckKind::RmaLockConflict,
+                   [&] { chk.win_lock(2, 7, 1, /*exclusive=*/true); });
+}
+
+TEST(CheckRma, LockAllOverExclusiveIsConflict) {
+  Checker chk(CheckLevel::Cheap);
+  chk.win_lock(0, 7, /*target=*/2, /*exclusive=*/true);
+  expect_violation(CheckKind::RmaLockConflict,
+                   [&] { chk.win_lock_all(1, 7, /*nranks=*/4); });
+}
+
+TEST(CheckRma, SharedHoldersCoexist) {
+  Checker chk(CheckLevel::Cheap);
+  chk.win_lock(0, 7, 1, false);
+  chk.win_lock(2, 7, 1, false);
+  chk.win_lock(3, 7, 1, false);
+  chk.win_unlock(2, 7, 1);
+  EXPECT_EQ(chk.violations(), 0u);
+}
+
+TEST(CheckRma, DoubleLockIsOrderViolation) {
+  Checker chk(CheckLevel::Cheap);
+  chk.win_lock(0, 7, 1, false);
+  expect_violation(CheckKind::RmaLockOrder,
+                   [&] { chk.win_lock(0, 7, 1, false); });
+}
+
+TEST(CheckRma, UnlockWithoutLockIsOrderViolation) {
+  Checker chk(CheckLevel::Cheap);
+  expect_violation(CheckKind::RmaLockOrder, [&] { chk.win_unlock(0, 7, 1); });
+}
+
+TEST(CheckRma, FenceInsidePassiveEpochIsOrderViolation) {
+  Checker chk(CheckLevel::Cheap);
+  chk.win_lock(0, 7, 1, false);
+  // Sync modes must not mix: fence while a lock epoch is open.
+  expect_violation(CheckKind::RmaLockOrder, [&] { chk.win_fence(0, 7); });
+}
+
+TEST(CheckRma, FlushOutsidePassiveEpochIsOrderViolation) {
+  Checker chk(CheckLevel::Cheap);
+  chk.win_fence(0, 7);
+  expect_violation(CheckKind::RmaLockOrder, [&] { chk.rma_flushed(0, 7, 1); });
+}
+
+TEST(CheckRma, UnlockWithPendingOpsIsUnflushed) {
+  Checker chk(CheckLevel::Cheap);
+  chk.win_lock(0, 7, 1, false);
+  chk.rma_op(0, 7, 1);
+  // Seeded bug: unlock reported before the engine quiesced the target.
+  expect_violation(CheckKind::RmaUnflushed, [&] { chk.win_unlock(0, 7, 1); });
+}
+
+TEST(CheckRma, FenceWithPendingOpsIsUnflushed) {
+  Checker chk(CheckLevel::Cheap);
+  chk.win_fence(0, 7);
+  chk.rma_op(0, 7, 1);
+  expect_violation(CheckKind::RmaUnflushed, [&] { chk.win_fence(0, 7); });
+}
+
+TEST(CheckRma, FlushDrainsPendingForUnlock) {
+  Checker chk(CheckLevel::Cheap);
+  chk.win_lock(0, 7, 1, false);
+  chk.rma_op(0, 7, 1);
+  chk.rma_op(0, 7, 1);
+  chk.rma_completed(0, 7, 1);
+  chk.rma_completed(0, 7, 1);
+  chk.rma_flushed(0, 7, 1);
+  chk.win_unlock(0, 7, 1);
+  EXPECT_EQ(chk.violations(), 0u);
+}
+
+TEST(CheckRma, RemoteAccessOutsideExposureIsBounds) {
+  // The rkey path: bounds are re-derived from the *target's* exposure
+  // ledger, so a corrupt origin-side displacement cannot sneak past.
+  Checker chk(CheckLevel::Full);
+  chk.rma_exposed(1, 7, 0x1000, 256);
+  chk.rma_remote_access(0, 1, 0x1000, 256);  // exactly the region: fine
+  EXPECT_EQ(chk.violations(), 0u);
+  expect_violation(CheckKind::RmaBounds,
+                   [&] { chk.rma_remote_access(0, 1, 0x1100, 1); });
+  expect_violation(CheckKind::RmaBounds,
+                   [&] { chk.rma_remote_access(0, 1, 0x10ff, 2); });
+  expect_violation(CheckKind::RmaBounds,
+                   [&] { chk.rma_remote_access(0, 1, 0xfff, 2); });
+}
+
+TEST(CheckRma, UnexposedRegionIsBoundsViolation) {
+  Checker chk(CheckLevel::Full);
+  chk.rma_exposed(1, 7, 0x1000, 256);
+  chk.rma_unexposed(1, 7);
+  // Access after the window was freed: nothing is exposed any more.
+  expect_violation(CheckKind::RmaBounds,
+                   [&] { chk.rma_remote_access(0, 1, 0x1000, 8); });
+}
+
+TEST(CheckRma, BoundsCheckIsFullLevelOnly) {
+  // The per-access exposure scan is the expensive audit; Cheap keeps the
+  // epoch/lock ledgers but skips it.
+  Checker chk(CheckLevel::Cheap);
+  chk.rma_remote_access(0, 1, 0xdead, 64);
+  EXPECT_EQ(chk.violations(), 0u);
+}
+
 // --- integration: the live protocol is violation-free under full checking ---
 
 namespace {
