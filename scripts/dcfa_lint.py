@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """dcfa_lint: repo-specific protocol-hygiene lint for the DCFA-MPI tree.
 
-Four rule families, each encoding an invariant the generic toolchain cannot
+Six rule families, each encoding an invariant the generic toolchain cannot
 see (docs/checking.md has the rationale and the paper references):
 
   raw-post        ib::Hca::post_send/post_recv may only be called from the
@@ -29,13 +29,21 @@ see (docs/checking.md has the rationale and the paper references):
                   RDMA post anywhere else in src/mpi bypasses
                   chk().rma_remote_access and the passive-target epoch
                   ledgers — DcfaCheck would be blind to the access.
+  raw-swapcontext swapcontext() may only appear in src/sim/fiber.cpp
+                  (Fiber::resume/yield). A context switch anywhere else
+                  escapes the engine's event queue, which breaks both the
+                  determinism contract and schedule exploration
+                  (DCFA_SIM_SCHED=explore can only permute decisions that
+                  flow through Engine::schedule_at).
 
 A file can waive one rule with a justified marker comment:
 
     // dcfa-lint: allow-file(raw-post) -- benchmarks the raw verbs path
 
 The justification after `--` is mandatory; a bare waiver is itself a
-finding. Exit status is the number of findings (0 == clean).
+finding. A waiver whose rule would report nothing in that file is *stale*
+and is itself a finding — run with --prune to delete stale waivers in
+place. Exit status is the number of findings (0 == clean).
 
 If clang-tidy and build/compile_commands.json are present, the configured
 .clang-tidy checks run over the same file set; when either is missing the
@@ -104,12 +112,28 @@ RMA_EPOCH_ALLOWED = [
     "src/mpi/protocol.cpp",
 ]
 RMA_OPCODE = re.compile(r"Opcode::Rdma(?:Write|Read)\b")
+
+# raw-swapcontext: the one file that owns context switching. Everything the
+# simulator runs must block/resume through Engine::schedule_at so that
+# schedule exploration (and its replay tokens) covers every interleaving
+# decision; a stray swapcontext would be an invisible scheduling choice.
+SWAPCONTEXT_ALLOWED = ["src/sim/fiber.cpp"]
+SWAPCONTEXT_CALL = re.compile(r"\bswapcontext\s*\(")
+
 WAIVER = re.compile(r"//\s*dcfa-lint:\s*allow-file\((?P<rule>[\w-]+)\)(?P<just>.*)")
 
 findings: list[str] = []
+# Potential findings for the file currently being scanned, with waivers
+# ignored. main() applies the file's waivers afterwards — which is what lets
+# it notice *stale* waivers (a waived rule that reports nothing).
+file_findings: list[tuple[Path, int, str, str]] = []
 
 
 def finding(path: Path, lineno: int, rule: str, msg: str) -> None:
+    file_findings.append((path, lineno, rule, msg))
+
+
+def emit(path: Path, lineno: int, rule: str, msg: str) -> None:
     findings.append(f"{path.relative_to(ROOT)}:{lineno}: [{rule}] {msg}")
 
 
@@ -120,25 +144,41 @@ def strip_comments(line: str) -> str:
     return line.split("//", 1)[0]
 
 
-def file_waivers(text: str, path: Path) -> set[str]:
-    waived: set[str] = set()
+def file_waivers(text: str, path: Path) -> dict[str, int]:
+    """Justified waivers in `text` as {rule: first line number}. Unjustified
+    waivers are reported immediately (they are never valid)."""
+    waived: dict[str, int] = {}
     for i, line in enumerate(text.splitlines(), 1):
         m = WAIVER.search(line)
         if not m:
             continue
         just = m.group("just").strip()
         if not just.startswith("--") or len(just.lstrip("- ").strip()) < 8:
-            finding(path, i, "waiver",
-                    "allow-file waiver without a justification (`-- reason`)")
+            emit(path, i, "waiver",
+                 "allow-file waiver without a justification (`-- reason`)")
             continue
-        waived.add(m.group("rule"))
+        waived.setdefault(m.group("rule"), i)
     return waived
 
 
-def check_raw_post(path: Path, rel: str, lines: list[str], waived: set[str]) -> None:
+def prune_stale_waivers(path: Path, linenos: list[int]) -> None:
+    """Delete the waiver comment at each 1-based line number; drop the whole
+    line when nothing but the waiver (and whitespace) lives on it."""
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    doomed = set(linenos)
+    out: list[str] = []
+    for i, line in enumerate(lines, 1):
+        if i not in doomed:
+            out.append(line)
+            continue
+        kept = WAIVER.sub("", line)
+        if kept.strip():
+            out.append(kept.rstrip() + ("\n" if line.endswith("\n") else ""))
+    path.write_text("".join(out), encoding="utf-8")
+
+
+def check_raw_post(path: Path, rel: str, lines: list[str]) -> None:
     if any(rel.startswith(a) or rel == a for a in RAW_POST_ALLOWED):
-        return
-    if "raw-post" in waived:
         return
     for i, line in enumerate(lines, 1):
         if RAW_POST_CALL.search(strip_comments(line)):
@@ -147,10 +187,7 @@ def check_raw_post(path: Path, rel: str, lines: list[str], waived: set[str]) -> 
                     "route through mpi::Engine (or add a justified waiver)")
 
 
-def check_unchecked_result(path: Path, rel: str, lines: list[str],
-                           waived: set[str]) -> None:
-    if "unchecked-result" in waived:
-        return
+def check_unchecked_result(path: Path, rel: str, lines: list[str]) -> None:
     prev = ""
     for i, line in enumerate(lines, 1):
         code = strip_comments(line)
@@ -166,8 +203,8 @@ def check_unchecked_result(path: Path, rel: str, lines: list[str],
             prev = code
 
 
-def check_wire_structs(path: Path, rel: str, text: str, waived: set[str]) -> None:
-    if rel not in WIRE_STRUCTS or "wire-struct" in waived:
+def check_wire_structs(path: Path, rel: str, text: str) -> None:
+    if rel not in WIRE_STRUCTS:
         return
     for struct in WIRE_STRUCTS[rel]:
         m = re.search(r"struct\s+" + struct + r"\s*\{", text)
@@ -210,9 +247,8 @@ def check_wire_structs(path: Path, rel: str, text: str, waived: set[str]) -> Non
                     f"{struct}>) — wire structs are moved with byte copies")
 
 
-def check_naked_memcpy(path: Path, rel: str, lines: list[str],
-                       waived: set[str]) -> None:
-    if "naked-memcpy" in waived or rel.startswith("src/ib/"):
+def check_naked_memcpy(path: Path, rel: str, lines: list[str]) -> None:
+    if rel.startswith("src/ib/"):
         return
     banned = rel in MEMCPY_BANNED_FILES
     for i, line in enumerate(lines, 1):
@@ -227,11 +263,8 @@ def check_naked_memcpy(path: Path, rel: str, lines: list[str],
                     "mpi/wire.hpp so DcfaCheck sees the copy bounds")
 
 
-def check_rma_epoch(path: Path, rel: str, lines: list[str],
-                    waived: set[str]) -> None:
+def check_rma_epoch(path: Path, rel: str, lines: list[str]) -> None:
     if not rel.startswith("src/mpi/") or rel in RMA_EPOCH_ALLOWED:
-        return
-    if "rma-epoch" in waived:
         return
     for i, line in enumerate(lines, 1):
         if RMA_OPCODE.search(strip_comments(line)):
@@ -240,6 +273,18 @@ def check_rma_epoch(path: Path, rel: str, lines: list[str],
                     "this bypasses the window epoch hooks and the checker's "
                     "remote-access ledger — go through Engine::rma_* (or "
                     "add a justified waiver)")
+
+
+def check_swapcontext(path: Path, rel: str, lines: list[str]) -> None:
+    if rel in SWAPCONTEXT_ALLOWED:
+        return
+    for i, line in enumerate(lines, 1):
+        if SWAPCONTEXT_CALL.search(strip_comments(line)):
+            finding(path, i, "raw-swapcontext",
+                    "swapcontext outside src/sim/fiber.cpp: a context switch "
+                    "that does not flow through Engine::schedule_at is an "
+                    "interleaving decision the explore scheduler can neither "
+                    "permute nor replay")
 
 
 def run_clang_tidy(files: list[Path]) -> None:
@@ -261,6 +306,7 @@ def run_clang_tidy(files: list[Path]) -> None:
 
 
 def main() -> int:
+    prune = "--prune" in sys.argv
     files: list[Path] = []
     for d in SCAN_DIRS:
         for suf in CPP_SUFFIXES:
@@ -270,12 +316,31 @@ def main() -> int:
         text = path.read_text(encoding="utf-8", errors="replace")
         rel = str(path.relative_to(ROOT))
         lines = text.splitlines()
-        waived = file_waivers(text, path)
-        check_raw_post(path, rel, lines, waived)
-        check_unchecked_result(path, rel, lines, waived)
-        check_wire_structs(path, rel, text, waived)
-        check_naked_memcpy(path, rel, lines, waived)
-        check_rma_epoch(path, rel, lines, waived)
+        waivers = file_waivers(text, path)
+        file_findings.clear()
+        check_raw_post(path, rel, lines)
+        check_unchecked_result(path, rel, lines)
+        check_wire_structs(path, rel, text)
+        check_naked_memcpy(path, rel, lines)
+        check_rma_epoch(path, rel, lines)
+        check_swapcontext(path, rel, lines)
+
+        rules_hit = {rule for (_, _, rule, _) in file_findings}
+        for (p, ln, rule, msg) in file_findings:
+            if rule not in waivers:
+                emit(p, ln, rule, msg)
+        stale = sorted((ln, rule) for rule, ln in waivers.items()
+                       if rule not in rules_hit)
+        if stale and prune:
+            prune_stale_waivers(path, [ln for ln, _ in stale])
+            for ln, rule in stale:
+                print(f"dcfa_lint: pruned stale allow-file({rule}) "
+                      f"waiver at {rel}:{ln}")
+        else:
+            for ln, rule in stale:
+                emit(path, ln, "stale-waiver",
+                     f"allow-file({rule}) waiver but the rule reports "
+                     "nothing in this file; remove it (or run --prune)")
 
     if "--no-tidy" not in sys.argv:
         run_clang_tidy(files)

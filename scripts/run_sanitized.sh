@@ -24,9 +24,17 @@ fi
 BUILD_DIR="${2:-$DEFAULT_DIR}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
+# ccache, when installed, makes repeat sanitizer builds near-free (CI caches
+# ~/.cache/ccache across runs); a machine without it builds exactly as before.
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 cmake -B "$ROOT/$BUILD_DIR" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DDCFA_SANITIZE="$SANITIZERS"
+  -DDCFA_SANITIZE="$SANITIZERS" \
+  ${LAUNCHER_ARGS[@]+"${LAUNCHER_ARGS[@]}"}
 cmake --build "$ROOT/$BUILD_DIR" -j "$(nproc)"
 
 # halt_on_error so a sanitizer report fails the suite instead of scrolling by.

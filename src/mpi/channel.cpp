@@ -107,7 +107,14 @@ void Channel::post() {
       peer_world_, src_addr, src_lkey, bytes_,
       peer_recv_addr_, peer_recv_rkey_, [this] {
         Engine& en = eng();
-        std::memcpy(ctrl_.data() + 8, &posts_, sizeof posts_);
+        const std::uint64_t advertised = posts_;
+        std::memcpy(ctrl_.data() + 8, &advertised, sizeof advertised);
+        // DcfaRace HB edge source: the doorbell about to ring advertises
+        // `advertised` arrivals; whoever observes that count (or more)
+        // is ordered after everything this rank did up to here —
+        // including the payload write, whose tracked access closed in
+        // the completion that invoked this callback.
+        en.checker().channel_posted(en.rank(), peer_db_addr_, advertised);
         en.rma_write_prereg(peer_world_, ctrl_.addr() + 8, ctrl_mr_->lkey(),
                             8, peer_db_addr_, peer_db_rkey_,
                             [this] { --local_pending_; });
@@ -133,6 +140,11 @@ void Channel::wait_arrival() {
                        std::to_string(want),
                    MpiErrc::ProcFailed, peer_world_, comm_.id());
   }
+  // DcfaRace HB edge sink: we observed the doorbell value, so we are
+  // ordered after every post whose ring advertised at most that count.
+  // The poster keyed its releases by our cell's address (its
+  // peer_db_addr_), which is exactly ctrl_.addr() here.
+  e.checker().channel_waited(e.rank(), ctrl_.addr(), arrivals());
 }
 
 void Channel::wait_local() {

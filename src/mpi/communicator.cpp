@@ -195,6 +195,9 @@ std::uint64_t Communicator::agree(std::uint64_t value) {
   const std::uint64_t seq = ++agree_seq_;
   Bootstrap& bs = engine_.bootstrap();
   bs.post_vote(id_, seq, engine_.rank(), value);
+  // DcfaRace HB edge source: the vote publishes this rank's history to
+  // every rank that observes the round's decision.
+  engine_.checker().agree_voted(engine_.rank(), id_, seq);
   const std::uint64_t* dec = nullptr;
   engine_.wait_until_ft([&]() -> bool {
     dec = bs.get_decision(id_, seq);
@@ -223,6 +226,9 @@ std::uint64_t Communicator::agree(std::uint64_t value) {
     dec = bs.get_decision(id_, seq);
     return dec != nullptr;
   });
+  // DcfaRace HB edge sink: observing the decision orders this rank after
+  // every vote of the round (agreement acts as a barrier among voters).
+  engine_.checker().agree_decided(engine_.rank(), id_, seq);
   return *dec;
 }
 

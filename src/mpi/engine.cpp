@@ -2067,6 +2067,10 @@ void Engine::complete(const std::shared_ptr<RequestState>& req, int source,
   // A request the failure layer already condemned (dead peer, revoked comm)
   // stays failed even if its last transfer races to a successful verdict.
   if (req->done()) return;
+  if (req->race_id != 0) {
+    chk().race_end(req->race_id);
+    req->race_id = 0;
+  }
   req->status = Status{source, tag, bytes};
   req->phase = RequestState::Phase::Complete;
   if (sim::Tracer::current()) {
@@ -2099,6 +2103,12 @@ void Engine::complete(const std::shared_ptr<RequestState>& req, int source,
 void Engine::fail(const std::shared_ptr<RequestState>& req, std::string why,
                   MpiErrc errc, int peer) {
   if (req->done()) return;
+  if (req->race_id != 0) {
+    // A failed request releases its buffer too: the transport stops
+    // touching it the moment the request is condemned.
+    chk().race_end(req->race_id);
+    req->race_id = 0;
+  }
   // Callbacks that predate the FT layer call fail() with no taxonomy; an
   // active blame scope (set around callback invocation by whoever knows the
   // real cause) supplies it so the classification survives the indirection.

@@ -350,14 +350,18 @@ class Engine {
   /// RDMA-write `bytes` of local[loff..] into (remote_addr, rkey) at `peer`.
   /// Local staging follows the same rules as rendezvous payloads (offload
   /// send buffer when eligible). `on_done` fires at local completion, which
-  /// in this model implies remote delivery.
+  /// in this model implies remote delivery. `op` is what DcfaRace records
+  /// for the remote range (Write for put, Accum for the accumulate
+  /// write-back, which commutes with other accumulates).
   void rma_write(int peer, const mem::Buffer& local, std::size_t loff,
                  std::size_t bytes, mem::SimAddr remote_addr, ib::MKey rkey,
-                 std::function<void()> on_done);
+                 std::function<void()> on_done,
+                 sim::Checker::AccessOp op = sim::Checker::AccessOp::Write);
   /// RDMA-read `bytes` from (remote_addr, rkey) at `peer` into local[loff..].
   void rma_read(int peer, const mem::Buffer& local, std::size_t loff,
                 std::size_t bytes, mem::SimAddr remote_addr, ib::MKey rkey,
-                std::function<void()> on_done);
+                std::function<void()> on_done,
+                sim::Checker::AccessOp op = sim::Checker::AccessOp::Read);
   /// Fully pre-negotiated RDMA write (persistent channels): both keys were
   /// exchanged at setup, so the hot path does no MR lookup, registration or
   /// staging — the pMR design point. Self-writes short-circuit like

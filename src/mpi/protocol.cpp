@@ -74,6 +74,16 @@ Request Engine::isend(const mem::Buffer& buf, std::size_t offset,
     fail(st, "isend to failed rank", MpiErrc::ProcFailed, dst);
     return Request(st);
   }
+  // DcfaRace: the user window is read by the transport until the request
+  // completes; a concurrent unordered write to it is a buffer-reuse race.
+  // Packed (non-contiguous) sends snapshot into pack_buf above, so the
+  // user window is free the moment isend returns — not tracked.
+  if (!st->has_pack && bytes > 0) {
+    st->race_id = chk().race_begin(sim::CheckKind::RaceBufferReuse, rank_,
+                                   rank_, buf.addr() + offset, bytes,
+                                   sim::Checker::AccessOp::Read,
+                                   "isend buffer");
+  }
   if (dst == rank_) {
     self_send(st);
   } else {
@@ -179,6 +189,16 @@ Request Engine::irecv(const mem::Buffer& buf, std::size_t offset,
   if (src != kAnySource && src != rank_ && rank_failed(src)) {
     fail(st, "irecv from failed rank", MpiErrc::ProcFailed, src);
     return Request(st);
+  }
+  // DcfaRace: the transport writes the user window until completion (the
+  // self path below can complete synchronously, so open the access first).
+  // Non-contiguous receives land in pack_buf and only touch the user
+  // window at unpack inside the completion funnel — not tracked.
+  if (!st->has_pack && bytes > 0) {
+    st->race_id = chk().race_begin(sim::CheckKind::RaceBufferReuse, rank_,
+                                   rank_, buf.addr() + offset, bytes,
+                                   sim::Checker::AccessOp::Write,
+                                   "irecv buffer");
   }
 
   CommRecv& cr = comm_recv_[comm_id];

@@ -60,6 +60,9 @@ struct RequestState {
   bool has_pack = false;
   /// Per-message MR when the cache is disabled (released at completion).
   ib::MemoryRegion* window_mr = nullptr;
+  /// DcfaRace tracked-access id for the user buffer (0 when not tracked):
+  /// opened at post, closed in the complete/fail funnels.
+  std::uint64_t race_id = 0;
 
   /// Send side: true when the payload was staged through the offloading
   /// send buffer (host shadow) — for stats/tests.

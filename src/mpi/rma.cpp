@@ -21,19 +21,25 @@ void Engine::release_window_mr(ib::MemoryRegion* mr) {
 
 void Engine::rma_write(int peer, const mem::Buffer& local, std::size_t loff,
                        std::size_t bytes, mem::SimAddr remote_addr,
-                       ib::MKey rkey, std::function<void()> on_done) {
+                       ib::MKey rkey, std::function<void()> on_done,
+                       sim::Checker::AccessOp op) {
   if (peer != rank_ && rank_failed(peer)) {
     ++stats_.proc_failed_ops;
     throw MpiError("RMA write to dead rank " + std::to_string(peer),
                    MpiErrc::ProcFailed, peer);
   }
   chk().rma_remote_access(rank_, peer, remote_addr, bytes);
+  // DcfaRace: the remote range is under access from post until completion.
+  const std::uint64_t race = chk().race_begin(
+      sim::CheckKind::RaceRmaWindow, peer, rank_, remote_addr, bytes, op,
+      op == sim::Checker::AccessOp::Accum ? "accumulate" : "put");
   if (peer == rank_) {
     // Local window: plain copy at memcpy cost.
     std::byte* dst = ib_->hca_ref().memory().space(local.domain())
                          .resolve(remote_addr, bytes);
     std::memcpy(dst, local.data() + loff, bytes);
     ib_->charge_memcpy(bytes);
+    chk().race_end(race);
     if (on_done) on_done();
     return;
   }
@@ -64,12 +70,13 @@ void Engine::rma_write(int peer, const mem::Buffer& local, std::size_t loff,
   wr.sg_list = {{src_addr, static_cast<std::uint32_t>(bytes), lkey}};
   wr.remote_addr = remote_addr;
   wr.rkey = rkey;
-  outstanding_[wr.wr_id] = [this, on_done = std::move(on_done)](
+  outstanding_[wr.wr_id] = [this, race, on_done = std::move(on_done)](
                                const ib::Wc& wc) {
     if (wc.status != ib::WcStatus::Success) {
       throw MpiError(std::string("RMA write failed: ") +
                      ib::wc_status_name(wc.status));
     }
+    chk().race_end(race);
     if (on_done) on_done();
   };
   ib_->post_send(ep.qp, std::move(wr));
@@ -77,18 +84,23 @@ void Engine::rma_write(int peer, const mem::Buffer& local, std::size_t loff,
 
 void Engine::rma_read(int peer, const mem::Buffer& local, std::size_t loff,
                       std::size_t bytes, mem::SimAddr remote_addr,
-                      ib::MKey rkey, std::function<void()> on_done) {
+                      ib::MKey rkey, std::function<void()> on_done,
+                      sim::Checker::AccessOp op) {
   if (peer != rank_ && rank_failed(peer)) {
     ++stats_.proc_failed_ops;
     throw MpiError("RMA read from dead rank " + std::to_string(peer),
                    MpiErrc::ProcFailed, peer);
   }
   chk().rma_remote_access(rank_, peer, remote_addr, bytes);
+  const std::uint64_t race = chk().race_begin(
+      sim::CheckKind::RaceRmaWindow, peer, rank_, remote_addr, bytes, op,
+      op == sim::Checker::AccessOp::Accum ? "accumulate fetch" : "get");
   if (peer == rank_) {
     const std::byte* src = ib_->hca_ref().memory().space(local.domain())
                                .resolve(remote_addr, bytes);
     std::memcpy(local.data() + loff, src, bytes);
     ib_->charge_memcpy(bytes);
+    chk().race_end(race);
     if (on_done) on_done();
     return;
   }
@@ -103,12 +115,13 @@ void Engine::rma_read(int peer, const mem::Buffer& local, std::size_t loff,
                  mr->lkey()}};
   wr.remote_addr = remote_addr;
   wr.rkey = rkey;
-  outstanding_[wr.wr_id] = [this, on_done = std::move(on_done)](
+  outstanding_[wr.wr_id] = [this, race, on_done = std::move(on_done)](
                                const ib::Wc& wc) {
     if (wc.status != ib::WcStatus::Success) {
       throw MpiError(std::string("RMA read failed: ") +
                      ib::wc_status_name(wc.status));
     }
+    chk().race_end(race);
     if (on_done) on_done();
   };
   ib_->post_send(ep.qp, std::move(wr));
@@ -124,6 +137,11 @@ void Engine::rma_write_prereg(int peer, mem::SimAddr local_addr,
                    MpiErrc::ProcFailed, peer);
   }
   chk().rma_remote_access(rank_, peer, remote_addr, bytes);
+  // DcfaRace: only persistent channels use the prereg path, so the remote
+  // range is a channel cell (payload slot or doorbell word).
+  const std::uint64_t race = chk().race_begin(
+      sim::CheckKind::RaceChannelCell, peer, rank_, remote_addr, bytes,
+      sim::Checker::AccessOp::Write, "channel post");
   if (peer == rank_) {
     // Self channel: both sides live in this rank's node memory. Simulated
     // addresses encode the domain (mem::base_for puts PhiGddr at bit 39),
@@ -137,6 +155,7 @@ void Engine::rma_write_prereg(int peer, mem::SimAddr local_addr,
     std::memcpy(resolve(remote_addr, bytes), resolve(local_addr, bytes),
                 bytes);
     ib_->charge_memcpy(bytes);
+    chk().race_end(race);
     if (on_done) on_done();
     return;
   }
@@ -149,12 +168,13 @@ void Engine::rma_write_prereg(int peer, mem::SimAddr local_addr,
   wr.sg_list = {{local_addr, static_cast<std::uint32_t>(bytes), lkey}};
   wr.remote_addr = remote_addr;
   wr.rkey = rkey;
-  outstanding_[wr.wr_id] = [this, on_done = std::move(on_done)](
+  outstanding_[wr.wr_id] = [this, race, on_done = std::move(on_done)](
                                const ib::Wc& wc) {
     if (wc.status != ib::WcStatus::Success) {
       throw MpiError(std::string("channel post failed: ") +
                      ib::wc_status_name(wc.status));
     }
+    chk().race_end(race);
     if (on_done) on_done();
   };
   ib_->post_send(ep.qp, std::move(wr));

@@ -190,20 +190,25 @@ void Window::accumulate(const mem::Buffer& src, std::size_t soff,
   // typed reduction engine the collectives use, write the result back.
   // The fetch blocks (the combine needs the data); the write-back is
   // asynchronous like any other RMA op and completes at the next
-  // flush/unlock/fence. Atomicity is the caller's lock discipline.
+  // flush/unlock/fence. Atomicity is the caller's lock discipline. Both
+  // halves report AccessOp::Accum so DcfaRace treats concurrent
+  // accumulates as commuting while still flagging accum-vs-put overlap.
   const int w = comm_.world_rank(target);
   mem::Buffer tmp = comm_.alloc(bytes);
   bool fetched = false;
   eng().rma_read(w, tmp, 0, bytes, remotes_[target].addr + disp,
-                 remotes_[target].rkey, [&fetched] { fetched = true; });
+                 remotes_[target].rkey, [&fetched] { fetched = true; },
+                 sim::Checker::AccessOp::Accum);
   eng().wait_until([&fetched] { return fetched; });
   eng().combine(op, type, tmp, 0, src, soff, count);
   note_op(target);
   eng().rma_write(w, tmp, 0, bytes, remotes_[target].addr + disp,
-                  remotes_[target].rkey, [this, target, tmp] {
+                  remotes_[target].rkey,
+                  [this, target, tmp] {
                     complete_op(target);
                     comm_.free(tmp);
-                  });
+                  },
+                  sim::Checker::AccessOp::Accum);
 }
 
 Request Window::rput(const mem::Buffer& src, std::size_t soff,

@@ -90,18 +90,6 @@ class Window {
   Request rget(const mem::Buffer& dst, std::size_t doff, std::size_t count,
                const Datatype& type, int target, std::size_t disp);
 
-  // --- Deprecated byte-oriented signatures (pre-redesign) ---------------------
-  [[deprecated("use put(buf, off, count, datatype, target, disp)")]]
-  void put(const mem::Buffer& src, std::size_t soff, std::size_t bytes,
-           int target, std::size_t disp) {
-    put(src, soff, bytes, type_byte(), target, disp);
-  }
-  [[deprecated("use get(buf, off, count, datatype, target, disp)")]]
-  void get(const mem::Buffer& dst, std::size_t doff, std::size_t bytes,
-           int target, std::size_t disp) {
-    get(dst, doff, bytes, type_byte(), target, disp);
-  }
-
   // --- Active-target synchronisation ------------------------------------------
   /// Close the current fence epoch and open the next: wait for local
   /// completion of every issued operation, then synchronise all ranks.

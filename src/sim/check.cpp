@@ -28,6 +28,9 @@ const char* check_kind_name(CheckKind k) {
     case CheckKind::RmaLockOrder: return "rma-lock-order";
     case CheckKind::RmaUnflushed: return "rma-unflushed";
     case CheckKind::RmaBounds: return "rma-bounds";
+    case CheckKind::RaceRmaWindow: return "race-rma-window";
+    case CheckKind::RaceBufferReuse: return "race-buffer-reuse";
+    case CheckKind::RaceChannelCell: return "race-channel-cell";
   }
   return "unknown";
 }
@@ -61,6 +64,10 @@ void Checker::violate(CheckKind kind, const std::string& what) {
   ++violations_;
   std::ostringstream os;
   os << "DcfaCheck[" << check_kind_name(kind) << "] " << what;
+  // Under an explored schedule every report names its own reproduction:
+  // rerun with DCFA_SIM_SCHEDULE set to this token (scripts/race_explore.py
+  // prints exactly this suffix).
+  if (!schedule_token_.empty()) os << " [schedule=" << schedule_token_ << "]";
   throw CheckError(kind, os.str());
 }
 
@@ -105,10 +112,21 @@ void Checker::check_seq(std::map<ChannelKey, std::uint64_t>& ledger,
   ledger[key] = seq;
 }
 
+namespace {
+// (comm, tag) folded to one word so a p2p edge key fits hb_key's arity.
+std::uint64_t comm_tag(std::uint32_t comm, int tag) {
+  return (static_cast<std::uint64_t>(comm) << 32) ^
+         static_cast<std::uint32_t>(tag);
+}
+}  // namespace
+
 void Checker::send_seq_assigned(int rank, int peer, std::uint32_t comm,
                                 int tag, std::uint64_t seq) {
   if (!on()) return;
   check_seq(send_seq_, "send", rank, peer, comm, tag, seq);
+  // HB edge source: everything the sender did before assigning this seq is
+  // released to whichever receive admits it (packet_accepted/claimed).
+  if (full()) hb_release(rank, hb_key(1, rank, peer, comm_tag(comm, tag), seq));
 }
 
 void Checker::recv_seq_assigned(int rank, int peer, std::uint32_t comm,
@@ -138,6 +156,11 @@ void Checker::packet_accepted(int rank, int src, std::uint32_t comm, int tag,
   }
   as.next = seq + 1;
   while (as.claimed.erase(as.next) > 0) ++as.next;
+  // HB edge sink: the admitting receiver acquires the sender's history at
+  // seq assignment. Each seq is admitted exactly once (accept xor claim),
+  // so the edge is consumed here.
+  if (full())
+    hb_acquire(rank, hb_key(1, src, rank, comm_tag(comm, tag), seq), true);
 }
 
 void Checker::packet_claimed(int rank, int src, std::uint32_t comm, int tag,
@@ -152,6 +175,8 @@ void Checker::packet_claimed(int rank, int src, std::uint32_t comm, int tag,
                 chan_str("claim", rank, src, comm, tag) + ")");
   as.claimed.insert(seq);
   while (as.claimed.erase(as.next) > 0) ++as.next;
+  if (full())
+    hb_acquire(rank, hb_key(1, src, rank, comm_tag(comm, tag), seq), true);
 }
 
 // --- credit accounting ------------------------------------------------------
@@ -484,6 +509,9 @@ void Checker::win_lock(int rank, std::uint64_t win, int target,
   else
     h.shared.insert(rank);
   st.locks.insert(target);
+  // Lock acquisition orders this origin after every previous unlock of the
+  // same (win, target): the cumulative release chain below.
+  if (full()) hb_acquire(rank, hb_key(2, win, target, 0, 0), false);
 }
 
 void Checker::win_unlock(int rank, std::uint64_t win, int target) {
@@ -507,6 +535,9 @@ void Checker::win_unlock(int rank, std::uint64_t win, int target) {
     h.exclusive = -1;
   else
     h.shared.erase(rank);
+  // Unlock implies flush (checked above), so everything this origin did in
+  // the epoch is visible to the next locker of (win, target).
+  if (full()) hb_release(rank, hb_key(2, win, target, 0, 0));
 }
 
 void Checker::win_lock_all(int rank, std::uint64_t win, int nranks) {
@@ -526,8 +557,10 @@ void Checker::win_lock_all(int rank, std::uint64_t win, int nranks) {
                   std::to_string(h.exclusive) +
                   " holds the exclusive lock on target " + std::to_string(t));
     h.shared.insert(rank);
+    if (full()) hb_acquire(rank, hb_key(2, win, t, 0, 0), false);
   }
   st.lock_all = true;
+  st.lock_all_n = nranks;
 }
 
 void Checker::win_unlock_all(int rank, std::uint64_t win) {
@@ -547,7 +580,12 @@ void Checker::win_unlock_all(int rank, std::uint64_t win) {
     if (h.exclusive == rank) h.exclusive = -1;
     h.shared.erase(rank);
   }
+  if (full()) {
+    for (int t = 0; t < st.lock_all_n; ++t)
+      hb_release(rank, hb_key(2, win, t, 0, 0));
+  }
   st.lock_all = false;
+  st.lock_all_n = 0;
   st.pending.clear();
 }
 
@@ -640,6 +678,223 @@ void Checker::comm_revoked(int rank, std::uint32_t comm) {
             "rank " + std::to_string(rank) + " revoked comm " +
                 std::to_string(comm) +
                 " twice (revocation must be idempotent at the engine)");
+}
+
+// --- DcfaRace: vector-clock happens-before engine ---------------------------
+//
+// Every rank carries a logical clock; sync events the runtime already reports
+// become release/acquire pairs over keyed edges, and tracked memory accesses
+// are checked for concurrent conflicting overlap. The edge catalog lives in
+// docs/checking.md; the keys here only need to agree between the release and
+// acquire sites, never with anything outside this file.
+
+VClock& Checker::clock(int rank) {
+  if (static_cast<std::size_t>(rank) >= clocks_.size())
+    clocks_.resize(rank + 1);
+  return clocks_[rank];
+}
+
+std::uint64_t Checker::hb_key(std::uint64_t tag, std::uint64_t a,
+                              std::uint64_t b, std::uint64_t c,
+                              std::uint64_t d) {
+  std::uint64_t h = splitmix64(tag);
+  h = splitmix64(h ^ a);
+  h = splitmix64(h ^ b);
+  h = splitmix64(h ^ c);
+  h = splitmix64(h ^ d);
+  return h;
+}
+
+void Checker::hb_release(int rank, std::uint64_t key) {
+  VClock& c = clock(rank);
+  c.tick(rank);
+  hb_sync_[key].merge(c);
+}
+
+void Checker::hb_acquire(int rank, std::uint64_t key, bool consume) {
+  VClock& c = clock(rank);
+  auto it = hb_sync_.find(key);
+  if (it != hb_sync_.end()) {
+    c.merge(it->second);
+    if (consume) hb_sync_.erase(it);
+  }
+  c.tick(rank);
+}
+
+void Checker::channel_posted(int rank, std::uint64_t cell, std::uint64_t n) {
+  if (!full()) return;
+  count();
+  VClock& c = clock(rank);
+  c.tick(rank);
+  chan_sync_[{cell, n}].merge(c);
+}
+
+void Checker::channel_waited(int rank, std::uint64_t cell, std::uint64_t n) {
+  if (!full()) return;
+  count();
+  VClock& c = clock(rank);
+  // Arrival count >= n orders the waiter after every post numbered <= n.
+  // Entries are retired as they are absorbed: arrival counts only grow, so
+  // a later waiter (for a larger n) already holds this history through the
+  // channel owner's own clock.
+  auto it = chan_sync_.lower_bound({cell, 0});
+  while (it != chan_sync_.end() && it->first.first == cell &&
+         it->first.second <= n) {
+    c.merge(it->second);
+    it = chan_sync_.erase(it);
+  }
+  c.tick(rank);
+}
+
+void Checker::agree_voted(int rank, std::uint32_t comm, std::uint64_t seq) {
+  if (!full()) return;
+  count();
+  hb_release(rank, hb_key(3, comm, seq, 0, 0));
+}
+
+void Checker::agree_decided(int rank, std::uint32_t comm, std::uint64_t seq) {
+  if (!full()) return;
+  count();
+  // Every decider acquires every voter's history (agreement is a barrier);
+  // the edge stays for later deciders of the same round.
+  hb_acquire(rank, hb_key(3, comm, seq, 0, 0), false);
+}
+
+namespace {
+const char* access_op_name(Checker::AccessOp op) {
+  switch (op) {
+    case Checker::AccessOp::Read: return "read";
+    case Checker::AccessOp::Write: return "write";
+    case Checker::AccessOp::Accum: return "accum";
+  }
+  return "unknown";
+}
+}  // namespace
+
+bool Checker::race_conflicts(const RaceAccess& a, CheckKind kind, int owner,
+                             int actor, std::uint64_t addr, std::uint64_t len,
+                             AccessOp op) const {
+  if (!(addr < a.addr + a.len && a.addr < addr + len)) return false;
+  if (a.op == AccessOp::Read && op == AccessOp::Read) return false;
+  // The runtime applies accumulates atomically per element, so two accums
+  // commute; an accum against a plain read or write still conflicts.
+  if (a.op == AccessOp::Accum && op == AccessOp::Accum) return false;
+  // Same-origin RMA ops toward the same target ride one queue pair and the
+  // fabric completes them in posting order — not a race even without an
+  // explicit HB edge. Buffer-reuse accesses are local, no QP to serialize
+  // them.
+  const bool a_qp = a.kind != CheckKind::RaceBufferReuse;
+  const bool b_qp = kind != CheckKind::RaceBufferReuse;
+  if (a_qp && b_qp && a.actor == actor && a.owner == owner) return false;
+  return true;
+}
+
+void Checker::report_race(const RaceAccess& prior, CheckKind kind, int owner,
+                          int actor, std::uint64_t addr, std::uint64_t len,
+                          AccessOp op, const char* site) {
+  std::ostringstream os;
+  os << site << " by rank " << actor << " (" << access_op_name(op) << " [0x"
+     << std::hex << addr << ", 0x" << (addr + len) << std::dec
+     << ") in rank " << owner << "'s memory) races with "
+     << (prior.open ? "in-flight " : "unordered ") << prior.site
+     << " by rank " << prior.actor << " (" << access_op_name(prior.op)
+     << " [0x" << std::hex << prior.addr << ", 0x"
+     << (prior.addr + prior.len) << std::dec
+     << ")): no happens-before edge orders the accesses";
+  violate(kind, os.str());
+}
+
+std::uint64_t Checker::race_begin(CheckKind kind, int owner, int actor,
+                                  std::uint64_t addr, std::uint64_t len,
+                                  AccessOp op, const char* site) {
+  if (!full()) return 0;
+  if (owner < 0 || actor < 0 || len == 0) return 0;
+  count();
+  auto& ids = race_by_owner_[owner];
+  const VClock& bc = clock(actor);
+  std::uint64_t replace = 0;
+  for (std::uint64_t id : ids) {
+    const RaceAccess& a = race_accesses_[id];
+    if (!(addr < a.addr + a.len && a.addr < addr + len)) continue;
+    // A closed same-shape access by the same actor is superseded: anything
+    // that would race with it races with this newer access too (the close
+    // time only grows along one actor's clock), so the slot is recycled.
+    if (!a.open && a.kind == kind && a.actor == actor && a.op == op &&
+        a.addr == addr && a.len == len)
+      replace = id;
+    if (!race_conflicts(a, kind, owner, actor, addr, len, op)) continue;
+    if (a.open) report_race(a, kind, owner, actor, addr, len, op, site);
+    // Closed conflicting access: ordered only if this actor has observed
+    // the close (its clock holds the closer's component at/after close).
+    if (bc.get(a.actor) < a.close_time)
+      report_race(a, kind, owner, actor, addr, len, op, site);
+  }
+  if (replace != 0) {
+    race_accesses_.erase(replace);
+    for (auto it = ids.begin(); it != ids.end(); ++it) {
+      if (*it == replace) {
+        ids.erase(it);
+        break;
+      }
+    }
+  }
+  const std::uint64_t id = ++race_next_id_;
+  race_accesses_[id] =
+      RaceAccess{kind, owner, actor, addr, len, op, true, 0, site};
+  ids.push_back(id);
+  prune_owner(ids);
+  return id;
+}
+
+void Checker::race_end(std::uint64_t id) {
+  if (id == 0 || !full()) return;
+  auto it = race_accesses_.find(id);
+  if (it == race_accesses_.end()) return;
+  count();
+  RaceAccess& a = it->second;
+  if (!a.open) return;
+  VClock& c = clock(a.actor);
+  c.tick(a.actor);
+  a.open = false;
+  a.close_time = c.get(a.actor);
+}
+
+void Checker::prune_owner(std::vector<std::uint64_t>& ids) {
+  if (ids.size() <= 64) return;
+  // A closed access every clocked rank has observed can never race again;
+  // ranks that have no clock yet would race with *anything*, so losing one
+  // specific prior access to them costs little. Open accesses never leave.
+  auto dominated = [this](const RaceAccess& a) {
+    if (a.open) return false;
+    for (std::size_t r = 0; r < clocks_.size(); ++r) {
+      if (static_cast<int>(r) == a.actor || clocks_[r].empty()) continue;
+      if (clocks_[r].get(a.actor) < a.close_time) return false;
+    }
+    return true;
+  };
+  for (auto it = ids.begin(); it != ids.end();) {
+    const RaceAccess& a = race_accesses_[*it];
+    if (dominated(a)) {
+      race_accesses_.erase(*it);
+      it = ids.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Backstop so one hot owner cannot grow without bound: oldest closed
+  // entries fall off first (ids are allocated in access order).
+  while (ids.size() > 512) {
+    auto victim = ids.end();
+    for (auto it = ids.begin(); it != ids.end(); ++it) {
+      if (!race_accesses_[*it].open) {
+        victim = it;
+        break;
+      }
+    }
+    if (victim == ids.end()) break;  // all open: nothing safe to drop
+    race_accesses_.erase(*victim);
+    ids.erase(victim);
+  }
 }
 
 }  // namespace dcfa::sim

@@ -9,6 +9,8 @@
 #include <tuple>
 #include <vector>
 
+#include "sim/vclock.hpp"
+
 namespace dcfa::sim {
 
 /// How much work DcfaCheck does per protocol event.
@@ -47,6 +49,9 @@ enum class CheckKind {
   RmaLockOrder,    ///< lock/unlock/fence sequencing broke the epoch machine
   RmaUnflushed,    ///< an epoch closed with RMA ops still un-flushed
   RmaBounds,       ///< a remote-rkey access escaped the target's exposures (Full)
+  RaceRmaWindow,   ///< concurrent conflicting window accesses with no HB edge (Full)
+  RaceBufferReuse, ///< a nonblocking op's buffer accessed while in flight (Full)
+  RaceChannelCell, ///< concurrent conflicting channel cell writes (Full)
 };
 
 const char* check_kind_name(CheckKind k);
@@ -95,6 +100,15 @@ class Checker {
   /// Number of violations raised. The first one throws, so this is 0 or 1
   /// unless a test swallows CheckError and keeps driving.
   std::uint64_t violations() const { return violations_; }
+
+  /// Replay token of the schedule this cluster runs under (empty under Fifo
+  /// ordering). When set, every violation report carries a
+  /// " [schedule=<token>]" suffix so a failure found by exploration ships
+  /// its own reproduction recipe.
+  void set_schedule_token(std::string token) {
+    schedule_token_ = std::move(token);
+  }
+  const std::string& schedule_token() const { return schedule_token_; }
 
   // --- per-(rank, peer, comm, tag) sequence ledgers ---------------------
 
@@ -226,6 +240,48 @@ class Checker {
   /// Window freed: every epoch must be closed and every op flushed.
   void win_freed(int rank, std::uint64_t win);
 
+  // --- DcfaRace: happens-before race detection (Full only) -----------------
+  //
+  // A vector-clock engine derives happens-before edges from the sync events
+  // the runtime already reports (matched send/recv pairs, RMA lock handoffs,
+  // channel doorbell arrivals, agreement decisions) and checks *tracked
+  // accesses* — window targets, in-flight nonblocking buffers, channel
+  // payload cells — for concurrent conflicting access. docs/checking.md has
+  // the full edge table. Every hook below is a no-op unless full().
+
+  /// How a tracked access touches its range. Accum is read-modify-write
+  /// that the runtime promises to apply atomically per element, so
+  /// Accum/Accum pairs never conflict while Accum/Read and Accum/Write do.
+  enum class AccessOp { Read, Write, Accum };
+
+  /// Open a tracked access: `actor` begins op on [addr, addr+len) in
+  /// `owner`'s address space (owner == actor for local buffers). Checks the
+  /// new access against every tracked access to an overlapping range and
+  /// raises `kind` if one conflicts without a happens-before edge.
+  /// `site` is a static description used in the report ("put", "isend
+  /// buffer", ...). Returns an id for race_end, 0 when not tracking.
+  std::uint64_t race_begin(CheckKind kind, int owner, int actor,
+                           std::uint64_t addr, std::uint64_t len, AccessOp op,
+                           const char* site);
+  /// Close a tracked access: the operation completed locally at `actor`, so
+  /// later accesses that observe this completion (via any HB edge) are
+  /// ordered after it.
+  void race_end(std::uint64_t id);
+
+  /// `rank` published channel-post number `n` (doorbell write toward cell
+  /// `cell`): releases everything `rank` did so far to whoever waits for
+  /// arrival `n` or later on that cell.
+  void channel_posted(int rank, std::uint64_t cell, std::uint64_t n);
+  /// `rank` observed arrival count >= `n` on cell `cell`: acquires the
+  /// posting side's history up to post `n`.
+  void channel_waited(int rank, std::uint64_t cell, std::uint64_t n);
+
+  /// `rank` contributed its vote to agreement round `seq` on `comm`.
+  void agree_voted(int rank, std::uint32_t comm, std::uint64_t seq);
+  /// `rank` observed the decision of agreement round `seq` on `comm`:
+  /// acquires every voter's history (agreement is a full barrier).
+  void agree_decided(int rank, std::uint32_t comm, std::uint64_t seq);
+
   // --- wire-format helpers ------------------------------------------------
 
   /// Raise a WireBounds violation (used by mpi/wire.hpp when a packed copy
@@ -281,9 +337,39 @@ class Checker {
                  const char* role, int rank, int peer, std::uint32_t comm,
                  int tag, std::uint64_t seq);
 
+  // --- happens-before engine (Full only) ----------------------------------
+  struct RaceAccess {
+    CheckKind kind = CheckKind::RaceRmaWindow;
+    int owner = -1;             // rank whose memory holds the range
+    int actor = -1;             // rank performing the access
+    std::uint64_t addr = 0;
+    std::uint64_t len = 0;
+    AccessOp op = AccessOp::Read;
+    bool open = true;
+    std::uint64_t close_time = 0;  // actor's own clock component at close
+    const char* site = "";
+  };
+  VClock& clock(int rank);
+  /// rank's clock ticks, then its history merges into the edge named `key`.
+  void hb_release(int rank, std::uint64_t key);
+  /// The edge named `key` merges into rank's clock (erased if `consume`).
+  void hb_acquire(int rank, std::uint64_t key, bool consume);
+  static std::uint64_t hb_key(std::uint64_t tag, std::uint64_t a,
+                              std::uint64_t b, std::uint64_t c,
+                              std::uint64_t d);
+  bool race_conflicts(const RaceAccess& a, CheckKind kind, int owner,
+                      int actor, std::uint64_t addr, std::uint64_t len,
+                      AccessOp op) const;
+  [[noreturn]] void report_race(const RaceAccess& prior, CheckKind kind,
+                                int owner, int actor, std::uint64_t addr,
+                                std::uint64_t len, AccessOp op,
+                                const char* site);
+  void prune_owner(std::vector<std::uint64_t>& ids);
+
   CheckLevel level_;
   std::uint64_t events_ = 0;
   std::uint64_t violations_ = 0;
+  std::string schedule_token_;
 
   // Receiver-side admission: `next` is the contiguous watermark (everything
   // below it was admitted); `claimed` holds receiver-first seqs admitted
@@ -318,6 +404,7 @@ class Checker {
   struct RmaEpochState {
     bool fence_open = false;   // a fence ran; fence-mode ops are legal
     bool lock_all = false;
+    int lock_all_n = 0;        // targets covered by the open lock_all epoch
     std::set<int> locks;       // targets this origin holds a lock on
     std::map<int, std::uint64_t> pending;  // un-flushed ops per target
     std::uint64_t pending_total = 0;
@@ -334,6 +421,16 @@ class Checker {
   std::map<std::pair<int, std::uint64_t>, Exposure> rma_exposures_;
   std::map<std::pair<int, std::uint64_t>, RmaEpochState> rma_state_;
   std::map<std::pair<std::uint64_t, int>, RmaLockHolders> rma_locks_;
+
+  // --- happens-before / race-ledger state (populated only at Full) ---------
+  std::vector<VClock> clocks_;                  // one logical clock per rank
+  std::map<std::uint64_t, VClock> hb_sync_;     // keyed release/acquire edges
+  // Channel doorbell edges: (cell address, post index) -> releasing clock.
+  // A waiter for arrival n acquires (and retires) every entry <= n.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, VClock> chan_sync_;
+  std::map<std::uint64_t, RaceAccess> race_accesses_;       // id -> access
+  std::map<int, std::vector<std::uint64_t>> race_by_owner_; // owner -> ids
+  std::uint64_t race_next_id_ = 0;
 };
 
 }  // namespace dcfa::sim

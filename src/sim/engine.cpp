@@ -5,6 +5,7 @@
 
 #include "sim/check.hpp"
 #include "sim/process.hpp"
+#include "sim/vclock.hpp"
 
 namespace dcfa::sim {
 
@@ -50,7 +51,15 @@ void Engine::schedule_at(Time t, Callback cb) {
   if (t < now_) {
     throw std::logic_error("Engine::schedule_at: time in the past");
   }
-  queue_.push(Event{t, next_seq_++, std::move(cb)});
+  const std::uint64_t seq = next_seq_++;
+  // Explore ordering: every event draws a priority from (seed, seq). The
+  // draw is a pure function of inputs the replay token pins, so the same
+  // token always reproduces the same interleaving byte-for-byte.
+  const std::uint64_t prio =
+      sched_.explore() ? splitmix64(sched_.seed ^
+                                    (seq * 0x9e3779b97f4a7c15ULL))
+                       : 0;
+  queue_.push(Event{t, prio, seq, std::move(cb)});
 }
 
 void Engine::schedule_after(Time delay, Callback cb) {
@@ -106,7 +115,12 @@ void Engine::run_until(Time deadline) {
 }
 
 Checker& Engine::checker() {
-  if (!checker_) checker_ = std::make_unique<Checker>(Checker::level_from_env());
+  if (!checker_) {
+    checker_ = std::make_unique<Checker>(Checker::level_from_env());
+    // Violations found while exploring carry their own reproduction recipe:
+    // the checker appends this token to every report it raises.
+    checker_->set_schedule_token(sched_.schedule_token());
+  }
   return *checker_;
 }
 

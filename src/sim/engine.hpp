@@ -94,12 +94,19 @@ class Engine {
 
   struct Event {
     Time time;
+    std::uint64_t prio;  ///< 0 under Fifo; splitmix64(seed, seq) under Explore
     std::uint64_t seq;
     Callback cb;
   };
+  /// (time, prio, seq): virtual time always dominates, so exploration only
+  /// permutes events that are logically concurrent. Under Fifo every prio
+  /// is 0 and the historical (time, seq) order falls out unchanged; under
+  /// Explore the prio draw realizes one seeded random schedule, with seq as
+  /// the deterministic tie-break.
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
+      if (a.prio != b.prio) return a.prio > b.prio;
       return a.seq > b.seq;
     }
   };

@@ -3,6 +3,7 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -53,6 +54,40 @@ std::size_t page_size() {
 
 }  // namespace
 
+std::string SchedConfig::schedule_token() const {
+  if (order != Order::Explore) return {};
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "x1:%llx",
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+SchedConfig SchedConfig::from_token(const std::string& token) {
+  SchedConfig cfg;
+#ifdef DCFA_FIBER_TSAN
+  cfg.backend = Backend::Thread;
+#endif
+  if (token.rfind("x1:", 0) != 0 || token.size() <= 3) {
+    throw std::invalid_argument(
+        "DCFA_SIM_SCHEDULE: expected a replay token 'x1:<hex seed>', got '" +
+        token + "'");
+  }
+  std::size_t used = 0;
+  std::uint64_t seed = 0;
+  try {
+    seed = std::stoull(token.substr(3), &used, 16);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != token.size() - 3) {
+    throw std::invalid_argument(
+        "DCFA_SIM_SCHEDULE: bad seed digits in token '" + token + "'");
+  }
+  cfg.order = Order::Explore;
+  cfg.seed = seed;
+  return cfg;
+}
+
 SchedConfig SchedConfig::from_env() {
   SchedConfig cfg;
 #ifdef DCFA_FIBER_TSAN
@@ -63,11 +98,32 @@ SchedConfig SchedConfig::from_env() {
       cfg.backend = Backend::Fiber;
     } else if (std::strcmp(e, "thread") == 0) {
       cfg.backend = Backend::Thread;
+    } else if (std::strcmp(e, "explore") == 0) {
+      // Exploration is an event-*ordering* policy, orthogonal to the
+      // context backend: the default backend (thread under TSan) stays.
+      cfg.order = Order::Explore;
     } else {
       throw std::invalid_argument(
-          std::string("DCFA_SIM_SCHED: expected 'fiber' or 'thread', got '") +
+          std::string("DCFA_SIM_SCHED: expected 'fiber', 'thread' or "
+                      "'explore', got '") +
           e + "'");
     }
+  }
+  if (const char* e = std::getenv("DCFA_SIM_SEED")) {
+    char* end = nullptr;
+    const unsigned long long s = std::strtoull(e, &end, 10);
+    if (end == e || *end != '\0') {
+      throw std::invalid_argument("DCFA_SIM_SEED: not a decimal integer");
+    }
+    cfg.seed = static_cast<std::uint64_t>(s);
+  }
+  if (const char* e = std::getenv("DCFA_SIM_SCHEDULE")) {
+    // A replay token pins both the policy and the seed; it wins over
+    // DCFA_SIM_SCHED/DCFA_SIM_SEED so "export the printed token and rerun"
+    // needs no other environment surgery.
+    const SchedConfig replay = from_token(e);
+    cfg.order = replay.order;
+    cfg.seed = replay.seed;
   }
   if (const char* e = std::getenv("DCFA_SIM_THREADS")) {
     const long n = std::strtol(e, nullptr, 10);

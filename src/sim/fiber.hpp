@@ -14,9 +14,11 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <ucontext.h>
 #include <vector>
@@ -25,18 +27,47 @@ namespace dcfa::sim {
 
 /// Scheduler configuration for one sim::Engine, resolved from the
 /// environment once at engine construction:
-///   DCFA_SIM_SCHED     fiber | thread. Default fiber — except under
-///                      ThreadSanitizer, whose runtime does not model
-///                      ucontext switches and always gets thread.
+///   DCFA_SIM_SCHED     fiber | thread | explore. Default fiber — except
+///                      under ThreadSanitizer, whose runtime does not model
+///                      ucontext switches and always gets thread. `explore`
+///                      keeps the default context backend and switches the
+///                      event *ordering* to randomized priorities (below).
 ///   DCFA_SIM_THREADS   worker threads multiplexing the fibers; 0 (the
 ///                      default) runs fibers inline on the engine thread.
 ///   DCFA_SIM_STACK_KB  virtual stack size per fiber (default 512). Only
 ///                      touched pages cost RSS.
+///   DCFA_SIM_SEED      explore-mode seed (decimal, default 0).
+///   DCFA_SIM_SCHEDULE  a replay token ("x1:<hex seed>") as printed in a
+///                      violation report: forces explore mode with exactly
+///                      that seed, deterministically reproducing the run
+///                      that emitted it. Overrides DCFA_SIM_SEED.
+///
+/// Ordering policies (docs/simulator.md):
+///   Fifo    — events at equal virtual time run in schedule order (the
+///             historical deterministic default).
+///   Explore — events at equal virtual time run in an order drawn from
+///             splitmix64(seed, event-seq): a PCT-style randomized-priority
+///             schedule over the logically-concurrent event set. Virtual
+///             time is never reordered, so timing metrics are undistorted;
+///             each seed is one reproducible interleaving.
 struct SchedConfig {
   enum class Backend { Fiber, Thread };
+  enum class Order { Fifo, Explore };
   Backend backend = Backend::Fiber;
+  Order order = Order::Fifo;
+  std::uint64_t seed = 0;
   unsigned threads = 0;
   std::size_t stack_bytes = 512 * 1024;
+
+  bool explore() const { return order == Order::Explore; }
+
+  /// The compact replay token naming this schedule ("x1:<hex seed>"; the
+  /// "x1" tags the priority algorithm so a token can never silently replay
+  /// under a different scheme). Empty under Fifo ordering.
+  std::string schedule_token() const;
+  /// Parse a replay token back into an explore config (backend/threads/
+  /// stack keep their defaults). Throws std::invalid_argument on junk.
+  static SchedConfig from_token(const std::string& token);
 
   static SchedConfig from_env();
 };

@@ -153,6 +153,10 @@ void Condition::notify_all() {
   if (waiters_.empty()) return;
   auto woken = std::move(waiters_);
   waiters_.clear();
+  // One engine event per waiter (never a direct resume): under explore
+  // ordering each wakeup draws its own priority, so the scheduler can
+  // legally run the woken processes in any order — this is the main
+  // source of interleaving choice points the seed sweep permutes.
   for (Process* p : woken) {
     engine_.schedule_after(0, [p] { p->resume(); });
   }

@@ -33,6 +33,16 @@ struct AbandonedProcess {};
 /// mutex/cv token handshake (ThreadSanitizer runs, DCFA_SIM_SCHED=thread).
 /// The backend is invisible above this API: event order, traces and Stats
 /// are byte-identical across backends and fiber-pool sizes.
+///
+/// Schedule exploration (DCFA_SIM_SCHED=explore) needs no cooperation from
+/// this layer, and that is a load-bearing property: *every* way a process
+/// can block or become runnable — wait() timers, wait_on() wakeups,
+/// spawn-time first resumes — funnels through Engine::schedule_at, so
+/// permuting same-time event priorities in the engine's queue explores
+/// every interleaving decision there is. Nothing in Process or Condition
+/// may ever resume a context directly without going through an engine
+/// event, or that decision would escape the explored (and replayed)
+/// schedule.
 class Process {
  public:
   ~Process();

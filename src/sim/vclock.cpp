@@ -1,0 +1,28 @@
+#include "sim/vclock.hpp"
+
+#include <sstream>
+
+namespace dcfa::sim {
+
+std::string VClock::str() const {
+  std::ostringstream os;
+  os << '<';
+  bool first = true;
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (c_[i] == 0) continue;
+    if (!first) os << ' ';
+    os << i << ':' << c_[i];
+    first = false;
+  }
+  os << '>';
+  return os.str();
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace dcfa::sim

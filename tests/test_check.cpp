@@ -7,11 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "mpi/mr_cache.hpp"
 #include "mpi/runtime.hpp"
 #include "mpi/wire.hpp"
 #include "sim/check.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
 #include "verbs/verbs.hpp"
 
 using namespace dcfa;
@@ -546,6 +551,268 @@ TEST(CheckRma, BoundsCheckIsFullLevelOnly) {
   EXPECT_EQ(chk.violations(), 0u);
 }
 
+// --- DcfaRace: happens-before race detection ------------------------------
+
+namespace {
+using Op = Checker::AccessOp;
+}  // namespace
+
+TEST(CheckRace, UnorderedWindowWritesAreAViolation) {
+  // Two origins put into overlapping target ranges with no sync edge between
+  // them: the textbook race-rma-window case.
+  Checker chk(CheckLevel::Full);
+  const std::uint64_t r = chk.race_begin(CheckKind::RaceRmaWindow, 2, 0,
+                                         0x1000, 64, Op::Write, "put");
+  chk.race_end(r);
+  expect_violation(CheckKind::RaceRmaWindow, [&] {
+    chk.race_begin(CheckKind::RaceRmaWindow, 2, 1, 0x1020, 64, Op::Write,
+                   "put");
+  });
+}
+
+TEST(CheckRace, InFlightBufferReuseIsAViolation) {
+  // An isend's buffer is read by the library until completion; overlapping
+  // it with a posted irecv while still in flight is race-buffer-reuse even
+  // on a single rank (open-vs-open needs no clock comparison).
+  Checker chk(CheckLevel::Full);
+  chk.race_begin(CheckKind::RaceBufferReuse, 0, 0, 0x5000, 128, Op::Read,
+                 "isend buffer");
+  expect_violation(CheckKind::RaceBufferReuse, [&] {
+    chk.race_begin(CheckKind::RaceBufferReuse, 0, 0, 0x5040, 32, Op::Write,
+                   "irecv buffer");
+  });
+}
+
+TEST(CheckRace, UnorderedChannelCellWritesAreAViolation) {
+  Checker chk(CheckLevel::Full);
+  const std::uint64_t r = chk.race_begin(CheckKind::RaceChannelCell, 1, 0,
+                                         0x9000, 8, Op::Write, "channel post");
+  chk.race_end(r);
+  expect_violation(CheckKind::RaceChannelCell, [&] {
+    chk.race_begin(CheckKind::RaceChannelCell, 1, 2, 0x9000, 8, Op::Write,
+                   "channel post");
+  });
+}
+
+TEST(CheckRace, NonConflictingAccessesAreClean) {
+  Checker chk(CheckLevel::Full);
+  // Read/Read may overlap; disjoint ranges never conflict; Accum/Accum is
+  // atomic per element by the runtime's promise.
+  const auto a = chk.race_begin(CheckKind::RaceRmaWindow, 2, 0, 0x100, 64,
+                                Op::Read, "get");
+  const auto b = chk.race_begin(CheckKind::RaceRmaWindow, 2, 1, 0x100, 64,
+                                Op::Read, "get");
+  const auto c = chk.race_begin(CheckKind::RaceRmaWindow, 2, 3, 0x200, 64,
+                                Op::Write, "put");
+  chk.race_end(a);
+  chk.race_end(b);
+  chk.race_end(c);
+  const auto d = chk.race_begin(CheckKind::RaceRmaWindow, 2, 0, 0x300, 8,
+                                Op::Accum, "accumulate");
+  const auto e = chk.race_begin(CheckKind::RaceRmaWindow, 2, 1, 0x300, 8,
+                                Op::Accum, "accumulate");
+  chk.race_end(d);
+  chk.race_end(e);
+  EXPECT_EQ(chk.violations(), 0u);
+  // ... but Accum against a plain Write does conflict.
+  expect_violation(CheckKind::RaceRmaWindow, [&] {
+    chk.race_begin(CheckKind::RaceRmaWindow, 2, 3, 0x300, 8, Op::Write,
+                   "put");
+  });
+}
+
+TEST(CheckRace, SameOriginOpsAreOrderedByTheFabric) {
+  // Two ops from one origin toward one target ride the same QP; the fabric
+  // delivers them in post order, so overlap between them is not a race.
+  Checker chk(CheckLevel::Full);
+  const auto a = chk.race_begin(CheckKind::RaceRmaWindow, 2, 0, 0x100, 64,
+                                Op::Write, "put");
+  const auto b = chk.race_begin(CheckKind::RaceRmaWindow, 2, 0, 0x100, 64,
+                                Op::Write, "put");
+  chk.race_end(a);
+  chk.race_end(b);
+  EXPECT_EQ(chk.violations(), 0u);
+}
+
+TEST(CheckRace, MatchedSendRecvEdgeOrdersTheAccesses) {
+  // The p2p edge: rank 0 writes, then its matched send releases; rank 1's
+  // accept of that seq acquires, so rank 1's later write is ordered.
+  Checker chk(CheckLevel::Full);
+  const auto r = chk.race_begin(CheckKind::RaceRmaWindow, 2, 0, 0x1000, 64,
+                                Op::Write, "put");
+  chk.race_end(r);
+  chk.send_seq_assigned(0, 1, 0, 5, 0);
+  chk.packet_accepted(1, 0, 0, 5, 0);
+  const auto r2 = chk.race_begin(CheckKind::RaceRmaWindow, 2, 1, 0x1000, 64,
+                                 Op::Write, "put");
+  chk.race_end(r2);
+  EXPECT_EQ(chk.violations(), 0u);
+}
+
+TEST(CheckRace, LockHandoffEdgeOrdersTheAccesses) {
+  // The lock edge: rank 0's unlock releases, rank 1's later grant of the
+  // same (win, target) lock acquires.
+  Checker chk(CheckLevel::Full);
+  const std::uint64_t win = 7;
+  chk.win_lock(0, win, 2, /*exclusive=*/true);
+  const auto r = chk.race_begin(CheckKind::RaceRmaWindow, 2, 0, 0x1000, 64,
+                                Op::Write, "put");
+  chk.race_end(r);
+  chk.win_unlock(0, win, 2);
+  chk.win_lock(1, win, 2, /*exclusive=*/true);
+  const auto r2 = chk.race_begin(CheckKind::RaceRmaWindow, 2, 1, 0x1000, 64,
+                                 Op::Write, "put");
+  chk.race_end(r2);
+  chk.win_unlock(1, win, 2);
+  EXPECT_EQ(chk.violations(), 0u);
+}
+
+TEST(CheckRace, ChannelDoorbellEdgeOrdersTheAccesses) {
+  // The channel edge: the producer's doorbell (post n) releases, the
+  // consumer's observed arrival >= n acquires.
+  Checker chk(CheckLevel::Full);
+  const auto r = chk.race_begin(CheckKind::RaceChannelCell, 1, 0, 0x9000, 8,
+                                Op::Write, "channel post");
+  chk.race_end(r);
+  chk.channel_posted(0, 0xdb00, 1);
+  chk.channel_waited(1, 0xdb00, 1);
+  const auto r2 = chk.race_begin(CheckKind::RaceChannelCell, 1, 1, 0x9000, 8,
+                                 Op::Write, "channel post");
+  chk.race_end(r2);
+  EXPECT_EQ(chk.violations(), 0u);
+}
+
+TEST(CheckRace, BatchedDoorbellStillCarriesEarlierPosts) {
+  // A doorbell advertising post n releases everything up to n: a waiter who
+  // only ever observes the batched value must still acquire post 1's edge.
+  Checker chk(CheckLevel::Full);
+  const auto r = chk.race_begin(CheckKind::RaceChannelCell, 1, 0, 0x9000, 8,
+                                Op::Write, "channel post");
+  chk.race_end(r);
+  chk.channel_posted(0, 0xdb00, 1);
+  chk.channel_posted(0, 0xdb00, 3);  // coalesced doorbell
+  chk.channel_waited(1, 0xdb00, 3);  // observed arrivals jumped straight to 3
+  const auto r2 = chk.race_begin(CheckKind::RaceChannelCell, 1, 1, 0x9000, 8,
+                                 Op::Write, "channel post");
+  chk.race_end(r2);
+  EXPECT_EQ(chk.violations(), 0u);
+}
+
+TEST(CheckRace, AgreementDecisionOrdersTheAccesses) {
+  // The agree edge: every vote releases, observing the decision acquires —
+  // agreement is a full barrier between voters and deciders.
+  Checker chk(CheckLevel::Full);
+  const auto r = chk.race_begin(CheckKind::RaceRmaWindow, 2, 0, 0x1000, 64,
+                                Op::Write, "put");
+  chk.race_end(r);
+  chk.agree_voted(0, 3, 7);
+  chk.agree_decided(1, 3, 7);
+  const auto r2 = chk.race_begin(CheckKind::RaceRmaWindow, 2, 1, 0x1000, 64,
+                                 Op::Write, "put");
+  chk.race_end(r2);
+  EXPECT_EQ(chk.violations(), 0u);
+}
+
+TEST(CheckRace, RaceTrackingIsFullLevelOnly) {
+  Checker chk(CheckLevel::Cheap);
+  EXPECT_EQ(chk.race_begin(CheckKind::RaceRmaWindow, 2, 0, 0x1000, 64,
+                           Op::Write, "put"),
+            0u);
+  chk.race_end(0);  // id 0 is the "not tracking" sentinel; must be a no-op
+  chk.race_begin(CheckKind::RaceRmaWindow, 2, 1, 0x1000, 64, Op::Write,
+                 "put");
+  EXPECT_EQ(chk.violations(), 0u);
+}
+
+// --- schedule exploration: hidden race found by seed, replayed by token -----
+
+namespace {
+
+/// A two-event scenario whose race only fires under one of the two legal
+/// orders. E1 (producer): tracked write, close, doorbell release. E2
+/// (consumer): doorbell acquire, overlapping tracked write left open.
+/// Under Fifo, E1 runs first and the edge orders the writes — clean. When
+/// exploration flips them, the consumer's open write is then hit by the
+/// producer's conflicting write with no edge: race-channel-cell.
+/// Returns the violation message, or "" for a clean run.
+std::string hidden_race_outcome(const sim::SchedConfig& cfg) {
+  ScopedCheckEnv env("full");
+  sim::Engine en(cfg);
+  Checker& chk = en.checker();
+  constexpr std::uint64_t kDb = 0xdb00;
+  en.schedule_at(0, [&chk] {
+    const std::uint64_t id =
+        chk.race_begin(CheckKind::RaceChannelCell, 9, 0, 0x7000, 0x100,
+                       Op::Write, "producer post");
+    chk.race_end(id);
+    chk.channel_posted(0, kDb, 1);
+  });
+  en.schedule_at(0, [&chk] {
+    chk.channel_waited(1, kDb, 1);
+    chk.race_begin(CheckKind::RaceChannelCell, 9, 1, 0x7000, 0x100, Op::Write,
+                   "consumer post");
+  });
+  try {
+    en.run();
+  } catch (const CheckError& e) {
+    EXPECT_EQ(e.kind(), CheckKind::RaceChannelCell) << e.what();
+    return e.what();
+  }
+  return {};
+}
+
+}  // namespace
+
+TEST(CheckRaceExplore, FifoOrderHidesTheSeededRace) {
+  EXPECT_EQ(hidden_race_outcome(sim::SchedConfig{}), "");
+}
+
+TEST(CheckRaceExplore, SeedSweepFindsTheRaceAndItsTokenReplaysIt) {
+  // Sweep explore seeds the way scripts/race_explore.py does until one
+  // realizes the racy order (each seed flips an independent coin, so 64
+  // tries make a miss astronomically unlikely — and deterministic anyway).
+  std::string first;
+  for (std::uint64_t seed = 1; seed <= 64 && first.empty(); ++seed) {
+    sim::SchedConfig cfg;
+    cfg.order = sim::SchedConfig::Order::Explore;
+    cfg.seed = seed;
+    first = hidden_race_outcome(cfg);
+  }
+  ASSERT_FALSE(first.empty()) << "no explore seed in 1..64 exposed the race";
+  // The report must ship its own reproduction recipe.
+  const auto pos = first.find("[schedule=x1:");
+  ASSERT_NE(pos, std::string::npos) << first;
+  const auto end = first.find(']', pos);
+  ASSERT_NE(end, std::string::npos) << first;
+  const std::string token = first.substr(pos + 10, end - pos - 10);
+  // Replaying the token reproduces the identical violation report.
+  EXPECT_EQ(hidden_race_outcome(sim::SchedConfig::from_token(token)), first);
+}
+
+TEST(CheckRaceExplore, SameTokenYieldsTheSameSchedule) {
+  auto run = [](const sim::SchedConfig& cfg) {
+    sim::Engine en(cfg);
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+      en.schedule_at(0, [&order, i] { order.push_back(i); });
+    en.run();
+    return std::make_pair(order, en.events_executed());
+  };
+  const sim::SchedConfig cfg = sim::SchedConfig::from_token("x1:deadbeef");
+  const auto a = run(cfg);
+  const auto b = run(cfg);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  // And the token's schedule is a genuine permutation, not Fifo in disguise.
+  EXPECT_NE(a.first, run(sim::SchedConfig{}).first);
+}
+
+TEST(CheckRaceExplore, JunkReplayTokensAreRejected) {
+  EXPECT_THROW(sim::SchedConfig::from_token("x2:12"), std::invalid_argument);
+  EXPECT_THROW(sim::SchedConfig::from_token("x1:zz"), std::invalid_argument);
+  EXPECT_THROW(sim::SchedConfig::from_token(""), std::invalid_argument);
+}
+
 // --- integration: the live protocol is violation-free under full checking ---
 
 namespace {
@@ -558,22 +825,29 @@ void run_checked(mpi::MpiMode mode) {
   mpi::Runtime rt(cfg);
   rt.run([](mpi::RankCtx& ctx) {
     auto& comm = ctx.world;
+    // Distinct send/recv buffers: receiving into a still-in-flight isend
+    // buffer is erroneous MPI (and DcfaRace now proves it — the original
+    // version of this test reused `large` and was flagged race-buffer-reuse).
     mem::Buffer small = comm.alloc(512);
+    mem::Buffer small_in = comm.alloc(512);
     mem::Buffer large = comm.alloc(96 * 1024);
+    mem::Buffer large_in = comm.alloc(96 * 1024);
     const int right = (ctx.rank + 1) % ctx.nprocs;
     const int left = (ctx.rank + ctx.nprocs - 1) % ctx.nprocs;
     for (int round = 0; round < 3; ++round) {
       auto s = comm.isend(small, 0, 512, mpi::type_byte(), right, 9);
-      comm.recv(small, 0, 512, mpi::type_byte(), left, 9);
+      comm.recv(small_in, 0, 512, mpi::type_byte(), left, 9);
       comm.wait(s);
     }
     auto s = comm.isend(large, 0, 96 * 1024, mpi::type_byte(), right, 10);
-    comm.recv(large, 0, 96 * 1024, mpi::type_byte(), left, 10);
+    comm.recv(large_in, 0, 96 * 1024, mpi::type_byte(), left, 10);
     comm.wait(s);
     comm.barrier();
     comm.allreduce(small, 0, large, 0, 16, mpi::type_double(), mpi::Op::Sum);
     comm.free(small);
+    comm.free(small_in);
     comm.free(large);
+    comm.free(large_in);
   });
   sim::Checker& chk = rt.sim().checker();
   EXPECT_EQ(chk.level(), CheckLevel::Full);

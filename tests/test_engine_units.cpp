@@ -1,5 +1,4 @@
 // dcfa-lint: allow-file(raw-post) -- drives the HCA directly to isolate engine units
-// dcfa-lint: allow-file(unchecked-result) -- registration-cost timing discards the MR on purpose
 // Focused unit tests for protocol-engine internals: the Bootstrap wiring
 // table, ring-slot geometry, packet-header invariants, and engine stats
 // bookkeeping under controlled traffic.

@@ -377,7 +377,10 @@ TEST(MixedRequests, WaitanyTestanyTestallDriveMixedSets) {
     const int peer = 1 - comm.rank();
     mem::Buffer ib = comm.alloc(count * sizeof(double));
     mem::Buffer ob = comm.alloc(count * sizeof(double));
-    mem::Buffer msg = comm.alloc(8);
+    // Distinct in/out message buffers: an isend from a buffer an in-flight
+    // irecv writes into is erroneous MPI, and DcfaRace flags it.
+    mem::Buffer msg_in = comm.alloc(8);
+    mem::Buffer msg_out = comm.alloc(8);
     put_vec(ib, in[comm.rank()]);
 
     // waitany over an all-invalid set reports "nothing to wait for".
@@ -387,10 +390,10 @@ TEST(MixedRequests, WaitanyTestanyTestallDriveMixedSets) {
     EXPECT_FALSE(comm.testany(none).has_value());
 
     std::vector<Request> reqs;
-    reqs.push_back(comm.irecv(msg, 0, 8, type_byte(), peer, 9));
+    reqs.push_back(comm.irecv(msg_in, 0, 8, type_byte(), peer, 9));
     reqs.push_back(
         comm.iallreduce(ib, 0, ob, 0, count, type_double(), Op::Sum));
-    reqs.push_back(comm.isend(msg, 0, 8, type_byte(), peer, 9));
+    reqs.push_back(comm.isend(msg_out, 0, 8, type_byte(), peer, 9));
 
     // Drain the whole set through waitany; each index completes once.
     std::vector<bool> seen(reqs.size(), false);
@@ -409,7 +412,7 @@ TEST(MixedRequests, WaitanyTestanyTestallDriveMixedSets) {
       reqs[idx] = Request{};
     }
     EXPECT_EQ(get_vec<double>(ob, count), expect) << "rank=" << comm.rank();
-    for (const auto& b : {ib, ob, msg}) comm.free(b);
+    for (const auto& b : {ib, ob, msg_in, msg_out}) comm.free(b);
   });
 }
 
